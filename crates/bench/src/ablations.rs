@@ -1,0 +1,204 @@
+//! Ablation studies over HULK-V's design parameters: the knobs §III calls
+//! out as parameterizable (LLC geometry, HyperBUS width and latency,
+//! cluster team size, instruction-cache sizing).
+
+use hulkv::{HulkV, MainMemory, SocConfig, SocError};
+use hulkv_kernels::suite::{Kernel, KernelParams};
+use hulkv_kernels::synthetic::run_sweep_point_with_config;
+use hulkv_mem::{HyperRamConfig, LlcConfig};
+use hulkv_sim::Cycles;
+
+/// LLC capacity ablation: the Figure-7 workload at a fixed 37 % miss knob
+/// under different LLC sizes (`lines` scales capacity at constant ways).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlcSizePoint {
+    /// LLC capacity in bytes.
+    pub size_bytes: u64,
+    /// Cycles per read on the synthetic benchmark.
+    pub cycles_per_read: f64,
+}
+
+/// Sweeps the LLC size from 32 kB to 512 kB.
+///
+/// # Errors
+///
+/// Propagates SoC and execution errors.
+pub fn llc_size_sweep() -> Result<Vec<LlcSizePoint>, SocError> {
+    let mut out = Vec::new();
+    for lines in [64usize, 128, 256, 512, 1024] {
+        let llc = LlcConfig { lines, ..LlcConfig::default() };
+        let size = llc.size_bytes();
+        let cfg = SocConfig {
+            llc: Some(llc),
+            ..SocConfig::default()
+        };
+        let p = run_sweep_point_with_config(cfg, 24, 64)?;
+        out.push(LlcSizePoint {
+            size_bytes: size,
+            cycles_per_read: p.cycles_per_read,
+        });
+    }
+    Ok(out)
+}
+
+/// HyperBUS ablation: DMA bandwidth for a 64 kB tile under the four
+/// controller configurations (§III-B: one or two buses, 1× or 2× initial
+/// latency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperBusPoint {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Cluster cycles to DMA a 64 kB tile from DRAM into the TCDM.
+    pub tile_cycles: u64,
+    /// Effective bandwidth in bytes per SoC cycle.
+    pub bytes_per_cycle: f64,
+}
+
+/// Measures the four HyperBUS configurations.
+///
+/// # Errors
+///
+/// Propagates SoC and memory errors.
+pub fn hyperbus_sweep() -> Result<Vec<HyperBusPoint>, SocError> {
+    let variants: [(&str, bool, bool); 4] = [
+        ("1 bus, 2x latency", false, true),
+        ("1 bus, 1x latency", false, false),
+        ("2 buses, 2x latency", true, true),
+        ("2 buses, 1x latency", true, false),
+    ];
+    let mut out = Vec::new();
+    for (label, dual, fixed2x) in variants {
+        let cfg = SocConfig {
+            main_memory: MainMemory::HyperRam(HyperRamConfig {
+                dual_bus: dual,
+                fixed_2x_latency: fixed2x,
+                ..HyperRamConfig::default()
+            }),
+            ..SocConfig::default()
+        };
+        let mut soc = HulkV::new(cfg)?;
+        let src = soc.hulk_malloc(64 * 1024)?;
+        let cycles: Cycles = soc.cluster_mut().dma_to_tcdm(src, 0, 64 * 1024)?;
+        out.push(HyperBusPoint {
+            config: label,
+            tile_cycles: cycles.get(),
+            bytes_per_cycle: 64.0 * 1024.0 / cycles.get() as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// Team-size scaling of the int8 matmul kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeamScalePoint {
+    /// Cores in the team.
+    pub cores: usize,
+    /// Kernel cycles.
+    pub kernel_cycles: u64,
+    /// Parallel efficiency vs the single-core run.
+    pub efficiency: f64,
+}
+
+/// Measures matmul-int8 on 1–8 cores.
+///
+/// # Errors
+///
+/// Propagates SoC and execution errors.
+pub fn team_scaling(params: &KernelParams) -> Result<Vec<TeamScalePoint>, SocError> {
+    let mut base = None;
+    let mut out = Vec::new();
+    for cores in [1usize, 2, 4, 8] {
+        let mut soc = HulkV::new(SocConfig::default())?;
+        let run = Kernel::MatMulI8.run_on_cluster(&mut soc, params, cores)?;
+        let cycles = run.kernel_cycles.get();
+        let single = *base.get_or_insert(cycles);
+        out.push(TeamScalePoint {
+            cores,
+            kernel_cycles: cycles,
+            efficiency: single as f64 / (cycles as f64 * cores as f64),
+        });
+    }
+    Ok(out)
+}
+
+/// Offload-amortization ablation: per-run SoC cycles for 1–1000
+/// repetitions of a short kernel (the Figure-6 "lazy loading" effect).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmortizationPoint {
+    /// Kernel executions per offload.
+    pub times: u64,
+    /// Average SoC cycles per execution.
+    pub soc_cycles_per_run: f64,
+}
+
+/// Measures amortization on the FIR kernel.
+///
+/// # Errors
+///
+/// Propagates SoC and execution errors.
+pub fn offload_amortization(params: &KernelParams) -> Result<Vec<AmortizationPoint>, SocError> {
+    let mut soc = HulkV::new(SocConfig::default())?;
+    let run = Kernel::FirI16.run_on_cluster(&mut soc, params, 8)?;
+    Ok([1u64, 10, 100, 1000]
+        .iter()
+        .map(|&times| AmortizationPoint {
+            times,
+            soc_cycles_per_run: run.soc_cycles_amortized(times),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_llc_never_hurts_this_workload() {
+        let points = llc_size_sweep().unwrap();
+        assert_eq!(points.len(), 5);
+        for w in points.windows(2) {
+            assert!(
+                w[1].cycles_per_read <= w[0].cycles_per_read * 1.02,
+                "{} B -> {} B regressed",
+                w[0].size_bytes,
+                w[1].size_bytes
+            );
+        }
+        // The 96 kB footprint fits from 128 kB upward: a clear knee.
+        let small = &points[0]; // 32 kB
+        let big = &points[2]; // 128 kB
+        assert!(small.cycles_per_read > 1.5 * big.cycles_per_read);
+    }
+
+    #[test]
+    fn dual_bus_roughly_doubles_bandwidth() {
+        let points = hyperbus_sweep().unwrap();
+        let single = points.iter().find(|p| p.config.starts_with("1 bus, 2x")).unwrap();
+        let dual = points.iter().find(|p| p.config.starts_with("2 buses, 2x")).unwrap();
+        let gain = single.tile_cycles as f64 / dual.tile_cycles as f64;
+        // Only the data phase halves; the per-burst command/address and
+        // access latency do not, so the gain is below the ideal 2x.
+        assert!(gain > 1.3, "dual-bus gain {gain}");
+        // Latency config matters much less for long DMA bursts.
+        let relaxed = points.iter().find(|p| p.config.starts_with("1 bus, 1x")).unwrap();
+        let lat_gain = single.tile_cycles as f64 / relaxed.tile_cycles as f64;
+        assert!(lat_gain < gain, "latency should matter less than width");
+    }
+
+    #[test]
+    fn team_scaling_is_near_linear() {
+        // Benchmark-sized tiles: one row per core is too little work for
+        // a scaling study, so use the real problem size.
+        let points = team_scaling(&KernelParams::small()).unwrap();
+        let eight = points.iter().find(|p| p.cores == 8).unwrap();
+        assert!(eight.efficiency > 0.85, "8-core efficiency {}", eight.efficiency);
+    }
+
+    #[test]
+    fn amortization_converges() {
+        let points = offload_amortization(&KernelParams::tiny()).unwrap();
+        for w in points.windows(2) {
+            assert!(w[1].soc_cycles_per_run < w[0].soc_cycles_per_run);
+        }
+    }
+}

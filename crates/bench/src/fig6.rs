@@ -1,0 +1,107 @@
+//! Figure 6: PMCA speedup over CVA6 (left) and energy efficiency (right).
+//!
+//! The left plot shows the cluster's speedup in execution time when the
+//! offloaded kernel runs once (lazy code load dominates short kernels) and
+//! 1000 times (overhead amortized). The right plot shows GOps/W for both
+//! engines at their maximum frequencies, using the Table-II block powers —
+//! the paper's 157-vs-4.9 GOps/W headline lives here.
+
+use hulkv::{HulkV, SocConfig, SocError};
+use hulkv_kernels::suite::{Kernel, KernelParams};
+use hulkv_power::PowerModel;
+
+/// One kernel's Figure-6 measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Floating-point kernel?
+    pub float: bool,
+    /// CVA6 cycles for one kernel execution.
+    pub host_cycles: u64,
+    /// Cluster-domain cycles for one kernel execution (team only).
+    pub cluster_cycles: u64,
+    /// Speedup in wall-clock when the kernel executes once per offload.
+    pub speedup_x1: f64,
+    /// Speedup when the kernel executes 1000× per offload.
+    pub speedup_x1000: f64,
+    /// CVA6 GOps at 900 MHz.
+    pub host_gops: f64,
+    /// Cluster GOps at 400 MHz (amortized).
+    pub cluster_gops: f64,
+    /// CVA6 energy efficiency against the CVA6 block power.
+    pub host_gops_per_w: f64,
+    /// Cluster energy efficiency against the PMCA block power.
+    pub cluster_gops_per_w: f64,
+    /// Both sides verified against the golden reference.
+    pub verified: bool,
+}
+
+/// Runs the whole Figure-6 suite.
+///
+/// # Errors
+///
+/// Propagates SoC and execution errors.
+pub fn speedup_table(params: &KernelParams) -> Result<Vec<Fig6Row>, SocError> {
+    let power = PowerModel::gf22fdx_tt();
+    let host_hz = power.cva6.max_freq_mhz * 1e6;
+    let soc_hz = 450.0e6;
+    let cluster_hz = power.pmca.max_freq_mhz * 1e6;
+    let mut rows = Vec::new();
+
+    for kernel in Kernel::ALL {
+        let mut soc = HulkV::new(SocConfig::default())?;
+        let host = kernel.run_on_host(&mut soc, params)?;
+        let cluster = kernel.run_on_cluster(&mut soc, params, 8)?;
+
+        let host_seconds = host.cycles.get() as f64 / host_hz;
+        let x1_seconds = cluster.soc_cycles_amortized(1) / soc_hz;
+        let x1000_seconds = cluster.soc_cycles_amortized(1000) / soc_hz;
+        let ops = host.ops as f64;
+
+        let host_gops = ops / host_seconds / 1e9;
+        let cluster_kernel_seconds = cluster.kernel_cycles.get() as f64 / cluster_hz;
+        let cluster_gops = ops / cluster_kernel_seconds / 1e9;
+
+        rows.push(Fig6Row {
+            kernel: kernel.name(),
+            float: kernel.is_float(),
+            host_cycles: host.cycles.get(),
+            cluster_cycles: cluster.kernel_cycles.get(),
+            speedup_x1: host_seconds / x1_seconds,
+            speedup_x1000: host_seconds / x1000_seconds,
+            host_gops,
+            cluster_gops,
+            host_gops_per_w: host_gops / (power.cva6.max_power_mw() / 1000.0),
+            cluster_gops_per_w: cluster_gops / (power.pmca.max_power_mw() / 1000.0),
+            verified: host.verified && cluster.verified,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_shape_holds() {
+        let rows = speedup_table(&KernelParams::small()).unwrap();
+        assert_eq!(rows.len(), Kernel::ALL.len());
+        for r in &rows {
+            assert!(r.verified, "{} failed verification", r.kernel);
+            // Amortized execution always beats one-shot.
+            assert!(r.speedup_x1000 >= r.speedup_x1, "{}", r.kernel);
+            // Offloading amortized kernels always pays off.
+            assert!(r.speedup_x1000 > 1.0, "{}: {}", r.kernel, r.speedup_x1000);
+        }
+        // Paper: matmul-int8 is the headline kernel with the largest gap;
+        // FP kernels give at least ~5x when amortized.
+        let mm = rows.iter().find(|r| r.kernel == "matmul-int8").unwrap();
+        assert!(mm.speedup_x1000 > 20.0, "int8 matmul speedup {}", mm.speedup_x1000);
+        assert!(mm.cluster_gops_per_w / mm.host_gops_per_w > 10.0);
+        for r in rows.iter().filter(|r| r.float && r.kernel.contains("matmul")) {
+            assert!(r.speedup_x1000 > 5.0, "{}: {}", r.kernel, r.speedup_x1000);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 7: the LLC sweep on the synthetic strided benchmark.
+
+use hulkv::{MemorySetup, SocError};
+use hulkv_kernels::synthetic::{run_sweep_point, SweepPoint};
+
+/// The miss-knob values swept (0–100 % of the reads per round).
+pub const SWEEP: [usize; 9] = [0, 8, 16, 24, 32, 40, 48, 56, 64];
+
+/// Runs the full Figure-7 grid: every memory setup × every sweep point.
+///
+/// # Errors
+///
+/// Propagates SoC and execution errors.
+pub fn llc_sweep(rounds: usize) -> Result<Vec<SweepPoint>, SocError> {
+    let mut out = Vec::new();
+    for &m in &SWEEP {
+        for setup in MemorySetup::ALL {
+            out.push(run_sweep_point(setup, m, rounds)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_grid_is_complete_and_shaped() {
+        let points = llc_sweep(32).unwrap();
+        assert_eq!(points.len(), SWEEP.len() * 4);
+        // Cycles per read never decrease with the miss knob, per setup.
+        for setup in MemorySetup::ALL {
+            let series: Vec<_> = points.iter().filter(|p| p.setup == setup).collect();
+            for w in series.windows(2) {
+                assert!(
+                    w[1].cycles_per_read >= w[0].cycles_per_read * 0.95,
+                    "{}: non-monotone sweep",
+                    setup.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 8: the LLC effect on the five CPU-centric IoT benchmarks.
+
+use hulkv::{MemorySetup, SocError};
+use hulkv_kernels::iot::{IotBenchmark, IotRun, Scale};
+
+/// One benchmark's runs over the four memory configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// One run per [`MemorySetup::ALL`] entry, in that order.
+    pub runs: [IotRun; 4],
+}
+
+impl Fig8Row {
+    /// Cycles normalized to the DDR4+LLC configuration (the paper plots
+    /// relative performance).
+    pub fn normalized_cycles(&self) -> [f64; 4] {
+        let base = self.runs[0].cycles.get() as f64;
+        [
+            1.0,
+            self.runs[1].cycles.get() as f64 / base,
+            self.runs[2].cycles.get() as f64 / base,
+            self.runs[3].cycles.get() as f64 / base,
+        ]
+    }
+}
+
+/// Runs the full Figure-8 grid.
+///
+/// # Errors
+///
+/// Propagates SoC and execution errors.
+pub fn llc_effect(scale: Scale) -> Result<Vec<Fig8Row>, SocError> {
+    let mut rows = Vec::new();
+    for bench in IotBenchmark::FIGURE8 {
+        let mut runs = Vec::with_capacity(4);
+        for setup in MemorySetup::ALL {
+            runs.push(bench.run(setup, scale)?);
+        }
+        let runs: [IotRun; 4] = runs.try_into().expect("four runs");
+        rows.push(Fig8Row {
+            bench: bench.name(),
+            runs,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_configs_stay_close() {
+        // "cases 1 and 2 have very similar performance, closer than 5%,
+        // meaning that LPDDR/DDR memories would be oversized".
+        let rows = llc_effect(Scale(1)).unwrap();
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.runs.iter().all(|r| r.verified), "{}", row.bench);
+            let n = row.normalized_cycles();
+            assert!(
+                n[1] < 1.10,
+                "{}: Hyper+LLC at {:.2}x of DDR4+LLC",
+                row.bench,
+                n[1]
+            );
+        }
+    }
+}

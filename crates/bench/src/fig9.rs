@@ -1,0 +1,132 @@
+//! Figure 9: GOps and relative energy efficiency against `CCR_hyper`.
+//!
+//! The workload set follows the paper: the DSP kernel suite (on the
+//! cluster, with their DMA tile traffic as main-memory communication), the
+//! two end-to-end DNNs deployed DORY-style, and Dhrystone on the host.
+
+use hulkv::{HulkV, SocConfig, SocError};
+use hulkv_kernels::dnn::DnnModel;
+use hulkv_kernels::iot::{IotBenchmark, Scale};
+use hulkv_kernels::suite::{Kernel, KernelParams};
+use hulkv_power::{CcrPoint, ComputeBlock, MemoryKind};
+
+/// One Figure-9 row: a workload's position in both panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Workload name.
+    pub name: String,
+    /// `CCR_hyper` (x-axis of both panels).
+    pub ccr_hyper: f64,
+    /// Achieved GOps on the HyperRAM system.
+    pub gops_hyper: f64,
+    /// Achieved GOps on the LPDDR4 system.
+    pub gops_lpddr: f64,
+    /// GOps/W on the HyperRAM system.
+    pub eff_hyper: f64,
+    /// GOps/W on the LPDDR4 system.
+    pub eff_lpddr: f64,
+    /// Relative efficiency HyperRAM / LPDDR4 (right panel's y-axis).
+    pub relative_efficiency: f64,
+}
+
+impl Fig9Row {
+    fn from_point(p: &CcrPoint) -> Self {
+        Fig9Row {
+            name: p.name.clone(),
+            ccr_hyper: p.ccr(MemoryKind::Hyper),
+            gops_hyper: p.gops(MemoryKind::Hyper),
+            gops_lpddr: p.gops(MemoryKind::Lpddr4),
+            eff_hyper: p.gops_per_w(MemoryKind::Hyper),
+            eff_lpddr: p.gops_per_w(MemoryKind::Lpddr4),
+            relative_efficiency: p.relative_efficiency(),
+        }
+    }
+}
+
+/// Computes every Figure-9 workload point.
+///
+/// # Errors
+///
+/// Propagates SoC and execution errors.
+pub fn ccr_table(params: &KernelParams) -> Result<Vec<Fig9Row>, SocError> {
+    let cluster_hz = 400.0e6;
+    let host_hz = 900.0e6;
+    let mut points = Vec::new();
+    let mut matmul_macs_per_cycle = 8.0;
+
+    // DSP kernels on the cluster: per invocation, the DMA streams the
+    // input tiles in and the result out; that is the communication side.
+    for kernel in Kernel::ALL {
+        let mut soc = HulkV::new(SocConfig::default())?;
+        let run = kernel.run_on_cluster(&mut soc, params, 8)?;
+        let compute_seconds = run.kernel_cycles.get() as f64 / cluster_hz;
+        if kernel == Kernel::MatMulI8 {
+            matmul_macs_per_cycle = run.ops as f64 / 2.0 / run.kernel_cycles.get() as f64;
+        }
+        points.push(CcrPoint::new(
+            kernel.name(),
+            ComputeBlock::Pmca,
+            run.ops as f64,
+            compute_seconds,
+            kernel.tile_bytes(params) as f64,
+        ));
+    }
+
+    // The two end-to-end DNNs, tiled against the 512 kB L2SPM, computing
+    // at the measured int8 matmul throughput.
+    for model in [DnnModel::classifier(), DnnModel::dronet()] {
+        points.push(model.ccr_point(matmul_macs_per_cycle, cluster_hz, 512 * 1024));
+    }
+
+    // Dhrystone on the host: compute-bound by construction.
+    let dhry = IotBenchmark::Dhrystone.run(hulkv::MemorySetup::HyperWithLlc, Scale(1))?;
+    let dhry_ops = 8.0 * 20_000.0; // ALU ops per iteration × iterations
+    points.push(CcrPoint::new(
+        "dhrystone",
+        ComputeBlock::Cva6,
+        dhry_ops,
+        dhry.cycles.get() as f64 / host_hz,
+        (dhry.dram_bytes_read as f64).max(64.0),
+    ));
+
+    Ok(points.iter().map(Fig9Row::from_point).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_shape_holds() {
+        let rows = ccr_table(&KernelParams::small()).unwrap();
+        assert_eq!(rows.len(), Kernel::ALL.len() + 3);
+
+        for r in &rows {
+            // Left panel: compute-bound points achieve the same GOps on
+            // both memories; memory-bound ones gain from LPDDR4 bandwidth.
+            if r.ccr_hyper > 1.0 {
+                assert!(
+                    (r.gops_lpddr / r.gops_hyper - 1.0).abs() < 0.05,
+                    "{}: compute-bound but GOps differ",
+                    r.name
+                );
+                // Right panel: ~2x efficiency for high-reuse workloads.
+                assert!(
+                    r.relative_efficiency > 1.4,
+                    "{}: rel eff {}",
+                    r.name,
+                    r.relative_efficiency
+                );
+            } else {
+                assert!(r.gops_lpddr > r.gops_hyper, "{}", r.name);
+            }
+        }
+
+        // The DNNs are compute-bound with roughly double efficiency.
+        for name in ["classifier-dnn", "dronet"] {
+            let r = rows.iter().find(|r| r.name == name).unwrap();
+            assert!(r.ccr_hyper > 1.0, "{name} should be compute-bound");
+            assert!(r.relative_efficiency > 1.5, "{name}: {}", r.relative_efficiency);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Table I: comparison with the state of the art.
+//!
+//! The table is a qualitative platform survey; the "This work" row is
+//! filled from this repository's configuration so the comparison stays
+//! live with the model.
+
+use hulkv::SocConfig;
+
+/// One platform row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformRow {
+    /// Platform name (with citation tag).
+    pub platform: &'static str,
+    /// Operating-system support.
+    pub os: &'static str,
+    /// Memory subsystem.
+    pub memory: String,
+    /// ASIC or FPGA availability.
+    pub asic_fpga: &'static str,
+    /// Host CPU.
+    pub host_cpu: &'static str,
+    /// Accelerators.
+    pub accelerators: &'static str,
+}
+
+/// Builds the full Table-I data set, ending with the "This work" row
+/// derived from `cfg`.
+pub fn rows(cfg: &SocConfig) -> Vec<PlatformRow> {
+    let hyper_mb = cfg.main_memory_bytes() >> 20;
+    let l2_kb = cfg.l2spm_bytes / 1024;
+    vec![
+        PlatformRow {
+            platform: "Vega [2]",
+            os: "RTOS",
+            memory: "512KB SRAM + 512MB Hyper".into(),
+            asic_fpga: "ASIC",
+            host_cpu: "Ri5cy 200MHz",
+            accelerators: "PMCA",
+        },
+        PlatformRow {
+            platform: "Sapphire [10]",
+            os: "RTOS",
+            memory: "4MB-3GB DDR/Hyper".into(),
+            asic_fpga: "FPGA",
+            host_cpu: "VexRiscv 400MHz",
+            accelerators: "No",
+        },
+        PlatformRow {
+            platform: "i.MX RT [11]",
+            os: "RTOS",
+            memory: "1.5MB SRAM".into(),
+            asic_fpga: "ASIC",
+            host_cpu: "CortexM7 800MHz",
+            accelerators: "MIPI",
+        },
+        PlatformRow {
+            platform: "HeroV2 [15]",
+            os: "Linux",
+            memory: "1GB DDR4".into(),
+            asic_fpga: "FPGA",
+            host_cpu: "Quad-Core CortexA53 1GHz",
+            accelerators: "PMCA",
+        },
+        PlatformRow {
+            platform: "Raspberry Pi0 [3]",
+            os: "Linux",
+            memory: "512MB LPDDR2".into(),
+            asic_fpga: "ASIC",
+            host_cpu: "Quad-Core CortexA53 1GHz",
+            accelerators: "No",
+        },
+        PlatformRow {
+            platform: "Unmatched [12]",
+            os: "Linux",
+            memory: "16GB DDR4".into(),
+            asic_fpga: "ASIC",
+            host_cpu: "U74 1GHz",
+            accelerators: "No",
+        },
+        PlatformRow {
+            platform: "This work",
+            os: "Linux/RTOS",
+            memory: format!("{l2_kb}KB SRAM + {hyper_mb}MB Hyper"),
+            asic_fpga: "ASIC/FPGA",
+            host_cpu: "CVA6 900MHz",
+            accelerators: "PMCA",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn this_work_row_tracks_the_config() {
+        let table = rows(&SocConfig::default());
+        assert_eq!(table.len(), 7);
+        let us = table.last().unwrap();
+        assert_eq!(us.platform, "This work");
+        assert!(us.memory.contains("512KB SRAM"));
+        assert!(us.memory.contains("512MB Hyper"));
+        assert_eq!(us.os, "Linux/RTOS");
+    }
+
+    #[test]
+    fn only_heterogeneous_linux_platform() {
+        // The paper's claim: HULK-V uniquely combines Linux capability,
+        // a PMCA and an ASIC implementation at IoT power.
+        let table = rows(&SocConfig::default());
+        let unique: Vec<_> = table
+            .iter()
+            .filter(|r| {
+                r.os.contains("Linux") && r.accelerators == "PMCA" && r.asic_fpga.contains("ASIC")
+            })
+            .collect();
+        assert_eq!(unique.len(), 1);
+        assert_eq!(unique[0].platform, "This work");
+    }
+}

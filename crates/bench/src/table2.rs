@@ -1,0 +1,66 @@
+//! Table II: per-block area, leakage, dynamic power, max frequency and
+//! max power in the GF22FDX typical corner.
+
+use hulkv_power::{BlockPower, PowerModel};
+
+/// One row of Table II (plus the derived max-power column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Block name.
+    pub block: &'static str,
+    /// Area, mm².
+    pub area_mm2: f64,
+    /// Leakage, mW.
+    pub leakage_mw: f64,
+    /// Dynamic power, µW/MHz.
+    pub dyn_uw_per_mhz: f64,
+    /// Max frequency, MHz.
+    pub max_freq_mhz: f64,
+    /// Max power, mW.
+    pub max_power_mw: f64,
+}
+
+impl Table2Row {
+    fn from_block(b: &BlockPower) -> Self {
+        Table2Row {
+            block: b.name,
+            area_mm2: b.area_mm2,
+            leakage_mw: b.leakage_mw,
+            dyn_uw_per_mhz: b.dyn_uw_per_mhz,
+            max_freq_mhz: b.max_freq_mhz,
+            max_power_mw: b.max_power_mw(),
+        }
+    }
+}
+
+/// Builds the Table-II rows plus the "Total" row.
+pub fn rows() -> (Vec<Table2Row>, Table2Row) {
+    let p = PowerModel::gf22fdx_tt();
+    let rows: Vec<Table2Row> = p.blocks().iter().map(|b| Table2Row::from_block(b)).collect();
+    let total = Table2Row {
+        block: "Total",
+        area_mm2: p.die_area_mm2(),
+        leakage_mw: p.total_leakage_mw(),
+        dyn_uw_per_mhz: rows.iter().map(|r| r.dyn_uw_per_mhz).sum(),
+        max_freq_mhz: 0.0,
+        max_power_mw: p.total_max_power_mw(),
+    };
+    (rows, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_published_values() {
+        let (rows, total) = rows();
+        assert_eq!(rows.len(), 4);
+        let cva6 = rows.iter().find(|r| r.block == "CVA6").unwrap();
+        assert_eq!(cva6.max_freq_mhz, 900.0);
+        assert!((cva6.max_power_mw - 47.54).abs() < 0.2);
+        assert!((total.leakage_mw - 14.94).abs() < 0.01);
+        assert!(total.max_power_mw < 250.0);
+        assert!(total.area_mm2 < 9.0);
+    }
+}

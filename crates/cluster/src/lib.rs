@@ -1,0 +1,56 @@
+//! The Programmable Multi-Core Accelerator (PMCA) of HULK-V (§III-C).
+//!
+//! The PMCA is built around eight CV32E4/RI5CY-class RV32 cores with the
+//! Xpulp DSP extension, sharing:
+//!
+//! * a 128 kB L1 scratchpad (**TCDM**) organized as 16 × 8 kB word-interleaved
+//!   SRAM banks, single-cycle when conflict-free;
+//! * a two-level instruction cache (512 B private per core, 4 kB shared);
+//! * a cluster DMA with one AXI port and four TCDM ports;
+//! * an event unit for fine-grain fork/join thread dispatch.
+//!
+//! The cluster avoids data caches entirely: software moves tiles between the
+//! SoC memory (L2SPM / DRAM) and the TCDM with the DMA, double-buffering to
+//! overlap computation and communication — the explicit-memory-management
+//! style the paper inherits from DORY.
+//!
+//! # Example
+//!
+//! ```
+//! use hulkv_cluster::{Cluster, ClusterConfig, TCDM_BASE};
+//! use hulkv_mem::{shared, MemoryDevice, Sram};
+//! use hulkv_rv::{Asm, Reg, Xlen};
+//!
+//! // SoC-side memory holding the kernel binary at 0x8000_0000.
+//! let mut l2 = Sram::new("l2spm", 1 << 20, hulkv_sim::Cycles::new(2));
+//! let mut a = Asm::new(Xlen::Rv32);
+//! a.li(Reg::T0, 5);
+//! a.li(Reg::T1, 7);
+//! a.add(Reg::A0, Reg::T0, Reg::T1);
+//! // Store the per-core result into the TCDM, indexed by hart id.
+//! a.csrr(Reg::T2, hulkv_rv::csr::addr::MHARTID);
+//! a.slli(Reg::T2, Reg::T2, 2);
+//! a.li(Reg::T3, TCDM_BASE as i64);
+//! a.add(Reg::T3, Reg::T3, Reg::T2);
+//! a.sw(Reg::A0, Reg::T3, 0);
+//! a.ebreak();
+//! for (i, w) in a.assemble()?.iter().enumerate() {
+//!     l2.write_u32(i as u64 * 4, *w)?;
+//! }
+//!
+//! let mut bus = hulkv_mem::Bus::new("axi", hulkv_sim::Cycles::new(2));
+//! bus.map("l2spm", 0x8000_0000, shared(l2))?;
+//! let mut cluster = Cluster::new(ClusterConfig::default(), shared(bus));
+//! let result = cluster.run_team(0x8000_0000, &[], 8, 1_000_000)?;
+//! assert_eq!(cluster.tcdm_read_u32(0)?, 12);
+//! assert_eq!(cluster.tcdm_read_u32(7 * 4)?, 12);
+//! assert!(result.cycles.get() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pmca;
+
+pub use pmca::{Cluster, ClusterConfig, TeamResult, TCDM_BASE};

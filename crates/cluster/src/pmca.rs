@@ -1,0 +1,591 @@
+//! The cluster model: cores, TCDM, two-level I-cache, DMA, event unit.
+
+use hulkv_mem::{shared, Cache, CacheConfig, DmaEngine, MemoryDevice, SharedMem, Sram, Transfer1d, Transfer2d, WritePolicy};
+use hulkv_rv::{Core, CoreBus, Reg, RvError};
+use hulkv_sim::{convert_freq, Cycles, Freq, SimError, Stats};
+
+/// Cluster-local base address of the L1 scratchpad (TCDM).
+pub const TCDM_BASE: u64 = 0x1000_0000;
+
+/// Static configuration of the PMCA.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_cluster::ClusterConfig;
+///
+/// let cfg = ClusterConfig::default();
+/// assert_eq!(cfg.cores, 8);
+/// assert_eq!(cfg.tcdm_bytes(), 128 * 1024); // 16 x 8 kB banks
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of RV32 cores (8 in HULK-V).
+    pub cores: usize,
+    /// Number of word-interleaved TCDM banks (16).
+    pub banks: usize,
+    /// Bytes per bank (8 kB).
+    pub bank_bytes: usize,
+    /// Private per-core instruction cache size (512 B).
+    pub icache_private_bytes: usize,
+    /// Shared instruction cache size (4 kB).
+    pub icache_shared_bytes: usize,
+    /// Cluster clock (400 MHz in the ASIC).
+    pub freq: Freq,
+    /// SoC interconnect clock, for AXI-port domain crossing (450 MHz).
+    pub soc_freq: Freq,
+    /// Fixed cost of an event-unit barrier at team join.
+    pub barrier_cycles: u64,
+    /// Per-core stack carved from the top of the TCDM.
+    pub stack_bytes: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            cores: 8,
+            banks: 16,
+            bank_bytes: 8 * 1024,
+            icache_private_bytes: 512,
+            icache_shared_bytes: 4 * 1024,
+            freq: Freq::mhz(400),
+            soc_freq: Freq::mhz(450),
+            barrier_cycles: 8,
+            stack_bytes: 1024,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total TCDM capacity.
+    pub fn tcdm_bytes(&self) -> usize {
+        self.banks * self.bank_bytes
+    }
+}
+
+/// Result of one fork/join team execution on the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TeamResult {
+    /// Team wall-clock, in cluster cycles: `max` over the cores plus the
+    /// event-unit barrier.
+    pub cycles: Cycles,
+    /// Cycles each participating core spent.
+    pub per_core: Vec<Cycles>,
+    /// Instructions retired by each core.
+    pub per_core_instret: Vec<u64>,
+    /// Sum of GOps-weighted arithmetic operations across the team.
+    pub arith_ops: u64,
+}
+
+/// The Programmable Multi-Core Accelerator.
+///
+/// Created over a [`SharedMem`] giving access to the SoC address space
+/// through the cluster's AXI master port (in HULK-V, filtered by an IOPMP
+/// that the host configures — modeled in the SoC crate). See the
+/// [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    tcdm: SharedMem,
+    ext: SharedMem,
+    shared_icache: SharedMem,
+    dma: DmaEngine,
+    stats: Stats,
+    busy_cycles: Cycles,
+}
+
+impl Cluster {
+    /// Builds the cluster; `ext` is the SoC-side interconnect reachable
+    /// through the AXI master port (addresses pass through unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero cores or banks).
+    pub fn new(cfg: ClusterConfig, ext: SharedMem) -> Self {
+        assert!(cfg.cores > 0 && cfg.banks > 0, "degenerate cluster config");
+        let tcdm = shared(Sram::new("tcdm", cfg.tcdm_bytes(), Cycles::new(1)));
+        let shared_icache = shared(
+            Cache::new(
+                CacheConfig {
+                    name: "icache_l1_5".into(),
+                    ways: 2,
+                    sets: (cfg.icache_shared_bytes / 32 / 2).max(1).next_power_of_two(),
+                    line_bytes: 32,
+                    hit_latency: Cycles::new(1),
+                    write_policy: WritePolicy::WriteThrough,
+                    write_allocate: false,
+                    write_buffer: true,
+                },
+                ext.clone(),
+            )
+            .expect("shared I-cache geometry"),
+        );
+        Cluster {
+            cfg,
+            tcdm,
+            ext,
+            shared_icache,
+            dma: DmaEngine::new("cluster_dma", Cycles::new(16), 64),
+            stats: Stats::new("cluster"),
+            busy_cycles: Cycles::ZERO,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Activity counters (team launches, DMA traffic, TCDM conflicts…).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Cluster-domain cycles spent computing so far (for utilization).
+    pub fn busy_cycles(&self) -> Cycles {
+        self.busy_cycles
+    }
+
+    /// Resets activity counters and the busy-cycle accumulator.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.busy_cycles = Cycles::ZERO;
+    }
+
+    /// Backdoor TCDM write (test setup and host-side tile pushes go through
+    /// [`Cluster::dma_to_tcdm`] instead).
+    ///
+    /// # Errors
+    ///
+    /// Propagates TCDM range errors.
+    pub fn tcdm_write(&mut self, offset: u64, data: &[u8]) -> Result<(), SimError> {
+        self.tcdm.borrow_mut().write(offset, data).map(|_| ())
+    }
+
+    /// Backdoor TCDM read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TCDM range errors.
+    pub fn tcdm_read(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        self.tcdm.borrow_mut().read(offset, buf).map(|_| ())
+    }
+
+    /// Backdoor TCDM `u32` read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TCDM range errors.
+    pub fn tcdm_read_u32(&mut self, offset: u64) -> Result<u32, SimError> {
+        Ok(self.tcdm.borrow_mut().read_u32(offset)?.0)
+    }
+
+    /// DMA a contiguous block from the SoC address space into the TCDM.
+    /// Returns the transfer time in cluster cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from either side.
+    pub fn dma_to_tcdm(&mut self, ext_addr: u64, tcdm_offset: u64, bytes: usize) -> Result<Cycles, SimError> {
+        let lat = self.dma.run_1d(
+            &self.ext,
+            &self.tcdm,
+            Transfer1d { src: ext_addr, dst: tcdm_offset, bytes },
+        )?;
+        self.stats.add("dma_bytes_in", bytes as u64);
+        Ok(convert_freq(lat, self.cfg.soc_freq, self.cfg.freq))
+    }
+
+    /// DMA a contiguous block from the TCDM out to the SoC address space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from either side.
+    pub fn dma_from_tcdm(&mut self, tcdm_offset: u64, ext_addr: u64, bytes: usize) -> Result<Cycles, SimError> {
+        let lat = self.dma.run_1d(
+            &self.tcdm,
+            &self.ext,
+            Transfer1d { src: tcdm_offset, dst: ext_addr, bytes },
+        )?;
+        self.stats.add("dma_bytes_out", bytes as u64);
+        Ok(convert_freq(lat, self.cfg.soc_freq, self.cfg.freq))
+    }
+
+    /// 2D-DMA a tile (e.g. a sub-matrix) from the SoC address space into the
+    /// TCDM — the access pattern DORY-style tiling leans on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from either side.
+    pub fn dma_to_tcdm_2d(
+        &mut self,
+        ext_addr: u64,
+        ext_stride: u64,
+        tcdm_offset: u64,
+        row_bytes: usize,
+        rows: usize,
+    ) -> Result<Cycles, SimError> {
+        let lat = self.dma.run_2d(
+            &self.ext,
+            &self.tcdm,
+            Transfer2d {
+                src: ext_addr,
+                dst: tcdm_offset,
+                row_bytes,
+                rows,
+                src_stride: ext_stride,
+                dst_stride: row_bytes as u64,
+            },
+        )?;
+        self.stats.add("dma_bytes_in", (row_bytes * rows) as u64);
+        Ok(convert_freq(lat, self.cfg.soc_freq, self.cfg.freq))
+    }
+
+    /// Runs a fork/join team: `num_cores` cores start at `entry` with `args`
+    /// preloaded into registers (same values on every core; cores
+    /// differentiate through the `mhartid` CSR), run to `ebreak`, and join
+    /// at the event-unit barrier.
+    ///
+    /// Returns the team timing; TCDM contents carry the results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates core execution errors and enforces `max_cycles` per core.
+    pub fn run_team(
+        &mut self,
+        entry: u64,
+        args: &[(Reg, u64)],
+        num_cores: usize,
+        max_cycles: u64,
+    ) -> Result<TeamResult, RvError> {
+        let num_cores = num_cores.min(self.cfg.cores).max(1);
+        let mut per_core = Vec::with_capacity(num_cores);
+        let mut per_core_instret = Vec::with_capacity(num_cores);
+        let mut arith_ops = 0u64;
+        let tcdm_top = TCDM_BASE + self.cfg.tcdm_bytes() as u64;
+
+        for hartid in 0..num_cores {
+            let mut core = Core::ri5cy(hartid as u64);
+            core.set_pc(entry);
+            core.set_reg(Reg::Sp, tcdm_top - (hartid * self.cfg.stack_bytes) as u64);
+            for &(r, v) in args {
+                core.set_reg(r, v);
+            }
+            let mut private_icache = Cache::new(
+                CacheConfig {
+                    name: format!("icache_p{hartid}"),
+                    ways: 1,
+                    sets: (self.cfg.icache_private_bytes / 32).max(1).next_power_of_two(),
+                    line_bytes: 32,
+                    hit_latency: Cycles::new(1),
+                    write_policy: WritePolicy::WriteThrough,
+                    write_allocate: false,
+                    write_buffer: true,
+                },
+                self.shared_icache.clone(),
+            )
+            .expect("private I-cache geometry");
+
+            let mut bus = ClusterCoreBus {
+                tcdm: &self.tcdm,
+                ext: &self.ext,
+                icache: &mut private_icache,
+                tcdm_bytes: self.cfg.tcdm_bytes() as u64,
+                cluster_freq: self.cfg.freq,
+                soc_freq: self.cfg.soc_freq,
+                // Expected extra TCDM-bank conflicts, in 1/65536ths of a
+                // cycle per access: (N-1) / (2B).
+                conflict_q16: if num_cores > 1 {
+                    ((num_cores as u64 - 1) << 16) / (2 * self.cfg.banks as u64)
+                } else {
+                    0
+                },
+                conflict_acc: 0,
+                conflicts: 0,
+            };
+            core.run(&mut bus, max_cycles)?;
+            self.stats.add("tcdm_conflicts", bus.conflicts);
+            per_core.push(core.cycles());
+            per_core_instret.push(core.instret());
+            arith_ops += core.stats().get("arith_ops");
+        }
+
+        let max = per_core.iter().copied().fold(Cycles::ZERO, Cycles::max);
+        let cycles = max + Cycles::new(self.cfg.barrier_cycles);
+        self.busy_cycles += cycles;
+        self.stats.inc("teams");
+        self.stats.add("team_cycles", cycles.get());
+        Ok(TeamResult {
+            cycles,
+            per_core,
+            per_core_instret,
+            arith_ops,
+        })
+    }
+}
+
+/// Per-core view of the cluster memory system during a team run.
+struct ClusterCoreBus<'a> {
+    tcdm: &'a SharedMem,
+    ext: &'a SharedMem,
+    icache: &'a mut Cache,
+    tcdm_bytes: u64,
+    cluster_freq: Freq,
+    soc_freq: Freq,
+    conflict_q16: u64,
+    conflict_acc: u64,
+    conflicts: u64,
+}
+
+impl ClusterCoreBus<'_> {
+    fn tcdm_offset(&self, addr: u64, len: usize) -> Option<u64> {
+        if addr >= TCDM_BASE && addr + len as u64 <= TCDM_BASE + self.tcdm_bytes {
+            Some(addr - TCDM_BASE)
+        } else {
+            None
+        }
+    }
+
+    /// Expected bank-conflict stall for one TCDM access: a Q16 fractional
+    /// accumulator keeps the model deterministic and smooth.
+    fn conflict_stall(&mut self) -> Cycles {
+        self.conflict_acc += self.conflict_q16;
+        if self.conflict_acc >= 1 << 16 {
+            self.conflict_acc -= 1 << 16;
+            self.conflicts += 1;
+            Cycles::new(1)
+        } else {
+            Cycles::ZERO
+        }
+    }
+
+    fn ext_stall(&self, soc_lat: Cycles) -> Cycles {
+        convert_freq(soc_lat, self.soc_freq, self.cluster_freq).saturating_sub(Cycles::new(1))
+    }
+}
+
+impl CoreBus for ClusterCoreBus<'_> {
+    fn fetch(&mut self, addr: u64) -> Result<(u32, Cycles), SimError> {
+        let mut b = [0u8; 4];
+        let lat = self.icache.read(addr, &mut b)?;
+        // A private-I$ hit (1 cycle) is fully pipelined.
+        Ok((u32::from_le_bytes(b), self.ext_stall(lat).max(Cycles::ZERO)))
+    }
+
+    fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        if let Some(off) = self.tcdm_offset(addr, buf.len()) {
+            self.tcdm.borrow_mut().read(off, buf)?;
+            Ok(self.conflict_stall())
+        } else {
+            let lat = self.ext.borrow_mut().read(addr, buf)?;
+            Ok(self.ext_stall(lat))
+        }
+    }
+
+    fn store(&mut self, addr: u64, data: &[u8]) -> Result<Cycles, SimError> {
+        if let Some(off) = self.tcdm_offset(addr, data.len()) {
+            self.tcdm.borrow_mut().write(off, data)?;
+            Ok(self.conflict_stall())
+        } else {
+            let lat = self.ext.borrow_mut().write(addr, data)?;
+            Ok(self.ext_stall(lat))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hulkv_mem::Bus;
+    use hulkv_rv::{Asm, Xlen};
+
+    fn soc_with_program(words: &[u32]) -> SharedMem {
+        let mut l2 = Sram::new("l2spm", 1 << 20, Cycles::new(2));
+        for (i, w) in words.iter().enumerate() {
+            l2.write_u32(i as u64 * 4, *w).unwrap();
+        }
+        let mut bus = Bus::new("axi", Cycles::new(2));
+        bus.map("l2spm", 0x8000_0000, shared(l2)).unwrap();
+        shared(bus)
+    }
+
+    fn store_result_per_hart(a: &mut Asm, value_reg: Reg) {
+        a.csrr(Reg::T5, hulkv_rv::csr::addr::MHARTID);
+        a.slli(Reg::T5, Reg::T5, 2);
+        a.li(Reg::T6, TCDM_BASE as i64);
+        a.add(Reg::T6, Reg::T6, Reg::T5);
+        a.sw(value_reg, Reg::T6, 0);
+    }
+
+    #[test]
+    fn eight_cores_run_the_same_binary() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.csrr(Reg::A0, hulkv_rv::csr::addr::MHARTID);
+        a.slli(Reg::A0, Reg::A0, 1); // 2 * hartid
+        store_result_per_hart(&mut a, Reg::A0);
+        a.ebreak();
+        let ext = soc_with_program(&a.assemble().unwrap());
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext);
+        let r = cluster.run_team(0x8000_0000, &[], 8, 100_000).unwrap();
+        for hart in 0..8u64 {
+            assert_eq!(cluster.tcdm_read_u32(hart * 4).unwrap(), 2 * hart as u32);
+        }
+        assert_eq!(r.per_core.len(), 8);
+        assert_eq!(cluster.stats().get("teams"), 1);
+    }
+
+    #[test]
+    fn args_reach_all_cores() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.add(Reg::A0, Reg::A0, Reg::A1);
+        store_result_per_hart(&mut a, Reg::A0);
+        a.ebreak();
+        let ext = soc_with_program(&a.assemble().unwrap());
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext);
+        cluster
+            .run_team(0x8000_0000, &[(Reg::A0, 30), (Reg::A1, 12)], 4, 100_000)
+            .unwrap();
+        for hart in 0..4u64 {
+            assert_eq!(cluster.tcdm_read_u32(hart * 4).unwrap(), 42);
+        }
+    }
+
+    #[test]
+    fn team_cycles_are_max_plus_barrier() {
+        // Core 0 does more work than the others.
+        let mut a = Asm::new(Xlen::Rv32);
+        a.csrr(Reg::T0, hulkv_rv::csr::addr::MHARTID);
+        let skip = a.label();
+        a.bnez(Reg::T0, skip);
+        a.li(Reg::T1, 1000);
+        let top = a.label();
+        a.bind(top);
+        a.addi(Reg::T1, Reg::T1, -1);
+        a.bnez(Reg::T1, top);
+        a.bind(skip);
+        a.ebreak();
+        let ext = soc_with_program(&a.assemble().unwrap());
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext);
+        let r = cluster.run_team(0x8000_0000, &[], 8, 1_000_000).unwrap();
+        let max = r.per_core.iter().copied().fold(Cycles::ZERO, Cycles::max);
+        assert_eq!(r.cycles, max + Cycles::new(8));
+        assert!(r.per_core[0] > r.per_core[1] * 10);
+    }
+
+    #[test]
+    fn tcdm_loads_are_single_cycle_when_alone() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, TCDM_BASE as i64);
+        for _ in 0..64 {
+            a.lw(Reg::T1, Reg::T0, 0);
+        }
+        a.ebreak();
+        let ext = soc_with_program(&a.assemble().unwrap());
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext);
+        let r = cluster.run_team(0x8000_0000, &[], 1, 100_000).unwrap();
+        // After I$ warm-up, each lw retires in 1 cycle; generous bound.
+        assert!(r.per_core[0].get() < 64 + 80, "cycles {}", r.per_core[0]);
+        assert_eq!(cluster.stats().get("tcdm_conflicts"), 0);
+    }
+
+    #[test]
+    fn bank_conflicts_grow_with_team_size() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, TCDM_BASE as i64);
+        a.lp_counti(0, 1024);
+        let (s, e) = (a.label(), a.label());
+        a.lp_starti(0, s);
+        a.lp_endi(0, e);
+        a.bind(s);
+        a.lw(Reg::T1, Reg::T0, 0);
+        a.bind(e);
+        a.ebreak();
+        let words = a.assemble().unwrap();
+
+        let mut solo = Cluster::new(ClusterConfig::default(), soc_with_program(&words));
+        let r1 = solo.run_team(0x8000_0000, &[], 1, 1_000_000).unwrap();
+        let mut full = Cluster::new(ClusterConfig::default(), soc_with_program(&words));
+        let r8 = full.run_team(0x8000_0000, &[], 8, 1_000_000).unwrap();
+        assert!(full.stats().get("tcdm_conflicts") > 0);
+        assert!(r8.cycles > r1.cycles);
+        // But the conflict tax is mild: 16 banks for 8 cores.
+        assert!(r8.cycles.get() < r1.cycles.get() * 2);
+    }
+
+    #[test]
+    fn ext_access_slower_than_tcdm() {
+        let mut tcdm_prog = Asm::new(Xlen::Rv32);
+        tcdm_prog.li(Reg::T0, TCDM_BASE as i64);
+        for _ in 0..32 {
+            tcdm_prog.lw(Reg::T1, Reg::T0, 0);
+        }
+        tcdm_prog.ebreak();
+        let mut ext_prog = Asm::new(Xlen::Rv32);
+        ext_prog.li(Reg::T0, 0x8008_0000u32 as i64);
+        for _ in 0..32 {
+            ext_prog.lw(Reg::T1, Reg::T0, 0);
+        }
+        ext_prog.ebreak();
+
+        let mut c1 = Cluster::new(
+            ClusterConfig::default(),
+            soc_with_program(&tcdm_prog.assemble().unwrap()),
+        );
+        let t1 = c1.run_team(0x8000_0000, &[], 1, 100_000).unwrap();
+        let mut c2 = Cluster::new(
+            ClusterConfig::default(),
+            soc_with_program(&ext_prog.assemble().unwrap()),
+        );
+        let t2 = c2.run_team(0x8000_0000, &[], 1, 100_000).unwrap();
+        assert!(t2.cycles > t1.cycles);
+    }
+
+    #[test]
+    fn dma_round_trip() {
+        let ext = soc_with_program(&[]);
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext.clone());
+        ext.borrow_mut().write(0x8000_1000, &[7u8; 256]).unwrap();
+        let c_in = cluster.dma_to_tcdm(0x8000_1000, 0x200, 256).unwrap();
+        assert!(c_in.get() > 0);
+        let mut buf = [0u8; 256];
+        cluster.tcdm_read(0x200, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 256]);
+
+        cluster.tcdm_write(0x400, &[9u8; 64]).unwrap();
+        cluster.dma_from_tcdm(0x400, 0x8000_2000, 64).unwrap();
+        let mut out = [0u8; 64];
+        ext.borrow_mut().read(0x8000_2000, &mut out).unwrap();
+        assert_eq!(out, [9u8; 64]);
+        assert_eq!(cluster.stats().get("dma_bytes_in"), 256);
+        assert_eq!(cluster.stats().get("dma_bytes_out"), 64);
+    }
+
+    #[test]
+    fn dma_2d_gathers_matrix_tile() {
+        let ext = soc_with_program(&[]);
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext.clone());
+        // A 4x4 tile out of a 64-byte-stride matrix.
+        for row in 0..4u8 {
+            ext.borrow_mut()
+                .write(0x8000_1000 + row as u64 * 64, &[row + 1; 4])
+                .unwrap();
+        }
+        cluster
+            .dma_to_tcdm_2d(0x8000_1000, 64, 0, 4, 4)
+            .unwrap();
+        let mut buf = [0u8; 16];
+        cluster.tcdm_read(0, &mut buf).unwrap();
+        assert_eq!(&buf[0..4], &[1; 4]);
+        assert_eq!(&buf[12..16], &[4; 4]);
+    }
+
+    #[test]
+    fn team_size_clamped_to_config() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.ebreak();
+        let ext = soc_with_program(&a.assemble().unwrap());
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext);
+        let r = cluster.run_team(0x8000_0000, &[], 99, 100_000).unwrap();
+        assert_eq!(r.per_core.len(), 8);
+    }
+}

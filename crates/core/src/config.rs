@@ -1,0 +1,159 @@
+//! SoC-level configuration.
+
+use hulkv_cluster::ClusterConfig;
+use hulkv_host::HostConfig;
+use hulkv_mem::{DdrConfig, HyperRamConfig, LlcConfig};
+
+/// Which main-memory technology backs the SoC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MainMemory {
+    /// The fully digital HyperRAM subsystem (the HULK-V way).
+    HyperRam(HyperRamConfig),
+    /// An LPDDR4/DDR4 subsystem (the power-hungry baseline).
+    Ddr(DdrConfig),
+}
+
+/// The four memory configurations benchmarked in Figures 7 and 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemorySetup {
+    /// DDR4 main memory behind the LLC (configuration 1).
+    DdrWithLlc,
+    /// HyperRAM behind the LLC — the shipping HULK-V (configuration 2).
+    HyperWithLlc,
+    /// DDR4 without the LLC (configuration 3).
+    DdrOnly,
+    /// HyperRAM without the LLC (configuration 4).
+    HyperOnly,
+}
+
+impl MemorySetup {
+    /// All four configurations, in the paper's order.
+    pub const ALL: [MemorySetup; 4] = [
+        MemorySetup::DdrWithLlc,
+        MemorySetup::HyperWithLlc,
+        MemorySetup::DdrOnly,
+        MemorySetup::HyperOnly,
+    ];
+
+    /// Human-readable name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemorySetup::DdrWithLlc => "DDR4+LLC",
+            MemorySetup::HyperWithLlc => "Hyper+LLC",
+            MemorySetup::DdrOnly => "DDR4",
+            MemorySetup::HyperOnly => "Hyper",
+        }
+    }
+}
+
+/// Full static configuration of a [`HulkV`](crate::HulkV) instance.
+///
+/// # Example
+///
+/// ```
+/// use hulkv::{MemorySetup, SocConfig};
+///
+/// // The flagship chip: HyperRAM + 128 kB LLC.
+/// let flagship = SocConfig::default();
+/// assert!(flagship.llc.is_some());
+///
+/// // The Figure-7 baseline: raw DDR4, no LLC.
+/// let baseline = SocConfig::with_memory_setup(MemorySetup::DdrOnly);
+/// assert!(baseline.llc.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocConfig {
+    /// Main-memory technology and parameters.
+    pub main_memory: MainMemory,
+    /// Last-level cache geometry; `None` removes the LLC.
+    pub llc: Option<LlcConfig>,
+    /// Host (CVA6) configuration.
+    pub host: HostConfig,
+    /// PMCA configuration.
+    pub cluster: ClusterConfig,
+    /// L2 scratchpad size (512 kB in HULK-V).
+    pub l2spm_bytes: usize,
+    /// Fixed driver/descriptor/mailbox cost of one offload, in SoC cycles
+    /// (calibrated so that, with lazy code loading, sub-100k-cycle kernels
+    /// see their speedup halved on the first call, as in Figure 6).
+    pub offload_descriptor_cycles: u64,
+}
+
+impl Default for SocConfig {
+    /// The flagship HULK-V: 512 MB HyperRAM behind a 128 kB LLC.
+    fn default() -> Self {
+        SocConfig {
+            main_memory: MainMemory::HyperRam(HyperRamConfig::default()),
+            llc: Some(LlcConfig::default()),
+            host: HostConfig::default(),
+            cluster: ClusterConfig::default(),
+            l2spm_bytes: 512 * 1024,
+            offload_descriptor_cycles: 1500,
+        }
+    }
+}
+
+impl SocConfig {
+    /// Builds the configuration for one of the four Figure-7/8 memory
+    /// setups, leaving everything else at the flagship defaults.
+    pub fn with_memory_setup(setup: MemorySetup) -> Self {
+        let mut cfg = SocConfig::default();
+        match setup {
+            MemorySetup::DdrWithLlc => {
+                cfg.main_memory = MainMemory::Ddr(DdrConfig::default());
+            }
+            MemorySetup::HyperWithLlc => {}
+            MemorySetup::DdrOnly => {
+                cfg.main_memory = MainMemory::Ddr(DdrConfig::default());
+                cfg.llc = None;
+            }
+            MemorySetup::HyperOnly => {
+                cfg.llc = None;
+            }
+        }
+        cfg
+    }
+
+    /// Main-memory capacity in bytes.
+    pub fn main_memory_bytes(&self) -> u64 {
+        match &self.main_memory {
+            MainMemory::HyperRam(h) => h.total_bytes(),
+            MainMemory::Ddr(d) => d.size_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_flagship() {
+        let cfg = SocConfig::default();
+        assert!(matches!(cfg.main_memory, MainMemory::HyperRam(_)));
+        assert_eq!(cfg.main_memory_bytes(), 512 << 20);
+        assert_eq!(cfg.l2spm_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn memory_setups_cover_the_grid() {
+        for setup in MemorySetup::ALL {
+            let cfg = SocConfig::with_memory_setup(setup);
+            let is_ddr = matches!(cfg.main_memory, MainMemory::Ddr(_));
+            let has_llc = cfg.llc.is_some();
+            match setup {
+                MemorySetup::DdrWithLlc => assert!(is_ddr && has_llc),
+                MemorySetup::HyperWithLlc => assert!(!is_ddr && has_llc),
+                MemorySetup::DdrOnly => assert!(is_ddr && !has_llc),
+                MemorySetup::HyperOnly => assert!(!is_ddr && !has_llc),
+            }
+        }
+    }
+
+    #[test]
+    fn setup_names_unique() {
+        let names: std::collections::HashSet<_> =
+            MemorySetup::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! The IOPMP filtering the cluster's AXI master port.
+
+use hulkv_mem::{MemoryDevice, SharedMem};
+use hulkv_sim::{Cycles, SimError, Stats};
+
+/// An I/O physical-memory-protection filter.
+///
+/// In HULK-V "an IOPMP controlled by CVA6 filters master transactions" from
+/// the PMCA: the host whitelists the address windows the accelerator may
+/// touch (the shared main-memory region and the L2SPM), and everything else
+/// faults. The model wraps the SoC interconnect and checks each transaction
+/// against the configured windows.
+///
+/// # Example
+///
+/// ```
+/// use hulkv::IoPmp;
+/// use hulkv_mem::{shared, MemoryDevice, Sram};
+/// use hulkv_sim::Cycles;
+///
+/// let bus = shared(Sram::new("mem", 0x1000, Cycles::new(1)));
+/// let mut pmp = IoPmp::new(bus);
+/// pmp.allow(0x100, 0x100);
+/// assert!(pmp.write(0x100, &[1]).is_ok());
+/// assert!(pmp.write(0x00, &[1]).is_err());
+/// ```
+#[derive(Debug)]
+pub struct IoPmp {
+    inner: SharedMem,
+    windows: Vec<(u64, u64)>,
+    stats: Stats,
+}
+
+impl IoPmp {
+    /// Creates a filter with no windows (everything denied).
+    pub fn new(inner: SharedMem) -> Self {
+        IoPmp {
+            inner,
+            windows: Vec::new(),
+            stats: Stats::new("iopmp"),
+        }
+    }
+
+    /// Whitelists `[base, base + size)`.
+    pub fn allow(&mut self, base: u64, size: u64) {
+        self.windows.push((base, size));
+    }
+
+    /// Removes every window.
+    pub fn clear(&mut self) {
+        self.windows.clear();
+    }
+
+    /// Whether an access is inside a single whitelisted window.
+    pub fn permits(&self, addr: u64, len: usize) -> bool {
+        self.windows
+            .iter()
+            .any(|&(base, size)| addr >= base && addr + len as u64 <= base + size)
+    }
+
+    fn check(&mut self, addr: u64, len: usize) -> Result<(), SimError> {
+        if self.permits(addr, len) {
+            Ok(())
+        } else {
+            self.stats.inc("denied");
+            Err(SimError::Model(format!(
+                "iopmp denied cluster access to {addr:#x}..{:#x}",
+                addr + len as u64
+            )))
+        }
+    }
+}
+
+impl MemoryDevice for IoPmp {
+    fn size_bytes(&self) -> u64 {
+        self.inner.borrow().size_bytes()
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        self.check(offset, buf.len())?;
+        self.stats.inc("reads");
+        self.inner.borrow_mut().read(offset, buf)
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError> {
+        self.check(offset, data.len())?;
+        self.stats.inc("writes");
+        self.inner.borrow_mut().write(offset, data)
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hulkv_mem::{shared, Sram};
+
+    fn pmp() -> IoPmp {
+        let mem = shared(Sram::new("m", 0x10000, Cycles::new(1)));
+        let mut p = IoPmp::new(mem);
+        p.allow(0x1000, 0x1000);
+        p.allow(0x8000, 0x100);
+        p
+    }
+
+    #[test]
+    fn inside_window_passes() {
+        let mut p = pmp();
+        assert!(p.write(0x1800, &[1, 2, 3]).is_ok());
+        let mut b = [0u8; 3];
+        assert!(p.read(0x1800, &mut b).is_ok());
+        assert_eq!(b, [1, 2, 3]);
+    }
+
+    #[test]
+    fn outside_window_denied() {
+        let mut p = pmp();
+        assert!(p.write(0x0, &[1]).is_err());
+        assert!(p.write(0x8100, &[1]).is_err());
+        assert_eq!(p.stats().get("denied"), 2);
+    }
+
+    #[test]
+    fn straddling_window_edge_denied() {
+        let mut p = pmp();
+        assert!(p.write(0x1FFE, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn clear_revokes_everything() {
+        let mut p = pmp();
+        p.clear();
+        assert!(!p.permits(0x1000, 1));
+        let mut b = [0u8; 1];
+        assert!(p.read(0x1000, &mut b).is_err());
+    }
+}

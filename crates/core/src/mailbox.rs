@@ -1,0 +1,137 @@
+//! The hardware mailbox between host and cluster.
+
+use hulkv_sim::{Cycles, Stats};
+use std::collections::VecDeque;
+
+/// A bidirectional hardware mailbox.
+///
+/// HULK-V implements "efficient communication between cluster and host
+/// domain through a dedicated hardware mailbox": a pair of small FIFOs with
+/// doorbell interrupts. The offload runtime pushes a task descriptor
+/// pointer from the host side and the cluster's rendezvous core pops it;
+/// completion flows the other way.
+///
+/// # Example
+///
+/// ```
+/// use hulkv::Mailbox;
+///
+/// let mut mb = Mailbox::new(4);
+/// mb.host_send(0xDEAD).unwrap();
+/// assert_eq!(mb.cluster_recv(), Some(0xDEAD));
+/// assert_eq!(mb.cluster_recv(), None);
+/// ```
+#[derive(Debug)]
+pub struct Mailbox {
+    depth: usize,
+    to_cluster: VecDeque<u64>,
+    to_host: VecDeque<u64>,
+    stats: Stats,
+}
+
+impl Mailbox {
+    /// Creates a mailbox with FIFOs of `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "mailbox depth must be non-zero");
+        Mailbox {
+            depth,
+            to_cluster: VecDeque::new(),
+            to_host: VecDeque::new(),
+            stats: Stats::new("mailbox"),
+        }
+    }
+
+    /// Cost of one mailbox doorbell transaction, in SoC cycles.
+    pub fn doorbell_cost(&self) -> Cycles {
+        Cycles::new(6)
+    }
+
+    /// Host pushes a message toward the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back when the FIFO is full.
+    pub fn host_send(&mut self, msg: u64) -> Result<(), u64> {
+        if self.to_cluster.len() >= self.depth {
+            self.stats.inc("full_rejections");
+            return Err(msg);
+        }
+        self.to_cluster.push_back(msg);
+        self.stats.inc("host_to_cluster");
+        Ok(())
+    }
+
+    /// Cluster pops the next message from the host.
+    pub fn cluster_recv(&mut self) -> Option<u64> {
+        self.to_cluster.pop_front()
+    }
+
+    /// Cluster pushes a message toward the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back when the FIFO is full.
+    pub fn cluster_send(&mut self, msg: u64) -> Result<(), u64> {
+        if self.to_host.len() >= self.depth {
+            self.stats.inc("full_rejections");
+            return Err(msg);
+        }
+        self.to_host.push_back(msg);
+        self.stats.inc("cluster_to_host");
+        Ok(())
+    }
+
+    /// Host pops the next message from the cluster.
+    pub fn host_recv(&mut self) -> Option<u64> {
+        self.to_host.pop_front()
+    }
+
+    /// Pending messages in the host→cluster direction.
+    pub fn pending_for_cluster(&self) -> usize {
+        self.to_cluster.len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_both_directions() {
+        let mut mb = Mailbox::new(8);
+        mb.host_send(1).unwrap();
+        mb.host_send(2).unwrap();
+        assert_eq!(mb.cluster_recv(), Some(1));
+        assert_eq!(mb.cluster_recv(), Some(2));
+        mb.cluster_send(3).unwrap();
+        mb.cluster_send(4).unwrap();
+        assert_eq!(mb.host_recv(), Some(3));
+        assert_eq!(mb.host_recv(), Some(4));
+    }
+
+    #[test]
+    fn full_fifo_rejects() {
+        let mut mb = Mailbox::new(2);
+        mb.host_send(1).unwrap();
+        mb.host_send(2).unwrap();
+        assert_eq!(mb.host_send(3), Err(3));
+        assert_eq!(mb.pending_for_cluster(), 2);
+        assert_eq!(mb.stats().get("full_rejections"), 1);
+    }
+
+    #[test]
+    fn empty_recv_is_none() {
+        let mut mb = Mailbox::new(1);
+        assert_eq!(mb.host_recv(), None);
+        assert_eq!(mb.cluster_recv(), None);
+    }
+}

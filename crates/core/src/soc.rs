@@ -1,0 +1,641 @@
+//! The HULK-V SoC top level.
+
+use crate::config::{MainMemory, SocConfig};
+use crate::iopmp::IoPmp;
+use crate::mailbox::Mailbox;
+use hulkv_cluster::{Cluster, TeamResult};
+use hulkv_host::{Clint, Host, Plic};
+use std::cell::RefCell;
+use std::rc::Rc;
+use hulkv_mem::{
+    shared, Bus, Ddr, DmaEngine, HyperRam, Llc, SharedMem, Sram, Transfer1d,
+};
+use hulkv_rv::{Core, Reg, RvError};
+use hulkv_sim::{convert_freq, Cycles, SimError, Stats};
+use std::error::Error;
+use std::fmt;
+
+/// The HULK-V physical address map.
+pub mod map {
+    /// Core-local interruptor.
+    pub const CLINT_BASE: u64 = 0x0200_0000;
+    /// Platform-level interrupt controller.
+    pub const PLIC_BASE: u64 = 0x0C00_0000;
+    /// Base of the peripheral-domain register windows (UART, I2S, …).
+    pub const PERIPH_BASE: u64 = 0x1A10_0000;
+    /// 512 kB L2 scratchpad of the host domain.
+    pub const L2SPM_BASE: u64 = 0x1C00_0000;
+    /// Main DRAM (HyperRAM or DDR4) window.
+    pub const DRAM_BASE: u64 = 0x8000_0000;
+    /// Host benchmark code region inside DRAM.
+    pub const HOST_CODE: u64 = DRAM_BASE + 0x0010_0000;
+    /// Kernel fat-binary store inside DRAM (where the Linux driver keeps
+    /// PMCA binaries before they are lazily loaded into the L2SPM).
+    pub const KERNEL_STORE: u64 = DRAM_BASE + 0x0100_0000;
+    /// Start of the `hulk_malloc` shared window (32-bit addressable, so
+    /// the PMCA can dereference host pointers directly).
+    pub const SHARED_BASE: u64 = DRAM_BASE + 0x0200_0000;
+}
+
+/// Errors from SoC-level operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A memory-system failure.
+    Mem(SimError),
+    /// A core execution failure.
+    Exec(RvError),
+    /// The shared-region allocator is exhausted.
+    OutOfSharedMemory {
+        /// Bytes requested.
+        requested: usize,
+    },
+    /// The L2SPM cannot hold another kernel binary.
+    OutOfKernelSpace,
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::Mem(e) => write!(f, "memory system: {e}"),
+            SocError::Exec(e) => write!(f, "execution: {e}"),
+            SocError::OutOfSharedMemory { requested } => {
+                write!(f, "hulk_malloc cannot satisfy {requested} bytes")
+            }
+            SocError::OutOfKernelSpace => write!(f, "no L2SPM space left for kernel code"),
+        }
+    }
+}
+
+impl Error for SocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SocError::Mem(e) => Some(e),
+            SocError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for SocError {
+    fn from(e: SimError) -> Self {
+        SocError::Mem(e)
+    }
+}
+
+impl From<RvError> for SocError {
+    fn from(e: RvError) -> Self {
+        SocError::Exec(e)
+    }
+}
+
+/// Handle to a registered PMCA kernel binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelId(usize);
+
+#[derive(Debug)]
+struct KernelState {
+    dram_addr: u64,
+    bytes: usize,
+    loaded_at: Option<u64>,
+}
+
+/// Result of one [`HulkV::offload`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffloadResult {
+    /// End-to-end offload time in SoC-domain cycles (overhead + team).
+    pub total_soc_cycles: Cycles,
+    /// The overhead part: driver descriptor, mailbox doorbells and (on the
+    /// first call) the lazy code load into the L2SPM.
+    pub overhead_cycles: Cycles,
+    /// The cluster-side execution, in cluster cycles.
+    pub team: TeamResult,
+    /// Whether this call performed the lazy code load.
+    pub code_loaded: bool,
+}
+
+/// A complete HULK-V SoC instance.
+///
+/// See the [crate docs](crate) for the offload example; host-only
+/// benchmarks use [`HulkV::run_host_program`].
+#[derive(Debug)]
+pub struct HulkV {
+    cfg: SocConfig,
+    host: Host,
+    cluster: Cluster,
+    bus: SharedMem,
+    bus_typed: Rc<RefCell<Bus>>,
+    clint: Rc<RefCell<Clint>>,
+    plic: Rc<RefCell<Plic>>,
+    l2spm: SharedMem,
+    dram_raw: SharedMem,
+    dram_front: SharedMem,
+    udma: DmaEngine,
+    mailbox: Mailbox,
+    kernels: Vec<KernelState>,
+    kernel_store_next: u64,
+    l2_code_next: u64,
+    shared_next: u64,
+    stats: Stats,
+}
+
+impl HulkV {
+    /// Builds the SoC from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Mem`] for inconsistent memory geometry.
+    pub fn new(cfg: SocConfig) -> Result<Self, SocError> {
+        let dram_raw: SharedMem = match &cfg.main_memory {
+            MainMemory::HyperRam(h) => shared(HyperRam::try_new(h.clone())?),
+            MainMemory::Ddr(d) => shared(Ddr::new(*d)),
+        };
+        let dram_front: SharedMem = match &cfg.llc {
+            Some(llc_cfg) => shared(Llc::new(llc_cfg.clone(), dram_raw.clone())?),
+            None => dram_raw.clone(),
+        };
+
+        let l2spm: SharedMem = shared(Sram::new("l2spm", cfg.l2spm_bytes, Cycles::new(1)));
+        let clint = Rc::new(RefCell::new(Clint::new()));
+        let plic = Rc::new(RefCell::new(Plic::new()));
+        let mut bus = Bus::new("axi", Cycles::new(2));
+        bus.map("clint", map::CLINT_BASE, clint.clone())?;
+        bus.map("plic", map::PLIC_BASE, plic.clone())?;
+        bus.map("l2spm", map::L2SPM_BASE, l2spm.clone())?;
+        bus.map("dram", map::DRAM_BASE, dram_front.clone())?;
+        let bus_typed = Rc::new(RefCell::new(bus));
+        let bus: SharedMem = bus_typed.clone();
+
+        let host = Host::new(cfg.host.clone(), bus.clone());
+
+        // The IOPMP lets the cluster reach the L2SPM (kernel code) and the
+        // whole DRAM window (shared buffers); nothing else.
+        let mut pmp = IoPmp::new(bus.clone());
+        pmp.allow(map::L2SPM_BASE, cfg.l2spm_bytes as u64);
+        pmp.allow(map::DRAM_BASE, cfg.main_memory_bytes());
+        let cluster = Cluster::new(cfg.cluster.clone(), shared(pmp));
+
+        Ok(HulkV {
+            host,
+            cluster,
+            bus,
+            bus_typed,
+            clint,
+            plic,
+            l2spm,
+            dram_raw,
+            dram_front,
+            udma: DmaEngine::new("udma", Cycles::new(12), 64),
+            mailbox: Mailbox::new(8),
+            kernels: Vec::new(),
+            kernel_store_next: map::KERNEL_STORE,
+            l2_code_next: 0,
+            shared_next: map::SHARED_BASE,
+            stats: Stats::new("soc"),
+            cfg,
+        })
+    }
+
+    /// The configuration this SoC was built with.
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
+    }
+
+    /// The CVA6 host subsystem.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// Mutable host access.
+    pub fn host_mut(&mut self) -> &mut Host {
+        &mut self.host
+    }
+
+    /// The PMCA.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable PMCA access.
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// The mailbox between the subsystems.
+    pub fn mailbox(&self) -> &Mailbox {
+        &self.mailbox
+    }
+
+    /// Maps an extra device (typically a peripheral at
+    /// [`map::PERIPH_BASE`]`+ …`) onto the host interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Mem`] if the region overlaps an existing one.
+    pub fn map_device(
+        &mut self,
+        name: impl Into<String>,
+        base: u64,
+        device: SharedMem,
+    ) -> Result<(), SocError> {
+        self.bus_typed.borrow_mut().map(name, base, device)?;
+        Ok(())
+    }
+
+    /// Runs a µDMA transfer between two interconnect addresses (e.g.
+    /// draining an I2S FIFO into the L2SPM) and returns its SoC cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing/range errors from either end.
+    pub fn udma_transfer(&mut self, src: u64, dst: u64, bytes: usize) -> Result<Cycles, SocError> {
+        let lat = self.udma.run_1d(
+            &self.bus,
+            &self.bus,
+            Transfer1d { src, dst, bytes },
+        )?;
+        self.stats.add("udma_bytes", bytes as u64);
+        Ok(lat)
+    }
+
+    /// Advances the peripheral-domain time base by `ticks` and refreshes
+    /// the host core's pending-interrupt bits from the CLINT and PLIC.
+    pub fn advance_time(&mut self, ticks: u64) {
+        self.clint.borrow_mut().advance(ticks);
+        self.refresh_interrupts();
+    }
+
+    /// Asserts peripheral interrupt line `id` at the PLIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics for source id 0 or ≥ 64.
+    pub fn raise_peripheral_irq(&mut self, id: u32) {
+        self.plic.borrow_mut().raise(id);
+        self.refresh_interrupts();
+    }
+
+    fn refresh_interrupts(&mut self) {
+        let timer = self.clint.borrow().timer_pending();
+        let sw = self.clint.borrow().software_pending();
+        let ext = self.plic.borrow().external_pending();
+        let core = self.host.core_mut();
+        core.set_interrupt_pending(7, timer);
+        core.set_interrupt_pending(3, sw);
+        core.set_interrupt_pending(11, ext);
+    }
+
+    /// SoC-level activity counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Statistics of the raw main-memory device (bytes moved, bursts…).
+    pub fn dram_stats(&self) -> Stats {
+        self.dram_raw.borrow().stats().clone()
+    }
+
+    /// LLC hit/miss statistics (empty when the LLC is absent).
+    pub fn llc_stats(&self) -> Stats {
+        if self.cfg.llc.is_some() {
+            // The front device is the LLC; its cache stats live one level in.
+            // We surface them through the generic stats() of the device.
+            self.dram_front.borrow().stats().clone()
+        } else {
+            Stats::new("llc_absent")
+        }
+    }
+
+    /// Backdoor memory write through the interconnect (no cycles charged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing/range errors.
+    pub fn write_mem(&mut self, addr: u64, data: &[u8]) -> Result<(), SocError> {
+        self.bus.borrow_mut().write(addr, data)?;
+        Ok(())
+    }
+
+    /// Backdoor memory read through the interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing/range errors.
+    pub fn read_mem(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), SocError> {
+        self.bus.borrow_mut().read(addr, buf)?;
+        Ok(())
+    }
+
+    /// Allocates `bytes` in the shared main-memory window, 64-byte aligned
+    /// — the `hulk_malloc()` of the user-space runtime. The returned
+    /// address is below 4 GB, so the 32-bit PMCA can dereference it.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::OutOfSharedMemory`] when the window is exhausted.
+    pub fn hulk_malloc(&mut self, bytes: usize) -> Result<u64, SocError> {
+        let addr = self.shared_next;
+        let end = addr
+            .checked_add(bytes as u64)
+            .ok_or(SocError::OutOfSharedMemory { requested: bytes })?;
+        if end > map::DRAM_BASE + self.cfg.main_memory_bytes() {
+            return Err(SocError::OutOfSharedMemory { requested: bytes });
+        }
+        self.shared_next = (end + 63) & !63;
+        self.stats.add("hulk_malloc_bytes", bytes as u64);
+        Ok(addr)
+    }
+
+    /// Registers a PMCA kernel binary: writes it into the DRAM kernel
+    /// store (the boot/driver path) and returns a handle for
+    /// [`HulkV::offload`]. The code is *not* loaded into the L2SPM yet —
+    /// that happens lazily on first offload, as in the paper's OpenMP
+    /// runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors when the binary does not fit.
+    pub fn register_kernel(&mut self, words: &[u32]) -> Result<KernelId, SocError> {
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let addr = self.kernel_store_next;
+        self.dram_raw
+            .borrow_mut()
+            .write(addr - map::DRAM_BASE, &bytes)?;
+        self.kernel_store_next = (addr + bytes.len() as u64 + 63) & !63;
+        self.kernels.push(KernelState {
+            dram_addr: addr,
+            bytes: bytes.len(),
+            loaded_at: None,
+        });
+        Ok(KernelId(self.kernels.len() - 1))
+    }
+
+    /// Drops the cached L2SPM copy of a kernel, so the next offload pays
+    /// the code load again (used by the Figure-6 "×1" experiments).
+    pub fn evict_kernel(&mut self, kernel: KernelId) {
+        self.kernels[kernel.0].loaded_at = None;
+    }
+
+    /// Offloads `kernel` to the PMCA: lazy code load, descriptor + mailbox
+    /// doorbell, fork/join team execution, completion doorbell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory and execution errors.
+    pub fn offload(
+        &mut self,
+        kernel: KernelId,
+        args: &[(Reg, u64)],
+        num_cores: usize,
+        max_cycles: u64,
+    ) -> Result<OffloadResult, SocError> {
+        let mut overhead = Cycles::new(self.cfg.offload_descriptor_cycles);
+        overhead += self.mailbox.doorbell_cost() * 2;
+
+        // Lazy code load: µDMA the binary from the DRAM store into the
+        // L2SPM (the µDMA connects them directly, bypassing the LLC).
+        let k = &self.kernels[kernel.0];
+        let (entry_l2, loaded_now) = match k.loaded_at {
+            Some(off) => (off, false),
+            None => {
+                let off = self.l2_code_next;
+                if off as usize + k.bytes > self.cfg.l2spm_bytes / 2 {
+                    return Err(SocError::OutOfKernelSpace);
+                }
+                let l2 = self.l2spm.clone();
+                let lat = self.udma.run_1d(
+                    &self.dram_raw,
+                    &l2,
+                    Transfer1d {
+                        src: k.dram_addr - map::DRAM_BASE,
+                        dst: off,
+                        bytes: k.bytes,
+                    },
+                )?;
+                overhead += lat;
+                self.l2_code_next = (off + k.bytes as u64 + 63) & !63;
+                self.kernels[kernel.0].loaded_at = Some(off);
+                self.stats.inc("kernel_loads");
+                (off, true)
+            }
+        };
+
+        // Doorbell: descriptor pointer to the cluster, completion back.
+        let _ = self.mailbox.host_send(map::L2SPM_BASE + entry_l2);
+        let _ = self.mailbox.cluster_recv();
+
+        let team = self.cluster.run_team(
+            map::L2SPM_BASE + entry_l2,
+            args,
+            num_cores,
+            max_cycles,
+        )?;
+
+        let _ = self.mailbox.cluster_send(0);
+        let _ = self.mailbox.host_recv();
+
+        let team_soc = convert_freq(
+            team.cycles,
+            self.cfg.cluster.freq,
+            self.cfg.host.soc_freq,
+        );
+        self.stats.inc("offloads");
+        Ok(OffloadResult {
+            total_soc_cycles: overhead + team_soc,
+            overhead_cycles: overhead,
+            team,
+            code_loaded: loaded_now,
+        })
+    }
+
+    /// Assembles `src` (see [`hulkv_rv::parse_program`]) and runs it on the
+    /// host — the quickest way to script the SoC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly, loading and execution errors.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hulkv::{HulkV, SocConfig};
+    ///
+    /// let mut soc = HulkV::new(SocConfig::default())?;
+    /// soc.run_host_assembly("li a0, 40\naddi a0, a0, 2\nebreak\n")?;
+    /// assert_eq!(soc.host().core().reg(hulkv_rv::Reg::A0), 42);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn run_host_assembly(&mut self, src: &str) -> Result<Cycles, SocError> {
+        let words = hulkv_rv::parse_program(src, hulkv_rv::Xlen::Rv64)?;
+        self.run_host_program(&words, |_| {}, 10_000_000_000)
+    }
+
+    /// Loads a host program at [`map::HOST_CODE`], applies `setup` to the
+    /// core (arguments, stack), runs to `ebreak`, and returns the consumed
+    /// host-core cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loading and execution errors.
+    pub fn run_host_program(
+        &mut self,
+        words: &[u32],
+        setup: impl FnOnce(&mut Core),
+        max_cycles: u64,
+    ) -> Result<Cycles, SocError> {
+        self.host.load_program(map::HOST_CODE, words)?;
+        let core = self.host.core_mut();
+        core.set_pc(map::HOST_CODE);
+        core.set_reg(Reg::Sp, map::L2SPM_BASE + self.cfg.l2spm_bytes as u64);
+        setup(core);
+        core.resume();
+        Ok(self.host.run(max_cycles)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemorySetup;
+    use hulkv_rv::{Asm, Xlen};
+
+    #[test]
+    fn builds_all_memory_setups() {
+        for setup in MemorySetup::ALL {
+            let soc = HulkV::new(SocConfig::with_memory_setup(setup)).unwrap();
+            assert_eq!(soc.config().main_memory_bytes(), 512 << 20);
+        }
+    }
+
+    #[test]
+    fn hulk_malloc_is_aligned_and_monotonic() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let a = soc.hulk_malloc(100).unwrap();
+        let b = soc.hulk_malloc(10).unwrap();
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100);
+        assert!(a >= map::SHARED_BASE);
+        // The PMCA can address it.
+        assert!(a < 1 << 32);
+    }
+
+    #[test]
+    fn hulk_malloc_exhausts() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let err = soc.hulk_malloc(600 << 20);
+        assert!(matches!(err, Err(SocError::OutOfSharedMemory { .. })));
+    }
+
+    #[test]
+    fn host_program_runs_from_dram() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::A0, 21);
+        a.add(Reg::A0, Reg::A0, Reg::A0);
+        a.ebreak();
+        soc.run_host_program(&a.assemble().unwrap(), |_| {}, 1_000_000)
+            .unwrap();
+        assert_eq!(soc.host().core().reg(Reg::A0), 42);
+    }
+
+    fn trivial_kernel() -> Vec<u32> {
+        let mut k = Asm::new(Xlen::Rv32);
+        k.csrr(Reg::T0, hulkv_rv::csr::addr::MHARTID);
+        k.slli(Reg::T1, Reg::T0, 2);
+        k.add(Reg::T1, Reg::A0, Reg::T1);
+        k.addi(Reg::T0, Reg::T0, 1);
+        k.sw(Reg::T0, Reg::T1, 0);
+        k.ebreak();
+        k.assemble().unwrap()
+    }
+
+    #[test]
+    fn offload_round_trip_writes_shared_buffer() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let buf = soc.hulk_malloc(32).unwrap();
+        let kernel = soc.register_kernel(&trivial_kernel()).unwrap();
+        let r = soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000).unwrap();
+        assert!(r.code_loaded);
+        for hart in 0..8u64 {
+            let mut b = [0u8; 4];
+            soc.read_mem(buf + hart * 4, &mut b).unwrap();
+            assert_eq!(u32::from_le_bytes(b), hart as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn lazy_code_load_amortizes() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let buf = soc.hulk_malloc(32).unwrap();
+        let kernel = soc.register_kernel(&trivial_kernel()).unwrap();
+        let first = soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000).unwrap();
+        let second = soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000).unwrap();
+        assert!(first.code_loaded);
+        assert!(!second.code_loaded);
+        assert!(first.overhead_cycles > second.overhead_cycles);
+        assert!(first.total_soc_cycles > second.total_soc_cycles);
+        assert_eq!(soc.stats().get("kernel_loads"), 1);
+        assert_eq!(soc.stats().get("offloads"), 2);
+
+        // Evicting the kernel makes the next offload pay again.
+        soc.evict_kernel(kernel);
+        let third = soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000).unwrap();
+        assert!(third.code_loaded);
+    }
+
+    #[test]
+    fn cluster_cannot_touch_the_clint() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        // Kernel that pokes the CLINT — the IOPMP must kill it.
+        let mut k = Asm::new(Xlen::Rv32);
+        k.li(Reg::T0, map::CLINT_BASE as i64);
+        k.sw(Reg::Zero, Reg::T0, 0);
+        k.ebreak();
+        let kernel = soc.register_kernel(&k.assemble().unwrap()).unwrap();
+        let err = soc.offload(kernel, &[], 1, 1_000_000);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn llc_accelerates_host_dram_loop() {
+        // Two passes over a 64 kB region: bigger than the 32 kB L1D (so the
+        // second pass misses L1) but smaller than the 128 kB LLC (so it hits
+        // there). Streaming with no reuse would not benefit from the LLC.
+        let mut prog = Asm::new(Xlen::Rv64);
+        prog.li(Reg::T3, 2); // passes
+        let pass = prog.label();
+        prog.bind(pass);
+        prog.li(Reg::T0, (map::DRAM_BASE + 0x40_0000) as i64);
+        prog.li(Reg::T2, 8192);
+        let top = prog.label();
+        prog.bind(top);
+        prog.ld(Reg::T1, Reg::T0, 0);
+        prog.addi(Reg::T0, Reg::T0, 8);
+        prog.addi(Reg::T2, Reg::T2, -1);
+        prog.bnez(Reg::T2, top);
+        prog.addi(Reg::T3, Reg::T3, -1);
+        prog.bnez(Reg::T3, pass);
+        prog.ebreak();
+        let words = prog.assemble().unwrap();
+
+        let mut with_llc = HulkV::new(SocConfig::with_memory_setup(MemorySetup::HyperWithLlc)).unwrap();
+        let c1 = with_llc.run_host_program(&words, |_| {}, 100_000_000).unwrap();
+        let mut without = HulkV::new(SocConfig::with_memory_setup(MemorySetup::HyperOnly)).unwrap();
+        let c2 = without.run_host_program(&words, |_| {}, 100_000_000).unwrap();
+        // With write-allocated 64 B lines, the LLC turns most accesses into
+        // hits; without it every L1 miss pays full HyperRAM latency.
+        assert!(c2 > c1, "with LLC {c1}, without {c2}");
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = SocError::OutOfSharedMemory { requested: 64 };
+        assert!(e.to_string().contains("64"));
+        let e: SocError = SimError::UnmappedAddress { addr: 1 }.into();
+        assert!(e.source().is_some());
+    }
+}

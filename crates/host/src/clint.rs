@@ -1,0 +1,164 @@
+//! A CLINT-lite: the core-local interruptor block of the host domain.
+
+use hulkv_mem::MemoryDevice;
+use hulkv_sim::{Cycles, SimError, Stats};
+
+/// Register offsets within the CLINT block.
+const MSIP: u64 = 0x0000;
+const MTIMECMP: u64 = 0x4000;
+const MTIME: u64 = 0xBFF8;
+const SIZE: u64 = 0xC000;
+
+/// The Core Local Interrupt block (`msip`, `mtimecmp`, `mtime`).
+///
+/// HULK-V's host domain contains a standard CLINT; this model implements
+/// the three registers bare-metal runtimes and timer-driven benchmarks
+/// touch. `mtime` advances when the SoC harness calls
+/// [`Clint::advance`].
+///
+/// # Example
+///
+/// ```
+/// use hulkv_host::Clint;
+/// use hulkv_mem::MemoryDevice;
+///
+/// let mut clint = Clint::new();
+/// clint.advance(100);
+/// clint.write_u64(0x4000, 150)?; // mtimecmp
+/// assert!(!clint.timer_pending());
+/// clint.advance(60);
+/// assert!(clint.timer_pending());
+/// # Ok::<(), hulkv_sim::SimError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Clint {
+    msip: u32,
+    mtimecmp: u64,
+    mtime: u64,
+    stats: Stats,
+}
+
+impl Clint {
+    /// Creates a CLINT with all registers zero.
+    pub fn new() -> Self {
+        Clint {
+            msip: 0,
+            mtimecmp: u64::MAX,
+            mtime: 0,
+            stats: Stats::new("clint"),
+        }
+    }
+
+    /// Advances `mtime` by `ticks` (the SoC harness drives this from the
+    /// peripheral-domain clock).
+    pub fn advance(&mut self, ticks: u64) {
+        self.mtime = self.mtime.wrapping_add(ticks);
+    }
+
+    /// Whether the machine timer interrupt is pending.
+    pub fn timer_pending(&self) -> bool {
+        self.mtime >= self.mtimecmp
+    }
+
+    /// Whether the machine software interrupt is pending.
+    pub fn software_pending(&self) -> bool {
+        self.msip & 1 != 0
+    }
+}
+
+impl MemoryDevice for Clint {
+    fn size_bytes(&self) -> u64 {
+        SIZE
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        let value: u64 = match offset {
+            MSIP => self.msip as u64,
+            MTIMECMP => self.mtimecmp,
+            MTIME => self.mtime,
+            _ => 0,
+        };
+        let bytes = value.to_le_bytes();
+        if buf.len() > 8 {
+            return Err(SimError::OutOfRange {
+                what: "clint access width",
+                value: buf.len() as u64,
+                limit: 8,
+            });
+        }
+        buf.copy_from_slice(&bytes[..buf.len()]);
+        self.stats.inc("reads");
+        Ok(Cycles::new(2))
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError> {
+        let mut bytes = [0u8; 8];
+        if data.len() > 8 {
+            return Err(SimError::OutOfRange {
+                what: "clint access width",
+                value: data.len() as u64,
+                limit: 8,
+            });
+        }
+        bytes[..data.len()].copy_from_slice(data);
+        let value = u64::from_le_bytes(bytes);
+        match offset {
+            MSIP => self.msip = value as u32 & 1,
+            MTIMECMP => self.mtimecmp = value,
+            MTIME => self.mtime = value,
+            _ => {}
+        }
+        self.stats.inc("writes");
+        Ok(Cycles::new(2))
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msip_sets_software_interrupt() {
+        let mut c = Clint::new();
+        assert!(!c.software_pending());
+        c.write_u32(MSIP, 1).unwrap();
+        assert!(c.software_pending());
+        c.write_u32(MSIP, 0).unwrap();
+        assert!(!c.software_pending());
+    }
+
+    #[test]
+    fn mtime_readable_and_writable() {
+        let mut c = Clint::new();
+        c.advance(500);
+        assert_eq!(c.read_u64(MTIME).unwrap().0, 500);
+        c.write_u64(MTIME, 10).unwrap();
+        assert_eq!(c.read_u64(MTIME).unwrap().0, 10);
+    }
+
+    #[test]
+    fn timer_fires_at_compare() {
+        let mut c = Clint::new();
+        c.write_u64(MTIMECMP, 100).unwrap();
+        c.advance(99);
+        assert!(!c.timer_pending());
+        c.advance(1);
+        assert!(c.timer_pending());
+    }
+
+    #[test]
+    fn unknown_offsets_read_zero() {
+        let mut c = Clint::new();
+        assert_eq!(c.read_u32(0x100).unwrap().0, 0);
+        c.write_u32(0x100, 5).unwrap(); // ignored
+        assert_eq!(c.read_u32(0x100).unwrap().0, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! The CVA6 application-class host of HULK-V.
+//!
+//! CVA6 is a 6-stage, single-issue, in-order 64-bit RISC-V core supporting
+//! RV64GC, virtual memory (Sv39), three privilege levels and physical
+//! memory protection — the part of HULK-V that runs Linux. This crate wraps
+//! the [`hulkv_rv`] RV64 interpreter with the core's memory-side
+//! microarchitecture:
+//!
+//! * a 16 kB L1 instruction cache;
+//! * a 32 kB **write-through** L1 data cache ("to enable simple coherency
+//!   with other masters to the interconnect") with a store buffer;
+//! * the clock-domain crossing from the core clock (up to 900 MHz) to the
+//!   450 MHz SoC interconnect;
+//! * a CLINT-lite (`mtime`, `mtimecmp`, `msip`) memory-mapped block.
+//!
+//! # Example
+//!
+//! ```
+//! use hulkv_host::{Host, HostConfig};
+//! use hulkv_mem::{shared, Bus, MemoryDevice, Sram};
+//! use hulkv_rv::{Asm, Reg, Xlen};
+//!
+//! let mut bus = Bus::new("axi", hulkv_sim::Cycles::new(2));
+//! bus.map("dram", 0x8000_0000, shared(Sram::new("dram", 1 << 20, hulkv_sim::Cycles::new(30))))?;
+//! let mut host = Host::new(HostConfig::default(), shared(bus));
+//!
+//! let mut a = Asm::new(Xlen::Rv64);
+//! a.li(Reg::A0, 6);
+//! a.li(Reg::A1, 7);
+//! a.mul(Reg::A0, Reg::A0, Reg::A1);
+//! a.ebreak();
+//! host.load_program(0x8000_0000, &a.assemble()?)?;
+//! host.core_mut().set_pc(0x8000_0000);
+//! host.run(100_000)?;
+//! assert_eq!(host.core().reg(Reg::A0), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clint;
+mod cva6;
+mod periph;
+mod plic;
+
+pub use clint::Clint;
+pub use cva6::{Host, HostConfig};
+pub use periph::{I2sSource, Uart};
+pub use plic::Plic;

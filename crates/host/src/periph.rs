@@ -1,0 +1,240 @@
+//! Peripheral-domain models: the IoT peripherals whose data the µDMA
+//! moves autonomously to and from the L2SPM.
+//!
+//! HULK-V's peripheral domain offers "a complete set of peripherals (I2C,
+//! (Q)SPI, CPI, SDIO, UART, CAN, PWM, I2S)". Two representative models are
+//! implemented here: a [`Uart`] transmit sink (the debug console every
+//! bring-up uses) and an [`I2sSource`] audio sampler (the archetypal
+//! µDMA-streamed input). Both are ordinary [`MemoryDevice`]s so the µDMA
+//! and the cores reach them through the interconnect.
+
+use hulkv_mem::MemoryDevice;
+use hulkv_sim::{Cycles, SimError, SplitMix64, Stats};
+
+/// A UART transmitter.
+///
+/// Register map: `0x0` TXDATA (write a byte to send), `0x4` STATUS (always
+/// ready — the model charges the shift-out time on the write instead, as a
+/// µDMA-paced transmitter would experience it).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_host::Uart;
+/// use hulkv_mem::MemoryDevice;
+///
+/// let mut uart = Uart::new(115_200, 50_000_000);
+/// for b in b"hi" {
+///     uart.write(0, &[*b])?; // byte-wide stores, as `sb` issues them
+/// }
+/// assert_eq!(uart.take_output(), b"hi");
+/// # Ok::<(), hulkv_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Uart {
+    cycles_per_byte: u64,
+    output: Vec<u8>,
+    stats: Stats,
+}
+
+impl Uart {
+    /// Creates a UART at `baud` with the peripheral clock `clk_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baud` is zero.
+    pub fn new(baud: u64, clk_hz: u64) -> Self {
+        assert!(baud > 0, "baud rate must be non-zero");
+        // 10 bit times per byte (start + 8 data + stop).
+        Uart {
+            cycles_per_byte: (clk_hz * 10).div_ceil(baud),
+            output: Vec::new(),
+            stats: Stats::new("uart"),
+        }
+    }
+
+    /// Takes the transmitted bytes captured so far.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Transmitted bytes so far (without consuming them).
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+}
+
+impl MemoryDevice for Uart {
+    fn size_bytes(&self) -> u64 {
+        0x1000
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        // STATUS reads as 0 (ready); TXDATA reads as 0.
+        let _ = offset;
+        buf.fill(0);
+        Ok(Cycles::new(2))
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError> {
+        if offset == 0 {
+            // Each byte of the payload goes out on the wire.
+            self.output.extend_from_slice(data);
+            self.stats.add("bytes_tx", data.len() as u64);
+            return Ok(Cycles::new(self.cycles_per_byte * data.len() as u64));
+        }
+        Ok(Cycles::new(2))
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+/// An I2S microphone/line-in source.
+///
+/// Reads pop successive 16-bit samples of a deterministic synthetic
+/// waveform (tone + noise) from the receive FIFO, charging real-time
+/// pacing: `sample_rate` samples per second at the peripheral clock. This
+/// is the producer side of the audio pipelines the paper's µDMA exists
+/// for: the engine drains the FIFO into the L2SPM without waking the core.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_host::I2sSource;
+/// use hulkv_mem::MemoryDevice;
+///
+/// let mut mic = I2sSource::new(16_000, 50_000_000, 440.0);
+/// let mut frame = [0u8; 4]; // two samples
+/// let lat = mic.read(0, &mut frame)?;
+/// assert!(lat.get() >= 2 * (50_000_000 / 16_000));
+/// # Ok::<(), hulkv_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct I2sSource {
+    cycles_per_sample: u64,
+    phase: f64,
+    phase_step: f64,
+    noise: SplitMix64,
+    stats: Stats,
+}
+
+impl I2sSource {
+    /// Creates a source at `sample_rate` Hz under a `clk_hz` peripheral
+    /// clock, generating a `tone_hz` sine plus low-level noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is zero.
+    pub fn new(sample_rate: u64, clk_hz: u64, tone_hz: f64) -> Self {
+        assert!(sample_rate > 0, "sample rate must be non-zero");
+        I2sSource {
+            cycles_per_sample: clk_hz / sample_rate,
+            phase: 0.0,
+            phase_step: std::f64::consts::TAU * tone_hz / sample_rate as f64,
+            noise: SplitMix64::new(0x1250),
+            stats: Stats::new("i2s"),
+        }
+    }
+
+    fn next_sample(&mut self) -> i16 {
+        let tone = (self.phase.sin() * 12000.0) as i32;
+        self.phase += self.phase_step;
+        let noise = (self.noise.next_below(129) as i32) - 64;
+        (tone + noise).clamp(i16::MIN as i32, i16::MAX as i32) as i16
+    }
+}
+
+impl MemoryDevice for I2sSource {
+    fn size_bytes(&self) -> u64 {
+        0x1000
+    }
+
+    fn read(&mut self, _offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        // FIFO semantics: every pair of bytes is the next sample,
+        // regardless of the offset within the register window.
+        let samples = buf.len().div_ceil(2);
+        let mut bytes = Vec::with_capacity(samples * 2);
+        for _ in 0..samples {
+            bytes.extend_from_slice(&self.next_sample().to_le_bytes());
+        }
+        buf.copy_from_slice(&bytes[..buf.len()]);
+        self.stats.add("samples", samples as u64);
+        Ok(Cycles::new(self.cycles_per_sample * samples as u64))
+    }
+
+    fn write(&mut self, _offset: u64, _data: &[u8]) -> Result<Cycles, SimError> {
+        // Configuration writes are accepted and ignored.
+        Ok(Cycles::new(2))
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_captures_and_paces() {
+        let mut u = Uart::new(1_000_000, 50_000_000);
+        let lat = u.write(0, b"hello").unwrap();
+        // 10 bits/byte at 50 cycles/bit = 500 cycles/byte.
+        assert_eq!(lat, Cycles::new(2500));
+        assert_eq!(u.output(), b"hello");
+        assert_eq!(u.take_output(), b"hello");
+        assert!(u.output().is_empty());
+        assert_eq!(u.stats().get("bytes_tx"), 5);
+    }
+
+    #[test]
+    fn uart_status_reads_ready() {
+        let mut u = Uart::new(115_200, 50_000_000);
+        assert_eq!(u.read_u32(4).unwrap().0, 0);
+    }
+
+    #[test]
+    fn i2s_generates_a_tone() {
+        let mut mic = I2sSource::new(16_000, 50_000_000, 1000.0);
+        let mut buf = vec![0u8; 256];
+        mic.read(0, &mut buf).unwrap();
+        let samples: Vec<i16> = buf
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes(c.try_into().expect("pair")))
+            .collect();
+        // A 1 kHz tone at 16 kHz sampling swings through ±12000.
+        let max = samples.iter().map(|&s| s as i32).max().unwrap();
+        let min = samples.iter().map(|&s| s as i32).min().unwrap();
+        assert!(max > 10_000 && min < -10_000, "max {max} min {min}");
+    }
+
+    #[test]
+    fn i2s_paces_real_time() {
+        let mut mic = I2sSource::new(16_000, 50_000_000, 440.0);
+        let mut buf = vec![0u8; 32]; // 16 samples
+        let lat = mic.read(0, &mut buf).unwrap();
+        assert_eq!(lat, Cycles::new(16 * 3125));
+    }
+
+    #[test]
+    fn i2s_is_deterministic() {
+        let mut a = I2sSource::new(16_000, 50_000_000, 440.0);
+        let mut b = I2sSource::new(16_000, 50_000_000, 440.0);
+        let mut x = vec![0u8; 64];
+        let mut y = vec![0u8; 64];
+        a.read(0, &mut x).unwrap();
+        b.read(0, &mut y).unwrap();
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,229 @@
+//! A Platform-Level Interrupt Controller (PLIC-lite).
+//!
+//! HULK-V's host domain contains a standard PLIC aggregating the
+//! peripheral interrupt lines toward CVA6's external-interrupt pin. The
+//! model implements the registers bare-metal runtimes use: per-source
+//! priority and enable, pending bits, and the claim/complete handshake.
+
+use hulkv_mem::MemoryDevice;
+use hulkv_sim::{Cycles, SimError, Stats};
+
+const PRIORITY_BASE: u64 = 0x0000; // 4 bytes per source, source 1..
+const PENDING: u64 = 0x1000;
+const ENABLE: u64 = 0x2000;
+const THRESHOLD: u64 = 0x20_0000;
+const CLAIM: u64 = 0x20_0004;
+const SIZE: u64 = 0x40_0000;
+
+/// The PLIC: up to 63 interrupt sources (ids 1–63; 0 is reserved).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_host::Plic;
+/// use hulkv_mem::MemoryDevice;
+///
+/// let mut plic = Plic::new();
+/// plic.write_u32(4, 5)?;        // priority of source 1
+/// plic.write_u32(0x2000, 1 << 1)?; // enable source 1
+/// plic.raise(1);
+/// assert!(plic.external_pending());
+/// let (claimed, _) = plic.read_u32(0x20_0004)?; // claim
+/// assert_eq!(claimed, 1);
+/// assert!(!plic.external_pending());
+/// # Ok::<(), hulkv_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Plic {
+    priority: [u32; 64],
+    pending: u64,
+    enable: u64,
+    threshold: u32,
+    in_service: Option<u32>,
+    stats: Stats,
+}
+
+impl Default for Plic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Plic {
+    /// Creates a PLIC with all sources disabled at priority 0.
+    pub fn new() -> Self {
+        Plic {
+            priority: [0; 64],
+            pending: 0,
+            enable: 0,
+            threshold: 0,
+            in_service: None,
+            stats: Stats::new("plic"),
+        }
+    }
+
+    /// Asserts interrupt source `id` (1–63).
+    ///
+    /// # Panics
+    ///
+    /// Panics for id 0 or ≥ 64.
+    pub fn raise(&mut self, id: u32) {
+        assert!((1..64).contains(&id), "invalid PLIC source {id}");
+        self.pending |= 1 << id;
+        self.stats.inc("raised");
+    }
+
+    /// Whether an enabled source above the threshold is pending — the
+    /// level of the external-interrupt line toward the core.
+    pub fn external_pending(&self) -> bool {
+        self.best_candidate().is_some()
+    }
+
+    fn best_candidate(&self) -> Option<u32> {
+        (1..64)
+            .filter(|&id| {
+                self.pending & self.enable & (1 << id) != 0
+                    && self.priority[id as usize] > self.threshold
+            })
+            .max_by_key(|&id| (self.priority[id as usize], u32::MAX - id))
+    }
+
+    fn claim(&mut self) -> u32 {
+        match self.best_candidate() {
+            Some(id) => {
+                self.pending &= !(1u64 << id);
+                self.in_service = Some(id);
+                self.stats.inc("claims");
+                id
+            }
+            None => 0,
+        }
+    }
+
+    fn complete(&mut self, id: u32) {
+        if self.in_service == Some(id) {
+            self.in_service = None;
+            self.stats.inc("completes");
+        }
+    }
+}
+
+impl MemoryDevice for Plic {
+    fn size_bytes(&self) -> u64 {
+        SIZE
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        if buf.len() > 8 {
+            return Err(SimError::OutOfRange {
+                what: "plic access width",
+                value: buf.len() as u64,
+                limit: 8,
+            });
+        }
+        let value: u64 = match offset {
+            PENDING => self.pending,
+            ENABLE => self.enable,
+            THRESHOLD => self.threshold as u64,
+            CLAIM => self.claim() as u64,
+            o if o < PRIORITY_BASE + 64 * 4 && o % 4 == 0 => {
+                self.priority[(o / 4) as usize] as u64
+            }
+            _ => 0,
+        };
+        let bytes = value.to_le_bytes();
+        buf.copy_from_slice(&bytes[..buf.len()]);
+        Ok(Cycles::new(3))
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError> {
+        let mut bytes = [0u8; 8];
+        if data.len() > 8 {
+            return Err(SimError::OutOfRange {
+                what: "plic access width",
+                value: data.len() as u64,
+                limit: 8,
+            });
+        }
+        bytes[..data.len()].copy_from_slice(data);
+        let value = u64::from_le_bytes(bytes);
+        match offset {
+            ENABLE => self.enable = value & !1,
+            THRESHOLD => self.threshold = value as u32,
+            CLAIM => self.complete(value as u32),
+            o if o != 0 && o < PRIORITY_BASE + 64 * 4 && o % 4 == 0 => {
+                self.priority[(o / 4) as usize] = value as u32;
+            }
+            _ => {}
+        }
+        Ok(Cycles::new(3))
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_plic(sources: &[(u32, u32)]) -> Plic {
+        let mut p = Plic::new();
+        let mut enable = 0u64;
+        for &(id, prio) in sources {
+            p.write_u32(id as u64 * 4, prio).unwrap();
+            enable |= 1 << id;
+        }
+        p.write_u64(ENABLE, enable).unwrap();
+        p
+    }
+
+    #[test]
+    fn claim_returns_highest_priority() {
+        let mut p = enabled_plic(&[(1, 2), (2, 7), (3, 5)]);
+        p.raise(1);
+        p.raise(2);
+        p.raise(3);
+        assert_eq!(p.read_u32(CLAIM).unwrap().0, 2);
+        assert_eq!(p.read_u32(CLAIM).unwrap().0, 3);
+        assert_eq!(p.read_u32(CLAIM).unwrap().0, 1);
+        assert_eq!(p.read_u32(CLAIM).unwrap().0, 0);
+    }
+
+    #[test]
+    fn threshold_masks_low_priorities() {
+        let mut p = enabled_plic(&[(4, 3)]);
+        p.write_u32(THRESHOLD, 3).unwrap();
+        p.raise(4);
+        assert!(!p.external_pending());
+        p.write_u32(THRESHOLD, 2).unwrap();
+        assert!(p.external_pending());
+    }
+
+    #[test]
+    fn disabled_source_never_pends() {
+        let mut p = enabled_plic(&[(1, 1)]);
+        p.raise(5); // not enabled
+        assert!(!p.external_pending());
+    }
+
+    #[test]
+    fn complete_handshake() {
+        let mut p = enabled_plic(&[(1, 1)]);
+        p.raise(1);
+        let id = p.read_u32(CLAIM).unwrap().0;
+        p.write_u32(CLAIM, id).unwrap();
+        assert_eq!(p.stats().get("completes"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PLIC source")]
+    fn source_zero_rejected() {
+        Plic::new().raise(0);
+    }
+}

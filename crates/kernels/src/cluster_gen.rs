@@ -1,0 +1,415 @@
+//! RV32 Xpulp program generators for the PMCA.
+//!
+//! Calling convention (all kernels):
+//!
+//! | register | meaning |
+//! |---|---|
+//! | `a0` | first input pointer |
+//! | `a1` | second input pointer (weights/coefficients) |
+//! | `a2` | output pointer |
+//! | `a3` | primary size `n` |
+//! | `a4` | secondary size / scalar bits |
+//! | `a7` | number of team cores |
+//!
+//! Cores differentiate through the `mhartid` CSR. Work is split by rows
+//! (matmuls, conv), output samples (FIR), or contiguous chunks (vector
+//! kernels). Inner loops use the zero-overhead hardware loops and the
+//! packed-SIMD dot products that give the PMCA its edge.
+
+use hulkv_rv::csr::addr::MHARTID;
+use hulkv_rv::inst::FReg;
+use hulkv_rv::{Asm, Reg, Xlen};
+
+fn asm() -> Asm {
+    Asm::new(Xlen::Rv32)
+}
+
+/// `C = A × Bᵀ`, int8 × int8 → int32, SIMD `pv.sdotsp.b` (4 MACs/cycle)
+/// with 4-column output blocking: one activation word feeds four dot-unit
+/// accumulators, the register-reuse pattern PULP's optimized matmuls use
+/// to approach 2 MAC/cycle/core. `n` must be a multiple of 4; rows are
+/// distributed across the team.
+pub fn matmul_i8(n: usize) -> Vec<u32> {
+    assert!(n.is_multiple_of(4) && n / 4 <= 4095, "n must be a small multiple of 4");
+    let mut a = asm();
+    let done = a.label();
+    let loop_i = a.label();
+    let loop_j = a.label();
+
+    a.csrr(Reg::S0, MHARTID); // i = hartid
+    a.bind(loop_i);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.mul(Reg::T1, Reg::S0, Reg::A3);
+    a.add(Reg::T1, Reg::T1, Reg::A0); // &A[i*n]
+    a.li(Reg::S1, 0); // j = 0 (steps by 4)
+    a.bind(loop_j);
+    {
+        // Four consecutive B^T rows.
+        a.mul(Reg::T2, Reg::S1, Reg::A3);
+        a.add(Reg::T2, Reg::T2, Reg::A1); // &B_T[j*n]
+        a.add(Reg::S5, Reg::T2, Reg::A3); // j+1
+        a.add(Reg::S6, Reg::S5, Reg::A3); // j+2
+        a.add(Reg::S7, Reg::S6, Reg::A3); // j+3
+        a.mv(Reg::T3, Reg::T1);
+        a.li(Reg::T4, 0);
+        a.li(Reg::S2, 0);
+        a.li(Reg::S3, 0);
+        a.li(Reg::S4, 0);
+        a.lp_counti(0, (n / 4) as i64);
+        let (ls, le) = (a.label(), a.label());
+        a.lp_starti(0, ls);
+        a.lp_endi(0, le);
+        a.bind(ls);
+        a.p_lw_post(Reg::T5, Reg::T3, 4); // one activation word...
+        a.p_lw_post(Reg::T6, Reg::T2, 4); // ...against four weight rows
+        a.pv_sdotsp_b(Reg::T4, Reg::T5, Reg::T6);
+        a.p_lw_post(Reg::T6, Reg::S5, 4);
+        a.pv_sdotsp_b(Reg::S2, Reg::T5, Reg::T6);
+        a.p_lw_post(Reg::T6, Reg::S6, 4);
+        a.pv_sdotsp_b(Reg::S3, Reg::T5, Reg::T6);
+        a.p_lw_post(Reg::T6, Reg::S7, 4);
+        a.pv_sdotsp_b(Reg::S4, Reg::T5, Reg::T6);
+        a.bind(le);
+        a.mul(Reg::T0, Reg::S0, Reg::A3);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.add(Reg::T0, Reg::T0, Reg::A2);
+        a.sw(Reg::T4, Reg::T0, 0);
+        a.sw(Reg::S2, Reg::T0, 4);
+        a.sw(Reg::S3, Reg::T0, 8);
+        a.sw(Reg::S4, Reg::T0, 12);
+        a.addi(Reg::S1, Reg::S1, 4);
+        a.blt(Reg::S1, Reg::A3, loop_j);
+    }
+    a.add(Reg::S0, Reg::S0, Reg::A7);
+    a.j(loop_i);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("matmul_i8 cluster kernel")
+}
+
+/// `C = A × Bᵀ`, int32 with `p.mac` accumulation. Rows across the team.
+pub fn matmul_i32(n: usize) -> Vec<u32> {
+    assert!(n <= 4095);
+    let mut a = asm();
+    let done = a.label();
+    let loop_i = a.label();
+    let loop_j = a.label();
+
+    a.csrr(Reg::S0, MHARTID);
+    a.bind(loop_i);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.mul(Reg::T1, Reg::S0, Reg::A3);
+    a.slli(Reg::T1, Reg::T1, 2);
+    a.add(Reg::T1, Reg::T1, Reg::A0);
+    a.li(Reg::S1, 0);
+    a.bind(loop_j);
+    {
+        a.mul(Reg::T2, Reg::S1, Reg::A3);
+        a.slli(Reg::T2, Reg::T2, 2);
+        a.add(Reg::T2, Reg::T2, Reg::A1);
+        a.mv(Reg::T3, Reg::T1);
+        a.li(Reg::T4, 0);
+        a.lp_counti(0, n as i64);
+        let (ls, le) = (a.label(), a.label());
+        a.lp_starti(0, ls);
+        a.lp_endi(0, le);
+        a.bind(ls);
+        a.p_lw_post(Reg::T5, Reg::T3, 4);
+        a.p_lw_post(Reg::T6, Reg::T2, 4);
+        a.p_mac(Reg::T4, Reg::T5, Reg::T6);
+        a.bind(le);
+        a.mul(Reg::T0, Reg::S0, Reg::A3);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.add(Reg::T0, Reg::T0, Reg::A2);
+        a.sw(Reg::T4, Reg::T0, 0);
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.blt(Reg::S1, Reg::A3, loop_j);
+    }
+    a.add(Reg::S0, Reg::S0, Reg::A7);
+    a.j(loop_i);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("matmul_i32 cluster kernel")
+}
+
+/// `C = A × Bᵀ` on FP16 inputs with f32 accumulation (`vfdotpex.s.h`,
+/// 2 MACs/cycle) and f32 outputs. `n` must be a multiple of 2.
+pub fn matmul_f16(n: usize) -> Vec<u32> {
+    assert!(n.is_multiple_of(2) && n / 2 <= 4095);
+    let mut a = asm();
+    let done = a.label();
+    let loop_i = a.label();
+    let loop_j = a.label();
+
+    a.csrr(Reg::S0, MHARTID);
+    a.bind(loop_i);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.mul(Reg::T1, Reg::S0, Reg::A3);
+    a.slli(Reg::T1, Reg::T1, 1); // f16 = 2 bytes
+    a.add(Reg::T1, Reg::T1, Reg::A0);
+    a.li(Reg::S1, 0);
+    a.bind(loop_j);
+    {
+        a.mul(Reg::T2, Reg::S1, Reg::A3);
+        a.slli(Reg::T2, Reg::T2, 1);
+        a.add(Reg::T2, Reg::T2, Reg::A1);
+        a.mv(Reg::T3, Reg::T1);
+        a.li(Reg::T4, 0); // f32 0.0 bits
+        a.lp_counti(0, (n / 2) as i64);
+        let (ls, le) = (a.label(), a.label());
+        a.lp_starti(0, ls);
+        a.lp_endi(0, le);
+        a.bind(ls);
+        a.p_lw_post(Reg::T5, Reg::T3, 4); // two f16 lanes
+        a.p_lw_post(Reg::T6, Reg::T2, 4);
+        a.vfdotpex_s_h(Reg::T4, Reg::T5, Reg::T6);
+        a.bind(le);
+        a.mul(Reg::T0, Reg::S0, Reg::A3);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.slli(Reg::T0, Reg::T0, 2); // f32 output
+        a.add(Reg::T0, Reg::T0, Reg::A2);
+        a.sw(Reg::T4, Reg::T0, 0);
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.blt(Reg::S1, Reg::A3, loop_j);
+    }
+    a.add(Reg::S0, Reg::S0, Reg::A7);
+    a.j(loop_i);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("matmul_f16 cluster kernel")
+}
+
+/// Valid 3×3 int8 convolution, `a3 = h`, `a4 = w`, int32 outputs.
+/// Output rows across the team; the nine weights stay in registers and
+/// every tap is a `p.mac`.
+pub fn conv2d_i8() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let loop_y = a.label();
+    let loop_x = a.label();
+
+    // Preload the 3x3 weights into s2..s10.
+    let wregs = [
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::S8,
+        Reg::S9,
+        Reg::S10,
+    ];
+    for (i, &r) in wregs.iter().enumerate() {
+        a.lb(r, Reg::A1, i as i64);
+    }
+    a.addi(Reg::S11, Reg::A3, -2); // oh
+    a.addi(Reg::A5, Reg::A4, -2); // ow
+    a.csrr(Reg::S0, MHARTID); // y
+
+    a.bind(loop_y);
+    a.bge(Reg::S0, Reg::S11, done);
+    a.li(Reg::S1, 0); // x
+    a.bind(loop_x);
+    {
+        a.mul(Reg::T0, Reg::S0, Reg::A4);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.add(Reg::T0, Reg::T0, Reg::A0); // &img[y*w + x]
+        a.li(Reg::T4, 0);
+        for row in 0..3 {
+            for col in 0..3 {
+                a.lb(Reg::T1, Reg::T0, col as i64);
+                a.p_mac(Reg::T4, Reg::T1, wregs[row * 3 + col]);
+            }
+            if row < 2 {
+                a.add(Reg::T0, Reg::T0, Reg::A4); // next image row
+            }
+        }
+        a.mul(Reg::T0, Reg::S0, Reg::A5);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.add(Reg::T0, Reg::T0, Reg::A2);
+        a.sw(Reg::T4, Reg::T0, 0);
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.blt(Reg::S1, Reg::A5, loop_x);
+    }
+    a.add(Reg::S0, Reg::S0, Reg::A7);
+    a.j(loop_y);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("conv2d_i8 cluster kernel")
+}
+
+/// FIR on int16 samples with `pv.sdotsp.h` (2 MACs/cycle); `taps` must be
+/// a multiple of 2. Output samples across the team.
+pub fn fir_i16(taps: usize) -> Vec<u32> {
+    assert!(taps.is_multiple_of(2) && taps / 2 <= 4095);
+    let mut a = asm();
+    let done = a.label();
+    let loop_i = a.label();
+
+    a.csrr(Reg::S0, MHARTID);
+    a.bind(loop_i);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.slli(Reg::T0, Reg::S0, 1);
+    a.add(Reg::T0, Reg::T0, Reg::A0); // &x[i]
+    a.mv(Reg::T1, Reg::A1); // coeff ptr
+    a.li(Reg::T4, 0);
+    a.lp_counti(0, (taps / 2) as i64);
+    let (ls, le) = (a.label(), a.label());
+    a.lp_starti(0, ls);
+    a.lp_endi(0, le);
+    a.bind(ls);
+    a.p_lw_post(Reg::T5, Reg::T0, 4);
+    a.p_lw_post(Reg::T6, Reg::T1, 4);
+    a.pv_sdotsp_h(Reg::T4, Reg::T5, Reg::T6);
+    a.bind(le);
+    a.slli(Reg::T2, Reg::S0, 2);
+    a.add(Reg::T2, Reg::T2, Reg::A2);
+    a.sw(Reg::T4, Reg::T2, 0);
+    a.add(Reg::S0, Reg::S0, Reg::A7);
+    a.j(loop_i);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("fir_i16 cluster kernel")
+}
+
+/// SIMD 2×2 max pool (`a3 = h`, `a4 = w`, `w` a multiple of 4): one word
+/// of each input row pair, `pv.max.b` for the vertical maxima, a lane
+/// shuffle + `pv.max.b` for the horizontal ones, then two `pv.extract.b`
+/// stores per word. Output rows across the team.
+pub fn maxpool2x2_i8() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let loop_y = a.label();
+    let loop_x = a.label();
+
+    a.srli(Reg::S11, Reg::A3, 1); // oh
+    a.srli(Reg::A5, Reg::A4, 1); // ow
+    // Shuffle indices [1, 0, 3, 2]: swap within lane pairs.
+    a.li(Reg::S2, 0x0203_0001);
+    a.li(Reg::S3, 0); // lane index 0
+    a.li(Reg::S4, 2); // lane index 2
+    a.csrr(Reg::S0, MHARTID); // oy
+    a.bind(loop_y);
+    a.bge(Reg::S0, Reg::S11, done);
+    {
+        // row0 = in + 2*oy*w ; row1 = row0 + w ; out = outp + oy*ow
+        a.slli(Reg::T0, Reg::S0, 1);
+        a.mul(Reg::T0, Reg::T0, Reg::A4);
+        a.add(Reg::T0, Reg::T0, Reg::A0);
+        a.add(Reg::T1, Reg::T0, Reg::A4);
+        a.mul(Reg::T2, Reg::S0, Reg::A5);
+        a.add(Reg::T2, Reg::T2, Reg::A2);
+        a.li(Reg::S1, 0); // x (input columns, step 4)
+        a.bind(loop_x);
+        a.p_lw_post(Reg::T3, Reg::T0, 4); // 4 px of row 0
+        a.p_lw_post(Reg::T4, Reg::T1, 4); // 4 px of row 1
+        a.pv_max_b(Reg::T3, Reg::T3, Reg::T4); // vertical maxima
+        a.pv_shuffle_b(Reg::T4, Reg::T3, Reg::S2); // swap pairs
+        a.pv_max_b(Reg::T3, Reg::T3, Reg::T4); // horizontal maxima
+        a.pv_extract_b(Reg::T5, Reg::T3, Reg::S3); // lane 0
+        a.p_sb_post(Reg::T5, Reg::T2, 1);
+        a.pv_extract_b(Reg::T5, Reg::T3, Reg::S4); // lane 2
+        a.p_sb_post(Reg::T5, Reg::T2, 1);
+        a.addi(Reg::S1, Reg::S1, 4);
+        a.blt(Reg::S1, Reg::A4, loop_x);
+    }
+    a.add(Reg::S0, Reg::S0, Reg::A7);
+    a.j(loop_y);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("maxpool cluster kernel")
+}
+
+/// Element-wise int8 ReLU, four lanes per cycle with `pv.max.sc.b`.
+/// `a3` is the byte length (multiple of 4 × team size).
+pub fn relu_i8() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let top = a.label();
+
+    a.csrr(Reg::S0, MHARTID);
+    a.slli(Reg::S0, Reg::S0, 2); // byte index
+    a.slli(Reg::S1, Reg::A7, 2); // stride
+    a.li(Reg::T6, 0);
+    a.bind(top);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.add(Reg::T0, Reg::A0, Reg::S0);
+    a.lw(Reg::T1, Reg::T0, 0);
+    a.pv_max_sc_b(Reg::T2, Reg::T1, Reg::T6);
+    a.add(Reg::T3, Reg::A2, Reg::S0);
+    a.sw(Reg::T2, Reg::T3, 0);
+    a.add(Reg::S0, Reg::S0, Reg::S1);
+    a.j(top);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("relu_i8 cluster kernel")
+}
+
+/// Single-precision dot product: core `h` reduces the contiguous chunk
+/// `[h·chunk, (h+1)·chunk)` with `fmadd.s` and stores its partial to
+/// `out[h]`; the host sums the partials. `n` must divide evenly.
+pub fn dotp_f32(n: usize, cores: usize) -> Vec<u32> {
+    assert!(n.is_multiple_of(cores));
+    let chunk = n / cores;
+    assert!(chunk <= 4095);
+    let mut a = asm();
+
+    a.csrr(Reg::S0, MHARTID);
+    a.li(Reg::T0, chunk as i64);
+    a.mul(Reg::T1, Reg::S0, Reg::T0);
+    a.slli(Reg::T2, Reg::T1, 2);
+    a.add(Reg::T3, Reg::A0, Reg::T2);
+    a.add(Reg::T4, Reg::A1, Reg::T2);
+    a.fmv_w_x(FReg(0), Reg::Zero); // acc = 0.0
+    a.lp_counti(0, chunk as i64);
+    let (ls, le) = (a.label(), a.label());
+    a.lp_starti(0, ls);
+    a.lp_endi(0, le);
+    a.bind(ls);
+    a.flw(FReg(1), Reg::T3, 0);
+    a.flw(FReg(2), Reg::T4, 0);
+    a.fmadd_s(FReg(0), FReg(1), FReg(2), FReg(0));
+    a.addi(Reg::T3, Reg::T3, 4);
+    a.addi(Reg::T4, Reg::T4, 4);
+    a.bind(le);
+    a.slli(Reg::T5, Reg::S0, 2);
+    a.add(Reg::T5, Reg::T5, Reg::A2);
+    a.fsw(FReg(0), Reg::T5, 0);
+    a.ebreak();
+    a.assemble().expect("dotp_f32 cluster kernel")
+}
+
+/// `y = α·x + y` in single precision, contiguous chunk per core; α bits
+/// arrive in `a4`.
+pub fn axpy_f32(n: usize, cores: usize) -> Vec<u32> {
+    assert!(n.is_multiple_of(cores));
+    let chunk = n / cores;
+    assert!(chunk <= 4095);
+    let mut a = asm();
+
+    a.csrr(Reg::S0, MHARTID);
+    a.li(Reg::T0, chunk as i64);
+    a.mul(Reg::T1, Reg::S0, Reg::T0);
+    a.slli(Reg::T2, Reg::T1, 2);
+    a.add(Reg::T3, Reg::A0, Reg::T2); // x
+    a.add(Reg::T4, Reg::A2, Reg::T2); // y (in-place)
+    a.fmv_w_x(FReg(3), Reg::A4); // alpha
+    a.lp_counti(0, chunk as i64);
+    let (ls, le) = (a.label(), a.label());
+    a.lp_starti(0, ls);
+    a.lp_endi(0, le);
+    a.bind(ls);
+    a.flw(FReg(1), Reg::T3, 0);
+    a.flw(FReg(2), Reg::T4, 0);
+    a.fmadd_s(FReg(2), FReg(3), FReg(1), FReg(2));
+    a.fsw(FReg(2), Reg::T4, 0);
+    a.addi(Reg::T3, Reg::T3, 4);
+    a.addi(Reg::T4, Reg::T4, 4);
+    a.bind(le);
+    a.ebreak();
+    a.assemble().expect("axpy_f32 cluster kernel")
+}

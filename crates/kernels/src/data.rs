@@ -1,0 +1,118 @@
+//! Deterministic benchmark input generation.
+
+use hulkv_rv::fp16::f32_to_f16;
+use hulkv_sim::SplitMix64;
+
+/// Deterministic int8 inputs in `[-64, 63]` (headroom against int32
+/// accumulator overflow in long reductions).
+pub fn i8_inputs(seed: u64, len: usize) -> Vec<i8> {
+    let mut r = SplitMix64::new(seed);
+    (0..len).map(|_| (r.next_below(128) as i8) - 64).collect()
+}
+
+/// Deterministic int16 inputs in `[-256, 255]`.
+pub fn i16_inputs(seed: u64, len: usize) -> Vec<i16> {
+    let mut r = SplitMix64::new(seed);
+    (0..len).map(|_| (r.next_below(512) as i16) - 256).collect()
+}
+
+/// Deterministic int32 inputs in `[-2^15, 2^15)`.
+pub fn i32_inputs(seed: u64, len: usize) -> Vec<i32> {
+    let mut r = SplitMix64::new(seed);
+    (0..len)
+        .map(|_| (r.next_below(1 << 16) as i32) - (1 << 15))
+        .collect()
+}
+
+/// Deterministic f32 inputs in `[-1, 1)`.
+pub fn f32_inputs(seed: u64, len: usize) -> Vec<f32> {
+    let mut r = SplitMix64::new(seed);
+    (0..len).map(|_| (r.next_f64() * 2.0 - 1.0) as f32).collect()
+}
+
+/// Deterministic FP16 inputs in `[-1, 1)`, as raw bit patterns.
+pub fn f16_inputs(seed: u64, len: usize) -> Vec<u16> {
+    f32_inputs(seed, len).into_iter().map(f32_to_f16).collect()
+}
+
+/// Little-endian byte image of an `i8` slice.
+pub fn i8_bytes(v: &[i8]) -> Vec<u8> {
+    v.iter().map(|&x| x as u8).collect()
+}
+
+/// Little-endian byte image of an `i16` slice.
+pub fn i16_bytes(v: &[i16]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Little-endian byte image of an `i32` slice.
+pub fn i32_bytes(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Little-endian byte image of an `f32` slice.
+pub fn f32_bytes(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Little-endian byte image of a `u16` slice.
+pub fn u16_bytes(v: &[u16]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Parses little-endian `i32`s out of raw bytes.
+pub fn i32_from_bytes(b: &[u8]) -> Vec<i32> {
+    b.chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+/// Parses little-endian `f32`s out of raw bytes.
+pub fn f32_from_bytes(b: &[u8]) -> Vec<f32> {
+    b.chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+/// Parses little-endian `u16`s out of raw bytes.
+pub fn u16_from_bytes(b: &[u8]) -> Vec<u16> {
+    b.chunks_exact(2)
+        .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
+        .collect()
+}
+
+/// Parses `i8`s out of raw bytes.
+pub fn i8_from_bytes(b: &[u8]) -> Vec<i8> {
+    b.iter().map(|&x| x as i8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(i8_inputs(1, 100), i8_inputs(1, 100));
+        assert_ne!(i8_inputs(1, 100), i8_inputs(2, 100));
+        assert_eq!(f32_inputs(9, 10), f32_inputs(9, 10));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        assert!(i8_inputs(3, 1000).iter().all(|&v| (-64..64).contains(&v)));
+        assert!(i16_inputs(3, 1000).iter().all(|&v| (-256..256).contains(&v)));
+        assert!(f32_inputs(3, 1000).iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn byte_round_trips() {
+        let v = i32_inputs(7, 64);
+        assert_eq!(i32_from_bytes(&i32_bytes(&v)), v);
+        let f = f32_inputs(7, 64);
+        assert_eq!(f32_from_bytes(&f32_bytes(&f)), f);
+        let h = f16_inputs(7, 64);
+        assert_eq!(u16_from_bytes(&u16_bytes(&h)), h);
+        let b = i8_inputs(7, 64);
+        assert_eq!(i8_from_bytes(&i8_bytes(&b)), b);
+    }
+}

@@ -1,0 +1,239 @@
+//! End-to-end DNN workload models for the Figure-9 analysis.
+//!
+//! The paper evaluates two DORY-deployed networks: an image-classification
+//! DNN \[20\] and the DroNet-style visual-navigation network for nano-drones
+//! \[22\]. Reproducing DORY's code generator is out of scope; what Figure 9
+//! consumes from it is each network's **operation count** and **main-memory
+//! traffic under L2/L1 tiling**, which this module computes from the layer
+//! graphs: weights stream from DRAM once per inference, activations
+//! ping-pong in the L2SPM and spill only when a layer's working set
+//! exceeds it.
+
+use hulkv_power::{CcrPoint, ComputeBlock};
+
+/// One convolutional (or pointwise/depthwise) layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Square kernel size.
+    pub k: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Depthwise convolution (one filter per channel).
+    pub depthwise: bool,
+}
+
+impl ConvLayer {
+    /// Output spatial dimensions.
+    pub fn out_hw(&self) -> (usize, usize) {
+        (self.h / self.stride, self.w / self.stride)
+    }
+
+    /// Multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        let (oh, ow) = self.out_hw();
+        let per_pixel = if self.depthwise {
+            self.k * self.k * self.cout
+        } else {
+            self.k * self.k * self.cin * self.cout
+        };
+        (oh * ow * per_pixel) as u64
+    }
+
+    /// Weight bytes (int8 quantized, as DORY deploys).
+    pub fn weight_bytes(&self) -> u64 {
+        let w = if self.depthwise {
+            self.k * self.k * self.cout
+        } else {
+            self.k * self.k * self.cin * self.cout
+        };
+        w as u64
+    }
+
+    /// Input activation bytes (int8).
+    pub fn input_bytes(&self) -> u64 {
+        (self.cin * self.h * self.w) as u64
+    }
+
+    /// Output activation bytes (int8).
+    pub fn output_bytes(&self) -> u64 {
+        let (oh, ow) = self.out_hw();
+        (self.cout * oh * ow) as u64
+    }
+}
+
+/// A whole network: an ordered layer list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnnModel {
+    /// Network name.
+    pub name: &'static str,
+    /// The layers, first to last.
+    pub layers: Vec<ConvLayer>,
+}
+
+impl DnnModel {
+    /// A MobileNetV1-class int8 classifier on 128×128 input — the
+    /// image-classification DNN of citation \[20\].
+    pub fn classifier() -> Self {
+        let mut layers = vec![ConvLayer {
+            cin: 3,
+            cout: 32,
+            k: 3,
+            h: 128,
+            w: 128,
+            stride: 2,
+            depthwise: false,
+        }];
+        // MobileNet body: alternating depthwise / pointwise stages.
+        let stages: [(usize, usize, usize); 6] = [
+            (32, 64, 1),
+            (64, 128, 2),
+            (128, 128, 1),
+            (128, 256, 2),
+            (256, 256, 1),
+            (256, 512, 2),
+        ];
+        let mut hw = 64;
+        for (cin, cout, stride) in stages {
+            layers.push(ConvLayer {
+                cin,
+                cout: cin,
+                k: 3,
+                h: hw,
+                w: hw,
+                stride,
+                depthwise: true,
+            });
+            hw /= stride;
+            layers.push(ConvLayer {
+                cin,
+                cout,
+                k: 1,
+                h: hw,
+                w: hw,
+                stride: 1,
+                depthwise: false,
+            });
+        }
+        DnnModel {
+            name: "classifier-dnn",
+            layers,
+        }
+    }
+
+    /// A DroNet-style navigation network on 200×200 grayscale input — the
+    /// autonomous nano-drone workload of citation \[22\].
+    pub fn dronet() -> Self {
+        let layers = vec![
+            ConvLayer { cin: 1, cout: 32, k: 5, h: 200, w: 200, stride: 2, depthwise: false },
+            ConvLayer { cin: 32, cout: 32, k: 3, h: 50, w: 50, stride: 2, depthwise: false },
+            ConvLayer { cin: 32, cout: 32, k: 3, h: 25, w: 25, stride: 1, depthwise: false },
+            ConvLayer { cin: 32, cout: 64, k: 3, h: 25, w: 25, stride: 2, depthwise: false },
+            ConvLayer { cin: 64, cout: 64, k: 3, h: 13, w: 13, stride: 1, depthwise: false },
+            ConvLayer { cin: 64, cout: 128, k: 3, h: 13, w: 13, stride: 2, depthwise: false },
+            ConvLayer { cin: 128, cout: 128, k: 3, h: 7, w: 7, stride: 1, depthwise: false },
+        ];
+        DnnModel {
+            name: "dronet",
+            layers,
+        }
+    }
+
+    /// Total multiply-accumulates per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::macs).sum()
+    }
+
+    /// Total arithmetic operations (MAC = 2 ops).
+    pub fn total_ops(&self) -> u64 {
+        2 * self.total_macs()
+    }
+
+    /// Main-memory bytes per inference under DORY-style tiling with an L2
+    /// scratchpad of `l2_bytes`: the input image and every weight stream in
+    /// from DRAM; activations stay in the L2 ping-pong buffers and spill
+    /// out and back only when a layer's in+out footprint exceeds the L2.
+    pub fn dram_bytes(&self, l2_bytes: u64) -> u64 {
+        let mut bytes = self.layers.first().map_or(0, |l| l.input_bytes());
+        for l in &self.layers {
+            bytes += l.weight_bytes();
+            let footprint = l.input_bytes() + l.output_bytes();
+            if footprint > l2_bytes {
+                // Spill: the overflow goes to DRAM and is read back.
+                bytes += 2 * (footprint - l2_bytes);
+            }
+        }
+        bytes
+    }
+
+    /// Builds the Figure-9 point for this network running on the PMCA.
+    ///
+    /// `macs_per_cycle` is the cluster's measured int8 matmul throughput
+    /// (from the Figure-6 simulation) and `freq_hz` its clock.
+    pub fn ccr_point(&self, macs_per_cycle: f64, freq_hz: f64, l2_bytes: u64) -> CcrPoint {
+        let compute_seconds = self.total_macs() as f64 / macs_per_cycle / freq_hz;
+        CcrPoint::new(
+            self.name,
+            ComputeBlock::Pmca,
+            self.total_ops() as f64,
+            compute_seconds,
+            self.dram_bytes(l2_bytes) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hulkv_power::MemoryKind;
+
+    #[test]
+    fn layer_arithmetic() {
+        let l = ConvLayer { cin: 16, cout: 32, k: 3, h: 8, w: 8, stride: 1, depthwise: false };
+        assert_eq!(l.macs(), (8 * 8 * 9 * 16 * 32) as u64);
+        assert_eq!(l.weight_bytes(), 9 * 16 * 32);
+        assert_eq!(l.input_bytes(), 16 * 64);
+        assert_eq!(l.output_bytes(), 32 * 64);
+        let dw = ConvLayer { depthwise: true, ..l };
+        assert_eq!(dw.macs(), (8 * 8 * 9 * 32) as u64);
+    }
+
+    #[test]
+    fn models_have_realistic_scale() {
+        let c = DnnModel::classifier();
+        // MobileNet-class: tens of millions of MACs.
+        assert!(c.total_macs() > 10_000_000, "{}", c.total_macs());
+        let d = DnnModel::dronet();
+        // DroNet on GAP8 is ~40 MMAC.
+        assert!(d.total_macs() > 5_000_000 && d.total_macs() < 200_000_000);
+    }
+
+    #[test]
+    fn dram_traffic_includes_all_weights() {
+        let d = DnnModel::dronet();
+        let weights: u64 = d.layers.iter().map(ConvLayer::weight_bytes).sum();
+        assert!(d.dram_bytes(512 * 1024) >= weights);
+        // A smaller L2 spills more.
+        assert!(d.dram_bytes(32 * 1024) > d.dram_bytes(512 * 1024));
+    }
+
+    #[test]
+    fn dnns_are_compute_bound_with_high_reuse() {
+        // The paper: "Most of the IoT target applications, especially on
+        // the cluster, are compute-bound, thanks to the careful, deeply
+        // optimized data movements."
+        for model in [DnnModel::classifier(), DnnModel::dronet()] {
+            let p = model.ccr_point(10.0, 400.0e6, 512 * 1024);
+            assert!(p.ccr(MemoryKind::Hyper) > 1.0, "{} memory-bound", model.name);
+            // And therefore roughly double efficiency on HyperRAM.
+            assert!(p.relative_efficiency() > 1.5, "{}", model.name);
+        }
+    }
+}

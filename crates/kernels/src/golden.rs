@@ -1,0 +1,276 @@
+//! Scalar Rust reference implementations of every DSP kernel.
+//!
+//! Both the RV64 host programs and the RV32 cluster programs are verified
+//! bit-for-bit (integer) or within half-precision tolerance (FP16) against
+//! these functions.
+
+use hulkv_rv::fp16::{f16_to_f32, f32_to_f16};
+
+/// `C = A × Bᵀ` on int8 inputs with int32 accumulation.
+///
+/// `b_t` is the transposed operand (row `j` of `b_t` is column `j` of `B`),
+/// the layout both generated programs use so dot products walk contiguous
+/// memory.
+///
+/// # Panics
+///
+/// Panics if the slices are not `n × n`.
+///
+/// # Example
+///
+/// ```
+/// let a = vec![1i8; 4]; // 2x2 of ones
+/// let c = hulkv_kernels::golden::matmul_i8(&a, &a, 2);
+/// assert_eq!(c, vec![2; 4]);
+/// ```
+pub fn matmul_i8(a: &[i8], b_t: &[i8], n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b_t.len(), n * n);
+    let mut c = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[i * n + k] as i32 * b_t[j * n + k] as i32);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// `C = A × Bᵀ` on int32 inputs with wrapping int32 accumulation.
+///
+/// # Panics
+///
+/// Panics if the slices are not `n × n`.
+pub fn matmul_i32(a: &[i32], b_t: &[i32], n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b_t.len(), n * n);
+    let mut c = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b_t[j * n + k]));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// `C = A × Bᵀ` on packed FP16 inputs, accumulated in f32 and rounded back
+/// to FP16 — the numerics of `vfdotpex.s.h`.
+///
+/// Inputs are raw f16 bit patterns.
+///
+/// # Panics
+///
+/// Panics if the slices are not `n × n`.
+pub fn matmul_f16(a: &[u16], b_t: &[u16], n: usize) -> Vec<u16> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b_t.len(), n * n);
+    let mut c = vec![0u16; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0f32;
+            for k in 0..n {
+                acc += f16_to_f32(a[i * n + k]) * f16_to_f32(b_t[j * n + k]);
+            }
+            c[i * n + j] = f32_to_f16(acc);
+        }
+    }
+    c
+}
+
+/// Valid 2D convolution of an `h × w` int8 image with a 3×3 int8 kernel,
+/// producing an `(h-2) × (w-2)` int32 map.
+///
+/// # Panics
+///
+/// Panics on inconsistent sizes or `h, w < 3`.
+pub fn conv2d_i8(image: &[i8], weights: &[i8], h: usize, w: usize) -> Vec<i32> {
+    assert_eq!(image.len(), h * w);
+    assert_eq!(weights.len(), 9);
+    assert!(h >= 3 && w >= 3);
+    let (oh, ow) = (h - 2, w - 2);
+    let mut out = vec![0i32; oh * ow];
+    for y in 0..oh {
+        for x in 0..ow {
+            let mut acc = 0i32;
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    acc = acc.wrapping_add(
+                        image[(y + ky) * w + (x + kx)] as i32 * weights[ky * 3 + kx] as i32,
+                    );
+                }
+            }
+            out[y * ow + x] = acc;
+        }
+    }
+    out
+}
+
+/// FIR filter: `y[i] = Σ_t x[i+t]·h[t]` over int16 samples with int32
+/// accumulation (`taps` must divide into pairs for the SIMD variant).
+///
+/// # Panics
+///
+/// Panics if `x.len() < taps`.
+pub fn fir_i16(x: &[i16], coeff: &[i16]) -> Vec<i32> {
+    let taps = coeff.len();
+    assert!(x.len() >= taps);
+    let n = x.len() - taps + 1;
+    let mut y = vec![0i32; n];
+    for i in 0..n {
+        let mut acc = 0i32;
+        for (t, &c) in coeff.iter().enumerate() {
+            acc = acc.wrapping_add(x[i + t] as i32 * c as i32);
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+/// Element-wise ReLU on int8 data.
+pub fn relu_i8(x: &[i8]) -> Vec<i8> {
+    x.iter().map(|&v| v.max(0)).collect()
+}
+
+/// 2×2 max pooling with stride 2 over an `h × w` int8 map (`h`, `w` even).
+///
+/// # Panics
+///
+/// Panics on inconsistent sizes or odd dimensions.
+pub fn maxpool2x2_i8(x: &[i8], h: usize, w: usize) -> Vec<i8> {
+    assert_eq!(x.len(), h * w);
+    assert!(h.is_multiple_of(2) && w.is_multiple_of(2));
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0i8; oh * ow];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let (y, xx) = (2 * oy, 2 * ox);
+            out[oy * ow + ox] = x[y * w + xx]
+                .max(x[y * w + xx + 1])
+                .max(x[(y + 1) * w + xx])
+                .max(x[(y + 1) * w + xx + 1]);
+        }
+    }
+    out
+}
+
+/// Single-precision dot product.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dotp_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let mut acc = 0f32;
+    for i in 0..a.len() {
+        acc = a[i].mul_add(b[i], acc);
+    }
+    acc
+}
+
+/// `y = α·x + y` in single precision.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn axpy_f32(alpha: f32, x: &[f32], y: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(&xv, &yv)| alpha.mul_add(xv, yv))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_i8_identity() {
+        let n = 4;
+        let mut a = vec![0i8; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1;
+        }
+        let b: Vec<i8> = (0..(n * n) as i32).map(|v| v as i8).collect();
+        // identity * B^T: C[i][j] = B^T[j][i] = B[i][j].
+        let c = matmul_i8(&a, &b, n);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(c[i * n + j], b[j * n + i] as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_i32_wraps() {
+        let a = vec![i32::MAX, 0, 0, i32::MAX];
+        let b = vec![2, 0, 0, 2];
+        let c = matmul_i32(&a, &b, 2);
+        assert_eq!(c[0], i32::MAX.wrapping_mul(2));
+    }
+
+    #[test]
+    fn matmul_f16_matches_f32_for_small_values() {
+        let n = 2;
+        let a: Vec<u16> = [1.0f32, 2.0, 3.0, 4.0]
+            .iter()
+            .map(|&v| hulkv_rv::fp16::f32_to_f16(v))
+            .collect();
+        let c = matmul_f16(&a, &a, n);
+        // [1 2; 3 4] x [1 2; 3 4]^T^T ... with b_t = a: C[0][0] = 1*1+2*2 = 5.
+        assert_eq!(f16_to_f32(c[0]), 5.0);
+        assert_eq!(f16_to_f32(c[3]), 25.0);
+    }
+
+    #[test]
+    fn conv2d_flat_image() {
+        let image = vec![1i8; 25];
+        let weights = vec![1i8; 9];
+        let out = conv2d_i8(&image, &weights, 5, 5);
+        assert_eq!(out, vec![9i32; 9]);
+    }
+
+    #[test]
+    fn fir_impulse_recovers_coefficients() {
+        let mut x = vec![0i16; 20];
+        x[0] = 1;
+        let coeff = vec![3i16, -2, 5, 7];
+        let y = fir_i16(&x, &coeff);
+        assert_eq!(y[0], 3);
+        // y[i] picks up h[0] applied to x[i]; the impulse at x[0] appears
+        // reversed through the taps.
+        assert_eq!(y.len(), 17);
+    }
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        #[rustfmt::skip]
+        let x: Vec<i8> = vec![
+            1, 5, -3, -4,
+            2, 0, -1, -8,
+            9, 9, 0, 0,
+            9, 9, 0, 7,
+        ];
+        assert_eq!(maxpool2x2_i8(&x, 4, 4), vec![5, -1, 9, 7]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu_i8(&[-5, 0, 7, -128, 127]), vec![0, 0, 7, 0, 127]);
+    }
+
+    #[test]
+    fn dotp_and_axpy() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![4.0f32, 5.0, 6.0];
+        assert_eq!(dotp_f32(&a, &b), 32.0);
+        assert_eq!(axpy_f32(2.0, &a, &b), vec![6.0, 9.0, 12.0]);
+    }
+}

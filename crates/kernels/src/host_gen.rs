@@ -1,0 +1,370 @@
+//! Scalar RV64 program generators for the CVA6 host.
+//!
+//! Same calling convention as [`crate::cluster_gen`] (`a0`/`a1` inputs,
+//! `a2` output, `a3`/`a4` sizes), but plain RV64 IMAFD: CVA6 has no SIMD
+//! and no hardware loops, so these are the tight scalar loops a `-O3`
+//! compiler would emit — the baseline side of Figure 6.
+
+use hulkv_rv::inst::FReg;
+use hulkv_rv::{Asm, Reg, Xlen};
+
+fn asm() -> Asm {
+    Asm::new(Xlen::Rv64)
+}
+
+/// Scalar int8 `C = A × Bᵀ`.
+pub fn matmul_i8() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let loop_i = a.label();
+    let loop_j = a.label();
+    let loop_k = a.label();
+
+    a.li(Reg::S0, 0); // i
+    a.bind(loop_i);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.li(Reg::S1, 0); // j
+    a.bind(loop_j);
+    {
+        a.mul(Reg::T1, Reg::S0, Reg::A3);
+        a.add(Reg::T1, Reg::T1, Reg::A0);
+        a.mul(Reg::T2, Reg::S1, Reg::A3);
+        a.add(Reg::T2, Reg::T2, Reg::A1);
+        a.li(Reg::T4, 0);
+        a.li(Reg::S2, 0); // k
+        a.bind(loop_k);
+        a.lb(Reg::T5, Reg::T1, 0);
+        a.lb(Reg::T6, Reg::T2, 0);
+        a.mulw(Reg::T5, Reg::T5, Reg::T6);
+        a.addw(Reg::T4, Reg::T4, Reg::T5);
+        a.addi(Reg::T1, Reg::T1, 1);
+        a.addi(Reg::T2, Reg::T2, 1);
+        a.addi(Reg::S2, Reg::S2, 1);
+        a.blt(Reg::S2, Reg::A3, loop_k);
+        a.mul(Reg::T0, Reg::S0, Reg::A3);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.add(Reg::T0, Reg::T0, Reg::A2);
+        a.sw(Reg::T4, Reg::T0, 0);
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.blt(Reg::S1, Reg::A3, loop_j);
+    }
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.j(loop_i);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("matmul_i8 host kernel")
+}
+
+/// Scalar int32 `C = A × Bᵀ`.
+pub fn matmul_i32() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let loop_i = a.label();
+    let loop_j = a.label();
+    let loop_k = a.label();
+
+    a.li(Reg::S0, 0);
+    a.bind(loop_i);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.li(Reg::S1, 0);
+    a.bind(loop_j);
+    {
+        a.mul(Reg::T1, Reg::S0, Reg::A3);
+        a.slli(Reg::T1, Reg::T1, 2);
+        a.add(Reg::T1, Reg::T1, Reg::A0);
+        a.mul(Reg::T2, Reg::S1, Reg::A3);
+        a.slli(Reg::T2, Reg::T2, 2);
+        a.add(Reg::T2, Reg::T2, Reg::A1);
+        a.li(Reg::T4, 0);
+        a.li(Reg::S2, 0);
+        a.bind(loop_k);
+        a.lw(Reg::T5, Reg::T1, 0);
+        a.lw(Reg::T6, Reg::T2, 0);
+        a.mulw(Reg::T5, Reg::T5, Reg::T6);
+        a.addw(Reg::T4, Reg::T4, Reg::T5);
+        a.addi(Reg::T1, Reg::T1, 4);
+        a.addi(Reg::T2, Reg::T2, 4);
+        a.addi(Reg::S2, Reg::S2, 1);
+        a.blt(Reg::S2, Reg::A3, loop_k);
+        a.mul(Reg::T0, Reg::S0, Reg::A3);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.add(Reg::T0, Reg::T0, Reg::A2);
+        a.sw(Reg::T4, Reg::T0, 0);
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.blt(Reg::S1, Reg::A3, loop_j);
+    }
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.j(loop_i);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("matmul_i32 host kernel")
+}
+
+/// Single-precision `C = A × Bᵀ` (the host runs the FP32 version of the
+/// FP16 workload — CVA6 has no half-precision SIMD). Output f32.
+pub fn matmul_f32() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let loop_i = a.label();
+    let loop_j = a.label();
+    let loop_k = a.label();
+
+    a.li(Reg::S0, 0);
+    a.bind(loop_i);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.li(Reg::S1, 0);
+    a.bind(loop_j);
+    {
+        a.mul(Reg::T1, Reg::S0, Reg::A3);
+        a.slli(Reg::T1, Reg::T1, 2);
+        a.add(Reg::T1, Reg::T1, Reg::A0);
+        a.mul(Reg::T2, Reg::S1, Reg::A3);
+        a.slli(Reg::T2, Reg::T2, 2);
+        a.add(Reg::T2, Reg::T2, Reg::A1);
+        a.fmv_w_x(FReg(0), Reg::Zero);
+        a.li(Reg::S2, 0);
+        a.bind(loop_k);
+        a.flw(FReg(1), Reg::T1, 0);
+        a.flw(FReg(2), Reg::T2, 0);
+        a.fmadd_s(FReg(0), FReg(1), FReg(2), FReg(0));
+        a.addi(Reg::T1, Reg::T1, 4);
+        a.addi(Reg::T2, Reg::T2, 4);
+        a.addi(Reg::S2, Reg::S2, 1);
+        a.blt(Reg::S2, Reg::A3, loop_k);
+        a.mul(Reg::T0, Reg::S0, Reg::A3);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.add(Reg::T0, Reg::T0, Reg::A2);
+        a.fsw(FReg(0), Reg::T0, 0);
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.blt(Reg::S1, Reg::A3, loop_j);
+    }
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.j(loop_i);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("matmul_f32 host kernel")
+}
+
+/// Scalar 3×3 int8 valid convolution (`a3 = h`, `a4 = w`).
+pub fn conv2d_i8() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let loop_y = a.label();
+    let loop_x = a.label();
+
+    let wregs = [
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::S8,
+        Reg::S9,
+        Reg::S10,
+    ];
+    for (i, &r) in wregs.iter().enumerate() {
+        a.lb(r, Reg::A1, i as i64);
+    }
+    a.addi(Reg::S11, Reg::A3, -2);
+    a.addi(Reg::A5, Reg::A4, -2);
+    a.li(Reg::S0, 0);
+
+    a.bind(loop_y);
+    a.bge(Reg::S0, Reg::S11, done);
+    a.li(Reg::S1, 0);
+    a.bind(loop_x);
+    {
+        a.mul(Reg::T0, Reg::S0, Reg::A4);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.add(Reg::T0, Reg::T0, Reg::A0);
+        a.li(Reg::T4, 0);
+        for row in 0..3 {
+            for col in 0..3 {
+                a.lb(Reg::T1, Reg::T0, col as i64);
+                a.mulw(Reg::T1, Reg::T1, wregs[row * 3 + col]);
+                a.addw(Reg::T4, Reg::T4, Reg::T1);
+            }
+            if row < 2 {
+                a.add(Reg::T0, Reg::T0, Reg::A4);
+            }
+        }
+        a.mul(Reg::T0, Reg::S0, Reg::A5);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.add(Reg::T0, Reg::T0, Reg::A2);
+        a.sw(Reg::T4, Reg::T0, 0);
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.blt(Reg::S1, Reg::A5, loop_x);
+    }
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.j(loop_y);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("conv2d_i8 host kernel")
+}
+
+/// Scalar int16 FIR (`a3 = n` outputs, `a4 = taps`).
+pub fn fir_i16() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let loop_i = a.label();
+    let loop_t = a.label();
+
+    a.li(Reg::S0, 0); // i
+    a.bind(loop_i);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.slli(Reg::T0, Reg::S0, 1);
+    a.add(Reg::T0, Reg::T0, Reg::A0);
+    a.mv(Reg::T1, Reg::A1);
+    a.li(Reg::T4, 0);
+    a.li(Reg::S2, 0); // t
+    a.bind(loop_t);
+    a.lh(Reg::T5, Reg::T0, 0);
+    a.lh(Reg::T6, Reg::T1, 0);
+    a.mulw(Reg::T5, Reg::T5, Reg::T6);
+    a.addw(Reg::T4, Reg::T4, Reg::T5);
+    a.addi(Reg::T0, Reg::T0, 2);
+    a.addi(Reg::T1, Reg::T1, 2);
+    a.addi(Reg::S2, Reg::S2, 1);
+    a.blt(Reg::S2, Reg::A4, loop_t);
+    a.slli(Reg::T2, Reg::S0, 2);
+    a.add(Reg::T2, Reg::T2, Reg::A2);
+    a.sw(Reg::T4, Reg::T2, 0);
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.j(loop_i);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("fir_i16 host kernel")
+}
+
+/// Scalar 2×2 max pool (`a3 = h`, `a4 = w`, both even).
+pub fn maxpool2x2_i8() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let loop_y = a.label();
+    let loop_x = a.label();
+
+    a.srli(Reg::S11, Reg::A3, 1); // oh
+    a.srli(Reg::A5, Reg::A4, 1); // ow
+    a.li(Reg::S0, 0); // oy
+    a.bind(loop_y);
+    a.bge(Reg::S0, Reg::S11, done);
+    a.li(Reg::S1, 0); // ox
+    a.bind(loop_x);
+    {
+        // base = in + 2*oy*w + 2*ox
+        a.slli(Reg::T0, Reg::S0, 1);
+        a.mul(Reg::T0, Reg::T0, Reg::A4);
+        a.slli(Reg::T1, Reg::S1, 1);
+        a.add(Reg::T0, Reg::T0, Reg::T1);
+        a.add(Reg::T0, Reg::T0, Reg::A0);
+        a.lb(Reg::T2, Reg::T0, 0);
+        a.lb(Reg::T3, Reg::T0, 1);
+        let skip1 = a.label();
+        a.bge(Reg::T2, Reg::T3, skip1);
+        a.mv(Reg::T2, Reg::T3);
+        a.bind(skip1);
+        a.add(Reg::T0, Reg::T0, Reg::A4);
+        a.lb(Reg::T3, Reg::T0, 0);
+        let skip2 = a.label();
+        a.bge(Reg::T2, Reg::T3, skip2);
+        a.mv(Reg::T2, Reg::T3);
+        a.bind(skip2);
+        a.lb(Reg::T3, Reg::T0, 1);
+        let skip3 = a.label();
+        a.bge(Reg::T2, Reg::T3, skip3);
+        a.mv(Reg::T2, Reg::T3);
+        a.bind(skip3);
+        // out[oy*ow + ox]
+        a.mul(Reg::T0, Reg::S0, Reg::A5);
+        a.add(Reg::T0, Reg::T0, Reg::S1);
+        a.add(Reg::T0, Reg::T0, Reg::A2);
+        a.sb(Reg::T2, Reg::T0, 0);
+        a.addi(Reg::S1, Reg::S1, 1);
+        a.blt(Reg::S1, Reg::A5, loop_x);
+    }
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.j(loop_y);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("maxpool host kernel")
+}
+
+/// Scalar int8 ReLU over `a3` bytes.
+pub fn relu_i8() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let top = a.label();
+    let non_neg = a.label();
+
+    a.li(Reg::S0, 0);
+    a.bind(top);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.add(Reg::T0, Reg::A0, Reg::S0);
+    a.lb(Reg::T1, Reg::T0, 0);
+    a.bge(Reg::T1, Reg::Zero, non_neg);
+    a.li(Reg::T1, 0);
+    a.bind(non_neg);
+    a.add(Reg::T2, Reg::A2, Reg::S0);
+    a.sb(Reg::T1, Reg::T2, 0);
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.j(top);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("relu_i8 host kernel")
+}
+
+/// Scalar single-precision dot product; the f32 result is stored to
+/// `out[0]`.
+pub fn dotp_f32() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let top = a.label();
+
+    a.li(Reg::S0, 0);
+    a.mv(Reg::T1, Reg::A0);
+    a.mv(Reg::T2, Reg::A1);
+    a.fmv_w_x(FReg(0), Reg::Zero);
+    a.bind(top);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.flw(FReg(1), Reg::T1, 0);
+    a.flw(FReg(2), Reg::T2, 0);
+    a.fmadd_s(FReg(0), FReg(1), FReg(2), FReg(0));
+    a.addi(Reg::T1, Reg::T1, 4);
+    a.addi(Reg::T2, Reg::T2, 4);
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.j(top);
+    a.bind(done);
+    a.fsw(FReg(0), Reg::A2, 0);
+    a.ebreak();
+    a.assemble().expect("dotp_f32 host kernel")
+}
+
+/// Scalar `y = α·x + y`; α bits in `a4`, `y` in-place at `a2`.
+pub fn axpy_f32() -> Vec<u32> {
+    let mut a = asm();
+    let done = a.label();
+    let top = a.label();
+
+    a.li(Reg::S0, 0);
+    a.mv(Reg::T1, Reg::A0);
+    a.mv(Reg::T2, Reg::A2);
+    a.fmv_w_x(FReg(3), Reg::A4);
+    a.bind(top);
+    a.bge(Reg::S0, Reg::A3, done);
+    a.flw(FReg(1), Reg::T1, 0);
+    a.flw(FReg(2), Reg::T2, 0);
+    a.fmadd_s(FReg(2), FReg(3), FReg(1), FReg(2));
+    a.fsw(FReg(2), Reg::T2, 0);
+    a.addi(Reg::T1, Reg::T1, 4);
+    a.addi(Reg::T2, Reg::T2, 4);
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.j(top);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("axpy_f32 host kernel")
+}

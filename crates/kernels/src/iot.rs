@@ -1,0 +1,482 @@
+//! The five CPU-centric IoT benchmarks of Figure 8, plus a
+//! Dhrystone-style integer mix used by the Figure-9 CCR table.
+//!
+//! All run on the CVA6 host with their working sets in main memory, which
+//! is what makes the memory configuration (DDR4/HyperRAM × LLC) matter.
+
+use crate::data;
+use hulkv::{map, HulkV, MemorySetup, SocConfig, SocError};
+use hulkv_rv::{Asm, Reg, Xlen};
+use hulkv_sim::{Cycles, SplitMix64};
+
+/// The CPU-centric benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IotBenchmark {
+    /// Bitwise CRC-32 (poly `0xEDB88320`) over a DRAM buffer.
+    Crc32,
+    /// Shell sort of a `u32` array.
+    Sort,
+    /// Random pointer chase through a linked list (latency-bound).
+    PointerChase,
+    /// 64-tap FIR over a stream of int16 samples.
+    Fir64,
+    /// Row-major + column-major walks of an int32 matrix.
+    MatrixWalk,
+    /// Dhrystone-style register-resident integer mix (compute-bound).
+    Dhrystone,
+}
+
+impl IotBenchmark {
+    /// The five benchmarks of Figure 8, in display order.
+    pub const FIGURE8: [IotBenchmark; 5] = [
+        IotBenchmark::Crc32,
+        IotBenchmark::Sort,
+        IotBenchmark::PointerChase,
+        IotBenchmark::Fir64,
+        IotBenchmark::MatrixWalk,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IotBenchmark::Crc32 => "crc32",
+            IotBenchmark::Sort => "sort",
+            IotBenchmark::PointerChase => "ptr-chase",
+            IotBenchmark::Fir64 => "fir64",
+            IotBenchmark::MatrixWalk => "mat-walk",
+            IotBenchmark::Dhrystone => "dhrystone",
+        }
+    }
+}
+
+/// One benchmark execution record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IotRun {
+    /// Benchmark.
+    pub bench: IotBenchmark,
+    /// Memory configuration.
+    pub setup: MemorySetup,
+    /// Host-core cycles.
+    pub cycles: Cycles,
+    /// L1 data-cache miss ratio observed.
+    pub l1d_miss_ratio: f64,
+    /// Bytes actually read from the main-memory device.
+    pub dram_bytes_read: u64,
+    /// Functional check outcome.
+    pub verified: bool,
+}
+
+/// Size scale: 1 = the benchmark sizes used for the figures; tests use
+/// smaller scales for speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub usize);
+
+impl Scale {
+    fn crc_bytes(self) -> usize {
+        16 * 1024 * self.0
+    }
+    fn sort_elems(self) -> usize {
+        2048 * self.0
+    }
+    fn chase_nodes(self) -> usize {
+        // 64 kB of 64-byte nodes: larger than the L1D, inside the LLC —
+        // the locality class of real IoT list traversals.
+        1024 * self.0
+    }
+    fn chase_steps(self) -> usize {
+        32768 * self.0
+    }
+    fn fir_samples(self) -> usize {
+        8192 * self.0
+    }
+    fn matrix_dim(self) -> usize {
+        128 * self.0
+    }
+    fn dhry_iters(self) -> usize {
+        20_000 * self.0
+    }
+}
+
+const DATA: u64 = map::DRAM_BASE + 0x0300_0000;
+
+impl IotBenchmark {
+    /// Runs the benchmark on a fresh SoC with the given memory setup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC construction and execution errors.
+    pub fn run(self, setup: MemorySetup, scale: Scale) -> Result<IotRun, SocError> {
+        let mut soc = HulkV::new(SocConfig::with_memory_setup(setup))?;
+        let (program, input, expected) = self.prepare(scale);
+        soc.write_mem(DATA, &input)?;
+        let dram_before = soc.dram_stats().get("bytes_read");
+        let cycles = soc.run_host_program(
+            &program,
+            |core| {
+                core.set_reg(Reg::A0, DATA);
+            },
+            20_000_000_000,
+        )?;
+        let verified = match expected {
+            Expect::RegA0(v) => soc.host().core().reg(Reg::A0) == v,
+            Expect::SortedU32(len) => {
+                let mut buf = vec![0u8; len * 4];
+                soc.read_mem(DATA, &mut buf)?;
+                let vals: Vec<u32> = buf
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("chunk")))
+                    .collect();
+                vals.windows(2).all(|w| w[0] <= w[1])
+            }
+            Expect::None => true,
+        };
+        Ok(IotRun {
+            bench: self,
+            setup,
+            cycles,
+            l1d_miss_ratio: soc.host().l1d_miss_ratio(),
+            dram_bytes_read: soc.dram_stats().get("bytes_read") - dram_before,
+            verified,
+        })
+    }
+
+    fn prepare(self, scale: Scale) -> (Vec<u32>, Vec<u8>, Expect) {
+        match self {
+            IotBenchmark::Crc32 => {
+                let n = scale.crc_bytes();
+                let mut buf = vec![0u8; n];
+                SplitMix64::new(0xC2C).fill_bytes(&mut buf);
+                let expect = software_crc32(&buf);
+                (crc32_program(n), buf, Expect::RegA0(expect as u64))
+            }
+            IotBenchmark::Sort => {
+                let n = scale.sort_elems();
+                let vals: Vec<u32> = {
+                    let mut r = SplitMix64::new(0x5027);
+                    (0..n).map(|_| r.next_u32()).collect()
+                };
+                let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+                (shell_sort_program(n), bytes, Expect::SortedU32(n))
+            }
+            IotBenchmark::PointerChase => {
+                let nodes = scale.chase_nodes();
+                let steps = scale.chase_steps();
+                // A random cycle through `nodes` 64-byte nodes; node i
+                // stores the byte offset of its successor at offset 0.
+                let mut order: Vec<u64> = (1..nodes as u64).collect();
+                let mut r = SplitMix64::new(0xCAFE);
+                for i in (1..order.len()).rev() {
+                    order.swap(i, r.next_below(i as u64 + 1) as usize);
+                }
+                let mut next = vec![0u64; nodes];
+                let mut cur = 0u64;
+                for &n in &order {
+                    next[cur as usize] = n * 64;
+                    cur = n;
+                }
+                next[cur as usize] = 0;
+                let mut bytes = vec![0u8; nodes * 64];
+                for (i, &n) in next.iter().enumerate() {
+                    bytes[i * 64..i * 64 + 8].copy_from_slice(&n.to_le_bytes());
+                }
+                (chase_program(steps), bytes, Expect::None)
+            }
+            IotBenchmark::Fir64 => {
+                let n = scale.fir_samples();
+                let x = data::i16_inputs(0xF16, n + 63);
+                let c = data::i16_inputs(0xF17, 64);
+                let mut bytes = data::i16_bytes(&c);
+                bytes.extend(data::i16_bytes(&x));
+                (fir64_program(n), bytes, Expect::None)
+            }
+            IotBenchmark::MatrixWalk => {
+                let dim = scale.matrix_dim();
+                let m = data::i32_inputs(0x3A7, dim * dim);
+                let mut row_sum = 0i64;
+                for v in &m {
+                    row_sum = row_sum.wrapping_add(*v as i64);
+                }
+                // Row walk + column walk touch every element once each.
+                let expect = row_sum.wrapping_mul(2) as u64;
+                (matrix_walk_program(dim), data::i32_bytes(&m), Expect::RegA0(expect))
+            }
+            IotBenchmark::Dhrystone => {
+                let iters = scale.dhry_iters();
+                (dhrystone_program(iters), Vec::new(), Expect::None)
+            }
+        }
+    }
+}
+
+enum Expect {
+    RegA0(u64),
+    SortedU32(usize),
+    None,
+}
+
+/// Reference CRC-32 (reflected, poly `0xEDB88320`), matching the generated
+/// program.
+pub fn software_crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn crc32_program(n: usize) -> Vec<u32> {
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::T0, -1); // crc = 0xFFFF_FFFF (as u32)
+    a.li(Reg::S0, n as i64);
+    a.mv(Reg::T1, Reg::A0);
+    a.li(Reg::S2, 0xEDB8_8320u32 as i64);
+    let byte_loop = a.label();
+    a.bind(byte_loop);
+    a.lbu(Reg::T2, Reg::T1, 0);
+    a.xor(Reg::T0, Reg::T0, Reg::T2);
+    for _ in 0..8 {
+        // mask = -(crc & 1); crc = (crc >> 1) ^ (poly & mask)
+        a.andi(Reg::T3, Reg::T0, 1);
+        a.neg(Reg::T3, Reg::T3);
+        a.and(Reg::T3, Reg::T3, Reg::S2);
+        a.srli(Reg::T0, Reg::T0, 1);
+        // keep it a 32-bit crc
+        a.li(Reg::T4, 0x7FFF_FFFF);
+        a.and(Reg::T0, Reg::T0, Reg::T4);
+        a.xor(Reg::T0, Reg::T0, Reg::T3);
+    }
+    a.addi(Reg::T1, Reg::T1, 1);
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.bnez(Reg::S0, byte_loop);
+    // a0 = !crc (32-bit)
+    a.xori(Reg::T0, Reg::T0, -1);
+    a.li(Reg::T4, 0xFFFF_FFFFu32 as i64);
+    a.and(Reg::A0, Reg::T0, Reg::T4);
+    a.ebreak();
+    a.assemble().expect("crc32 program")
+}
+
+fn shell_sort_program(n: usize) -> Vec<u32> {
+    // Shell sort with gap sequence n/2, n/4, ..., 1 over u32 values at a0.
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::S0, (n / 2) as i64); // gap
+    a.li(Reg::S1, n as i64);
+    let gap_loop = a.label();
+    let done = a.label();
+    a.bind(gap_loop);
+    a.beqz(Reg::S0, done);
+    // for i = gap; i < n; i++
+    a.mv(Reg::S2, Reg::S0);
+    let i_loop = a.label();
+    let i_done = a.label();
+    a.bind(i_loop);
+    a.bge(Reg::S2, Reg::S1, i_done);
+    // tmp = a[i]; j = i
+    a.slli(Reg::T0, Reg::S2, 2);
+    a.add(Reg::T0, Reg::T0, Reg::A0);
+    a.lwu(Reg::T1, Reg::T0, 0); // tmp
+    a.mv(Reg::T2, Reg::S2); // j
+    let shift_loop = a.label();
+    let shift_done = a.label();
+    a.bind(shift_loop);
+    a.blt(Reg::T2, Reg::S0, shift_done); // j < gap
+    // t3 = a[j-gap]
+    a.sub(Reg::T4, Reg::T2, Reg::S0);
+    a.slli(Reg::T5, Reg::T4, 2);
+    a.add(Reg::T5, Reg::T5, Reg::A0);
+    a.lwu(Reg::T3, Reg::T5, 0);
+    a.bgeu(Reg::T1, Reg::T3, shift_done); // tmp >= a[j-gap]: stop
+    // a[j] = a[j-gap]; j -= gap
+    a.slli(Reg::T6, Reg::T2, 2);
+    a.add(Reg::T6, Reg::T6, Reg::A0);
+    a.sw(Reg::T3, Reg::T6, 0);
+    a.mv(Reg::T2, Reg::T4);
+    a.j(shift_loop);
+    a.bind(shift_done);
+    // a[j] = tmp
+    a.slli(Reg::T6, Reg::T2, 2);
+    a.add(Reg::T6, Reg::T6, Reg::A0);
+    a.sw(Reg::T1, Reg::T6, 0);
+    a.addi(Reg::S2, Reg::S2, 1);
+    a.j(i_loop);
+    a.bind(i_done);
+    a.srli(Reg::S0, Reg::S0, 1);
+    a.j(gap_loop);
+    a.bind(done);
+    a.ebreak();
+    a.assemble().expect("shell sort program")
+}
+
+fn chase_program(steps: usize) -> Vec<u32> {
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::S0, steps as i64);
+    a.mv(Reg::T0, Reg::A0); // current node
+    let top = a.label();
+    a.bind(top);
+    a.ld(Reg::T1, Reg::T0, 0); // next offset
+    a.add(Reg::T0, Reg::A0, Reg::T1);
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.bnez(Reg::S0, top);
+    a.mv(Reg::A0, Reg::T0);
+    a.ebreak();
+    a.assemble().expect("chase program")
+}
+
+fn fir64_program(n: usize) -> Vec<u32> {
+    // Coefficients at a0 (64 × i16), samples at a0+128.
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::S0, n as i64);
+    a.li(Reg::S1, 0); // i
+    a.li(Reg::A1, 0); // checksum
+    let outer = a.label();
+    let done = a.label();
+    a.bind(outer);
+    a.bge(Reg::S1, Reg::S0, done);
+    a.slli(Reg::T0, Reg::S1, 1);
+    a.add(Reg::T0, Reg::T0, Reg::A0);
+    a.addi(Reg::T0, Reg::T0, 128); // &x[i]
+    a.mv(Reg::T1, Reg::A0); // coeffs
+    a.li(Reg::T4, 0);
+    a.li(Reg::S2, 64);
+    let tap = a.label();
+    a.bind(tap);
+    a.lh(Reg::T5, Reg::T0, 0);
+    a.lh(Reg::T6, Reg::T1, 0);
+    a.mulw(Reg::T5, Reg::T5, Reg::T6);
+    a.addw(Reg::T4, Reg::T4, Reg::T5);
+    a.addi(Reg::T0, Reg::T0, 2);
+    a.addi(Reg::T1, Reg::T1, 2);
+    a.addi(Reg::S2, Reg::S2, -1);
+    a.bnez(Reg::S2, tap);
+    a.addw(Reg::A1, Reg::A1, Reg::T4);
+    a.addi(Reg::S1, Reg::S1, 1);
+    a.j(outer);
+    a.bind(done);
+    a.mv(Reg::A0, Reg::A1);
+    a.ebreak();
+    a.assemble().expect("fir64 program")
+}
+
+fn matrix_walk_program(dim: usize) -> Vec<u32> {
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::S0, dim as i64);
+    a.li(Reg::A1, 0); // sum
+    // Row-major walk.
+    a.mv(Reg::T0, Reg::A0);
+    a.li(Reg::T1, (dim * dim) as i64);
+    let row = a.label();
+    a.bind(row);
+    a.lw(Reg::T2, Reg::T0, 0);
+    a.add(Reg::A1, Reg::A1, Reg::T2);
+    a.addi(Reg::T0, Reg::T0, 4);
+    a.addi(Reg::T1, Reg::T1, -1);
+    a.bnez(Reg::T1, row);
+    // Column-major walk: for c in 0..dim { for r in 0..dim { m[r*dim+c] } }
+    a.li(Reg::S1, 0); // c
+    let col_outer = a.label();
+    let done = a.label();
+    a.bind(col_outer);
+    a.bge(Reg::S1, Reg::S0, done);
+    a.slli(Reg::T0, Reg::S1, 2);
+    a.add(Reg::T0, Reg::T0, Reg::A0);
+    a.slli(Reg::T3, Reg::S0, 2); // row stride bytes
+    a.mv(Reg::T1, Reg::S0);
+    let col_inner = a.label();
+    a.bind(col_inner);
+    a.lw(Reg::T2, Reg::T0, 0);
+    a.add(Reg::A1, Reg::A1, Reg::T2);
+    a.add(Reg::T0, Reg::T0, Reg::T3);
+    a.addi(Reg::T1, Reg::T1, -1);
+    a.bnez(Reg::T1, col_inner);
+    a.addi(Reg::S1, Reg::S1, 1);
+    a.j(col_outer);
+    a.bind(done);
+    a.mv(Reg::A0, Reg::A1);
+    a.ebreak();
+    a.assemble().expect("matrix walk program")
+}
+
+fn dhrystone_program(iters: usize) -> Vec<u32> {
+    // A register-resident mix of ALU, shifts, compares and short branches
+    // in Dhrystone proportions — deliberately cache-friendly.
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::S0, iters as i64);
+    a.li(Reg::T0, 3);
+    a.li(Reg::T1, 17);
+    let top = a.label();
+    a.bind(top);
+    a.add(Reg::T2, Reg::T0, Reg::T1);
+    a.slli(Reg::T3, Reg::T2, 3);
+    a.xor(Reg::T4, Reg::T3, Reg::T0);
+    a.sub(Reg::T5, Reg::T4, Reg::T1);
+    a.srli(Reg::T6, Reg::T5, 2);
+    a.or(Reg::T0, Reg::T6, Reg::T2);
+    a.andi(Reg::T0, Reg::T0, 0xFF);
+    a.slt(Reg::T2, Reg::T0, Reg::T1);
+    a.add(Reg::T1, Reg::T1, Reg::T2);
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.bnez(Reg::S0, top);
+    a.ebreak();
+    a.assemble().expect("dhrystone program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: Scale = Scale(1);
+
+    #[test]
+    fn crc32_verifies() {
+        let r = IotBenchmark::Crc32.run(MemorySetup::HyperWithLlc, Scale(1)).unwrap();
+        assert!(r.verified, "crc mismatch");
+        assert!(r.cycles.get() > 0);
+    }
+
+    #[test]
+    fn crc32_reference_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(software_crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn sort_produces_sorted_output() {
+        let r = IotBenchmark::Sort.run(MemorySetup::DdrWithLlc, S).unwrap();
+        assert!(r.verified, "array not sorted");
+    }
+
+    #[test]
+    fn matrix_walk_checksum() {
+        let r = IotBenchmark::MatrixWalk.run(MemorySetup::HyperWithLlc, S).unwrap();
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn pointer_chase_is_latency_bound() {
+        let hyper = IotBenchmark::PointerChase.run(MemorySetup::HyperOnly, S).unwrap();
+        let ddr = IotBenchmark::PointerChase.run(MemorySetup::DdrOnly, S).unwrap();
+        // Without a cache, every hop pays the full memory latency, and
+        // HyperRAM latency is several times DDR latency.
+        assert!(hyper.cycles.get() > 2 * ddr.cycles.get());
+    }
+
+    #[test]
+    fn dhrystone_is_memory_insensitive() {
+        let hyper = IotBenchmark::Dhrystone.run(MemorySetup::HyperOnly, S).unwrap();
+        let ddr = IotBenchmark::Dhrystone.run(MemorySetup::DdrOnly, S).unwrap();
+        let ratio = hyper.cycles.get() as f64 / ddr.cycles.get() as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn llc_closes_the_gap_on_fir64() {
+        let with = IotBenchmark::Fir64.run(MemorySetup::HyperWithLlc, S).unwrap();
+        let ddr_with = IotBenchmark::Fir64.run(MemorySetup::DdrWithLlc, S).unwrap();
+        let ratio = with.cycles.get() as f64 / ddr_with.cycles.get() as f64;
+        assert!(ratio < 1.2, "Hyper+LLC vs DDR+LLC = {ratio}");
+    }
+}

@@ -1,0 +1,49 @@
+//! DSP/ML workloads, IoT benchmarks and DNN models for the HULK-V
+//! reproduction.
+//!
+//! Every benchmark of the paper's evaluation lives here:
+//!
+//! * [`suite`] — the Figure-6 DSP kernel suite (integer and floating-point,
+//!   each with a golden Rust reference, a scalar RV64 program for CVA6 and
+//!   a parallel Xpulp program for the PMCA);
+//! * [`synthetic`] — the Figure-7 strided-read benchmark that stresses the
+//!   cache hierarchy with a controllable miss ratio;
+//! * [`iot`] — the five CPU-centric IoT benchmarks of Figure 8;
+//! * [`dnn`] — the two end-to-end DNNs of Figure 9 (a MobileNet-class
+//!   classifier and a DroNet-style navigation network) with a DORY-style
+//!   tiler that derives their main-memory traffic and `CCR`;
+//! * [`dnn_exec`] — an *executed* DORY-style tiled convolution layer with
+//!   double-buffered DMA, verified against the golden reference;
+//! * [`golden`] — the scalar Rust reference implementations everything is
+//!   verified against;
+//! * [`data`] — deterministic input generation.
+//!
+//! # Example
+//!
+//! ```
+//! use hulkv::{HulkV, SocConfig};
+//! use hulkv_kernels::suite::{Kernel, KernelParams};
+//!
+//! let mut soc = HulkV::new(SocConfig::default())?;
+//! let params = KernelParams::small();
+//! let host = Kernel::MatMulI8.run_on_host(&mut soc, &params)?;
+//! let cluster = Kernel::MatMulI8.run_on_cluster(&mut soc, &params, 8)?;
+//! assert!(host.verified && cluster.verified);
+//! // The 8-core SIMD cluster crushes the scalar host on int8 matmul.
+//! assert!(cluster.kernel_cycles < host.cycles);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod dnn;
+pub mod dnn_exec;
+pub mod golden;
+pub mod iot;
+pub mod suite;
+pub mod synthetic;
+
+mod cluster_gen;
+mod host_gen;

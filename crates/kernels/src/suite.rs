@@ -1,0 +1,645 @@
+//! The Figure-6 DSP kernel suite: generation, execution and verification.
+
+use crate::{cluster_gen, data, golden, host_gen};
+use hulkv::{map, HulkV, OffloadResult, SocError};
+use hulkv_cluster::TCDM_BASE;
+use hulkv_rv::fp16::f16_to_f32;
+use hulkv_rv::Reg;
+use hulkv_sim::Cycles;
+
+/// The benchmark kernels of Figure 6: integer and floating-point DSP
+/// workloads, each runnable on the scalar host and on the SIMD cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// int8 matrix multiplication (the paper's headline 157 GOps/W case).
+    MatMulI8,
+    /// int32 matrix multiplication.
+    MatMulI32,
+    /// FP16 matrix multiplication (f32 on the host, which lacks FP16).
+    MatMulF16,
+    /// 3×3 int8 convolution.
+    Conv2dI8,
+    /// int16 FIR filter.
+    FirI16,
+    /// int8 ReLU.
+    ReluI8,
+    /// 2×2 int8 max pooling (lane shuffle + extract showcase).
+    MaxPoolI8,
+    /// f32 dot product.
+    DotpF32,
+    /// f32 AXPY.
+    AxpyF32,
+}
+
+impl Kernel {
+    /// Every kernel, integer ones first (as in the paper's figure).
+    pub const ALL: [Kernel; 9] = [
+        Kernel::MatMulI8,
+        Kernel::MatMulI32,
+        Kernel::Conv2dI8,
+        Kernel::FirI16,
+        Kernel::ReluI8,
+        Kernel::MaxPoolI8,
+        Kernel::MatMulF16,
+        Kernel::DotpF32,
+        Kernel::AxpyF32,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::MatMulI8 => "matmul-int8",
+            Kernel::MatMulI32 => "matmul-int32",
+            Kernel::MatMulF16 => "matmul-fp16",
+            Kernel::Conv2dI8 => "conv2d-int8",
+            Kernel::FirI16 => "fir-int16",
+            Kernel::ReluI8 => "relu-int8",
+            Kernel::MaxPoolI8 => "maxpool-int8",
+            Kernel::DotpF32 => "dotp-fp32",
+            Kernel::AxpyF32 => "axpy-fp32",
+        }
+    }
+
+    /// Whether this is one of the floating-point kernels (the harder
+    /// targets for the PMCA, per the paper).
+    pub fn is_float(self) -> bool {
+        matches!(self, Kernel::MatMulF16 | Kernel::DotpF32 | Kernel::AxpyF32)
+    }
+
+    /// Main-memory bytes moved per invocation when the DMA streams the
+    /// input tiles in and the results out (the communication side of the
+    /// Figure-9 `CCR` analysis).
+    pub fn tile_bytes(self, p: &KernelParams) -> u64 {
+        let n = p.matmul_n as u64;
+        match self {
+            Kernel::MatMulI8 => 2 * n * n + 4 * n * n,
+            Kernel::MatMulI32 => 8 * n * n + 4 * n * n,
+            Kernel::MatMulF16 => {
+                let n = p.f16_n as u64;
+                2 * 2 * n * n + 4 * n * n
+            }
+            Kernel::Conv2dI8 => {
+                (p.conv_h * p.conv_w) as u64 + 9 + 4 * ((p.conv_h - 2) * (p.conv_w - 2)) as u64
+            }
+            Kernel::FirI16 => 2 * (p.fir_n + p.fir_taps - 1) as u64 + 4 * p.fir_n as u64,
+            Kernel::ReluI8 => 2 * p.relu_n as u64,
+            Kernel::MaxPoolI8 => {
+                (p.pool_h * p.pool_w + p.pool_h * p.pool_w / 4) as u64
+            }
+            Kernel::DotpF32 => 8 * p.vec_n as u64,
+            Kernel::AxpyF32 => 12 * p.vec_n as u64,
+        }
+    }
+
+    /// Arithmetic operations per invocation (MAC = 2 ops), the GOps
+    /// numerator.
+    pub fn ops(self, p: &KernelParams) -> u64 {
+        match self {
+            Kernel::MatMulI8 | Kernel::MatMulI32 => 2 * (p.matmul_n as u64).pow(3),
+            Kernel::MatMulF16 => 2 * (p.f16_n as u64).pow(3),
+            Kernel::Conv2dI8 => {
+                2 * 9 * ((p.conv_h - 2) * (p.conv_w - 2)) as u64
+            }
+            Kernel::FirI16 => 2 * (p.fir_taps as u64) * (p.fir_n as u64),
+            Kernel::ReluI8 => p.relu_n as u64,
+            // Three max operations per pooled output.
+            Kernel::MaxPoolI8 => 3 * (p.pool_h as u64 / 2) * (p.pool_w as u64 / 2),
+            Kernel::DotpF32 | Kernel::AxpyF32 => 2 * p.vec_n as u64,
+        }
+    }
+}
+
+/// Problem sizes for the suite (sized to fit the 128 kB TCDM alongside the
+/// per-core stacks, as DORY-tiled inner kernels would be).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelParams {
+    /// Matrix dimension of the integer matmuls.
+    pub matmul_n: usize,
+    /// Matrix dimension of the FP16 matmul.
+    pub f16_n: usize,
+    /// Convolution input height.
+    pub conv_h: usize,
+    /// Convolution input width.
+    pub conv_w: usize,
+    /// FIR output samples.
+    pub fir_n: usize,
+    /// FIR taps (multiple of 2).
+    pub fir_taps: usize,
+    /// ReLU elements (multiple of 32).
+    pub relu_n: usize,
+    /// Max-pool input height (even).
+    pub pool_h: usize,
+    /// Max-pool input width (multiple of 4).
+    pub pool_w: usize,
+    /// Vector length of dotp/axpy (multiple of 8).
+    pub vec_n: usize,
+}
+
+impl KernelParams {
+    /// The benchmark sizes used by the figure harnesses.
+    pub fn small() -> Self {
+        KernelParams {
+            matmul_n: 64,
+            f16_n: 64,
+            conv_h: 34,
+            conv_w: 34,
+            fir_n: 1024,
+            fir_taps: 16,
+            relu_n: 8192,
+            pool_h: 64,
+            pool_w: 64,
+            vec_n: 2048,
+        }
+    }
+
+    /// Reduced sizes for fast unit tests.
+    pub fn tiny() -> Self {
+        KernelParams {
+            matmul_n: 8,
+            f16_n: 8,
+            conv_h: 10,
+            conv_w: 10,
+            fir_n: 64,
+            fir_taps: 8,
+            relu_n: 256,
+            pool_h: 8,
+            pool_w: 8,
+            vec_n: 128,
+        }
+    }
+}
+
+/// Outcome of a host-side kernel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostRun {
+    /// CVA6 core cycles consumed.
+    pub cycles: Cycles,
+    /// Arithmetic operations performed.
+    pub ops: u64,
+    /// Whether the output matched the golden reference.
+    pub verified: bool,
+}
+
+/// Outcome of a cluster-side kernel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterRun {
+    /// The full offload record (overhead + team execution).
+    pub offload: OffloadResult,
+    /// Kernel-only cycles in the cluster domain.
+    pub kernel_cycles: Cycles,
+    /// Arithmetic operations performed (summed over the team).
+    pub ops: u64,
+    /// Whether the output matched the golden reference.
+    pub verified: bool,
+}
+
+impl ClusterRun {
+    /// Average SoC cycles per kernel execution when the target region runs
+    /// the kernel `times` times under a single (lazily loaded) offload —
+    /// the two Figure-6 operating points are `times = 1` and `times = 1000`.
+    pub fn soc_cycles_amortized(&self, times: u64) -> f64 {
+        assert!(times > 0, "at least one execution");
+        let team_soc = (self.offload.total_soc_cycles - self.offload.overhead_cycles).get();
+        (self.offload.overhead_cycles.get() as f64 + (times * team_soc) as f64) / times as f64
+    }
+}
+
+/// Builds the cluster program for a kernel with an explicit size parameter
+/// (matrix dimension, FIR taps…), bypassing [`KernelParams`]. Exposed for
+/// the property-based tests that sweep problem sizes; not part of the
+/// stable API surface.
+///
+/// # Panics
+///
+/// Panics for kernels whose generator needs more than one size parameter.
+#[doc(hidden)]
+pub fn cluster_program_for_tests(kernel: Kernel, size: usize) -> Vec<u32> {
+    match kernel {
+        Kernel::MatMulI8 => cluster_gen::matmul_i8(size),
+        Kernel::MatMulI32 => cluster_gen::matmul_i32(size),
+        Kernel::MatMulF16 => cluster_gen::matmul_f16(size),
+        Kernel::FirI16 => cluster_gen::fir_i16(size),
+        Kernel::Conv2dI8 => cluster_gen::conv2d_i8(),
+        Kernel::ReluI8 => cluster_gen::relu_i8(),
+        Kernel::MaxPoolI8 => cluster_gen::maxpool2x2_i8(),
+        Kernel::DotpF32 | Kernel::AxpyF32 => {
+            panic!("vector kernels need (n, cores); use run_on_cluster")
+        }
+    }
+}
+
+const HOST_RUN_BUDGET: u64 = 2_000_000_000;
+const CLUSTER_RUN_BUDGET: u64 = 500_000_000;
+
+fn host_data_base(soc: &HulkV) -> u64 {
+    map::L2SPM_BASE + soc.config().l2spm_bytes as u64 / 2
+}
+
+fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+impl Kernel {
+    /// Runs the scalar kernel on CVA6 with its working set in the L2SPM
+    /// (where a DORY-style tiler would have staged it) and verifies the
+    /// result against the golden reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC and execution errors.
+    pub fn run_on_host(self, soc: &mut HulkV, p: &KernelParams) -> Result<HostRun, SocError> {
+        let base = host_data_base(soc);
+        let ops = self.ops(p);
+        let (program, a_bytes, b_bytes, out_init, n_arg, m_arg) = self.host_setup(p);
+        let out_len = out_init.len();
+        let a_addr = base;
+        let b_addr = a_addr + a_bytes.len() as u64;
+        let c_addr = (b_addr + b_bytes.len() as u64 + 63) & !63;
+        soc.write_mem(a_addr, &a_bytes)?;
+        if !b_bytes.is_empty() {
+            soc.write_mem(b_addr, &b_bytes)?;
+        }
+        soc.write_mem(c_addr, &out_init)?;
+
+        let cycles = soc.run_host_program(
+            &program,
+            |core| {
+                core.set_reg(Reg::A0, a_addr);
+                core.set_reg(Reg::A1, b_addr);
+                core.set_reg(Reg::A2, c_addr);
+                core.set_reg(Reg::A3, n_arg);
+                core.set_reg(Reg::A4, m_arg);
+            },
+            HOST_RUN_BUDGET,
+        )?;
+
+        let mut out = vec![0u8; out_len];
+        soc.read_mem(c_addr, &mut out)?;
+        let verified = self.verify(p, &out, false, 1);
+        Ok(HostRun { cycles, ops, verified })
+    }
+
+    /// Offloads the kernel to the PMCA with its working set in the TCDM
+    /// and verifies the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SoC and execution errors.
+    pub fn run_on_cluster(
+        self,
+        soc: &mut HulkV,
+        p: &KernelParams,
+        cores: usize,
+    ) -> Result<ClusterRun, SocError> {
+        let ops = self.ops(p);
+        let (program, a_bytes, b_bytes, out_init, n_arg, m_arg) = self.cluster_setup(p, cores);
+        let out_len = out_init.len();
+        let a_off = 0u64;
+        let b_off = a_off + a_bytes.len() as u64;
+        let c_off = (b_off + b_bytes.len() as u64 + 63) & !63;
+        soc.cluster_mut().tcdm_write(a_off, &a_bytes)?;
+        if !b_bytes.is_empty() {
+            soc.cluster_mut().tcdm_write(b_off, &b_bytes)?;
+        }
+        soc.cluster_mut().tcdm_write(c_off, &out_init)?;
+
+        let kernel = soc.register_kernel(&program)?;
+        let args = [
+            (Reg::A0, TCDM_BASE + a_off),
+            (Reg::A1, TCDM_BASE + b_off),
+            (Reg::A2, TCDM_BASE + c_off),
+            (Reg::A3, n_arg),
+            (Reg::A4, m_arg),
+            (Reg::A7, cores as u64),
+        ];
+        let offload = soc.offload(kernel, &args, cores, CLUSTER_RUN_BUDGET)?;
+
+        let mut out = vec![0u8; out_len];
+        soc.cluster_mut().tcdm_read(c_off, &mut out)?;
+        let verified = self.verify(p, &out, true, cores);
+        Ok(ClusterRun {
+            kernel_cycles: offload.team.cycles,
+            ops,
+            verified,
+            offload,
+        })
+    }
+
+    /// Program + input images + initial output image + size args for the
+    /// host. The output image is usually zeros; AXPY seeds it with `y`
+    /// because the kernel updates it in place.
+    #[allow(clippy::type_complexity)]
+    fn host_setup(self, p: &KernelParams) -> (Vec<u32>, Vec<u8>, Vec<u8>, Vec<u8>, u64, u64) {
+        match self {
+            Kernel::MatMulI8 => {
+                let n = p.matmul_n;
+                let a = data::i8_inputs(11, n * n);
+                let b = data::i8_inputs(12, n * n);
+                (
+                    host_gen::matmul_i8(),
+                    data::i8_bytes(&a),
+                    data::i8_bytes(&b),
+                    vec![0u8; n * n * 4],
+                    n as u64,
+                    0,
+                )
+            }
+            Kernel::MatMulI32 => {
+                let n = p.matmul_n;
+                let a = data::i32_inputs(21, n * n);
+                let b = data::i32_inputs(22, n * n);
+                (
+                    host_gen::matmul_i32(),
+                    data::i32_bytes(&a),
+                    data::i32_bytes(&b),
+                    vec![0u8; n * n * 4],
+                    n as u64,
+                    0,
+                )
+            }
+            Kernel::MatMulF16 => {
+                // The host runs FP32 on the same values.
+                let n = p.f16_n;
+                let a: Vec<f32> = data::f16_inputs(31, n * n).iter().map(|&v| f16_to_f32(v)).collect();
+                let b: Vec<f32> = data::f16_inputs(32, n * n).iter().map(|&v| f16_to_f32(v)).collect();
+                (
+                    host_gen::matmul_f32(),
+                    data::f32_bytes(&a),
+                    data::f32_bytes(&b),
+                    vec![0u8; n * n * 4],
+                    n as u64,
+                    0,
+                )
+            }
+            Kernel::Conv2dI8 => {
+                let (h, w) = (p.conv_h, p.conv_w);
+                let img = data::i8_inputs(41, h * w);
+                let wts = data::i8_inputs(42, 9);
+                (
+                    host_gen::conv2d_i8(),
+                    data::i8_bytes(&img),
+                    data::i8_bytes(&wts),
+                    vec![0u8; (h - 2) * (w - 2) * 4],
+                    h as u64,
+                    w as u64,
+                )
+            }
+            Kernel::FirI16 => {
+                let x = data::i16_inputs(51, p.fir_n + p.fir_taps - 1);
+                let c = data::i16_inputs(52, p.fir_taps);
+                (
+                    host_gen::fir_i16(),
+                    data::i16_bytes(&x),
+                    data::i16_bytes(&c),
+                    vec![0u8; p.fir_n * 4],
+                    p.fir_n as u64,
+                    p.fir_taps as u64,
+                )
+            }
+            Kernel::ReluI8 => {
+                let x = data::i8_inputs(61, p.relu_n);
+                (
+                    host_gen::relu_i8(),
+                    data::i8_bytes(&x),
+                    Vec::new(),
+                    vec![0u8; p.relu_n],
+                    p.relu_n as u64,
+                    0,
+                )
+            }
+            Kernel::MaxPoolI8 => {
+                let (h, w) = (p.pool_h, p.pool_w);
+                let x = data::i8_inputs(91, h * w);
+                (
+                    host_gen::maxpool2x2_i8(),
+                    data::i8_bytes(&x),
+                    Vec::new(),
+                    vec![0u8; h * w / 4],
+                    h as u64,
+                    w as u64,
+                )
+            }
+            Kernel::DotpF32 => {
+                let a = data::f32_inputs(71, p.vec_n);
+                let b = data::f32_inputs(72, p.vec_n);
+                (
+                    host_gen::dotp_f32(),
+                    data::f32_bytes(&a),
+                    data::f32_bytes(&b),
+                    vec![0u8; 4],
+                    p.vec_n as u64,
+                    0,
+                )
+            }
+            Kernel::AxpyF32 => {
+                let x = data::f32_inputs(81, p.vec_n);
+                let y = data::f32_inputs(82, p.vec_n);
+                (
+                    host_gen::axpy_f32(),
+                    data::f32_bytes(&x),
+                    Vec::new(),
+                    data::f32_bytes(&y), // y is updated in place
+                    p.vec_n as u64,
+                    1.5f32.to_bits() as u64,
+                )
+            }
+        }
+    }
+
+    /// Same, for the cluster.
+    #[allow(clippy::type_complexity)]
+    fn cluster_setup(self, p: &KernelParams, cores: usize) -> (Vec<u32>, Vec<u8>, Vec<u8>, Vec<u8>, u64, u64) {
+        match self {
+            Kernel::MatMulI8 => {
+                let mut r = self.host_setup(p);
+                r.0 = cluster_gen::matmul_i8(p.matmul_n);
+                r
+            }
+            Kernel::MatMulI32 => {
+                let mut r = self.host_setup(p);
+                r.0 = cluster_gen::matmul_i32(p.matmul_n);
+                r
+            }
+            Kernel::MatMulF16 => {
+                let n = p.f16_n;
+                let a = data::f16_inputs(31, n * n);
+                let b = data::f16_inputs(32, n * n);
+                (
+                    cluster_gen::matmul_f16(n),
+                    data::u16_bytes(&a),
+                    data::u16_bytes(&b),
+                    vec![0u8; n * n * 4], // f32 outputs
+                    n as u64,
+                    0,
+                )
+            }
+            Kernel::Conv2dI8 => {
+                let mut r = self.host_setup(p);
+                r.0 = cluster_gen::conv2d_i8();
+                r
+            }
+            Kernel::FirI16 => {
+                let mut r = self.host_setup(p);
+                r.0 = cluster_gen::fir_i16(p.fir_taps);
+                r
+            }
+            Kernel::ReluI8 => {
+                let mut r = self.host_setup(p);
+                r.0 = cluster_gen::relu_i8();
+                r
+            }
+            Kernel::MaxPoolI8 => {
+                let mut r = self.host_setup(p);
+                r.0 = cluster_gen::maxpool2x2_i8();
+                r
+            }
+            Kernel::DotpF32 => {
+                let mut r = self.host_setup(p);
+                r.0 = cluster_gen::dotp_f32(p.vec_n, cores);
+                r.3 = vec![0u8; cores * 4]; // one f32 partial per core
+                r
+            }
+            Kernel::AxpyF32 => {
+                let mut r = self.host_setup(p);
+                r.0 = cluster_gen::axpy_f32(p.vec_n, cores);
+                r
+            }
+        }
+    }
+
+    /// Verifies raw output bytes against the golden reference.
+    fn verify(self, p: &KernelParams, out: &[u8], cluster: bool, cores: usize) -> bool {
+        match self {
+            Kernel::MatMulI8 => {
+                let n = p.matmul_n;
+                let a = data::i8_inputs(11, n * n);
+                let b = data::i8_inputs(12, n * n);
+                data::i32_from_bytes(out) == golden::matmul_i8(&a, &b, n)
+            }
+            Kernel::MatMulI32 => {
+                let n = p.matmul_n;
+                let a = data::i32_inputs(21, n * n);
+                let b = data::i32_inputs(22, n * n);
+                data::i32_from_bytes(out) == golden::matmul_i32(&a, &b, n)
+            }
+            Kernel::MatMulF16 => {
+                let n = p.f16_n;
+                let a = data::f16_inputs(31, n * n);
+                let b = data::f16_inputs(32, n * n);
+                let expect = golden::matmul_f16(&a, &b, n);
+                let got = data::f32_from_bytes(out);
+                // Host accumulates f32 sequentially, cluster pairs lanes:
+                // both must land within half-precision resolution of the
+                // f16-rounded golden product.
+                got.iter()
+                    .zip(&expect)
+                    .all(|(&g, &e)| approx_eq(g, f16_to_f32(e), 0.02))
+            }
+            Kernel::Conv2dI8 => {
+                let (h, w) = (p.conv_h, p.conv_w);
+                let img = data::i8_inputs(41, h * w);
+                let wts = data::i8_inputs(42, 9);
+                data::i32_from_bytes(out) == golden::conv2d_i8(&img, &wts, h, w)
+            }
+            Kernel::FirI16 => {
+                let x = data::i16_inputs(51, p.fir_n + p.fir_taps - 1);
+                let c = data::i16_inputs(52, p.fir_taps);
+                data::i32_from_bytes(out) == golden::fir_i16(&x, &c)[..p.fir_n]
+            }
+            Kernel::ReluI8 => {
+                let x = data::i8_inputs(61, p.relu_n);
+                data::i8_from_bytes(out) == golden::relu_i8(&x)
+            }
+            Kernel::MaxPoolI8 => {
+                let (h, w) = (p.pool_h, p.pool_w);
+                let x = data::i8_inputs(91, h * w);
+                data::i8_from_bytes(out) == golden::maxpool2x2_i8(&x, h, w)
+            }
+            Kernel::DotpF32 => {
+                let a = data::f32_inputs(71, p.vec_n);
+                let b = data::f32_inputs(72, p.vec_n);
+                let expect = golden::dotp_f32(&a, &b);
+                let got = if cluster {
+                    data::f32_from_bytes(&out[..cores * 4]).iter().sum::<f32>()
+                } else {
+                    data::f32_from_bytes(&out[..4])[0]
+                };
+                approx_eq(got, expect, 1e-4)
+            }
+            Kernel::AxpyF32 => {
+                let x = data::f32_inputs(81, p.vec_n);
+                let y = data::f32_inputs(82, p.vec_n);
+                let expect = golden::axpy_f32(1.5, &x, &y);
+                data::f32_from_bytes(out) == expect
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hulkv::SocConfig;
+
+    #[test]
+    fn every_kernel_verifies_on_host() {
+        let p = KernelParams::tiny();
+        for k in Kernel::ALL {
+            let mut soc = HulkV::new(SocConfig::default()).unwrap();
+            let run = k.run_on_host(&mut soc, &p).unwrap();
+            assert!(run.verified, "{} host output mismatch", k.name());
+            assert!(run.cycles.get() > 0);
+            assert!(run.ops > 0);
+        }
+    }
+
+    #[test]
+    fn every_kernel_verifies_on_cluster() {
+        let p = KernelParams::tiny();
+        for k in Kernel::ALL {
+            let mut soc = HulkV::new(SocConfig::default()).unwrap();
+            let run = k.run_on_cluster(&mut soc, &p, 8).unwrap();
+            assert!(run.verified, "{} cluster output mismatch", k.name());
+            assert!(run.kernel_cycles.get() > 0);
+        }
+    }
+
+    #[test]
+    fn cluster_beats_host_on_int8_matmul() {
+        let p = KernelParams::tiny();
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let host = Kernel::MatMulI8.run_on_host(&mut soc, &p).unwrap();
+        let cluster = Kernel::MatMulI8.run_on_cluster(&mut soc, &p, 8).unwrap();
+        // Kernel-only cycles: 8 cores x 4-wide SIMD vs 1 scalar core.
+        assert!(
+            cluster.kernel_cycles.get() * 4 < host.cycles.get(),
+            "cluster {} vs host {}",
+            cluster.kernel_cycles,
+            host.cycles
+        );
+    }
+
+    #[test]
+    fn amortization_shrinks_per_run_cost() {
+        let p = KernelParams::tiny();
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let run = Kernel::FirI16.run_on_cluster(&mut soc, &p, 8).unwrap();
+        let once = run.soc_cycles_amortized(1);
+        let thousand = run.soc_cycles_amortized(1000);
+        assert!(once > thousand);
+        // With 1000 reps the overhead share is negligible.
+        let team = (run.offload.total_soc_cycles - run.offload.overhead_cycles).get() as f64;
+        assert!((thousand - team) / team < 0.05);
+    }
+
+    #[test]
+    fn ops_formulas() {
+        let p = KernelParams::small();
+        assert_eq!(Kernel::MatMulI8.ops(&p), 2 * 64u64.pow(3));
+        assert_eq!(Kernel::Conv2dI8.ops(&p), 2 * 9 * 32 * 32);
+        assert_eq!(Kernel::DotpF32.ops(&p), 2 * 2048);
+        assert_eq!(Kernel::ALL.len(), 9);
+        assert!(Kernel::MatMulF16.is_float());
+        assert!(!Kernel::MatMulI8.is_float());
+    }
+}

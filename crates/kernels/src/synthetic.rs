@@ -1,0 +1,212 @@
+//! The Figure-7 synthetic cache-stress benchmark.
+//!
+//! The paper's benchmark reads a 4 kB L1 way, then performs rounds of 4 kB
+//! reads with stride `S`; the L1 miss ratio grows with `S` and, past a
+//! point, the miss traffic outruns the LLC too. This module reproduces the
+//! mechanism with the miss knob made explicit: each round issues 64
+//! line-sized reads, `miss_per_round = m` of which walk cyclically over a
+//! thrash footprint of `m × 4 kB` while the rest hit a resident 4 kB block.
+//!
+//! * `m ≤ 8` — the footprint fits the 32 kB L1: everything hits.
+//! * `8 < m ≤ 32` — the footprint exceeds the L1 but fits the 128 kB LLC:
+//!   the L1 miss ratio is ≈ `m/64` and the LLC absorbs it.
+//! * `m > 32` — the footprint exceeds the LLC: misses reach main memory,
+//!   and the HyperRAM configurations fall behind DDR4 — exactly the
+//!   paper's observation that DDR4 only pays off beyond ≈50 % L1 miss
+//!   ratio.
+//!
+//! As in the paper, the pattern "draws a lower performance bound: the
+//! resulting data pattern is highly unlikely to happen in real-world
+//! applications".
+
+use hulkv::{map, HulkV, MemorySetup, SocConfig, SocError};
+use hulkv_rv::{Asm, Reg, Xlen};
+
+/// Reads per round (one per line of a 4 kB L1 way).
+pub const READS_PER_ROUND: usize = 64;
+
+/// Thrash footprint contributed by each missing read: 4 kB, so the sweep
+/// crosses the L1 capacity at `m = 8` and the LLC capacity at `m = 32`.
+pub const FOOTPRINT_PER_MISS: usize = 4096;
+
+/// One measured point of the Figure-7 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Memory configuration measured.
+    pub setup: MemorySetup,
+    /// Fraction of reads aimed at the thrash footprint.
+    pub miss_fraction: f64,
+    /// Host-core cycles per read.
+    pub cycles_per_read: f64,
+    /// Observed L1D miss ratio (the paper's x-axis).
+    pub l1d_miss_ratio: f64,
+}
+
+/// Generates the sweep program: `rounds` rounds of [`READS_PER_ROUND`]
+/// loads, `miss_per_round` of which walk the thrash footprint cyclically.
+///
+/// Register convention: `a0` = resident 4 kB block, `a1` = thrash region
+/// base. The thrash cursor lives in `s5` and persists across rounds.
+///
+/// # Panics
+///
+/// Panics if `miss_per_round > READS_PER_ROUND`.
+pub fn sweep_program(miss_per_round: usize, rounds: usize) -> Vec<u32> {
+    assert!(miss_per_round <= READS_PER_ROUND);
+    let hits = READS_PER_ROUND - miss_per_round;
+    let footprint = (miss_per_round * FOOTPRINT_PER_MISS) as i64;
+    let mut a = Asm::new(Xlen::Rv64);
+
+    a.li(Reg::S0, rounds as i64);
+    a.li(Reg::S5, 0); // thrash cursor
+    a.li(Reg::S6, footprint.max(1));
+    let round = a.label();
+    a.bind(round);
+    if hits > 0 {
+        a.mv(Reg::T0, Reg::A0);
+        a.li(Reg::T1, hits as i64);
+        let l = a.label();
+        a.bind(l);
+        a.ld(Reg::T2, Reg::T0, 0);
+        a.addi(Reg::T0, Reg::T0, 64);
+        a.addi(Reg::T1, Reg::T1, -1);
+        a.bnez(Reg::T1, l);
+    }
+    if miss_per_round > 0 {
+        a.li(Reg::T1, miss_per_round as i64);
+        let l = a.label();
+        a.bind(l);
+        a.add(Reg::T0, Reg::A1, Reg::S5);
+        a.ld(Reg::T2, Reg::T0, 0);
+        a.addi(Reg::S5, Reg::S5, 64);
+        let no_wrap = a.label();
+        a.blt(Reg::S5, Reg::S6, no_wrap);
+        a.li(Reg::S5, 0);
+        a.bind(no_wrap);
+        a.addi(Reg::T1, Reg::T1, -1);
+        a.bnez(Reg::T1, l);
+    }
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.bnez(Reg::S0, round);
+    a.ebreak();
+    a.assemble().expect("sweep program")
+}
+
+/// Runs one sweep point on a fresh SoC with the given memory setup:
+/// one warm-up pass over the whole footprint, then `rounds` measured
+/// rounds.
+///
+/// # Errors
+///
+/// Propagates SoC construction and execution errors.
+pub fn run_sweep_point(
+    setup: MemorySetup,
+    miss_per_round: usize,
+    rounds: usize,
+) -> Result<SweepPoint, SocError> {
+    let mut p = run_sweep_point_with_config(
+        SocConfig::with_memory_setup(setup),
+        miss_per_round,
+        rounds,
+    )?;
+    p.setup = setup;
+    Ok(p)
+}
+
+/// Like [`run_sweep_point`] but with a caller-supplied SoC configuration
+/// (used by the LLC-geometry ablations). The returned point is labeled
+/// with the flagship setup.
+///
+/// # Errors
+///
+/// Propagates SoC construction and execution errors.
+pub fn run_sweep_point_with_config(
+    cfg: SocConfig,
+    miss_per_round: usize,
+    rounds: usize,
+) -> Result<SweepPoint, SocError> {
+    let mut soc = HulkV::new(cfg)?;
+    let resident = map::DRAM_BASE + 0x0300_0000;
+    let thrash = map::DRAM_BASE + 0x0400_0000;
+    let set_args = |core: &mut hulkv_rv::Core| {
+        core.set_reg(Reg::A0, resident);
+        core.set_reg(Reg::A1, thrash);
+    };
+
+    // Warm-up: one full pass over the footprint (the paper's "second
+    // iteration warms up the caches").
+    let warm_rounds = FOOTPRINT_PER_MISS / 64;
+    soc.run_host_program(&sweep_program(miss_per_round, warm_rounds), set_args, 1_000_000_000)?;
+
+    soc.host_mut().core_mut().reset_counters();
+    let l1_hits0 = soc.host().l1d_stats().get("hits");
+    let l1_miss0 = soc.host().l1d_stats().get("misses");
+    let cycles =
+        soc.run_host_program(&sweep_program(miss_per_round, rounds), set_args, 10_000_000_000)?;
+
+    let hits = (soc.host().l1d_stats().get("hits") - l1_hits0) as f64;
+    let misses = (soc.host().l1d_stats().get("misses") - l1_miss0) as f64;
+    let reads = (rounds * READS_PER_ROUND) as f64;
+    Ok(SweepPoint {
+        setup: MemorySetup::HyperWithLlc,
+        miss_fraction: miss_per_round as f64 / READS_PER_ROUND as f64,
+        cycles_per_read: cycles.get() as f64 / reads,
+        l1d_miss_ratio: if hits + misses > 0.0 { misses / (hits + misses) } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_miss_point_is_fast_everywhere() {
+        for setup in MemorySetup::ALL {
+            let p = run_sweep_point(setup, 0, 20).unwrap();
+            assert!(
+                p.cycles_per_read < 8.0,
+                "{}: {} cycles/read",
+                setup.name(),
+                p.cycles_per_read
+            );
+        }
+    }
+
+    #[test]
+    fn miss_ratio_tracks_knob() {
+        let low = run_sweep_point(MemorySetup::HyperWithLlc, 16, 64).unwrap();
+        let high = run_sweep_point(MemorySetup::HyperWithLlc, 56, 64).unwrap();
+        assert!(high.l1d_miss_ratio > low.l1d_miss_ratio + 0.2);
+        assert!(high.cycles_per_read > low.cycles_per_read);
+    }
+
+    #[test]
+    fn llc_absorbs_moderate_miss_ratios() {
+        // Footprint 96 kB: misses fit the LLC, so the LLC config stays
+        // far ahead of the raw-HyperRAM config.
+        let with = run_sweep_point(MemorySetup::HyperWithLlc, 24, 64).unwrap();
+        let without = run_sweep_point(MemorySetup::HyperOnly, 24, 64).unwrap();
+        assert!(
+            without.cycles_per_read > 2.0 * with.cycles_per_read,
+            "with {} vs without {}",
+            with.cycles_per_read,
+            without.cycles_per_read
+        );
+    }
+
+    #[test]
+    fn hyper_matches_ddr_below_half_missing_and_diverges_above() {
+        // The paper's crossover: below ~50 % L1 miss ratio HyperRAM+LLC
+        // performs like DDR4+LLC...
+        let hyper = run_sweep_point(MemorySetup::HyperWithLlc, 24, 64).unwrap();
+        let ddr = run_sweep_point(MemorySetup::DdrWithLlc, 24, 64).unwrap();
+        assert!(hyper.l1d_miss_ratio < 0.5);
+        let ratio = hyper.cycles_per_read / ddr.cycles_per_read;
+        assert!(ratio < 1.3, "hyper/ddr = {ratio}");
+        // ...and diverges when the miss traffic outruns the LLC.
+        let hyper = run_sweep_point(MemorySetup::HyperWithLlc, 64, 64).unwrap();
+        let ddr = run_sweep_point(MemorySetup::DdrWithLlc, 64, 64).unwrap();
+        assert!(hyper.l1d_miss_ratio > 0.5);
+        assert!(hyper.cycles_per_read / ddr.cycles_per_read > 2.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Clock-domain bridge between memory devices.
+
+use crate::{MemoryDevice, SharedMem};
+use hulkv_sim::{convert_freq, Cycles, Freq, SimError, Stats};
+
+/// Wraps a device living in another clock domain, converting its reported
+/// latencies into the caller's domain (rounding up, like a synchronizer).
+///
+/// In HULK-V the CVA6 L1 caches run at the core clock (up to 900 MHz) while
+/// the AXI crossbar, LLC and memory controller run in the 450 MHz SoC
+/// domain; a `ClockBridge` sits exactly where the dual-clock FIFOs sit in
+/// the RTL.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_mem::{shared, ClockBridge, MemoryDevice, Sram};
+/// use hulkv_sim::{Cycles, Freq};
+///
+/// let slow = shared(Sram::new("soc_sram", 64, Cycles::new(4)));
+/// let mut seen_from_core = ClockBridge::new(slow, Freq::mhz(450), Freq::mhz(900));
+/// let mut b = [0u8; 4];
+/// // 4 SoC cycles are 8 core cycles.
+/// assert_eq!(seen_from_core.read(0, &mut b)?, Cycles::new(8));
+/// # Ok::<(), hulkv_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct ClockBridge {
+    inner: SharedMem,
+    src: Freq,
+    dst: Freq,
+    stats: Stats,
+}
+
+impl ClockBridge {
+    /// Bridges `inner` (whose latencies are in the `src` domain) into the
+    /// `dst` domain.
+    pub fn new(inner: SharedMem, src: Freq, dst: Freq) -> Self {
+        ClockBridge {
+            inner,
+            src,
+            dst,
+            stats: Stats::new("clock_bridge"),
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> SharedMem {
+        self.inner.clone()
+    }
+}
+
+impl MemoryDevice for ClockBridge {
+    fn size_bytes(&self) -> u64 {
+        self.inner.borrow().size_bytes()
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        let lat = self.inner.borrow_mut().read(offset, buf)?;
+        Ok(convert_freq(lat, self.src, self.dst))
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError> {
+        let lat = self.inner.borrow_mut().write(offset, data)?;
+        Ok(convert_freq(lat, self.src, self.dst))
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shared, Sram};
+
+    #[test]
+    fn latency_converted_both_directions() {
+        let dev = shared(Sram::new("m", 64, Cycles::new(10)));
+        let mut up = ClockBridge::new(dev.clone(), Freq::mhz(450), Freq::mhz(900));
+        let mut down = ClockBridge::new(dev, Freq::mhz(450), Freq::mhz(225));
+        let mut b = [0u8; 4];
+        assert_eq!(up.read(0, &mut b).unwrap(), Cycles::new(20));
+        assert_eq!(down.read(0, &mut b).unwrap(), Cycles::new(5));
+    }
+
+    #[test]
+    fn data_passes_through() {
+        let dev = shared(Sram::new("m", 64, Cycles::new(1)));
+        let mut bridge = ClockBridge::new(dev.clone(), Freq::mhz(100), Freq::mhz(300));
+        bridge.write(8, &[1, 2, 3]).unwrap();
+        let mut b = [0u8; 3];
+        dev.borrow_mut().read(8, &mut b).unwrap();
+        assert_eq!(b, [1, 2, 3]);
+        assert_eq!(bridge.size_bytes(), 64);
+    }
+}

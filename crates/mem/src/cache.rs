@@ -1,0 +1,514 @@
+//! A generic set-associative cache with LRU replacement.
+
+use crate::device::check_range;
+use crate::{MemoryDevice, SharedMem};
+use hulkv_sim::{Cycles, SimError, Stats};
+
+/// Write-handling policy of a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Dirty lines are written back on eviction (used by the LLC).
+    WriteBack,
+    /// Every write is propagated to the backing store (used by the CVA6 L1
+    /// data cache, which is write-through "to enable simple coherency with
+    /// other masters").
+    WriteThrough,
+}
+
+/// Static configuration of a [`Cache`].
+///
+/// # Example
+///
+/// ```
+/// use hulkv_mem::{CacheConfig, WritePolicy};
+///
+/// // The CVA6 32 kB L1 data cache: 8 ways, 64-byte lines.
+/// let cfg = CacheConfig {
+///     name: "l1d".into(),
+///     ways: 8,
+///     sets: 64,
+///     line_bytes: 64,
+///     hit_latency: hulkv_sim::Cycles::new(1),
+///     write_policy: WritePolicy::WriteThrough,
+///     write_allocate: false,
+///     write_buffer: true,
+/// };
+/// assert_eq!(cfg.size_bytes(), 32 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name, used in statistics.
+    pub name: String,
+    /// Associativity.
+    pub ways: usize,
+    /// Number of sets.
+    pub sets: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+    /// Latency charged on a hit.
+    pub hit_latency: Cycles,
+    /// Write-back or write-through behaviour.
+    pub write_policy: WritePolicy,
+    /// Whether a write miss allocates a line (`true` for write-back caches,
+    /// typically `false` for write-through ones).
+    pub write_allocate: bool,
+    /// Whether a store buffer hides the latency of write-through traffic.
+    /// Data still propagates immediately; only the charged latency changes.
+    pub write_buffer: bool,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.ways * self.sets * self.line_bytes) as u64
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.ways == 0 || self.sets == 0 || self.line_bytes == 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "cache {}: ways/sets/line_bytes must be non-zero",
+                self.name
+            )));
+        }
+        if !self.line_bytes.is_power_of_two() || !self.sets.is_power_of_two() {
+            return Err(SimError::InvalidConfig(format!(
+                "cache {}: line_bytes and sets must be powers of two",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    lru: u64,
+    data: Vec<u8>,
+}
+
+/// A set-associative cache with true data storage, LRU replacement and
+/// configurable write policy, in front of a shared backing device.
+///
+/// The same engine models the CVA6 L1 instruction and data caches and the
+/// 128 kB last-level cache; only the [`CacheConfig`] differs. Latencies
+/// returned by accesses include backing-store time on misses and (for
+/// unbuffered write-through) on writes, all in the cache's own clock domain
+/// (backing devices in other domains must be wrapped by an adapter that
+/// converts — in HULK-V all blocks on the host AXI share the SoC domain).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_mem::{shared, Cache, CacheConfig, MemoryDevice, Sram, WritePolicy};
+/// use hulkv_sim::Cycles;
+///
+/// let dram = shared(Sram::new("dram", 4096, Cycles::new(100)));
+/// let cfg = CacheConfig {
+///     name: "llc".into(),
+///     ways: 2,
+///     sets: 4,
+///     line_bytes: 16,
+///     hit_latency: Cycles::new(1),
+///     write_policy: WritePolicy::WriteBack,
+///     write_allocate: true,
+///     write_buffer: false,
+/// };
+/// let mut c = Cache::new(cfg, dram)?;
+/// let mut buf = [0u8; 4];
+/// let cold = c.read(0, &mut buf)?; // miss: goes to DRAM
+/// let warm = c.read(4, &mut buf)?; // hit: same line
+/// assert!(cold > warm);
+/// # Ok::<(), hulkv_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    backing: SharedMem,
+    stats: Stats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates a cache over `backing`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate geometries.
+    pub fn new(cfg: CacheConfig, backing: SharedMem) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let lines = vec![
+            Line {
+                valid: false,
+                dirty: false,
+                tag: 0,
+                lru: 0,
+                data: vec![0; cfg.line_bytes],
+            };
+            cfg.ways * cfg.sets
+        ];
+        let stats = Stats::new(cfg.name.clone());
+        Ok(Cache {
+            cfg,
+            lines,
+            backing,
+            stats,
+            tick: 0,
+        })
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Fraction of accesses that missed, `misses / (hits + misses)`.
+    pub fn miss_ratio(&self) -> f64 {
+        self.stats.ratio("misses", "hits")
+    }
+
+    /// Invalidates every line, writing dirty lines back first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store errors from write-backs.
+    pub fn flush(&mut self) -> Result<Cycles, SimError> {
+        let mut total = Cycles::ZERO;
+        let (sets, line_bytes) = (self.cfg.sets, self.cfg.line_bytes);
+        for idx in 0..self.lines.len() {
+            if self.lines[idx].valid && self.lines[idx].dirty {
+                let set = idx / self.cfg.ways;
+                let addr = (self.lines[idx].tag * sets as u64 + set as u64) * line_bytes as u64;
+                let data = self.lines[idx].data.clone();
+                total += self.backing.borrow_mut().write(addr, &data)?;
+                self.stats.inc("writebacks");
+            }
+            self.lines[idx].valid = false;
+            self.lines[idx].dirty = false;
+        }
+        Ok(total)
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes as u64) as usize) & (self.cfg.sets - 1)
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes as u64 / self.cfg.sets as u64
+    }
+
+    fn line_base(&self, tag: u64, set: usize) -> u64 {
+        (tag * self.cfg.sets as u64 + set as u64) * self.cfg.line_bytes as u64
+    }
+
+    /// Finds the way holding `(tag, set)`, if present.
+    fn lookup(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.cfg.ways;
+        (0..self.cfg.ways)
+            .find(|&w| self.lines[base + w].valid && self.lines[base + w].tag == tag)
+            .map(|w| base + w)
+    }
+
+    /// Picks a victim way in `set`: an invalid way if any, else the LRU one.
+    fn victim(&self, set: usize) -> usize {
+        let base = set * self.cfg.ways;
+        for w in 0..self.cfg.ways {
+            if !self.lines[base + w].valid {
+                return base + w;
+            }
+        }
+        (0..self.cfg.ways)
+            .min_by_key(|&w| self.lines[base + w].lru)
+            .map(|w| base + w)
+            .expect("cache has at least one way")
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        self.lines[idx].lru = self.tick;
+    }
+
+    /// Ensures the line containing `addr` is resident; returns
+    /// `(line_index, fill_latency)`.
+    fn ensure_line(&mut self, addr: u64) -> Result<(usize, Cycles), SimError> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        if let Some(idx) = self.lookup(set, tag) {
+            self.stats.inc("hits");
+            self.touch(idx);
+            return Ok((idx, Cycles::ZERO));
+        }
+        self.stats.inc("misses");
+        let mut lat = Cycles::ZERO;
+        let idx = self.victim(set);
+        if self.lines[idx].valid && self.lines[idx].dirty {
+            let victim_addr = self.line_base(self.lines[idx].tag, set);
+            let data = self.lines[idx].data.clone();
+            lat += self.backing.borrow_mut().write(victim_addr, &data)?;
+            self.stats.inc("writebacks");
+        }
+        let line_addr = self.line_base(tag, set);
+        let mut data = std::mem::take(&mut self.lines[idx].data);
+        lat += self.backing.borrow_mut().read(line_addr, &mut data)?;
+        self.stats.inc("refills");
+        self.lines[idx] = Line {
+            valid: true,
+            dirty: false,
+            tag,
+            lru: 0,
+            data,
+        };
+        self.touch(idx);
+        Ok((idx, lat))
+    }
+}
+
+impl MemoryDevice for Cache {
+    fn size_bytes(&self) -> u64 {
+        self.backing.borrow().size_bytes()
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        check_range(offset, buf.len(), self.size_bytes())?;
+        let mut total = Cycles::ZERO;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = offset + pos as u64;
+            let in_line = (addr % self.cfg.line_bytes as u64) as usize;
+            let n = (self.cfg.line_bytes - in_line).min(buf.len() - pos);
+            let (idx, fill) = self.ensure_line(addr)?;
+            buf[pos..pos + n].copy_from_slice(&self.lines[idx].data[in_line..in_line + n]);
+            total += self.cfg.hit_latency + fill;
+            pos += n;
+        }
+        self.stats.add("bytes_read", buf.len() as u64);
+        Ok(total)
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError> {
+        check_range(offset, data.len(), self.size_bytes())?;
+        let mut total = Cycles::ZERO;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = offset + pos as u64;
+            let set = self.set_of(addr);
+            let tag = self.tag_of(addr);
+            let in_line = (addr % self.cfg.line_bytes as u64) as usize;
+            let n = (self.cfg.line_bytes - in_line).min(data.len() - pos);
+            let chunk = &data[pos..pos + n];
+
+            let idx = match self.lookup(set, tag) {
+                Some(idx) => {
+                    self.stats.inc("hits");
+                    self.touch(idx);
+                    Some(idx)
+                }
+                // ensure_line re-runs the (missing) lookup and counts the miss.
+                None if self.cfg.write_allocate => {
+                    let (idx, fill) = self.ensure_line(addr)?;
+                    total += fill;
+                    Some(idx)
+                }
+                None => {
+                    self.stats.inc("misses");
+                    None
+                }
+            };
+
+            if let Some(idx) = idx {
+                self.lines[idx].data[in_line..in_line + n].copy_from_slice(chunk);
+                match self.cfg.write_policy {
+                    WritePolicy::WriteBack => self.lines[idx].dirty = true,
+                    WritePolicy::WriteThrough => {
+                        let lat = self.backing.borrow_mut().write(addr, chunk)?;
+                        if !self.cfg.write_buffer {
+                            total += lat;
+                        }
+                        self.stats.inc("writethroughs");
+                    }
+                }
+            } else {
+                // Non-allocating write miss: straight to backing.
+                let lat = self.backing.borrow_mut().write(addr, chunk)?;
+                if !self.cfg.write_buffer {
+                    total += lat;
+                }
+                self.stats.inc("write_misses_direct");
+            }
+            total += self.cfg.hit_latency;
+            pos += n;
+        }
+        self.stats.add("bytes_written", data.len() as u64);
+        Ok(total)
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shared, Sram};
+
+    fn test_cache(policy: WritePolicy, allocate: bool, buffered: bool) -> (Cache, SharedMem) {
+        let backing = shared(Sram::new("dram", 8192, Cycles::new(50)));
+        let cfg = CacheConfig {
+            name: "c".into(),
+            ways: 2,
+            sets: 4,
+            line_bytes: 16,
+            hit_latency: Cycles::new(1),
+            write_policy: policy,
+            write_allocate: allocate,
+            write_buffer: buffered,
+        };
+        (Cache::new(cfg, backing.clone()).unwrap(), backing)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let (mut c, _) = test_cache(WritePolicy::WriteBack, true, false);
+        let mut b = [0u8; 4];
+        let miss = c.read(0x20, &mut b).unwrap();
+        let hit = c.read(0x24, &mut b).unwrap();
+        assert!(miss.get() >= 51);
+        assert_eq!(hit, Cycles::new(1));
+        assert_eq!(c.stats().get("hits"), 1);
+        assert_eq!(c.stats().get("misses"), 1);
+    }
+
+    #[test]
+    fn data_correct_through_writeback_eviction() {
+        let (mut c, backing) = test_cache(WritePolicy::WriteBack, true, false);
+        // Write a value into set 0 (addr 0), then evict it by touching three
+        // more lines mapping to set 0 (stride = sets * line = 64).
+        c.write(0, &[0xAB; 16]).unwrap();
+        for i in 1..=2 {
+            let mut b = [0u8; 1];
+            c.read(i * 64, &mut b).unwrap();
+        }
+        // addr 0 evicted (2 ways); backing must now hold the data.
+        let mut b = [0u8; 16];
+        backing.borrow_mut().read(0, &mut b).unwrap();
+        assert_eq!(b, [0xAB; 16]);
+        assert!(c.stats().get("writebacks") >= 1);
+        // And reading through the cache still sees it.
+        let mut b2 = [0u8; 16];
+        c.read(0, &mut b2).unwrap();
+        assert_eq!(b2, [0xAB; 16]);
+    }
+
+    #[test]
+    fn write_through_propagates_immediately() {
+        let (mut c, backing) = test_cache(WritePolicy::WriteThrough, false, true);
+        c.write(0x10, &[7; 8]).unwrap();
+        let mut b = [0u8; 8];
+        backing.borrow_mut().read(0x10, &mut b).unwrap();
+        assert_eq!(b, [7; 8]);
+    }
+
+    #[test]
+    fn write_buffer_hides_latency() {
+        let (mut c_buf, _) = test_cache(WritePolicy::WriteThrough, false, true);
+        let (mut c_nobuf, _) = test_cache(WritePolicy::WriteThrough, false, false);
+        let fast = c_buf.write(0, &[1; 4]).unwrap();
+        let slow = c_nobuf.write(0, &[1; 4]).unwrap();
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (mut c, _) = test_cache(WritePolicy::WriteBack, true, false);
+        let mut b = [0u8; 1];
+        // Fill both ways of set 0 with lines A (0) and B (64).
+        c.read(0, &mut b).unwrap();
+        c.read(64, &mut b).unwrap();
+        // Touch A again so B is LRU.
+        c.read(0, &mut b).unwrap();
+        // Bring in C (128): should evict B, keep A.
+        c.read(128, &mut b).unwrap();
+        let misses = c.stats().get("misses");
+        c.read(0, &mut b).unwrap(); // A still resident
+        assert_eq!(c.stats().get("misses"), misses);
+        c.read(64, &mut b).unwrap(); // B was evicted
+        assert_eq!(c.stats().get("misses"), misses + 1);
+    }
+
+    #[test]
+    fn cross_line_access_splits() {
+        let (mut c, _) = test_cache(WritePolicy::WriteBack, true, false);
+        let data: Vec<u8> = (0..32).collect();
+        c.write(8, &data).unwrap(); // spans 3 lines
+        let mut b = vec![0u8; 32];
+        c.read(8, &mut b).unwrap();
+        assert_eq!(b, data);
+    }
+
+    #[test]
+    fn flush_writes_dirty_lines() {
+        let (mut c, backing) = test_cache(WritePolicy::WriteBack, true, false);
+        c.write(0x40, &[0x5A; 16]).unwrap();
+        c.flush().unwrap();
+        let mut b = [0u8; 16];
+        backing.borrow_mut().read(0x40, &mut b).unwrap();
+        assert_eq!(b, [0x5A; 16]);
+        // After flush, a read misses again.
+        let misses = c.stats().get("misses");
+        let mut b2 = [0u8; 1];
+        c.read(0x40, &mut b2).unwrap();
+        assert_eq!(c.stats().get("misses"), misses + 1);
+    }
+
+    #[test]
+    fn miss_ratio_computed() {
+        let (mut c, _) = test_cache(WritePolicy::WriteBack, true, false);
+        let mut b = [0u8; 1];
+        c.read(0, &mut b).unwrap();
+        c.read(0, &mut b).unwrap();
+        c.read(0, &mut b).unwrap();
+        c.read(0, &mut b).unwrap();
+        assert!((c.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let backing = shared(Sram::new("x", 64, Cycles::new(1)));
+        let cfg = CacheConfig {
+            name: "bad".into(),
+            ways: 1,
+            sets: 3, // not a power of two
+            line_bytes: 16,
+            hit_latency: Cycles::new(1),
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            write_buffer: false,
+        };
+        assert!(Cache::new(cfg, backing).is_err());
+    }
+
+    #[test]
+    fn config_size_formula() {
+        // The paper's LLC: 8 ways * 256 lines * 8 blocks * 8 B = 128 kB.
+        let cfg = CacheConfig {
+            name: "llc".into(),
+            ways: 8,
+            sets: 256,
+            line_bytes: 64,
+            hit_latency: Cycles::new(2),
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: true,
+            write_buffer: false,
+        };
+        assert_eq!(cfg.size_bytes(), 128 * 1024);
+    }
+}

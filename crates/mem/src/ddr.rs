@@ -1,0 +1,179 @@
+//! The DDR4/LPDDR4 comparison memory.
+
+use crate::device::check_range;
+use crate::{MemoryDevice, SparseStorage};
+use hulkv_sim::{Cycles, SimError, Stats};
+
+/// Configuration of the DDR4/LPDDR4 model.
+///
+/// In the paper's FPGA benchmarking setup the proprietary Xilinx DDR4
+/// controller runs its PHY at 1.2 GHz while the SoC runs at 50 MHz — "the
+/// DDR4 models an ideal off-chip memory, faster by one order of magnitude
+/// than the SoC". We reproduce that: a fixed controller latency and a data
+/// rate that saturates the 64-bit AXI port (8 bytes per SoC cycle).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_mem::DdrConfig;
+///
+/// let cfg = DdrConfig::default();
+/// assert_eq!(cfg.bytes_per_cycle, 8); // saturates the 64-bit AXI
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdrConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Fixed per-transaction latency in SoC cycles (controller + CAS).
+    pub latency_cycles: u64,
+    /// Streaming data rate in bytes per SoC cycle.
+    pub bytes_per_cycle: u64,
+}
+
+impl Default for DdrConfig {
+    /// 512 MB (matched to the HyperRAM capacity for apples-to-apples
+    /// comparisons), 10-cycle latency, full AXI-width streaming.
+    fn default() -> Self {
+        DdrConfig {
+            size_bytes: 512 * 1024 * 1024,
+            latency_cycles: 10,
+            bytes_per_cycle: 8,
+        }
+    }
+}
+
+/// The DDR4/LPDDR4 main-memory model used as the power-hungry baseline in
+/// Figures 7–9.
+///
+/// Latencies are in SoC cycles.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_mem::{Ddr, DdrConfig, MemoryDevice};
+///
+/// let mut ddr = Ddr::new(DdrConfig::default());
+/// let mut line = [0u8; 64];
+/// let lat = ddr.read(0, &mut line)?;
+/// assert_eq!(lat.get(), 10 + 64 / 8);
+/// # Ok::<(), hulkv_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Ddr {
+    cfg: DdrConfig,
+    storage: SparseStorage,
+    stats: Stats,
+}
+
+impl Ddr {
+    /// Creates the DDR model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` or `size_bytes` is zero.
+    pub fn new(cfg: DdrConfig) -> Self {
+        assert!(
+            cfg.bytes_per_cycle > 0 && cfg.size_bytes > 0,
+            "invalid DDR configuration"
+        );
+        Ddr {
+            storage: SparseStorage::new(cfg.size_bytes),
+            cfg,
+            stats: Stats::new("ddr"),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DdrConfig {
+        &self.cfg
+    }
+
+    fn latency(&self, len: usize) -> Cycles {
+        Cycles::new(self.cfg.latency_cycles + (len as u64).div_ceil(self.cfg.bytes_per_cycle))
+    }
+}
+
+impl MemoryDevice for Ddr {
+    fn size_bytes(&self) -> u64 {
+        self.cfg.size_bytes
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        check_range(offset, buf.len(), self.size_bytes())?;
+        self.storage.read(offset, buf);
+        self.stats.inc("reads");
+        self.stats.add("bytes_read", buf.len() as u64);
+        Ok(self.latency(buf.len()))
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError> {
+        check_range(offset, data.len(), self.size_bytes())?;
+        self.storage.write(offset, data);
+        self.stats.inc("writes");
+        self.stats.add("bytes_written", data.len() as u64);
+        Ok(self.latency(data.len()))
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HyperRam, HyperRamConfig};
+
+    #[test]
+    fn data_round_trip() {
+        let mut ddr = Ddr::new(DdrConfig::default());
+        ddr.write(0xABC, &[1, 2, 3]).unwrap();
+        let mut b = [0u8; 3];
+        ddr.read(0xABC, &mut b).unwrap();
+        assert_eq!(b, [1, 2, 3]);
+    }
+
+    #[test]
+    fn latency_formula() {
+        let mut ddr = Ddr::new(DdrConfig::default());
+        let mut b = [0u8; 1];
+        assert_eq!(ddr.read(0, &mut b).unwrap().get(), 11);
+        let mut line = [0u8; 64];
+        assert_eq!(ddr.read(0, &mut line).unwrap().get(), 18);
+    }
+
+    #[test]
+    fn ddr_is_an_order_of_magnitude_faster_than_hyperram() {
+        // The core premise of Figures 7-9: DDR4 is far faster per line
+        // refill, HyperRAM compensates with the LLC.
+        let mut ddr = Ddr::new(DdrConfig::default());
+        let mut hyper = HyperRam::new(HyperRamConfig::default());
+        let mut line = [0u8; 64];
+        let d = ddr.read(0, &mut line).unwrap();
+        let h = hyper.read(0, &mut line).unwrap();
+        assert!(h.get() >= 5 * d.get(), "hyper {h} vs ddr {d}");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut ddr = Ddr::new(DdrConfig {
+            size_bytes: 64,
+            ..DdrConfig::default()
+        });
+        assert!(ddr.write(63, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ddr = Ddr::new(DdrConfig::default());
+        ddr.write(0, &[0; 32]).unwrap();
+        let mut b = [0u8; 16];
+        ddr.read(0, &mut b).unwrap();
+        assert_eq!(ddr.stats().get("bytes_written"), 32);
+        assert_eq!(ddr.stats().get("bytes_read"), 16);
+    }
+}

@@ -1,0 +1,154 @@
+//! The common memory-device trait.
+
+use hulkv_sim::{Cycles, SimError, Stats};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared, interiorly mutable handle to a memory device.
+///
+/// The HULK-V simulator is single-threaded, so `Rc<RefCell<…>>` gives the
+/// many-masters-one-slave topology of the AXI crossbar without locking.
+pub type SharedMem = Rc<RefCell<dyn MemoryDevice>>;
+
+/// Wraps a device into a [`SharedMem`] handle.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_mem::{shared, Sram, MemoryDevice};
+///
+/// let spm = shared(Sram::new("l2spm", 512 * 1024, hulkv_sim::Cycles::new(1)));
+/// spm.borrow_mut().write(0, &[0xAB])?;
+/// # Ok::<(), hulkv_sim::SimError>(())
+/// ```
+pub fn shared<T: MemoryDevice + 'static>(device: T) -> SharedMem {
+    Rc::new(RefCell::new(device))
+}
+
+/// A byte-addressable memory device with access timing.
+///
+/// Every storage and interconnect block in the model implements this trait:
+/// scratchpads, caches, DRAM controllers, and buses. An access both moves
+/// data *and* reports the number of cycles it occupied the device, in the
+/// device's own clock domain — callers sitting in a different domain convert
+/// with [`ClockDomain::convert`](hulkv_sim::ClockDomain::convert).
+///
+/// The timing model is latency-additive: contention between masters is not
+/// simulated cycle-by-cycle, which is accurate for the fork/join workloads
+/// of the paper where host and cluster rarely contend for the same slave.
+pub trait MemoryDevice: std::fmt::Debug {
+    /// The device capacity in bytes. Offsets in `read`/`write` must satisfy
+    /// `offset + buf.len() <= size_bytes()`.
+    fn size_bytes(&self) -> u64;
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfRange`] if the access exceeds the device
+    /// size, or a device-specific error.
+    fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError>;
+
+    /// Writes `data` starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfRange`] if the access exceeds the device
+    /// size, or a device-specific error.
+    fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError>;
+
+    /// Activity counters of this device.
+    fn stats(&self) -> &Stats;
+
+    /// Resets the activity counters (e.g. after a warm-up phase).
+    fn reset_stats(&mut self);
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`MemoryDevice::read`].
+    fn read_u32(&mut self, offset: u64) -> Result<(u32, Cycles), SimError> {
+        let mut b = [0u8; 4];
+        let lat = self.read(offset, &mut b)?;
+        Ok((u32::from_le_bytes(b), lat))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`MemoryDevice::read`].
+    fn read_u64(&mut self, offset: u64) -> Result<(u64, Cycles), SimError> {
+        let mut b = [0u8; 8];
+        let lat = self.read(offset, &mut b)?;
+        Ok((u64::from_le_bytes(b), lat))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`MemoryDevice::write`].
+    fn write_u32(&mut self, offset: u64, value: u32) -> Result<Cycles, SimError> {
+        self.write(offset, &value.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`MemoryDevice::write`].
+    fn write_u64(&mut self, offset: u64, value: u64) -> Result<Cycles, SimError> {
+        self.write(offset, &value.to_le_bytes())
+    }
+}
+
+/// Validates that `offset + len` stays within `size`, returning a
+/// [`SimError::OutOfRange`] otherwise. Shared by device implementations.
+pub(crate) fn check_range(offset: u64, len: usize, size: u64) -> Result<(), SimError> {
+    let end = offset.checked_add(len as u64).ok_or(SimError::OutOfRange {
+        what: "access end",
+        value: offset,
+        limit: size,
+    })?;
+    if end > size {
+        return Err(SimError::OutOfRange {
+            what: "access end",
+            value: end,
+            limit: size,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sram;
+
+    #[test]
+    fn word_helpers_round_trip() {
+        let mut m = Sram::new("t", 64, Cycles::new(1));
+        m.write_u32(0, 0xDEAD_BEEF).unwrap();
+        m.write_u64(8, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(m.read_u32(0).unwrap().0, 0xDEAD_BEEF);
+        assert_eq!(m.read_u64(8).unwrap().0, 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn check_range_rejects_overflow() {
+        assert!(check_range(u64::MAX - 1, 4, u64::MAX).is_err());
+        assert!(check_range(0, 4, 4).is_ok());
+        assert!(check_range(1, 4, 4).is_err());
+    }
+
+    #[test]
+    fn shared_handle_gives_interior_mutability() {
+        let m = shared(Sram::new("s", 16, Cycles::new(1)));
+        m.borrow_mut().write(0, &[7]).unwrap();
+        let mut b = [0u8; 1];
+        m.borrow_mut().read(0, &mut b).unwrap();
+        assert_eq!(b[0], 7);
+    }
+}

@@ -1,0 +1,63 @@
+//! Memory substrate for the HULK-V SoC model.
+//!
+//! HULK-V's key architectural claim is that a *fully digital, lightweight*
+//! memory hierarchy — a last-level cache in front of cheap HyperRAM IoT DRAM —
+//! can replace a power-hungry LPDDR4 subsystem for IoT workloads. This crate
+//! implements every block of that hierarchy as a timed functional model:
+//!
+//! * [`MemoryDevice`] — the common trait: byte-addressable storage whose
+//!   accesses return a latency in device-domain [`Cycles`](hulkv_sim::Cycles).
+//! * [`Sram`] — on-chip scratchpads (the 512 kB L2SPM, the cluster L1SPM
+//!   banks).
+//! * [`Cache`] — a generic set-associative cache with LRU replacement and
+//!   write-back/write-through policies, used for the CVA6 L1 caches and as
+//!   the engine of the LLC.
+//! * [`Llc`] — the last-level cache of §III-A: a cacheable-region filter in
+//!   front of a parameterizable cache sized as
+//!   `ways × lines × blocks × AXI_dw`.
+//! * [`HyperRam`] — the HyperBUS controller + HyperRAM device model of
+//!   §III-B (command/address phase, access latency, DDR burst data, chip
+//!   select demux, optional dual-bus interleaving).
+//! * [`Ddr`] — the DDR4/LPDDR4 comparison memory (the paper's "ideal
+//!   off-chip memory, faster by one order of magnitude than the SoC").
+//! * [`Bus`] — an AXI4-crossbar-like address-routed interconnect.
+//! * [`DmaEngine`] — the µDMA with 1D and 2D transfer descriptors.
+//!
+//! # Example
+//!
+//! ```
+//! use hulkv_mem::{HyperRam, HyperRamConfig, MemoryDevice};
+//!
+//! let mut ram = HyperRam::new(HyperRamConfig::default());
+//! let lat = ram.write(0x100, &[1, 2, 3, 4])?;
+//! let mut buf = [0u8; 4];
+//! ram.read(0x100, &mut buf)?;
+//! assert_eq!(buf, [1, 2, 3, 4]);
+//! assert!(lat.get() > 0); // DRAM accesses are never free
+//! # Ok::<(), hulkv_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bridge;
+mod bus;
+mod cache;
+mod ddr;
+mod device;
+mod dma;
+mod hyperram;
+mod llc;
+mod sparse;
+mod sram;
+
+pub use bridge::ClockBridge;
+pub use bus::Bus;
+pub use cache::{Cache, CacheConfig, WritePolicy};
+pub use ddr::{Ddr, DdrConfig};
+pub use device::{shared, MemoryDevice, SharedMem};
+pub use dma::{DmaEngine, Transfer1d, Transfer2d};
+pub use hyperram::{HyperRam, HyperRamConfig};
+pub use llc::{Llc, LlcConfig};
+pub use sparse::SparseStorage;
+pub use sram::Sram;

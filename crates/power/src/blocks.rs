@@ -1,0 +1,199 @@
+//! Per-block silicon power figures (Table II of the paper).
+
+/// Post-layout figures of one SoC block in the GF22FDX typical corner
+/// (0.8 V, 25 °C).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_power::PowerModel;
+///
+/// let cva6 = PowerModel::gf22fdx_tt().cva6;
+/// // 47.5 µW/MHz at 900 MHz plus leakage ≈ 47.5 mW.
+/// assert!((cva6.max_power_mw() - 47.54).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockPower {
+    /// Block name as it appears in Table II.
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Leakage power in mW.
+    pub leakage_mw: f64,
+    /// Dynamic power in µW/MHz at full activity.
+    pub dyn_uw_per_mhz: f64,
+    /// Maximum frequency in MHz (SSG corner sign-off).
+    pub max_freq_mhz: f64,
+}
+
+impl BlockPower {
+    /// Power at `freq_mhz` with the given activity `utilization`
+    /// (0.0 = clock-gated idle, 1.0 = the PrimeTime full-activity trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]`.
+    pub fn power_mw(&self, freq_mhz: f64, utilization: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0, 1]"
+        );
+        self.leakage_mw + self.dyn_uw_per_mhz * freq_mhz * utilization / 1000.0
+    }
+
+    /// Power at the block's maximum frequency and full activity — the
+    /// "Max Power" column of Table II.
+    pub fn max_power_mw(&self) -> f64 {
+        self.power_mw(self.max_freq_mhz, 1.0)
+    }
+
+    /// Energy in millijoules for running `seconds` at `freq_mhz` and
+    /// `utilization`.
+    pub fn energy_mj(&self, freq_mhz: f64, utilization: f64, seconds: f64) -> f64 {
+        self.power_mw(freq_mhz, utilization) * seconds
+    }
+}
+
+/// The four Table-II blocks of HULK-V.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// "Top": the host interconnect, L2SPM, LLC and peripherals.
+    pub top: BlockPower,
+    /// The CVA6 host core.
+    pub cva6: BlockPower,
+    /// The 8-core accelerator cluster.
+    pub pmca: BlockPower,
+    /// The HyperRAM memory controller.
+    pub mem_ctrl: BlockPower,
+}
+
+impl PowerModel {
+    /// The published Table II values.
+    pub fn gf22fdx_tt() -> Self {
+        PowerModel {
+            top: BlockPower {
+                name: "Top",
+                area_mm2: 7.28,
+                leakage_mw: 4.23,
+                dyn_uw_per_mhz: 214.7,
+                max_freq_mhz: 450.0,
+            },
+            cva6: BlockPower {
+                name: "CVA6",
+                area_mm2: 0.49,
+                leakage_mw: 4.79,
+                dyn_uw_per_mhz: 47.5,
+                max_freq_mhz: 900.0,
+            },
+            pmca: BlockPower {
+                name: "PMCA",
+                area_mm2: 1.56,
+                leakage_mw: 5.78,
+                dyn_uw_per_mhz: 206.0,
+                max_freq_mhz: 400.0,
+            },
+            mem_ctrl: BlockPower {
+                name: "Mem Ctrl.",
+                area_mm2: 0.27,
+                leakage_mw: 0.14,
+                dyn_uw_per_mhz: 2.3,
+                max_freq_mhz: 450.0,
+            },
+        }
+    }
+
+    /// All blocks, in Table II row order.
+    pub fn blocks(&self) -> [&BlockPower; 4] {
+        [&self.top, &self.cva6, &self.pmca, &self.mem_ctrl]
+    }
+
+    /// The "Total" row: every block at maximum frequency and activity.
+    pub fn total_max_power_mw(&self) -> f64 {
+        self.blocks().iter().map(|b| b.max_power_mw()).sum()
+    }
+
+    /// Total leakage.
+    pub fn total_leakage_mw(&self) -> f64 {
+        self.blocks().iter().map(|b| b.leakage_mw).sum()
+    }
+
+    /// Die area (the "Top" hierarchy contains the others).
+    pub fn die_area_mm2(&self) -> f64 {
+        self.top.area_mm2
+    }
+
+    /// Power of a host-only workload: CVA6 at full tilt, the top domain
+    /// serving it, the cluster clock-gated (leakage only), plus the memory
+    /// controller at `mem_utilization`.
+    pub fn host_workload_power_mw(&self, mem_utilization: f64) -> f64 {
+        self.cva6.max_power_mw()
+            + self.top.power_mw(self.top.max_freq_mhz, 0.3)
+            + self.pmca.power_mw(0.0, 0.0)
+            + self.mem_ctrl.power_mw(self.mem_ctrl.max_freq_mhz, mem_utilization)
+    }
+
+    /// Power of a cluster workload: PMCA at full tilt, host idling at its
+    /// runtime duty cycle, top domain moving tiles, plus the controller.
+    pub fn cluster_workload_power_mw(&self, mem_utilization: f64) -> f64 {
+        self.pmca.max_power_mw()
+            + self.cva6.power_mw(self.cva6.max_freq_mhz, 0.05)
+            + self.top.power_mw(self.top.max_freq_mhz, 0.3)
+            + self.mem_ctrl.power_mw(self.mem_ctrl.max_freq_mhz, mem_utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_match_paper() {
+        let p = PowerModel::gf22fdx_tt();
+        // Table II's published rows round the underlying trace data;
+        // leakage + dyn·f reconstructs them to within half a milliwatt.
+        assert!((p.top.max_power_mw() - 100.53).abs() < 0.5);
+        assert!((p.cva6.max_power_mw() - 47.54).abs() < 0.2);
+        assert!((p.pmca.max_power_mw() - 88.18).abs() < 0.2);
+        assert!((p.mem_ctrl.max_power_mw() - 1.16).abs() < 0.05);
+        assert!((p.total_max_power_mw() - 237.41).abs() < 0.5);
+        assert!((p.total_leakage_mw() - 14.94).abs() < 0.01);
+    }
+
+    #[test]
+    fn die_smaller_than_9mm2() {
+        assert!(PowerModel::gf22fdx_tt().die_area_mm2() < 9.0);
+    }
+
+    #[test]
+    fn power_scales_with_frequency_and_utilization() {
+        let b = PowerModel::gf22fdx_tt().pmca;
+        let full = b.power_mw(400.0, 1.0);
+        let half_freq = b.power_mw(200.0, 1.0);
+        let half_util = b.power_mw(400.0, 0.5);
+        assert!(full > half_freq && full > half_util);
+        assert!((half_freq - half_util).abs() < 1e-9);
+        assert!((b.power_mw(0.0, 0.0) - b.leakage_mw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_integrates_power() {
+        let b = PowerModel::gf22fdx_tt().cva6;
+        let e = b.energy_mj(900.0, 1.0, 2.0);
+        assert!((e - 2.0 * b.max_power_mw()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        PowerModel::gf22fdx_tt().top.power_mw(450.0, 1.5);
+    }
+
+    #[test]
+    fn workload_envelopes_within_250mw() {
+        let p = PowerModel::gf22fdx_tt();
+        assert!(p.host_workload_power_mw(1.0) < 250.0);
+        assert!(p.cluster_workload_power_mw(1.0) < 250.0);
+        // And the paper's lower bound: "from 70 mW".
+        assert!(p.host_workload_power_mw(0.0) > 70.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Computation-to-communication analysis (Figure 9).
+
+use crate::{DramInterfacePower, PowerModel};
+
+/// Which block executes a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComputeBlock {
+    /// The CVA6 host core.
+    Cva6,
+    /// The 8-core PMCA.
+    Pmca,
+}
+
+/// Which main-memory interface backs the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryKind {
+    /// HyperRAM behind the fully digital controller.
+    Hyper,
+    /// LPDDR4 behind a mixed-signal PHY.
+    Lpddr4,
+}
+
+impl MemoryKind {
+    /// The interface power model.
+    pub fn interface(self) -> DramInterfacePower {
+        match self {
+            MemoryKind::Hyper => DramInterfacePower::hyperram(),
+            MemoryKind::Lpddr4 => DramInterfacePower::lpddr4(),
+        }
+    }
+}
+
+/// One workload point of the Figure-9 analysis.
+///
+/// `CCR_hyper` "is defined as the ratio between the computing time and the
+/// time spent reading from the main memory, assuming full overlap of
+/// computation and communication phases" — the double-buffered regime of
+/// explicitly memory-managed accelerators. A point left of `CCR = 1` is
+/// memory-bound; right of it, compute-bound.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_power::{CcrPoint, ComputeBlock, MemoryKind};
+///
+/// // A matmul tile: lots of ops, little traffic => compute-bound.
+/// let p = CcrPoint::new("matmul", ComputeBlock::Pmca, 4.0e9, 0.35, 20.0e6);
+/// assert!(p.ccr(MemoryKind::Hyper) > 1.0);
+/// // HyperRAM doubles its efficiency vs LPDDR4 at identical GOps.
+/// let rel = p.gops_per_w(MemoryKind::Hyper) / p.gops_per_w(MemoryKind::Lpddr4);
+/// assert!(rel > 1.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcrPoint {
+    /// Workload name.
+    pub name: String,
+    /// Executing block.
+    pub block: ComputeBlock,
+    /// Arithmetic operations per kernel invocation.
+    pub ops: f64,
+    /// Pure compute time per invocation, in seconds (at the block's
+    /// maximum frequency, from the cycle-level simulation).
+    pub compute_seconds: f64,
+    /// Bytes read from main memory per invocation.
+    pub dram_bytes: f64,
+}
+
+impl CcrPoint {
+    /// Creates a workload point.
+    pub fn new(
+        name: impl Into<String>,
+        block: ComputeBlock,
+        ops: f64,
+        compute_seconds: f64,
+        dram_bytes: f64,
+    ) -> Self {
+        CcrPoint {
+            name: name.into(),
+            block,
+            ops,
+            compute_seconds,
+            dram_bytes,
+        }
+    }
+
+    /// Time spent reading `dram_bytes` from the given memory.
+    pub fn mem_seconds(&self, mem: MemoryKind) -> f64 {
+        self.dram_bytes / mem.interface().peak_bandwidth_bps
+    }
+
+    /// The computation-to-communication ratio against HyperRAM timing when
+    /// `mem` is [`MemoryKind::Hyper`] (the paper's `CCR_hyper`), or the
+    /// equivalent ratio for another memory.
+    pub fn ccr(&self, mem: MemoryKind) -> f64 {
+        self.compute_seconds / self.mem_seconds(mem)
+    }
+
+    /// Wall-clock per invocation with full compute/transfer overlap.
+    pub fn wall_seconds(&self, mem: MemoryKind) -> f64 {
+        self.compute_seconds.max(self.mem_seconds(mem))
+    }
+
+    /// Achieved GOps with full overlap: compute-bound points reach their
+    /// peak, memory-bound points are clipped by bandwidth.
+    pub fn gops(&self, mem: MemoryKind) -> f64 {
+        self.ops / self.wall_seconds(mem) / 1e9
+    }
+
+    /// SoC + memory-interface power while running, mW.
+    pub fn power_mw(&self, mem: MemoryKind) -> f64 {
+        let soc = PowerModel::gf22fdx_tt();
+        let bw = self.dram_bytes / self.wall_seconds(mem);
+        let block = match self.block {
+            ComputeBlock::Cva6 => soc.host_workload_power_mw(0.5),
+            ComputeBlock::Pmca => soc.cluster_workload_power_mw(0.5),
+        };
+        // The HyperRAM controller is already inside the SoC model; the
+        // interface model adds the off-chip/PHY side, or replaces the
+        // digital controller with the LPDDR4 subsystem.
+        block + mem.interface().power_mw(bw)
+    }
+
+    /// Energy efficiency in GOps/W.
+    pub fn gops_per_w(&self, mem: MemoryKind) -> f64 {
+        self.gops(mem) / (self.power_mw(mem) / 1000.0)
+    }
+
+    /// Relative efficiency HyperRAM / LPDDR4 — the Figure-9 right plot.
+    pub fn relative_efficiency(&self) -> f64 {
+        self.gops_per_w(MemoryKind::Hyper) / self.gops_per_w(MemoryKind::Lpddr4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_bound() -> CcrPoint {
+        // 1 GOp over 10 ms of compute, 1 MB of traffic.
+        CcrPoint::new("cb", ComputeBlock::Pmca, 1.0e9, 10.0e-3, 1.0e6)
+    }
+
+    fn memory_bound() -> CcrPoint {
+        // Tiny compute, 100 MB of traffic.
+        CcrPoint::new("mb", ComputeBlock::Pmca, 1.0e8, 0.1e-3, 100.0e6)
+    }
+
+    #[test]
+    fn ccr_separates_the_regimes() {
+        assert!(compute_bound().ccr(MemoryKind::Hyper) > 1.0);
+        assert!(memory_bound().ccr(MemoryKind::Hyper) < 1.0);
+    }
+
+    #[test]
+    fn memory_bound_gains_gops_from_lpddr() {
+        let mb = memory_bound();
+        assert!(mb.gops(MemoryKind::Lpddr4) > 2.0 * mb.gops(MemoryKind::Hyper));
+        // Compute-bound points do not.
+        let cb = compute_bound();
+        let ratio = cb.gops(MemoryKind::Lpddr4) / cb.gops(MemoryKind::Hyper);
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_doubles_efficiency_on_hyper() {
+        let rel = compute_bound().relative_efficiency();
+        assert!(rel > 1.5 && rel < 3.0, "relative efficiency {rel}");
+    }
+
+    #[test]
+    fn extremely_memory_bound_can_favor_lpddr() {
+        let rel = memory_bound().relative_efficiency();
+        assert!(rel < 1.0, "relative efficiency {rel}");
+    }
+
+    #[test]
+    fn wall_clock_is_the_overlap_max() {
+        let p = compute_bound();
+        assert!((p.wall_seconds(MemoryKind::Hyper) - 10.0e-3).abs() < 1e-12);
+        let q = memory_bound();
+        assert!(q.wall_seconds(MemoryKind::Hyper) > q.compute_seconds);
+    }
+}

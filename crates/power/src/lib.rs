@@ -1,0 +1,39 @@
+//! Power, energy and efficiency models for the HULK-V SoC.
+//!
+//! The paper's methodology combines FPGA-measured operations-per-cycle with
+//! post-layout power numbers from Synopsys PrimeTime (Table II). This crate
+//! holds the second half of that pipeline:
+//!
+//! * [`BlockPower`] / [`PowerModel`] — the per-block silicon figures of
+//!   Table II (area, leakage, dynamic power per MHz, max frequency) in the
+//!   GF22FDX typical corner at 0.8 V, 25 °C;
+//! * [`DramInterfacePower`] — the off-chip memory interface: the ~2 mW
+//!   fully digital HyperRAM controller against the hundreds-of-mW
+//!   LPDDR4 controller + mixed-signal PHY it replaces;
+//! * [`CcrPoint`] — the computation-to-communication analysis behind
+//!   Figure 9: `CCR_hyper` is compute time over main-memory read time
+//!   assuming full overlap, the regime split between compute-bound and
+//!   memory-bound workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use hulkv_power::PowerModel;
+//!
+//! let p = PowerModel::gf22fdx_tt();
+//! // Table II: the whole SoC tops out below 250 mW.
+//! assert!(p.total_max_power_mw() < 250.0);
+//! // The fully digital memory controller is tiny.
+//! assert!(p.mem_ctrl.max_power_mw() < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocks;
+mod ccr;
+mod dram;
+
+pub use blocks::{BlockPower, PowerModel};
+pub use ccr::{CcrPoint, ComputeBlock, MemoryKind};
+pub use dram::DramInterfacePower;

@@ -1,0 +1,989 @@
+//! A programmatic RISC-V assembler with labels.
+//!
+//! The HULK-V reproduction generates every benchmark kernel from Rust
+//! builder code instead of hand-written hex: each method appends one (or,
+//! for pseudo-instructions like [`Asm::li`], a few) instruction(s), labels
+//! resolve pc-relative operands at [`Asm::assemble`] time, and the output
+//! feeds straight into the simulated memories.
+//!
+//! # Example
+//!
+//! ```
+//! use hulkv_rv::{Asm, Reg, Xlen};
+//!
+//! let mut a = Asm::new(Xlen::Rv32);
+//! let done = a.label();
+//! a.li(Reg::A0, 1);
+//! a.beqz(Reg::A0, done); // not taken
+//! a.li(Reg::A0, 2);
+//! a.bind(done);
+//! a.ebreak();
+//! let words = a.assemble()?;
+//! assert_eq!(words.len(), 4);
+//! # Ok::<(), hulkv_rv::RvError>(())
+//! ```
+
+use crate::encode::encode;
+use crate::inst::*;
+
+/// A forward- or backward-referenced code position.
+///
+/// Create with [`Asm::label`], place with [`Asm::bind`], and reference from
+/// any branch/jump/hardware-loop method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Inst),
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: Label },
+    Jal { rd: Reg, target: Label },
+    HwStart { loop_idx: u8, target: Label },
+    HwEnd { loop_idx: u8, target: Label },
+    /// `auipc rd, hi` — first half of a pc-relative `la`.
+    LaHi { rd: Reg, target: Label },
+    /// `addi rd, rd, lo` — second half; `anchor` is the index of the
+    /// matching `LaHi` whose pc the offset is relative to.
+    LaLo { rd: Reg, target: Label, anchor: usize },
+    Word(u32),
+}
+
+/// The assembler/builder. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Asm {
+    xlen: Xlen,
+    items: Vec<Item>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// Creates an assembler for the given register width.
+    pub fn new(xlen: Xlen) -> Self {
+        Asm {
+            xlen,
+            items: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// The register width this assembler targets.
+    pub fn xlen(&self) -> Xlen {
+        self.xlen
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label {} bound twice",
+            label.0
+        );
+        self.labels[label.0] = Some(self.items.len());
+    }
+
+    /// Number of instruction words emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Byte offset of the current position from the program start.
+    pub fn here(&self) -> u64 {
+        (self.items.len() * 4) as u64
+    }
+
+    /// Appends a pre-built instruction.
+    pub fn inst(&mut self, inst: Inst) {
+        self.items.push(Item::Fixed(inst));
+    }
+
+    /// Appends a raw 32-bit word (for negative testing).
+    pub fn word(&mut self, w: u32) {
+        self.items.push(Item::Word(w));
+    }
+
+    /// Resolves all labels and encodes the program.
+    ///
+    /// # Errors
+    ///
+    /// [`RvError::UnboundLabel`] if a referenced label was never bound, or
+    /// [`RvError::Encode`] if an operand does not fit (e.g. a branch target
+    /// beyond ±4 kB).
+    pub fn assemble(&self) -> Result<Vec<u32>, RvError> {
+        let resolve = |l: Label| -> Result<i64, RvError> {
+            self.labels[l.0]
+                .map(|idx| (idx * 4) as i64)
+                .ok_or(RvError::UnboundLabel(l.0))
+        };
+        let mut out = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let pc = (idx * 4) as i64;
+            let word = match item {
+                Item::Fixed(inst) => encode(inst)?,
+                Item::Word(w) => *w,
+                Item::Branch { cond, rs1, rs2, target } => encode(&Inst::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    offset: resolve(*target)? - pc,
+                })?,
+                Item::Jal { rd, target } => encode(&Inst::Jal {
+                    rd: *rd,
+                    offset: resolve(*target)? - pc,
+                })?,
+                Item::HwStart { loop_idx, target } => encode(&Inst::HwLoop {
+                    op: HwLoopOp::Starti,
+                    loop_idx: *loop_idx,
+                    value: resolve(*target)? - pc,
+                    rs1: Reg::Zero,
+                })?,
+                Item::HwEnd { loop_idx, target } => encode(&Inst::HwLoop {
+                    op: HwLoopOp::Endi,
+                    loop_idx: *loop_idx,
+                    value: resolve(*target)? - pc,
+                    rs1: Reg::Zero,
+                })?,
+                Item::LaHi { rd, target } => {
+                    let off = resolve(*target)? - pc;
+                    let hi = (off + 0x800) >> 12;
+                    encode(&Inst::Auipc { rd: *rd, imm: hi })?
+                }
+                Item::LaLo { rd, target, anchor } => {
+                    let anchor_pc = (*anchor * 4) as i64;
+                    let off = resolve(*target)? - anchor_pc;
+                    let lo = off - (((off + 0x800) >> 12) << 12);
+                    encode(&Inst::OpImm {
+                        op: AluOp::Add,
+                        rd: *rd,
+                        rs1: *rd,
+                        imm: lo,
+                    })?
+                }
+            };
+            out.push(word);
+        }
+        Ok(out)
+    }
+
+    // ---- pseudo-instructions ----
+
+    /// Loads an arbitrary constant (expands to the minimal lui/addi/shift
+    /// sequence, exactly like `li` in GNU as).
+    pub fn li(&mut self, rd: Reg, value: i64) {
+        let value = match self.xlen {
+            Xlen::Rv32 => value as i32 as i64,
+            Xlen::Rv64 => value,
+        };
+        self.li_rec(rd, value);
+    }
+
+    fn li_rec(&mut self, rd: Reg, v: i64) {
+        if (-2048..2048).contains(&v) {
+            self.addi(rd, Reg::Zero, v);
+            return;
+        }
+        if v >= i32::MIN as i64 && v <= i32::MAX as i64 {
+            let hi = (v + 0x800) >> 12;
+            let lo = v - (hi << 12);
+            // lui sign-extends its 20-bit immediate << 12.
+            let hi20 = ((hi as i32) << 12 >> 12) as i64;
+            self.inst(Inst::Lui { rd, imm: hi20 });
+            if lo != 0 {
+                match self.xlen {
+                    Xlen::Rv32 => self.addi(rd, rd, lo),
+                    Xlen::Rv64 => self.addiw(rd, rd, lo),
+                }
+            }
+            return;
+        }
+        // 64-bit: materialize the upper part, shift, add 12-bit chunks.
+        // i128 avoids the i64::MAX − (−1) overflow corner.
+        let lo = (v << 52) >> 52;
+        let rest = ((v as i128 - lo as i128) >> 12) as i64;
+        self.li_rec(rd, rest);
+        self.slli(rd, rd, 12);
+        if lo != 0 {
+            self.addi(rd, rd, lo);
+        }
+    }
+
+    /// Loads the address of a label (pc-relative `auipc`+`addi` pair).
+    pub fn la(&mut self, rd: Reg, target: Label) {
+        let anchor = self.items.len();
+        self.items.push(Item::LaHi { rd, target });
+        self.items.push(Item::LaLo { rd, target, anchor });
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.addi(Reg::Zero, Reg::Zero, 0);
+    }
+
+    /// Register move.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, rd: Reg, rs: Reg) {
+        self.sub(rd, Reg::Zero, rs);
+    }
+
+    /// Unconditional jump to a label.
+    pub fn j(&mut self, target: Label) {
+        self.items.push(Item::Jal { rd: Reg::Zero, target });
+    }
+
+    /// Call (jal ra).
+    pub fn call(&mut self, target: Label) {
+        self.items.push(Item::Jal { rd: Reg::Ra, target });
+    }
+
+    /// Return (jalr zero, ra, 0).
+    pub fn ret(&mut self) {
+        self.inst(Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 });
+    }
+
+    /// Branch if equal to zero.
+    pub fn beqz(&mut self, rs: Reg, target: Label) {
+        self.beq(rs, Reg::Zero, target);
+    }
+
+    /// Branch if not equal to zero.
+    pub fn bnez(&mut self, rs: Reg, target: Label) {
+        self.bne(rs, Reg::Zero, target);
+    }
+
+    // ---- branches ----
+
+    fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: Label) {
+        self.items.push(Item::Branch { cond, rs1, rs2, target });
+    }
+
+    /// `beq`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Eq, rs1, rs2, target);
+    }
+    /// `bne`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Ne, rs1, rs2, target);
+    }
+    /// `blt`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Lt, rs1, rs2, target);
+    }
+    /// `bge`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Ge, rs1, rs2, target);
+    }
+    /// `bltu`.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Ltu, rs1, rs2, target);
+    }
+    /// `bgeu`.
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Geu, rs1, rs2, target);
+    }
+
+    // ---- ALU ----
+
+    /// `addi`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Add, rd, rs1, imm });
+    }
+    /// `andi`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::And, rd, rs1, imm });
+    }
+    /// `ori`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Or, rd, rs1, imm });
+    }
+    /// `xori`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Xor, rd, rs1, imm });
+    }
+    /// `slti`.
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Slt, rd, rs1, imm });
+    }
+    /// `sltiu`.
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Sltu, rd, rs1, imm });
+    }
+    /// `slli`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt });
+    }
+    /// `srli`.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt });
+    }
+    /// `srai`.
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt });
+    }
+    /// `addiw` (RV64).
+    pub fn addiw(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.inst(Inst::OpImm32 { op: AluOp::Add, rd, rs1, imm });
+    }
+    /// `slliw` (RV64).
+    pub fn slliw(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
+        self.inst(Inst::OpImm32 { op: AluOp::Sll, rd, rs1, imm: shamt });
+    }
+
+    /// `add`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::Add, rd, rs1, rs2 });
+    }
+    /// `sub`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+    /// `and`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::And, rd, rs1, rs2 });
+    }
+    /// `or`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::Or, rd, rs1, rs2 });
+    }
+    /// `xor`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+    /// `sll`.
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+    /// `srl`.
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::Srl, rd, rs1, rs2 });
+    }
+    /// `sra`.
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::Sra, rd, rs1, rs2 });
+    }
+    /// `slt`.
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+    /// `sltu`.
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+    /// `addw` (RV64).
+    pub fn addw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op32 { op: AluOp::Add, rd, rs1, rs2 });
+    }
+    /// `subw` (RV64).
+    pub fn subw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op32 { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+    /// `sllw` (RV64).
+    pub fn sllw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Op32 { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+
+    /// `mul`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2 });
+    }
+    /// `mulh`.
+    pub fn mulh(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Mulh, rd, rs1, rs2 });
+    }
+    /// `mulhu`.
+    pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Mulhu, rd, rs1, rs2 });
+    }
+    /// `div`.
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Div, rd, rs1, rs2 });
+    }
+    /// `divu`.
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Divu, rd, rs1, rs2 });
+    }
+    /// `rem`.
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Rem, rd, rs1, rs2 });
+    }
+    /// `remu`.
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Remu, rd, rs1, rs2 });
+    }
+    /// `mulw` (RV64).
+    pub fn mulw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::MulDiv32 { op: MulDivOp::Mul, rd, rs1, rs2 });
+    }
+
+    // ---- memory ----
+
+    /// `lb`.
+    pub fn lb(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Load { width: LoadWidth::B, rd, rs1, offset });
+    }
+    /// `lbu`.
+    pub fn lbu(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Load { width: LoadWidth::Bu, rd, rs1, offset });
+    }
+    /// `lh`.
+    pub fn lh(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Load { width: LoadWidth::H, rd, rs1, offset });
+    }
+    /// `lhu`.
+    pub fn lhu(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Load { width: LoadWidth::Hu, rd, rs1, offset });
+    }
+    /// `lw`.
+    pub fn lw(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Load { width: LoadWidth::W, rd, rs1, offset });
+    }
+    /// `lwu` (RV64).
+    pub fn lwu(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Load { width: LoadWidth::Wu, rd, rs1, offset });
+    }
+    /// `ld` (RV64).
+    pub fn ld(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Load { width: LoadWidth::D, rd, rs1, offset });
+    }
+    /// `sb`.
+    pub fn sb(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Store { width: StoreWidth::B, rs2, rs1, offset });
+    }
+    /// `sh`.
+    pub fn sh(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Store { width: StoreWidth::H, rs2, rs1, offset });
+    }
+    /// `sw`.
+    pub fn sw(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Store { width: StoreWidth::W, rs2, rs1, offset });
+    }
+    /// `sd` (RV64).
+    pub fn sd(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::Store { width: StoreWidth::D, rs2, rs1, offset });
+    }
+
+    // ---- atomics ----
+
+    /// `lr.d`.
+    pub fn lr_d(&mut self, rd: Reg, rs1: Reg) {
+        self.inst(Inst::LoadReserved { double: true, rd, rs1 });
+    }
+    /// `lr.w`.
+    pub fn lr_w(&mut self, rd: Reg, rs1: Reg) {
+        self.inst(Inst::LoadReserved { double: false, rd, rs1 });
+    }
+    /// `sc.d`.
+    pub fn sc_d(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
+        self.inst(Inst::StoreConditional { double: true, rd, rs1, rs2 });
+    }
+    /// `sc.w`.
+    pub fn sc_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
+        self.inst(Inst::StoreConditional { double: false, rd, rs1, rs2 });
+    }
+    /// `amoadd.d`.
+    pub fn amoadd_d(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
+        self.inst(Inst::Amo { op: AmoOp::Add, double: true, rd, rs1, rs2 });
+    }
+    /// `amoadd.w`.
+    pub fn amoadd_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
+        self.inst(Inst::Amo { op: AmoOp::Add, double: false, rd, rs1, rs2 });
+    }
+    /// `amoswap.w`.
+    pub fn amoswap_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
+        self.inst(Inst::Amo { op: AmoOp::Swap, double: false, rd, rs1, rs2 });
+    }
+
+    // ---- system ----
+
+    /// `ecall`.
+    pub fn ecall(&mut self) {
+        self.inst(Inst::Ecall);
+    }
+    /// `ebreak` — the model's halt convention.
+    pub fn ebreak(&mut self) {
+        self.inst(Inst::Ebreak);
+    }
+    /// `mret`.
+    pub fn mret(&mut self) {
+        self.inst(Inst::Mret);
+    }
+    /// `sret`.
+    pub fn sret(&mut self) {
+        self.inst(Inst::Sret);
+    }
+    /// `fence`.
+    pub fn fence(&mut self) {
+        self.inst(Inst::Fence);
+    }
+    /// `csrr rd, csr`.
+    pub fn csrr(&mut self, rd: Reg, csr: u16) {
+        self.inst(Inst::Csr { op: CsrOp::Rs, rd, csr, src: CsrSrc::Reg(Reg::Zero) });
+    }
+    /// `csrw csr, rs`.
+    pub fn csrw(&mut self, csr: u16, rs: Reg) {
+        self.inst(Inst::Csr { op: CsrOp::Rw, rd: Reg::Zero, csr, src: CsrSrc::Reg(rs) });
+    }
+    /// `csrrw rd, csr, rs`.
+    pub fn csrrw(&mut self, rd: Reg, csr: u16, rs: Reg) {
+        self.inst(Inst::Csr { op: CsrOp::Rw, rd, csr, src: CsrSrc::Reg(rs) });
+    }
+    /// `csrs csr, rs` (set bits).
+    pub fn csrs(&mut self, csr: u16, rs: Reg) {
+        self.inst(Inst::Csr { op: CsrOp::Rs, rd: Reg::Zero, csr, src: CsrSrc::Reg(rs) });
+    }
+
+    // ---- F/D ----
+
+    /// `flw`.
+    pub fn flw(&mut self, rd: FReg, rs1: Reg, offset: i64) {
+        self.inst(Inst::FpLoad { fmt: FpFmt::S, rd, rs1, offset });
+    }
+    /// `fld`.
+    pub fn fld(&mut self, rd: FReg, rs1: Reg, offset: i64) {
+        self.inst(Inst::FpLoad { fmt: FpFmt::D, rd, rs1, offset });
+    }
+    /// `fsw`.
+    pub fn fsw(&mut self, rs2: FReg, rs1: Reg, offset: i64) {
+        self.inst(Inst::FpStore { fmt: FpFmt::S, rs2, rs1, offset });
+    }
+    /// `fsd`.
+    pub fn fsd(&mut self, rs2: FReg, rs1: Reg, offset: i64) {
+        self.inst(Inst::FpStore { fmt: FpFmt::D, rs2, rs1, offset });
+    }
+    /// `fadd.s`.
+    pub fn fadd_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpOp3 { fmt: FpFmt::S, op: FpOp::Add, rd, rs1, rs2 });
+    }
+    /// `fsub.s`.
+    pub fn fsub_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpOp3 { fmt: FpFmt::S, op: FpOp::Sub, rd, rs1, rs2 });
+    }
+    /// `fmul.s`.
+    pub fn fmul_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpOp3 { fmt: FpFmt::S, op: FpOp::Mul, rd, rs1, rs2 });
+    }
+    /// `fdiv.s`.
+    pub fn fdiv_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpOp3 { fmt: FpFmt::S, op: FpOp::Div, rd, rs1, rs2 });
+    }
+    /// `fadd.d`.
+    pub fn fadd_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpOp3 { fmt: FpFmt::D, op: FpOp::Add, rd, rs1, rs2 });
+    }
+    /// `fmul.d`.
+    pub fn fmul_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpOp3 { fmt: FpFmt::D, op: FpOp::Mul, rd, rs1, rs2 });
+    }
+    /// `fdiv.d`.
+    pub fn fdiv_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpOp3 { fmt: FpFmt::D, op: FpOp::Div, rd, rs1, rs2 });
+    }
+    /// `fmadd.s` (`rd = rs1*rs2 + rs3`).
+    pub fn fmadd_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
+        self.inst(Inst::FpFma {
+            fmt: FpFmt::S,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+            negate_product: false,
+            negate_addend: false,
+        });
+    }
+    /// `fmadd.d`.
+    pub fn fmadd_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
+        self.inst(Inst::FpFma {
+            fmt: FpFmt::D,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+            negate_product: false,
+            negate_addend: false,
+        });
+    }
+    /// `feq.s`.
+    pub fn feq_s(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpCmp { fmt: FpFmt::S, cmp: FpCmp::Eq, rd, rs1, rs2 });
+    }
+    /// `flt.s`.
+    pub fn flt_s(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpCmp { fmt: FpFmt::S, cmp: FpCmp::Lt, rd, rs1, rs2 });
+    }
+    /// `fcvt.s.w`.
+    pub fn fcvt_s_w(&mut self, rd: FReg, rs1: Reg) {
+        self.inst(Inst::IntToFp { fmt: FpFmt::S, rd, rs1, signed: true, wide: false });
+    }
+    /// `fcvt.w.s` (round toward zero).
+    pub fn fcvt_w_s(&mut self, rd: Reg, rs1: FReg) {
+        self.inst(Inst::FpToInt { fmt: FpFmt::S, rd, rs1, signed: true, wide: false });
+    }
+    /// `fcvt.d.l`.
+    pub fn fcvt_d_l(&mut self, rd: FReg, rs1: Reg) {
+        self.inst(Inst::IntToFp { fmt: FpFmt::D, rd, rs1, signed: true, wide: true });
+    }
+    /// `fcvt.l.d`.
+    pub fn fcvt_l_d(&mut self, rd: Reg, rs1: FReg) {
+        self.inst(Inst::FpToInt { fmt: FpFmt::D, rd, rs1, signed: true, wide: true });
+    }
+    /// `fmv.x.w`.
+    pub fn fmv_x_w(&mut self, rd: Reg, rs1: FReg) {
+        self.inst(Inst::FpMvToInt { fmt: FpFmt::S, rd, rs1 });
+    }
+    /// `fmv.w.x`.
+    pub fn fmv_w_x(&mut self, rd: FReg, rs1: Reg) {
+        self.inst(Inst::FpMvFromInt { fmt: FpFmt::S, rd, rs1 });
+    }
+    /// `fmv.x.d`.
+    pub fn fmv_x_d(&mut self, rd: Reg, rs1: FReg) {
+        self.inst(Inst::FpMvToInt { fmt: FpFmt::D, rd, rs1 });
+    }
+    /// `fmv.d.x`.
+    pub fn fmv_d_x(&mut self, rd: FReg, rs1: Reg) {
+        self.inst(Inst::FpMvFromInt { fmt: FpFmt::D, rd, rs1 });
+    }
+
+    // ---- Xpulp ----
+
+    /// `p.lw rd, imm(rs1!)` — post-increment word load.
+    pub fn p_lw_post(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::LoadPost { width: LoadWidth::W, rd, rs1, offset });
+    }
+    /// `p.lh rd, imm(rs1!)`.
+    pub fn p_lh_post(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::LoadPost { width: LoadWidth::H, rd, rs1, offset });
+    }
+    /// `p.lbu rd, imm(rs1!)`.
+    pub fn p_lbu_post(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::LoadPost { width: LoadWidth::Bu, rd, rs1, offset });
+    }
+    /// `p.sw rs2, imm(rs1!)` — post-increment word store.
+    pub fn p_sw_post(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::StorePost { width: StoreWidth::W, rs2, rs1, offset });
+    }
+    /// `p.sh rs2, imm(rs1!)`.
+    pub fn p_sh_post(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::StorePost { width: StoreWidth::H, rs2, rs1, offset });
+    }
+    /// `p.sb rs2, imm(rs1!)`.
+    pub fn p_sb_post(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.inst(Inst::StorePost { width: StoreWidth::B, rs2, rs1, offset });
+    }
+    /// `p.mac rd, rs1, rs2` (`rd += rs1 * rs2`).
+    pub fn p_mac(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Mac { rd, rs1, rs2, subtract: false });
+    }
+    /// `p.msu rd, rs1, rs2` (`rd -= rs1 * rs2`).
+    pub fn p_msu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::Mac { rd, rs1, rs2, subtract: true });
+    }
+    /// `p.min`.
+    pub fn p_min(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Min, rd, rs1, rs2 });
+    }
+    /// `p.max`.
+    pub fn p_max(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Max, rd, rs1, rs2 });
+    }
+    /// `p.abs`.
+    pub fn p_abs(&mut self, rd: Reg, rs1: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Abs, rd, rs1, rs2: Reg::Zero });
+    }
+    /// `p.clip rd, rs1, rs2` — clamp to `[-(rs2+1), rs2]`.
+    pub fn p_clip(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Clip, rd, rs1, rs2 });
+    }
+    /// `p.exths` — sign-extend halfword.
+    pub fn p_exths(&mut self, rd: Reg, rs1: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Exths, rd, rs1, rs2: Reg::Zero });
+    }
+    /// `p.exthz` — zero-extend halfword.
+    pub fn p_exthz(&mut self, rd: Reg, rs1: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Exthz, rd, rs1, rs2: Reg::Zero });
+    }
+    /// `p.cnt` — population count.
+    pub fn p_cnt(&mut self, rd: Reg, rs1: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Cnt, rd, rs1, rs2: Reg::Zero });
+    }
+    /// `p.ff1` — index of the first set bit (32 when none).
+    pub fn p_ff1(&mut self, rd: Reg, rs1: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Ff1, rd, rs1, rs2: Reg::Zero });
+    }
+    /// `p.fl1` — index of the last set bit (32 when none).
+    pub fn p_fl1(&mut self, rd: Reg, rs1: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Fl1, rd, rs1, rs2: Reg::Zero });
+    }
+    /// `p.ror` — rotate right by `rs2 & 31`.
+    pub fn p_ror(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::PulpAlu { op: PulpAluOp::Ror, rd, rs1, rs2 });
+    }
+
+    /// `lp.starti L, label`.
+    pub fn lp_starti(&mut self, loop_idx: u8, target: Label) {
+        self.items.push(Item::HwStart { loop_idx, target });
+    }
+    /// `lp.endi L, label`.
+    pub fn lp_endi(&mut self, loop_idx: u8, target: Label) {
+        self.items.push(Item::HwEnd { loop_idx, target });
+    }
+    /// `lp.counti L, imm`.
+    pub fn lp_counti(&mut self, loop_idx: u8, count: i64) {
+        self.inst(Inst::HwLoop { op: HwLoopOp::Counti, loop_idx, value: count, rs1: Reg::Zero });
+    }
+    /// `lp.count L, rs1`.
+    pub fn lp_count(&mut self, loop_idx: u8, rs1: Reg) {
+        self.inst(Inst::HwLoop { op: HwLoopOp::Count, loop_idx, value: 0, rs1 });
+    }
+
+    fn simd(&mut self, op: SimdOp, fmt: SimdFmt, rd: Reg, rs1: Reg, rs2: Reg, scalar: bool) {
+        self.inst(Inst::Simd { op, fmt, rd, rs1, rs2, scalar_rs2: scalar });
+    }
+
+    /// `pv.add.b`.
+    pub fn pv_add_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Add, SimdFmt::B, rd, rs1, rs2, false);
+    }
+    /// `pv.add.h`.
+    pub fn pv_add_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Add, SimdFmt::H, rd, rs1, rs2, false);
+    }
+    /// `pv.sub.b`.
+    pub fn pv_sub_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Sub, SimdFmt::B, rd, rs1, rs2, false);
+    }
+    /// `pv.max.b`.
+    pub fn pv_max_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Max, SimdFmt::B, rd, rs1, rs2, false);
+    }
+    /// `pv.max.sc.b` — max against a replicated scalar.
+    pub fn pv_max_sc_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Max, SimdFmt::B, rd, rs1, rs2, true);
+    }
+    /// `pv.min.b`.
+    pub fn pv_min_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Min, SimdFmt::B, rd, rs1, rs2, false);
+    }
+    /// `pv.avg.h`.
+    pub fn pv_avg_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Avg, SimdFmt::H, rd, rs1, rs2, false);
+    }
+    /// `pv.sra.h` (per-lane arithmetic shift).
+    pub fn pv_sra_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Sra, SimdFmt::H, rd, rs1, rs2, true);
+    }
+    /// `pv.dotsp.b` — signed int8 dot product.
+    pub fn pv_dotsp_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Dotsp, SimdFmt::B, rd, rs1, rs2, false);
+    }
+    /// `pv.sdotsp.b` — accumulating signed int8 dot product.
+    pub fn pv_sdotsp_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Sdotsp, SimdFmt::B, rd, rs1, rs2, false);
+    }
+    /// `pv.sdotsp.h` — accumulating signed int16 dot product.
+    pub fn pv_sdotsp_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Sdotsp, SimdFmt::H, rd, rs1, rs2, false);
+    }
+    /// `pv.sdotup.b` — accumulating unsigned int8 dot product.
+    pub fn pv_sdotup_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Sdotup, SimdFmt::B, rd, rs1, rs2, false);
+    }
+    /// `pv.extract.b` — extract lane `rs2 mod 4`, sign-extended.
+    pub fn pv_extract_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Extract, SimdFmt::B, rd, rs1, rs2, false);
+    }
+    /// `pv.extract.h` — extract lane `rs2 mod 2`, sign-extended.
+    pub fn pv_extract_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Extract, SimdFmt::H, rd, rs1, rs2, false);
+    }
+    /// `pv.insert.b` — insert rs1's low byte into lane `rs2 mod 4` of rd.
+    pub fn pv_insert_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Insert, SimdFmt::B, rd, rs1, rs2, false);
+    }
+    /// `pv.shuffle.b` — permute rs1's bytes by the indices in rs2's bytes.
+    pub fn pv_shuffle_b(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.simd(SimdOp::Shuffle, SimdFmt::B, rd, rs1, rs2, false);
+    }
+
+    /// `vfadd.h` — packed FP16 add.
+    pub fn vfadd_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::SimdFp { op: SimdFpOp::Add, rd, rs1, rs2 });
+    }
+    /// `vfsub.h`.
+    pub fn vfsub_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::SimdFp { op: SimdFpOp::Sub, rd, rs1, rs2 });
+    }
+    /// `vfmul.h`.
+    pub fn vfmul_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::SimdFp { op: SimdFpOp::Mul, rd, rs1, rs2 });
+    }
+    /// `vfmac.h` — packed FP16 multiply-accumulate.
+    pub fn vfmac_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::SimdFp { op: SimdFpOp::Mac, rd, rs1, rs2 });
+    }
+    /// `vfmax.h`.
+    pub fn vfmax_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::SimdFp { op: SimdFpOp::Max, rd, rs1, rs2 });
+    }
+    /// `vfdotpex.s.h` — FP16 dot product accumulated into an f32 register.
+    pub fn vfdotpex_s_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.inst(Inst::SimdFp { op: SimdFpOp::DotpexS, rd, rs1, rs2 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new(Xlen::Rv64);
+        let back = a.label();
+        a.bind(back);
+        a.nop();
+        let fwd = a.label();
+        a.beq(Reg::A0, Reg::A1, fwd); // +8 from idx 1
+        a.j(back); // -8 from idx 2
+        a.bind(fwd);
+        a.ebreak();
+        let w = a.assemble().unwrap();
+        let b = decode(w[1], Xlen::Rv64, false).unwrap();
+        assert_eq!(
+            b,
+            Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 8 }
+        );
+        let j = decode(w[2], Xlen::Rv64, false).unwrap();
+        assert_eq!(j, Inst::Jal { rd: Reg::Zero, offset: -8 });
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = Asm::new(Xlen::Rv64);
+        let l = a.label();
+        a.j(l);
+        assert!(matches!(a.assemble(), Err(RvError::UnboundLabel(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new(Xlen::Rv64);
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn li_expansions() {
+        // Small constants: one instruction.
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::A0, 42);
+        assert_eq!(a.len(), 1);
+        // 32-bit constants: two.
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::A0, 0x12345678);
+        assert_eq!(a.len(), 2);
+        // 64-bit constants: more.
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::A0, 0x1234_5678_9ABC_DEF0);
+        assert!(a.len() >= 5);
+    }
+
+    #[test]
+    fn li_values_correct_on_core() {
+        use crate::core::{Core, FlatBus};
+        let values: Vec<i64> = vec![
+            0,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x7FFF_FFFF,
+            -0x8000_0000,
+            0x1234_5678,
+            -0x1234_5678,
+            0x1234_5678_9ABC_DEF0,
+            i64::MAX,
+            i64::MIN,
+            0x8000_0000,
+            0xFFF_FFFF_F800,
+        ];
+        for v in values {
+            let mut a = Asm::new(Xlen::Rv64);
+            a.li(Reg::A0, v);
+            a.ebreak();
+            let mut bus = FlatBus::new(1024);
+            bus.load_words(0, &a.assemble().unwrap());
+            let mut core = Core::cva6();
+            core.run(&mut bus, 1000).unwrap();
+            assert_eq!(core.reg(Reg::A0) as i64, v, "li {v:#x}");
+        }
+    }
+
+    #[test]
+    fn li_rv32_truncates() {
+        use crate::core::{Core, FlatBus};
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::A0, 0xDEAD_BEEFu32 as i64);
+        a.ebreak();
+        let mut bus = FlatBus::new(1024);
+        bus.load_words(0, &a.assemble().unwrap());
+        let mut core = Core::ri5cy(0);
+        core.run(&mut bus, 1000).unwrap();
+        assert_eq!(core.reg(Reg::A0), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn la_is_pc_relative() {
+        use crate::core::{Core, FlatBus};
+        let mut a = Asm::new(Xlen::Rv64);
+        let data = a.label();
+        a.la(Reg::A0, data);
+        a.ebreak();
+        a.bind(data);
+        let words = a.assemble().unwrap();
+        // Load at a non-zero base; la must still resolve relative.
+        let base = 0x400u64;
+        let mut bus = FlatBus::new(4096);
+        bus.load_words(base, &words);
+        let mut core = Core::cva6();
+        core.set_pc(base);
+        core.run(&mut bus, 1000).unwrap();
+        assert_eq!(core.reg(Reg::A0), base + 3 * 4);
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Asm::new(Xlen::Rv32);
+        assert!(a.is_empty());
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), 8);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn raw_word_passthrough() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.word(0xDEAD_BEEF);
+        assert_eq!(a.assemble().unwrap(), vec![0xDEAD_BEEF]);
+    }
+}

@@ -1,0 +1,543 @@
+//! The C (compressed) extension: 16-bit instruction parcels.
+//!
+//! CVA6 implements RV64GC, so the host fetch path understands 2-byte
+//! parcels: any halfword whose low two bits are not `11` expands to a full
+//! 32-bit instruction before execution, exactly like the RTL's aligner +
+//! expander. [`expand`] performs that mapping; [`compress`] is its partial
+//! inverse, used by tests and by code-size-conscious callers.
+
+use crate::inst::*;
+
+#[inline]
+fn creg(bits: u16) -> Reg {
+    // x8..x15 (the RVC register subset).
+    Reg::from_index(8 + (bits & 7) as u8)
+}
+
+#[inline]
+fn full_reg(bits: u16) -> Reg {
+    Reg::from_index((bits & 0x1F) as u8)
+}
+
+/// Expands a 16-bit compressed parcel to its 32-bit equivalent.
+///
+/// Returns `None` for reserved/illegal encodings (including the all-zero
+/// halfword, which the ISA defines as illegal).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::compressed::expand;
+/// use hulkv_rv::inst::{AluOp, Inst, Reg, Xlen};
+///
+/// // c.addi a0, 3
+/// let inst = expand(0x050D, Xlen::Rv64).unwrap();
+/// assert_eq!(inst, Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 3 });
+/// ```
+pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
+    if half == 0 {
+        return None;
+    }
+    let op = half & 3;
+    let funct3 = (half >> 13) & 7;
+    match (op, funct3) {
+        // --- Quadrant 0 ---
+        (0b00, 0b000) => {
+            // c.addi4spn rd', sp, nzuimm
+            let imm = (((half >> 5) & 1) << 3)
+                | (((half >> 6) & 1) << 2)
+                | (((half >> 7) & 0xF) << 6)
+                | (((half >> 11) & 3) << 4);
+            if imm == 0 {
+                return None;
+            }
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd: creg(half >> 2),
+                rs1: Reg::Sp,
+                imm: imm as i64,
+            })
+        }
+        (0b00, 0b010) => {
+            // c.lw rd', offset(rs1')
+            let imm = (((half >> 6) & 1) << 2) | (((half >> 10) & 7) << 3) | (((half >> 5) & 1) << 6);
+            Some(Inst::Load {
+                width: LoadWidth::W,
+                rd: creg(half >> 2),
+                rs1: creg(half >> 7),
+                offset: imm as i64,
+            })
+        }
+        (0b00, 0b011) if xlen == Xlen::Rv64 => {
+            // c.ld rd', offset(rs1')
+            let imm = (((half >> 10) & 7) << 3) | (((half >> 5) & 3) << 6);
+            Some(Inst::Load {
+                width: LoadWidth::D,
+                rd: creg(half >> 2),
+                rs1: creg(half >> 7),
+                offset: imm as i64,
+            })
+        }
+        (0b00, 0b110) => {
+            // c.sw rs2', offset(rs1')
+            let imm = (((half >> 6) & 1) << 2) | (((half >> 10) & 7) << 3) | (((half >> 5) & 1) << 6);
+            Some(Inst::Store {
+                width: StoreWidth::W,
+                rs2: creg(half >> 2),
+                rs1: creg(half >> 7),
+                offset: imm as i64,
+            })
+        }
+        (0b00, 0b111) if xlen == Xlen::Rv64 => {
+            // c.sd rs2', offset(rs1')
+            let imm = (((half >> 10) & 7) << 3) | (((half >> 5) & 3) << 6);
+            Some(Inst::Store {
+                width: StoreWidth::D,
+                rs2: creg(half >> 2),
+                rs1: creg(half >> 7),
+                offset: imm as i64,
+            })
+        }
+
+        // --- Quadrant 1 ---
+        (0b01, 0b000) => {
+            // c.addi rd, nzimm (c.nop when rd=0, imm=0)
+            let rd = full_reg(half >> 7);
+            let imm = ci_imm6(half);
+            Some(Inst::OpImm { op: AluOp::Add, rd, rs1: rd, imm })
+        }
+        (0b01, 0b001) if xlen == Xlen::Rv64 => {
+            // c.addiw rd, imm
+            let rd = full_reg(half >> 7);
+            if rd == Reg::Zero {
+                return None;
+            }
+            Some(Inst::OpImm32 { op: AluOp::Add, rd, rs1: rd, imm: ci_imm6(half) })
+        }
+        (0b01, 0b010) => {
+            // c.li rd, imm
+            let rd = full_reg(half >> 7);
+            Some(Inst::OpImm { op: AluOp::Add, rd, rs1: Reg::Zero, imm: ci_imm6(half) })
+        }
+        (0b01, 0b011) => {
+            let rd = full_reg(half >> 7);
+            if rd == Reg::Sp {
+                // c.addi16sp
+                let imm = ((((half >> 12) & 1) as i64) << 9)
+                    | ((((half >> 6) & 1) as i64) << 4)
+                    | ((((half >> 5) & 1) as i64) << 6)
+                    | ((((half >> 3) & 3) as i64) << 7)
+                    | ((((half >> 2) & 1) as i64) << 5);
+                let imm = (imm << 54) >> 54; // sign-extend 10 bits
+                if imm == 0 {
+                    return None;
+                }
+                Some(Inst::OpImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm })
+            } else {
+                // c.lui
+                let imm = ci_imm6(half);
+                if imm == 0 || rd == Reg::Zero {
+                    return None;
+                }
+                Some(Inst::Lui { rd, imm })
+            }
+        }
+        (0b01, 0b100) => {
+            let rd = creg(half >> 7);
+            match (half >> 10) & 3 {
+                0b00 => {
+                    // c.srli
+                    let sh = shamt6(half, xlen)?;
+                    Some(Inst::OpImm { op: AluOp::Srl, rd, rs1: rd, imm: sh })
+                }
+                0b01 => {
+                    let sh = shamt6(half, xlen)?;
+                    Some(Inst::OpImm { op: AluOp::Sra, rd, rs1: rd, imm: sh })
+                }
+                0b10 => Some(Inst::OpImm { op: AluOp::And, rd, rs1: rd, imm: ci_imm6(half) }),
+                _ => {
+                    let rs2 = creg(half >> 2);
+                    let word = (half >> 12) & 1 == 1;
+                    let op = match (word, (half >> 5) & 3) {
+                        (false, 0b00) => AluOp::Sub,
+                        (false, 0b01) => AluOp::Xor,
+                        (false, 0b10) => AluOp::Or,
+                        (false, 0b11) => AluOp::And,
+                        (true, 0b00) if xlen == Xlen::Rv64 => {
+                            return Some(Inst::Op32 { op: AluOp::Sub, rd, rs1: rd, rs2 });
+                        }
+                        (true, 0b01) if xlen == Xlen::Rv64 => {
+                            return Some(Inst::Op32 { op: AluOp::Add, rd, rs1: rd, rs2 });
+                        }
+                        _ => return None,
+                    };
+                    Some(Inst::Op { op, rd, rs1: rd, rs2 })
+                }
+            }
+        }
+        (0b01, 0b101) => {
+            // c.j
+            Some(Inst::Jal { rd: Reg::Zero, offset: cj_offset(half) })
+        }
+        (0b01, 0b110) => Some(Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: creg(half >> 7),
+            rs2: Reg::Zero,
+            offset: cb_offset(half),
+        }),
+        (0b01, 0b111) => Some(Inst::Branch {
+            cond: BranchCond::Ne,
+            rs1: creg(half >> 7),
+            rs2: Reg::Zero,
+            offset: cb_offset(half),
+        }),
+
+        // --- Quadrant 2 ---
+        (0b10, 0b000) => {
+            // c.slli
+            let rd = full_reg(half >> 7);
+            let sh = shamt6(half, xlen)?;
+            Some(Inst::OpImm { op: AluOp::Sll, rd, rs1: rd, imm: sh })
+        }
+        (0b10, 0b010) => {
+            // c.lwsp
+            let rd = full_reg(half >> 7);
+            if rd == Reg::Zero {
+                return None;
+            }
+            let imm = (((half >> 4) & 7) << 2) | (((half >> 12) & 1) << 5) | ((half & 0xC) << 4);
+            Some(Inst::Load { width: LoadWidth::W, rd, rs1: Reg::Sp, offset: imm as i64 })
+        }
+        (0b10, 0b011) if xlen == Xlen::Rv64 => {
+            // c.ldsp
+            let rd = full_reg(half >> 7);
+            if rd == Reg::Zero {
+                return None;
+            }
+            let imm = (((half >> 5) & 3) << 3) | (((half >> 12) & 1) << 5) | (((half >> 2) & 7) << 6);
+            Some(Inst::Load { width: LoadWidth::D, rd, rs1: Reg::Sp, offset: imm as i64 })
+        }
+        (0b10, 0b100) => {
+            let rd = full_reg(half >> 7);
+            let rs2 = full_reg(half >> 2);
+            let bit12 = (half >> 12) & 1 == 1;
+            match (bit12, rd, rs2) {
+                (false, Reg::Zero, _) => None,
+                (false, _, Reg::Zero) => {
+                    // c.jr
+                    Some(Inst::Jalr { rd: Reg::Zero, rs1: rd, offset: 0 })
+                }
+                (false, _, _) => {
+                    // c.mv
+                    Some(Inst::Op { op: AluOp::Add, rd, rs1: Reg::Zero, rs2 })
+                }
+                (true, Reg::Zero, Reg::Zero) => Some(Inst::Ebreak),
+                (true, _, Reg::Zero) => {
+                    // c.jalr
+                    Some(Inst::Jalr { rd: Reg::Ra, rs1: rd, offset: 0 })
+                }
+                (true, _, _) => {
+                    // c.add
+                    Some(Inst::Op { op: AluOp::Add, rd, rs1: rd, rs2 })
+                }
+            }
+        }
+        (0b10, 0b110) => {
+            // c.swsp
+            let imm = (((half >> 9) & 0xF) << 2) | (((half >> 7) & 3) << 6);
+            Some(Inst::Store {
+                width: StoreWidth::W,
+                rs2: full_reg(half >> 2),
+                rs1: Reg::Sp,
+                offset: imm as i64,
+            })
+        }
+        (0b10, 0b111) if xlen == Xlen::Rv64 => {
+            // c.sdsp
+            let imm = (((half >> 10) & 7) << 3) | (((half >> 7) & 7) << 6);
+            Some(Inst::Store {
+                width: StoreWidth::D,
+                rs2: full_reg(half >> 2),
+                rs1: Reg::Sp,
+                offset: imm as i64,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Sign-extended CI-format immediate (bits 12 and 6:2).
+fn ci_imm6(half: u16) -> i64 {
+    let raw = (((half >> 12) & 1) << 5) | ((half >> 2) & 0x1F);
+    ((raw as i64) << 58) >> 58
+}
+
+/// 6-bit shift amount (bit 12 | bits 6:2); RV32 restricts to 5 bits.
+fn shamt6(half: u16, xlen: Xlen) -> Option<i64> {
+    let sh = ((((half >> 12) & 1) << 5) | ((half >> 2) & 0x1F)) as i64;
+    if sh == 0 || (xlen == Xlen::Rv32 && sh >= 32) {
+        return None;
+    }
+    Some(sh)
+}
+
+/// CJ-format jump offset.
+fn cj_offset(half: u16) -> i64 {
+    let x = half as i64;
+    let imm = (((x >> 12) & 1) << 11)
+        | (((x >> 11) & 1) << 4)
+        | (((x >> 9) & 3) << 8)
+        | (((x >> 8) & 1) << 10)
+        | (((x >> 7) & 1) << 6)
+        | (((x >> 6) & 1) << 7)
+        | (((x >> 3) & 7) << 1)
+        | (((x >> 2) & 1) << 5);
+    (imm << 52) >> 52
+}
+
+/// CB-format branch offset.
+fn cb_offset(half: u16) -> i64 {
+    let x = half as i64;
+    let imm = (((x >> 12) & 1) << 8)
+        | (((x >> 10) & 3) << 3)
+        | (((x >> 5) & 3) << 6)
+        | (((x >> 3) & 3) << 1)
+        | (((x >> 2) & 1) << 5);
+    (imm << 55) >> 55
+}
+
+fn is_creg(r: Reg) -> Option<u16> {
+    let i = r.index();
+    (8..16).contains(&i).then_some((i - 8) as u16)
+}
+
+/// Compresses an instruction into a 16-bit parcel, when a compressed form
+/// exists. The partial inverse of [`expand`]: every `Some` result expands
+/// back to the input (verified by property tests).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::compressed::{compress, expand};
+/// use hulkv_rv::inst::{AluOp, Inst, Reg, Xlen};
+///
+/// let i = Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 3 };
+/// let half = compress(&i, Xlen::Rv64).unwrap();
+/// assert_eq!(expand(half, Xlen::Rv64), Some(i));
+/// ```
+pub fn compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
+    match *inst {
+        Inst::OpImm { op: AluOp::Add, rd, rs1, imm } if rd == rs1 && rd != Reg::Zero => {
+            // c.addi (funct3 = 000, op = 01)
+            (-32..32).contains(&imm).then(|| {
+                let u = (imm & 0x3F) as u16;
+                ((u >> 5) << 12) | ((rd.index() as u16) << 7) | ((u & 0x1F) << 2) | 0b01
+            })
+        }
+        Inst::OpImm { op: AluOp::Add, rd, rs1: Reg::Zero, imm } if rd != Reg::Zero => {
+            // c.li
+            (-32..32).contains(&imm).then(|| {
+                let u = (imm & 0x3F) as u16;
+                (0b010 << 13) | ((u >> 5) << 12) | ((rd.index() as u16) << 7) | ((u & 0x1F) << 2)
+                    | 0b01
+            })
+        }
+        Inst::Op { op: AluOp::Add, rd, rs1: Reg::Zero, rs2 }
+            if rd != Reg::Zero && rs2 != Reg::Zero =>
+        {
+            // c.mv
+            Some((0b100 << 13) | ((rd.index() as u16) << 7) | ((rs2.index() as u16) << 2) | 0b10)
+        }
+        Inst::Op { op: AluOp::Add, rd, rs1, rs2 }
+            if rd == rs1 && rd != Reg::Zero && rs2 != Reg::Zero =>
+        {
+            // c.add
+            Some(
+                (0b100 << 13)
+                    | (1 << 12)
+                    | ((rd.index() as u16) << 7)
+                    | ((rs2.index() as u16) << 2)
+                    | 0b10,
+            )
+        }
+        Inst::Op { op, rd, rs1, rs2 } if rd == rs1 => {
+            // c.sub/xor/or/and on the RVC register subset.
+            let rdc = is_creg(rd)?;
+            let rs2c = is_creg(rs2)?;
+            let f2 = match op {
+                AluOp::Sub => 0b00,
+                AluOp::Xor => 0b01,
+                AluOp::Or => 0b10,
+                AluOp::And => 0b11,
+                _ => return None,
+            };
+            Some((0b100 << 13) | (0b011 << 10) | (rdc << 7) | (f2 << 5) | (rs2c << 2) | 0b01)
+        }
+        Inst::Load { width: LoadWidth::W, rd, rs1, offset } => {
+            let rdc = is_creg(rd)?;
+            let rs1c = is_creg(rs1)?;
+            if !(0..=0x7C).contains(&offset) || offset & 3 != 0 {
+                return None;
+            }
+            let o = offset as u16;
+            Some(
+                (0b010 << 13)
+                    | (((o >> 3) & 7) << 10)
+                    | (rs1c << 7)
+                    | (((o >> 2) & 1) << 6)
+                    | (((o >> 6) & 1) << 5)
+                    | (rdc << 2),
+            )
+        }
+        Inst::Store { width: StoreWidth::W, rs2, rs1, offset } => {
+            let rs2c = is_creg(rs2)?;
+            let rs1c = is_creg(rs1)?;
+            if !(0..=0x7C).contains(&offset) || offset & 3 != 0 {
+                return None;
+            }
+            let o = offset as u16;
+            Some(
+                (0b110 << 13)
+                    | (((o >> 3) & 7) << 10)
+                    | (rs1c << 7)
+                    | (((o >> 2) & 1) << 6)
+                    | (((o >> 6) & 1) << 5)
+                    | (rs2c << 2),
+            )
+        }
+        Inst::Load { width: LoadWidth::D, rd, rs1, offset } if xlen == Xlen::Rv64 => {
+            let rdc = is_creg(rd)?;
+            let rs1c = is_creg(rs1)?;
+            if !(0..=0xF8).contains(&offset) || offset & 7 != 0 {
+                return None;
+            }
+            let o = offset as u16;
+            Some(
+                (0b011 << 13)
+                    | (((o >> 3) & 7) << 10)
+                    | (rs1c << 7)
+                    | (((o >> 6) & 3) << 5)
+                    | (rdc << 2),
+            )
+        }
+        Inst::Store { width: StoreWidth::D, rs2, rs1, offset } if xlen == Xlen::Rv64 => {
+            let rs2c = is_creg(rs2)?;
+            let rs1c = is_creg(rs1)?;
+            if !(0..=0xF8).contains(&offset) || offset & 7 != 0 {
+                return None;
+            }
+            let o = offset as u16;
+            Some(
+                (0b111 << 13)
+                    | (((o >> 3) & 7) << 10)
+                    | (rs1c << 7)
+                    | (((o >> 6) & 3) << 5)
+                    | (rs2c << 2),
+            )
+        }
+        Inst::Jalr { rd: Reg::Zero, rs1, offset: 0 } if rs1 != Reg::Zero => {
+            // c.jr
+            Some((0b100 << 13) | ((rs1.index() as u16) << 7) | 0b10)
+        }
+        Inst::Ebreak => Some((0b100 << 13) | (1 << 12) | 0b10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_expansions() {
+        // Cross-checked against riscv-gnu-toolchain objdump output.
+        let cases: Vec<(u16, Inst)> = vec![
+            // c.addi a0, 3 = 0x050d
+            (0x050D, Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 3 }),
+            // c.li a5, -1 = 0x57fd
+            (0x57FD, Inst::OpImm { op: AluOp::Add, rd: Reg::A5, rs1: Reg::Zero, imm: -1 }),
+            // c.mv a0, a1 = 0x852e
+            (0x852E, Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::A1 }),
+            // c.add a0, a1 = 0x952e
+            (0x952E, Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 }),
+            // c.lw a2, 0(a0) = 0x4110
+            (0x4110, Inst::Load { width: LoadWidth::W, rd: Reg::A2, rs1: Reg::A0, offset: 0 }),
+            // c.sw a2, 4(a0) = 0xc150
+            (0xC150, Inst::Store { width: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A0, offset: 4 }),
+            // c.ld a2, 8(a0) = 0x6510
+            (0x6510, Inst::Load { width: LoadWidth::D, rd: Reg::A2, rs1: Reg::A0, offset: 8 }),
+            // c.jr ra = 0x8082 (ret)
+            (0x8082, Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 }),
+            // c.ebreak = 0x9002
+            (0x9002, Inst::Ebreak),
+            // c.sub s0, s1 = 0x8c05
+            (0x8C05, Inst::Op { op: AluOp::Sub, rd: Reg::S0, rs1: Reg::S0, rs2: Reg::S1 }),
+            // c.slli a0, 2 = 0x050a
+            (0x050A, Inst::OpImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: 2 }),
+            // c.addi4spn a0, sp, 16 = 0x0808
+            (0x0808, Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: 16 }),
+            // c.addi16sp sp, -32 = 0x7139
+            (0x7139, Inst::OpImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm: -64 }),
+        ];
+        for (half, expect) in cases {
+            assert_eq!(expand(half, Xlen::Rv64), Some(expect), "half {half:#06x}");
+        }
+    }
+
+    #[test]
+    fn branch_and_jump_offsets() {
+        // c.j +0 = 0xa001; c.beqz a0, +4 = 0xc111; c.beqz a0, +8 = 0xc501.
+        assert_eq!(expand(0xA001, Xlen::Rv64), Some(Inst::Jal { rd: Reg::Zero, offset: 0 }));
+        assert_eq!(
+            expand(0xC111, Xlen::Rv64),
+            Some(Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: 4 })
+        );
+        assert_eq!(
+            expand(0xC501, Xlen::Rv64),
+            Some(Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: 8 })
+        );
+    }
+
+    #[test]
+    fn illegal_parcels_rejected() {
+        assert_eq!(expand(0, Xlen::Rv64), None);
+        // c.addiw with rd=0 is reserved.
+        assert_eq!(expand(0x2001, Xlen::Rv64), None);
+        // c.ld on RV32 is not a thing (it's c.flw, unimplemented here).
+        assert_eq!(expand(0x6510, Xlen::Rv32), None);
+    }
+
+    #[test]
+    fn compress_expand_round_trip() {
+        let cases = vec![
+            Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: -5 },
+            Inst::OpImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::Zero, imm: 31 },
+            Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::A1 },
+            Inst::Op { op: AluOp::Add, rd: Reg::S2, rs1: Reg::S2, rs2: Reg::T3 },
+            Inst::Op { op: AluOp::Xor, rd: Reg::S0, rs1: Reg::S0, rs2: Reg::A5 },
+            Inst::Load { width: LoadWidth::W, rd: Reg::A3, rs1: Reg::A4, offset: 64 },
+            Inst::Store { width: StoreWidth::D, rs2: Reg::S1, rs1: Reg::A0, offset: 0xF8 },
+            Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 },
+            Inst::Ebreak,
+        ];
+        for inst in cases {
+            let half = compress(&inst, Xlen::Rv64).unwrap_or_else(|| panic!("{inst:?}"));
+            assert!(half & 3 != 3, "not a compressed parcel");
+            assert_eq!(expand(half, Xlen::Rv64), Some(inst), "{half:#06x}");
+        }
+    }
+
+    #[test]
+    fn uncompressible_forms() {
+        assert_eq!(
+            compress(&Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 100 }, Xlen::Rv64),
+            None
+        );
+        assert_eq!(compress(&Inst::Ecall, Xlen::Rv64), None);
+        assert_eq!(
+            compress(&Inst::Load { width: LoadWidth::W, rd: Reg::T6, rs1: Reg::T5, offset: 0 }, Xlen::Rv64),
+            None,
+            "t5/t6 are outside the RVC register subset"
+        );
+    }
+}

@@ -1,0 +1,2004 @@
+//! The decode–execute interpreter shared by the CVA6 host model and the
+//! PMCA cluster cores.
+
+// The RISC-V division instructions define explicit divide-by-zero results;
+// spelling the checks out mirrors the specification text.
+#![allow(clippy::manual_checked_ops)]
+
+use crate::csr::{addr, CsrFile, PrivMode, TrapCause};
+use crate::decode::decode;
+use crate::fp16::{pack2, unpack2};
+use crate::inst::*;
+use crate::mmu::{self, AccessKind, WalkFault};
+use crate::timing::CostModel;
+use hulkv_sim::{Cycles, SimError, Stats};
+
+/// The memory interface a core executes against.
+///
+/// Latencies are *stall* cycles: the cycles the access adds beyond the one
+/// cycle a pipelined L1/SPM hit hides. A scratchpad or cache hit therefore
+/// reports `Cycles::ZERO` and the core sustains CPI ≈ 1.
+pub trait CoreBus {
+    /// Fetches the 32-bit instruction word at physical address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying memory-system error for unmapped or otherwise
+    /// failing fetches.
+    fn fetch(&mut self, addr: u64) -> Result<(u32, Cycles), SimError>;
+
+    /// Reads `buf.len()` bytes at physical address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying memory-system error.
+    fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<Cycles, SimError>;
+
+    /// Writes `data` at physical address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying memory-system error.
+    fn store(&mut self, addr: u64, data: &[u8]) -> Result<Cycles, SimError>;
+}
+
+/// A flat zero-wait-state memory for tests, examples and kernel golden runs.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::{CoreBus, FlatBus};
+///
+/// let mut bus = FlatBus::new(1024);
+/// bus.write_bytes(0, &[0x13, 0x00, 0x00, 0x00]); // nop
+/// let (word, _) = bus.fetch(0)?;
+/// assert_eq!(word, 0x13);
+/// # Ok::<(), hulkv_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatBus {
+    mem: Vec<u8>,
+}
+
+impl FlatBus {
+    /// Creates a flat memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        FlatBus { mem: vec![0; size] }
+    }
+
+    /// Copies instruction words to `addr` (little-endian).
+    pub fn load_words(&mut self, addr: u64, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            let o = addr as usize + i * 4;
+            self.mem[o..o + 4].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Backdoor byte write.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        let o = addr as usize;
+        self.mem[o..o + data.len()].copy_from_slice(data);
+    }
+
+    /// Backdoor byte read.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> &[u8] {
+        &self.mem[addr as usize..addr as usize + len]
+    }
+
+    /// Backdoor little-endian `u32` read.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr, 4).try_into().expect("4 bytes"))
+    }
+
+    /// Backdoor little-endian `u64` read.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr, 8).try_into().expect("8 bytes"))
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<usize, SimError> {
+        let end = addr as usize + len;
+        if end > self.mem.len() {
+            return Err(SimError::OutOfRange {
+                what: "flat bus access",
+                value: end as u64,
+                limit: self.mem.len() as u64,
+            });
+        }
+        Ok(addr as usize)
+    }
+}
+
+impl CoreBus for FlatBus {
+    fn fetch(&mut self, addr: u64) -> Result<(u32, Cycles), SimError> {
+        let o = self.check(addr, 4)?;
+        let w = u32::from_le_bytes(self.mem[o..o + 4].try_into().expect("4 bytes"));
+        Ok((w, Cycles::ZERO))
+    }
+
+    fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
+        let o = self.check(addr, buf.len())?;
+        buf.copy_from_slice(&self.mem[o..o + buf.len()]);
+        Ok(Cycles::ZERO)
+    }
+
+    fn store(&mut self, addr: u64, data: &[u8]) -> Result<Cycles, SimError> {
+        let o = self.check(addr, data.len())?;
+        self.mem[o..o + data.len()].copy_from_slice(data);
+        Ok(Cycles::ZERO)
+    }
+}
+
+/// The result of one [`Core::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Cycles the instruction occupied the core.
+    pub cycles: Cycles,
+    /// Whether the core hit `ebreak` (the model's halt convention).
+    pub halted: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct HwLoopState {
+    start: u64,
+    end: u64,
+    count: u64,
+}
+
+/// One simulated RISC-V hart.
+///
+/// The same engine runs both HULK-V machines; construction selects the ISA
+/// surface and the cost model:
+///
+/// * [`Core::cva6`] — RV64 IMAFD+Zicsr, M/S/U privileges, Sv39.
+/// * [`Core::ri5cy`] — RV32 IMF + Xpulp, machine mode only.
+///
+/// `ebreak` halts the core (the bare-metal runtime's exit convention);
+/// `ecall` and faults trap through `mtvec` when one is installed and
+/// otherwise abort the run with an error.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Core {
+    xlen: Xlen,
+    xpulp: bool,
+    cost: CostModel,
+    pc: u64,
+    x: [u64; 32],
+    f: [u64; 32],
+    csrs: CsrFile,
+    priv_mode: PrivMode,
+    hwloops: [HwLoopState; 2],
+    reservation: Option<u64>,
+    cycles: Cycles,
+    instret: u64,
+    halted: bool,
+    stats: Stats,
+    trace: Option<std::collections::VecDeque<TraceEntry>>,
+    trace_capacity: usize,
+}
+
+/// One retired instruction in the execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+}
+
+impl Core {
+    /// Creates a core with an explicit ISA width and cost model (Xpulp off).
+    pub fn new(xlen: Xlen, cost: CostModel) -> Self {
+        Core {
+            xlen,
+            xpulp: false,
+            cost,
+            pc: 0,
+            x: [0; 32],
+            f: [0; 32],
+            csrs: CsrFile::new(0),
+            priv_mode: PrivMode::Machine,
+            hwloops: [HwLoopState::default(); 2],
+            reservation: None,
+            cycles: Cycles::ZERO,
+            instret: 0,
+            halted: false,
+            stats: Stats::new("core"),
+            trace: None,
+            trace_capacity: 0,
+        }
+    }
+
+    /// The CVA6 host configuration.
+    pub fn cva6() -> Self {
+        Core::new(Xlen::Rv64, CostModel::cva6())
+    }
+
+    /// A PMCA cluster core with hart id `hartid` (RV32 + Xpulp).
+    pub fn ri5cy(hartid: u64) -> Self {
+        let mut c = Core::new(Xlen::Rv32, CostModel::ri5cy());
+        c.xpulp = true;
+        c.csrs = CsrFile::new(hartid);
+        c.stats = Stats::new(format!("core{hartid}"));
+        c
+    }
+
+    /// Enables or disables the Xpulp extension surface.
+    pub fn set_xpulp(&mut self, enabled: bool) {
+        self.xpulp = enabled;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Sets the program counter (e.g. to an entry point).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Reads an integer register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.x[r.index() as usize]
+    }
+
+    /// Writes an integer register (`zero` stays zero; RV32 masks to 32 bits).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if r == Reg::Zero {
+            return;
+        }
+        self.x[r.index() as usize] = match self.xlen {
+            Xlen::Rv32 => v & 0xFFFF_FFFF,
+            Xlen::Rv64 => v,
+        };
+    }
+
+    /// Reads a floating-point register's raw bits.
+    pub fn freg(&self, r: FReg) -> u64 {
+        self.f[r.0 as usize]
+    }
+
+    /// Writes a floating-point register's raw bits.
+    pub fn set_freg(&mut self, r: FReg, v: u64) {
+        self.f[r.0 as usize] = v;
+    }
+
+    /// Total cycles consumed so far.
+    pub fn cycles(&self) -> Cycles {
+        self.cycles
+    }
+
+    /// Instructions retired so far.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Whether the core has executed `ebreak`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Clears the halt flag (to resume after inspection).
+    pub fn resume(&mut self) {
+        self.halted = false;
+    }
+
+    /// Current privilege mode.
+    pub fn priv_mode(&self) -> PrivMode {
+        self.priv_mode
+    }
+
+    /// Sets the privilege mode (used by loaders that enter S or U mode).
+    pub fn set_priv_mode(&mut self, mode: PrivMode) {
+        self.priv_mode = mode;
+    }
+
+    /// The CSR file.
+    pub fn csrs(&self) -> &CsrFile {
+        &self.csrs
+    }
+
+    /// Mutable CSR access (test and firmware setup).
+    pub fn csrs_mut(&mut self) -> &mut CsrFile {
+        &mut self.csrs
+    }
+
+    /// Activity counters: `instret`, `arith_ops` (GOps-weighted), `loads`,
+    /// `stores`, `taken_branches`, `mem_stall_cycles`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Enables execution tracing, keeping the last `capacity` retired
+    /// instructions in a ring buffer (tracing slows simulation; leave off
+    /// for benchmarking).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(std::collections::VecDeque::with_capacity(capacity));
+        self.trace_capacity = capacity.max(1);
+    }
+
+    /// The trace ring buffer, oldest first (empty when tracing is off).
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.trace.as_ref().map(|t| t.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Renders the trace as disassembly, one instruction per line.
+    pub fn trace_disassembly(&self) -> String {
+        self.trace()
+            .iter()
+            .map(|e| format!("{:#010x}: {}\n", e.pc, crate::disasm::disassemble(&e.inst)))
+            .collect()
+    }
+
+    /// Resets cycle/instruction/activity counters (not architectural state).
+    pub fn reset_counters(&mut self) {
+        self.cycles = Cycles::ZERO;
+        self.instret = 0;
+        self.stats.reset();
+    }
+
+    fn sval(&self, r: Reg) -> i64 {
+        let v = self.reg(r);
+        match self.xlen {
+            Xlen::Rv32 => v as u32 as i32 as i64,
+            Xlen::Rv64 => v as i64,
+        }
+    }
+
+    fn shamt_mask(&self) -> u32 {
+        self.xlen.bits() - 1
+    }
+
+    fn read_f32(&self, r: FReg) -> f32 {
+        f32::from_bits(self.f[r.0 as usize] as u32)
+    }
+
+    fn write_f32(&mut self, r: FReg, v: f32) {
+        // NaN-box single-precision values in the 64-bit register.
+        self.f[r.0 as usize] = 0xFFFF_FFFF_0000_0000 | v.to_bits() as u64;
+    }
+
+    fn read_f64(&self, r: FReg) -> f64 {
+        f64::from_bits(self.f[r.0 as usize])
+    }
+
+    fn write_f64(&mut self, r: FReg, v: f64) {
+        self.f[r.0 as usize] = v.to_bits();
+    }
+
+    /// Raises a synchronous trap: redirects through `mtvec` when installed,
+    /// otherwise aborts the simulation with a descriptive error.
+    fn raise(&mut self, cause: TrapCause, tval: u64) -> Result<(), RvError> {
+        if self.csrs.read(addr::MTVEC) != 0 {
+            let prev = self.priv_mode;
+            self.pc = self.csrs.enter_trap_m(cause, self.pc, tval, prev);
+            self.priv_mode = PrivMode::Machine;
+            return Ok(());
+        }
+        Err(match cause {
+            TrapCause::IllegalInstruction => RvError::IllegalInstruction {
+                pc: self.pc,
+                word: tval as u32,
+            },
+            TrapCause::InstPageFault | TrapCause::LoadPageFault | TrapCause::StorePageFault => {
+                RvError::PageFault { vaddr: tval }
+            }
+            _ => RvError::Memory {
+                addr: tval,
+                cause: format!("unhandled trap {cause:?}"),
+            },
+        })
+    }
+
+    /// Translates a virtual address, charging PTE-walk memory time.
+    fn translate(
+        &mut self,
+        bus: &mut dyn CoreBus,
+        vaddr: u64,
+        kind: AccessKind,
+        extra: &mut Cycles,
+    ) -> Result<u64, WalkFault> {
+        let satp = self.csrs.satp();
+        if !mmu::sv39_active(satp, self.priv_mode) {
+            return Ok(vaddr);
+        }
+        let mut walk_cycles = Cycles::ZERO;
+        let pa = mmu::translate_sv39(vaddr, satp, kind, self.priv_mode, |pte_addr| {
+            let mut b = [0u8; 8];
+            match bus.load(pte_addr, &mut b) {
+                Ok(lat) => {
+                    walk_cycles += lat;
+                    Ok(u64::from_le_bytes(b))
+                }
+                Err(_) => Err(WalkFault::AccessFault),
+            }
+        })?;
+        *extra += walk_cycles;
+        Ok(pa)
+    }
+
+    fn mem_load(
+        &mut self,
+        bus: &mut dyn CoreBus,
+        vaddr: u64,
+        buf: &mut [u8],
+        extra: &mut Cycles,
+    ) -> Result<(), RvError> {
+        let pa = match self.translate(bus, vaddr, AccessKind::Load, extra) {
+            Ok(pa) => pa,
+            Err(_) => {
+                self.raise(TrapCause::LoadPageFault, vaddr)?;
+                return Err(RvError::TrapTaken);
+            }
+        };
+        let lat = bus.load(pa, buf).map_err(|e| RvError::Memory {
+            addr: pa,
+            cause: e.to_string(),
+        })?;
+        *extra += lat;
+        self.stats.inc("loads");
+        Ok(())
+    }
+
+    fn mem_store(
+        &mut self,
+        bus: &mut dyn CoreBus,
+        vaddr: u64,
+        data: &[u8],
+        extra: &mut Cycles,
+    ) -> Result<(), RvError> {
+        let pa = match self.translate(bus, vaddr, AccessKind::Store, extra) {
+            Ok(pa) => pa,
+            Err(_) => {
+                self.raise(TrapCause::StorePageFault, vaddr)?;
+                return Err(RvError::TrapTaken);
+            }
+        };
+        let lat = bus.store(pa, data).map_err(|e| RvError::Memory {
+            addr: pa,
+            cause: e.to_string(),
+        })?;
+        *extra += lat;
+        self.stats.inc("stores");
+        Ok(())
+    }
+
+    fn load_int(
+        &mut self,
+        bus: &mut dyn CoreBus,
+        vaddr: u64,
+        width: LoadWidth,
+        extra: &mut Cycles,
+    ) -> Result<u64, RvError> {
+        let mut b = [0u8; 8];
+        let n = width.bytes();
+        self.mem_load(bus, vaddr, &mut b[..n], extra)?;
+        let raw = u64::from_le_bytes(b);
+        Ok(match width {
+            LoadWidth::B => raw as u8 as i8 as i64 as u64,
+            LoadWidth::Bu => raw & 0xFF,
+            LoadWidth::H => raw as u16 as i16 as i64 as u64,
+            LoadWidth::Hu => raw & 0xFFFF,
+            LoadWidth::W => raw as u32 as i32 as i64 as u64,
+            LoadWidth::Wu => raw & 0xFFFF_FFFF,
+            LoadWidth::D => raw,
+        })
+    }
+
+    fn alu(&self, op: AluOp, a: u64, b: u64) -> u64 {
+        let sh = (b as u32) & self.shamt_mask();
+        match (op, self.xlen) {
+            (AluOp::Add, _) => a.wrapping_add(b),
+            (AluOp::Sub, _) => a.wrapping_sub(b),
+            (AluOp::And, _) => a & b,
+            (AluOp::Or, _) => a | b,
+            (AluOp::Xor, _) => a ^ b,
+            (AluOp::Sll, _) => a << sh,
+            (AluOp::Srl, Xlen::Rv32) => ((a as u32) >> sh) as u64,
+            (AluOp::Srl, Xlen::Rv64) => a >> sh,
+            (AluOp::Sra, Xlen::Rv32) => ((a as u32 as i32) >> sh) as u32 as u64,
+            (AluOp::Sra, Xlen::Rv64) => ((a as i64) >> sh) as u64,
+            (AluOp::Slt, Xlen::Rv32) => ((a as u32 as i32) < (b as u32 as i32)) as u64,
+            (AluOp::Slt, Xlen::Rv64) => ((a as i64) < (b as i64)) as u64,
+            (AluOp::Sltu, Xlen::Rv32) => ((a as u32) < (b as u32)) as u64,
+            (AluOp::Sltu, Xlen::Rv64) => (a < b) as u64,
+        }
+    }
+
+    fn alu32(op: AluOp, a: u64, b: u64) -> u64 {
+        let a = a as u32;
+        let b = b as u32;
+        let sh = b & 31;
+        let r = match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a << sh,
+            AluOp::Srl => a >> sh,
+            AluOp::Sra => ((a as i32) >> sh) as u32,
+            _ => unreachable!("no 32-bit variant for {op:?}"),
+        };
+        r as i32 as i64 as u64
+    }
+
+    fn muldiv(&self, op: MulDivOp, a: u64, b: u64) -> u64 {
+        match self.xlen {
+            Xlen::Rv64 => {
+                let sa = a as i64;
+                let sb = b as i64;
+                match op {
+                    MulDivOp::Mul => a.wrapping_mul(b),
+                    MulDivOp::Mulh => ((sa as i128 * sb as i128) >> 64) as u64,
+                    MulDivOp::Mulhsu => ((sa as i128 * b as u128 as i128) >> 64) as u64,
+                    MulDivOp::Mulhu => ((a as u128 * b as u128) >> 64) as u64,
+                    MulDivOp::Div => {
+                        if sb == 0 {
+                            u64::MAX
+                        } else {
+                            sa.wrapping_div(sb) as u64
+                        }
+                    }
+                    MulDivOp::Divu => {
+                        if b == 0 {
+                            u64::MAX
+                        } else {
+                            a / b
+                        }
+                    }
+                    MulDivOp::Rem => {
+                        if sb == 0 {
+                            a
+                        } else {
+                            sa.wrapping_rem(sb) as u64
+                        }
+                    }
+                    MulDivOp::Remu => {
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
+                }
+            }
+            Xlen::Rv32 => {
+                let ua = a as u32;
+                let ub = b as u32;
+                let sa = ua as i32;
+                let sb = ub as i32;
+                let r: u32 = match op {
+                    MulDivOp::Mul => ua.wrapping_mul(ub),
+                    MulDivOp::Mulh => ((sa as i64 * sb as i64) >> 32) as u32,
+                    MulDivOp::Mulhsu => ((sa as i64 * ub as i64) >> 32) as u32,
+                    MulDivOp::Mulhu => ((ua as u64 * ub as u64) >> 32) as u32,
+                    MulDivOp::Div => {
+                        if sb == 0 {
+                            u32::MAX
+                        } else {
+                            sa.wrapping_div(sb) as u32
+                        }
+                    }
+                    MulDivOp::Divu => {
+                        if ub == 0 {
+                            u32::MAX
+                        } else {
+                            ua / ub
+                        }
+                    }
+                    MulDivOp::Rem => {
+                        if sb == 0 {
+                            ua
+                        } else {
+                            sa.wrapping_rem(sb) as u32
+                        }
+                    }
+                    MulDivOp::Remu => {
+                        if ub == 0 {
+                            ua
+                        } else {
+                            ua % ub
+                        }
+                    }
+                };
+                r as u64
+            }
+        }
+    }
+
+    fn csr_read(&self, csr: u16) -> u64 {
+        match csr {
+            addr::CYCLE | addr::MCYCLE | addr::TIME => self.cycles.get(),
+            addr::INSTRET | addr::MINSTRET => self.instret,
+            _ => self.csrs.read(csr),
+        }
+    }
+
+    fn simd_lanes(&self, fmt: SimdFmt, v: u32, scalar: bool) -> [i32; 4] {
+        let mut out = [0i32; 4];
+        match fmt {
+            SimdFmt::B => {
+                for (i, lane) in out.iter_mut().enumerate() {
+                    let byte = if scalar { v as u8 } else { (v >> (8 * i)) as u8 };
+                    *lane = byte as i8 as i32;
+                }
+            }
+            SimdFmt::H => {
+                for (i, lane) in out.iter_mut().take(2).enumerate() {
+                    let h = if scalar { v as u16 } else { (v >> (16 * i)) as u16 };
+                    *lane = h as i16 as i32;
+                }
+            }
+        }
+        out
+    }
+
+    fn simd_pack(fmt: SimdFmt, lanes: &[i32; 4]) -> u32 {
+        match fmt {
+            SimdFmt::B => lanes
+                .iter()
+                .enumerate()
+                .fold(0u32, |acc, (i, &l)| acc | (((l as u8) as u32) << (8 * i))),
+            SimdFmt::H => {
+                ((lanes[0] as u16) as u32) | (((lanes[1] as u16) as u32) << 16)
+            }
+        }
+    }
+
+    fn exec_simd(&mut self, op: SimdOp, fmt: SimdFmt, rd: Reg, rs1: Reg, rs2: Reg, scalar: bool) {
+        let a = self.reg(rs1) as u32;
+        let b = self.reg(rs2) as u32;
+        let la = self.simd_lanes(fmt, a, false);
+        let lb = self.simd_lanes(fmt, b, scalar);
+        let n = fmt.lanes();
+        let lane_bits = 32 / n as u32;
+
+        let dot = |sgn_a: bool, sgn_b: bool| -> i64 {
+            let mut acc = 0i64;
+            for i in 0..n {
+                let va = if sgn_a {
+                    la[i] as i64
+                } else {
+                    (la[i] as u32 & ((1 << lane_bits) - 1)) as i64
+                };
+                let vb = if sgn_b {
+                    lb[i] as i64
+                } else {
+                    (lb[i] as u32 & ((1 << lane_bits) - 1)) as i64
+                };
+                acc += va * vb;
+            }
+            acc
+        };
+
+        let (value, ops): (u32, u64) = match op {
+            SimdOp::Extract => {
+                let lane = (b as usize) % n;
+                (la[lane] as u32, 1)
+            }
+            SimdOp::Insert => {
+                let lane = (b as usize) % n;
+                let acc = self.reg(rd) as u32;
+                let (mask, sh) = match fmt {
+                    SimdFmt::B => (0xFFu32, 8 * lane),
+                    SimdFmt::H => (0xFFFF, 16 * lane),
+                };
+                ((acc & !(mask << sh)) | ((a & mask) << sh), 1)
+            }
+            SimdOp::Shuffle => {
+                let mut lanes = [0i32; 4];
+                for (i, lane) in lanes.iter_mut().take(n).enumerate() {
+                    let idx = match fmt {
+                        SimdFmt::B => ((b >> (8 * i)) as usize) % n,
+                        SimdFmt::H => ((b >> (16 * i)) as usize) % n,
+                    };
+                    *lane = la[idx];
+                }
+                (Self::simd_pack(fmt, &lanes), n as u64)
+            }
+            SimdOp::And => (a & b, n as u64),
+            SimdOp::Or => (a | b, n as u64),
+            SimdOp::Xor => (a ^ b, n as u64),
+            SimdOp::Dotup => ((dot(false, false) as i32) as u32, 2 * n as u64),
+            SimdOp::Dotusp => ((dot(false, true) as i32) as u32, 2 * n as u64),
+            SimdOp::Dotsp => ((dot(true, true) as i32) as u32, 2 * n as u64),
+            SimdOp::Sdotup => (
+                (self.reg(rd) as u32).wrapping_add(dot(false, false) as u32),
+                2 * n as u64,
+            ),
+            SimdOp::Sdotusp => (
+                (self.reg(rd) as u32).wrapping_add(dot(false, true) as u32),
+                2 * n as u64,
+            ),
+            SimdOp::Sdotsp => (
+                (self.reg(rd) as u32).wrapping_add(dot(true, true) as u32),
+                2 * n as u64,
+            ),
+            _ => {
+                let mut lanes = [0i32; 4];
+                let umask = (1u32 << lane_bits).wrapping_sub(1);
+                for i in 0..n {
+                    let (x, y) = (la[i], lb[i]);
+                    let (ux, uy) = (x as u32 & umask, y as u32 & umask);
+                    lanes[i] = match op {
+                        SimdOp::Add => x.wrapping_add(y),
+                        SimdOp::Sub => x.wrapping_sub(y),
+                        SimdOp::Avg => (x + y) >> 1,
+                        SimdOp::Avgu => ((ux + uy) >> 1) as i32,
+                        SimdOp::Min => x.min(y),
+                        SimdOp::Max => x.max(y),
+                        SimdOp::Minu => ux.min(uy) as i32,
+                        SimdOp::Maxu => ux.max(uy) as i32,
+                        SimdOp::Srl => (ux >> (uy & (lane_bits - 1))) as i32,
+                        SimdOp::Sra => x >> (uy & (lane_bits - 1)),
+                        SimdOp::Abs => x.wrapping_abs(),
+                        _ => unreachable!("handled above"),
+                    };
+                }
+                (Self::simd_pack(fmt, &lanes), n as u64)
+            }
+        };
+        self.set_reg(rd, value as u64);
+        self.stats.add("arith_ops", ops);
+        self.stats.inc("simd_insts");
+    }
+
+    fn exec_simd_fp(&mut self, op: SimdFpOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        let (a0, a1) = unpack2(self.reg(rs1) as u32);
+        let (b0, b1) = unpack2(self.reg(rs2) as u32);
+        match op {
+            SimdFpOp::DotpexS => {
+                let acc = f32::from_bits(self.reg(rd) as u32);
+                let r = a0 * b0 + a1 * b1 + acc;
+                self.set_reg(rd, r.to_bits() as u64);
+                self.stats.add("arith_ops", 4);
+            }
+            SimdFpOp::Mac => {
+                let (d0, d1) = unpack2(self.reg(rd) as u32);
+                self.set_reg(rd, pack2(d0 + a0 * b0, d1 + a1 * b1) as u64);
+                self.stats.add("arith_ops", 4);
+            }
+            _ => {
+                let f = |x: f32, y: f32| match op {
+                    SimdFpOp::Add => x + y,
+                    SimdFpOp::Sub => x - y,
+                    SimdFpOp::Mul => x * y,
+                    SimdFpOp::Min => x.min(y),
+                    SimdFpOp::Max => x.max(y),
+                    _ => unreachable!(),
+                };
+                self.set_reg(rd, pack2(f(a0, b0), f(a1, b1)) as u64);
+                self.stats.add("arith_ops", 2);
+            }
+        }
+        self.stats.inc("fp_insts");
+    }
+
+    /// Marks a machine interrupt pending (or clears it): `code` is the
+    /// standard cause (3 = software, 7 = timer, 11 = external). The SoC
+    /// harness drives this from the CLINT/PLIC models; the interrupt is
+    /// taken at the next [`Core::step`] when `mie`/`mstatus.MIE` allow.
+    pub fn set_interrupt_pending(&mut self, code: u64, pending: bool) {
+        let mip = self.csrs.read(addr::MIP);
+        let bit = 1u64 << code;
+        self.csrs
+            .write(addr::MIP, if pending { mip | bit } else { mip & !bit });
+    }
+
+    /// Returns the cause code of a takeable machine interrupt, if any.
+    fn takeable_interrupt(&self) -> Option<u64> {
+        let pending = self.csrs.read(addr::MIP) & self.csrs.read(addr::MIE);
+        if pending == 0 {
+            return None;
+        }
+        let mstatus_mie = self.csrs.read(addr::MSTATUS) & (1 << 3) != 0;
+        if self.priv_mode == PrivMode::Machine && !mstatus_mie {
+            return None;
+        }
+        // Standard priority: external (11) > software (3) > timer (7).
+        [11u64, 3, 7].into_iter().find(|&c| pending & (1 << c) != 0)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RvError`] when the core cannot continue: illegal
+    /// instruction / fault with no trap handler installed, or a memory
+    /// system failure.
+    pub fn step(&mut self, bus: &mut dyn CoreBus) -> Result<StepOutcome, RvError> {
+        if self.halted {
+            return Ok(StepOutcome { cycles: Cycles::ZERO, halted: true });
+        }
+        if let Some(code) = self.takeable_interrupt() {
+            if self.csrs.read(addr::MTVEC) != 0 {
+                let prev = self.priv_mode;
+                self.pc = self.csrs.enter_interrupt_m(code, self.pc, prev);
+                self.priv_mode = PrivMode::Machine;
+                self.stats.inc("interrupts");
+                let c = Cycles::new(self.cost.branch_taken_penalty + 1);
+                self.cycles += c;
+                return Ok(StepOutcome { cycles: c, halted: false });
+            }
+        }
+        let pc = self.pc;
+        let mut extra = Cycles::ZERO;
+
+        // Fetch (with translation when paging is on).
+        let fetch_pa = match self.translate(bus, pc, AccessKind::Fetch, &mut extra) {
+            Ok(pa) => pa,
+            Err(_) => {
+                self.raise(TrapCause::InstPageFault, pc)?;
+                let c = Cycles::new(self.cost.base) + extra;
+                self.cycles += c;
+                return Ok(StepOutcome { cycles: c, halted: false });
+            }
+        };
+        let (word, fetch_lat) = bus.fetch(fetch_pa).map_err(|e| RvError::Memory {
+            addr: fetch_pa,
+            cause: e.to_string(),
+        })?;
+        extra += fetch_lat;
+
+        // C extension: a parcel whose low bits are not 0b11 is a 16-bit
+        // compressed instruction; expand it before execution.
+        let (decoded, ilen) = if word & 3 != 3 {
+            (crate::compressed::expand(word as u16, self.xlen), 2u64)
+        } else {
+            (decode(word, self.xlen, self.xpulp), 4u64)
+        };
+        let Some(inst) = decoded else {
+            self.raise(TrapCause::IllegalInstruction, word as u64)?;
+            let c = Cycles::new(self.cost.base) + extra;
+            self.cycles += c;
+            return Ok(StepOutcome { cycles: c, halted: false });
+        };
+
+        if let Some(trace) = &mut self.trace {
+            if trace.len() == self.trace_capacity {
+                trace.pop_front();
+            }
+            trace.push_back(TraceEntry { pc, inst });
+        }
+
+        let mut next_pc = pc.wrapping_add(ilen);
+        let mut penalty = 0u64;
+        let mut halted = false;
+        let mut control_transfer = false;
+        let mut trapped = false;
+
+        let exec_result: Result<(), RvError> = (|| { match inst {
+            Inst::Lui { rd, imm } => self.set_reg(rd, (imm << 12) as u64),
+            Inst::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add((imm << 12) as u64)),
+            Inst::Jal { rd, offset } => {
+                self.set_reg(rd, pc.wrapping_add(ilen));
+                next_pc = pc.wrapping_add(offset as u64);
+                penalty += self.cost.jump_penalty;
+                control_transfer = true;
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u64) & !1;
+                self.set_reg(rd, pc.wrapping_add(ilen));
+                next_pc = target;
+                penalty += self.cost.jump_penalty;
+                control_transfer = true;
+            }
+            Inst::Branch { cond, rs1, rs2, offset } => {
+                let taken = match cond {
+                    BranchCond::Eq => self.reg(rs1) == self.reg(rs2),
+                    BranchCond::Ne => self.reg(rs1) != self.reg(rs2),
+                    BranchCond::Lt => self.sval(rs1) < self.sval(rs2),
+                    BranchCond::Ge => self.sval(rs1) >= self.sval(rs2),
+                    BranchCond::Ltu => self.reg(rs1) < self.reg(rs2),
+                    BranchCond::Geu => self.reg(rs1) >= self.reg(rs2),
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u64);
+                    penalty += self.cost.branch_taken_penalty;
+                    self.stats.inc("taken_branches");
+                    control_transfer = true;
+                }
+            }
+            Inst::Load { width, rd, rs1, offset } => {
+                let vaddr = self.reg(rs1).wrapping_add(offset as u64);
+                let v = self.load_int(bus, vaddr, width, &mut extra)?;
+                self.set_reg(rd, v);
+            }
+            Inst::Store { width, rs2, rs1, offset } => {
+                let vaddr = self.reg(rs1).wrapping_add(offset as u64);
+                let data = self.reg(rs2).to_le_bytes();
+                self.mem_store(bus, vaddr, &data[..width.bytes()], &mut extra)?;
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let v = self.alu(op, self.reg(rs1), imm as u64);
+                self.set_reg(rd, v);
+                self.stats.inc("arith_ops");
+            }
+            Inst::OpImm32 { op, rd, rs1, imm } => {
+                self.set_reg(rd, Self::alu32(op, self.reg(rs1), imm as u64));
+                self.stats.inc("arith_ops");
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let v = self.alu(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                self.stats.inc("arith_ops");
+            }
+            Inst::Op32 { op, rd, rs1, rs2 } => {
+                self.set_reg(rd, Self::alu32(op, self.reg(rs1), self.reg(rs2)));
+                self.stats.inc("arith_ops");
+            }
+            Inst::MulDiv { op, rd, rs1, rs2 } => {
+                let v = self.muldiv(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                self.stats.inc("arith_ops");
+            }
+            Inst::MulDiv32 { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1) as u32;
+                let b = self.reg(rs2) as u32;
+                let sa = a as i32;
+                let sb = b as i32;
+                let r: u32 = match op {
+                    MulDivOp::Mul => a.wrapping_mul(b),
+                    MulDivOp::Div => {
+                        if sb == 0 { u32::MAX } else { sa.wrapping_div(sb) as u32 }
+                    }
+                    MulDivOp::Divu => {
+                        if b == 0 { u32::MAX } else { a / b }
+                    }
+                    MulDivOp::Rem => {
+                        if sb == 0 { a } else { sa.wrapping_rem(sb) as u32 }
+                    }
+                    MulDivOp::Remu => {
+                        if b == 0 { a } else { a % b }
+                    }
+                    _ => 0,
+                };
+                self.set_reg(rd, r as i32 as i64 as u64);
+                self.stats.inc("arith_ops");
+            }
+            Inst::LoadReserved { double, rd, rs1 } => {
+                let vaddr = self.reg(rs1);
+                let width = if double { LoadWidth::D } else { LoadWidth::W };
+                let v = self.load_int(bus, vaddr, width, &mut extra)?;
+                self.set_reg(rd, v);
+                self.reservation = Some(vaddr);
+            }
+            Inst::StoreConditional { double, rd, rs1, rs2 } => {
+                let vaddr = self.reg(rs1);
+                if self.reservation == Some(vaddr) {
+                    let data = self.reg(rs2).to_le_bytes();
+                    let n = if double { 8 } else { 4 };
+                    self.mem_store(bus, vaddr, &data[..n], &mut extra)?;
+                    self.set_reg(rd, 0);
+                } else {
+                    self.set_reg(rd, 1);
+                }
+                self.reservation = None;
+            }
+            Inst::Amo { op, double, rd, rs1, rs2 } => {
+                let vaddr = self.reg(rs1);
+                let width = if double { LoadWidth::D } else { LoadWidth::W };
+                let old = self.load_int(bus, vaddr, width, &mut extra)?;
+                let b = self.reg(rs2);
+                let new = match (op, double) {
+                    (AmoOp::Swap, _) => b,
+                    (AmoOp::Add, _) => old.wrapping_add(b),
+                    (AmoOp::Xor, _) => old ^ b,
+                    (AmoOp::And, _) => old & b,
+                    (AmoOp::Or, _) => old | b,
+                    (AmoOp::Min, true) => (old as i64).min(b as i64) as u64,
+                    (AmoOp::Max, true) => (old as i64).max(b as i64) as u64,
+                    (AmoOp::Min, false) => ((old as u32 as i32).min(b as u32 as i32)) as u32 as u64,
+                    (AmoOp::Max, false) => ((old as u32 as i32).max(b as u32 as i32)) as u32 as u64,
+                    (AmoOp::Minu, true) => old.min(b),
+                    (AmoOp::Maxu, true) => old.max(b),
+                    (AmoOp::Minu, false) => ((old as u32).min(b as u32)) as u64,
+                    (AmoOp::Maxu, false) => ((old as u32).max(b as u32)) as u64,
+                };
+                let data = new.to_le_bytes();
+                let n = if double { 8 } else { 4 };
+                self.mem_store(bus, vaddr, &data[..n], &mut extra)?;
+                self.set_reg(rd, old);
+            }
+            Inst::Fence | Inst::FenceI => {}
+            Inst::Ecall => {
+                let cause = match self.priv_mode {
+                    PrivMode::User => TrapCause::EcallFromU,
+                    PrivMode::Supervisor => TrapCause::EcallFromS,
+                    PrivMode::Machine => TrapCause::EcallFromM,
+                };
+                self.raise(cause, 0)?;
+                next_pc = self.pc;
+                control_transfer = true;
+            }
+            Inst::Ebreak => {
+                halted = true;
+            }
+            Inst::Mret => {
+                if self.priv_mode != PrivMode::Machine {
+                    self.raise(TrapCause::IllegalInstruction, word as u64)?;
+                    next_pc = self.pc;
+                } else {
+                    let (epc, mode) = self.csrs.leave_trap_m();
+                    next_pc = epc;
+                    self.priv_mode = mode;
+                }
+                control_transfer = true;
+            }
+            Inst::Sret => {
+                if self.priv_mode < PrivMode::Supervisor {
+                    self.raise(TrapCause::IllegalInstruction, word as u64)?;
+                    next_pc = self.pc;
+                } else {
+                    let (epc, mode) = self.csrs.leave_trap_s();
+                    next_pc = epc;
+                    self.priv_mode = mode;
+                }
+                control_transfer = true;
+            }
+            Inst::Wfi => {}
+            Inst::Csr { op, rd, csr, src } => {
+                let old = self.csr_read(csr);
+                let arg = match src {
+                    CsrSrc::Reg(r) => self.reg(r),
+                    CsrSrc::Imm(v) => v as u64,
+                };
+                let skip_write = match src {
+                    CsrSrc::Reg(r) => op != CsrOp::Rw && r == Reg::Zero,
+                    CsrSrc::Imm(v) => op != CsrOp::Rw && v == 0,
+                };
+                if !skip_write {
+                    let new = match op {
+                        CsrOp::Rw => arg,
+                        CsrOp::Rs => old | arg,
+                        CsrOp::Rc => old & !arg,
+                    };
+                    self.csrs.write(csr, new);
+                }
+                self.set_reg(rd, old);
+            }
+
+            // --- F/D ---
+            Inst::FpLoad { fmt, rd, rs1, offset } => {
+                let vaddr = self.reg(rs1).wrapping_add(offset as u64);
+                let mut b = [0u8; 8];
+                let n = if fmt == FpFmt::S { 4 } else { 8 };
+                self.mem_load(bus, vaddr, &mut b[..n], &mut extra)?;
+                if fmt == FpFmt::S {
+                    self.write_f32(rd, f32::from_bits(u32::from_le_bytes(b[..4].try_into().expect("4"))));
+                } else {
+                    self.f[rd.0 as usize] = u64::from_le_bytes(b);
+                }
+            }
+            Inst::FpStore { fmt, rs2, rs1, offset } => {
+                let vaddr = self.reg(rs1).wrapping_add(offset as u64);
+                let bits = self.f[rs2.0 as usize].to_le_bytes();
+                let n = if fmt == FpFmt::S { 4 } else { 8 };
+                self.mem_store(bus, vaddr, &bits[..n], &mut extra)?;
+            }
+            Inst::FpOp3 { fmt, op, rd, rs1, rs2 } => {
+                match fmt {
+                    FpFmt::S => {
+                        let a = self.read_f32(rs1);
+                        let b = self.read_f32(rs2);
+                        let r = match op {
+                            FpOp::Add => a + b,
+                            FpOp::Sub => a - b,
+                            FpOp::Mul => a * b,
+                            FpOp::Div => a / b,
+                            FpOp::Sqrt => a.sqrt(),
+                            FpOp::Min => a.min(b),
+                            FpOp::Max => a.max(b),
+                            FpOp::SgnJ => a.copysign(b),
+                            FpOp::SgnJn => a.copysign(-b),
+                            FpOp::SgnJx => {
+                                f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000))
+                            }
+                        };
+                        self.write_f32(rd, r);
+                    }
+                    FpFmt::D => {
+                        let a = self.read_f64(rs1);
+                        let b = self.read_f64(rs2);
+                        let r = match op {
+                            FpOp::Add => a + b,
+                            FpOp::Sub => a - b,
+                            FpOp::Mul => a * b,
+                            FpOp::Div => a / b,
+                            FpOp::Sqrt => a.sqrt(),
+                            FpOp::Min => a.min(b),
+                            FpOp::Max => a.max(b),
+                            FpOp::SgnJ => a.copysign(b),
+                            FpOp::SgnJn => a.copysign(-b),
+                            FpOp::SgnJx => f64::from_bits(
+                                a.to_bits() ^ (b.to_bits() & 0x8000_0000_0000_0000),
+                            ),
+                        };
+                        self.write_f64(rd, r);
+                    }
+                }
+                self.stats.inc("arith_ops");
+                self.stats.inc("fp_insts");
+            }
+            Inst::FpFma { fmt, rd, rs1, rs2, rs3, negate_product, negate_addend } => {
+                match fmt {
+                    FpFmt::S => {
+                        let a = self.read_f32(rs1);
+                        let b = self.read_f32(rs2);
+                        let c = self.read_f32(rs3);
+                        let a = if negate_product { -a } else { a };
+                        let c = if negate_addend { -c } else { c };
+                        self.write_f32(rd, a.mul_add(b, c));
+                    }
+                    FpFmt::D => {
+                        let a = self.read_f64(rs1);
+                        let b = self.read_f64(rs2);
+                        let c = self.read_f64(rs3);
+                        let a = if negate_product { -a } else { a };
+                        let c = if negate_addend { -c } else { c };
+                        self.write_f64(rd, a.mul_add(b, c));
+                    }
+                }
+                self.stats.add("arith_ops", 2);
+                self.stats.inc("fp_insts");
+            }
+            Inst::FpCmp { fmt, cmp, rd, rs1, rs2 } => {
+                let r = match fmt {
+                    FpFmt::S => {
+                        let a = self.read_f32(rs1);
+                        let b = self.read_f32(rs2);
+                        match cmp {
+                            FpCmp::Eq => a == b,
+                            FpCmp::Lt => a < b,
+                            FpCmp::Le => a <= b,
+                        }
+                    }
+                    FpFmt::D => {
+                        let a = self.read_f64(rs1);
+                        let b = self.read_f64(rs2);
+                        match cmp {
+                            FpCmp::Eq => a == b,
+                            FpCmp::Lt => a < b,
+                            FpCmp::Le => a <= b,
+                        }
+                    }
+                };
+                self.set_reg(rd, r as u64);
+                self.stats.inc("fp_insts");
+            }
+            Inst::FpToInt { fmt, rd, rs1, signed, wide } => {
+                let v = match fmt {
+                    FpFmt::S => self.read_f32(rs1) as f64,
+                    FpFmt::D => self.read_f64(rs1),
+                };
+                let r = match (wide, signed) {
+                    (false, true) => (v as i32) as i64 as u64,
+                    (false, false) => (v as u32) as i32 as i64 as u64,
+                    (true, true) => (v as i64) as u64,
+                    (true, false) => v as u64,
+                };
+                self.set_reg(rd, r);
+                self.stats.inc("fp_insts");
+            }
+            Inst::IntToFp { fmt, rd, rs1, signed, wide } => {
+                let raw = self.reg(rs1);
+                let v: f64 = match (wide, signed) {
+                    (false, true) => raw as u32 as i32 as f64,
+                    (false, false) => raw as u32 as f64,
+                    (true, true) => raw as i64 as f64,
+                    (true, false) => raw as f64,
+                };
+                match fmt {
+                    FpFmt::S => self.write_f32(rd, v as f32),
+                    FpFmt::D => self.write_f64(rd, v),
+                }
+                self.stats.inc("fp_insts");
+            }
+            Inst::FpCvt { to, rd, rs1 } => {
+                match to {
+                    FpFmt::S => {
+                        let v = self.read_f64(rs1);
+                        self.write_f32(rd, v as f32);
+                    }
+                    FpFmt::D => {
+                        let v = self.read_f32(rs1);
+                        self.write_f64(rd, v as f64);
+                    }
+                }
+                self.stats.inc("fp_insts");
+            }
+            Inst::FpMvToInt { fmt, rd, rs1 } => {
+                let v = match fmt {
+                    FpFmt::S => self.f[rs1.0 as usize] as u32 as i32 as i64 as u64,
+                    FpFmt::D => self.f[rs1.0 as usize],
+                };
+                self.set_reg(rd, v);
+            }
+            Inst::FpMvFromInt { fmt, rd, rs1 } => match fmt {
+                FpFmt::S => self.write_f32(rd, f32::from_bits(self.reg(rs1) as u32)),
+                FpFmt::D => self.f[rd.0 as usize] = self.reg(rs1),
+            },
+
+            // --- Xpulp ---
+            Inst::LoadPost { width, rd, rs1, offset } => {
+                let vaddr = self.reg(rs1);
+                let v = self.load_int(bus, vaddr, width, &mut extra)?;
+                self.set_reg(rs1, vaddr.wrapping_add(offset as u64));
+                self.set_reg(rd, v);
+            }
+            Inst::StorePost { width, rs2, rs1, offset } => {
+                let vaddr = self.reg(rs1);
+                let data = self.reg(rs2).to_le_bytes();
+                self.mem_store(bus, vaddr, &data[..width.bytes()], &mut extra)?;
+                self.set_reg(rs1, vaddr.wrapping_add(offset as u64));
+            }
+            Inst::Mac { rd, rs1, rs2, subtract } => {
+                let prod = (self.reg(rs1) as u32).wrapping_mul(self.reg(rs2) as u32);
+                let acc = self.reg(rd) as u32;
+                let r = if subtract {
+                    acc.wrapping_sub(prod)
+                } else {
+                    acc.wrapping_add(prod)
+                };
+                self.set_reg(rd, r as u64);
+                self.stats.add("arith_ops", 2);
+            }
+            Inst::PulpAlu { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1) as u32;
+                let b = self.reg(rs2) as u32;
+                let sa = a as i32;
+                let sb = b as i32;
+                let r: u32 = match op {
+                    PulpAluOp::Min => sa.min(sb) as u32,
+                    PulpAluOp::Max => sa.max(sb) as u32,
+                    PulpAluOp::Minu => a.min(b),
+                    PulpAluOp::Maxu => a.max(b),
+                    PulpAluOp::Abs => sa.wrapping_abs() as u32,
+                    PulpAluOp::Exths => (a as u16 as i16 as i32) as u32,
+                    PulpAluOp::Exthz => a & 0xFFFF,
+                    PulpAluOp::Extbs => (a as u8 as i8 as i32) as u32,
+                    PulpAluOp::Extbz => a & 0xFF,
+                    PulpAluOp::Clip => {
+                        let lo = -(sb.max(0)) - 1;
+                        let hi = sb.max(0);
+                        sa.clamp(lo, hi) as u32
+                    }
+                    PulpAluOp::Cnt => a.count_ones(),
+                    PulpAluOp::Ff1 => a.trailing_zeros().min(32),
+                    PulpAluOp::Fl1 => {
+                        if a == 0 { 32 } else { 31 - a.leading_zeros() }
+                    }
+                    PulpAluOp::Ror => a.rotate_right(b & 31),
+                };
+                self.set_reg(rd, r as u64);
+                self.stats.inc("arith_ops");
+            }
+            Inst::HwLoop { op, loop_idx, value, rs1 } => {
+                let l = &mut self.hwloops[loop_idx as usize];
+                match op {
+                    HwLoopOp::Starti => l.start = pc.wrapping_add(value as u64),
+                    HwLoopOp::Endi => l.end = pc.wrapping_add(value as u64),
+                    HwLoopOp::Count => l.count = self.x[rs1.index() as usize] as u32 as u64,
+                    HwLoopOp::Counti => l.count = value as u64,
+                }
+            }
+            Inst::Simd { op, fmt, rd, rs1, rs2, scalar_rs2 } => {
+                self.exec_simd(op, fmt, rd, rs1, rs2, scalar_rs2);
+            }
+            Inst::SimdFp { op, rd, rs1, rs2 } => {
+                self.exec_simd_fp(op, rd, rs1, rs2);
+            }
+        }
+        Ok(()) })();
+        match exec_result {
+            Ok(()) => {}
+            // A data-access trap was taken: the instruction is abandoned
+            // and control resumes at the handler `raise` installed.
+            Err(RvError::TrapTaken) => {
+                next_pc = self.pc;
+                control_transfer = true;
+                trapped = true;
+            }
+            Err(e) => return Err(e),
+        }
+        if trapped {
+            penalty += self.cost.branch_taken_penalty;
+        }
+
+        // Hardware loops: zero-cycle back-edge at the end of a loop body.
+        if !control_transfer && !halted {
+            for i in 0..2 {
+                let l = &mut self.hwloops[i];
+                if l.count > 0 && next_pc == l.end {
+                    if l.count > 1 {
+                        l.count -= 1;
+                        next_pc = l.start;
+                    } else {
+                        l.count = 0;
+                    }
+                    break;
+                }
+            }
+        }
+
+        self.pc = next_pc;
+        self.halted = halted;
+        self.instret += 1;
+        self.stats.inc("instret");
+        self.stats.add("mem_stall_cycles", extra.get());
+        let total = Cycles::new(self.cost.cost(&inst) + penalty) + extra;
+        self.cycles += total;
+        Ok(StepOutcome { cycles: total, halted })
+    }
+
+    /// Runs until `ebreak` or until `max_cycles` elapse.
+    ///
+    /// Returns the cycles consumed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Core::step`] errors and returns [`RvError::Timeout`]
+    /// when the budget expires.
+    pub fn run(&mut self, bus: &mut dyn CoreBus, max_cycles: u64) -> Result<Cycles, RvError> {
+        let start = self.cycles;
+        while !self.halted {
+            let out = self.step(bus)?;
+            if out.halted {
+                break;
+            }
+            if (self.cycles - start).get() > max_cycles {
+                return Err(RvError::Timeout {
+                    cycles: (self.cycles - start).get(),
+                });
+            }
+        }
+        Ok(self.cycles - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn run_rv64(build: impl FnOnce(&mut Asm)) -> (Core, FlatBus) {
+        let mut a = Asm::new(Xlen::Rv64);
+        build(&mut a);
+        a.ebreak();
+        let mut bus = FlatBus::new(1 << 16);
+        bus.load_words(0, &a.assemble().expect("assemble"));
+        let mut core = Core::cva6();
+        core.set_reg(Reg::Sp, 0x8000);
+        core.run(&mut bus, 1_000_000).expect("run");
+        (core, bus)
+    }
+
+    fn run_rv32(build: impl FnOnce(&mut Asm)) -> (Core, FlatBus) {
+        let mut a = Asm::new(Xlen::Rv32);
+        build(&mut a);
+        a.ebreak();
+        let mut bus = FlatBus::new(1 << 16);
+        bus.load_words(0, &a.assemble().expect("assemble"));
+        let mut core = Core::ri5cy(0);
+        core.set_reg(Reg::Sp, 0x8000);
+        core.run(&mut bus, 1_000_000).expect("run");
+        (core, bus)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 20);
+            a.li(Reg::T1, 22);
+            a.add(Reg::A0, Reg::T0, Reg::T1);
+            a.sub(Reg::A1, Reg::T0, Reg::T1);
+            a.mul(Reg::A2, Reg::T0, Reg::T1);
+        });
+        assert_eq!(c.reg(Reg::A0), 42);
+        assert_eq!(c.reg(Reg::A1) as i64, -2);
+        assert_eq!(c.reg(Reg::A2), 440);
+    }
+
+    #[test]
+    fn zero_register_immutable() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 5);
+            a.add(Reg::Zero, Reg::T0, Reg::T0);
+            a.add(Reg::A0, Reg::Zero, Reg::Zero);
+        });
+        assert_eq!(c.reg(Reg::A0), 0);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let (c, bus) = run_rv64(|a| {
+            a.li(Reg::T0, 0x1234_5678_9ABC_DEF0u64 as i64);
+            a.sd(Reg::T0, Reg::Sp, 0);
+            a.lw(Reg::A0, Reg::Sp, 0);
+            a.lwu(Reg::A1, Reg::Sp, 0);
+            a.lb(Reg::A2, Reg::Sp, 0);
+            a.lbu(Reg::A3, Reg::Sp, 0);
+            a.lh(Reg::A4, Reg::Sp, 0);
+            a.ld(Reg::A5, Reg::Sp, 0);
+        });
+        assert_eq!(bus.read_u64(0x8000), 0x1234_5678_9ABC_DEF0);
+        assert_eq!(c.reg(Reg::A0), 0xFFFF_FFFF_9ABC_DEF0); // sign-extended
+        assert_eq!(c.reg(Reg::A1), 0x9ABC_DEF0);
+        assert_eq!(c.reg(Reg::A2), 0xFFFF_FFFF_FFFF_FFF0);
+        assert_eq!(c.reg(Reg::A3), 0xF0);
+        assert_eq!(c.reg(Reg::A4), 0xFFFF_FFFF_FFFF_DEF0);
+        assert_eq!(c.reg(Reg::A5), 0x1234_5678_9ABC_DEF0);
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        // Compute 10! iteratively.
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::A0, 1);
+            a.li(Reg::T0, 10);
+            let top = a.label();
+            a.bind(top);
+            a.mul(Reg::A0, Reg::A0, Reg::T0);
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, top);
+        });
+        assert_eq!(c.reg(Reg::A0), 3_628_800);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 7);
+            a.li(Reg::T1, 0);
+            a.div(Reg::A0, Reg::T0, Reg::T1); // div by zero -> -1
+            a.rem(Reg::A1, Reg::T0, Reg::T1); // rem by zero -> dividend
+            a.li(Reg::T2, i64::MIN);
+            a.li(Reg::T3, -1);
+            a.div(Reg::A2, Reg::T2, Reg::T3); // overflow -> MIN
+        });
+        assert_eq!(c.reg(Reg::A0), u64::MAX);
+        assert_eq!(c.reg(Reg::A1), 7);
+        assert_eq!(c.reg(Reg::A2), i64::MIN as u64);
+    }
+
+    #[test]
+    fn rv64_word_ops_sign_extend() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 0x7FFF_FFFF);
+            a.addiw(Reg::A0, Reg::T0, 1); // wraps to i32::MIN, sign-extends
+            a.li(Reg::T1, 1);
+            a.sllw(Reg::A1, Reg::T1, Reg::T0); // shift by 31 (mod 32)
+        });
+        assert_eq!(c.reg(Reg::A0), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(c.reg(Reg::A1), 0xFFFF_FFFF_8000_0000);
+    }
+
+    #[test]
+    fn jal_and_jalr_link() {
+        let (c, _) = run_rv64(|a| {
+            let func = a.label();
+            let done = a.label();
+            a.li(Reg::A0, 0);
+            a.call(func);
+            a.j(done);
+            a.bind(func);
+            a.li(Reg::A0, 99);
+            a.ret();
+            a.bind(done);
+        });
+        assert_eq!(c.reg(Reg::A0), 99);
+    }
+
+    #[test]
+    fn fp_single_precision() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 3);
+            a.fcvt_s_w(crate::inst::FReg(0), Reg::T0);
+            a.li(Reg::T1, 4);
+            a.fcvt_s_w(crate::inst::FReg(1), Reg::T1);
+            a.fmul_s(crate::inst::FReg(2), crate::inst::FReg(0), crate::inst::FReg(1));
+            a.fcvt_w_s(Reg::A0, crate::inst::FReg(2));
+            // fma: 3*4+4 = 16
+            a.fmadd_s(
+                crate::inst::FReg(3),
+                crate::inst::FReg(0),
+                crate::inst::FReg(1),
+                crate::inst::FReg(1),
+            );
+            a.fcvt_w_s(Reg::A1, crate::inst::FReg(3));
+        });
+        assert_eq!(c.reg(Reg::A0), 12);
+        assert_eq!(c.reg(Reg::A1), 16);
+    }
+
+    #[test]
+    fn fp_double_precision_division() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 1);
+            a.fcvt_d_l(crate::inst::FReg(0), Reg::T0);
+            a.li(Reg::T1, 8);
+            a.fcvt_d_l(crate::inst::FReg(1), Reg::T1);
+            a.fdiv_d(crate::inst::FReg(2), crate::inst::FReg(0), crate::inst::FReg(1));
+            a.fmv_x_d(Reg::A0, crate::inst::FReg(2));
+        });
+        assert_eq!(f64::from_bits(c.reg(Reg::A0)), 0.125);
+    }
+
+    #[test]
+    fn xpulp_post_increment() {
+        let (c, _) = run_rv32(|a| {
+            a.li(Reg::T0, 0x100);
+            a.li(Reg::T1, 7);
+            a.sw(Reg::T1, Reg::T0, 0);
+            a.li(Reg::T1, 9);
+            a.sw(Reg::T1, Reg::T0, 4);
+            a.p_lw_post(Reg::A0, Reg::T0, 4);
+            a.p_lw_post(Reg::A1, Reg::T0, 4);
+            a.mv(Reg::A2, Reg::T0);
+        });
+        assert_eq!(c.reg(Reg::A0), 7);
+        assert_eq!(c.reg(Reg::A1), 9);
+        assert_eq!(c.reg(Reg::A2), 0x108);
+    }
+
+    #[test]
+    fn xpulp_mac() {
+        let (c, _) = run_rv32(|a| {
+            a.li(Reg::A0, 100);
+            a.li(Reg::T0, 6);
+            a.li(Reg::T1, 7);
+            a.p_mac(Reg::A0, Reg::T0, Reg::T1);
+            a.p_msu(Reg::A0, Reg::T0, Reg::T1);
+            a.p_mac(Reg::A0, Reg::T0, Reg::T1);
+        });
+        assert_eq!(c.reg(Reg::A0), 142);
+    }
+
+    #[test]
+    fn xpulp_hardware_loop() {
+        // Sum 1..=100 with a zero-overhead loop.
+        let (c, _) = run_rv32(|a| {
+            a.li(Reg::A0, 0);
+            a.li(Reg::T0, 1);
+            a.lp_counti(0, 100);
+            let (start, end) = (a.label(), a.label());
+            a.lp_starti(0, start);
+            a.lp_endi(0, end);
+            a.bind(start);
+            a.add(Reg::A0, Reg::A0, Reg::T0);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.bind(end);
+        });
+        assert_eq!(c.reg(Reg::A0), 5050);
+    }
+
+    #[test]
+    fn hardware_loop_is_zero_overhead() {
+        // The same reduction with a hw loop vs a bnez loop: the hw loop
+        // saves the taken-branch penalty every iteration.
+        let body = 1000u64;
+        let (hw, _) = run_rv32(|a| {
+            a.li(Reg::A0, 0);
+            a.lp_counti(0, body as i64);
+            let (s, e) = (a.label(), a.label());
+            a.lp_starti(0, s);
+            a.lp_endi(0, e);
+            a.bind(s);
+            a.addi(Reg::A0, Reg::A0, 1);
+            a.bind(e);
+        });
+        let (sw, _) = run_rv32(|a| {
+            a.li(Reg::A0, 0);
+            a.li(Reg::T0, body as i64);
+            let top = a.label();
+            a.bind(top);
+            a.addi(Reg::A0, Reg::A0, 1);
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, top);
+        });
+        assert_eq!(hw.reg(Reg::A0), body);
+        assert_eq!(sw.reg(Reg::A0), body);
+        assert!(hw.cycles().get() + 2 * body < sw.cycles().get());
+    }
+
+    #[test]
+    fn nested_hardware_loops() {
+        let (c, _) = run_rv32(|a| {
+            a.li(Reg::A0, 0);
+            a.lp_counti(1, 10);
+            let (s1, e1) = (a.label(), a.label());
+            a.lp_starti(1, s1);
+            a.lp_endi(1, e1);
+            a.bind(s1);
+            a.lp_counti(0, 10);
+            let (s0, e0) = (a.label(), a.label());
+            a.lp_starti(0, s0);
+            a.lp_endi(0, e0);
+            a.bind(s0);
+            a.addi(Reg::A0, Reg::A0, 1);
+            a.bind(e0);
+            // The two loop end addresses must differ (as in RI5CY).
+            a.nop();
+            a.bind(e1);
+        });
+        assert_eq!(c.reg(Reg::A0), 100);
+    }
+
+    #[test]
+    fn simd_int8_dot_product() {
+        let (c, _) = run_rv32(|a| {
+            // a = [1, 2, 3, 4], b = [10, 20, 30, 40] (packed bytes)
+            a.li(Reg::T0, 0x0403_0201);
+            a.li(Reg::T1, i64::from(10u32 | (20 << 8) | (30 << 16) | (40 << 24)));
+            a.li(Reg::A0, 5);
+            a.pv_sdotsp_b(Reg::A0, Reg::T0, Reg::T1);
+        });
+        // 5 + 1*10 + 2*20 + 3*30 + 4*40 = 305
+        assert_eq!(c.reg(Reg::A0), 305);
+    }
+
+    #[test]
+    fn simd_negative_lanes() {
+        let (c, _) = run_rv32(|a| {
+            // a = [-1, -2, 3, 4]
+            let av = (0xFFu32) | (0xFE << 8) | (3 << 16) | (4 << 24);
+            a.li(Reg::T0, av as i64);
+            let bv = 1u32 | (1 << 8) | (1 << 16) | (1 << 24);
+            a.li(Reg::T1, bv as i64);
+            a.li(Reg::A0, 0);
+            a.pv_sdotsp_b(Reg::A0, Reg::T0, Reg::T1);
+            a.pv_add_b(Reg::A1, Reg::T0, Reg::T1);
+        });
+        assert_eq!(c.reg(Reg::A0), 4); // -1-2+3+4
+        let lanes = c.reg(Reg::A1) as u32;
+        assert_eq!(lanes & 0xFF, 0); // -1+1
+        assert_eq!((lanes >> 8) & 0xFF, 0xFF); // -2+1 = -1
+    }
+
+    #[test]
+    fn simd_fp16() {
+        use crate::fp16::pack2;
+        let (c, _) = run_rv32(|a| {
+            a.li(Reg::T0, pack2(1.5, 2.0) as i64);
+            a.li(Reg::T1, pack2(4.0, 0.5) as i64);
+            a.li(Reg::A0, 0);
+            a.vfdotpex_s_h(Reg::A0, Reg::T0, Reg::T1);
+            a.vfadd_h(Reg::A1, Reg::T0, Reg::T1);
+        });
+        assert_eq!(f32::from_bits(c.reg(Reg::A0) as u32), 7.0); // 1.5*4 + 2*0.5
+        let (lo, hi) = crate::fp16::unpack2(c.reg(Reg::A1) as u32);
+        assert_eq!((lo, hi), (5.5, 2.5));
+    }
+
+    #[test]
+    fn pulp_alu_clip_and_ext() {
+        let (c, _) = run_rv32(|a| {
+            a.li(Reg::T0, 300);
+            a.li(Reg::T1, 127);
+            a.p_clip(Reg::A0, Reg::T0, Reg::T1);
+            a.li(Reg::T0, -300);
+            a.p_clip(Reg::A1, Reg::T0, Reg::T1);
+            a.li(Reg::T0, 0xFFFF_8001u32 as i64);
+            a.p_exths(Reg::A2, Reg::T0);
+            a.p_exthz(Reg::A3, Reg::T0);
+        });
+        assert_eq!(c.reg(Reg::A0), 127);
+        assert_eq!(c.reg(Reg::A1) as u32 as i32, -128);
+        assert_eq!(c.reg(Reg::A2) as u32, 0xFFFF_8001);
+        assert_eq!(c.reg(Reg::A3), 0x8001);
+    }
+
+    #[test]
+    fn xpulp_bit_manipulation() {
+        let (c, _) = run_rv32(|a| {
+            a.li(Reg::T0, 0b1011_0000);
+            a.p_cnt(Reg::A0, Reg::T0);
+            a.p_ff1(Reg::A1, Reg::T0);
+            a.p_fl1(Reg::A2, Reg::T0);
+            a.li(Reg::T1, 8);
+            a.p_ror(Reg::A3, Reg::T0, Reg::T1);
+            a.li(Reg::T2, 0);
+            a.p_cnt(Reg::A4, Reg::T2);
+            a.p_ff1(Reg::A5, Reg::T2);
+        });
+        assert_eq!(c.reg(Reg::A0), 3);
+        assert_eq!(c.reg(Reg::A1), 4);
+        assert_eq!(c.reg(Reg::A2), 7);
+        assert_eq!(c.reg(Reg::A3), 0xB000_0000);
+        assert_eq!(c.reg(Reg::A4), 0);
+        assert_eq!(c.reg(Reg::A5), 32);
+    }
+
+    #[test]
+    fn simd_extract_insert_shuffle() {
+        let (c, _) = run_rv32(|a| {
+            // lanes = [1, -2, 3, 4]
+            let v = 1u32 | (0xFE << 8) | (3 << 16) | (4 << 24);
+            a.li(Reg::T0, v as i64);
+            a.li(Reg::T1, 1);
+            a.pv_extract_b(Reg::A0, Reg::T0, Reg::T1); // lane 1 = -2, sext
+            // insert 0x7F into lane 2
+            a.mv(Reg::A1, Reg::T0);
+            a.li(Reg::T2, 0x7F);
+            a.li(Reg::T3, 2);
+            a.pv_insert_b(Reg::A1, Reg::T2, Reg::T3);
+            // reverse the lanes: indices [3,2,1,0]
+            let idx = 3u32 | (2 << 8) | (1 << 16); // lane3 idx = 0
+            a.li(Reg::T4, idx as i64);
+            a.pv_shuffle_b(Reg::A2, Reg::T0, Reg::T4);
+        });
+        assert_eq!(c.reg(Reg::A0) as u32 as i32, -2);
+        let inserted = c.reg(Reg::A1) as u32;
+        assert_eq!((inserted >> 16) & 0xFF, 0x7F);
+        assert_eq!(inserted & 0xFFFF, 0xFE01);
+        let shuf = c.reg(Reg::A2) as u32;
+        assert_eq!(shuf & 0xFF, 4); // lane0 = old lane3
+        assert_eq!((shuf >> 8) & 0xFF, 3);
+        assert_eq!((shuf >> 16) & 0xFF, 0xFE);
+        assert_eq!((shuf >> 24) & 0xFF, 1);
+    }
+
+    #[test]
+    fn amo_and_lrsc() {
+        let (c, bus) = run_rv64(|a| {
+            a.li(Reg::T0, 0x4000);
+            a.li(Reg::T1, 10);
+            a.sd(Reg::T1, Reg::T0, 0);
+            a.li(Reg::T2, 32);
+            a.amoadd_d(Reg::A0, Reg::T2, Reg::T0); // old = 10, mem = 42
+            a.lr_d(Reg::A1, Reg::T0);
+            a.li(Reg::T3, 100);
+            a.sc_d(Reg::A2, Reg::T3, Reg::T0); // succeeds -> 0
+            a.sc_d(Reg::A3, Reg::T3, Reg::T0); // no reservation -> 1
+        });
+        assert_eq!(c.reg(Reg::A0), 10);
+        assert_eq!(c.reg(Reg::A1), 42);
+        assert_eq!(c.reg(Reg::A2), 0);
+        assert_eq!(c.reg(Reg::A3), 1);
+        assert_eq!(bus.read_u64(0x4000), 100);
+    }
+
+    #[test]
+    fn csr_cycle_and_instret() {
+        let (c, _) = run_rv64(|a| {
+            a.csrr(Reg::A0, addr::INSTRET);
+            a.nop();
+            a.nop();
+            a.csrr(Reg::A1, addr::INSTRET);
+            a.csrr(Reg::A2, addr::CYCLE);
+        });
+        assert_eq!(c.reg(Reg::A1) - c.reg(Reg::A0), 3);
+        assert!(c.reg(Reg::A2) > 0);
+    }
+
+    #[test]
+    fn ecall_traps_to_mtvec() {
+        let mut a = Asm::new(Xlen::Rv64);
+        // handler at 0x100: set a0=77, mret.
+        a.li(Reg::T0, 0x100);
+        a.csrw(addr::MTVEC, Reg::T0);
+        a.ecall();
+        a.ebreak();
+        let words = a.assemble().unwrap();
+        let mut h = Asm::new(Xlen::Rv64);
+        h.li(Reg::A0, 77);
+        h.csrr(Reg::T1, addr::MEPC);
+        h.addi(Reg::T1, Reg::T1, 4);
+        h.csrw(addr::MEPC, Reg::T1);
+        h.mret();
+        let handler = h.assemble().unwrap();
+        let mut bus = FlatBus::new(1 << 16);
+        bus.load_words(0, &words);
+        bus.load_words(0x100, &handler);
+        let mut core = Core::cva6();
+        core.run(&mut bus, 100_000).unwrap();
+        assert_eq!(core.reg(Reg::A0), 77);
+        assert!(core.is_halted());
+    }
+
+    #[test]
+    fn executes_compressed_instructions() {
+        // Hand-packed mixed stream: c.li a0, 5 ; c.addi a0, 3 ; c.mv a1, a0 ;
+        // 32-bit addi a2, a1, 100 ; c.ebreak.
+        let mut bus = FlatBus::new(256);
+        let halves: [u16; 3] = [0x4515, 0x050D, 0x85AA];
+        let mut bytes = Vec::new();
+        for h in halves {
+            bytes.extend_from_slice(&h.to_le_bytes());
+        }
+        bytes.extend_from_slice(
+            &crate::encode::encode(&Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg::A2,
+                rs1: Reg::A1,
+                imm: 100,
+            })
+            .unwrap()
+            .to_le_bytes(),
+        );
+        bytes.extend_from_slice(&0x9002u16.to_le_bytes()); // c.ebreak
+        bus.write_bytes(0, &bytes);
+
+        let mut core = Core::cva6();
+        core.run(&mut bus, 1000).unwrap();
+        assert!(core.is_halted());
+        assert_eq!(core.reg(Reg::A0), 8);
+        assert_eq!(core.reg(Reg::A1), 8);
+        assert_eq!(core.reg(Reg::A2), 108);
+        // pc stops on the c.ebreak at byte 10, which advances it by 2.
+        assert_eq!(core.pc(), 12);
+        assert_eq!(core.instret(), 5);
+    }
+
+    #[test]
+    fn compressed_jalr_links_pc_plus_2() {
+        // c.jalr through t0 must link pc+2, not pc+4.
+        let mut bus = FlatBus::new(256);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(
+            &crate::encode::encode(&Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::Zero,
+                imm: 0x20,
+            })
+            .unwrap()
+            .to_le_bytes(),
+        );
+        bytes.extend_from_slice(&0x9282u16.to_le_bytes()); // c.jalr t0
+        bus.write_bytes(0, &bytes);
+        bus.load_words(0x20, &[0x0010_0073]); // ebreak at the target
+        let mut core = Core::cva6();
+        core.run(&mut bus, 1000).unwrap();
+        assert_eq!(core.reg(Reg::Ra), 6, "link = pc(4) + 2");
+    }
+
+    #[test]
+    fn timer_interrupt_taken_when_enabled() {
+        // Main loop spins; the handler sets a flag, clears the interrupt
+        // and mret-continues; the loop sees the flag and exits.
+        let mut main = Asm::new(Xlen::Rv64);
+        main.li(Reg::T0, 0x100);
+        main.csrw(addr::MTVEC, Reg::T0);
+        main.li(Reg::T0, 1 << 7); // MTIE
+        main.csrw(addr::MIE, Reg::T0);
+        main.li(Reg::T0, 1 << 3); // MIE
+        main.csrw(addr::MSTATUS, Reg::T0);
+        let spin = main.label();
+        main.bind(spin);
+        main.beqz(Reg::A0, spin);
+        main.ebreak();
+        let mut handler = Asm::new(Xlen::Rv64);
+        handler.li(Reg::A0, 1);
+        handler.li(Reg::T1, 1 << 7);
+        handler.csrr(Reg::T2, addr::MIP);
+        handler.xor(Reg::T2, Reg::T2, Reg::T1);
+        handler.csrw(addr::MIP, Reg::T2); // clear MTIP
+        handler.mret();
+
+        let mut bus = FlatBus::new(1 << 12);
+        bus.load_words(0, &main.assemble().unwrap());
+        bus.load_words(0x100, &handler.assemble().unwrap());
+        let mut core = Core::cva6();
+        // Run a few instructions, then the "CLINT" fires.
+        for _ in 0..6 {
+            core.step(&mut bus).unwrap();
+        }
+        assert_eq!(core.stats().get("interrupts"), 0);
+        core.set_interrupt_pending(7, true);
+        core.run(&mut bus, 10_000).unwrap();
+        assert!(core.is_halted());
+        assert_eq!(core.reg(Reg::A0), 1);
+        assert_eq!(core.stats().get("interrupts"), 1);
+        // mcause recorded the interrupt.
+        assert_eq!(core.csrs().read(addr::MCAUSE), (1 << 63) | 7);
+    }
+
+    #[test]
+    fn interrupt_masked_when_mie_clear() {
+        let mut main = Asm::new(Xlen::Rv64);
+        main.li(Reg::T0, 0x100);
+        main.csrw(addr::MTVEC, Reg::T0);
+        main.li(Reg::T0, 1 << 7);
+        main.csrw(addr::MIE, Reg::T0);
+        // mstatus.MIE left clear: interrupt must not fire in M-mode.
+        for _ in 0..10 {
+            main.nop();
+        }
+        main.ebreak();
+        let mut bus = FlatBus::new(1 << 12);
+        bus.load_words(0, &main.assemble().unwrap());
+        let mut core = Core::cva6();
+        core.set_interrupt_pending(7, true);
+        core.run(&mut bus, 10_000).unwrap();
+        assert!(core.is_halted());
+        assert_eq!(core.stats().get("interrupts"), 0);
+    }
+
+    #[test]
+    fn illegal_instruction_without_handler_errors() {
+        let mut bus = FlatBus::new(64);
+        bus.load_words(0, &[0xFFFF_FFFF]);
+        let mut core = Core::cva6();
+        let err = core.run(&mut bus, 100).unwrap_err();
+        assert!(matches!(err, RvError::IllegalInstruction { .. }));
+    }
+
+    #[test]
+    fn xpulp_rejected_on_host() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.p_mac(Reg::A0, Reg::A1, Reg::A2);
+        let words = a.assemble().unwrap();
+        let mut bus = FlatBus::new(64);
+        bus.load_words(0, &words);
+        let mut core = Core::cva6();
+        let err = core.run(&mut bus, 100).unwrap_err();
+        assert!(matches!(err, RvError::IllegalInstruction { .. }));
+    }
+
+    #[test]
+    fn cpi_is_one_on_alu_stream() {
+        let (c, _) = run_rv64(|a| {
+            for _ in 0..100 {
+                a.addi(Reg::T0, Reg::T0, 1);
+            }
+        });
+        // 100 addi + ebreak; all single-cycle on a zero-wait bus.
+        assert_eq!(c.cycles().get(), 101);
+        assert_eq!(c.instret(), 101);
+    }
+
+    #[test]
+    fn trace_records_retired_instructions() {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, 1);
+        a.li(Reg::T1, 2);
+        a.add(Reg::A0, Reg::T0, Reg::T1);
+        a.ebreak();
+        let mut bus = FlatBus::new(1024);
+        bus.load_words(0, &a.assemble().unwrap());
+        let mut core = Core::cva6();
+        core.enable_trace(16);
+        core.run(&mut bus, 1000).unwrap();
+        let t = core.trace();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].pc, 0);
+        assert_eq!(t[3].inst, Inst::Ebreak);
+        let dis = core.trace_disassembly();
+        assert!(dis.contains("add a0, t0, t1"), "{dis}");
+        assert!(dis.contains("ebreak"));
+    }
+
+    #[test]
+    fn trace_ring_keeps_only_the_tail() {
+        let mut a = Asm::new(Xlen::Rv64);
+        for _ in 0..20 {
+            a.nop();
+        }
+        a.ebreak();
+        let mut bus = FlatBus::new(1024);
+        bus.load_words(0, &a.assemble().unwrap());
+        let mut core = Core::cva6();
+        core.enable_trace(5);
+        core.run(&mut bus, 1000).unwrap();
+        let t = core.trace();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.last().unwrap().inst, Inst::Ebreak);
+        // Oldest retained entry is instruction #16 (pc 64).
+        assert_eq!(t[0].pc, 64);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 0x4000);
+            a.sd(Reg::Zero, Reg::T0, 0);
+            a.ld(Reg::T1, Reg::T0, 0);
+            a.add(Reg::T2, Reg::T1, Reg::T1);
+        });
+        assert_eq!(c.stats().get("loads"), 1);
+        assert_eq!(c.stats().get("stores"), 1);
+        assert!(c.stats().get("arith_ops") >= 1);
+    }
+}

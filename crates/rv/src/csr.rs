@@ -1,0 +1,306 @@
+//! Control and status registers, privilege modes and trap state.
+
+use std::collections::BTreeMap;
+
+/// RISC-V privilege modes. CVA6 implements all three; the PMCA cores run
+/// machine-mode only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrivMode {
+    /// User mode (Linux processes).
+    User = 0,
+    /// Supervisor mode (the Linux kernel).
+    Supervisor = 1,
+    /// Machine mode (firmware / bare-metal).
+    Machine = 3,
+}
+
+impl PrivMode {
+    /// Encodes the mode in the two-bit form used by `mstatus.MPP`.
+    pub const fn bits(self) -> u64 {
+        self as u64
+    }
+
+    /// Decodes a two-bit mode field (reserved value 2 maps to machine).
+    pub fn from_bits(v: u64) -> PrivMode {
+        match v & 3 {
+            0 => PrivMode::User,
+            1 => PrivMode::Supervisor,
+            _ => PrivMode::Machine,
+        }
+    }
+}
+
+/// Well-known CSR addresses used by the model.
+#[allow(missing_docs)]
+pub mod addr {
+    pub const MSTATUS: u16 = 0x300;
+    pub const MISA: u16 = 0x301;
+    pub const MEDELEG: u16 = 0x302;
+    pub const MIDELEG: u16 = 0x303;
+    pub const MIE: u16 = 0x304;
+    pub const MTVEC: u16 = 0x305;
+    pub const MSCRATCH: u16 = 0x340;
+    pub const MEPC: u16 = 0x341;
+    pub const MCAUSE: u16 = 0x342;
+    pub const MTVAL: u16 = 0x343;
+    pub const MIP: u16 = 0x344;
+    pub const MHARTID: u16 = 0xF14;
+    pub const SSTATUS: u16 = 0x100;
+    pub const STVEC: u16 = 0x105;
+    pub const SSCRATCH: u16 = 0x140;
+    pub const SEPC: u16 = 0x141;
+    pub const SCAUSE: u16 = 0x142;
+    pub const STVAL: u16 = 0x143;
+    pub const SATP: u16 = 0x180;
+    pub const CYCLE: u16 = 0xC00;
+    pub const TIME: u16 = 0xC01;
+    pub const INSTRET: u16 = 0xC02;
+    pub const MCYCLE: u16 = 0xB00;
+    pub const MINSTRET: u16 = 0xB02;
+    pub const FFLAGS: u16 = 0x001;
+    pub const FRM: u16 = 0x002;
+    pub const FCSR: u16 = 0x003;
+}
+
+/// Trap causes (the subset the model can raise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TrapCause {
+    InstAddrMisaligned,
+    IllegalInstruction,
+    Breakpoint,
+    LoadAddrMisaligned,
+    StoreAddrMisaligned,
+    EcallFromU,
+    EcallFromS,
+    EcallFromM,
+    InstPageFault,
+    LoadPageFault,
+    StorePageFault,
+}
+
+impl TrapCause {
+    /// The `mcause` exception code.
+    pub const fn code(self) -> u64 {
+        match self {
+            TrapCause::InstAddrMisaligned => 0,
+            TrapCause::IllegalInstruction => 2,
+            TrapCause::Breakpoint => 3,
+            TrapCause::LoadAddrMisaligned => 4,
+            TrapCause::StoreAddrMisaligned => 6,
+            TrapCause::EcallFromU => 8,
+            TrapCause::EcallFromS => 9,
+            TrapCause::EcallFromM => 11,
+            TrapCause::InstPageFault => 12,
+            TrapCause::LoadPageFault => 13,
+            TrapCause::StorePageFault => 15,
+        }
+    }
+}
+
+/// The CSR file of one hart.
+///
+/// Hardware-backed counters (`cycle`, `instret`) are wired to the core's
+/// counters by the interpreter; everything else is plain storage with the
+/// handful of side effects the model needs (`mstatus` field extraction for
+/// trap entry/return, `satp` for the MMU).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::csr::{addr, CsrFile};
+///
+/// let mut csrs = CsrFile::new(0);
+/// csrs.write(addr::MSCRATCH, 0x55);
+/// assert_eq!(csrs.read(addr::MSCRATCH), 0x55);
+/// assert_eq!(csrs.read(addr::MHARTID), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsrFile {
+    regs: BTreeMap<u16, u64>,
+}
+
+impl CsrFile {
+    /// Creates a CSR file for hart `hartid`.
+    pub fn new(hartid: u64) -> Self {
+        let mut regs = BTreeMap::new();
+        regs.insert(addr::MHARTID, hartid);
+        // RV64 misa: I, M, A, F, D, C, S, U.
+        let misa: u64 = (2 << 62)
+            | (1 << 8)  // I
+            | (1 << 12) // M
+            | (1 << 0)  // A
+            | (1 << 5)  // F
+            | (1 << 3)  // D
+            | (1 << 2)  // C
+            | (1 << 18) // S
+            | (1 << 20); // U
+        regs.insert(addr::MISA, misa);
+        CsrFile { regs }
+    }
+
+    /// Reads a CSR (unimplemented CSRs read as zero, like the RTL's
+    /// read-only-zero default).
+    pub fn read(&self, csr: u16) -> u64 {
+        self.regs.get(&csr).copied().unwrap_or(0)
+    }
+
+    /// Writes a CSR. Read-only CSRs (`mhartid`, the user-mode counter
+    /// shadows) ignore writes.
+    pub fn write(&mut self, csr: u16, value: u64) {
+        match csr {
+            addr::MHARTID | addr::CYCLE | addr::TIME | addr::INSTRET => {}
+            addr::SSTATUS => {
+                // sstatus is a restricted view of mstatus.
+                const SSTATUS_MASK: u64 = 0x8000_0003_000D_E762;
+                let m = self.read(addr::MSTATUS);
+                self.regs
+                    .insert(addr::MSTATUS, (m & !SSTATUS_MASK) | (value & SSTATUS_MASK));
+            }
+            _ => {
+                self.regs.insert(csr, value);
+            }
+        }
+    }
+
+    /// `satp` (for the Sv39 walker).
+    pub fn satp(&self) -> u64 {
+        self.read(addr::SATP)
+    }
+
+    /// Performs machine-trap entry bookkeeping and returns the trap vector.
+    pub fn enter_trap_m(&mut self, cause: TrapCause, pc: u64, tval: u64, prev: PrivMode) -> u64 {
+        self.enter_trap_m_raw(cause.code(), pc, tval, prev)
+    }
+
+    /// Machine-interrupt entry: like [`CsrFile::enter_trap_m`] but with an
+    /// interrupt cause code (`mcause` has its top bit set).
+    pub fn enter_interrupt_m(&mut self, code: u64, pc: u64, prev: PrivMode) -> u64 {
+        self.enter_trap_m_raw((1 << 63) | code, pc, 0, prev)
+    }
+
+    fn enter_trap_m_raw(&mut self, mcause: u64, pc: u64, tval: u64, prev: PrivMode) -> u64 {
+        self.write(addr::MEPC, pc);
+        self.write(addr::MCAUSE, mcause);
+        self.write(addr::MTVAL, tval);
+        let mut mstatus = self.read(addr::MSTATUS);
+        let mie = (mstatus >> 3) & 1;
+        // MPIE <= MIE; MIE <= 0; MPP <= prev.
+        mstatus &= !((1 << 7) | (1 << 3) | (3 << 11));
+        mstatus |= (mie << 7) | (prev.bits() << 11);
+        self.write(addr::MSTATUS, mstatus);
+        self.read(addr::MTVEC) & !3
+    }
+
+    /// Performs `mret` bookkeeping; returns `(new_pc, new_priv)`.
+    pub fn leave_trap_m(&mut self) -> (u64, PrivMode) {
+        let mut mstatus = self.read(addr::MSTATUS);
+        let mpie = (mstatus >> 7) & 1;
+        let mpp = PrivMode::from_bits((mstatus >> 11) & 3);
+        // MIE <= MPIE; MPIE <= 1; MPP <= U.
+        mstatus &= !((1 << 3) | (3 << 11));
+        mstatus |= (mpie << 3) | (1 << 7);
+        self.write(addr::MSTATUS, mstatus);
+        (self.read(addr::MEPC), mpp)
+    }
+
+    /// Performs `sret` bookkeeping; returns `(new_pc, new_priv)`.
+    pub fn leave_trap_s(&mut self) -> (u64, PrivMode) {
+        let mut mstatus = self.read(addr::MSTATUS);
+        let spie = (mstatus >> 5) & 1;
+        let spp = if (mstatus >> 8) & 1 == 1 {
+            PrivMode::Supervisor
+        } else {
+            PrivMode::User
+        };
+        mstatus &= !((1 << 1) | (1 << 8));
+        mstatus |= (spie << 1) | (1 << 5);
+        self.write(addr::MSTATUS, mstatus);
+        (self.read(addr::SEPC), spp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unimplemented_reads_zero() {
+        let c = CsrFile::new(3);
+        assert_eq!(c.read(0x7C0), 0);
+        assert_eq!(c.read(addr::MHARTID), 3);
+    }
+
+    #[test]
+    fn hartid_read_only() {
+        let mut c = CsrFile::new(5);
+        c.write(addr::MHARTID, 99);
+        assert_eq!(c.read(addr::MHARTID), 5);
+    }
+
+    #[test]
+    fn misa_advertises_gc() {
+        let c = CsrFile::new(0);
+        let misa = c.read(addr::MISA);
+        for ext in ['i', 'm', 'a', 'f', 'd', 'c', 's', 'u'] {
+            let bit = ext as u32 - 'a' as u32;
+            assert!(misa & (1 << bit) != 0, "missing extension {ext}");
+        }
+    }
+
+    #[test]
+    fn trap_entry_and_return() {
+        let mut c = CsrFile::new(0);
+        c.write(addr::MTVEC, 0x8000_0100);
+        c.write(addr::MSTATUS, 1 << 3); // MIE set
+        let vec = c.enter_trap_m(TrapCause::EcallFromU, 0x4000, 0, PrivMode::User);
+        assert_eq!(vec, 0x8000_0100);
+        assert_eq!(c.read(addr::MEPC), 0x4000);
+        assert_eq!(c.read(addr::MCAUSE), 8);
+        let mstatus = c.read(addr::MSTATUS);
+        assert_eq!((mstatus >> 3) & 1, 0, "MIE cleared");
+        assert_eq!((mstatus >> 7) & 1, 1, "MPIE saved");
+        assert_eq!((mstatus >> 11) & 3, 0, "MPP = U");
+
+        let (pc, mode) = c.leave_trap_m();
+        assert_eq!(pc, 0x4000);
+        assert_eq!(mode, PrivMode::User);
+        assert_eq!((c.read(addr::MSTATUS) >> 3) & 1, 1, "MIE restored");
+    }
+
+    #[test]
+    fn sret_returns_to_spp() {
+        let mut c = CsrFile::new(0);
+        c.write(addr::SEPC, 0x1234);
+        c.write(addr::MSTATUS, (1 << 8) | (1 << 5)); // SPP=S, SPIE=1
+        let (pc, mode) = c.leave_trap_s();
+        assert_eq!(pc, 0x1234);
+        assert_eq!(mode, PrivMode::Supervisor);
+        assert_eq!((c.read(addr::MSTATUS) >> 1) & 1, 1, "SIE restored");
+    }
+
+    #[test]
+    fn sstatus_is_mstatus_view() {
+        let mut c = CsrFile::new(0);
+        c.write(addr::SSTATUS, 1 << 1); // SIE
+        assert_eq!((c.read(addr::MSTATUS) >> 1) & 1, 1);
+        // Machine-only bits not writable through sstatus.
+        c.write(addr::SSTATUS, 1 << 3);
+        assert_eq!((c.read(addr::MSTATUS) >> 3) & 1, 0);
+    }
+
+    #[test]
+    fn priv_mode_bits() {
+        assert_eq!(PrivMode::Machine.bits(), 3);
+        assert_eq!(PrivMode::from_bits(0), PrivMode::User);
+        assert_eq!(PrivMode::from_bits(1), PrivMode::Supervisor);
+        assert_eq!(PrivMode::from_bits(2), PrivMode::Machine);
+        assert!(PrivMode::User < PrivMode::Supervisor);
+    }
+
+    #[test]
+    fn trap_cause_codes() {
+        assert_eq!(TrapCause::IllegalInstruction.code(), 2);
+        assert_eq!(TrapCause::StorePageFault.code(), 15);
+    }
+}

@@ -1,0 +1,729 @@
+//! Instruction decoding: 32-bit word → [`Inst`].
+//!
+//! # Custom (Xpulp) encoding map
+//!
+//! The Xpulp instructions live in the RISC-V custom opcode spaces; this
+//! simulator and its assembler form a closed toolchain, so the layout below
+//! is authoritative for this repository:
+//!
+//! | opcode | funct3 | format | meaning |
+//! |---|---|---|---|
+//! | custom-0 `0x0B` | load funct3 | I | post-increment load (`p.lw rd, imm(rs1!)`) |
+//! | custom-1 `0x2B` | store funct3 | S | post-increment store |
+//! | custom-1 `0x2B` | `111` | R | `p.mac` (funct7 0) / `p.msu` (funct7 1) |
+//! | custom-2 `0x5B` | `000/001` | R | packed SIMD `.b`/`.h`, vector × vector (funct7 = op) |
+//! | custom-2 `0x5B` | `010/011` | R | packed SIMD `.b`/`.h`, vector × replicated scalar |
+//! | custom-2 `0x5B` | `100` | R | packed FP16 SIMD (funct7 = op) |
+//! | custom-3 `0x7B` | `000/001` | I | `lp.starti` / `lp.endi` (pc-relative offset, loop# in rd\[0\]) |
+//! | custom-3 `0x7B` | `010` | R | `lp.count` (count in rs1, loop# in rd\[0\]) |
+//! | custom-3 `0x7B` | `011` | I | `lp.counti` (unsigned 12-bit count, loop# in rd\[0\]) |
+//! | custom-3 `0x7B` | `100` | R | scalar PULP ALU (min/max/abs/ext/clip; funct7 = op) |
+
+use crate::inst::*;
+
+#[inline]
+fn opcode(w: u32) -> u32 {
+    w & 0x7F
+}
+#[inline]
+fn rd(w: u32) -> Reg {
+    Reg::from_index(((w >> 7) & 0x1F) as u8)
+}
+#[inline]
+fn frd(w: u32) -> FReg {
+    FReg(((w >> 7) & 0x1F) as u8)
+}
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+#[inline]
+fn rs1(w: u32) -> Reg {
+    Reg::from_index(((w >> 15) & 0x1F) as u8)
+}
+#[inline]
+fn frs1(w: u32) -> FReg {
+    FReg(((w >> 15) & 0x1F) as u8)
+}
+#[inline]
+fn rs2(w: u32) -> Reg {
+    Reg::from_index(((w >> 20) & 0x1F) as u8)
+}
+#[inline]
+fn frs2(w: u32) -> FReg {
+    FReg(((w >> 20) & 0x1F) as u8)
+}
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+#[inline]
+fn imm_i(w: u32) -> i64 {
+    ((w as i32) >> 20) as i64
+}
+#[inline]
+fn imm_s(w: u32) -> i64 {
+    let hi = ((w as i32) >> 25) as i64;
+    let lo = ((w >> 7) & 0x1F) as i64;
+    (hi << 5) | lo
+}
+#[inline]
+fn imm_b(w: u32) -> i64 {
+    let b12 = ((w as i32) >> 31) as i64; // sign
+    let b11 = ((w >> 7) & 1) as i64;
+    let b10_5 = ((w >> 25) & 0x3F) as i64;
+    let b4_1 = ((w >> 8) & 0xF) as i64;
+    (b12 << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+}
+#[inline]
+fn imm_u(w: u32) -> i64 {
+    (((w & 0xFFFF_F000) as i32) >> 12) as i64
+}
+#[inline]
+fn imm_j(w: u32) -> i64 {
+    let b20 = ((w as i32) >> 31) as i64;
+    let b19_12 = ((w >> 12) & 0xFF) as i64;
+    let b11 = ((w >> 20) & 1) as i64;
+    let b10_1 = ((w >> 21) & 0x3FF) as i64;
+    (b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+}
+
+fn load_width(f3: u32, xlen: Xlen) -> Option<LoadWidth> {
+    Some(match f3 {
+        0b000 => LoadWidth::B,
+        0b001 => LoadWidth::H,
+        0b010 => LoadWidth::W,
+        0b011 if xlen == Xlen::Rv64 => LoadWidth::D,
+        0b100 => LoadWidth::Bu,
+        0b101 => LoadWidth::Hu,
+        0b110 if xlen == Xlen::Rv64 => LoadWidth::Wu,
+        _ => return None,
+    })
+}
+
+fn store_width(f3: u32, xlen: Xlen) -> Option<StoreWidth> {
+    Some(match f3 {
+        0b000 => StoreWidth::B,
+        0b001 => StoreWidth::H,
+        0b010 => StoreWidth::W,
+        0b011 if xlen == Xlen::Rv64 => StoreWidth::D,
+        _ => return None,
+    })
+}
+
+fn branch_cond(f3: u32) -> Option<BranchCond> {
+    Some(match f3 {
+        0b000 => BranchCond::Eq,
+        0b001 => BranchCond::Ne,
+        0b100 => BranchCond::Lt,
+        0b101 => BranchCond::Ge,
+        0b110 => BranchCond::Ltu,
+        0b111 => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn muldiv_op(f3: u32) -> MulDivOp {
+    match f3 {
+        0b000 => MulDivOp::Mul,
+        0b001 => MulDivOp::Mulh,
+        0b010 => MulDivOp::Mulhsu,
+        0b011 => MulDivOp::Mulhu,
+        0b100 => MulDivOp::Div,
+        0b101 => MulDivOp::Divu,
+        0b110 => MulDivOp::Rem,
+        _ => MulDivOp::Remu,
+    }
+}
+
+fn simd_op_from_index(i: u32) -> Option<SimdOp> {
+    Some(match i {
+        0 => SimdOp::Add,
+        1 => SimdOp::Sub,
+        2 => SimdOp::Avg,
+        3 => SimdOp::Avgu,
+        4 => SimdOp::Min,
+        5 => SimdOp::Minu,
+        6 => SimdOp::Max,
+        7 => SimdOp::Maxu,
+        8 => SimdOp::Srl,
+        9 => SimdOp::Sra,
+        10 => SimdOp::And,
+        11 => SimdOp::Or,
+        12 => SimdOp::Xor,
+        13 => SimdOp::Abs,
+        14 => SimdOp::Dotup,
+        15 => SimdOp::Dotusp,
+        16 => SimdOp::Dotsp,
+        17 => SimdOp::Sdotup,
+        18 => SimdOp::Sdotusp,
+        19 => SimdOp::Sdotsp,
+        20 => SimdOp::Extract,
+        21 => SimdOp::Insert,
+        22 => SimdOp::Shuffle,
+        _ => return None,
+    })
+}
+
+fn simd_fp_op_from_index(i: u32) -> Option<SimdFpOp> {
+    Some(match i {
+        0 => SimdFpOp::Add,
+        1 => SimdFpOp::Sub,
+        2 => SimdFpOp::Mul,
+        3 => SimdFpOp::Mac,
+        4 => SimdFpOp::Min,
+        5 => SimdFpOp::Max,
+        6 => SimdFpOp::DotpexS,
+        _ => return None,
+    })
+}
+
+fn pulp_alu_from_index(i: u32) -> Option<PulpAluOp> {
+    Some(match i {
+        0 => PulpAluOp::Min,
+        1 => PulpAluOp::Max,
+        2 => PulpAluOp::Minu,
+        3 => PulpAluOp::Maxu,
+        4 => PulpAluOp::Abs,
+        5 => PulpAluOp::Exths,
+        6 => PulpAluOp::Exthz,
+        7 => PulpAluOp::Extbs,
+        8 => PulpAluOp::Extbz,
+        9 => PulpAluOp::Clip,
+        10 => PulpAluOp::Cnt,
+        11 => PulpAluOp::Ff1,
+        12 => PulpAluOp::Fl1,
+        13 => PulpAluOp::Ror,
+        _ => return None,
+    })
+}
+
+fn fp_fmt(bit: u32) -> FpFmt {
+    if bit & 1 == 0 {
+        FpFmt::S
+    } else {
+        FpFmt::D
+    }
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// `xlen` gates RV64-only instructions (`ld`, `addiw`…); `xpulp` gates the
+/// custom-space extension set. Returns `None` for undecodable words — the
+/// interpreter turns that into an illegal-instruction trap.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::inst::{AluOp, Inst, Reg, Xlen};
+///
+/// let i = hulkv_rv::decode(0x0015_0513, Xlen::Rv64, false).unwrap();
+/// assert_eq!(i, Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 });
+/// ```
+pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
+    let f3 = funct3(w);
+    let f7 = funct7(w);
+    match opcode(w) {
+        0x37 => Some(Inst::Lui { rd: rd(w), imm: imm_u(w) }),
+        0x17 => Some(Inst::Auipc { rd: rd(w), imm: imm_u(w) }),
+        0x6F => Some(Inst::Jal { rd: rd(w), offset: imm_j(w) }),
+        0x67 if f3 == 0 => Some(Inst::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) }),
+        0x63 => Some(Inst::Branch {
+            cond: branch_cond(f3)?,
+            rs1: rs1(w),
+            rs2: rs2(w),
+            offset: imm_b(w),
+        }),
+        0x03 => Some(Inst::Load {
+            width: load_width(f3, xlen)?,
+            rd: rd(w),
+            rs1: rs1(w),
+            offset: imm_i(w),
+        }),
+        0x23 => Some(Inst::Store {
+            width: store_width(f3, xlen)?,
+            rs2: rs2(w),
+            rs1: rs1(w),
+            offset: imm_s(w),
+        }),
+        0x13 => {
+            let op = match f3 {
+                0b000 => AluOp::Add,
+                0b001 => AluOp::Sll,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b101 => {
+                    if f7 >> 1 == 0b010000 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                0b110 => AluOp::Or,
+                _ => AluOp::And,
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    let max = xlen.bits() - 1;
+                    let shamt = (w >> 20) & 0x3F;
+                    if shamt > max {
+                        return None;
+                    }
+                    shamt as i64
+                }
+                _ => imm_i(w),
+            };
+            Some(Inst::OpImm { op, rd: rd(w), rs1: rs1(w), imm })
+        }
+        0x1B if xlen == Xlen::Rv64 => {
+            let op = match f3 {
+                0b000 => AluOp::Add,
+                0b001 => AluOp::Sll,
+                0b101 => {
+                    if f7 == 0b0100000 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                _ => return None,
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => ((w >> 20) & 0x1F) as i64,
+                _ => imm_i(w),
+            };
+            Some(Inst::OpImm32 { op, rd: rd(w), rs1: rs1(w), imm })
+        }
+        0x33 => {
+            if f7 == 0b0000001 {
+                return Some(Inst::MulDiv {
+                    op: muldiv_op(f3),
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                });
+            }
+            let op = match (f3, f7) {
+                (0b000, 0b0000000) => AluOp::Add,
+                (0b000, 0b0100000) => AluOp::Sub,
+                (0b001, 0b0000000) => AluOp::Sll,
+                (0b010, 0b0000000) => AluOp::Slt,
+                (0b011, 0b0000000) => AluOp::Sltu,
+                (0b100, 0b0000000) => AluOp::Xor,
+                (0b101, 0b0000000) => AluOp::Srl,
+                (0b101, 0b0100000) => AluOp::Sra,
+                (0b110, 0b0000000) => AluOp::Or,
+                (0b111, 0b0000000) => AluOp::And,
+                _ => return None,
+            };
+            Some(Inst::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+        }
+        0x3B if xlen == Xlen::Rv64 => {
+            if f7 == 0b0000001 {
+                let op = muldiv_op(f3);
+                if !matches!(op, MulDivOp::Mul | MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu) {
+                    return None;
+                }
+                return Some(Inst::MulDiv32 { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) });
+            }
+            let op = match (f3, f7) {
+                (0b000, 0b0000000) => AluOp::Add,
+                (0b000, 0b0100000) => AluOp::Sub,
+                (0b001, 0b0000000) => AluOp::Sll,
+                (0b101, 0b0000000) => AluOp::Srl,
+                (0b101, 0b0100000) => AluOp::Sra,
+                _ => return None,
+            };
+            Some(Inst::Op32 { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+        }
+        0x2F => {
+            let double = match f3 {
+                0b010 => false,
+                0b011 if xlen == Xlen::Rv64 => true,
+                _ => return None,
+            };
+            let funct5 = f7 >> 2;
+            match funct5 {
+                0b00010 => Some(Inst::LoadReserved { double, rd: rd(w), rs1: rs1(w) }),
+                0b00011 => Some(Inst::StoreConditional {
+                    double,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                }),
+                _ => {
+                    let op = match funct5 {
+                        0b00000 => AmoOp::Add,
+                        0b00001 => AmoOp::Swap,
+                        0b00100 => AmoOp::Xor,
+                        0b01000 => AmoOp::Or,
+                        0b01100 => AmoOp::And,
+                        0b10000 => AmoOp::Min,
+                        0b10100 => AmoOp::Max,
+                        0b11000 => AmoOp::Minu,
+                        0b11100 => AmoOp::Maxu,
+                        _ => return None,
+                    };
+                    Some(Inst::Amo { op, double, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+                }
+            }
+        }
+        0x0F => match f3 {
+            0b000 => Some(Inst::Fence),
+            0b001 => Some(Inst::FenceI),
+            _ => None,
+        },
+        0x73 => {
+            if f3 == 0 {
+                return match w {
+                    0x0000_0073 => Some(Inst::Ecall),
+                    0x0010_0073 => Some(Inst::Ebreak),
+                    0x3020_0073 => Some(Inst::Mret),
+                    0x1020_0073 => Some(Inst::Sret),
+                    0x1050_0073 => Some(Inst::Wfi),
+                    _ => None,
+                };
+            }
+            let csr = (w >> 20) as u16;
+            let op = match f3 & 0b011 {
+                0b001 => CsrOp::Rw,
+                0b010 => CsrOp::Rs,
+                0b011 => CsrOp::Rc,
+                _ => return None,
+            };
+            let src = if f3 & 0b100 != 0 {
+                CsrSrc::Imm(((w >> 15) & 0x1F) as u8)
+            } else {
+                CsrSrc::Reg(rs1(w))
+            };
+            Some(Inst::Csr { op, rd: rd(w), csr, src })
+        }
+
+        // --- F/D ---
+        0x07 => {
+            let fmt = match f3 {
+                0b010 => FpFmt::S,
+                0b011 => FpFmt::D,
+                _ => return None,
+            };
+            Some(Inst::FpLoad { fmt, rd: frd(w), rs1: rs1(w), offset: imm_i(w) })
+        }
+        0x27 => {
+            let fmt = match f3 {
+                0b010 => FpFmt::S,
+                0b011 => FpFmt::D,
+                _ => return None,
+            };
+            Some(Inst::FpStore { fmt, rs2: frs2(w), rs1: rs1(w), offset: imm_s(w) })
+        }
+        op @ (0x43 | 0x47 | 0x4B | 0x4F) => {
+            let fmt = match (w >> 25) & 0b11 {
+                0b00 => FpFmt::S,
+                0b01 => FpFmt::D,
+                _ => return None,
+            };
+            let (np, na) = match op {
+                0x43 => (false, false),
+                0x47 => (false, true),
+                0x4B => (true, false),
+                _ => (true, true),
+            };
+            Some(Inst::FpFma {
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+                rs3: FReg((w >> 27) as u8),
+                negate_product: np,
+                negate_addend: na,
+            })
+        }
+        0x53 => {
+            let fmt = fp_fmt(f7);
+            let group = f7 >> 1;
+            match group {
+                0b000000 => Some(Inst::FpOp3 { fmt, op: FpOp::Add, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
+                0b000010 => Some(Inst::FpOp3 { fmt, op: FpOp::Sub, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
+                0b000100 => Some(Inst::FpOp3 { fmt, op: FpOp::Mul, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
+                0b000110 => Some(Inst::FpOp3 { fmt, op: FpOp::Div, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
+                0b010110 => Some(Inst::FpOp3 { fmt, op: FpOp::Sqrt, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
+                0b001000 => {
+                    let op = match f3 {
+                        0b000 => FpOp::SgnJ,
+                        0b001 => FpOp::SgnJn,
+                        0b010 => FpOp::SgnJx,
+                        _ => return None,
+                    };
+                    Some(Inst::FpOp3 { fmt, op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+                }
+                0b001010 => {
+                    let op = match f3 {
+                        0b000 => FpOp::Min,
+                        0b001 => FpOp::Max,
+                        _ => return None,
+                    };
+                    Some(Inst::FpOp3 { fmt, op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+                }
+                0b010000 => {
+                    // fcvt.s.d (f7=0100000, rs2=1) / fcvt.d.s (f7=0100001, rs2=0)
+                    let to = if f7 & 1 == 0 { FpFmt::S } else { FpFmt::D };
+                    Some(Inst::FpCvt { to, rd: frd(w), rs1: frs1(w) })
+                }
+                0b101000 => {
+                    let cmp = match f3 {
+                        0b000 => FpCmp::Le,
+                        0b001 => FpCmp::Lt,
+                        0b010 => FpCmp::Eq,
+                        _ => return None,
+                    };
+                    Some(Inst::FpCmp { fmt, cmp, rd: rd(w), rs1: frs1(w), rs2: frs2(w) })
+                }
+                0b110000 => {
+                    let (wide, signed) = match (w >> 20) & 0x1F {
+                        0b00000 => (false, true),
+                        0b00001 => (false, false),
+                        0b00010 if xlen == Xlen::Rv64 => (true, true),
+                        0b00011 if xlen == Xlen::Rv64 => (true, false),
+                        _ => return None,
+                    };
+                    Some(Inst::FpToInt { fmt, rd: rd(w), rs1: frs1(w), signed, wide })
+                }
+                0b110100 => {
+                    let (wide, signed) = match (w >> 20) & 0x1F {
+                        0b00000 => (false, true),
+                        0b00001 => (false, false),
+                        0b00010 if xlen == Xlen::Rv64 => (true, true),
+                        0b00011 if xlen == Xlen::Rv64 => (true, false),
+                        _ => return None,
+                    };
+                    Some(Inst::IntToFp { fmt, rd: frd(w), rs1: rs1(w), signed, wide })
+                }
+                0b111000 if f3 == 0 => Some(Inst::FpMvToInt { fmt, rd: rd(w), rs1: frs1(w) }),
+                0b111100 if f3 == 0 => Some(Inst::FpMvFromInt { fmt, rd: frd(w), rs1: rs1(w) }),
+                _ => None,
+            }
+        }
+
+        // --- Xpulp custom spaces ---
+        0x0B if xpulp => {
+            let width = load_width(f3, Xlen::Rv32)?;
+            Some(Inst::LoadPost { width, rd: rd(w), rs1: rs1(w), offset: imm_i(w) })
+        }
+        0x2B if xpulp => {
+            if f3 == 0b111 {
+                return match f7 {
+                    0 => Some(Inst::Mac { rd: rd(w), rs1: rs1(w), rs2: rs2(w), subtract: false }),
+                    1 => Some(Inst::Mac { rd: rd(w), rs1: rs1(w), rs2: rs2(w), subtract: true }),
+                    _ => None,
+                };
+            }
+            let width = store_width(f3, Xlen::Rv32)?;
+            Some(Inst::StorePost { width, rs2: rs2(w), rs1: rs1(w), offset: imm_s(w) })
+        }
+        0x5B if xpulp => {
+            if f3 == 0b100 {
+                let op = simd_fp_op_from_index(f7)?;
+                return Some(Inst::SimdFp { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) });
+            }
+            let (fmt, scalar) = match f3 {
+                0b000 => (SimdFmt::B, false),
+                0b001 => (SimdFmt::H, false),
+                0b010 => (SimdFmt::B, true),
+                0b011 => (SimdFmt::H, true),
+                _ => return None,
+            };
+            let op = simd_op_from_index(f7)?;
+            Some(Inst::Simd { op, fmt, rd: rd(w), rs1: rs1(w), rs2: rs2(w), scalar_rs2: scalar })
+        }
+        0x7B if xpulp => {
+            let loop_idx = ((w >> 7) & 1) as u8;
+            match f3 {
+                0b000 => Some(Inst::HwLoop {
+                    op: HwLoopOp::Starti,
+                    loop_idx,
+                    value: imm_i(w),
+                    rs1: Reg::Zero,
+                }),
+                0b001 => Some(Inst::HwLoop {
+                    op: HwLoopOp::Endi,
+                    loop_idx,
+                    value: imm_i(w),
+                    rs1: Reg::Zero,
+                }),
+                0b010 => Some(Inst::HwLoop {
+                    op: HwLoopOp::Count,
+                    loop_idx,
+                    value: 0,
+                    rs1: rs1(w),
+                }),
+                0b011 => Some(Inst::HwLoop {
+                    op: HwLoopOp::Counti,
+                    loop_idx,
+                    value: ((w >> 20) & 0xFFF) as i64,
+                    rs1: Reg::Zero,
+                }),
+                0b100 => {
+                    let op = pulp_alu_from_index(f7)?;
+                    Some(Inst::PulpAlu { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_golden() {
+        let i = decode(0x00C5_8533, Xlen::Rv64, false).unwrap();
+        assert_eq!(i, Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        let i = decode(0xFE02_9EE3, Xlen::Rv32, false).unwrap();
+        assert_eq!(
+            i,
+            Inst::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::Zero, offset: -4 }
+        );
+    }
+
+    #[test]
+    fn rv64_only_gated() {
+        // ld is RV64-only.
+        let word = encode(&Inst::Load {
+            width: LoadWidth::D,
+            rd: Reg::A0,
+            rs1: Reg::Sp,
+            offset: 0,
+        })
+        .unwrap();
+        assert!(decode(word, Xlen::Rv64, false).is_some());
+        assert!(decode(word, Xlen::Rv32, false).is_none());
+        // addiw is RV64-only.
+        let word = encode(&Inst::OpImm32 {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+        })
+        .unwrap();
+        assert!(decode(word, Xlen::Rv64, false).is_some());
+        assert!(decode(word, Xlen::Rv32, false).is_none());
+    }
+
+    #[test]
+    fn xpulp_gated() {
+        let word = encode(&Inst::Mac {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+            subtract: false,
+        })
+        .unwrap();
+        assert!(decode(word, Xlen::Rv32, true).is_some());
+        assert!(decode(word, Xlen::Rv32, false).is_none());
+        assert!(decode(word, Xlen::Rv64, false).is_none());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode(0xFFFF_FFFF, Xlen::Rv64, true).is_none());
+        assert!(decode(0x0000_0000, Xlen::Rv64, true).is_none());
+    }
+
+    fn round_trip(inst: Inst, xlen: Xlen, xpulp: bool) {
+        let w = encode(&inst).unwrap();
+        let back = decode(w, xlen, xpulp).unwrap_or_else(|| panic!("decode failed for {inst:?}"));
+        assert_eq!(back, inst, "word {w:#010x}");
+    }
+
+    #[test]
+    fn round_trip_core_set() {
+        use Inst::*;
+        let cases = vec![
+            Lui { rd: Reg::A0, imm: -1 },
+            Auipc { rd: Reg::T3, imm: 0x7FFFF },
+            Jal { rd: Reg::Ra, offset: -2048 },
+            Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 },
+            Load { width: LoadWidth::Hu, rd: Reg::S1, rs1: Reg::Gp, offset: -3 },
+            Store { width: StoreWidth::B, rs2: Reg::T6, rs1: Reg::Tp, offset: 2047 },
+            OpImm { op: AluOp::Xor, rd: Reg::A1, rs1: Reg::A2, imm: -2048 },
+            OpImm { op: AluOp::Sra, rd: Reg::A1, rs1: Reg::A2, imm: 63 },
+            Op { op: AluOp::Sltu, rd: Reg::A3, rs1: Reg::A4, rs2: Reg::A5 },
+            Op32 { op: AluOp::Sub, rd: Reg::S2, rs1: Reg::S3, rs2: Reg::S4 },
+            MulDiv { op: MulDivOp::Remu, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 },
+            MulDiv32 { op: MulDivOp::Divu, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 },
+            LoadReserved { double: true, rd: Reg::A0, rs1: Reg::A1 },
+            StoreConditional { double: false, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Amo { op: AmoOp::Maxu, double: true, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Fence,
+            FenceI,
+            Ecall,
+            Ebreak,
+            Mret,
+            Sret,
+            Wfi,
+            Csr { op: CsrOp::Rs, rd: Reg::A0, csr: 0xC00, src: CsrSrc::Reg(Reg::Zero) },
+            Csr { op: CsrOp::Rw, rd: Reg::Zero, csr: 0x300, src: CsrSrc::Imm(31) },
+        ];
+        for inst in cases {
+            round_trip(inst, Xlen::Rv64, false);
+        }
+    }
+
+    #[test]
+    fn round_trip_fp_set() {
+        use Inst::*;
+        let cases = vec![
+            FpLoad { fmt: FpFmt::S, rd: FReg(1), rs1: Reg::Sp, offset: 16 },
+            FpLoad { fmt: FpFmt::D, rd: FReg(31), rs1: Reg::A0, offset: -8 },
+            FpStore { fmt: FpFmt::S, rs2: FReg(2), rs1: Reg::Sp, offset: 20 },
+            FpOp3 { fmt: FpFmt::S, op: FpOp::Add, rd: FReg(0), rs1: FReg(1), rs2: FReg(2) },
+            FpOp3 { fmt: FpFmt::D, op: FpOp::Div, rd: FReg(3), rs1: FReg(4), rs2: FReg(5) },
+            FpOp3 { fmt: FpFmt::S, op: FpOp::Sqrt, rd: FReg(6), rs1: FReg(7), rs2: FReg(0) },
+            FpOp3 { fmt: FpFmt::D, op: FpOp::SgnJx, rd: FReg(8), rs1: FReg(9), rs2: FReg(10) },
+            FpOp3 { fmt: FpFmt::S, op: FpOp::Max, rd: FReg(11), rs1: FReg(12), rs2: FReg(13) },
+            FpFma { fmt: FpFmt::S, rd: FReg(1), rs1: FReg(2), rs2: FReg(3), rs3: FReg(4), negate_product: false, negate_addend: false },
+            FpFma { fmt: FpFmt::D, rd: FReg(1), rs1: FReg(2), rs2: FReg(3), rs3: FReg(4), negate_product: true, negate_addend: true },
+            FpCmp { fmt: FpFmt::S, cmp: crate::inst::FpCmp::Lt, rd: Reg::A0, rs1: FReg(1), rs2: FReg(2) },
+            FpToInt { fmt: FpFmt::S, rd: Reg::A0, rs1: FReg(0), signed: true, wide: true },
+            IntToFp { fmt: FpFmt::D, rd: FReg(0), rs1: Reg::A0, signed: false, wide: false },
+            FpCvt { to: FpFmt::S, rd: FReg(1), rs1: FReg(2) },
+            FpCvt { to: FpFmt::D, rd: FReg(1), rs1: FReg(2) },
+            FpMvToInt { fmt: FpFmt::S, rd: Reg::A0, rs1: FReg(3) },
+            FpMvFromInt { fmt: FpFmt::D, rd: FReg(3), rs1: Reg::A0 },
+        ];
+        for inst in cases {
+            round_trip(inst, Xlen::Rv64, false);
+        }
+    }
+
+    #[test]
+    fn round_trip_xpulp_set() {
+        use Inst::*;
+        let cases = vec![
+            LoadPost { width: LoadWidth::W, rd: Reg::A0, rs1: Reg::A1, offset: 4 },
+            LoadPost { width: LoadWidth::Bu, rd: Reg::T0, rs1: Reg::T1, offset: -1 },
+            StorePost { width: StoreWidth::H, rs2: Reg::A2, rs1: Reg::A3, offset: 2 },
+            Mac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, subtract: false },
+            Mac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, subtract: true },
+            PulpAlu { op: PulpAluOp::Clip, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            PulpAlu { op: PulpAluOp::Abs, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::Zero },
+            HwLoop { op: HwLoopOp::Starti, loop_idx: 0, value: 8, rs1: Reg::Zero },
+            HwLoop { op: HwLoopOp::Endi, loop_idx: 1, value: 40, rs1: Reg::Zero },
+            HwLoop { op: HwLoopOp::Count, loop_idx: 0, value: 0, rs1: Reg::A5 },
+            HwLoop { op: HwLoopOp::Counti, loop_idx: 1, value: 4095, rs1: Reg::Zero },
+            Simd { op: SimdOp::Sdotsp, fmt: SimdFmt::B, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, scalar_rs2: false },
+            Simd { op: SimdOp::Max, fmt: SimdFmt::H, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, scalar_rs2: true },
+            Simd { op: SimdOp::Avgu, fmt: SimdFmt::B, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, scalar_rs2: true },
+            SimdFp { op: SimdFpOp::Mac, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            SimdFp { op: SimdFpOp::DotpexS, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+        ];
+        for inst in cases {
+            round_trip(inst, Xlen::Rv32, true);
+        }
+    }
+}

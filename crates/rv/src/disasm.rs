@@ -1,0 +1,475 @@
+//! Disassembly: [`Inst`] → assembly text.
+//!
+//! The output follows GNU `objdump` conventions for standard instructions
+//! and the PULP toolchain's spelling for Xpulp (`p.lw rd, imm(rs1!)`,
+//! `pv.sdotsp.b`, `lp.counti`, …). [`crate::parse`] accepts everything
+//! this module emits, and the property tests round-trip the two.
+
+use crate::inst::*;
+
+fn load_mnemonic(w: LoadWidth) -> &'static str {
+    match w {
+        LoadWidth::B => "lb",
+        LoadWidth::H => "lh",
+        LoadWidth::W => "lw",
+        LoadWidth::D => "ld",
+        LoadWidth::Bu => "lbu",
+        LoadWidth::Hu => "lhu",
+        LoadWidth::Wu => "lwu",
+    }
+}
+
+fn store_mnemonic(w: StoreWidth) -> &'static str {
+    match w {
+        StoreWidth::B => "sb",
+        StoreWidth::H => "sh",
+        StoreWidth::W => "sw",
+        StoreWidth::D => "sd",
+    }
+}
+
+fn branch_mnemonic(c: BranchCond) -> &'static str {
+    match c {
+        BranchCond::Eq => "beq",
+        BranchCond::Ne => "bne",
+        BranchCond::Lt => "blt",
+        BranchCond::Ge => "bge",
+        BranchCond::Ltu => "bltu",
+        BranchCond::Geu => "bgeu",
+    }
+}
+
+fn alu_mnemonic(op: AluOp, imm: bool, word: bool) -> String {
+    let base = match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+    };
+    let mut s = String::from(base);
+    if imm {
+        s.push('i');
+    }
+    if word {
+        s.push('w');
+    }
+    s
+}
+
+fn muldiv_mnemonic(op: MulDivOp, word: bool) -> String {
+    let base = match op {
+        MulDivOp::Mul => "mul",
+        MulDivOp::Mulh => "mulh",
+        MulDivOp::Mulhsu => "mulhsu",
+        MulDivOp::Mulhu => "mulhu",
+        MulDivOp::Div => "div",
+        MulDivOp::Divu => "divu",
+        MulDivOp::Rem => "rem",
+        MulDivOp::Remu => "remu",
+    };
+    if word {
+        format!("{base}w")
+    } else {
+        base.to_string()
+    }
+}
+
+fn fp_suffix(fmt: FpFmt) -> &'static str {
+    match fmt {
+        FpFmt::S => "s",
+        FpFmt::D => "d",
+    }
+}
+
+fn simd_op_name(op: SimdOp) -> &'static str {
+    match op {
+        SimdOp::Add => "add",
+        SimdOp::Sub => "sub",
+        SimdOp::Avg => "avg",
+        SimdOp::Avgu => "avgu",
+        SimdOp::Min => "min",
+        SimdOp::Minu => "minu",
+        SimdOp::Max => "max",
+        SimdOp::Maxu => "maxu",
+        SimdOp::Srl => "srl",
+        SimdOp::Sra => "sra",
+        SimdOp::And => "and",
+        SimdOp::Or => "or",
+        SimdOp::Xor => "xor",
+        SimdOp::Abs => "abs",
+        SimdOp::Dotup => "dotup",
+        SimdOp::Dotusp => "dotusp",
+        SimdOp::Dotsp => "dotsp",
+        SimdOp::Sdotup => "sdotup",
+        SimdOp::Sdotusp => "sdotusp",
+        SimdOp::Sdotsp => "sdotsp",
+        SimdOp::Extract => "extract",
+        SimdOp::Insert => "insert",
+        SimdOp::Shuffle => "shuffle",
+    }
+}
+
+/// Renders a decoded instruction as assembly text.
+///
+/// Pc-relative operands (branches, `jal`, hardware-loop bounds) are shown
+/// as signed byte offsets from the instruction (`bne t0, zero, -4`).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::inst::Xlen;
+///
+/// let i = hulkv_rv::decode(0x0015_0513, Xlen::Rv64, false).unwrap();
+/// assert_eq!(hulkv_rv::disassemble(&i), "addi a0, a0, 1");
+/// ```
+pub fn disassemble(inst: &Inst) -> String {
+    match *inst {
+        Inst::Lui { rd, imm } => format!("lui {rd}, {imm}"),
+        Inst::Auipc { rd, imm } => format!("auipc {rd}, {imm}"),
+        Inst::Jal { rd, offset } => {
+            if rd == Reg::Zero {
+                format!("j {offset}")
+            } else {
+                format!("jal {rd}, {offset}")
+            }
+        }
+        Inst::Jalr { rd, rs1, offset } => {
+            if rd == Reg::Zero && rs1 == Reg::Ra && offset == 0 {
+                "ret".to_string()
+            } else {
+                format!("jalr {rd}, {offset}({rs1})")
+            }
+        }
+        Inst::Branch { cond, rs1, rs2, offset } => {
+            format!("{} {rs1}, {rs2}, {offset}", branch_mnemonic(cond))
+        }
+        Inst::Load { width, rd, rs1, offset } => {
+            format!("{} {rd}, {offset}({rs1})", load_mnemonic(width))
+        }
+        Inst::Store { width, rs2, rs1, offset } => {
+            format!("{} {rs2}, {offset}({rs1})", store_mnemonic(width))
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            if op == AluOp::Add && rs1 == Reg::Zero {
+                format!("li {rd}, {imm}")
+            } else if op == AluOp::Add && imm == 0 {
+                format!("mv {rd}, {rs1}")
+            } else {
+                format!("{} {rd}, {rs1}, {imm}", alu_mnemonic(op, true, false))
+            }
+        }
+        Inst::OpImm32 { op, rd, rs1, imm } => {
+            format!("{} {rd}, {rs1}, {imm}", alu_mnemonic(op, true, true))
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", alu_mnemonic(op, false, false))
+        }
+        Inst::Op32 { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", alu_mnemonic(op, false, true))
+        }
+        Inst::MulDiv { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", muldiv_mnemonic(op, false))
+        }
+        Inst::MulDiv32 { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", muldiv_mnemonic(op, true))
+        }
+        Inst::LoadReserved { double, rd, rs1 } => {
+            format!("lr.{} {rd}, ({rs1})", if double { "d" } else { "w" })
+        }
+        Inst::StoreConditional { double, rd, rs1, rs2 } => {
+            format!("sc.{} {rd}, {rs2}, ({rs1})", if double { "d" } else { "w" })
+        }
+        Inst::Amo { op, double, rd, rs1, rs2 } => {
+            let name = match op {
+                AmoOp::Swap => "amoswap",
+                AmoOp::Add => "amoadd",
+                AmoOp::Xor => "amoxor",
+                AmoOp::And => "amoand",
+                AmoOp::Or => "amoor",
+                AmoOp::Min => "amomin",
+                AmoOp::Max => "amomax",
+                AmoOp::Minu => "amominu",
+                AmoOp::Maxu => "amomaxu",
+            };
+            format!("{name}.{} {rd}, {rs2}, ({rs1})", if double { "d" } else { "w" })
+        }
+        Inst::Fence => "fence".to_string(),
+        Inst::FenceI => "fence.i".to_string(),
+        Inst::Ecall => "ecall".to_string(),
+        Inst::Ebreak => "ebreak".to_string(),
+        Inst::Mret => "mret".to_string(),
+        Inst::Sret => "sret".to_string(),
+        Inst::Wfi => "wfi".to_string(),
+        Inst::Csr { op, rd, csr, src } => {
+            let (name, suffix) = match (op, src) {
+                (CsrOp::Rw, CsrSrc::Reg(_)) => ("csrrw", ""),
+                (CsrOp::Rs, CsrSrc::Reg(_)) => ("csrrs", ""),
+                (CsrOp::Rc, CsrSrc::Reg(_)) => ("csrrc", ""),
+                (CsrOp::Rw, CsrSrc::Imm(_)) => ("csrrw", "i"),
+                (CsrOp::Rs, CsrSrc::Imm(_)) => ("csrrs", "i"),
+                (CsrOp::Rc, CsrSrc::Imm(_)) => ("csrrc", "i"),
+            };
+            match src {
+                CsrSrc::Reg(rs1) => format!("{name}{suffix} {rd}, {csr:#x}, {rs1}"),
+                CsrSrc::Imm(v) => format!("{name}{suffix} {rd}, {csr:#x}, {v}"),
+            }
+        }
+        Inst::FpLoad { fmt, rd, rs1, offset } => {
+            format!("fl{} {rd}, {offset}({rs1})", if fmt == FpFmt::S { "w" } else { "d" })
+        }
+        Inst::FpStore { fmt, rs2, rs1, offset } => {
+            format!("fs{} {rs2}, {offset}({rs1})", if fmt == FpFmt::S { "w" } else { "d" })
+        }
+        Inst::FpOp3 { fmt, op, rd, rs1, rs2 } => {
+            let name = match op {
+                FpOp::Add => "fadd",
+                FpOp::Sub => "fsub",
+                FpOp::Mul => "fmul",
+                FpOp::Div => "fdiv",
+                FpOp::Sqrt => "fsqrt",
+                FpOp::Min => "fmin",
+                FpOp::Max => "fmax",
+                FpOp::SgnJ => "fsgnj",
+                FpOp::SgnJn => "fsgnjn",
+                FpOp::SgnJx => "fsgnjx",
+            };
+            if op == FpOp::Sqrt {
+                format!("{name}.{} {rd}, {rs1}", fp_suffix(fmt))
+            } else {
+                format!("{name}.{} {rd}, {rs1}, {rs2}", fp_suffix(fmt))
+            }
+        }
+        Inst::FpFma { fmt, rd, rs1, rs2, rs3, negate_product, negate_addend } => {
+            let name = match (negate_product, negate_addend) {
+                (false, false) => "fmadd",
+                (false, true) => "fmsub",
+                (true, false) => "fnmsub",
+                (true, true) => "fnmadd",
+            };
+            format!("{name}.{} {rd}, {rs1}, {rs2}, {rs3}", fp_suffix(fmt))
+        }
+        Inst::FpCmp { fmt, cmp, rd, rs1, rs2 } => {
+            let name = match cmp {
+                FpCmp::Eq => "feq",
+                FpCmp::Lt => "flt",
+                FpCmp::Le => "fle",
+            };
+            format!("{name}.{} {rd}, {rs1}, {rs2}", fp_suffix(fmt))
+        }
+        Inst::FpToInt { fmt, rd, rs1, signed, wide } => {
+            let int = match (wide, signed) {
+                (false, true) => "w",
+                (false, false) => "wu",
+                (true, true) => "l",
+                (true, false) => "lu",
+            };
+            format!("fcvt.{int}.{} {rd}, {rs1}", fp_suffix(fmt))
+        }
+        Inst::IntToFp { fmt, rd, rs1, signed, wide } => {
+            let int = match (wide, signed) {
+                (false, true) => "w",
+                (false, false) => "wu",
+                (true, true) => "l",
+                (true, false) => "lu",
+            };
+            format!("fcvt.{}.{int} {rd}, {rs1}", fp_suffix(fmt))
+        }
+        Inst::FpCvt { to, rd, rs1 } => match to {
+            FpFmt::S => format!("fcvt.s.d {rd}, {rs1}"),
+            FpFmt::D => format!("fcvt.d.s {rd}, {rs1}"),
+        },
+        Inst::FpMvToInt { fmt, rd, rs1 } => {
+            format!("fmv.x.{} {rd}, {rs1}", if fmt == FpFmt::S { "w" } else { "d" })
+        }
+        Inst::FpMvFromInt { fmt, rd, rs1 } => {
+            format!("fmv.{}.x {rd}, {rs1}", if fmt == FpFmt::S { "w" } else { "d" })
+        }
+        Inst::LoadPost { width, rd, rs1, offset } => {
+            format!("p.{} {rd}, {offset}({rs1}!)", load_mnemonic(width))
+        }
+        Inst::StorePost { width, rs2, rs1, offset } => {
+            format!("p.{} {rs2}, {offset}({rs1}!)", store_mnemonic(width))
+        }
+        Inst::Mac { rd, rs1, rs2, subtract } => {
+            format!("p.{} {rd}, {rs1}, {rs2}", if subtract { "msu" } else { "mac" })
+        }
+        Inst::PulpAlu { op, rd, rs1, rs2 } => {
+            let name = match op {
+                PulpAluOp::Min => "min",
+                PulpAluOp::Max => "max",
+                PulpAluOp::Minu => "minu",
+                PulpAluOp::Maxu => "maxu",
+                PulpAluOp::Abs => "abs",
+                PulpAluOp::Exths => "exths",
+                PulpAluOp::Exthz => "exthz",
+                PulpAluOp::Extbs => "extbs",
+                PulpAluOp::Extbz => "extbz",
+                PulpAluOp::Clip => "clip",
+                PulpAluOp::Cnt => "cnt",
+                PulpAluOp::Ff1 => "ff1",
+                PulpAluOp::Fl1 => "fl1",
+                PulpAluOp::Ror => "ror",
+            };
+            match op {
+                PulpAluOp::Abs | PulpAluOp::Exths | PulpAluOp::Exthz | PulpAluOp::Extbs
+                | PulpAluOp::Extbz | PulpAluOp::Cnt | PulpAluOp::Ff1 | PulpAluOp::Fl1 => {
+                    format!("p.{name} {rd}, {rs1}")
+                }
+                _ => format!("p.{name} {rd}, {rs1}, {rs2}"),
+            }
+        }
+        Inst::HwLoop { op, loop_idx, value, rs1 } => match op {
+            HwLoopOp::Starti => format!("lp.starti x{loop_idx}, {value}"),
+            HwLoopOp::Endi => format!("lp.endi x{loop_idx}, {value}"),
+            HwLoopOp::Count => format!("lp.count x{loop_idx}, {rs1}"),
+            HwLoopOp::Counti => format!("lp.counti x{loop_idx}, {value}"),
+        },
+        Inst::Simd { op, fmt, rd, rs1, rs2, scalar_rs2 } => {
+            let lanes = if fmt == SimdFmt::B { "b" } else { "h" };
+            let mode = if scalar_rs2 { ".sc" } else { "" };
+            format!("pv.{}{mode}.{lanes} {rd}, {rs1}, {rs2}", simd_op_name(op))
+        }
+        Inst::SimdFp { op, rd, rs1, rs2 } => {
+            let name = match op {
+                SimdFpOp::Add => "vfadd.h",
+                SimdFpOp::Sub => "vfsub.h",
+                SimdFpOp::Mul => "vfmul.h",
+                SimdFpOp::Mac => "vfmac.h",
+                SimdFpOp::Min => "vfmin.h",
+                SimdFpOp::Max => "vfmax.h",
+                SimdFpOp::DotpexS => "vfdotpex.s.h",
+            };
+            format!("{name} {rd}, {rs1}, {rs2}")
+        }
+    }
+}
+
+/// Disassembles a raw word, or formats it as data when undecodable.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::inst::Xlen;
+///
+/// assert_eq!(hulkv_rv::disassemble_word(0x0000_0073, Xlen::Rv64, false), "ecall");
+/// assert!(hulkv_rv::disassemble_word(0xFFFF_FFFF, Xlen::Rv64, false).starts_with(".word"));
+/// ```
+pub fn disassemble_word(word: u32, xlen: Xlen, xpulp: bool) -> String {
+    match crate::decode::decode(word, xlen, xpulp) {
+        Some(inst) => disassemble(&inst),
+        None => format!(".word {word:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_forms() {
+        let cases: Vec<(Inst, &str)> = vec![
+            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: -4 }, "addi a0, sp, -4"),
+            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: 7 }, "li a0, 7"),
+            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: 0 }, "mv a0, a1"),
+            (Inst::Op { op: AluOp::Sub, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 }, "sub t0, t1, t2"),
+            (Inst::Load { width: LoadWidth::W, rd: Reg::A5, rs1: Reg::Sp, offset: 12 }, "lw a5, 12(sp)"),
+            (Inst::Store { width: StoreWidth::D, rs2: Reg::A0, rs1: Reg::Sp, offset: 0 }, "sd a0, 0(sp)"),
+            (Inst::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::Zero, offset: -4 }, "bne t0, zero, -4"),
+            (Inst::Jal { rd: Reg::Zero, offset: 16 }, "j 16"),
+            (Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 }, "ret"),
+            (Inst::Ecall, "ecall"),
+        ];
+        for (inst, text) in cases {
+            assert_eq!(disassemble(&inst), text);
+        }
+    }
+
+    #[test]
+    fn xpulp_forms() {
+        let cases: Vec<(Inst, &str)> = vec![
+            (
+                Inst::LoadPost { width: LoadWidth::W, rd: Reg::T5, rs1: Reg::T3, offset: 4 },
+                "p.lw t5, 4(t3!)",
+            ),
+            (
+                Inst::Mac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, subtract: false },
+                "p.mac a0, a1, a2",
+            ),
+            (
+                Inst::Simd {
+                    op: SimdOp::Sdotsp,
+                    fmt: SimdFmt::B,
+                    rd: Reg::T4,
+                    rs1: Reg::T5,
+                    rs2: Reg::T6,
+                    scalar_rs2: false,
+                },
+                "pv.sdotsp.b t4, t5, t6",
+            ),
+            (
+                Inst::Simd {
+                    op: SimdOp::Max,
+                    fmt: SimdFmt::B,
+                    rd: Reg::T2,
+                    rs1: Reg::T1,
+                    rs2: Reg::T6,
+                    scalar_rs2: true,
+                },
+                "pv.max.sc.b t2, t1, t6",
+            ),
+            (
+                Inst::HwLoop { op: HwLoopOp::Counti, loop_idx: 0, value: 16, rs1: Reg::Zero },
+                "lp.counti x0, 16",
+            ),
+            (
+                Inst::SimdFp { op: SimdFpOp::DotpexS, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+                "vfdotpex.s.h a0, a1, a2",
+            ),
+        ];
+        for (inst, text) in cases {
+            assert_eq!(disassemble(&inst), text);
+        }
+    }
+
+    #[test]
+    fn fp_forms() {
+        let fma = Inst::FpFma {
+            fmt: FpFmt::S,
+            rd: FReg(0),
+            rs1: FReg(1),
+            rs2: FReg(2),
+            rs3: FReg(3),
+            negate_product: false,
+            negate_addend: false,
+        };
+        assert_eq!(disassemble(&fma), "fmadd.s f0, f1, f2, f3");
+        let cvt = Inst::FpToInt { fmt: FpFmt::D, rd: Reg::A0, rs1: FReg(4), signed: true, wide: true };
+        assert_eq!(disassemble(&cvt), "fcvt.l.d a0, f4");
+    }
+
+    #[test]
+    fn word_fallback() {
+        assert!(disassemble_word(0, Xlen::Rv64, false).starts_with(".word"));
+        assert_eq!(disassemble_word(0x0010_0073, Xlen::Rv32, true), "ebreak");
+    }
+
+    #[test]
+    fn every_decodable_word_disassembles() {
+        // Fuzz a pile of words; whatever decodes must render non-empty.
+        let mut rng = hulkv_sim::SplitMix64::new(42);
+        for _ in 0..20_000 {
+            let w = rng.next_u64() as u32;
+            for (xlen, xp) in [(Xlen::Rv32, true), (Xlen::Rv64, false)] {
+                if let Some(i) = crate::decode::decode(w, xlen, xp) {
+                    assert!(!disassemble(&i).is_empty());
+                }
+            }
+        }
+    }
+}

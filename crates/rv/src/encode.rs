@@ -1,0 +1,623 @@
+//! Instruction encoding: [`Inst`] → 32-bit word.
+//!
+//! Standard RV32/RV64 IMAFD+Zicsr instructions use the real RISC-V
+//! encodings. Xpulp instructions use the custom-0/1/2/3 opcode spaces with
+//! the layout documented in [`mod@crate::decode`]; [`encode`] and
+//! [`crate::decode::decode`] are exact mirrors, which the property tests
+//! verify by round-tripping.
+
+use crate::inst::*;
+
+const OP_LOAD: u32 = 0x03;
+const OP_LOAD_FP: u32 = 0x07;
+const OP_CUSTOM0: u32 = 0x0B;
+const OP_MISC_MEM: u32 = 0x0F;
+const OP_IMM: u32 = 0x13;
+const OP_AUIPC: u32 = 0x17;
+const OP_IMM_32: u32 = 0x1B;
+const OP_STORE: u32 = 0x23;
+const OP_STORE_FP: u32 = 0x27;
+const OP_CUSTOM1: u32 = 0x2B;
+const OP_AMO: u32 = 0x2F;
+const OP_OP: u32 = 0x33;
+const OP_LUI: u32 = 0x37;
+const OP_OP_32: u32 = 0x3B;
+const OP_MADD: u32 = 0x43;
+const OP_MSUB: u32 = 0x47;
+const OP_NMSUB: u32 = 0x4B;
+const OP_NMADD: u32 = 0x4F;
+const OP_FP: u32 = 0x53;
+const OP_CUSTOM2: u32 = 0x5B;
+const OP_BRANCH: u32 = 0x63;
+const OP_JALR: u32 = 0x67;
+const OP_JAL: u32 = 0x6F;
+const OP_SYSTEM: u32 = 0x73;
+const OP_CUSTOM3: u32 = 0x7B;
+
+fn r_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, rs2: u32, funct7: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, imm: i64) -> Result<u32, RvError> {
+    check_imm(imm, 12)?;
+    let imm = (imm as u32) & 0xFFF;
+    Ok((imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode)
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i64) -> Result<u32, RvError> {
+    check_imm(imm, 12)?;
+    let imm = (imm as u32) & 0xFFF;
+    Ok(((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode)
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i64) -> Result<u32, RvError> {
+    if imm % 2 != 0 {
+        return Err(RvError::Encode(format!("branch offset {imm} is odd")));
+    }
+    check_imm(imm, 13)?;
+    let imm = (imm as u32) & 0x1FFF;
+    let b12 = (imm >> 12) & 1;
+    let b11 = (imm >> 11) & 1;
+    let b10_5 = (imm >> 5) & 0x3F;
+    let b4_1 = (imm >> 1) & 0xF;
+    Ok((b12 << 31)
+        | (b10_5 << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (b4_1 << 8)
+        | (b11 << 7)
+        | opcode)
+}
+
+fn u_type(opcode: u32, rd: u32, imm: i64) -> Result<u32, RvError> {
+    // imm is the value placed in bits [31:12].
+    if !(-(1 << 19)..(1 << 19)).contains(&imm) {
+        return Err(RvError::Encode(format!("U-type immediate {imm} out of range")));
+    }
+    Ok((((imm as u32) & 0xF_FFFF) << 12) | (rd << 7) | opcode)
+}
+
+fn j_type(opcode: u32, rd: u32, imm: i64) -> Result<u32, RvError> {
+    if imm % 2 != 0 {
+        return Err(RvError::Encode(format!("jump offset {imm} is odd")));
+    }
+    check_imm(imm, 21)?;
+    let imm = (imm as u32) & 0x1F_FFFF;
+    let b20 = (imm >> 20) & 1;
+    let b19_12 = (imm >> 12) & 0xFF;
+    let b11 = (imm >> 11) & 1;
+    let b10_1 = (imm >> 1) & 0x3FF;
+    Ok((b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) | (rd << 7) | opcode)
+}
+
+fn check_imm(imm: i64, bits: u32) -> Result<(), RvError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if imm < min || imm > max {
+        return Err(RvError::Encode(format!(
+            "immediate {imm} does not fit in {bits} signed bits"
+        )));
+    }
+    Ok(())
+}
+
+fn load_funct3(w: LoadWidth) -> u32 {
+    match w {
+        LoadWidth::B => 0b000,
+        LoadWidth::H => 0b001,
+        LoadWidth::W => 0b010,
+        LoadWidth::D => 0b011,
+        LoadWidth::Bu => 0b100,
+        LoadWidth::Hu => 0b101,
+        LoadWidth::Wu => 0b110,
+    }
+}
+
+fn store_funct3(w: StoreWidth) -> u32 {
+    match w {
+        StoreWidth::B => 0b000,
+        StoreWidth::H => 0b001,
+        StoreWidth::W => 0b010,
+        StoreWidth::D => 0b011,
+    }
+}
+
+fn branch_funct3(c: BranchCond) -> u32 {
+    match c {
+        BranchCond::Eq => 0b000,
+        BranchCond::Ne => 0b001,
+        BranchCond::Lt => 0b100,
+        BranchCond::Ge => 0b101,
+        BranchCond::Ltu => 0b110,
+        BranchCond::Geu => 0b111,
+    }
+}
+
+fn alu_funct(op: AluOp) -> (u32, u32) {
+    // (funct3, funct7)
+    match op {
+        AluOp::Add => (0b000, 0b0000000),
+        AluOp::Sub => (0b000, 0b0100000),
+        AluOp::Sll => (0b001, 0b0000000),
+        AluOp::Slt => (0b010, 0b0000000),
+        AluOp::Sltu => (0b011, 0b0000000),
+        AluOp::Xor => (0b100, 0b0000000),
+        AluOp::Srl => (0b101, 0b0000000),
+        AluOp::Sra => (0b101, 0b0100000),
+        AluOp::Or => (0b110, 0b0000000),
+        AluOp::And => (0b111, 0b0000000),
+    }
+}
+
+fn muldiv_funct3(op: MulDivOp) -> u32 {
+    match op {
+        MulDivOp::Mul => 0b000,
+        MulDivOp::Mulh => 0b001,
+        MulDivOp::Mulhsu => 0b010,
+        MulDivOp::Mulhu => 0b011,
+        MulDivOp::Div => 0b100,
+        MulDivOp::Divu => 0b101,
+        MulDivOp::Rem => 0b110,
+        MulDivOp::Remu => 0b111,
+    }
+}
+
+fn amo_funct5(op: AmoOp) -> u32 {
+    match op {
+        AmoOp::Add => 0b00000,
+        AmoOp::Swap => 0b00001,
+        AmoOp::Xor => 0b00100,
+        AmoOp::Or => 0b01000,
+        AmoOp::And => 0b01100,
+        AmoOp::Min => 0b10000,
+        AmoOp::Max => 0b10100,
+        AmoOp::Minu => 0b11000,
+        AmoOp::Maxu => 0b11100,
+    }
+}
+
+fn fp_fmt_bits(fmt: FpFmt) -> u32 {
+    match fmt {
+        FpFmt::S => 0,
+        FpFmt::D => 1,
+    }
+}
+
+pub(crate) fn simd_op_index(op: SimdOp) -> u32 {
+    match op {
+        SimdOp::Add => 0,
+        SimdOp::Sub => 1,
+        SimdOp::Avg => 2,
+        SimdOp::Avgu => 3,
+        SimdOp::Min => 4,
+        SimdOp::Minu => 5,
+        SimdOp::Max => 6,
+        SimdOp::Maxu => 7,
+        SimdOp::Srl => 8,
+        SimdOp::Sra => 9,
+        SimdOp::And => 10,
+        SimdOp::Or => 11,
+        SimdOp::Xor => 12,
+        SimdOp::Abs => 13,
+        SimdOp::Dotup => 14,
+        SimdOp::Dotusp => 15,
+        SimdOp::Dotsp => 16,
+        SimdOp::Sdotup => 17,
+        SimdOp::Sdotusp => 18,
+        SimdOp::Sdotsp => 19,
+        SimdOp::Extract => 20,
+        SimdOp::Insert => 21,
+        SimdOp::Shuffle => 22,
+    }
+}
+
+pub(crate) fn simd_fp_op_index(op: SimdFpOp) -> u32 {
+    match op {
+        SimdFpOp::Add => 0,
+        SimdFpOp::Sub => 1,
+        SimdFpOp::Mul => 2,
+        SimdFpOp::Mac => 3,
+        SimdFpOp::Min => 4,
+        SimdFpOp::Max => 5,
+        SimdFpOp::DotpexS => 6,
+    }
+}
+
+pub(crate) fn pulp_alu_index(op: PulpAluOp) -> u32 {
+    match op {
+        PulpAluOp::Min => 0,
+        PulpAluOp::Max => 1,
+        PulpAluOp::Minu => 2,
+        PulpAluOp::Maxu => 3,
+        PulpAluOp::Abs => 4,
+        PulpAluOp::Exths => 5,
+        PulpAluOp::Exthz => 6,
+        PulpAluOp::Extbs => 7,
+        PulpAluOp::Extbz => 8,
+        PulpAluOp::Clip => 9,
+        PulpAluOp::Cnt => 10,
+        PulpAluOp::Ff1 => 11,
+        PulpAluOp::Fl1 => 12,
+        PulpAluOp::Ror => 13,
+    }
+}
+
+/// Encodes a decoded instruction into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`RvError::Encode`] when an operand does not fit its field
+/// (immediate out of range, odd branch offset…).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::inst::{AluOp, Inst, Reg};
+///
+/// // addi a0, a0, 1 == 0x00150513
+/// let w = hulkv_rv::encode(&Inst::OpImm {
+///     op: AluOp::Add,
+///     rd: Reg::A0,
+///     rs1: Reg::A0,
+///     imm: 1,
+/// })?;
+/// assert_eq!(w, 0x0015_0513);
+/// # Ok::<(), hulkv_rv::RvError>(())
+/// ```
+pub fn encode(inst: &Inst) -> Result<u32, RvError> {
+    let r = |reg: Reg| reg.index() as u32;
+    let fr = |reg: FReg| reg.0 as u32;
+    match *inst {
+        Inst::Lui { rd, imm } => u_type(OP_LUI, r(rd), imm),
+        Inst::Auipc { rd, imm } => u_type(OP_AUIPC, r(rd), imm),
+        Inst::Jal { rd, offset } => j_type(OP_JAL, r(rd), offset),
+        Inst::Jalr { rd, rs1, offset } => i_type(OP_JALR, r(rd), 0, r(rs1), offset),
+        Inst::Branch { cond, rs1, rs2, offset } => {
+            b_type(OP_BRANCH, branch_funct3(cond), r(rs1), r(rs2), offset)
+        }
+        Inst::Load { width, rd, rs1, offset } => {
+            i_type(OP_LOAD, r(rd), load_funct3(width), r(rs1), offset)
+        }
+        Inst::Store { width, rs2, rs1, offset } => {
+            s_type(OP_STORE, store_funct3(width), r(rs1), r(rs2), offset)
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            let (f3, f7) = alu_funct(op);
+            match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    if !(0..64).contains(&imm) {
+                        return Err(RvError::Encode(format!("shift amount {imm} out of range")));
+                    }
+                    Ok(r_type(OP_IMM, r(rd), f3, r(rs1), (imm as u32) & 0x1F, f7 | ((imm as u32 >> 5) & 1)))
+                }
+                AluOp::Sub => Err(RvError::Encode("subi does not exist; use addi".into())),
+                _ => i_type(OP_IMM, r(rd), f3, r(rs1), imm),
+            }
+        }
+        Inst::OpImm32 { op, rd, rs1, imm } => {
+            let (f3, f7) = alu_funct(op);
+            match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    if !(0..32).contains(&imm) {
+                        return Err(RvError::Encode(format!("shift amount {imm} out of range")));
+                    }
+                    Ok(r_type(OP_IMM_32, r(rd), f3, r(rs1), imm as u32, f7))
+                }
+                AluOp::Sub => Err(RvError::Encode("subiw does not exist".into())),
+                _ => i_type(OP_IMM_32, r(rd), f3, r(rs1), imm),
+            }
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let (f3, f7) = alu_funct(op);
+            Ok(r_type(OP_OP, r(rd), f3, r(rs1), r(rs2), f7))
+        }
+        Inst::Op32 { op, rd, rs1, rs2 } => {
+            let (f3, f7) = alu_funct(op);
+            Ok(r_type(OP_OP_32, r(rd), f3, r(rs1), r(rs2), f7))
+        }
+        Inst::MulDiv { op, rd, rs1, rs2 } => {
+            Ok(r_type(OP_OP, r(rd), muldiv_funct3(op), r(rs1), r(rs2), 0b0000001))
+        }
+        Inst::MulDiv32 { op, rd, rs1, rs2 } => {
+            Ok(r_type(OP_OP_32, r(rd), muldiv_funct3(op), r(rs1), r(rs2), 0b0000001))
+        }
+        Inst::LoadReserved { double, rd, rs1 } => {
+            let f3 = if double { 0b011 } else { 0b010 };
+            Ok(r_type(OP_AMO, r(rd), f3, r(rs1), 0, 0b00010 << 2))
+        }
+        Inst::StoreConditional { double, rd, rs1, rs2 } => {
+            let f3 = if double { 0b011 } else { 0b010 };
+            Ok(r_type(OP_AMO, r(rd), f3, r(rs1), r(rs2), 0b00011 << 2))
+        }
+        Inst::Amo { op, double, rd, rs1, rs2 } => {
+            let f3 = if double { 0b011 } else { 0b010 };
+            Ok(r_type(OP_AMO, r(rd), f3, r(rs1), r(rs2), amo_funct5(op) << 2))
+        }
+        Inst::Fence => Ok(OP_MISC_MEM),
+        Inst::FenceI => Ok(OP_MISC_MEM | (0b001 << 12)),
+        Inst::Ecall => Ok(0x0000_0073),
+        Inst::Ebreak => Ok(0x0010_0073),
+        Inst::Mret => Ok(0x3020_0073),
+        Inst::Sret => Ok(0x1020_0073),
+        Inst::Wfi => Ok(0x1050_0073),
+        Inst::Csr { op, rd, csr, src } => {
+            let base = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+            };
+            let (f3, field) = match src {
+                CsrSrc::Reg(rs1) => (base, r(rs1)),
+                CsrSrc::Imm(v) => {
+                    if v >= 32 {
+                        return Err(RvError::Encode(format!("CSR immediate {v} out of range")));
+                    }
+                    (base | 0b100, v as u32)
+                }
+            };
+            Ok(((csr as u32) << 20) | (field << 15) | (f3 << 12) | (r(rd) << 7) | OP_SYSTEM)
+        }
+
+        // --- F/D ---
+        Inst::FpLoad { fmt, rd, rs1, offset } => {
+            let f3 = match fmt {
+                FpFmt::S => 0b010,
+                FpFmt::D => 0b011,
+            };
+            i_type(OP_LOAD_FP, fr(rd), f3, r(rs1), offset)
+        }
+        Inst::FpStore { fmt, rs2, rs1, offset } => {
+            let f3 = match fmt {
+                FpFmt::S => 0b010,
+                FpFmt::D => 0b011,
+            };
+            s_type(OP_STORE_FP, f3, r(rs1), fr(rs2), offset)
+        }
+        Inst::FpOp3 { fmt, op, rd, rs1, rs2 } => {
+            let fb = fp_fmt_bits(fmt);
+            let (f7, f3, rs2v) = match op {
+                FpOp::Add => (fb, 0b000, fr(rs2)),
+                FpOp::Sub => (0b0000100 | fb, 0b000, fr(rs2)),
+                FpOp::Mul => (0b0001000 | fb, 0b000, fr(rs2)),
+                FpOp::Div => (0b0001100 | fb, 0b000, fr(rs2)),
+                FpOp::Sqrt => (0b0101100 | fb, 0b000, 0),
+                FpOp::SgnJ => (0b0010000 | fb, 0b000, fr(rs2)),
+                FpOp::SgnJn => (0b0010000 | fb, 0b001, fr(rs2)),
+                FpOp::SgnJx => (0b0010000 | fb, 0b010, fr(rs2)),
+                FpOp::Min => (0b0010100 | fb, 0b000, fr(rs2)),
+                FpOp::Max => (0b0010100 | fb, 0b001, fr(rs2)),
+            };
+            Ok(r_type(OP_FP, fr(rd), f3, fr(rs1), rs2v, f7))
+        }
+        Inst::FpFma { fmt, rd, rs1, rs2, rs3, negate_product, negate_addend } => {
+            let opcode = match (negate_product, negate_addend) {
+                (false, false) => OP_MADD,
+                (false, true) => OP_MSUB,
+                (true, false) => OP_NMSUB,
+                (true, true) => OP_NMADD,
+            };
+            let fmt2 = fp_fmt_bits(fmt);
+            Ok(((fr(rs3)) << 27)
+                | (fmt2 << 25)
+                | (fr(rs2) << 20)
+                | (fr(rs1) << 15)
+                | (fr(rd) << 7)
+                | opcode)
+        }
+        Inst::FpCmp { fmt, cmp, rd, rs1, rs2 } => {
+            let f3 = match cmp {
+                FpCmp::Le => 0b000,
+                FpCmp::Lt => 0b001,
+                FpCmp::Eq => 0b010,
+            };
+            Ok(r_type(OP_FP, r(rd), f3, fr(rs1), fr(rs2), 0b1010000 | fp_fmt_bits(fmt)))
+        }
+        Inst::FpToInt { fmt, rd, rs1, signed, wide } => {
+            let rs2 = match (wide, signed) {
+                (false, true) => 0b00000,
+                (false, false) => 0b00001,
+                (true, true) => 0b00010,
+                (true, false) => 0b00011,
+            };
+            Ok(r_type(OP_FP, r(rd), 0b001, fr(rs1), rs2, 0b1100000 | fp_fmt_bits(fmt)))
+        }
+        Inst::IntToFp { fmt, rd, rs1, signed, wide } => {
+            let rs2 = match (wide, signed) {
+                (false, true) => 0b00000,
+                (false, false) => 0b00001,
+                (true, true) => 0b00010,
+                (true, false) => 0b00011,
+            };
+            Ok(r_type(OP_FP, fr(rd), 0b000, r(rs1), rs2, 0b1101000 | fp_fmt_bits(fmt)))
+        }
+        Inst::FpCvt { to, rd, rs1 } => {
+            // fcvt.s.d: funct7 0100000 rs2=1; fcvt.d.s: 0100001 rs2=0.
+            let (f7, rs2) = match to {
+                FpFmt::S => (0b0100000, 1),
+                FpFmt::D => (0b0100001, 0),
+            };
+            Ok(r_type(OP_FP, fr(rd), 0b000, fr(rs1), rs2, f7))
+        }
+        Inst::FpMvToInt { fmt, rd, rs1 } => {
+            Ok(r_type(OP_FP, r(rd), 0b000, fr(rs1), 0, 0b1110000 | fp_fmt_bits(fmt)))
+        }
+        Inst::FpMvFromInt { fmt, rd, rs1 } => {
+            Ok(r_type(OP_FP, fr(rd), 0b000, r(rs1), 0, 0b1111000 | fp_fmt_bits(fmt)))
+        }
+
+        // --- Xpulp ---
+        Inst::LoadPost { width, rd, rs1, offset } => {
+            if matches!(width, LoadWidth::D | LoadWidth::Wu) {
+                return Err(RvError::Encode("post-increment loads are RV32-only".into()));
+            }
+            i_type(OP_CUSTOM0, r(rd), load_funct3(width), r(rs1), offset)
+        }
+        Inst::StorePost { width, rs2, rs1, offset } => {
+            if matches!(width, StoreWidth::D) {
+                return Err(RvError::Encode("post-increment stores are RV32-only".into()));
+            }
+            s_type(OP_CUSTOM1, store_funct3(width), r(rs1), r(rs2), offset)
+        }
+        Inst::Mac { rd, rs1, rs2, subtract } => {
+            let f7 = if subtract { 1 } else { 0 };
+            Ok(r_type(OP_CUSTOM1, r(rd), 0b111, r(rs1), r(rs2), f7))
+        }
+        Inst::PulpAlu { op, rd, rs1, rs2 } => {
+            Ok(r_type(OP_CUSTOM3, r(rd), 0b100, r(rs1), r(rs2), pulp_alu_index(op)))
+        }
+        Inst::HwLoop { op, loop_idx, value, rs1 } => {
+            if loop_idx > 1 {
+                return Err(RvError::Encode(format!("hardware loop index {loop_idx} > 1")));
+            }
+            let rd = loop_idx as u32;
+            match op {
+                HwLoopOp::Starti => i_type(OP_CUSTOM3, rd, 0b000, 0, value),
+                HwLoopOp::Endi => i_type(OP_CUSTOM3, rd, 0b001, 0, value),
+                HwLoopOp::Count => Ok(r_type(OP_CUSTOM3, rd, 0b010, r(rs1), 0, 0)),
+                HwLoopOp::Counti => {
+                    if !(0..4096).contains(&value) {
+                        return Err(RvError::Encode(format!(
+                            "hardware loop count {value} does not fit in 12 bits"
+                        )));
+                    }
+                    Ok((((value as u32) & 0xFFF) << 20) | (0b011 << 12) | (rd << 7) | OP_CUSTOM3)
+                }
+            }
+        }
+        Inst::Simd { op, fmt, rd, rs1, rs2, scalar_rs2 } => {
+            let f3 = match (fmt, scalar_rs2) {
+                (SimdFmt::B, false) => 0b000,
+                (SimdFmt::H, false) => 0b001,
+                (SimdFmt::B, true) => 0b010,
+                (SimdFmt::H, true) => 0b011,
+            };
+            Ok(r_type(OP_CUSTOM2, r(rd), f3, r(rs1), r(rs2), simd_op_index(op)))
+        }
+        Inst::SimdFp { op, rd, rs1, rs2 } => {
+            Ok(r_type(OP_CUSTOM2, r(rd), 0b100, r(rs1), r(rs2), simd_fp_op_index(op)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_golden_words() {
+        // Cross-checked against riscv-gnu binutils output.
+        let cases: Vec<(Inst, u32)> = vec![
+            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 }, 0x0015_0513),
+            (Inst::Lui { rd: Reg::T0, imm: 0x12345 }, 0x1234_52B7),
+            (Inst::Jal { rd: Reg::Ra, offset: 8 }, 0x0080_00EF),
+            (Inst::Load { width: LoadWidth::W, rd: Reg::A5, rs1: Reg::Sp, offset: 12 }, 0x00C1_2783),
+            (Inst::Store { width: StoreWidth::D, rs2: Reg::A0, rs1: Reg::Sp, offset: 0 }, 0x00A1_3023),
+            (Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }, 0x00C5_8533),
+            (Inst::Op { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }, 0x40C5_8533),
+            (Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }, 0x02C5_8533),
+            (Inst::Ecall, 0x0000_0073),
+            (Inst::Ebreak, 0x0010_0073),
+        ];
+        for (inst, expect) in cases {
+            assert_eq!(encode(&inst).unwrap(), expect, "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn branch_offset_encoding() {
+        // beq a0, a1, +16 → 00b50863
+        let w = encode(&Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 16,
+        })
+        .unwrap();
+        assert_eq!(w, 0x00B5_0863);
+        // Negative offset.
+        let w = encode(&Inst::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::T0,
+            rs2: Reg::Zero,
+            offset: -4,
+        })
+        .unwrap();
+        assert_eq!(w, 0xFE02_9EE3);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(encode(&Inst::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 5000,
+        })
+        .is_err());
+        assert!(encode(&Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A0,
+            offset: 3,
+        })
+        .is_err());
+        assert!(encode(&Inst::HwLoop {
+            op: HwLoopOp::Counti,
+            loop_idx: 2,
+            value: 4,
+            rs1: Reg::Zero,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn shift_immediates() {
+        // slli a0, a0, 33 (RV64) has funct7 bit set for shamt[5].
+        let w = encode(&Inst::OpImm {
+            op: AluOp::Sll,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 33,
+        })
+        .unwrap();
+        assert_eq!(w, 0x0215_1513);
+        assert!(encode(&Inst::OpImm {
+            op: AluOp::Srl,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 64,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn custom_opcodes_in_custom_space() {
+        let w = encode(&Inst::Mac {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+            subtract: false,
+        })
+        .unwrap();
+        assert_eq!(w & 0x7F, 0x2B);
+        let w = encode(&Inst::Simd {
+            op: SimdOp::Sdotsp,
+            fmt: SimdFmt::B,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+            scalar_rs2: false,
+        })
+        .unwrap();
+        assert_eq!(w & 0x7F, 0x5B);
+        let w = encode(&Inst::HwLoop {
+            op: HwLoopOp::Counti,
+            loop_idx: 0,
+            value: 100,
+            rs1: Reg::Zero,
+        })
+        .unwrap();
+        assert_eq!(w & 0x7F, 0x7B);
+    }
+}

@@ -1,0 +1,188 @@
+//! IEEE 754 binary16 (half-precision) conversion helpers.
+//!
+//! The PMCA's FPUs support FP16 with SIMD: two half-precision lanes packed
+//! in a 32-bit integer register, as in the RI5CY "smallFloat" extension.
+//! The interpreter computes in `f32` and converts at the register boundary,
+//! which matches hardware that widens internally, rounds-to-nearest-even on
+//! the way out.
+
+/// Converts an IEEE 754 binary16 bit pattern to `f32`.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::fp16::f16_to_f32;
+///
+/// assert_eq!(f16_to_f32(0x3C00), 1.0);
+/// assert_eq!(f16_to_f32(0xC000), -2.0);
+/// assert!(f16_to_f32(0x7C00).is_infinite());
+/// ```
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = (bits >> 15) as u32;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let frac = (bits & 0x3FF) as u32;
+    let out = match exp {
+        0 => {
+            if frac == 0 {
+                sign << 31
+            } else {
+                // Subnormal: renormalize.
+                let mut e = 127 - 15 + 1;
+                let mut f = frac;
+                while f & 0x400 == 0 {
+                    f <<= 1;
+                    e -= 1;
+                }
+                (sign << 31) | ((e as u32) << 23) | ((f & 0x3FF) << 13)
+            }
+        }
+        0x1F => (sign << 31) | 0x7F80_0000 | (frac << 13),
+        _ => (sign << 31) | ((exp + 127 - 15) << 23) | (frac << 13),
+    };
+    f32::from_bits(out)
+}
+
+/// Converts an `f32` to the nearest IEEE 754 binary16 bit pattern
+/// (round-to-nearest-even, overflow to infinity).
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::fp16::{f16_to_f32, f32_to_f16};
+///
+/// assert_eq!(f32_to_f16(1.0), 0x3C00);
+/// assert_eq!(f16_to_f32(f32_to_f16(0.333_f32)), 0.33300781);
+/// ```
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 31) as u16) << 15;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        let f = if frac != 0 { 0x200 } else { 0 };
+        return sign | 0x7C00 | f;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal range: round the 23-bit fraction to 10 bits.
+        let mut f = frac >> 13;
+        let rem = frac & 0x1FFF;
+        if rem > 0x1000 || (rem == 0x1000 && f & 1 == 1) {
+            f += 1;
+        }
+        let mut e = (unbiased + 15) as u32;
+        if f == 0x400 {
+            f = 0;
+            e += 1;
+            if e >= 0x1F {
+                return sign | 0x7C00;
+            }
+        }
+        return sign | ((e as u16) << 10) | (f as u16);
+    }
+    if unbiased >= -24 {
+        // Subnormal half.
+        let shift = (-14 - unbiased) as u32;
+        let mant = 0x80_0000 | frac;
+        let total_shift = 13 + shift;
+        let mut f = mant >> total_shift;
+        let rem = mant & ((1 << total_shift) - 1);
+        let half = 1u32 << (total_shift - 1);
+        if rem > half || (rem == half && f & 1 == 1) {
+            f += 1;
+        }
+        return sign | f as u16;
+    }
+    sign // underflow to zero
+}
+
+/// Splits a 32-bit register into two f16 lanes `(low, high)` as `f32`.
+pub fn unpack2(reg: u32) -> (f32, f32) {
+    (f16_to_f32(reg as u16), f16_to_f32((reg >> 16) as u16))
+}
+
+/// Packs two `f32` lanes back into a 32-bit register (low, high).
+pub fn pack2(lo: f32, hi: f32) -> u32 {
+    (f32_to_f16(lo) as u32) | ((f32_to_f16(hi) as u32) << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25, 1024.0] {
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        assert_eq!(f32_to_f16(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16(f32::NEG_INFINITY), 0xFC00);
+        assert!(f16_to_f32(0x7E00).is_nan());
+        assert!(f32_to_f16(f32::NAN) & 0x7C00 == 0x7C00);
+        assert!(f32_to_f16(f32::NAN) & 0x3FF != 0);
+        // Negative zero preserves sign.
+        assert_eq!(f32_to_f16(-0.0), 0x8000);
+        assert_eq!(f16_to_f32(0x8000), 0.0);
+        assert!(f16_to_f32(0x8000).is_sign_negative());
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(f32_to_f16(70000.0), 0x7C00);
+        assert_eq!(f32_to_f16(-70000.0), 0xFC00);
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal half: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16(tiny), 1);
+        assert_eq!(f16_to_f32(1), tiny);
+        // Largest subnormal.
+        let big_sub = f16_to_f32(0x03FF);
+        assert!(big_sub < 2.0f32.powi(-14));
+        assert_eq!(f32_to_f16(big_sub), 0x03FF);
+        // Underflow to zero.
+        assert_eq!(f32_to_f16(1e-10), 0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0009765625 = 1 + 2^-10 exactly representable; the halfway point
+        // between it and 1.0 rounds to even (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16(halfway), 0x3C00);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f32_to_f16(above), 0x3C01);
+    }
+
+    #[test]
+    fn pack_unpack() {
+        let r = pack2(1.5, -2.0);
+        let (lo, hi) = unpack2(r);
+        assert_eq!(lo, 1.5);
+        assert_eq!(hi, -2.0);
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_round_trip_via_f32() {
+        // Every finite f16 is exactly representable in f32.
+        for bits in 0..=0xFFFFu16 {
+            let v = f16_to_f32(bits);
+            if v.is_nan() {
+                continue;
+            }
+            assert_eq!(f32_to_f16(v), bits, "bits {bits:#06x} -> {v}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! RISC-V instruction-set simulators for the HULK-V SoC model.
+//!
+//! HULK-V pairs two very different RISC-V machines:
+//!
+//! * the **CVA6 host**: a 6-stage, single-issue, in-order 64-bit core
+//!   implementing RV64GC with Sv39 virtual memory, three privilege levels
+//!   and physical memory protection — the Linux-capable side;
+//! * the **PMCA cores**: eight CV32E4/RI5CY-class 32-bit cores with the
+//!   Xpulp DSP extension — hardware loops, post-increment load/store,
+//!   MAC, packed int8/int16 SIMD (including dot products) and packed FP16
+//!   SIMD — the energy-efficiency side.
+//!
+//! This crate implements both as full decode–execute interpreters over a
+//! shared [`Core`] engine, together with the toolchain needed to program
+//! them from Rust: a programmatic assembler ([`Asm`]) with labels, an
+//! encoder/decoder pair for every supported instruction, a CSR file,
+//! an Sv39 page-table walker, and per-microarchitecture cost models.
+//!
+//! Standard RV32/RV64 IMAFD+Zicsr instructions use their real encodings.
+//! The Xpulp extension instructions use a self-consistent encoding in the
+//! custom-0/1/2/3 opcode spaces (documented in [`mod@decode`]); since this
+//! crate provides both the assembler and the simulator, the pair forms a
+//! closed toolchain exactly like the paper's LLVM fork + RTL pair.
+//!
+//! # Example
+//!
+//! ```
+//! use hulkv_rv::{Asm, Core, CostModel, FlatBus, Reg, Xlen};
+//!
+//! // Sum 1..=10 on an RV64 core.
+//! let mut a = Asm::new(Xlen::Rv64);
+//! a.li(Reg::A0, 0);
+//! a.li(Reg::T0, 10);
+//! let top = a.label();
+//! a.bind(top);
+//! a.add(Reg::A0, Reg::A0, Reg::T0);
+//! a.addi(Reg::T0, Reg::T0, -1);
+//! a.bnez(Reg::T0, top);
+//! a.ebreak();
+//!
+//! let mut bus = FlatBus::new(4096);
+//! bus.load_words(0, &a.assemble()?);
+//! let mut core = Core::new(Xlen::Rv64, CostModel::cva6());
+//! core.run(&mut bus, 10_000)?;
+//! assert_eq!(core.reg(Reg::A0), 55);
+//! # Ok::<(), hulkv_rv::RvError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod compressed;
+pub mod core;
+pub mod csr;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod fp16;
+pub mod inst;
+pub mod mmu;
+pub mod parse;
+pub mod timing;
+
+pub use crate::core::{Core, CoreBus, FlatBus, StepOutcome, TraceEntry};
+pub use asm::{Asm, Label};
+pub use csr::{CsrFile, PrivMode};
+pub use decode::decode;
+pub use disasm::{disassemble, disassemble_word};
+pub use encode::encode;
+pub use parse::parse_program;
+pub use inst::{Inst, Reg, RvError, Xlen};
+pub use timing::CostModel;

@@ -1,0 +1,299 @@
+//! Sv39 virtual-memory translation (the paging mode of CVA6).
+
+use crate::csr::PrivMode;
+
+/// The kind of access being translated, which selects the permission bit
+/// that must be set in the leaf PTE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (needs X).
+    Fetch,
+    /// Data load (needs R).
+    Load,
+    /// Data store (needs W and D).
+    Store,
+}
+
+/// Why a translation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkFault {
+    /// A PTE was invalid, malformed, or lacked permissions.
+    PageFault,
+    /// A PTE read from physical memory failed.
+    AccessFault,
+}
+
+const PTE_V: u64 = 1 << 0;
+const PTE_R: u64 = 1 << 1;
+const PTE_W: u64 = 1 << 2;
+const PTE_X: u64 = 1 << 3;
+const PTE_U: u64 = 1 << 4;
+const PTE_A: u64 = 1 << 6;
+const PTE_D: u64 = 1 << 7;
+
+/// Translates `vaddr` under Sv39 with the given `satp`, walking page tables
+/// through `read_pte` (a physical 8-byte read — the interpreter charges its
+/// latency through the cache hierarchy).
+///
+/// Returns the physical address. Machine mode and `satp.MODE == Bare`
+/// translate identically (the caller short-circuits those; this function
+/// assumes Sv39 is active).
+///
+/// The walker follows the privileged-spec rules CVA6 implements: invalid or
+/// write-only PTEs fault, leaf permissions are checked against the access
+/// kind and privilege (with no MXR/SUM modeling — Linux-style mappings keep
+/// those clear for the workloads here), superpages must be aligned, and a
+/// clear A bit (or clear D on a store) faults so software can fix it up.
+///
+/// # Errors
+///
+/// [`WalkFault::PageFault`] per the rules above; [`WalkFault::AccessFault`]
+/// when `read_pte` fails.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::mmu::{translate_sv39, AccessKind};
+/// use hulkv_rv::PrivMode;
+///
+/// // One gigapage: VA 0 → PA 0, RWX, A|D set.
+/// let root = 0x1000u64;
+/// let pte = (0u64 >> 12) << 10 | 0xCF; // PPN 0, DAXWRV
+/// let satp = (8u64 << 60) | (root >> 12);
+/// let pa = translate_sv39(0x1234, satp, AccessKind::Load, PrivMode::Supervisor, |addr| {
+///     assert_eq!(addr, root); // level-2 entry 0
+///     Ok(pte)
+/// })
+/// .unwrap();
+/// assert_eq!(pa, 0x1234);
+/// ```
+pub fn translate_sv39<F>(
+    vaddr: u64,
+    satp: u64,
+    kind: AccessKind,
+    mode: PrivMode,
+    mut read_pte: F,
+) -> Result<u64, WalkFault>
+where
+    F: FnMut(u64) -> Result<u64, WalkFault>,
+{
+    // Sv39 requires VA bits 63:39 to equal bit 38.
+    let sext = (vaddr as i64) << 25 >> 25;
+    if sext as u64 != vaddr {
+        return Err(WalkFault::PageFault);
+    }
+
+    let mut table = (satp & ((1u64 << 44) - 1)) << 12;
+    let vpn = [
+        (vaddr >> 12) & 0x1FF,
+        (vaddr >> 21) & 0x1FF,
+        (vaddr >> 30) & 0x1FF,
+    ];
+
+    for level in (0..3).rev() {
+        let pte_addr = table + vpn[level] * 8;
+        let pte = read_pte(pte_addr)?;
+        if pte & PTE_V == 0 || (pte & PTE_R == 0 && pte & PTE_W != 0) {
+            return Err(WalkFault::PageFault);
+        }
+        let ppn = (pte >> 10) & ((1u64 << 44) - 1);
+        if pte & (PTE_R | PTE_X) == 0 {
+            // Pointer to the next level.
+            if level == 0 {
+                return Err(WalkFault::PageFault);
+            }
+            table = ppn << 12;
+            continue;
+        }
+        // Leaf PTE: permission checks.
+        let ok = match kind {
+            AccessKind::Fetch => pte & PTE_X != 0,
+            AccessKind::Load => pte & PTE_R != 0,
+            AccessKind::Store => pte & PTE_W != 0,
+        };
+        if !ok {
+            return Err(WalkFault::PageFault);
+        }
+        // User pages are not accessible from S (no SUM modeling) and
+        // supervisor pages never from U.
+        match mode {
+            PrivMode::User => {
+                if pte & PTE_U == 0 {
+                    return Err(WalkFault::PageFault);
+                }
+            }
+            PrivMode::Supervisor => {
+                if pte & PTE_U != 0 {
+                    return Err(WalkFault::PageFault);
+                }
+            }
+            PrivMode::Machine => {}
+        }
+        if pte & PTE_A == 0 || (kind == AccessKind::Store && pte & PTE_D == 0) {
+            return Err(WalkFault::PageFault);
+        }
+        // Superpage alignment: low PPN fields must be zero.
+        let low_mask = match level {
+            2 => (1u64 << 18) - 1,
+            1 => (1u64 << 9) - 1,
+            _ => 0,
+        };
+        if ppn & low_mask != 0 {
+            return Err(WalkFault::PageFault);
+        }
+        let page_bits = 12 + 9 * level as u32;
+        let page_mask = (1u64 << page_bits) - 1;
+        return Ok(((ppn << 12) & !page_mask) | (vaddr & page_mask));
+    }
+    Err(WalkFault::PageFault)
+}
+
+/// Whether `satp` selects Sv39 translation.
+pub fn sv39_active(satp: u64, mode: PrivMode) -> bool {
+    mode != PrivMode::Machine && (satp >> 60) == 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Builds a PTE.
+    fn pte(pa: u64, flags: u64) -> u64 {
+        ((pa >> 12) << 10) | flags
+    }
+
+    struct PtMem(HashMap<u64, u64>);
+    impl PtMem {
+        fn reader(&self) -> impl FnMut(u64) -> Result<u64, WalkFault> + '_ {
+            move |addr| self.0.get(&addr).copied().ok_or(WalkFault::AccessFault)
+        }
+    }
+
+    const RWX_AD: u64 = PTE_V | PTE_R | PTE_W | PTE_X | PTE_A | PTE_D;
+
+    fn three_level_map(vaddr: u64, paddr: u64, leaf_flags: u64) -> (PtMem, u64) {
+        let (l2, l1, l0) = (0x10_000u64, 0x11_000u64, 0x12_000u64);
+        let mut m = HashMap::new();
+        let vpn2 = (vaddr >> 30) & 0x1FF;
+        let vpn1 = (vaddr >> 21) & 0x1FF;
+        let vpn0 = (vaddr >> 12) & 0x1FF;
+        m.insert(l2 + vpn2 * 8, pte(l1, PTE_V));
+        m.insert(l1 + vpn1 * 8, pte(l0, PTE_V));
+        m.insert(l0 + vpn0 * 8, pte(paddr, leaf_flags));
+        let satp = (8u64 << 60) | (l2 >> 12);
+        (PtMem(m), satp)
+    }
+
+    #[test]
+    fn three_level_translation() {
+        let (m, satp) = three_level_map(0x4000_1234, 0x8765_4000, RWX_AD);
+        let pa = translate_sv39(0x4000_1234, satp, AccessKind::Load, PrivMode::Supervisor, m.reader())
+            .unwrap();
+        assert_eq!(pa, 0x8765_4234);
+    }
+
+    #[test]
+    fn megapage_translation() {
+        let l2 = 0x10_000u64;
+        let l1 = 0x11_000u64;
+        let mut m = HashMap::new();
+        let vaddr = 0x4020_5678u64;
+        m.insert(l2 + ((vaddr >> 30) & 0x1FF) * 8, pte(l1, PTE_V));
+        // 2 MB leaf at level 1 mapping to PA 0x20_0000.
+        m.insert(l1 + ((vaddr >> 21) & 0x1FF) * 8, pte(0x20_0000, RWX_AD));
+        let satp = (8u64 << 60) | (l2 >> 12);
+        let pa = translate_sv39(vaddr, satp, AccessKind::Fetch, PrivMode::Supervisor, PtMem(m).reader())
+            .unwrap();
+        assert_eq!(pa, 0x20_0000 | (vaddr & 0x1F_FFFF));
+    }
+
+    #[test]
+    fn misaligned_superpage_faults() {
+        let l2 = 0x10_000u64;
+        let mut m = HashMap::new();
+        // Gigapage leaf with non-zero low PPN bits.
+        m.insert(l2, pte(0x1000, RWX_AD));
+        let satp = (8u64 << 60) | (l2 >> 12);
+        let r = translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, PtMem(m).reader());
+        assert_eq!(r, Err(WalkFault::PageFault));
+    }
+
+    #[test]
+    fn permission_faults() {
+        // Read-only page: store faults, load succeeds.
+        let flags = PTE_V | PTE_R | PTE_A | PTE_D;
+        let (m, satp) = three_level_map(0x1000, 0x2000, flags);
+        assert!(translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()).is_ok());
+        assert_eq!(
+            translate_sv39(0x1000, satp, AccessKind::Store, PrivMode::Supervisor, m.reader()),
+            Err(WalkFault::PageFault)
+        );
+        assert_eq!(
+            translate_sv39(0x1000, satp, AccessKind::Fetch, PrivMode::Supervisor, m.reader()),
+            Err(WalkFault::PageFault)
+        );
+    }
+
+    #[test]
+    fn user_supervisor_separation() {
+        let user_flags = RWX_AD | PTE_U;
+        let (m, satp) = three_level_map(0x1000, 0x2000, user_flags);
+        assert!(translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::User, m.reader()).is_ok());
+        // S-mode cannot touch U pages without SUM.
+        assert_eq!(
+            translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()),
+            Err(WalkFault::PageFault)
+        );
+        let (m, satp) = three_level_map(0x1000, 0x2000, RWX_AD);
+        assert_eq!(
+            translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::User, m.reader()),
+            Err(WalkFault::PageFault)
+        );
+    }
+
+    #[test]
+    fn clear_accessed_or_dirty_faults() {
+        let flags = PTE_V | PTE_R | PTE_W | PTE_A; // D clear
+        let (m, satp) = three_level_map(0x1000, 0x2000, flags);
+        assert!(translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()).is_ok());
+        assert_eq!(
+            translate_sv39(0x1000, satp, AccessKind::Store, PrivMode::Supervisor, m.reader()),
+            Err(WalkFault::PageFault)
+        );
+        let flags = PTE_V | PTE_R; // A clear
+        let (m, satp) = three_level_map(0x1000, 0x2000, flags);
+        assert_eq!(
+            translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()),
+            Err(WalkFault::PageFault)
+        );
+    }
+
+    #[test]
+    fn non_canonical_vaddr_faults() {
+        let (m, satp) = three_level_map(0x1000, 0x2000, RWX_AD);
+        assert_eq!(
+            translate_sv39(1u64 << 40, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()),
+            Err(WalkFault::PageFault)
+        );
+    }
+
+    #[test]
+    fn pte_read_failure_propagates() {
+        let m = PtMem(HashMap::new());
+        let satp = 8u64 << 60;
+        assert_eq!(
+            translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()),
+            Err(WalkFault::AccessFault)
+        );
+    }
+
+    #[test]
+    fn sv39_activation() {
+        let satp = 8u64 << 60;
+        assert!(sv39_active(satp, PrivMode::Supervisor));
+        assert!(sv39_active(satp, PrivMode::User));
+        assert!(!sv39_active(satp, PrivMode::Machine));
+        assert!(!sv39_active(0, PrivMode::Supervisor));
+    }
+}

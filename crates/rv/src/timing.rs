@@ -1,0 +1,173 @@
+//! Per-microarchitecture instruction cost models.
+
+use crate::inst::{FpOp, Inst};
+
+/// Issue/execute costs of one core microarchitecture, in core cycles.
+///
+/// The interpreter charges, per retired instruction,
+/// `cost(inst) + taken-branch penalty + memory stalls`, where memory stalls
+/// are whatever the attached [`CoreBus`](crate::CoreBus) reports beyond the
+/// one cycle a pipelined hit hides. With every operand in L1/SPM this makes
+/// both cores CPI ≈ 1 on ALU streams — matching the RTL they model.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::CostModel;
+///
+/// let cva6 = CostModel::cva6();
+/// let ri5cy = CostModel::ri5cy();
+/// assert!(cva6.div >= 10 && ri5cy.div >= 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Model name (reports).
+    pub name: &'static str,
+    /// Default single-issue cost.
+    pub base: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Integer divide/remainder.
+    pub div: u64,
+    /// Extra cycles for a taken branch (pipeline flush minus prediction).
+    pub branch_taken_penalty: u64,
+    /// Extra cycles for `jal`/`jalr`.
+    pub jump_penalty: u64,
+    /// FP add/sub/min/max/compare.
+    pub fp_add: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// Fused multiply-add.
+    pub fp_fma: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// FP square root.
+    pub fp_sqrt: u64,
+    /// CSR access.
+    pub csr: u64,
+}
+
+impl CostModel {
+    /// The CVA6 host: 6-stage in-order single-issue, hardware divider,
+    /// pipelined FPU, branch predictor (modest taken penalty).
+    pub fn cva6() -> Self {
+        CostModel {
+            name: "cva6",
+            base: 1,
+            mul: 2,
+            div: 20,
+            branch_taken_penalty: 2,
+            jump_penalty: 1,
+            fp_add: 2,
+            fp_mul: 3,
+            fp_fma: 4,
+            fp_div: 15,
+            fp_sqrt: 20,
+            csr: 1,
+        }
+    }
+
+    /// A RI5CY/CV32E4 cluster core: 4-stage, single-cycle multiplier and
+    /// SIMD/MAC units, iterative divider, shared single-cycle FPU, and a
+    /// 2-cycle taken-branch penalty. Hardware loops make loop back-edges
+    /// free, which is handled by the interpreter (the `lp.*` setup
+    /// instructions themselves cost `base`).
+    pub fn ri5cy() -> Self {
+        CostModel {
+            name: "ri5cy",
+            base: 1,
+            mul: 1,
+            div: 35,
+            branch_taken_penalty: 2,
+            jump_penalty: 1,
+            fp_add: 1,
+            fp_mul: 1,
+            fp_fma: 1,
+            fp_div: 10,
+            fp_sqrt: 15,
+            csr: 1,
+        }
+    }
+
+    /// Issue/execute cost of `inst`, excluding branch penalties and memory
+    /// stalls.
+    pub fn cost(&self, inst: &Inst) -> u64 {
+        match inst {
+            Inst::MulDiv { op, .. } | Inst::MulDiv32 { op, .. } => match op {
+                crate::inst::MulDivOp::Mul
+                | crate::inst::MulDivOp::Mulh
+                | crate::inst::MulDivOp::Mulhsu
+                | crate::inst::MulDivOp::Mulhu => self.mul,
+                _ => self.div,
+            },
+            Inst::FpOp3 { op, .. } => match op {
+                FpOp::Add | FpOp::Sub | FpOp::Min | FpOp::Max | FpOp::SgnJ | FpOp::SgnJn
+                | FpOp::SgnJx => self.fp_add,
+                FpOp::Mul => self.fp_mul,
+                FpOp::Div => self.fp_div,
+                FpOp::Sqrt => self.fp_sqrt,
+            },
+            Inst::FpFma { .. } => self.fp_fma,
+            Inst::FpCmp { .. } | Inst::FpToInt { .. } | Inst::IntToFp { .. }
+            | Inst::FpCvt { .. } => self.fp_add,
+            Inst::Csr { .. } => self.csr,
+            Inst::Mac { .. } => self.mul,
+            // Packed SIMD and FP16 SIMD are single-cycle units on RI5CY.
+            Inst::Simd { .. } | Inst::SimdFp { .. } => self.base,
+            _ => self.base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::*;
+
+    #[test]
+    fn alu_is_single_cycle() {
+        let m = CostModel::cva6();
+        let add = Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert_eq!(m.cost(&add), 1);
+    }
+
+    #[test]
+    fn div_slower_than_mul() {
+        for m in [CostModel::cva6(), CostModel::ri5cy()] {
+            let mul = Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+            let div = Inst::MulDiv { op: MulDivOp::Div, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+            assert!(m.cost(&div) > m.cost(&mul));
+        }
+    }
+
+    #[test]
+    fn ri5cy_fp_single_cycle() {
+        let m = CostModel::ri5cy();
+        let fma = Inst::FpFma {
+            fmt: FpFmt::S,
+            rd: FReg(0),
+            rs1: FReg(1),
+            rs2: FReg(2),
+            rs3: FReg(0),
+            negate_product: false,
+            negate_addend: false,
+        };
+        assert_eq!(m.cost(&fma), 1);
+        let mac = Inst::Mac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, subtract: false };
+        assert_eq!(m.cost(&mac), 1);
+    }
+
+    #[test]
+    fn simd_single_cycle() {
+        let m = CostModel::ri5cy();
+        let dot = Inst::Simd {
+            op: SimdOp::Sdotsp,
+            fmt: SimdFmt::B,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+            scalar_rs2: false,
+        };
+        assert_eq!(m.cost(&dot), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests for the RISC-V toolchain: encode/decode mirrors,
+//! `li` correctness over arbitrary constants, and SIMD lanes vs scalar
+//! reference semantics.
+
+use hulkv_rv::inst::{
+    AluOp, BranchCond, FReg, FpFmt, FpOp, Inst, LoadWidth, MulDivOp, PulpAluOp, Reg, SimdFmt,
+    SimdOp, StoreWidth, Xlen,
+};
+use hulkv_rv::{decode, encode, Asm, Core, FlatBus};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::from_index)
+}
+
+fn any_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg)
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ]
+}
+
+fn any_inst_rv64() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (any_reg(), -(1i64 << 19)..(1i64 << 19)).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (any_reg(), any_reg(), -2048i64..2048).prop_map(|(rd, rs1, imm)| Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm
+        }),
+        (any_alu_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (any_reg(), any_reg(), -2048i64..2048).prop_map(|(rd, rs1, offset)| Inst::Load {
+            width: LoadWidth::D,
+            rd,
+            rs1,
+            offset
+        }),
+        (any_reg(), any_reg(), -2048i64..2048).prop_map(|(rs2, rs1, offset)| Inst::Store {
+            width: StoreWidth::W,
+            rs2,
+            rs1,
+            offset
+        }),
+        (any_reg(), any_reg(), -4096i64..4096).prop_map(|(rs1, rs2, off)| Inst::Branch {
+            cond: BranchCond::Ltu,
+            rs1,
+            rs2,
+            offset: off & !1
+        }),
+        (any_reg(), -(1i64 << 20)..(1i64 << 20)).prop_map(|(rd, off)| Inst::Jal {
+            rd,
+            offset: off & !1
+        }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Inst::MulDiv {
+            op: MulDivOp::Mulhsu,
+            rd,
+            rs1,
+            rs2
+        }),
+        (any_freg(), any_freg(), any_freg()).prop_map(|(rd, rs1, rs2)| Inst::FpOp3 {
+            fmt: FpFmt::D,
+            op: FpOp::Mul,
+            rd,
+            rs1,
+            rs2
+        }),
+    ]
+}
+
+fn any_inst_xpulp() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (any_reg(), any_reg(), -2048i64..2048).prop_map(|(rd, rs1, offset)| Inst::LoadPost {
+            width: LoadWidth::W,
+            rd,
+            rs1,
+            offset
+        }),
+        (any_reg(), any_reg(), any_reg(), any::<bool>()).prop_map(|(rd, rs1, rs2, subtract)| {
+            Inst::Mac { rd, rs1, rs2, subtract }
+        }),
+        (any_reg(), any_reg(), any_reg(), any::<bool>(), any::<bool>()).prop_map(
+            |(rd, rs1, rs2, h, sc)| Inst::Simd {
+                op: SimdOp::Sdotsp,
+                fmt: if h { SimdFmt::H } else { SimdFmt::B },
+                rd,
+                rs1,
+                rs2,
+                scalar_rs2: sc
+            }
+        ),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Inst::PulpAlu {
+            op: PulpAluOp::Clip,
+            rd,
+            rs1,
+            rs2
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip_rv64(inst in any_inst_rv64()) {
+        let w = encode(&inst).unwrap();
+        let back = decode(w, Xlen::Rv64, false).expect("decodable");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_xpulp(inst in any_inst_xpulp()) {
+        let w = encode(&inst).unwrap();
+        let back = decode(w, Xlen::Rv32, true).expect("decodable");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn li_materializes_any_constant(v in any::<i64>()) {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::A0, v);
+        a.ebreak();
+        let mut bus = FlatBus::new(4096);
+        bus.load_words(0, &a.assemble().unwrap());
+        let mut core = Core::cva6();
+        core.run(&mut bus, 10_000).unwrap();
+        prop_assert_eq!(core.reg(Reg::A0) as i64, v);
+    }
+
+    #[test]
+    fn alu_matches_rust_semantics(a_val in any::<i64>(), b_val in any::<i64>()) {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, a_val);
+        a.li(Reg::T1, b_val);
+        a.add(Reg::A0, Reg::T0, Reg::T1);
+        a.sub(Reg::A1, Reg::T0, Reg::T1);
+        a.xor(Reg::A2, Reg::T0, Reg::T1);
+        a.sltu(Reg::A3, Reg::T0, Reg::T1);
+        a.mul(Reg::A4, Reg::T0, Reg::T1);
+        a.ebreak();
+        let mut bus = FlatBus::new(8192);
+        bus.load_words(0, &a.assemble().unwrap());
+        let mut core = Core::cva6();
+        core.run(&mut bus, 10_000).unwrap();
+        prop_assert_eq!(core.reg(Reg::A0), (a_val as u64).wrapping_add(b_val as u64));
+        prop_assert_eq!(core.reg(Reg::A1), (a_val as u64).wrapping_sub(b_val as u64));
+        prop_assert_eq!(core.reg(Reg::A2), (a_val ^ b_val) as u64);
+        prop_assert_eq!(core.reg(Reg::A3), ((a_val as u64) < (b_val as u64)) as u64);
+        prop_assert_eq!(core.reg(Reg::A4), (a_val as u64).wrapping_mul(b_val as u64));
+    }
+
+    #[test]
+    fn sdotsp_b_matches_scalar_reference(av in any::<u32>(), bv in any::<u32>(), acc in any::<i32>()) {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, av as i64);
+        a.li(Reg::T1, bv as i64);
+        a.li(Reg::A0, acc as i64);
+        a.pv_sdotsp_b(Reg::A0, Reg::T0, Reg::T1);
+        a.ebreak();
+        let mut bus = FlatBus::new(4096);
+        bus.load_words(0, &a.assemble().unwrap());
+        let mut core = Core::ri5cy(0);
+        core.run(&mut bus, 10_000).unwrap();
+
+        let mut expect = acc;
+        for i in 0..4 {
+            let x = ((av >> (8 * i)) as u8) as i8 as i32;
+            let y = ((bv >> (8 * i)) as u8) as i8 as i32;
+            expect = expect.wrapping_add(x.wrapping_mul(y));
+        }
+        prop_assert_eq!(core.reg(Reg::A0) as u32, expect as u32);
+    }
+
+    #[test]
+    fn simd_add_h_matches_scalar_reference(av in any::<u32>(), bv in any::<u32>()) {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, av as i64);
+        a.li(Reg::T1, bv as i64);
+        a.pv_add_h(Reg::A0, Reg::T0, Reg::T1);
+        a.ebreak();
+        let mut bus = FlatBus::new(4096);
+        bus.load_words(0, &a.assemble().unwrap());
+        let mut core = Core::ri5cy(0);
+        core.run(&mut bus, 10_000).unwrap();
+
+        let lo = (av as u16).wrapping_add(bv as u16);
+        let hi = ((av >> 16) as u16).wrapping_add((bv >> 16) as u16);
+        let expect = (lo as u32) | ((hi as u32) << 16);
+        prop_assert_eq!(core.reg(Reg::A0) as u32, expect);
+    }
+
+    #[test]
+    fn fp16_round_trip_monotone(x in -1000.0f32..1000.0) {
+        use hulkv_rv::fp16::{f16_to_f32, f32_to_f16};
+        let y = f16_to_f32(f32_to_f16(x));
+        // Half precision keeps ~3 decimal digits in this range.
+        prop_assert!((x - y).abs() <= (x.abs() * 0.001).max(0.001));
+    }
+
+    #[test]
+    fn undecodable_words_never_panic(w in any::<u32>()) {
+        let _ = decode(w, Xlen::Rv32, true);
+        let _ = decode(w, Xlen::Rv64, false);
+    }
+
+    #[test]
+    fn disassembly_parses_back_rv64(inst in any_inst_rv64()) {
+        let text = hulkv_rv::disassemble(&inst);
+        let words = hulkv_rv::parse_program(&text, Xlen::Rv64)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(words.len(), 1, "`{}` expanded", text);
+        prop_assert_eq!(decode(words[0], Xlen::Rv64, false), Some(inst), "`{}`", text);
+    }
+
+    #[test]
+    fn disassembly_parses_back_xpulp(inst in any_inst_xpulp()) {
+        let text = hulkv_rv::disassemble(&inst);
+        let words = hulkv_rv::parse_program(&text, Xlen::Rv32)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(words.len(), 1, "`{}` expanded", text);
+        prop_assert_eq!(decode(words[0], Xlen::Rv32, true), Some(inst), "`{}`", text);
+    }
+}

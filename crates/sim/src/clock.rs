@@ -1,0 +1,155 @@
+//! Clock domains and exact cross-domain cycle conversion.
+
+use crate::{Cycles, Freq};
+use std::fmt;
+
+/// One of the SoC's frequency domains.
+///
+/// HULK-V is split into four domains, each tuned by its own frequency-locked
+/// loop: the host core (CVA6, up to 900 MHz), the host interconnect
+/// (450 MHz), the peripheral domain, and the accelerator cluster (400 MHz).
+/// The memory devices add further derived clocks (e.g. the HyperBUS runs at
+/// half the SoC frequency).
+///
+/// Conversions always round **up**: a transaction that occupies a fraction of
+/// a destination-domain cycle still occupies the whole cycle, which is how a
+/// synchronizer behaves in hardware.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_sim::{ClockDomain, Cycles, Freq};
+///
+/// let hyper = ClockDomain::new("hyperbus", Freq::mhz(225));
+/// let soc = ClockDomain::new("soc", Freq::mhz(450));
+/// // One HyperBUS cycle is two SoC cycles.
+/// assert_eq!(hyper.convert(Cycles::new(1), &soc), Cycles::new(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    name: String,
+    freq: Freq,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain with a human-readable name.
+    pub fn new(name: impl Into<String>, freq: Freq) -> Self {
+        ClockDomain {
+            name: name.into(),
+            freq,
+        }
+    }
+
+    /// The domain name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The domain frequency.
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// Re-clocks this domain (dynamic frequency scaling).
+    pub fn set_freq(&mut self, freq: Freq) {
+        self.freq = freq;
+    }
+
+    /// Converts a cycle count measured in `self` into cycles of `dst`,
+    /// rounding up.
+    ///
+    /// The conversion is exact rational arithmetic over kHz values, so no
+    /// drift accumulates across repeated conversions of the same quantity.
+    pub fn convert(&self, cycles: Cycles, dst: &ClockDomain) -> Cycles {
+        convert_freq(cycles, self.freq, dst.freq)
+    }
+
+    /// Wall-clock seconds taken by `cycles` of this domain.
+    pub fn seconds(&self, cycles: Cycles) -> f64 {
+        cycles.to_seconds(self.freq)
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.name, self.freq)
+    }
+}
+
+/// Converts a cycle count from one frequency to another, rounding up.
+///
+/// This is the free-function form of [`ClockDomain::convert`] for call sites
+/// that have no domain objects at hand.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_sim::{Cycles, Freq};
+///
+/// let c = hulkv_sim::convert_freq(Cycles::new(3), Freq::mhz(100), Freq::mhz(450));
+/// assert_eq!(c, Cycles::new(14)); // ceil(3 * 450/100)
+/// ```
+pub fn convert_freq(cycles: Cycles, src: Freq, dst: Freq) -> Cycles {
+    if src == dst {
+        return cycles;
+    }
+    let n = cycles.get() as u128 * dst.khz() as u128;
+    let d = src.khz() as u128;
+    Cycles::new(n.div_ceil(d) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_conversion() {
+        let a = ClockDomain::new("a", Freq::mhz(450));
+        let b = ClockDomain::new("b", Freq::mhz(450));
+        assert_eq!(a.convert(Cycles::new(123), &b), Cycles::new(123));
+    }
+
+    #[test]
+    fn faster_to_slower_rounds_up() {
+        let fast = ClockDomain::new("fast", Freq::mhz(900));
+        let slow = ClockDomain::new("slow", Freq::mhz(400));
+        // 1 cycle @900 = 0.444 cycles @400 -> rounds to 1.
+        assert_eq!(fast.convert(Cycles::new(1), &slow), Cycles::new(1));
+        assert_eq!(fast.convert(Cycles::new(9), &slow), Cycles::new(4));
+    }
+
+    #[test]
+    fn slower_to_faster() {
+        let slow = ClockDomain::new("hyper", Freq::mhz(225));
+        let fast = ClockDomain::new("soc", Freq::mhz(450));
+        assert_eq!(slow.convert(Cycles::new(10), &fast), Cycles::new(20));
+    }
+
+    #[test]
+    fn zero_converts_to_zero() {
+        let a = ClockDomain::new("a", Freq::mhz(1));
+        let b = ClockDomain::new("b", Freq::mhz(1000));
+        assert_eq!(a.convert(Cycles::ZERO, &b), Cycles::ZERO);
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let mut d = ClockDomain::new("cluster", Freq::mhz(400));
+        assert_eq!(d.to_string(), "cluster @ 400 MHz");
+        assert_eq!(d.name(), "cluster");
+        d.set_freq(Freq::mhz(200));
+        assert_eq!(d.freq(), Freq::mhz(200));
+    }
+
+    #[test]
+    fn seconds_roundtrip() {
+        let d = ClockDomain::new("x", Freq::mhz(50));
+        assert!((d.seconds(Cycles::new(50_000_000)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overflow_on_large_counts() {
+        let c = convert_freq(Cycles::new(u64::MAX / 2), Freq::mhz(1000), Freq::mhz(2000));
+        assert_eq!(c.get(), u64::MAX - 1);
+    }
+}

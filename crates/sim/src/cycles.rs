@@ -1,0 +1,261 @@
+//! Strongly typed cycle counts and clock frequencies.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A number of clock cycles in some clock domain.
+///
+/// `Cycles` is the currency of the whole simulator: every memory device
+/// reports access latencies in cycles of its own domain, and cores accumulate
+/// `Cycles` as they retire instructions. The type deliberately does not
+/// remember *which* domain it belongs to — that is tracked by
+/// [`ClockDomain`](crate::ClockDomain), which is the only sanctioned way to
+/// convert counts between domains.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_sim::Cycles;
+///
+/// let a = Cycles::new(10) + Cycles::new(32);
+/// assert_eq!(a.get(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of the two counts.
+    #[must_use]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Converts the count into a wall-clock duration at frequency `f`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hulkv_sim::{Cycles, Freq};
+    ///
+    /// let t = Cycles::new(900_000_000).to_seconds(Freq::mhz(900));
+    /// assert!((t - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn to_seconds(self, f: Freq) -> f64 {
+        self.0 as f64 / f.hz() as f64
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(n: u64) -> Self {
+        Cycles(n)
+    }
+}
+
+/// A clock frequency, stored exactly in kilohertz.
+///
+/// Frequencies in HULK-V are round numbers of megahertz in the ASIC (450 MHz
+/// SoC, 900 MHz CVA6, 400 MHz cluster) and of the FPGA emulator (50 MHz SoC,
+/// 25 MHz HyperBUS), so kHz granularity keeps all domain-crossing arithmetic
+/// exact.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_sim::Freq;
+///
+/// assert_eq!(Freq::mhz(450).khz(), 450_000);
+/// assert_eq!(Freq::mhz(450) / 2, Freq::mhz(225));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Freq {
+    khz: u64,
+}
+
+impl Freq {
+    /// Creates a frequency from a megahertz value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero: a clock domain cannot be stopped in this
+    /// model (power gating is handled by the power model instead).
+    pub const fn mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "clock frequency must be non-zero");
+        Freq { khz: mhz * 1000 }
+    }
+
+    /// Creates a frequency from a kilohertz value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `khz` is zero.
+    pub const fn khz_new(khz: u64) -> Self {
+        assert!(khz > 0, "clock frequency must be non-zero");
+        Freq { khz }
+    }
+
+    /// Frequency in kilohertz.
+    pub const fn khz(self) -> u64 {
+        self.khz
+    }
+
+    /// Frequency in hertz.
+    pub const fn hz(self) -> u64 {
+        self.khz * 1000
+    }
+
+    /// Frequency in megahertz as a float (used by the power model).
+    pub fn as_mhz_f64(self) -> f64 {
+        self.khz as f64 / 1000.0
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.khz.is_multiple_of(1000) {
+            write!(f, "{} MHz", self.khz / 1000)
+        } else {
+            write!(f, "{} kHz", self.khz)
+        }
+    }
+}
+
+impl Div<u64> for Freq {
+    type Output = Freq;
+    fn div(self, rhs: u64) -> Freq {
+        assert!(rhs > 0 && self.khz.is_multiple_of(rhs), "inexact frequency division");
+        Freq { khz: self.khz / rhs }
+    }
+}
+
+impl Mul<u64> for Freq {
+    type Output = Freq;
+    fn mul(self, rhs: u64) -> Freq {
+        Freq { khz: self.khz * rhs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let mut c = Cycles::new(5);
+        c += Cycles::new(7);
+        assert_eq!(c, Cycles::new(12));
+        c -= Cycles::new(2);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c * 3, Cycles::new(30));
+        assert_eq!(c / 2, Cycles::new(5));
+        assert_eq!(Cycles::new(3).max(Cycles::new(9)), Cycles::new(9));
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(9)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn cycles_sum_and_from() {
+        let total: Cycles = [1u64, 2, 3].into_iter().map(Cycles::from).sum();
+        assert_eq!(total, Cycles::new(6));
+    }
+
+    #[test]
+    fn cycles_display() {
+        assert_eq!(Cycles::new(7).to_string(), "7 cycles");
+    }
+
+    #[test]
+    fn freq_construction_and_display() {
+        assert_eq!(Freq::mhz(900).hz(), 900_000_000);
+        assert_eq!(Freq::mhz(450).to_string(), "450 MHz");
+        assert_eq!(Freq::khz_new(1500).to_string(), "1500 kHz");
+    }
+
+    #[test]
+    fn freq_scaling() {
+        assert_eq!(Freq::mhz(450) / 2, Freq::mhz(225));
+        assert_eq!(Freq::mhz(200) * 2, Freq::mhz(400));
+    }
+
+    #[test]
+    #[should_panic(expected = "inexact")]
+    fn freq_inexact_division_panics() {
+        let _ = Freq::khz_new(3) / 2;
+    }
+
+    #[test]
+    fn seconds_at_frequency() {
+        let s = Cycles::new(450_000).to_seconds(Freq::mhz(450));
+        assert!((s - 1e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! The shared simulation error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the HULK-V simulation substrate and the models built
+/// on top of it.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_sim::SimError;
+///
+/// let e = SimError::OutOfRange {
+///     what: "hyperram offset",
+///     value: 0x4000_0000,
+///     limit: 0x2000_0000,
+/// };
+/// assert!(e.to_string().contains("hyperram offset"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An address fell outside every mapped device region.
+    UnmappedAddress {
+        /// The faulting physical address.
+        addr: u64,
+    },
+    /// An access was misaligned for its size.
+    Misaligned {
+        /// The faulting address.
+        addr: u64,
+        /// Required alignment in bytes.
+        align: u64,
+    },
+    /// A value exceeded a structural limit of the model.
+    OutOfRange {
+        /// What was out of range.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The structural limit.
+        limit: u64,
+    },
+    /// A configuration was internally inconsistent.
+    InvalidConfig(String),
+    /// A model-specific failure with a free-form description.
+    Model(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnmappedAddress { addr } => {
+                write!(f, "access to unmapped address {addr:#x}")
+            }
+            SimError::Misaligned { addr, align } => {
+                write!(f, "misaligned access to {addr:#x} (requires {align}-byte alignment)")
+            }
+            SimError::OutOfRange { what, value, limit } => {
+                write!(f, "{what} {value:#x} exceeds limit {limit:#x}")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Model(msg) => write!(f, "model error: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::UnmappedAddress { addr: 0x80 }.to_string(),
+            "access to unmapped address 0x80"
+        );
+        assert!(SimError::Misaligned { addr: 3, align: 4 }
+            .to_string()
+            .contains("4-byte"));
+        assert!(SimError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(SimError::Model("y".into()).to_string().contains("y"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

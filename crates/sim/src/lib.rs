@@ -1,0 +1,44 @@
+//! Simulation substrate for the HULK-V SoC model.
+//!
+//! This crate provides the domain-neutral building blocks shared by every
+//! other crate in the workspace:
+//!
+//! * [`Cycles`] and [`Freq`] — strongly typed cycle counts and clock
+//!   frequencies, with exact rational conversion between clock domains.
+//! * [`ClockDomain`] — one of the four frequency domains of the HULK-V SoC
+//!   (host core, host interconnect, peripherals, accelerator cluster), each
+//!   driven by its own frequency-locked loop in the real chip.
+//! * [`Stats`] / [`Counter`] — hierarchical activity counters used to derive
+//!   utilization figures for the power model.
+//! * [`SplitMix64`] — a tiny deterministic RNG so that workload generation is
+//!   reproducible without pulling heavyweight dependencies into the model
+//!   crates.
+//!
+//! # Example
+//!
+//! ```
+//! use hulkv_sim::{ClockDomain, Cycles, Freq};
+//!
+//! // The PMCA runs at 400 MHz while the host interconnect runs at 450 MHz.
+//! let cluster = ClockDomain::new("cluster", Freq::mhz(400));
+//! let soc = ClockDomain::new("soc", Freq::mhz(450));
+//!
+//! // 800 cluster cycles seen from the SoC domain:
+//! let c = cluster.convert(Cycles::new(800), &soc);
+//! assert_eq!(c, Cycles::new(900));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod cycles;
+mod error;
+mod rng;
+mod stats;
+
+pub use clock::{convert_freq, ClockDomain};
+pub use cycles::{Cycles, Freq};
+pub use error::SimError;
+pub use rng::SplitMix64;
+pub use stats::{Counter, Stats};

@@ -1,0 +1,209 @@
+//! Activity counters and statistics registries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_sim::Counter;
+///
+/// let mut hits = Counter::new();
+/// hits.add(3);
+/// hits.inc();
+/// assert_eq!(hits.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A named collection of counters, used by every model block to report
+/// activity (cache hits/misses, DRAM bytes, retired instructions, stalls…).
+///
+/// The power model consumes these counts to compute per-block utilization,
+/// mirroring how the paper extracts switching activity from simulation
+/// traces for PrimeTime.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_sim::Stats;
+///
+/// let mut s = Stats::new("llc");
+/// s.add("hit", 10);
+/// s.add("miss", 2);
+/// assert_eq!(s.get("hit"), 10);
+/// assert!((s.ratio("hit", "miss") - 10.0 / 12.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Stats {
+    name: String,
+    counters: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Creates an empty registry with a block name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Stats {
+            name: name.into(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// The block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Increments counter `key` by one.
+    pub fn inc(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Increments counter `key` by `n`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Reads counter `key` (zero when never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// `a / (a + b)` as a float; zero when both counters are zero.
+    pub fn ratio(&self, a: &str, b: &str) -> f64 {
+        let x = self.get(a) as f64;
+        let y = self.get(b) as f64;
+        if x + y == 0.0 {
+            0.0
+        } else {
+            x / (x + y)
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another registry into this one, summing shared keys.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Resets every counter to zero (keys are retained).
+    pub fn reset(&mut self) {
+        for v in self.counters.values_mut() {
+            *v = 0;
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}]", self.name)?;
+        for (k, v) in &self.counters {
+            writeln!(f, "  {k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 6);
+        assert_eq!(c.to_string(), "6");
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Stats::new("l1d");
+        s.inc("hit");
+        s.add("hit", 9);
+        s.add("miss", 10);
+        assert_eq!(s.get("hit"), 10);
+        assert_eq!(s.get("unknown"), 0);
+        assert!((s.ratio("hit", "miss") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_of_empty_is_zero() {
+        let s = Stats::new("x");
+        assert_eq!(s.ratio("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_shared_keys() {
+        let mut a = Stats::new("a");
+        a.add("x", 1);
+        let mut b = Stats::new("b");
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn reset_keeps_keys() {
+        let mut s = Stats::new("s");
+        s.add("k", 4);
+        s.reset();
+        assert_eq!(s.get("k"), 0);
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn display_contains_name_and_counters() {
+        let mut s = Stats::new("llc");
+        s.add("hit", 2);
+        let out = s.to_string();
+        assert!(out.contains("[llc]"));
+        assert!(out.contains("hit: 2"));
+    }
+}

@@ -1,0 +1,2 @@
+//! Shared support for the HULK-V examples (each example is a standalone
+//! binary; see `quickstart.rs` first).

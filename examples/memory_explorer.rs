@@ -1,0 +1,50 @@
+//! Memory explorer: measure how the four memory configurations of the
+//! paper (DDR4/HyperRAM × with/without LLC) behave under a pointer-chasing
+//! workload, and what that costs in interface power.
+//!
+//! Run with: `cargo run -p hulkv-examples --bin memory_explorer --release`
+
+use hulkv::MemorySetup;
+use hulkv_kernels::iot::{IotBenchmark, Scale};
+use hulkv_power::DramInterfacePower;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("pointer-chase (64 kB list, 32k hops) across memory configurations:\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14}",
+        "config", "cycles", "L1D miss", "DRAM bytes"
+    );
+    let mut baseline = None;
+    for setup in MemorySetup::ALL {
+        let run = IotBenchmark::PointerChase.run(setup, Scale(1))?;
+        let base = *baseline.get_or_insert(run.cycles.get() as f64);
+        println!(
+            "{:<12} {:>12} {:>11.1}% {:>14}   ({:.2}x)",
+            setup.name(),
+            run.cycles.get(),
+            run.l1d_miss_ratio * 100.0,
+            run.dram_bytes_read,
+            run.cycles.get() as f64 / base,
+        );
+    }
+
+    println!("\nmemory-interface power at IoT bandwidths:");
+    let hyper = DramInterfacePower::hyperram();
+    let lpddr = DramInterfacePower::lpddr4();
+    println!("{:<10} {:>14} {:>14}", "BW (MB/s)", hyper.name, lpddr.name);
+    for mbps in [0u32, 50, 100, 200, 400] {
+        let bw = mbps as f64 * 1e6;
+        println!(
+            "{:<10} {:>12.1}mW {:>12.1}mW",
+            mbps,
+            hyper.power_mw(bw),
+            lpddr.power_mw(bw)
+        );
+    }
+    println!(
+        "\nThe fully digital HyperRAM path idles at {:.0} mW where the LPDDR4\n\
+         controller+PHY idles at {:.0} mW — the 2x system-efficiency gap of Figure 9.",
+        hyper.static_mw, lpddr.static_mw
+    );
+    Ok(())
+}

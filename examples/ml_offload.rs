@@ -1,0 +1,60 @@
+//! ML offload: run an int8 matrix multiplication — the inner kernel of
+//! quantized DNN inference — on the scalar host and on the SIMD cluster,
+//! and compare cycles, GOps and energy efficiency like Figure 6 does.
+//!
+//! Run with: `cargo run -p hulkv-examples --bin ml_offload --release`
+
+use hulkv::{HulkV, SocConfig};
+use hulkv_kernels::suite::{Kernel, KernelParams};
+use hulkv_power::PowerModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = KernelParams::small();
+    let mut soc = HulkV::new(SocConfig::default())?;
+    let power = PowerModel::gf22fdx_tt();
+
+    println!(
+        "int8 matmul, {0}x{0} tile ({1} ops per run)",
+        params.matmul_n,
+        Kernel::MatMulI8.ops(&params)
+    );
+
+    // Scalar baseline on CVA6 @900 MHz.
+    let host = Kernel::MatMulI8.run_on_host(&mut soc, &params)?;
+    let host_seconds = host.cycles.get() as f64 / 900.0e6;
+    let host_gops = host.ops as f64 / host_seconds / 1e9;
+    println!(
+        "CVA6    : {:>9} cycles  {:>6.3} GOps  {:>6.2} GOps/W  (verified: {})",
+        host.cycles.get(),
+        host_gops,
+        host_gops / (power.cva6.max_power_mw() / 1000.0),
+        host.verified
+    );
+
+    // 8-core Xpulp cluster @400 MHz.
+    let cluster = Kernel::MatMulI8.run_on_cluster(&mut soc, &params, 8)?;
+    let kernel_seconds = cluster.kernel_cycles.get() as f64 / 400.0e6;
+    let cluster_gops = cluster.ops as f64 / kernel_seconds / 1e9;
+    println!(
+        "PMCA x8 : {:>9} cycles  {:>6.3} GOps  {:>6.2} GOps/W  (verified: {})",
+        cluster.kernel_cycles.get(),
+        cluster_gops,
+        cluster_gops / (power.pmca.max_power_mw() / 1000.0),
+        cluster.verified
+    );
+
+    println!(
+        "speedup : {:.1}x when executed once, {:.1}x amortized over 1000 runs",
+        host_seconds / (cluster.soc_cycles_amortized(1) / 450.0e6),
+        host_seconds / (cluster.soc_cycles_amortized(1000) / 450.0e6),
+    );
+
+    // Scaling: how the same kernel behaves on 1, 2, 4, 8 cores.
+    println!("\nteam scaling (kernel cycles):");
+    for cores in [1usize, 2, 4, 8] {
+        let mut soc = HulkV::new(SocConfig::default())?;
+        let run = Kernel::MatMulI8.run_on_cluster(&mut soc, &params, cores)?;
+        println!("  {cores} core(s): {:>9}", run.kernel_cycles.get());
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: boot a HULK-V SoC, run a program on the Linux-class host,
+//! then offload a parallel kernel to the 8-core PMCA.
+//!
+//! Run with: `cargo run -p hulkv-examples --bin quickstart`
+
+use hulkv::{HulkV, SocConfig};
+use hulkv_rv::{Asm, Reg, Xlen};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the flagship SoC: CVA6 host @900 MHz, 8-core PMCA @400 MHz,
+    //    512 kB L2SPM, 128 kB LLC, 512 MB HyperRAM.
+    let mut soc = HulkV::new(SocConfig::default())?;
+    println!(
+        "HULK-V up: {} MB of main memory behind {}",
+        soc.config().main_memory_bytes() >> 20,
+        if soc.config().llc.is_some() { "a 128 kB LLC" } else { "no LLC" },
+    );
+
+    // 2. Run a scalar program on the host: sum the integers 1..=1000.
+    let mut host_prog = Asm::new(Xlen::Rv64);
+    host_prog.li(Reg::A0, 0);
+    host_prog.li(Reg::T0, 1000);
+    let top = host_prog.label();
+    host_prog.bind(top);
+    host_prog.add(Reg::A0, Reg::A0, Reg::T0);
+    host_prog.addi(Reg::T0, Reg::T0, -1);
+    host_prog.bnez(Reg::T0, top);
+    host_prog.ebreak();
+
+    let cycles = soc.run_host_program(&host_prog.assemble()?, |_| {}, 1_000_000)?;
+    println!(
+        "host: sum(1..=1000) = {} in {} CVA6 cycles",
+        soc.host().core().reg(Reg::A0),
+        cycles.get()
+    );
+
+    // 3. Offload to the PMCA: each of the 8 cores squares its hart id and
+    //    stores the result into a shared buffer allocated with hulk_malloc.
+    let buf = soc.hulk_malloc(8 * 4)?;
+    let mut kernel = Asm::new(Xlen::Rv32);
+    kernel.csrr(Reg::T0, hulkv_rv::csr::addr::MHARTID);
+    kernel.mul(Reg::T1, Reg::T0, Reg::T0);
+    kernel.slli(Reg::T0, Reg::T0, 2);
+    kernel.add(Reg::T0, Reg::T0, Reg::A0);
+    kernel.sw(Reg::T1, Reg::T0, 0);
+    kernel.ebreak();
+
+    let k = soc.register_kernel(&kernel.assemble()?)?;
+    let result = soc.offload(k, &[(Reg::A0, buf)], 8, 1_000_000)?;
+    println!(
+        "cluster: offload took {} SoC cycles ({} of overhead{})",
+        result.total_soc_cycles.get(),
+        result.overhead_cycles.get(),
+        if result.code_loaded { ", incl. lazy code load" } else { "" },
+    );
+    print!("cluster results (hart_id^2): ");
+    for hart in 0..8u64 {
+        let mut word = [0u8; 4];
+        soc.read_mem(buf + hart * 4, &mut word)?;
+        print!("{} ", u32::from_le_bytes(word));
+    }
+    println!();
+
+    // 4. A second offload rides the cached kernel code — cheaper.
+    let again = soc.offload(k, &[(Reg::A0, buf)], 8, 1_000_000)?;
+    println!(
+        "second offload: {} SoC cycles (code already resident)",
+        again.total_soc_cycles.get()
+    );
+    assert!(again.total_soc_cycles < result.total_soc_cycles);
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration: host program → shared memory → offload →
+//! cluster kernel → results back, across memory configurations.
+
+use hulkv::{map, HulkV, MemorySetup, SocConfig};
+use hulkv_kernels::suite::{Kernel, KernelParams};
+use hulkv_rv::{Asm, Reg, Xlen};
+
+#[test]
+fn offload_works_on_every_memory_setup() {
+    // The heterogeneous runtime must be oblivious to the memory backend.
+    let p = KernelParams::tiny();
+    for setup in MemorySetup::ALL {
+        let mut soc = HulkV::new(SocConfig::with_memory_setup(setup)).unwrap();
+        let run = Kernel::MatMulI8.run_on_cluster(&mut soc, &p, 8).unwrap();
+        assert!(run.verified, "{}: bad cluster result", setup.name());
+    }
+}
+
+#[test]
+fn host_prepares_data_cluster_consumes_it() {
+    // The host writes a vector into hulk_malloc'd shared memory through
+    // its caches; the cluster doubles it in place; the host checks.
+    let mut soc = HulkV::new(SocConfig::default()).unwrap();
+    let n = 64u64;
+    let buf = soc.hulk_malloc((n * 4) as usize).unwrap();
+
+    // Host: store i*3 at buf[i] (through L1D, write-through to DRAM).
+    let mut host = Asm::new(Xlen::Rv64);
+    host.li(Reg::T0, 0); // i
+    let top = host.label();
+    host.bind(top);
+    host.li(Reg::T1, 3);
+    host.mul(Reg::T1, Reg::T1, Reg::T0);
+    host.slli(Reg::T2, Reg::T0, 2);
+    host.add(Reg::T2, Reg::T2, Reg::A0);
+    host.sw(Reg::T1, Reg::T2, 0);
+    host.addi(Reg::T0, Reg::T0, 1);
+    host.li(Reg::T3, n as i64);
+    host.blt(Reg::T0, Reg::T3, top);
+    host.ebreak();
+    soc.run_host_program(
+        &host.assemble().unwrap(),
+        |core| core.set_reg(Reg::A0, buf),
+        10_000_000,
+    )
+    .unwrap();
+
+    // Cluster: each core doubles its strided share.
+    let mut k = Asm::new(Xlen::Rv32);
+    k.csrr(Reg::T0, hulkv_rv::csr::addr::MHARTID); // i = hartid
+    let loop_top = k.label();
+    let done = k.label();
+    k.bind(loop_top);
+    k.li(Reg::T3, n as i64);
+    k.bge(Reg::T0, Reg::T3, done);
+    k.slli(Reg::T1, Reg::T0, 2);
+    k.add(Reg::T1, Reg::T1, Reg::A0);
+    k.lw(Reg::T2, Reg::T1, 0);
+    k.slli(Reg::T2, Reg::T2, 1);
+    k.sw(Reg::T2, Reg::T1, 0);
+    k.add(Reg::T0, Reg::T0, Reg::A7);
+    k.j(loop_top);
+    k.bind(done);
+    k.ebreak();
+    let kernel = soc.register_kernel(&k.assemble().unwrap()).unwrap();
+    soc.offload(kernel, &[(Reg::A0, buf), (Reg::A7, 8)], 8, 10_000_000)
+        .unwrap();
+
+    for i in 0..n {
+        let mut w = [0u8; 4];
+        soc.read_mem(buf + i * 4, &mut w).unwrap();
+        assert_eq!(u32::from_le_bytes(w), (i * 6) as u32, "element {i}");
+    }
+}
+
+#[test]
+fn offload_overhead_breakdown_is_consistent() {
+    let mut soc = HulkV::new(SocConfig::default()).unwrap();
+    let mut k = Asm::new(Xlen::Rv32);
+    k.ebreak();
+    let kernel = soc.register_kernel(&k.assemble().unwrap()).unwrap();
+
+    let first = soc.offload(kernel, &[], 8, 1_000_000).unwrap();
+    let second = soc.offload(kernel, &[], 8, 1_000_000).unwrap();
+    assert!(first.code_loaded && !second.code_loaded);
+    assert!(first.overhead_cycles.get() > second.overhead_cycles.get());
+    // Total = overhead + team (converted); never less than overhead.
+    assert!(first.total_soc_cycles >= first.overhead_cycles);
+    // The descriptor cost floor from the config.
+    assert!(second.overhead_cycles.get() >= soc.config().offload_descriptor_cycles);
+}
+
+#[test]
+fn mailbox_sees_every_offload() {
+    let mut soc = HulkV::new(SocConfig::default()).unwrap();
+    let mut k = Asm::new(Xlen::Rv32);
+    k.ebreak();
+    let kernel = soc.register_kernel(&k.assemble().unwrap()).unwrap();
+    for _ in 0..3 {
+        soc.offload(kernel, &[], 4, 1_000_000).unwrap();
+    }
+    assert_eq!(soc.mailbox().stats().get("host_to_cluster"), 3);
+    assert_eq!(soc.mailbox().stats().get("cluster_to_host"), 3);
+}
+
+#[test]
+fn iopmp_blocks_cluster_outside_shared_windows() {
+    let mut soc = HulkV::new(SocConfig::default()).unwrap();
+    // A kernel that reads the CLINT region must die on the IOPMP.
+    let mut k = Asm::new(Xlen::Rv32);
+    k.li(Reg::T0, map::CLINT_BASE as i64);
+    k.lw(Reg::T1, Reg::T0, 0);
+    k.ebreak();
+    let kernel = soc.register_kernel(&k.assemble().unwrap()).unwrap();
+    assert!(soc.offload(kernel, &[], 1, 1_000_000).is_err());
+
+    // While DRAM and L2SPM stay reachable.
+    let mut ok = Asm::new(Xlen::Rv32);
+    ok.li(Reg::T0, map::SHARED_BASE as i64);
+    ok.lw(Reg::T1, Reg::T0, 0);
+    ok.li(Reg::T0, map::L2SPM_BASE as i64);
+    ok.lw(Reg::T1, Reg::T0, 0);
+    ok.ebreak();
+    let kernel = soc.register_kernel(&ok.assemble().unwrap()).unwrap();
+    assert!(soc.offload(kernel, &[], 1, 1_000_000).is_ok());
+}
+
+#[test]
+fn many_kernels_coexist_in_the_l2spm() {
+    let mut soc = HulkV::new(SocConfig::default()).unwrap();
+    let buf = soc.hulk_malloc(4).unwrap();
+    let mut handles = Vec::new();
+    for i in 0..10u32 {
+        let mut k = Asm::new(Xlen::Rv32);
+        k.li(Reg::T1, i as i64 * 11);
+        k.sw(Reg::T1, Reg::A0, 0);
+        k.ebreak();
+        handles.push(soc.register_kernel(&k.assemble().unwrap()).unwrap());
+    }
+    for (i, &h) in handles.iter().enumerate() {
+        soc.offload(h, &[(Reg::A0, buf)], 1, 1_000_000).unwrap();
+        let mut w = [0u8; 4];
+        soc.read_mem(buf, &mut w).unwrap();
+        assert_eq!(u32::from_le_bytes(w), i as u32 * 11);
+    }
+    assert_eq!(soc.stats().get("kernel_loads"), 10);
+}

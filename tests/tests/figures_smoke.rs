@@ -1,0 +1,77 @@
+//! Smoke tests over the figure harnesses: every experiment must run and
+//! produce the paper's qualitative shape at reduced size.
+
+use hulkv::{MemorySetup, SocConfig};
+use hulkv_bench::{fig6, fig8, fig9, table1, table2};
+use hulkv_kernels::iot::Scale;
+use hulkv_kernels::suite::{Kernel, KernelParams};
+use hulkv_kernels::synthetic::run_sweep_point;
+
+#[test]
+fn fig6_all_kernels_win_when_amortized() {
+    let rows = fig6::speedup_table(&KernelParams::tiny()).unwrap();
+    assert_eq!(rows.len(), Kernel::ALL.len());
+    for r in &rows {
+        assert!(r.verified, "{}", r.kernel);
+        assert!(r.speedup_x1000 > 1.0, "{}: {}", r.kernel, r.speedup_x1000);
+        assert!(r.cluster_gops_per_w > r.host_gops_per_w, "{}", r.kernel);
+    }
+}
+
+#[test]
+fn fig7_orderings_hold_at_extremes() {
+    // At zero misses all configurations tie; at full misses the ordering
+    // is DDR < Hyper and the LLC is neutral-to-harmful (thrash).
+    let zero: Vec<_> = MemorySetup::ALL
+        .iter()
+        .map(|&s| run_sweep_point(s, 0, 16).unwrap())
+        .collect();
+    let spread = zero
+        .iter()
+        .map(|p| p.cycles_per_read)
+        .fold(f64::MIN, f64::max)
+        / zero
+            .iter()
+            .map(|p| p.cycles_per_read)
+            .fold(f64::MAX, f64::min);
+    assert!(spread < 1.05, "configs should tie at zero misses: {spread}");
+
+    let ddr = run_sweep_point(MemorySetup::DdrOnly, 64, 16).unwrap();
+    let hyper = run_sweep_point(MemorySetup::HyperOnly, 64, 16).unwrap();
+    assert!(hyper.cycles_per_read > 2.0 * ddr.cycles_per_read);
+}
+
+#[test]
+fn fig8_five_benchmarks_cached_parity() {
+    let rows = fig8::llc_effect(Scale(1)).unwrap();
+    assert_eq!(rows.len(), 5);
+    for r in &rows {
+        let n = r.normalized_cycles();
+        assert!(n[1] < 1.10, "{}: {}", r.bench, n[1]);
+        // No configuration should be *faster* than DDR4+LLC by much.
+        for v in n {
+            assert!(v > 0.9, "{}", r.bench);
+        }
+    }
+}
+
+#[test]
+fn fig9_regimes_partition_cleanly() {
+    let rows = fig9::ccr_table(&KernelParams::tiny()).unwrap();
+    let compute_bound = rows.iter().filter(|r| r.ccr_hyper > 1.0).count();
+    let memory_bound = rows.len() - compute_bound;
+    assert!(compute_bound >= 3, "need compute-bound points");
+    assert!(memory_bound >= 1, "need memory-bound points");
+    for r in &rows {
+        assert!(r.eff_hyper > 0.0 && r.eff_lpddr > 0.0, "{}", r.name);
+    }
+}
+
+#[test]
+fn tables_are_consistent() {
+    let t1 = table1::rows(&SocConfig::default());
+    assert!(t1.iter().any(|r| r.platform == "This work"));
+    let (rows, total) = table2::rows();
+    let sum: f64 = rows.iter().map(|r| r.max_power_mw).sum();
+    assert!((sum - total.max_power_mw).abs() < 1e-9);
+}

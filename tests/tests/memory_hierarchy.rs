@@ -1,0 +1,169 @@
+//! Integration tests of the full memory hierarchy: data must be identical
+//! through every path (host caches, LLC, DMA, cluster port), and the
+//! timing relations the paper relies on must hold at SoC level.
+
+use hulkv::{map, HulkV, MemorySetup, SocConfig};
+use hulkv_mem::{shared, Llc, LlcConfig, MemoryDevice, Sram};
+use hulkv_rv::{Asm, Reg, Xlen};
+use hulkv_sim::{Cycles, SplitMix64};
+use proptest::prelude::*;
+
+#[test]
+fn host_store_visible_to_cluster_and_back() {
+    let mut soc = HulkV::new(SocConfig::default()).unwrap();
+    let buf = soc.hulk_malloc(8).unwrap();
+
+    // Host stores through L1D (write-through) + LLC.
+    let mut h = Asm::new(Xlen::Rv64);
+    h.li(Reg::T0, 0x1122_3344);
+    h.sw(Reg::T0, Reg::A0, 0);
+    h.ebreak();
+    soc.run_host_program(&h.assemble().unwrap(), |c| c.set_reg(Reg::A0, buf), 1_000_000)
+        .unwrap();
+
+    // Cluster reads it through the IOPMP + AXI + LLC, increments, writes.
+    let mut k = Asm::new(Xlen::Rv32);
+    k.lw(Reg::T0, Reg::A0, 0);
+    k.addi(Reg::T0, Reg::T0, 1);
+    k.sw(Reg::T0, Reg::A0, 0);
+    k.ebreak();
+    let kernel = soc.register_kernel(&k.assemble().unwrap()).unwrap();
+    soc.offload(kernel, &[(Reg::A0, buf)], 1, 1_000_000).unwrap();
+
+    // Host reads it back.
+    let mut h2 = Asm::new(Xlen::Rv64);
+    h2.lw(Reg::A0, Reg::A0, 0);
+    h2.ebreak();
+    soc.run_host_program(&h2.assemble().unwrap(), |c| c.set_reg(Reg::A0, buf), 1_000_000)
+        .unwrap();
+    assert_eq!(soc.host().core().reg(Reg::A0), 0x1122_3345);
+}
+
+#[test]
+fn dma_staged_tile_matches_backdoor_contents() {
+    let mut soc = HulkV::new(SocConfig::default()).unwrap();
+    let src = soc.hulk_malloc(1024).unwrap();
+    let data: Vec<u8> = (0..1024u32).map(|v| v as u8).collect();
+    soc.write_mem(src, &data).unwrap();
+
+    let cycles = soc
+        .cluster_mut()
+        .dma_to_tcdm(src, 0x800, 1024)
+        .unwrap();
+    assert!(cycles.get() > 0);
+    let mut out = vec![0u8; 1024];
+    soc.cluster_mut().tcdm_read(0x800, &mut out).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn llc_reduces_dram_traffic_for_reused_data() {
+    // Two SoCs, same program re-reading a 64 kB region twice; the LLC one
+    // must hit DRAM far less.
+    let prog = {
+        let mut p = Asm::new(Xlen::Rv64);
+        p.li(Reg::T3, 2);
+        let pass = p.label();
+        p.bind(pass);
+        p.li(Reg::T0, (map::DRAM_BASE + 0x50_0000) as i64);
+        p.li(Reg::T2, 1024);
+        let top = p.label();
+        p.bind(top);
+        p.ld(Reg::T1, Reg::T0, 0);
+        p.addi(Reg::T0, Reg::T0, 64);
+        p.addi(Reg::T2, Reg::T2, -1);
+        p.bnez(Reg::T2, top);
+        p.addi(Reg::T3, Reg::T3, -1);
+        p.bnez(Reg::T3, pass);
+        p.ebreak();
+        p.assemble().unwrap()
+    };
+    let mut traffic = Vec::new();
+    for setup in [MemorySetup::HyperWithLlc, MemorySetup::HyperOnly] {
+        let mut soc = HulkV::new(SocConfig::with_memory_setup(setup)).unwrap();
+        soc.run_host_program(&prog, |_| {}, 1_000_000_000).unwrap();
+        traffic.push(soc.dram_stats().get("bytes_read"));
+    }
+    assert!(
+        traffic[0] < traffic[1] / 15 * 10,
+        "LLC {} vs raw {}",
+        traffic[0],
+        traffic[1]
+    );
+}
+
+#[test]
+fn cluster_tcdm_is_much_faster_than_dram_access() {
+    // The premise of the explicit-memory-management model: compute from
+    // the TCDM, never directly from DRAM.
+    let make_prog = |base: u64| {
+        let mut k = Asm::new(Xlen::Rv32);
+        k.li(Reg::T0, base as i64);
+        k.li(Reg::T2, 0);
+        k.lp_counti(0, 512);
+        let (ls, le) = (k.label(), k.label());
+        k.lp_starti(0, ls);
+        k.lp_endi(0, le);
+        k.bind(ls);
+        k.p_lw_post(Reg::T1, Reg::T0, 4);
+        k.add(Reg::T2, Reg::T2, Reg::T1);
+        k.bind(le);
+        k.ebreak();
+        k.assemble().unwrap()
+    };
+
+    let mut soc = HulkV::new(SocConfig::default()).unwrap();
+    let tcdm_kernel = soc.register_kernel(&make_prog(hulkv_cluster::TCDM_BASE)).unwrap();
+    let dram_kernel = soc.register_kernel(&make_prog(map::SHARED_BASE)).unwrap();
+    let fast = soc.offload(tcdm_kernel, &[], 1, 10_000_000).unwrap();
+    let slow = soc.offload(dram_kernel, &[], 1, 100_000_000).unwrap();
+    // The LLC absorbs most of the sequential stream, so the gap is a few
+    // times rather than the raw ~50x HyperRAM latency ratio.
+    assert!(
+        slow.team.cycles.get() > 3 * fast.team.cycles.get(),
+        "tcdm {} vs dram {}",
+        fast.team.cycles,
+        slow.team.cycles
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The LLC is transparent: any access sequence reads the same data
+    /// with and without it.
+    #[test]
+    fn llc_is_data_transparent(seed in any::<u64>()) {
+        let plain = shared(Sram::new("plain", 1 << 16, Cycles::new(5)));
+        let backing = shared(Sram::new("backing", 1 << 16, Cycles::new(5)));
+        let mut llc = Llc::new(
+            LlcConfig { lines: 16, ways: 2, ..LlcConfig::default() },
+            backing,
+        ).unwrap();
+
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..200 {
+            let addr = rng.next_below((1 << 16) - 8);
+            let len = 1 + rng.next_below(8) as usize;
+            if rng.next_below(2) == 0 {
+                let mut data = vec![0u8; len];
+                rng.fill_bytes(&mut data);
+                llc.write(addr, &data).unwrap();
+                plain.borrow_mut().write(addr, &data).unwrap();
+            } else {
+                let mut a = vec![0u8; len];
+                let mut b = vec![0u8; len];
+                llc.read(addr, &mut a).unwrap();
+                plain.borrow_mut().read(addr, &mut b).unwrap();
+                prop_assert_eq!(a, b);
+            }
+        }
+        // And after a flush the backing store matches everywhere touched.
+        llc.flush().unwrap();
+        let mut a = vec![0u8; 1 << 16];
+        let mut b = vec![0u8; 1 << 16];
+        llc.read(0, &mut a).unwrap();
+        plain.borrow_mut().read(0, &mut b).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass before merging.
+# Mirrors the checks the driver runs, so `./ci.sh` == a green PR.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "CI OK"

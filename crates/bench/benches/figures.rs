@@ -1,68 +1,55 @@
-//! Criterion benches timing the regeneration of each paper figure (on
-//! reduced problem sizes, so `cargo bench` exercises every experiment's
-//! code path in seconds).
+//! Benches timing the regeneration of each paper figure (on reduced
+//! problem sizes, so `cargo bench` exercises every experiment's code path
+//! in seconds). Plain `harness = false` timing loops so the workspace
+//! builds without external crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hulkv::{HulkV, MemorySetup, SocConfig};
 use hulkv_kernels::iot::{IotBenchmark, Scale};
 use hulkv_kernels::suite::{Kernel, KernelParams};
 use hulkv_kernels::synthetic::run_sweep_point;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn fig6_host_kernel(c: &mut Criterion) {
+const SAMPLES: u32 = 10;
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        f();
+    }
+    let per_iter = start.elapsed() / SAMPLES;
+    println!("{name:<34} {:>12.3?}/iter", per_iter);
+}
+
+fn main() {
     let p = KernelParams::tiny();
-    c.bench_function("fig6/matmul_i8_host", |b| {
-        b.iter(|| {
-            let mut soc = HulkV::new(SocConfig::default()).unwrap();
-            black_box(Kernel::MatMulI8.run_on_host(&mut soc, &p).unwrap())
-        })
+    bench("fig6/matmul_i8_host", || {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        black_box(Kernel::MatMulI8.run_on_host(&mut soc, &p).unwrap());
+    });
+    bench("fig6/matmul_i8_cluster_offload", || {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        black_box(Kernel::MatMulI8.run_on_cluster(&mut soc, &p, 8).unwrap());
+    });
+    bench("fig7/sweep_point_hyper_llc", || {
+        black_box(run_sweep_point(MemorySetup::HyperWithLlc, 32, 8).unwrap());
+    });
+    bench("fig8/crc32_hyper_llc", || {
+        black_box(
+            IotBenchmark::Crc32
+                .run(MemorySetup::HyperWithLlc, Scale(1))
+                .unwrap(),
+        );
+    });
+    bench("fig9/dnn_ccr_points", || {
+        use hulkv_kernels::dnn::DnnModel;
+        for m in [DnnModel::classifier(), DnnModel::dronet()] {
+            black_box(m.ccr_point(10.0, 400.0e6, 512 * 1024));
+        }
+    });
+    bench("table2/power_model", || {
+        use hulkv_power::PowerModel;
+        black_box(PowerModel::gf22fdx_tt().total_max_power_mw());
     });
 }
-
-fn fig6_cluster_kernel(c: &mut Criterion) {
-    let p = KernelParams::tiny();
-    c.bench_function("fig6/matmul_i8_cluster_offload", |b| {
-        b.iter(|| {
-            let mut soc = HulkV::new(SocConfig::default()).unwrap();
-            black_box(Kernel::MatMulI8.run_on_cluster(&mut soc, &p, 8).unwrap())
-        })
-    });
-}
-
-fn fig7_sweep_point(c: &mut Criterion) {
-    c.bench_function("fig7/sweep_point_hyper_llc", |b| {
-        b.iter(|| black_box(run_sweep_point(MemorySetup::HyperWithLlc, 32, 8).unwrap()))
-    });
-}
-
-fn fig8_iot_benchmark(c: &mut Criterion) {
-    c.bench_function("fig8/crc32_hyper_llc", |b| {
-        b.iter(|| black_box(IotBenchmark::Crc32.run(MemorySetup::HyperWithLlc, Scale(1)).unwrap()))
-    });
-}
-
-fn fig9_dnn_tiling(c: &mut Criterion) {
-    use hulkv_kernels::dnn::DnnModel;
-    c.bench_function("fig9/dnn_ccr_points", |b| {
-        b.iter(|| {
-            for m in [DnnModel::classifier(), DnnModel::dronet()] {
-                black_box(m.ccr_point(10.0, 400.0e6, 512 * 1024));
-            }
-        })
-    });
-}
-
-fn table2_power_model(c: &mut Criterion) {
-    use hulkv_power::PowerModel;
-    c.bench_function("table2/power_model", |b| {
-        b.iter(|| black_box(PowerModel::gf22fdx_tt().total_max_power_mw()))
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = fig6_host_kernel, fig6_cluster_kernel, fig7_sweep_point,
-              fig8_iot_benchmark, fig9_dnn_tiling, table2_power_model
-}
-criterion_main!(figures);

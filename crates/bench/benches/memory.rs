@@ -1,53 +1,55 @@
-//! Criterion benches of the memory-substrate models themselves: the cost
-//! of simulating HyperRAM bursts, LLC traffic, DMA transfers, and a full
-//! offload round trip.
+//! Benches of the memory-substrate models themselves: the cost of
+//! simulating HyperRAM bursts, LLC traffic, DMA transfers, and a full
+//! offload round trip. Plain `harness = false` timing loops so the
+//! workspace builds without external crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hulkv::{HulkV, SocConfig};
 use hulkv_mem::{shared, Ddr, DdrConfig, HyperRam, HyperRamConfig, Llc, LlcConfig, MemoryDevice};
 use hulkv_rv::{Asm, Reg, Xlen};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn hyperram_bursts(c: &mut Criterion) {
+const SAMPLES: u32 = 10;
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        f();
+    }
+    let per_iter = start.elapsed() / SAMPLES;
+    println!("{name:<34} {:>12.3?}/iter", per_iter);
+}
+
+fn main() {
     let mut ram = HyperRam::new(HyperRamConfig::default());
     let mut buf = [0u8; 64];
-    c.bench_function("memory/hyperram_line_read", |b| {
-        b.iter(|| black_box(ram.read(0x1000, &mut buf).unwrap()))
+    bench("memory/hyperram_line_read", || {
+        black_box(ram.read(0x1000, &mut buf).unwrap());
     });
-}
 
-fn ddr_bursts(c: &mut Criterion) {
     let mut ddr = Ddr::new(DdrConfig::default());
-    let mut buf = [0u8; 64];
-    c.bench_function("memory/ddr_line_read", |b| {
-        b.iter(|| black_box(ddr.read(0x1000, &mut buf).unwrap()))
+    bench("memory/ddr_line_read", || {
+        black_box(ddr.read(0x1000, &mut buf).unwrap());
     });
-}
 
-fn llc_hit_traffic(c: &mut Criterion) {
     let dram = shared(HyperRam::new(HyperRamConfig::default()));
     let mut llc = Llc::new(LlcConfig::default(), dram).unwrap();
-    let mut buf = [0u8; 8];
-    llc.read(0, &mut buf).unwrap(); // warm the line
-    c.bench_function("memory/llc_hit", |b| {
-        b.iter(|| black_box(llc.read(0, &mut buf).unwrap()))
+    let mut small = [0u8; 8];
+    llc.read(0, &mut small).unwrap(); // warm the line
+    bench("memory/llc_hit", || {
+        black_box(llc.read(0, &mut small).unwrap());
     });
-}
 
-fn offload_round_trip(c: &mut Criterion) {
     let mut k = Asm::new(Xlen::Rv32);
     k.ebreak();
     let words = k.assemble().unwrap();
-    c.bench_function("soc/offload_round_trip", |b| {
-        b.iter(|| {
-            let mut soc = HulkV::new(SocConfig::default()).unwrap();
-            let kernel = soc.register_kernel(&words).unwrap();
-            black_box(soc.offload(kernel, &[], 8, 1_000_000).unwrap())
-        })
+    bench("soc/offload_round_trip", || {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let kernel = soc.register_kernel(&words).unwrap();
+        black_box(soc.offload(kernel, &[], 8, 1_000_000).unwrap());
     });
-}
 
-fn host_instruction_throughput(c: &mut Criterion) {
     let mut a = Asm::new(Xlen::Rv64);
     a.li(Reg::T0, 10_000);
     let top = a.label();
@@ -55,19 +57,12 @@ fn host_instruction_throughput(c: &mut Criterion) {
     a.addi(Reg::T0, Reg::T0, -1);
     a.bnez(Reg::T0, top);
     a.ebreak();
-    let words = a.assemble().unwrap();
-    c.bench_function("soc/host_20k_instructions", |b| {
-        b.iter(|| {
-            let mut soc = HulkV::new(SocConfig::default()).unwrap();
-            black_box(soc.run_host_program(&words, |_| {}, 10_000_000).unwrap())
-        })
+    let host_words = a.assemble().unwrap();
+    bench("soc/host_20k_instructions", || {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        black_box(
+            soc.run_host_program(&host_words, |_| {}, 10_000_000)
+                .unwrap(),
+        );
     });
 }
-
-criterion_group! {
-    name = memory;
-    config = Criterion::default().sample_size(10);
-    targets = hyperram_bursts, ddr_bursts, llc_hit_traffic, offload_round_trip,
-              host_instruction_throughput
-}
-criterion_main!(memory);

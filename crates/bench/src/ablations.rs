@@ -26,7 +26,10 @@ pub struct LlcSizePoint {
 pub fn llc_size_sweep() -> Result<Vec<LlcSizePoint>, SocError> {
     let mut out = Vec::new();
     for lines in [64usize, 128, 256, 512, 1024] {
-        let llc = LlcConfig { lines, ..LlcConfig::default() };
+        let llc = LlcConfig {
+            lines,
+            ..LlcConfig::default()
+        };
         let size = llc.size_bytes();
         let cfg = SocConfig {
             llc: Some(llc),
@@ -173,14 +176,23 @@ mod tests {
     #[test]
     fn dual_bus_roughly_doubles_bandwidth() {
         let points = hyperbus_sweep().unwrap();
-        let single = points.iter().find(|p| p.config.starts_with("1 bus, 2x")).unwrap();
-        let dual = points.iter().find(|p| p.config.starts_with("2 buses, 2x")).unwrap();
+        let single = points
+            .iter()
+            .find(|p| p.config.starts_with("1 bus, 2x"))
+            .unwrap();
+        let dual = points
+            .iter()
+            .find(|p| p.config.starts_with("2 buses, 2x"))
+            .unwrap();
         let gain = single.tile_cycles as f64 / dual.tile_cycles as f64;
         // Only the data phase halves; the per-burst command/address and
         // access latency do not, so the gain is below the ideal 2x.
         assert!(gain > 1.3, "dual-bus gain {gain}");
         // Latency config matters much less for long DMA bursts.
-        let relaxed = points.iter().find(|p| p.config.starts_with("1 bus, 1x")).unwrap();
+        let relaxed = points
+            .iter()
+            .find(|p| p.config.starts_with("1 bus, 1x"))
+            .unwrap();
         let lat_gain = single.tile_cycles as f64 / relaxed.tile_cycles as f64;
         assert!(lat_gain < gain, "latency should matter less than width");
     }
@@ -191,7 +203,11 @@ mod tests {
         // a scaling study, so use the real problem size.
         let points = team_scaling(&KernelParams::small()).unwrap();
         let eight = points.iter().find(|p| p.cores == 8).unwrap();
-        assert!(eight.efficiency > 0.85, "8-core efficiency {}", eight.efficiency);
+        assert!(
+            eight.efficiency > 0.85,
+            "8-core efficiency {}",
+            eight.efficiency
+        );
     }
 
     #[test]

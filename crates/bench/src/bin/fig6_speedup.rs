@@ -6,7 +6,10 @@ use hulkv_kernels::suite::KernelParams;
 fn main() {
     let rows = fig6::speedup_table(&KernelParams::small()).expect("figure 6");
     println!("Figure 6 (left): Speedup on PMCA vs CVA6 (wall-clock, ASIC frequencies)");
-    println!("{:<14} {:>6} {:>12} {:>14} {:>11} {:>13} {:>9}", "kernel", "type", "host cycles", "PMCA cycles", "speedup x1", "speedup x1000", "verified");
+    println!(
+        "{:<14} {:>6} {:>12} {:>14} {:>11} {:>13} {:>9}",
+        "kernel", "type", "host cycles", "PMCA cycles", "speedup x1", "speedup x1000", "verified"
+    );
     for r in &rows {
         println!(
             "{:<14} {:>6} {:>12} {:>14} {:>11.2} {:>13.1} {:>9}",
@@ -19,4 +22,6 @@ fn main() {
             r.verified
         );
     }
+    let best = rows.iter().map(|r| r.speedup_x1000).fold(0.0, f64::max);
+    hulkv_bench::obs::finish(&[("fig6_max_speedup_x1000", best)]);
 }

@@ -15,8 +15,14 @@ fn main() {
     for r in &rows {
         println!(
             "{:<16} {:>10.2} {:>11.3} {:>11.3} {:>12.2} {:>12.2} {:>8.2}",
-            r.name, r.ccr_hyper, r.gops_hyper, r.gops_lpddr, r.eff_hyper, r.eff_lpddr,
+            r.name,
+            r.ccr_hyper,
+            r.gops_hyper,
+            r.gops_lpddr,
+            r.eff_hyper,
+            r.eff_lpddr,
             r.relative_efficiency
         );
     }
+    hulkv_bench::obs::finish(&[]);
 }

@@ -6,13 +6,28 @@ fn run(name: &str) {
 
 fn main() {
     run("Table I");
-    std::process::Command::new(std::env::current_exe().unwrap().parent().unwrap().join("table1"))
-        .status()
-        .ok();
-    for bin in ["table2", "fig6_speedup", "fig6_efficiency", "fig7_llc_sweep", "fig8_llc_effect", "fig9_ccr", "ablations"] {
+    std::process::Command::new(
+        std::env::current_exe()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .join("table1"),
+    )
+    .status()
+    .ok();
+    for bin in [
+        "table2",
+        "fig6_speedup",
+        "fig6_efficiency",
+        "fig7_llc_sweep",
+        "fig8_llc_effect",
+        "fig9_ccr",
+        "ablations",
+    ] {
         run(bin);
         std::process::Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
             .status()
             .ok();
     }
+    hulkv_bench::obs::finish(&[]);
 }

@@ -98,9 +98,16 @@ mod tests {
         // Paper: matmul-int8 is the headline kernel with the largest gap;
         // FP kernels give at least ~5x when amortized.
         let mm = rows.iter().find(|r| r.kernel == "matmul-int8").unwrap();
-        assert!(mm.speedup_x1000 > 20.0, "int8 matmul speedup {}", mm.speedup_x1000);
+        assert!(
+            mm.speedup_x1000 > 20.0,
+            "int8 matmul speedup {}",
+            mm.speedup_x1000
+        );
         assert!(mm.cluster_gops_per_w / mm.host_gops_per_w > 10.0);
-        for r in rows.iter().filter(|r| r.float && r.kernel.contains("matmul")) {
+        for r in rows
+            .iter()
+            .filter(|r| r.float && r.kernel.contains("matmul"))
+        {
             assert!(r.speedup_x1000 > 5.0, "{}: {}", r.kernel, r.speedup_x1000);
         }
     }

@@ -126,7 +126,11 @@ mod tests {
         for name in ["classifier-dnn", "dronet"] {
             let r = rows.iter().find(|r| r.name == name).unwrap();
             assert!(r.ccr_hyper > 1.0, "{name} should be compute-bound");
-            assert!(r.relative_efficiency > 1.5, "{name}: {}", r.relative_efficiency);
+            assert!(
+                r.relative_efficiency > 1.5,
+                "{name}: {}",
+                r.relative_efficiency
+            );
         }
     }
 }

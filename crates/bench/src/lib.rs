@@ -23,6 +23,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod obs;
 pub mod table1;
 pub mod table2;
 

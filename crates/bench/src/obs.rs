@@ -1,0 +1,171 @@
+//! Shared observability plumbing for the bench binaries.
+//!
+//! Every binary in `src/bin` accepts two optional flags:
+//!
+//! * `--metrics-out <path>` — writes a [`MetricsSnapshot`] JSON document
+//!   with the activity counters of every SoC block plus the per-block
+//!   power envelope of the GF22FDX model;
+//! * `--trace-out <path>` — writes a Chrome `trace_event` JSON file
+//!   (loadable in Perfetto / `chrome://tracing`) with one track per host
+//!   hart, cluster core, DMA engine, L1/LLC cache and the DRAM controller.
+//!
+//! Both flags run the same instrumented reference workload — an int8
+//! matrix multiplication executed first on the CVA6 host and then
+//! offloaded to the 8-core PMCA — on a freshly built flagship SoC, so the
+//! exported documents are comparable across binaries and runs. A hot-spot
+//! profile of the host-side run is printed alongside.
+
+use hulkv::{HulkV, SocConfig};
+use hulkv_kernels::suite::{Kernel, KernelParams};
+use hulkv_power::PowerModel;
+use hulkv_rv::{hotspot_report, Xlen};
+use hulkv_sim::{category, Tracer};
+
+/// Parsed observability flags.
+#[derive(Debug, Default, Clone)]
+pub struct ObsArgs {
+    /// Destination for the metrics JSON document, if requested.
+    pub metrics_out: Option<String>,
+    /// Destination for the Chrome-trace JSON file, if requested.
+    pub trace_out: Option<String>,
+}
+
+impl ObsArgs {
+    /// Parses `--metrics-out <path>` / `--trace-out <path>` (also the
+    /// `--flag=path` spelling) from the process arguments. Unknown
+    /// arguments are ignored — the binaries have no other flags.
+    pub fn from_env() -> Self {
+        let mut out = ObsArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut bind = |slot: &mut Option<String>, flag: &str| {
+                if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                    *slot = Some(v.to_owned());
+                } else if arg == flag {
+                    *slot = args.next();
+                }
+            };
+            bind(&mut out.metrics_out, "--metrics-out");
+            bind(&mut out.trace_out, "--trace-out");
+        }
+        out
+    }
+
+    /// Whether any output was requested.
+    pub fn active(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+}
+
+/// Runs the instrumented reference workload and writes the requested
+/// documents. `figures` lets a binary attach its headline numbers to the
+/// metrics snapshot (they land under the `figures` key).
+///
+/// # Panics
+///
+/// Panics if the workload fails or an output file cannot be written —
+/// appropriate for a benchmark binary's top level.
+pub fn emit(args: &ObsArgs, figures: &[(&str, f64)]) {
+    if !args.active() {
+        return;
+    }
+
+    let mut soc = HulkV::new(SocConfig::default()).expect("default SoC");
+    let tracer = Tracer::shared(1 << 18);
+    tracer.borrow_mut().enable(category::ALL);
+    soc.attach_tracer(tracer.clone());
+    soc.host_mut().core_mut().enable_profile();
+
+    let params = KernelParams::tiny();
+    Kernel::MatMulI8
+        .run_on_host(&mut soc, &params)
+        .expect("host matmul");
+    Kernel::MatMulI8
+        .run_on_cluster(&mut soc, &params, 8)
+        .expect("cluster matmul offload");
+
+    if let Some(path) = &args.metrics_out {
+        let mut snap = soc.metrics_snapshot();
+        let power = PowerModel::gf22fdx_tt();
+        for block in power.blocks() {
+            snap.set_power_mw(block.name, block.max_power_mw());
+        }
+        for &(name, value) in figures {
+            snap.set_figure(name, value);
+        }
+        std::fs::write(path, format!("{}\n", snap.to_json()))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("metrics written to {path}");
+    }
+
+    if let Some(path) = &args.trace_out {
+        let t = tracer.borrow();
+        std::fs::write(path, format!("{}\n", t.chrome_trace()))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "trace written to {path} ({} events{}) — load it in Perfetto",
+            t.len(),
+            if t.dropped() > 0 {
+                format!(", {} dropped", t.dropped())
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    if let Some(profile) = soc.host_mut().core_mut().take_profile() {
+        println!();
+        println!("{}", hotspot_report(&profile, Xlen::Rv64, false, 5));
+    }
+}
+
+/// One-call wrapper for binary `main`s: parse the flags, and if any output
+/// was requested, run the instrumented workload and write it.
+pub fn finish(figures: &[(&str, f64)]) {
+    emit(&ObsArgs::from_env(), figures);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_args_are_a_no_op() {
+        let args = ObsArgs::default();
+        assert!(!args.active());
+        emit(&args, &[]); // must not build a SoC or write anything
+    }
+
+    #[test]
+    fn emit_writes_metrics_and_trace_files() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join("hulkv_obs_test_metrics.json");
+        let trace = dir.join("hulkv_obs_test_trace.json");
+        let args = ObsArgs {
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+        };
+        emit(&args, &[("answer", 42.0)]);
+
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        let snap = hulkv_sim::MetricsSnapshot::parse(&m).unwrap();
+        assert!(snap.blocks.iter().any(|b| b.name() == "cluster"));
+        assert!(snap.total_power_mw() > 0.0);
+        assert_eq!(snap.figures.get("answer"), Some(&42.0));
+
+        let t = std::fs::read_to_string(&trace).unwrap();
+        let json = hulkv_sim::Json::parse(&t).unwrap();
+        let events = json.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        // Thread-name metadata for at least the four required tracks.
+        let named: std::collections::BTreeSet<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        for required in ["host/cva6", "cluster/core0", "dma/udma", "mem/llc"] {
+            assert!(named.contains(required), "missing {required} in {named:?}");
+        }
+        let _ = std::fs::remove_file(metrics);
+        let _ = std::fs::remove_file(trace);
+    }
+}

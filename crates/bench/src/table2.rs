@@ -36,7 +36,11 @@ impl Table2Row {
 /// Builds the Table-II rows plus the "Total" row.
 pub fn rows() -> (Vec<Table2Row>, Table2Row) {
     let p = PowerModel::gf22fdx_tt();
-    let rows: Vec<Table2Row> = p.blocks().iter().map(|b| Table2Row::from_block(b)).collect();
+    let rows: Vec<Table2Row> = p
+        .blocks()
+        .iter()
+        .map(|b| Table2Row::from_block(b))
+        .collect();
     let total = Table2Row {
         block: "Total",
         area_mm2: p.die_area_mm2(),

@@ -1,8 +1,11 @@
 //! The cluster model: cores, TCDM, two-level I-cache, DMA, event unit.
 
-use hulkv_mem::{shared, Cache, CacheConfig, DmaEngine, MemoryDevice, SharedMem, Sram, Transfer1d, Transfer2d, WritePolicy};
+use hulkv_mem::{
+    shared, Cache, CacheConfig, DmaEngine, MemoryDevice, SharedMem, Sram, Transfer1d, Transfer2d,
+    WritePolicy,
+};
 use hulkv_rv::{Core, CoreBus, Reg, RvError};
-use hulkv_sim::{convert_freq, Cycles, Freq, SimError, Stats};
+use hulkv_sim::{convert_freq, Cycles, Freq, SharedTracer, SimError, Stats, Track};
 
 /// Cluster-local base address of the L1 scratchpad (TCDM).
 pub const TCDM_BASE: u64 = 0x1000_0000;
@@ -92,6 +95,7 @@ pub struct Cluster {
     dma: DmaEngine,
     stats: Stats,
     busy_cycles: Cycles,
+    tracer: Option<SharedTracer>,
 }
 
 impl Cluster {
@@ -109,7 +113,9 @@ impl Cluster {
                 CacheConfig {
                     name: "icache_l1_5".into(),
                     ways: 2,
-                    sets: (cfg.icache_shared_bytes / 32 / 2).max(1).next_power_of_two(),
+                    sets: (cfg.icache_shared_bytes / 32 / 2)
+                        .max(1)
+                        .next_power_of_two(),
                     line_bytes: 32,
                     hit_latency: Cycles::new(1),
                     write_policy: WritePolicy::WriteThrough,
@@ -128,7 +134,16 @@ impl Cluster {
             dma: DmaEngine::new("cluster_dma", Cycles::new(16), 64),
             stats: Stats::new("cluster"),
             busy_cycles: Cycles::ZERO,
+            tracer: None,
         }
+    }
+
+    /// Attaches a structured SoC tracer: the cluster DMA records its
+    /// transfers, and every core of each subsequent team records retires on
+    /// its own per-hart track.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.dma.set_tracer(tracer.clone(), Track::ClusterDma);
+        self.tracer = Some(tracer);
     }
 
     /// The cluster configuration.
@@ -186,11 +201,20 @@ impl Cluster {
     /// # Errors
     ///
     /// Propagates range errors from either side.
-    pub fn dma_to_tcdm(&mut self, ext_addr: u64, tcdm_offset: u64, bytes: usize) -> Result<Cycles, SimError> {
+    pub fn dma_to_tcdm(
+        &mut self,
+        ext_addr: u64,
+        tcdm_offset: u64,
+        bytes: usize,
+    ) -> Result<Cycles, SimError> {
         let lat = self.dma.run_1d(
             &self.ext,
             &self.tcdm,
-            Transfer1d { src: ext_addr, dst: tcdm_offset, bytes },
+            Transfer1d {
+                src: ext_addr,
+                dst: tcdm_offset,
+                bytes,
+            },
         )?;
         self.stats.add("dma_bytes_in", bytes as u64);
         Ok(convert_freq(lat, self.cfg.soc_freq, self.cfg.freq))
@@ -201,11 +225,20 @@ impl Cluster {
     /// # Errors
     ///
     /// Propagates range errors from either side.
-    pub fn dma_from_tcdm(&mut self, tcdm_offset: u64, ext_addr: u64, bytes: usize) -> Result<Cycles, SimError> {
+    pub fn dma_from_tcdm(
+        &mut self,
+        tcdm_offset: u64,
+        ext_addr: u64,
+        bytes: usize,
+    ) -> Result<Cycles, SimError> {
         let lat = self.dma.run_1d(
             &self.tcdm,
             &self.ext,
-            Transfer1d { src: tcdm_offset, dst: ext_addr, bytes },
+            Transfer1d {
+                src: tcdm_offset,
+                dst: ext_addr,
+                bytes,
+            },
         )?;
         self.stats.add("dma_bytes_out", bytes as u64);
         Ok(convert_freq(lat, self.cfg.soc_freq, self.cfg.freq))
@@ -266,6 +299,9 @@ impl Cluster {
 
         for hartid in 0..num_cores {
             let mut core = Core::ri5cy(hartid as u64);
+            if let Some(t) = &self.tracer {
+                core.set_tracer(t.clone());
+            }
             core.set_pc(entry);
             core.set_reg(Reg::Sp, tcdm_top - (hartid * self.cfg.stack_bytes) as u64);
             for &(r, v) in args {
@@ -275,7 +311,9 @@ impl Cluster {
                 CacheConfig {
                     name: format!("icache_p{hartid}"),
                     ways: 1,
-                    sets: (self.cfg.icache_private_bytes / 32).max(1).next_power_of_two(),
+                    sets: (self.cfg.icache_private_bytes / 32)
+                        .max(1)
+                        .next_power_of_two(),
                     line_bytes: 32,
                     hit_latency: Cycles::new(1),
                     write_policy: WritePolicy::WriteThrough,
@@ -570,9 +608,7 @@ mod tests {
                 .write(0x8000_1000 + row as u64 * 64, &[row + 1; 4])
                 .unwrap();
         }
-        cluster
-            .dma_to_tcdm_2d(0x8000_1000, 64, 0, 4, 4)
-            .unwrap();
+        cluster.dma_to_tcdm_2d(0x8000_1000, 64, 0, 4, 4).unwrap();
         let mut buf = [0u8; 16];
         cluster.tcdm_read(0, &mut buf).unwrap();
         assert_eq!(&buf[0..4], &[1; 4]);

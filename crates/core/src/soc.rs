@@ -5,15 +5,15 @@ use crate::iopmp::IoPmp;
 use crate::mailbox::Mailbox;
 use hulkv_cluster::{Cluster, TeamResult};
 use hulkv_host::{Clint, Host, Plic};
-use std::cell::RefCell;
-use std::rc::Rc;
-use hulkv_mem::{
-    shared, Bus, Ddr, DmaEngine, HyperRam, Llc, SharedMem, Sram, Transfer1d,
-};
+use hulkv_mem::{shared, Bus, Ddr, DmaEngine, HyperRam, Llc, SharedMem, Sram, Transfer1d};
 use hulkv_rv::{Core, Reg, RvError};
-use hulkv_sim::{convert_freq, Cycles, SimError, Stats};
+use hulkv_sim::{
+    convert_freq, Cycles, MetricsSnapshot, SharedTracer, SimError, Stats, TraceEvent, Track,
+};
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 /// The HULK-V physical address map.
 pub mod map {
@@ -137,6 +137,7 @@ pub struct HulkV {
     l2_code_next: u64,
     shared_next: u64,
     stats: Stats,
+    tracer: Option<SharedTracer>,
 }
 
 impl HulkV {
@@ -192,8 +193,30 @@ impl HulkV {
             l2_code_next: 0,
             shared_next: map::SHARED_BASE,
             stats: Stats::new("soc"),
+            tracer: None,
             cfg,
         })
+    }
+
+    /// Attaches a structured tracer to the whole SoC: the host core and its
+    /// L1 caches, the cluster cores and DMA, the µDMA, the LLC and the main
+    /// memory all record onto their own tracks, and the SoC level records
+    /// offload and mailbox events.
+    pub fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.host.set_tracer(tracer.clone());
+        self.cluster.set_tracer(tracer.clone());
+        self.udma.set_tracer(tracer.clone(), Track::Dma);
+        // Covers both memory setups: with an LLC the front device forwards
+        // the handle to the raw DRAM behind it; without one it *is* the
+        // raw DRAM.
+        self.dram_front.borrow_mut().attach_tracer(tracer.clone());
+        self.tracer = Some(tracer);
+    }
+
+    fn trace(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(Track::Soc, event);
+        }
     }
 
     /// The configuration this SoC was built with.
@@ -249,11 +272,9 @@ impl HulkV {
     ///
     /// Propagates routing/range errors from either end.
     pub fn udma_transfer(&mut self, src: u64, dst: u64, bytes: usize) -> Result<Cycles, SocError> {
-        let lat = self.udma.run_1d(
-            &self.bus,
-            &self.bus,
-            Transfer1d { src, dst, bytes },
-        )?;
+        let lat = self
+            .udma
+            .run_1d(&self.bus, &self.bus, Transfer1d { src, dst, bytes })?;
         self.stats.add("udma_bytes", bytes as u64);
         Ok(lat)
     }
@@ -290,9 +311,15 @@ impl HulkV {
         &self.stats
     }
 
+    /// Clones the counters of a shared device — the one aggregation path
+    /// for every block surfaced through a [`SharedMem`] handle.
+    fn device_stats(dev: &SharedMem) -> Stats {
+        dev.borrow().stats().clone()
+    }
+
     /// Statistics of the raw main-memory device (bytes moved, bursts…).
     pub fn dram_stats(&self) -> Stats {
-        self.dram_raw.borrow().stats().clone()
+        Self::device_stats(&self.dram_raw)
     }
 
     /// LLC hit/miss statistics (empty when the LLC is absent).
@@ -300,10 +327,27 @@ impl HulkV {
         if self.cfg.llc.is_some() {
             // The front device is the LLC; its cache stats live one level in.
             // We surface them through the generic stats() of the device.
-            self.dram_front.borrow().stats().clone()
+            Self::device_stats(&self.dram_front)
         } else {
             Stats::new("llc_absent")
         }
+    }
+
+    /// Collects the counters of every block of the SoC into one
+    /// machine-readable snapshot: SoC level, host core, L1 caches, cluster,
+    /// µDMA, LLC and main memory. Power and figure entries are left for the
+    /// caller to fill in.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_block(self.stats.clone());
+        snap.push_block(self.host.core().stats().clone());
+        snap.push_block(self.host.l1i_stats().clone());
+        snap.push_block(self.host.l1d_stats().clone());
+        snap.push_block(self.cluster.stats().clone());
+        snap.push_block(self.udma.stats().clone());
+        snap.push_block(self.llc_stats());
+        snap.push_block(self.dram_stats());
+        snap
     }
 
     /// Backdoor memory write through the interconnect (no cycles charged).
@@ -392,6 +436,11 @@ impl HulkV {
         num_cores: usize,
         max_cycles: u64,
     ) -> Result<OffloadResult, SocError> {
+        let team_cores = num_cores.min(self.cfg.cluster.cores).max(1);
+        self.trace(TraceEvent::OffloadBegin {
+            kernel: kernel.0 as u32,
+            cores: team_cores as u32,
+        });
         let mut overhead = Cycles::new(self.cfg.offload_descriptor_cycles);
         overhead += self.mailbox.doorbell_cost() * 2;
 
@@ -424,25 +473,46 @@ impl HulkV {
         };
 
         // Doorbell: descriptor pointer to the cluster, completion back.
-        let _ = self.mailbox.host_send(map::L2SPM_BASE + entry_l2);
+        let descriptor = map::L2SPM_BASE + entry_l2;
+        let _ = self.mailbox.host_send(descriptor);
+        self.trace(TraceEvent::MailboxSend {
+            to_cluster: true,
+            value: descriptor,
+        });
         let _ = self.mailbox.cluster_recv();
+        self.trace(TraceEvent::MailboxRecv {
+            by_host: false,
+            value: descriptor,
+        });
 
-        let team = self.cluster.run_team(
-            map::L2SPM_BASE + entry_l2,
-            args,
-            num_cores,
-            max_cycles,
-        )?;
+        let team =
+            self.cluster
+                .run_team(map::L2SPM_BASE + entry_l2, args, num_cores, max_cycles)?;
 
         let _ = self.mailbox.cluster_send(0);
+        self.trace(TraceEvent::MailboxSend {
+            to_cluster: false,
+            value: 0,
+        });
         let _ = self.mailbox.host_recv();
+        self.trace(TraceEvent::MailboxRecv {
+            by_host: true,
+            value: 0,
+        });
 
-        let team_soc = convert_freq(
-            team.cycles,
-            self.cfg.cluster.freq,
-            self.cfg.host.soc_freq,
-        );
+        let team_soc = convert_freq(team.cycles, self.cfg.cluster.freq, self.cfg.host.soc_freq);
         self.stats.inc("offloads");
+        if let Some(t) = &self.tracer {
+            // The completion span covers the SoC-side overhead; the team's
+            // own time already advanced the trace clock core by core.
+            t.borrow_mut().record_span(
+                Track::Soc,
+                TraceEvent::OffloadEnd {
+                    kernel: kernel.0 as u32,
+                },
+                overhead.get(),
+            );
+        }
         Ok(OffloadResult {
             total_soc_cycles: overhead + team_soc,
             overhead_cycles: overhead,
@@ -558,7 +628,9 @@ mod tests {
         let mut soc = HulkV::new(SocConfig::default()).unwrap();
         let buf = soc.hulk_malloc(32).unwrap();
         let kernel = soc.register_kernel(&trivial_kernel()).unwrap();
-        let r = soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000).unwrap();
+        let r = soc
+            .offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000)
+            .unwrap();
         assert!(r.code_loaded);
         for hart in 0..8u64 {
             let mut b = [0u8; 4];
@@ -572,8 +644,12 @@ mod tests {
         let mut soc = HulkV::new(SocConfig::default()).unwrap();
         let buf = soc.hulk_malloc(32).unwrap();
         let kernel = soc.register_kernel(&trivial_kernel()).unwrap();
-        let first = soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000).unwrap();
-        let second = soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000).unwrap();
+        let first = soc
+            .offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000)
+            .unwrap();
+        let second = soc
+            .offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000)
+            .unwrap();
         assert!(first.code_loaded);
         assert!(!second.code_loaded);
         assert!(first.overhead_cycles > second.overhead_cycles);
@@ -583,7 +659,9 @@ mod tests {
 
         // Evicting the kernel makes the next offload pay again.
         soc.evict_kernel(kernel);
-        let third = soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000).unwrap();
+        let third = soc
+            .offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000)
+            .unwrap();
         assert!(third.code_loaded);
     }
 
@@ -622,13 +700,77 @@ mod tests {
         prog.ebreak();
         let words = prog.assemble().unwrap();
 
-        let mut with_llc = HulkV::new(SocConfig::with_memory_setup(MemorySetup::HyperWithLlc)).unwrap();
-        let c1 = with_llc.run_host_program(&words, |_| {}, 100_000_000).unwrap();
+        let mut with_llc =
+            HulkV::new(SocConfig::with_memory_setup(MemorySetup::HyperWithLlc)).unwrap();
+        let c1 = with_llc
+            .run_host_program(&words, |_| {}, 100_000_000)
+            .unwrap();
         let mut without = HulkV::new(SocConfig::with_memory_setup(MemorySetup::HyperOnly)).unwrap();
-        let c2 = without.run_host_program(&words, |_| {}, 100_000_000).unwrap();
+        let c2 = without
+            .run_host_program(&words, |_| {}, 100_000_000)
+            .unwrap();
         // With write-allocated 64 B lines, the LLC turns most accesses into
         // hits; without it every L1 miss pays full HyperRAM latency.
         assert!(c2 > c1, "with LLC {c1}, without {c2}");
+    }
+
+    #[test]
+    fn tracer_covers_host_cluster_dma_and_llc_tracks() {
+        use hulkv_sim::{category, Tracer};
+
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let tracer = Tracer::shared(1 << 16);
+        tracer.borrow_mut().enable(category::ALL);
+        soc.attach_tracer(tracer.clone());
+
+        let buf = soc.hulk_malloc(32).unwrap();
+        let kernel = soc.register_kernel(&trivial_kernel()).unwrap();
+        soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000)
+            .unwrap();
+        // Touch DRAM from the host so the L1/LLC/DRAM path records too.
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, (map::DRAM_BASE + 0x10_0000) as i64);
+        a.ld(Reg::T1, Reg::T0, 0);
+        a.ebreak();
+        soc.run_host_program(&a.assemble().unwrap(), |_| {}, 1_000_000)
+            .unwrap();
+
+        let t = tracer.borrow();
+        let tracks: std::collections::BTreeSet<u64> = t.events().map(|r| r.track.tid()).collect();
+        for required in [
+            Track::HostHart,
+            Track::ClusterCore(0),
+            Track::Dma,
+            Track::Llc,
+        ] {
+            assert!(
+                tracks.contains(&required.tid()),
+                "missing track {:?} in {tracks:?}",
+                required
+            );
+        }
+        // Offload + mailbox events landed on the SoC track.
+        let names: std::collections::BTreeSet<&str> = t.events().map(|r| r.event.name()).collect();
+        for required in ["offload_begin", "offload", "mailbox_send", "mailbox_recv"] {
+            assert!(names.contains(required), "missing {required} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_collects_every_block() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let buf = soc.hulk_malloc(32).unwrap();
+        let kernel = soc.register_kernel(&trivial_kernel()).unwrap();
+        soc.offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000)
+            .unwrap();
+        let snap = soc.metrics_snapshot();
+        let names: Vec<&str> = snap.blocks.iter().map(|b| b.name()).collect();
+        for required in ["soc", "core", "l1i", "l1d", "cluster", "udma", "hyperram"] {
+            assert!(names.contains(&required), "missing {required} in {names:?}");
+        }
+        // Round-trips through the JSON exporter.
+        let parsed = MetricsSnapshot::parse(&snap.to_json().to_string()).unwrap();
+        assert_eq!(parsed.blocks.len(), snap.blocks.len());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use hulkv_mem::{shared, Cache, CacheConfig, ClockBridge, MemoryDevice, SharedMem, WritePolicy};
 use hulkv_rv::{Core, CoreBus, RvError};
-use hulkv_sim::{Cycles, Freq, SimError, Stats};
+use hulkv_sim::{Cycles, Freq, SharedTracer, SimError, Stats, Track};
 
 /// Static configuration of the host subsystem.
 ///
@@ -115,6 +115,15 @@ impl Host {
     /// The configuration.
     pub fn config(&self) -> &HostConfig {
         &self.cfg
+    }
+
+    /// Attaches a structured SoC tracer: the core records retires on the
+    /// host-hart track and the L1 caches record hits/misses/evictions on
+    /// their own tracks.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.core.set_tracer(tracer.clone());
+        self.l1i.set_tracer(tracer.clone(), Track::HostL1I);
+        self.l1d.set_tracer(tracer, Track::HostL1D);
     }
 
     /// The CVA6 core.
@@ -304,7 +313,8 @@ mod tests {
         let mut a = Asm::new(Xlen::Rv64);
         build(&mut a);
         a.ebreak();
-        host.load_program(0x8000_0000, &a.assemble().unwrap()).unwrap();
+        host.load_program(0x8000_0000, &a.assemble().unwrap())
+            .unwrap();
         host.core_mut().set_pc(0x8000_0000);
         host.core_mut().set_reg(Reg::Sp, 0x8008_0000);
         host.run(10_000_000).unwrap()

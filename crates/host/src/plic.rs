@@ -126,9 +126,7 @@ impl MemoryDevice for Plic {
             ENABLE => self.enable,
             THRESHOLD => self.threshold as u64,
             CLAIM => self.claim() as u64,
-            o if o < PRIORITY_BASE + 64 * 4 && o % 4 == 0 => {
-                self.priority[(o / 4) as usize] as u64
-            }
+            o if o < PRIORITY_BASE + 64 * 4 && o % 4 == 0 => self.priority[(o / 4) as usize] as u64,
             _ => 0,
         };
         let bytes = value.to_le_bytes();

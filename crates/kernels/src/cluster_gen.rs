@@ -30,7 +30,10 @@ fn asm() -> Asm {
 /// to approach 2 MAC/cycle/core. `n` must be a multiple of 4; rows are
 /// distributed across the team.
 pub fn matmul_i8(n: usize) -> Vec<u32> {
-    assert!(n.is_multiple_of(4) && n / 4 <= 4095, "n must be a small multiple of 4");
+    assert!(
+        n.is_multiple_of(4) && n / 4 <= 4095,
+        "n must be a small multiple of 4"
+    );
     let mut a = asm();
     let done = a.label();
     let loop_i = a.label();
@@ -288,7 +291,7 @@ pub fn maxpool2x2_i8() -> Vec<u32> {
 
     a.srli(Reg::S11, Reg::A3, 1); // oh
     a.srli(Reg::A5, Reg::A4, 1); // ow
-    // Shuffle indices [1, 0, 3, 2]: swap within lane pairs.
+                                 // Shuffle indices [1, 0, 3, 2]: swap within lane pairs.
     a.li(Reg::S2, 0x0203_0001);
     a.li(Reg::S3, 0); // lane index 0
     a.li(Reg::S4, 2); // lane index 2

@@ -27,7 +27,9 @@ pub fn i32_inputs(seed: u64, len: usize) -> Vec<i32> {
 /// Deterministic f32 inputs in `[-1, 1)`.
 pub fn f32_inputs(seed: u64, len: usize) -> Vec<f32> {
     let mut r = SplitMix64::new(seed);
-    (0..len).map(|_| (r.next_f64() * 2.0 - 1.0) as f32).collect()
+    (0..len)
+        .map(|_| (r.next_f64() * 2.0 - 1.0) as f32)
+        .collect()
 }
 
 /// Deterministic FP16 inputs in `[-1, 1)`, as raw bit patterns.
@@ -100,8 +102,12 @@ mod tests {
     #[test]
     fn ranges_respected() {
         assert!(i8_inputs(3, 1000).iter().all(|&v| (-64..64).contains(&v)));
-        assert!(i16_inputs(3, 1000).iter().all(|&v| (-256..256).contains(&v)));
-        assert!(f32_inputs(3, 1000).iter().all(|&v| (-1.0..1.0).contains(&v)));
+        assert!(i16_inputs(3, 1000)
+            .iter()
+            .all(|&v| (-256..256).contains(&v)));
+        assert!(f32_inputs(3, 1000)
+            .iter()
+            .all(|&v| (-1.0..1.0).contains(&v)));
     }
 
     #[test]

@@ -132,13 +132,69 @@ impl DnnModel {
     /// autonomous nano-drone workload of citation \[22\].
     pub fn dronet() -> Self {
         let layers = vec![
-            ConvLayer { cin: 1, cout: 32, k: 5, h: 200, w: 200, stride: 2, depthwise: false },
-            ConvLayer { cin: 32, cout: 32, k: 3, h: 50, w: 50, stride: 2, depthwise: false },
-            ConvLayer { cin: 32, cout: 32, k: 3, h: 25, w: 25, stride: 1, depthwise: false },
-            ConvLayer { cin: 32, cout: 64, k: 3, h: 25, w: 25, stride: 2, depthwise: false },
-            ConvLayer { cin: 64, cout: 64, k: 3, h: 13, w: 13, stride: 1, depthwise: false },
-            ConvLayer { cin: 64, cout: 128, k: 3, h: 13, w: 13, stride: 2, depthwise: false },
-            ConvLayer { cin: 128, cout: 128, k: 3, h: 7, w: 7, stride: 1, depthwise: false },
+            ConvLayer {
+                cin: 1,
+                cout: 32,
+                k: 5,
+                h: 200,
+                w: 200,
+                stride: 2,
+                depthwise: false,
+            },
+            ConvLayer {
+                cin: 32,
+                cout: 32,
+                k: 3,
+                h: 50,
+                w: 50,
+                stride: 2,
+                depthwise: false,
+            },
+            ConvLayer {
+                cin: 32,
+                cout: 32,
+                k: 3,
+                h: 25,
+                w: 25,
+                stride: 1,
+                depthwise: false,
+            },
+            ConvLayer {
+                cin: 32,
+                cout: 64,
+                k: 3,
+                h: 25,
+                w: 25,
+                stride: 2,
+                depthwise: false,
+            },
+            ConvLayer {
+                cin: 64,
+                cout: 64,
+                k: 3,
+                h: 13,
+                w: 13,
+                stride: 1,
+                depthwise: false,
+            },
+            ConvLayer {
+                cin: 64,
+                cout: 128,
+                k: 3,
+                h: 13,
+                w: 13,
+                stride: 2,
+                depthwise: false,
+            },
+            ConvLayer {
+                cin: 128,
+                cout: 128,
+                k: 3,
+                h: 7,
+                w: 7,
+                stride: 1,
+                depthwise: false,
+            },
         ];
         DnnModel {
             name: "dronet",
@@ -196,12 +252,23 @@ mod tests {
 
     #[test]
     fn layer_arithmetic() {
-        let l = ConvLayer { cin: 16, cout: 32, k: 3, h: 8, w: 8, stride: 1, depthwise: false };
+        let l = ConvLayer {
+            cin: 16,
+            cout: 32,
+            k: 3,
+            h: 8,
+            w: 8,
+            stride: 1,
+            depthwise: false,
+        };
         assert_eq!(l.macs(), (8 * 8 * 9 * 16 * 32) as u64);
         assert_eq!(l.weight_bytes(), 9 * 16 * 32);
         assert_eq!(l.input_bytes(), 16 * 64);
         assert_eq!(l.output_bytes(), 32 * 64);
-        let dw = ConvLayer { depthwise: true, ..l };
+        let dw = ConvLayer {
+            depthwise: true,
+            ..l
+        };
         assert_eq!(dw.macs(), (8 * 8 * 9 * 32) as u64);
     }
 
@@ -231,7 +298,11 @@ mod tests {
         // optimized data movements."
         for model in [DnnModel::classifier(), DnnModel::dronet()] {
             let p = model.ccr_point(10.0, 400.0e6, 512 * 1024);
-            assert!(p.ccr(MemoryKind::Hyper) > 1.0, "{} memory-bound", model.name);
+            assert!(
+                p.ccr(MemoryKind::Hyper) > 1.0,
+                "{} memory-bound",
+                model.name
+            );
             // And therefore roughly double efficiency on HyperRAM.
             assert!(p.relative_efficiency() > 1.5, "{}", model.name);
         }

@@ -79,7 +79,8 @@ pub fn run_tiled_conv(
             requested: out_off as usize + tile_out_bytes,
         });
     }
-    soc.cluster_mut().tcdm_write(w_off, &data::i8_bytes(&weights))?;
+    soc.cluster_mut()
+        .tcdm_write(w_off, &data::i8_bytes(&weights))?;
 
     // One kernel binary reused for every full tile (lazy-loaded once).
     let kernel = soc.register_kernel(&cluster_gen::conv2d_i8())?;
@@ -96,9 +97,9 @@ pub fn run_tiled_conv(
         let slab = rows + 2;
 
         // DMA the input slab in.
-        let mut tile_dma = soc
-            .cluster_mut()
-            .dma_to_tcdm(img_addr + (y * w) as u64, in_off, slab * w)?;
+        let mut tile_dma =
+            soc.cluster_mut()
+                .dma_to_tcdm(img_addr + (y * w) as u64, in_off, slab * w)?;
 
         // Compute the tile on the team.
         let r = soc.offload(
@@ -116,9 +117,11 @@ pub fn run_tiled_conv(
         )?;
 
         // DMA the output tile back.
-        tile_dma += soc
-            .cluster_mut()
-            .dma_from_tcdm(out_off, out_addr + (y * ow * 4) as u64, rows * ow * 4)?;
+        tile_dma += soc.cluster_mut().dma_from_tcdm(
+            out_off,
+            out_addr + (y * ow * 4) as u64,
+            rows * ow * 4,
+        )?;
 
         let mut tile_out = vec![0u8; rows * ow * 4];
         soc.cluster_mut().tcdm_read(out_off, &mut tile_out)?;

@@ -198,7 +198,11 @@ impl IotBenchmark {
                 }
                 // Row walk + column walk touch every element once each.
                 let expect = row_sum.wrapping_mul(2) as u64;
-                (matrix_walk_program(dim), data::i32_bytes(&m), Expect::RegA0(expect))
+                (
+                    matrix_walk_program(dim),
+                    data::i32_bytes(&m),
+                    Expect::RegA0(expect),
+                )
             }
             IotBenchmark::Dhrystone => {
                 let iters = scale.dhry_iters();
@@ -284,13 +288,13 @@ fn shell_sort_program(n: usize) -> Vec<u32> {
     let shift_done = a.label();
     a.bind(shift_loop);
     a.blt(Reg::T2, Reg::S0, shift_done); // j < gap
-    // t3 = a[j-gap]
+                                         // t3 = a[j-gap]
     a.sub(Reg::T4, Reg::T2, Reg::S0);
     a.slli(Reg::T5, Reg::T4, 2);
     a.add(Reg::T5, Reg::T5, Reg::A0);
     a.lwu(Reg::T3, Reg::T5, 0);
     a.bgeu(Reg::T1, Reg::T3, shift_done); // tmp >= a[j-gap]: stop
-    // a[j] = a[j-gap]; j -= gap
+                                          // a[j] = a[j-gap]; j -= gap
     a.slli(Reg::T6, Reg::T2, 2);
     a.add(Reg::T6, Reg::T6, Reg::A0);
     a.sw(Reg::T3, Reg::T6, 0);
@@ -365,7 +369,7 @@ fn matrix_walk_program(dim: usize) -> Vec<u32> {
     let mut a = Asm::new(Xlen::Rv64);
     a.li(Reg::S0, dim as i64);
     a.li(Reg::A1, 0); // sum
-    // Row-major walk.
+                      // Row-major walk.
     a.mv(Reg::T0, Reg::A0);
     a.li(Reg::T1, (dim * dim) as i64);
     let row = a.label();
@@ -432,7 +436,9 @@ mod tests {
 
     #[test]
     fn crc32_verifies() {
-        let r = IotBenchmark::Crc32.run(MemorySetup::HyperWithLlc, Scale(1)).unwrap();
+        let r = IotBenchmark::Crc32
+            .run(MemorySetup::HyperWithLlc, Scale(1))
+            .unwrap();
         assert!(r.verified, "crc mismatch");
         assert!(r.cycles.get() > 0);
     }
@@ -451,14 +457,20 @@ mod tests {
 
     #[test]
     fn matrix_walk_checksum() {
-        let r = IotBenchmark::MatrixWalk.run(MemorySetup::HyperWithLlc, S).unwrap();
+        let r = IotBenchmark::MatrixWalk
+            .run(MemorySetup::HyperWithLlc, S)
+            .unwrap();
         assert!(r.verified);
     }
 
     #[test]
     fn pointer_chase_is_latency_bound() {
-        let hyper = IotBenchmark::PointerChase.run(MemorySetup::HyperOnly, S).unwrap();
-        let ddr = IotBenchmark::PointerChase.run(MemorySetup::DdrOnly, S).unwrap();
+        let hyper = IotBenchmark::PointerChase
+            .run(MemorySetup::HyperOnly, S)
+            .unwrap();
+        let ddr = IotBenchmark::PointerChase
+            .run(MemorySetup::DdrOnly, S)
+            .unwrap();
         // Without a cache, every hop pays the full memory latency, and
         // HyperRAM latency is several times DDR latency.
         assert!(hyper.cycles.get() > 2 * ddr.cycles.get());
@@ -466,15 +478,21 @@ mod tests {
 
     #[test]
     fn dhrystone_is_memory_insensitive() {
-        let hyper = IotBenchmark::Dhrystone.run(MemorySetup::HyperOnly, S).unwrap();
-        let ddr = IotBenchmark::Dhrystone.run(MemorySetup::DdrOnly, S).unwrap();
+        let hyper = IotBenchmark::Dhrystone
+            .run(MemorySetup::HyperOnly, S)
+            .unwrap();
+        let ddr = IotBenchmark::Dhrystone
+            .run(MemorySetup::DdrOnly, S)
+            .unwrap();
         let ratio = hyper.cycles.get() as f64 / ddr.cycles.get() as f64;
         assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
     }
 
     #[test]
     fn llc_closes_the_gap_on_fir64() {
-        let with = IotBenchmark::Fir64.run(MemorySetup::HyperWithLlc, S).unwrap();
+        let with = IotBenchmark::Fir64
+            .run(MemorySetup::HyperWithLlc, S)
+            .unwrap();
         let ddr_with = IotBenchmark::Fir64.run(MemorySetup::DdrWithLlc, S).unwrap();
         let ratio = with.cycles.get() as f64 / ddr_with.cycles.get() as f64;
         assert!(ratio < 1.2, "Hyper+LLC vs DDR+LLC = {ratio}");

@@ -83,9 +83,7 @@ impl Kernel {
             }
             Kernel::FirI16 => 2 * (p.fir_n + p.fir_taps - 1) as u64 + 4 * p.fir_n as u64,
             Kernel::ReluI8 => 2 * p.relu_n as u64,
-            Kernel::MaxPoolI8 => {
-                (p.pool_h * p.pool_w + p.pool_h * p.pool_w / 4) as u64
-            }
+            Kernel::MaxPoolI8 => (p.pool_h * p.pool_w + p.pool_h * p.pool_w / 4) as u64,
             Kernel::DotpF32 => 8 * p.vec_n as u64,
             Kernel::AxpyF32 => 12 * p.vec_n as u64,
         }
@@ -97,9 +95,7 @@ impl Kernel {
         match self {
             Kernel::MatMulI8 | Kernel::MatMulI32 => 2 * (p.matmul_n as u64).pow(3),
             Kernel::MatMulF16 => 2 * (p.f16_n as u64).pow(3),
-            Kernel::Conv2dI8 => {
-                2 * 9 * ((p.conv_h - 2) * (p.conv_w - 2)) as u64
-            }
+            Kernel::Conv2dI8 => 2 * 9 * ((p.conv_h - 2) * (p.conv_w - 2)) as u64,
             Kernel::FirI16 => 2 * (p.fir_taps as u64) * (p.fir_n as u64),
             Kernel::ReluI8 => p.relu_n as u64,
             // Three max operations per pooled output.
@@ -276,7 +272,11 @@ impl Kernel {
         let mut out = vec![0u8; out_len];
         soc.read_mem(c_addr, &mut out)?;
         let verified = self.verify(p, &out, false, 1);
-        Ok(HostRun { cycles, ops, verified })
+        Ok(HostRun {
+            cycles,
+            ops,
+            verified,
+        })
     }
 
     /// Offloads the kernel to the PMCA with its working set in the TCDM
@@ -360,8 +360,14 @@ impl Kernel {
             Kernel::MatMulF16 => {
                 // The host runs FP32 on the same values.
                 let n = p.f16_n;
-                let a: Vec<f32> = data::f16_inputs(31, n * n).iter().map(|&v| f16_to_f32(v)).collect();
-                let b: Vec<f32> = data::f16_inputs(32, n * n).iter().map(|&v| f16_to_f32(v)).collect();
+                let a: Vec<f32> = data::f16_inputs(31, n * n)
+                    .iter()
+                    .map(|&v| f16_to_f32(v))
+                    .collect();
+                let b: Vec<f32> = data::f16_inputs(32, n * n)
+                    .iter()
+                    .map(|&v| f16_to_f32(v))
+                    .collect();
                 (
                     host_gen::matmul_f32(),
                     data::f32_bytes(&a),
@@ -448,7 +454,11 @@ impl Kernel {
 
     /// Same, for the cluster.
     #[allow(clippy::type_complexity)]
-    fn cluster_setup(self, p: &KernelParams, cores: usize) -> (Vec<u32>, Vec<u8>, Vec<u8>, Vec<u8>, u64, u64) {
+    fn cluster_setup(
+        self,
+        p: &KernelParams,
+        cores: usize,
+    ) -> (Vec<u32>, Vec<u8>, Vec<u8>, Vec<u8>, u64, u64) {
         match self {
             Kernel::MatMulI8 => {
                 let mut r = self.host_setup(p);

@@ -104,11 +104,8 @@ pub fn run_sweep_point(
     miss_per_round: usize,
     rounds: usize,
 ) -> Result<SweepPoint, SocError> {
-    let mut p = run_sweep_point_with_config(
-        SocConfig::with_memory_setup(setup),
-        miss_per_round,
-        rounds,
-    )?;
+    let mut p =
+        run_sweep_point_with_config(SocConfig::with_memory_setup(setup), miss_per_round, rounds)?;
     p.setup = setup;
     Ok(p)
 }
@@ -136,13 +133,20 @@ pub fn run_sweep_point_with_config(
     // Warm-up: one full pass over the footprint (the paper's "second
     // iteration warms up the caches").
     let warm_rounds = FOOTPRINT_PER_MISS / 64;
-    soc.run_host_program(&sweep_program(miss_per_round, warm_rounds), set_args, 1_000_000_000)?;
+    soc.run_host_program(
+        &sweep_program(miss_per_round, warm_rounds),
+        set_args,
+        1_000_000_000,
+    )?;
 
     soc.host_mut().core_mut().reset_counters();
     let l1_hits0 = soc.host().l1d_stats().get("hits");
     let l1_miss0 = soc.host().l1d_stats().get("misses");
-    let cycles =
-        soc.run_host_program(&sweep_program(miss_per_round, rounds), set_args, 10_000_000_000)?;
+    let cycles = soc.run_host_program(
+        &sweep_program(miss_per_round, rounds),
+        set_args,
+        10_000_000_000,
+    )?;
 
     let hits = (soc.host().l1d_stats().get("hits") - l1_hits0) as f64;
     let misses = (soc.host().l1d_stats().get("misses") - l1_miss0) as f64;
@@ -151,7 +155,11 @@ pub fn run_sweep_point_with_config(
         setup: MemorySetup::HyperWithLlc,
         miss_fraction: miss_per_round as f64 / READS_PER_ROUND as f64,
         cycles_per_read: cycles.get() as f64 / reads,
-        l1d_miss_ratio: if hits + misses > 0.0 { misses / (hits + misses) } else { 0.0 },
+        l1d_miss_ratio: if hits + misses > 0.0 {
+            misses / (hits + misses)
+        } else {
+            0.0
+        },
     })
 }
 

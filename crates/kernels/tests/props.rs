@@ -1,28 +1,35 @@
-//! Property-based tests of the generated kernels: for random problem
-//! sizes and random (seeded) inputs, the parallel Xpulp programs must
-//! produce exactly the golden results through the full SoC stack.
+//! Randomized (seeded, deterministic) tests of the generated kernels: for
+//! random problem sizes and random inputs, the parallel Xpulp programs
+//! must produce exactly the golden results through the full SoC stack.
 
 use hulkv::{HulkV, SocConfig};
 use hulkv_cluster::TCDM_BASE;
 use hulkv_kernels::{data, golden};
 use hulkv_rv::Reg;
-use proptest::prelude::*;
+use hulkv_sim::SplitMix64;
+
+const CASES: u64 = 12;
 
 fn fresh_soc() -> HulkV {
     HulkV::new(SocConfig::default()).expect("soc")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn cluster_matmul_i8_matches_golden(n_quads in 1usize..7, cores in 1usize..9, seed in any::<u64>()) {
-        let n = n_quads * 4;
+#[test]
+fn cluster_matmul_i8_matches_golden() {
+    let mut rng = SplitMix64::new(0x3a7_3a7);
+    for _ in 0..CASES {
+        let n = (1 + rng.next_below(6) as usize) * 4;
+        let cores = 1 + rng.next_below(8) as usize;
+        let seed = rng.next_u64();
         let a = data::i8_inputs(seed, n * n);
         let b = data::i8_inputs(seed ^ 0xFFFF, n * n);
         let mut soc = fresh_soc();
-        soc.cluster_mut().tcdm_write(0, &data::i8_bytes(&a)).unwrap();
-        soc.cluster_mut().tcdm_write((n * n) as u64, &data::i8_bytes(&b)).unwrap();
+        soc.cluster_mut()
+            .tcdm_write(0, &data::i8_bytes(&a))
+            .unwrap();
+        soc.cluster_mut()
+            .tcdm_write((n * n) as u64, &data::i8_bytes(&b))
+            .unwrap();
 
         let words = matmul_i8_program(n);
         let kernel = soc.register_kernel(&words).unwrap();
@@ -43,18 +50,27 @@ proptest! {
 
         let mut out = vec![0u8; n * n * 4];
         soc.cluster_mut().tcdm_read(c_off, &mut out).unwrap();
-        prop_assert_eq!(data::i32_from_bytes(&out), golden::matmul_i8(&a, &b, n));
+        assert_eq!(data::i32_from_bytes(&out), golden::matmul_i8(&a, &b, n));
     }
+}
 
-    #[test]
-    fn cluster_fir_matches_golden(n in 8usize..200, taps_pairs in 1usize..9, seed in any::<u64>()) {
-        let taps = taps_pairs * 2;
+#[test]
+fn cluster_fir_matches_golden() {
+    let mut rng = SplitMix64::new(0xf1f1);
+    for _ in 0..CASES {
+        let n = 8 + rng.next_below(192) as usize;
+        let taps = (1 + rng.next_below(8) as usize) * 2;
+        let seed = rng.next_u64();
         let x = data::i16_inputs(seed, n + taps - 1);
         let c = data::i16_inputs(seed ^ 0xAB, taps);
         let mut soc = fresh_soc();
-        soc.cluster_mut().tcdm_write(0, &data::i16_bytes(&x)).unwrap();
+        soc.cluster_mut()
+            .tcdm_write(0, &data::i16_bytes(&x))
+            .unwrap();
         let c_off = (2 * (n + taps - 1)) as u64;
-        soc.cluster_mut().tcdm_write(c_off, &data::i16_bytes(&c)).unwrap();
+        soc.cluster_mut()
+            .tcdm_write(c_off, &data::i16_bytes(&c))
+            .unwrap();
         let y_off = (c_off + 2 * taps as u64 + 63) & !63;
 
         let kernel = soc.register_kernel(&fir_program(taps)).unwrap();
@@ -74,15 +90,22 @@ proptest! {
 
         let mut out = vec![0u8; n * 4];
         soc.cluster_mut().tcdm_read(y_off, &mut out).unwrap();
-        prop_assert_eq!(data::i32_from_bytes(&out), &golden::fir_i16(&x, &c)[..n]);
+        assert_eq!(data::i32_from_bytes(&out), &golden::fir_i16(&x, &c)[..n]);
     }
+}
 
-    #[test]
-    fn cluster_maxpool_matches_golden(hh in 1usize..10, wq in 1usize..8, seed in any::<u64>()) {
-        let (h, w) = (hh * 2, wq * 4);
+#[test]
+fn cluster_maxpool_matches_golden() {
+    let mut rng = SplitMix64::new(0x9001);
+    for _ in 0..CASES {
+        let h = (1 + rng.next_below(9) as usize) * 2;
+        let w = (1 + rng.next_below(7) as usize) * 4;
+        let seed = rng.next_u64();
         let x = data::i8_inputs(seed, h * w);
         let mut soc = fresh_soc();
-        soc.cluster_mut().tcdm_write(0, &data::i8_bytes(&x)).unwrap();
+        soc.cluster_mut()
+            .tcdm_write(0, &data::i8_bytes(&x))
+            .unwrap();
         let out_off = ((h * w) as u64 + 63) & !63;
 
         let kernel = soc.register_kernel(&maxpool_program()).unwrap();
@@ -102,7 +125,7 @@ proptest! {
 
         let mut out = vec![0u8; h * w / 4];
         soc.cluster_mut().tcdm_read(out_off, &mut out).unwrap();
-        prop_assert_eq!(data::i8_from_bytes(&out), golden::maxpool2x2_i8(&x, h, w));
+        assert_eq!(data::i8_from_bytes(&out), golden::maxpool2x2_i8(&x, h, w));
     }
 }
 

@@ -72,6 +72,10 @@ impl MemoryDevice for ClockBridge {
     fn reset_stats(&mut self) {
         self.stats.reset();
     }
+
+    fn attach_tracer(&mut self, tracer: hulkv_sim::SharedTracer) {
+        self.inner.borrow_mut().attach_tracer(tracer);
+    }
 }
 
 #[cfg(test)]

@@ -127,10 +127,7 @@ impl Bus {
 
 impl MemoryDevice for Bus {
     fn size_bytes(&self) -> u64 {
-        self.regions
-            .last()
-            .map(|r| r.base + r.size)
-            .unwrap_or(0)
+        self.regions.last().map(|r| r.base + r.size).unwrap_or(0)
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
@@ -157,6 +154,12 @@ impl MemoryDevice for Bus {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn attach_tracer(&mut self, tracer: hulkv_sim::SharedTracer) {
+        for region in &self.regions {
+            region.device.borrow_mut().attach_tracer(tracer.clone());
+        }
     }
 }
 

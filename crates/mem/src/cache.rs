@@ -2,7 +2,7 @@
 
 use crate::device::check_range;
 use crate::{MemoryDevice, SharedMem};
-use hulkv_sim::{Cycles, SimError, Stats};
+use hulkv_sim::{Cycles, SharedTracer, SimError, Stats, TraceEvent, Track};
 
 /// Write-handling policy of a [`Cache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,6 +130,8 @@ pub struct Cache {
     backing: SharedMem,
     stats: Stats,
     tick: u64,
+    tracer: Option<SharedTracer>,
+    track: Track,
 }
 
 impl Cache {
@@ -157,7 +159,23 @@ impl Cache {
             backing,
             stats,
             tick: 0,
+            tracer: None,
+            track: Track::Llc,
         })
+    }
+
+    /// Attaches a structured SoC tracer; hits, misses and evictions are
+    /// recorded on `track`.
+    pub fn set_tracer(&mut self, tracer: SharedTracer, track: Track) {
+        self.tracer = Some(tracer);
+        self.track = track;
+    }
+
+    #[inline]
+    fn trace(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(self.track, event);
+        }
     }
 
     /// The cache configuration.
@@ -185,6 +203,7 @@ impl Cache {
                 let data = self.lines[idx].data.clone();
                 total += self.backing.borrow_mut().write(addr, &data)?;
                 self.stats.inc("writebacks");
+                self.trace(TraceEvent::CacheEvict { addr, dirty: true });
             }
             self.lines[idx].valid = false;
             self.lines[idx].dirty = false;
@@ -233,15 +252,23 @@ impl Cache {
 
     /// Ensures the line containing `addr` is resident; returns
     /// `(line_index, fill_latency)`.
-    fn ensure_line(&mut self, addr: u64) -> Result<(usize, Cycles), SimError> {
+    fn ensure_line(&mut self, addr: u64, is_write: bool) -> Result<(usize, Cycles), SimError> {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         if let Some(idx) = self.lookup(set, tag) {
             self.stats.inc("hits");
+            self.trace(TraceEvent::CacheHit {
+                addr,
+                write: is_write,
+            });
             self.touch(idx);
             return Ok((idx, Cycles::ZERO));
         }
         self.stats.inc("misses");
+        self.trace(TraceEvent::CacheMiss {
+            addr,
+            write: is_write,
+        });
         let mut lat = Cycles::ZERO;
         let idx = self.victim(set);
         if self.lines[idx].valid && self.lines[idx].dirty {
@@ -249,6 +276,10 @@ impl Cache {
             let data = self.lines[idx].data.clone();
             lat += self.backing.borrow_mut().write(victim_addr, &data)?;
             self.stats.inc("writebacks");
+            self.trace(TraceEvent::CacheEvict {
+                addr: victim_addr,
+                dirty: true,
+            });
         }
         let line_addr = self.line_base(tag, set);
         let mut data = std::mem::take(&mut self.lines[idx].data);
@@ -279,7 +310,7 @@ impl MemoryDevice for Cache {
             let addr = offset + pos as u64;
             let in_line = (addr % self.cfg.line_bytes as u64) as usize;
             let n = (self.cfg.line_bytes - in_line).min(buf.len() - pos);
-            let (idx, fill) = self.ensure_line(addr)?;
+            let (idx, fill) = self.ensure_line(addr, false)?;
             buf[pos..pos + n].copy_from_slice(&self.lines[idx].data[in_line..in_line + n]);
             total += self.cfg.hit_latency + fill;
             pos += n;
@@ -303,17 +334,19 @@ impl MemoryDevice for Cache {
             let idx = match self.lookup(set, tag) {
                 Some(idx) => {
                     self.stats.inc("hits");
+                    self.trace(TraceEvent::CacheHit { addr, write: true });
                     self.touch(idx);
                     Some(idx)
                 }
                 // ensure_line re-runs the (missing) lookup and counts the miss.
                 None if self.cfg.write_allocate => {
-                    let (idx, fill) = self.ensure_line(addr)?;
+                    let (idx, fill) = self.ensure_line(addr, true)?;
                     total += fill;
                     Some(idx)
                 }
                 None => {
                     self.stats.inc("misses");
+                    self.trace(TraceEvent::CacheMiss { addr, write: true });
                     None
                 }
             };

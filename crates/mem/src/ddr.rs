@@ -2,7 +2,7 @@
 
 use crate::device::check_range;
 use crate::{MemoryDevice, SparseStorage};
-use hulkv_sim::{Cycles, SimError, Stats};
+use hulkv_sim::{Cycles, SharedTracer, SimError, Stats, TraceEvent, Track};
 
 /// Configuration of the DDR4/LPDDR4 model.
 ///
@@ -63,6 +63,7 @@ pub struct Ddr {
     cfg: DdrConfig,
     storage: SparseStorage,
     stats: Stats,
+    tracer: Option<SharedTracer>,
 }
 
 impl Ddr {
@@ -80,6 +81,27 @@ impl Ddr {
             storage: SparseStorage::new(cfg.size_bytes),
             cfg,
             stats: Stats::new("ddr"),
+            tracer: None,
+        }
+    }
+
+    /// Attaches a structured SoC tracer; each access records a burst span
+    /// (covering the whole transaction latency) on the DRAM track.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace_burst(&self, addr: u64, bytes: usize, write: bool, lat: Cycles) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record_span(
+                Track::Dram,
+                TraceEvent::DramBurst {
+                    addr,
+                    bytes: bytes as u32,
+                    write,
+                },
+                lat.get(),
+            );
         }
     }
 
@@ -103,7 +125,10 @@ impl MemoryDevice for Ddr {
         self.storage.read(offset, buf);
         self.stats.inc("reads");
         self.stats.add("bytes_read", buf.len() as u64);
-        Ok(self.latency(buf.len()))
+        let lat = self.latency(buf.len());
+        self.stats.add("busy_cycles", lat.get());
+        self.trace_burst(offset, buf.len(), false, lat);
+        Ok(lat)
     }
 
     fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError> {
@@ -111,7 +136,10 @@ impl MemoryDevice for Ddr {
         self.storage.write(offset, data);
         self.stats.inc("writes");
         self.stats.add("bytes_written", data.len() as u64);
-        Ok(self.latency(data.len()))
+        let lat = self.latency(data.len());
+        self.stats.add("busy_cycles", lat.get());
+        self.trace_burst(offset, data.len(), true, lat);
+        Ok(lat)
     }
 
     fn stats(&self) -> &Stats {
@@ -120,6 +148,10 @@ impl MemoryDevice for Ddr {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.set_tracer(tracer);
     }
 }
 

@@ -1,6 +1,6 @@
 //! The common memory-device trait.
 
-use hulkv_sim::{Cycles, SimError, Stats};
+use hulkv_sim::{Cycles, SharedTracer, SimError, Stats};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -62,6 +62,15 @@ pub trait MemoryDevice: std::fmt::Debug {
 
     /// Resets the activity counters (e.g. after a warm-up phase).
     fn reset_stats(&mut self);
+
+    /// Attaches a structured SoC tracer to this device and everything it
+    /// wraps. The default is a no-op: devices without trace-worthy events
+    /// (plain SRAMs) ignore it, while caches, DRAM controllers and
+    /// interconnects override it to record on their tracks and to propagate
+    /// the handle downstream.
+    fn attach_tracer(&mut self, tracer: SharedTracer) {
+        let _ = tracer;
+    }
 
     /// Reads a little-endian `u32`.
     ///

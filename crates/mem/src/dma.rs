@@ -1,7 +1,7 @@
 //! The µDMA engine with 1D and 2D transfer descriptors.
 
 use crate::SharedMem;
-use hulkv_sim::{Cycles, SimError, Stats};
+use hulkv_sim::{Cycles, SharedTracer, SimError, Stats, TraceEvent, Track};
 
 /// A 1D (contiguous) DMA transfer descriptor.
 ///
@@ -100,6 +100,8 @@ pub struct DmaEngine {
     setup: Cycles,
     beat_bytes: usize,
     stats: Stats,
+    tracer: Option<SharedTracer>,
+    track: Track,
 }
 
 impl DmaEngine {
@@ -115,6 +117,36 @@ impl DmaEngine {
             setup,
             beat_bytes,
             stats: Stats::new(name),
+            tracer: None,
+            track: Track::Dma,
+        }
+    }
+
+    /// Attaches a structured SoC tracer; each transfer records a start
+    /// instant and an end span (covering the overlapped latency) on `track`.
+    pub fn set_tracer(&mut self, tracer: SharedTracer, track: Track) {
+        self.tracer = Some(tracer);
+        self.track = track;
+    }
+
+    fn trace_transfer(&self, src: u64, dst: u64, bytes: usize, latency: Cycles) {
+        if let Some(t) = &self.tracer {
+            let mut t = t.borrow_mut();
+            t.record(
+                self.track,
+                TraceEvent::DmaStart {
+                    src,
+                    dst,
+                    bytes: bytes as u64,
+                },
+            );
+            t.record_span(
+                self.track,
+                TraceEvent::DmaEnd {
+                    bytes: bytes as u64,
+                },
+                latency.get(),
+            );
         }
     }
 
@@ -166,7 +198,9 @@ impl DmaEngine {
         let (r, w) = self.move_span(src_dev, dst_dev, t.src, t.dst, t.bytes)?;
         self.stats.inc("transfers_1d");
         self.stats.add("bytes", t.bytes as u64);
-        Ok(self.setup + r.max(w))
+        let lat = self.setup + r.max(w);
+        self.trace_transfer(t.src, t.dst, t.bytes, lat);
+        Ok(lat)
     }
 
     /// Executes a 2D (strided) transfer.
@@ -196,7 +230,9 @@ impl DmaEngine {
         }
         self.stats.inc("transfers_2d");
         self.stats.add("bytes", t.total_bytes() as u64);
-        Ok(self.setup + read_lat.max(write_lat))
+        let lat = self.setup + read_lat.max(write_lat);
+        self.trace_transfer(t.src, t.dst, t.total_bytes(), lat);
+        Ok(lat)
     }
 }
 
@@ -216,8 +252,16 @@ mod tests {
         let (a, b, mut dma) = pair();
         let data: Vec<u8> = (0..200u8).collect();
         a.borrow_mut().write(16, &data).unwrap();
-        dma.run_1d(&a, &b, Transfer1d { src: 16, dst: 300, bytes: 200 })
-            .unwrap();
+        dma.run_1d(
+            &a,
+            &b,
+            Transfer1d {
+                src: 16,
+                dst: 300,
+                bytes: 200,
+            },
+        )
+        .unwrap();
         let mut out = vec![0u8; 200];
         b.borrow_mut().read(300, &mut out).unwrap();
         assert_eq!(out, data);
@@ -228,7 +272,15 @@ mod tests {
         let (a, b, mut dma) = pair();
         // 128 bytes = 2 beats; read leg 2*1, write leg 2*5; setup 8.
         let lat = dma
-            .run_1d(&a, &b, Transfer1d { src: 0, dst: 0, bytes: 128 })
+            .run_1d(
+                &a,
+                &b,
+                Transfer1d {
+                    src: 0,
+                    dst: 0,
+                    bytes: 128,
+                },
+            )
             .unwrap();
         assert_eq!(lat, Cycles::new(8 + 10));
     }
@@ -289,11 +341,27 @@ mod tests {
     #[test]
     fn stats_and_errors() {
         let (a, b, mut dma) = pair();
-        dma.run_1d(&a, &b, Transfer1d { src: 0, dst: 0, bytes: 10 })
-            .unwrap();
+        dma.run_1d(
+            &a,
+            &b,
+            Transfer1d {
+                src: 0,
+                dst: 0,
+                bytes: 10,
+            },
+        )
+        .unwrap();
         assert_eq!(dma.stats().get("transfers_1d"), 1);
         assert_eq!(dma.stats().get("bytes"), 10);
-        let err = dma.run_1d(&a, &b, Transfer1d { src: 4090, dst: 0, bytes: 100 });
+        let err = dma.run_1d(
+            &a,
+            &b,
+            Transfer1d {
+                src: 4090,
+                dst: 0,
+                bytes: 100,
+            },
+        );
         assert!(err.is_err());
         dma.reset_stats();
         assert_eq!(dma.stats().get("bytes"), 0);

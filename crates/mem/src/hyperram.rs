@@ -2,7 +2,7 @@
 
 use crate::device::check_range;
 use crate::{MemoryDevice, SparseStorage};
-use hulkv_sim::{convert_freq, Cycles, Freq, SimError, Stats};
+use hulkv_sim::{convert_freq, Cycles, Freq, SharedTracer, SimError, Stats, TraceEvent, Track};
 
 /// Configuration of the HyperRAM controller and the memories behind it.
 ///
@@ -125,6 +125,7 @@ pub struct HyperRam {
     cfg: HyperRamConfig,
     storage: SparseStorage,
     stats: Stats,
+    tracer: Option<SharedTracer>,
 }
 
 impl HyperRam {
@@ -150,7 +151,28 @@ impl HyperRam {
             cfg,
             storage,
             stats: Stats::new("hyperram"),
+            tracer: None,
         })
+    }
+
+    /// Attaches a structured SoC tracer; each access records a burst span
+    /// (covering the whole transaction latency) on the DRAM track.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace_burst(&self, addr: u64, bytes: usize, write: bool, lat: Cycles) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record_span(
+                Track::Dram,
+                TraceEvent::DramBurst {
+                    addr,
+                    bytes: bytes as u32,
+                    write,
+                },
+                lat.get(),
+            );
+        }
     }
 
     /// The configuration.
@@ -193,7 +215,11 @@ impl HyperRam {
             pos += n;
         }
         self.stats.add("bursts", bursts);
-        let phy = convert_freq(Cycles::new(bus_cycles), self.cfg.bus_freq, self.cfg.soc_freq);
+        let phy = convert_freq(
+            Cycles::new(bus_cycles),
+            self.cfg.bus_freq,
+            self.cfg.soc_freq,
+        );
         phy + Cycles::new(self.cfg.frontend_cycles)
     }
 }
@@ -208,7 +234,10 @@ impl MemoryDevice for HyperRam {
         self.storage.read(offset, buf);
         self.stats.inc("reads");
         self.stats.add("bytes_read", buf.len() as u64);
-        Ok(self.latency(offset, buf.len()))
+        let lat = self.latency(offset, buf.len());
+        self.stats.add("busy_cycles", lat.get());
+        self.trace_burst(offset, buf.len(), false, lat);
+        Ok(lat)
     }
 
     fn write(&mut self, offset: u64, data: &[u8]) -> Result<Cycles, SimError> {
@@ -216,7 +245,10 @@ impl MemoryDevice for HyperRam {
         self.storage.write(offset, data);
         self.stats.inc("writes");
         self.stats.add("bytes_written", data.len() as u64);
-        Ok(self.latency(offset, data.len()))
+        let lat = self.latency(offset, data.len());
+        self.stats.add("busy_cycles", lat.get());
+        self.trace_burst(offset, data.len(), true, lat);
+        Ok(lat)
     }
 
     fn stats(&self) -> &Stats {
@@ -225,6 +257,10 @@ impl MemoryDevice for HyperRam {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.set_tracer(tracer);
     }
 }
 

@@ -2,7 +2,7 @@
 //! parameterizable set-associative cache.
 
 use crate::{Cache, CacheConfig, MemoryDevice, SharedMem, WritePolicy};
-use hulkv_sim::{Cycles, SimError, Stats};
+use hulkv_sim::{Cycles, SharedTracer, SimError, Stats, Track};
 
 /// Geometry of the LLC, expressed in the paper's own parameters.
 ///
@@ -123,6 +123,12 @@ impl Llc {
         &self.cfg
     }
 
+    /// Attaches a structured SoC tracer; the internal cache records its
+    /// hits, misses and evictions on the LLC track.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.cache.set_tracer(tracer, Track::Llc);
+    }
+
     /// Statistics of the internal cache (hits, misses, writebacks…).
     pub fn cache_stats(&self) -> &Stats {
         self.cache.stats()
@@ -180,6 +186,11 @@ impl MemoryDevice for Llc {
         self.stats.reset();
         self.cache.reset_stats();
     }
+
+    fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.cache.set_tracer(tracer.clone(), Track::Llc);
+        self.bypass.borrow_mut().attach_tracer(tracer);
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +232,10 @@ mod tests {
         llc.read(0x2000, &mut b).unwrap();
         assert_eq!(backing.borrow().stats().get("reads"), 2);
         assert_eq!(llc.stats().get("bypassed"), 2);
-        assert_eq!(llc.cache_stats().get("hits") + llc.cache_stats().get("misses"), 0);
+        assert_eq!(
+            llc.cache_stats().get("hits") + llc.cache_stats().get("misses"),
+            0
+        );
     }
 
     #[test]

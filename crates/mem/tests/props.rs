@@ -1,17 +1,18 @@
-//! Property-based tests of the memory substrate: data transparency of
-//! every timed device against a plain shadow buffer, DMA equivalence with
-//! `memcpy`, and timing monotonicity of the DRAM models.
+//! Randomized (seeded, deterministic) tests of the memory substrate: data
+//! transparency of every timed device against a plain shadow buffer, DMA
+//! equivalence with `memcpy`, and timing monotonicity of the DRAM models.
 
 use hulkv_mem::{
     shared, Cache, CacheConfig, Ddr, DdrConfig, DmaEngine, HyperRam, HyperRamConfig, Llc,
     LlcConfig, MemoryDevice, Sram, Transfer1d, Transfer2d, WritePolicy,
 };
 use hulkv_sim::{Cycles, SplitMix64};
-use proptest::prelude::*;
+
+const CASES: u64 = 24;
 
 /// Drives `dev` and a shadow `Vec<u8>` with the same random access stream
 /// and checks every read agrees.
-fn data_transparent(dev: &mut dyn MemoryDevice, size: u64, seed: u64) -> Result<(), TestCaseError> {
+fn data_transparent(dev: &mut dyn MemoryDevice, size: u64, seed: u64) {
     let mut shadow = vec![0u8; size as usize];
     let mut rng = SplitMix64::new(seed);
     for _ in 0..300 {
@@ -25,38 +26,41 @@ fn data_transparent(dev: &mut dyn MemoryDevice, size: u64, seed: u64) -> Result<
         } else {
             let mut got = vec![0u8; len];
             dev.read(addr, &mut got).unwrap();
-            prop_assert_eq!(&got[..], &shadow[addr as usize..addr as usize + len]);
+            assert_eq!(&got[..], &shadow[addr as usize..addr as usize + len]);
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn hyperram_is_data_transparent(seed in any::<u64>()) {
+#[test]
+fn hyperram_is_data_transparent() {
+    for seed in 0..CASES {
         let mut ram = HyperRam::new(HyperRamConfig {
             chips_per_bus: 2,
             chip_bytes: 1 << 16,
             ..HyperRamConfig::default()
         });
-        data_transparent(&mut ram, 1 << 17, seed)?;
+        data_transparent(&mut ram, 1 << 17, 0x11aa_0000 + seed);
     }
+}
 
-    #[test]
-    fn ddr_is_data_transparent(seed in any::<u64>()) {
-        let mut ddr = Ddr::new(DdrConfig { size_bytes: 1 << 17, ..DdrConfig::default() });
-        data_transparent(&mut ddr, 1 << 17, seed)?;
+#[test]
+fn ddr_is_data_transparent() {
+    for seed in 0..CASES {
+        let mut ddr = Ddr::new(DdrConfig {
+            size_bytes: 1 << 17,
+            ..DdrConfig::default()
+        });
+        data_transparent(&mut ddr, 1 << 17, 0x22bb_0000 + seed);
     }
+}
 
-    #[test]
-    fn cache_is_data_transparent_across_geometries(
-        seed in any::<u64>(),
-        ways_log in 0u32..3,
-        sets_log in 1u32..5,
-        write_back in any::<bool>(),
-    ) {
+#[test]
+fn cache_is_data_transparent_across_geometries() {
+    let mut rng = SplitMix64::new(0x33cc_0000);
+    for seed in 0..CASES {
+        let ways_log = rng.next_below(3) as u32;
+        let sets_log = 1 + rng.next_below(4) as u32;
+        let write_back = rng.next_below(2) == 1;
         let backing = shared(Sram::new("b", 1 << 14, Cycles::new(20)));
         let cfg = CacheConfig {
             name: "c".into(),
@@ -64,18 +68,24 @@ proptest! {
             sets: 1 << sets_log,
             line_bytes: 32,
             hit_latency: Cycles::new(1),
-            write_policy: if write_back { WritePolicy::WriteBack } else { WritePolicy::WriteThrough },
+            write_policy: if write_back {
+                WritePolicy::WriteBack
+            } else {
+                WritePolicy::WriteThrough
+            },
             write_allocate: write_back,
             write_buffer: !write_back,
         };
         let mut cache = Cache::new(cfg, backing).unwrap();
-        data_transparent(&mut cache, 1 << 14, seed)?;
+        data_transparent(&mut cache, 1 << 14, 0x33cc_1000 + seed);
         // After a flush, the backing store is fully coherent.
         cache.flush().unwrap();
     }
+}
 
-    #[test]
-    fn llc_bypass_window_is_data_transparent(seed in any::<u64>()) {
+#[test]
+fn llc_bypass_window_is_data_transparent() {
+    for seed in 0..CASES {
         let backing = shared(Sram::new("b", 1 << 15, Cycles::new(30)));
         let mut llc = Llc::new(
             LlcConfig {
@@ -89,36 +99,48 @@ proptest! {
         )
         .unwrap();
         // Accesses inside, outside and across the window all stay correct.
-        data_transparent(&mut llc, 1 << 15, seed)?;
+        data_transparent(&mut llc, 1 << 15, 0x44dd_0000 + seed);
     }
+}
 
-    #[test]
-    fn dma_1d_equals_memcpy(seed in any::<u64>(), bytes in 1usize..1500) {
+#[test]
+fn dma_1d_equals_memcpy() {
+    let mut rng = SplitMix64::new(0x55ee_0000);
+    for _ in 0..CASES {
+        let bytes = 1 + rng.next_below(1499) as usize;
         let src = shared(Sram::new("src", 4096, Cycles::new(1)));
         let dst = shared(Sram::new("dst", 4096, Cycles::new(1)));
-        let mut rng = SplitMix64::new(seed);
         let mut data = vec![0u8; bytes];
         rng.fill_bytes(&mut data);
         src.borrow_mut().write(100, &data).unwrap();
 
         let mut dma = DmaEngine::new("dma", Cycles::new(8), 64);
-        dma.run_1d(&src, &dst, Transfer1d { src: 100, dst: 200, bytes }).unwrap();
+        dma.run_1d(
+            &src,
+            &dst,
+            Transfer1d {
+                src: 100,
+                dst: 200,
+                bytes,
+            },
+        )
+        .unwrap();
         let mut got = vec![0u8; bytes];
         dst.borrow_mut().read(200, &mut got).unwrap();
-        prop_assert_eq!(got, data);
+        assert_eq!(got, data);
     }
+}
 
-    #[test]
-    fn dma_2d_equals_strided_copy(
-        seed in any::<u64>(),
-        rows in 1usize..8,
-        row_bytes in 1usize..64,
-        pad in 0u64..32,
-    ) {
+#[test]
+fn dma_2d_equals_strided_copy() {
+    let mut rng = SplitMix64::new(0x66ff_0000);
+    for _ in 0..CASES {
+        let rows = 1 + rng.next_below(7) as usize;
+        let row_bytes = 1 + rng.next_below(63) as usize;
+        let pad = rng.next_below(32);
         let src_stride = row_bytes as u64 + pad;
         let src = shared(Sram::new("src", 8192, Cycles::new(1)));
         let dst = shared(Sram::new("dst", 8192, Cycles::new(1)));
-        let mut rng = SplitMix64::new(seed);
         let mut image = vec![0u8; (src_stride as usize) * rows];
         rng.fill_bytes(&mut image);
         src.borrow_mut().write(0, &image).unwrap();
@@ -141,29 +163,40 @@ proptest! {
         let mut got = vec![0u8; row_bytes * rows];
         dst.borrow_mut().read(0, &mut got).unwrap();
         for r in 0..rows {
-            prop_assert_eq!(
+            assert_eq!(
                 &got[r * row_bytes..(r + 1) * row_bytes],
                 &image[r * src_stride as usize..r * src_stride as usize + row_bytes]
             );
         }
     }
+}
 
-    #[test]
-    fn hyperram_latency_monotone_in_length(len_a in 1usize..256, len_b in 1usize..256) {
-        let (small, large) = if len_a <= len_b { (len_a, len_b) } else { (len_b, len_a) };
+#[test]
+fn hyperram_latency_monotone_in_length() {
+    let mut rng = SplitMix64::new(0x7700_0000);
+    for _ in 0..CASES {
+        let len_a = 1 + rng.next_below(255) as usize;
+        let len_b = 1 + rng.next_below(255) as usize;
+        let (small, large) = if len_a <= len_b {
+            (len_a, len_b)
+        } else {
+            (len_b, len_a)
+        };
         let mut ram = HyperRam::new(HyperRamConfig::default());
         let mut buf = vec![0u8; large];
         let lat_small = ram.read(0, &mut buf[..small]).unwrap();
         let lat_large = ram.read(0, &mut buf[..large]).unwrap();
-        prop_assert!(lat_large >= lat_small);
+        assert!(lat_large >= lat_small);
     }
+}
 
-    #[test]
-    fn clock_bridge_preserves_data(seed in any::<u64>()) {
-        use hulkv_mem::ClockBridge;
-        use hulkv_sim::Freq;
+#[test]
+fn clock_bridge_preserves_data() {
+    use hulkv_mem::ClockBridge;
+    use hulkv_sim::Freq;
+    for seed in 0..CASES {
         let inner = shared(Sram::new("i", 1 << 12, Cycles::new(3)));
         let mut bridge = ClockBridge::new(inner, Freq::mhz(450), Freq::mhz(900));
-        data_transparent(&mut bridge, 1 << 12, seed)?;
+        data_transparent(&mut bridge, 1 << 12, 0x8811_0000 + seed);
     }
 }

@@ -129,7 +129,9 @@ impl PowerModel {
         self.cva6.max_power_mw()
             + self.top.power_mw(self.top.max_freq_mhz, 0.3)
             + self.pmca.power_mw(0.0, 0.0)
-            + self.mem_ctrl.power_mw(self.mem_ctrl.max_freq_mhz, mem_utilization)
+            + self
+                .mem_ctrl
+                .power_mw(self.mem_ctrl.max_freq_mhz, mem_utilization)
     }
 
     /// Power of a cluster workload: PMCA at full tilt, host idling at its
@@ -138,7 +140,9 @@ impl PowerModel {
         self.pmca.max_power_mw()
             + self.cva6.power_mw(self.cva6.max_freq_mhz, 0.05)
             + self.top.power_mw(self.top.max_freq_mhz, 0.3)
-            + self.mem_ctrl.power_mw(self.mem_ctrl.max_freq_mhz, mem_utilization)
+            + self
+                .mem_ctrl
+                .power_mw(self.mem_ctrl.max_freq_mhz, mem_utilization)
     }
 }
 

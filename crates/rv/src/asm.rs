@@ -36,15 +36,36 @@ pub struct Label(usize);
 #[derive(Debug, Clone)]
 enum Item {
     Fixed(Inst),
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: Label },
-    Jal { rd: Reg, target: Label },
-    HwStart { loop_idx: u8, target: Label },
-    HwEnd { loop_idx: u8, target: Label },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: Label,
+    },
+    Jal {
+        rd: Reg,
+        target: Label,
+    },
+    HwStart {
+        loop_idx: u8,
+        target: Label,
+    },
+    HwEnd {
+        loop_idx: u8,
+        target: Label,
+    },
     /// `auipc rd, hi` — first half of a pc-relative `la`.
-    LaHi { rd: Reg, target: Label },
+    LaHi {
+        rd: Reg,
+        target: Label,
+    },
     /// `addi rd, rd, lo` — second half; `anchor` is the index of the
     /// matching `LaHi` whose pc the offset is relative to.
-    LaLo { rd: Reg, target: Label, anchor: usize },
+    LaLo {
+        rd: Reg,
+        target: Label,
+        anchor: usize,
+    },
     Word(u32),
 }
 
@@ -135,7 +156,12 @@ impl Asm {
             let word = match item {
                 Item::Fixed(inst) => encode(inst)?,
                 Item::Word(w) => *w,
-                Item::Branch { cond, rs1, rs2, target } => encode(&Inst::Branch {
+                Item::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => encode(&Inst::Branch {
                     cond: *cond,
                     rs1: *rs1,
                     rs2: *rs2,
@@ -245,17 +271,27 @@ impl Asm {
 
     /// Unconditional jump to a label.
     pub fn j(&mut self, target: Label) {
-        self.items.push(Item::Jal { rd: Reg::Zero, target });
+        self.items.push(Item::Jal {
+            rd: Reg::Zero,
+            target,
+        });
     }
 
     /// Call (jal ra).
     pub fn call(&mut self, target: Label) {
-        self.items.push(Item::Jal { rd: Reg::Ra, target });
+        self.items.push(Item::Jal {
+            rd: Reg::Ra,
+            target,
+        });
     }
 
     /// Return (jalr zero, ra, 0).
     pub fn ret(&mut self) {
-        self.inst(Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 });
+        self.inst(Inst::Jalr {
+            rd: Reg::Zero,
+            rs1: Reg::Ra,
+            offset: 0,
+        });
     }
 
     /// Branch if equal to zero.
@@ -271,7 +307,12 @@ impl Asm {
     // ---- branches ----
 
     fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: Label) {
-        self.items.push(Item::Branch { cond, rs1, rs2, target });
+        self.items.push(Item::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        });
     }
 
     /// `beq`.
@@ -303,211 +344,462 @@ impl Asm {
 
     /// `addi`.
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Add, rd, rs1, imm });
+        self.inst(Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `andi`.
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::And, rd, rs1, imm });
+        self.inst(Inst::OpImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `ori`.
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Or, rd, rs1, imm });
+        self.inst(Inst::OpImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `xori`.
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Xor, rd, rs1, imm });
+        self.inst(Inst::OpImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `slti`.
     pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Slt, rd, rs1, imm });
+        self.inst(Inst::OpImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `sltiu`.
     pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Sltu, rd, rs1, imm });
+        self.inst(Inst::OpImm {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `slli`.
     pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt });
+        self.inst(Inst::OpImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: shamt,
+        });
     }
     /// `srli`.
     pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt });
+        self.inst(Inst::OpImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: shamt,
+        });
     }
     /// `srai`.
     pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt });
+        self.inst(Inst::OpImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm: shamt,
+        });
     }
     /// `addiw` (RV64).
     pub fn addiw(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.inst(Inst::OpImm32 { op: AluOp::Add, rd, rs1, imm });
+        self.inst(Inst::OpImm32 {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `slliw` (RV64).
     pub fn slliw(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
-        self.inst(Inst::OpImm32 { op: AluOp::Sll, rd, rs1, imm: shamt });
+        self.inst(Inst::OpImm32 {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: shamt,
+        });
     }
 
     /// `add`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::Add, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `sub`.
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::Sub, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `and`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::And, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `or`.
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::Or, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `xor`.
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::Xor, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `sll`.
     pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::Sll, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `srl`.
     pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::Srl, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `sra`.
     pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::Sra, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `slt`.
     pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::Slt, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `sltu`.
     pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op { op: AluOp::Sltu, rd, rs1, rs2 });
+        self.inst(Inst::Op {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `addw` (RV64).
     pub fn addw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op32 { op: AluOp::Add, rd, rs1, rs2 });
+        self.inst(Inst::Op32 {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `subw` (RV64).
     pub fn subw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op32 { op: AluOp::Sub, rd, rs1, rs2 });
+        self.inst(Inst::Op32 {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `sllw` (RV64).
     pub fn sllw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Op32 { op: AluOp::Sll, rd, rs1, rs2 });
+        self.inst(Inst::Op32 {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `mul`.
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2 });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `mulh`.
     pub fn mulh(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Mulh, rd, rs1, rs2 });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Mulh,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `mulhu`.
     pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Mulhu, rd, rs1, rs2 });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Mulhu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `div`.
     pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Div, rd, rs1, rs2 });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `divu`.
     pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Divu, rd, rs1, rs2 });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Divu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rem`.
     pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Rem, rd, rs1, rs2 });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Rem,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `remu`.
     pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Remu, rd, rs1, rs2 });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Remu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `mulw` (RV64).
     pub fn mulw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::MulDiv32 { op: MulDivOp::Mul, rd, rs1, rs2 });
+        self.inst(Inst::MulDiv32 {
+            op: MulDivOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     // ---- memory ----
 
     /// `lb`.
     pub fn lb(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Load { width: LoadWidth::B, rd, rs1, offset });
+        self.inst(Inst::Load {
+            width: LoadWidth::B,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `lbu`.
     pub fn lbu(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Load { width: LoadWidth::Bu, rd, rs1, offset });
+        self.inst(Inst::Load {
+            width: LoadWidth::Bu,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `lh`.
     pub fn lh(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Load { width: LoadWidth::H, rd, rs1, offset });
+        self.inst(Inst::Load {
+            width: LoadWidth::H,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `lhu`.
     pub fn lhu(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Load { width: LoadWidth::Hu, rd, rs1, offset });
+        self.inst(Inst::Load {
+            width: LoadWidth::Hu,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `lw`.
     pub fn lw(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Load { width: LoadWidth::W, rd, rs1, offset });
+        self.inst(Inst::Load {
+            width: LoadWidth::W,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `lwu` (RV64).
     pub fn lwu(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Load { width: LoadWidth::Wu, rd, rs1, offset });
+        self.inst(Inst::Load {
+            width: LoadWidth::Wu,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `ld` (RV64).
     pub fn ld(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Load { width: LoadWidth::D, rd, rs1, offset });
+        self.inst(Inst::Load {
+            width: LoadWidth::D,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `sb`.
     pub fn sb(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Store { width: StoreWidth::B, rs2, rs1, offset });
+        self.inst(Inst::Store {
+            width: StoreWidth::B,
+            rs2,
+            rs1,
+            offset,
+        });
     }
     /// `sh`.
     pub fn sh(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Store { width: StoreWidth::H, rs2, rs1, offset });
+        self.inst(Inst::Store {
+            width: StoreWidth::H,
+            rs2,
+            rs1,
+            offset,
+        });
     }
     /// `sw`.
     pub fn sw(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Store { width: StoreWidth::W, rs2, rs1, offset });
+        self.inst(Inst::Store {
+            width: StoreWidth::W,
+            rs2,
+            rs1,
+            offset,
+        });
     }
     /// `sd` (RV64).
     pub fn sd(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::Store { width: StoreWidth::D, rs2, rs1, offset });
+        self.inst(Inst::Store {
+            width: StoreWidth::D,
+            rs2,
+            rs1,
+            offset,
+        });
     }
 
     // ---- atomics ----
 
     /// `lr.d`.
     pub fn lr_d(&mut self, rd: Reg, rs1: Reg) {
-        self.inst(Inst::LoadReserved { double: true, rd, rs1 });
+        self.inst(Inst::LoadReserved {
+            double: true,
+            rd,
+            rs1,
+        });
     }
     /// `lr.w`.
     pub fn lr_w(&mut self, rd: Reg, rs1: Reg) {
-        self.inst(Inst::LoadReserved { double: false, rd, rs1 });
+        self.inst(Inst::LoadReserved {
+            double: false,
+            rd,
+            rs1,
+        });
     }
     /// `sc.d`.
     pub fn sc_d(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
-        self.inst(Inst::StoreConditional { double: true, rd, rs1, rs2 });
+        self.inst(Inst::StoreConditional {
+            double: true,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `sc.w`.
     pub fn sc_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
-        self.inst(Inst::StoreConditional { double: false, rd, rs1, rs2 });
+        self.inst(Inst::StoreConditional {
+            double: false,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `amoadd.d`.
     pub fn amoadd_d(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
-        self.inst(Inst::Amo { op: AmoOp::Add, double: true, rd, rs1, rs2 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Add,
+            double: true,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `amoadd.w`.
     pub fn amoadd_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
-        self.inst(Inst::Amo { op: AmoOp::Add, double: false, rd, rs1, rs2 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Add,
+            double: false,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `amoswap.w`.
     pub fn amoswap_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) {
-        self.inst(Inst::Amo { op: AmoOp::Swap, double: false, rd, rs1, rs2 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Swap,
+            double: false,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     // ---- system ----
@@ -534,66 +826,148 @@ impl Asm {
     }
     /// `csrr rd, csr`.
     pub fn csrr(&mut self, rd: Reg, csr: u16) {
-        self.inst(Inst::Csr { op: CsrOp::Rs, rd, csr, src: CsrSrc::Reg(Reg::Zero) });
+        self.inst(Inst::Csr {
+            op: CsrOp::Rs,
+            rd,
+            csr,
+            src: CsrSrc::Reg(Reg::Zero),
+        });
     }
     /// `csrw csr, rs`.
     pub fn csrw(&mut self, csr: u16, rs: Reg) {
-        self.inst(Inst::Csr { op: CsrOp::Rw, rd: Reg::Zero, csr, src: CsrSrc::Reg(rs) });
+        self.inst(Inst::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::Zero,
+            csr,
+            src: CsrSrc::Reg(rs),
+        });
     }
     /// `csrrw rd, csr, rs`.
     pub fn csrrw(&mut self, rd: Reg, csr: u16, rs: Reg) {
-        self.inst(Inst::Csr { op: CsrOp::Rw, rd, csr, src: CsrSrc::Reg(rs) });
+        self.inst(Inst::Csr {
+            op: CsrOp::Rw,
+            rd,
+            csr,
+            src: CsrSrc::Reg(rs),
+        });
     }
     /// `csrs csr, rs` (set bits).
     pub fn csrs(&mut self, csr: u16, rs: Reg) {
-        self.inst(Inst::Csr { op: CsrOp::Rs, rd: Reg::Zero, csr, src: CsrSrc::Reg(rs) });
+        self.inst(Inst::Csr {
+            op: CsrOp::Rs,
+            rd: Reg::Zero,
+            csr,
+            src: CsrSrc::Reg(rs),
+        });
     }
 
     // ---- F/D ----
 
     /// `flw`.
     pub fn flw(&mut self, rd: FReg, rs1: Reg, offset: i64) {
-        self.inst(Inst::FpLoad { fmt: FpFmt::S, rd, rs1, offset });
+        self.inst(Inst::FpLoad {
+            fmt: FpFmt::S,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `fld`.
     pub fn fld(&mut self, rd: FReg, rs1: Reg, offset: i64) {
-        self.inst(Inst::FpLoad { fmt: FpFmt::D, rd, rs1, offset });
+        self.inst(Inst::FpLoad {
+            fmt: FpFmt::D,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `fsw`.
     pub fn fsw(&mut self, rs2: FReg, rs1: Reg, offset: i64) {
-        self.inst(Inst::FpStore { fmt: FpFmt::S, rs2, rs1, offset });
+        self.inst(Inst::FpStore {
+            fmt: FpFmt::S,
+            rs2,
+            rs1,
+            offset,
+        });
     }
     /// `fsd`.
     pub fn fsd(&mut self, rs2: FReg, rs1: Reg, offset: i64) {
-        self.inst(Inst::FpStore { fmt: FpFmt::D, rs2, rs1, offset });
+        self.inst(Inst::FpStore {
+            fmt: FpFmt::D,
+            rs2,
+            rs1,
+            offset,
+        });
     }
     /// `fadd.s`.
     pub fn fadd_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.inst(Inst::FpOp3 { fmt: FpFmt::S, op: FpOp::Add, rd, rs1, rs2 });
+        self.inst(Inst::FpOp3 {
+            fmt: FpFmt::S,
+            op: FpOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `fsub.s`.
     pub fn fsub_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.inst(Inst::FpOp3 { fmt: FpFmt::S, op: FpOp::Sub, rd, rs1, rs2 });
+        self.inst(Inst::FpOp3 {
+            fmt: FpFmt::S,
+            op: FpOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `fmul.s`.
     pub fn fmul_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.inst(Inst::FpOp3 { fmt: FpFmt::S, op: FpOp::Mul, rd, rs1, rs2 });
+        self.inst(Inst::FpOp3 {
+            fmt: FpFmt::S,
+            op: FpOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `fdiv.s`.
     pub fn fdiv_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.inst(Inst::FpOp3 { fmt: FpFmt::S, op: FpOp::Div, rd, rs1, rs2 });
+        self.inst(Inst::FpOp3 {
+            fmt: FpFmt::S,
+            op: FpOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `fadd.d`.
     pub fn fadd_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.inst(Inst::FpOp3 { fmt: FpFmt::D, op: FpOp::Add, rd, rs1, rs2 });
+        self.inst(Inst::FpOp3 {
+            fmt: FpFmt::D,
+            op: FpOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `fmul.d`.
     pub fn fmul_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.inst(Inst::FpOp3 { fmt: FpFmt::D, op: FpOp::Mul, rd, rs1, rs2 });
+        self.inst(Inst::FpOp3 {
+            fmt: FpFmt::D,
+            op: FpOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `fdiv.d`.
     pub fn fdiv_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.inst(Inst::FpOp3 { fmt: FpFmt::D, op: FpOp::Div, rd, rs1, rs2 });
+        self.inst(Inst::FpOp3 {
+            fmt: FpFmt::D,
+            op: FpOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `fmadd.s` (`rd = rs1*rs2 + rs3`).
     pub fn fmadd_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
@@ -621,118 +995,260 @@ impl Asm {
     }
     /// `feq.s`.
     pub fn feq_s(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
-        self.inst(Inst::FpCmp { fmt: FpFmt::S, cmp: FpCmp::Eq, rd, rs1, rs2 });
+        self.inst(Inst::FpCmp {
+            fmt: FpFmt::S,
+            cmp: FpCmp::Eq,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `flt.s`.
     pub fn flt_s(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
-        self.inst(Inst::FpCmp { fmt: FpFmt::S, cmp: FpCmp::Lt, rd, rs1, rs2 });
+        self.inst(Inst::FpCmp {
+            fmt: FpFmt::S,
+            cmp: FpCmp::Lt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `fcvt.s.w`.
     pub fn fcvt_s_w(&mut self, rd: FReg, rs1: Reg) {
-        self.inst(Inst::IntToFp { fmt: FpFmt::S, rd, rs1, signed: true, wide: false });
+        self.inst(Inst::IntToFp {
+            fmt: FpFmt::S,
+            rd,
+            rs1,
+            signed: true,
+            wide: false,
+        });
     }
     /// `fcvt.w.s` (round toward zero).
     pub fn fcvt_w_s(&mut self, rd: Reg, rs1: FReg) {
-        self.inst(Inst::FpToInt { fmt: FpFmt::S, rd, rs1, signed: true, wide: false });
+        self.inst(Inst::FpToInt {
+            fmt: FpFmt::S,
+            rd,
+            rs1,
+            signed: true,
+            wide: false,
+        });
     }
     /// `fcvt.d.l`.
     pub fn fcvt_d_l(&mut self, rd: FReg, rs1: Reg) {
-        self.inst(Inst::IntToFp { fmt: FpFmt::D, rd, rs1, signed: true, wide: true });
+        self.inst(Inst::IntToFp {
+            fmt: FpFmt::D,
+            rd,
+            rs1,
+            signed: true,
+            wide: true,
+        });
     }
     /// `fcvt.l.d`.
     pub fn fcvt_l_d(&mut self, rd: Reg, rs1: FReg) {
-        self.inst(Inst::FpToInt { fmt: FpFmt::D, rd, rs1, signed: true, wide: true });
+        self.inst(Inst::FpToInt {
+            fmt: FpFmt::D,
+            rd,
+            rs1,
+            signed: true,
+            wide: true,
+        });
     }
     /// `fmv.x.w`.
     pub fn fmv_x_w(&mut self, rd: Reg, rs1: FReg) {
-        self.inst(Inst::FpMvToInt { fmt: FpFmt::S, rd, rs1 });
+        self.inst(Inst::FpMvToInt {
+            fmt: FpFmt::S,
+            rd,
+            rs1,
+        });
     }
     /// `fmv.w.x`.
     pub fn fmv_w_x(&mut self, rd: FReg, rs1: Reg) {
-        self.inst(Inst::FpMvFromInt { fmt: FpFmt::S, rd, rs1 });
+        self.inst(Inst::FpMvFromInt {
+            fmt: FpFmt::S,
+            rd,
+            rs1,
+        });
     }
     /// `fmv.x.d`.
     pub fn fmv_x_d(&mut self, rd: Reg, rs1: FReg) {
-        self.inst(Inst::FpMvToInt { fmt: FpFmt::D, rd, rs1 });
+        self.inst(Inst::FpMvToInt {
+            fmt: FpFmt::D,
+            rd,
+            rs1,
+        });
     }
     /// `fmv.d.x`.
     pub fn fmv_d_x(&mut self, rd: FReg, rs1: Reg) {
-        self.inst(Inst::FpMvFromInt { fmt: FpFmt::D, rd, rs1 });
+        self.inst(Inst::FpMvFromInt {
+            fmt: FpFmt::D,
+            rd,
+            rs1,
+        });
     }
 
     // ---- Xpulp ----
 
     /// `p.lw rd, imm(rs1!)` — post-increment word load.
     pub fn p_lw_post(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::LoadPost { width: LoadWidth::W, rd, rs1, offset });
+        self.inst(Inst::LoadPost {
+            width: LoadWidth::W,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `p.lh rd, imm(rs1!)`.
     pub fn p_lh_post(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::LoadPost { width: LoadWidth::H, rd, rs1, offset });
+        self.inst(Inst::LoadPost {
+            width: LoadWidth::H,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `p.lbu rd, imm(rs1!)`.
     pub fn p_lbu_post(&mut self, rd: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::LoadPost { width: LoadWidth::Bu, rd, rs1, offset });
+        self.inst(Inst::LoadPost {
+            width: LoadWidth::Bu,
+            rd,
+            rs1,
+            offset,
+        });
     }
     /// `p.sw rs2, imm(rs1!)` — post-increment word store.
     pub fn p_sw_post(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::StorePost { width: StoreWidth::W, rs2, rs1, offset });
+        self.inst(Inst::StorePost {
+            width: StoreWidth::W,
+            rs2,
+            rs1,
+            offset,
+        });
     }
     /// `p.sh rs2, imm(rs1!)`.
     pub fn p_sh_post(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::StorePost { width: StoreWidth::H, rs2, rs1, offset });
+        self.inst(Inst::StorePost {
+            width: StoreWidth::H,
+            rs2,
+            rs1,
+            offset,
+        });
     }
     /// `p.sb rs2, imm(rs1!)`.
     pub fn p_sb_post(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
-        self.inst(Inst::StorePost { width: StoreWidth::B, rs2, rs1, offset });
+        self.inst(Inst::StorePost {
+            width: StoreWidth::B,
+            rs2,
+            rs1,
+            offset,
+        });
     }
     /// `p.mac rd, rs1, rs2` (`rd += rs1 * rs2`).
     pub fn p_mac(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Mac { rd, rs1, rs2, subtract: false });
+        self.inst(Inst::Mac {
+            rd,
+            rs1,
+            rs2,
+            subtract: false,
+        });
     }
     /// `p.msu rd, rs1, rs2` (`rd -= rs1 * rs2`).
     pub fn p_msu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::Mac { rd, rs1, rs2, subtract: true });
+        self.inst(Inst::Mac {
+            rd,
+            rs1,
+            rs2,
+            subtract: true,
+        });
     }
     /// `p.min`.
     pub fn p_min(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Min, rd, rs1, rs2 });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Min,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `p.max`.
     pub fn p_max(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Max, rd, rs1, rs2 });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Max,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `p.abs`.
     pub fn p_abs(&mut self, rd: Reg, rs1: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Abs, rd, rs1, rs2: Reg::Zero });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Abs,
+            rd,
+            rs1,
+            rs2: Reg::Zero,
+        });
     }
     /// `p.clip rd, rs1, rs2` — clamp to `[-(rs2+1), rs2]`.
     pub fn p_clip(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Clip, rd, rs1, rs2 });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Clip,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `p.exths` — sign-extend halfword.
     pub fn p_exths(&mut self, rd: Reg, rs1: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Exths, rd, rs1, rs2: Reg::Zero });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Exths,
+            rd,
+            rs1,
+            rs2: Reg::Zero,
+        });
     }
     /// `p.exthz` — zero-extend halfword.
     pub fn p_exthz(&mut self, rd: Reg, rs1: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Exthz, rd, rs1, rs2: Reg::Zero });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Exthz,
+            rd,
+            rs1,
+            rs2: Reg::Zero,
+        });
     }
     /// `p.cnt` — population count.
     pub fn p_cnt(&mut self, rd: Reg, rs1: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Cnt, rd, rs1, rs2: Reg::Zero });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Cnt,
+            rd,
+            rs1,
+            rs2: Reg::Zero,
+        });
     }
     /// `p.ff1` — index of the first set bit (32 when none).
     pub fn p_ff1(&mut self, rd: Reg, rs1: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Ff1, rd, rs1, rs2: Reg::Zero });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Ff1,
+            rd,
+            rs1,
+            rs2: Reg::Zero,
+        });
     }
     /// `p.fl1` — index of the last set bit (32 when none).
     pub fn p_fl1(&mut self, rd: Reg, rs1: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Fl1, rd, rs1, rs2: Reg::Zero });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Fl1,
+            rd,
+            rs1,
+            rs2: Reg::Zero,
+        });
     }
     /// `p.ror` — rotate right by `rs2 & 31`.
     pub fn p_ror(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::PulpAlu { op: PulpAluOp::Ror, rd, rs1, rs2 });
+        self.inst(Inst::PulpAlu {
+            op: PulpAluOp::Ror,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `lp.starti L, label`.
@@ -745,15 +1261,32 @@ impl Asm {
     }
     /// `lp.counti L, imm`.
     pub fn lp_counti(&mut self, loop_idx: u8, count: i64) {
-        self.inst(Inst::HwLoop { op: HwLoopOp::Counti, loop_idx, value: count, rs1: Reg::Zero });
+        self.inst(Inst::HwLoop {
+            op: HwLoopOp::Counti,
+            loop_idx,
+            value: count,
+            rs1: Reg::Zero,
+        });
     }
     /// `lp.count L, rs1`.
     pub fn lp_count(&mut self, loop_idx: u8, rs1: Reg) {
-        self.inst(Inst::HwLoop { op: HwLoopOp::Count, loop_idx, value: 0, rs1 });
+        self.inst(Inst::HwLoop {
+            op: HwLoopOp::Count,
+            loop_idx,
+            value: 0,
+            rs1,
+        });
     }
 
     fn simd(&mut self, op: SimdOp, fmt: SimdFmt, rd: Reg, rs1: Reg, rs2: Reg, scalar: bool) {
-        self.inst(Inst::Simd { op, fmt, rd, rs1, rs2, scalar_rs2: scalar });
+        self.inst(Inst::Simd {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            scalar_rs2: scalar,
+        });
     }
 
     /// `pv.add.b`.
@@ -823,27 +1356,57 @@ impl Asm {
 
     /// `vfadd.h` — packed FP16 add.
     pub fn vfadd_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::SimdFp { op: SimdFpOp::Add, rd, rs1, rs2 });
+        self.inst(Inst::SimdFp {
+            op: SimdFpOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `vfsub.h`.
     pub fn vfsub_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::SimdFp { op: SimdFpOp::Sub, rd, rs1, rs2 });
+        self.inst(Inst::SimdFp {
+            op: SimdFpOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `vfmul.h`.
     pub fn vfmul_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::SimdFp { op: SimdFpOp::Mul, rd, rs1, rs2 });
+        self.inst(Inst::SimdFp {
+            op: SimdFpOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `vfmac.h` — packed FP16 multiply-accumulate.
     pub fn vfmac_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::SimdFp { op: SimdFpOp::Mac, rd, rs1, rs2 });
+        self.inst(Inst::SimdFp {
+            op: SimdFpOp::Mac,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `vfmax.h`.
     pub fn vfmax_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::SimdFp { op: SimdFpOp::Max, rd, rs1, rs2 });
+        self.inst(Inst::SimdFp {
+            op: SimdFpOp::Max,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `vfdotpex.s.h` — FP16 dot product accumulated into an f32 register.
     pub fn vfdotpex_s_h(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.inst(Inst::SimdFp { op: SimdFpOp::DotpexS, rd, rs1, rs2 });
+        self.inst(Inst::SimdFp {
+            op: SimdFpOp::DotpexS,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 }
 
@@ -867,10 +1430,21 @@ mod tests {
         let b = decode(w[1], Xlen::Rv64, false).unwrap();
         assert_eq!(
             b,
-            Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: 8 }
+            Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: 8
+            }
         );
         let j = decode(w[2], Xlen::Rv64, false).unwrap();
-        assert_eq!(j, Inst::Jal { rd: Reg::Zero, offset: -8 });
+        assert_eq!(
+            j,
+            Inst::Jal {
+                rd: Reg::Zero,
+                offset: -8
+            }
+        );
     }
 
     #[test]

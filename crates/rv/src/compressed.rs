@@ -60,7 +60,8 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
         }
         (0b00, 0b010) => {
             // c.lw rd', offset(rs1')
-            let imm = (((half >> 6) & 1) << 2) | (((half >> 10) & 7) << 3) | (((half >> 5) & 1) << 6);
+            let imm =
+                (((half >> 6) & 1) << 2) | (((half >> 10) & 7) << 3) | (((half >> 5) & 1) << 6);
             Some(Inst::Load {
                 width: LoadWidth::W,
                 rd: creg(half >> 2),
@@ -80,7 +81,8 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
         }
         (0b00, 0b110) => {
             // c.sw rs2', offset(rs1')
-            let imm = (((half >> 6) & 1) << 2) | (((half >> 10) & 7) << 3) | (((half >> 5) & 1) << 6);
+            let imm =
+                (((half >> 6) & 1) << 2) | (((half >> 10) & 7) << 3) | (((half >> 5) & 1) << 6);
             Some(Inst::Store {
                 width: StoreWidth::W,
                 rs2: creg(half >> 2),
@@ -104,7 +106,12 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
             // c.addi rd, nzimm (c.nop when rd=0, imm=0)
             let rd = full_reg(half >> 7);
             let imm = ci_imm6(half);
-            Some(Inst::OpImm { op: AluOp::Add, rd, rs1: rd, imm })
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd,
+                rs1: rd,
+                imm,
+            })
         }
         (0b01, 0b001) if xlen == Xlen::Rv64 => {
             // c.addiw rd, imm
@@ -112,12 +119,22 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
             if rd == Reg::Zero {
                 return None;
             }
-            Some(Inst::OpImm32 { op: AluOp::Add, rd, rs1: rd, imm: ci_imm6(half) })
+            Some(Inst::OpImm32 {
+                op: AluOp::Add,
+                rd,
+                rs1: rd,
+                imm: ci_imm6(half),
+            })
         }
         (0b01, 0b010) => {
             // c.li rd, imm
             let rd = full_reg(half >> 7);
-            Some(Inst::OpImm { op: AluOp::Add, rd, rs1: Reg::Zero, imm: ci_imm6(half) })
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd,
+                rs1: Reg::Zero,
+                imm: ci_imm6(half),
+            })
         }
         (0b01, 0b011) => {
             let rd = full_reg(half >> 7);
@@ -132,7 +149,12 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
                 if imm == 0 {
                     return None;
                 }
-                Some(Inst::OpImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm })
+                Some(Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::Sp,
+                    rs1: Reg::Sp,
+                    imm,
+                })
             } else {
                 // c.lui
                 let imm = ci_imm6(half);
@@ -148,13 +170,28 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
                 0b00 => {
                     // c.srli
                     let sh = shamt6(half, xlen)?;
-                    Some(Inst::OpImm { op: AluOp::Srl, rd, rs1: rd, imm: sh })
+                    Some(Inst::OpImm {
+                        op: AluOp::Srl,
+                        rd,
+                        rs1: rd,
+                        imm: sh,
+                    })
                 }
                 0b01 => {
                     let sh = shamt6(half, xlen)?;
-                    Some(Inst::OpImm { op: AluOp::Sra, rd, rs1: rd, imm: sh })
+                    Some(Inst::OpImm {
+                        op: AluOp::Sra,
+                        rd,
+                        rs1: rd,
+                        imm: sh,
+                    })
                 }
-                0b10 => Some(Inst::OpImm { op: AluOp::And, rd, rs1: rd, imm: ci_imm6(half) }),
+                0b10 => Some(Inst::OpImm {
+                    op: AluOp::And,
+                    rd,
+                    rs1: rd,
+                    imm: ci_imm6(half),
+                }),
                 _ => {
                     let rs2 = creg(half >> 2);
                     let word = (half >> 12) & 1 == 1;
@@ -164,20 +201,38 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
                         (false, 0b10) => AluOp::Or,
                         (false, 0b11) => AluOp::And,
                         (true, 0b00) if xlen == Xlen::Rv64 => {
-                            return Some(Inst::Op32 { op: AluOp::Sub, rd, rs1: rd, rs2 });
+                            return Some(Inst::Op32 {
+                                op: AluOp::Sub,
+                                rd,
+                                rs1: rd,
+                                rs2,
+                            });
                         }
                         (true, 0b01) if xlen == Xlen::Rv64 => {
-                            return Some(Inst::Op32 { op: AluOp::Add, rd, rs1: rd, rs2 });
+                            return Some(Inst::Op32 {
+                                op: AluOp::Add,
+                                rd,
+                                rs1: rd,
+                                rs2,
+                            });
                         }
                         _ => return None,
                     };
-                    Some(Inst::Op { op, rd, rs1: rd, rs2 })
+                    Some(Inst::Op {
+                        op,
+                        rd,
+                        rs1: rd,
+                        rs2,
+                    })
                 }
             }
         }
         (0b01, 0b101) => {
             // c.j
-            Some(Inst::Jal { rd: Reg::Zero, offset: cj_offset(half) })
+            Some(Inst::Jal {
+                rd: Reg::Zero,
+                offset: cj_offset(half),
+            })
         }
         (0b01, 0b110) => Some(Inst::Branch {
             cond: BranchCond::Eq,
@@ -197,7 +252,12 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
             // c.slli
             let rd = full_reg(half >> 7);
             let sh = shamt6(half, xlen)?;
-            Some(Inst::OpImm { op: AluOp::Sll, rd, rs1: rd, imm: sh })
+            Some(Inst::OpImm {
+                op: AluOp::Sll,
+                rd,
+                rs1: rd,
+                imm: sh,
+            })
         }
         (0b10, 0b010) => {
             // c.lwsp
@@ -206,7 +266,12 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
                 return None;
             }
             let imm = (((half >> 4) & 7) << 2) | (((half >> 12) & 1) << 5) | ((half & 0xC) << 4);
-            Some(Inst::Load { width: LoadWidth::W, rd, rs1: Reg::Sp, offset: imm as i64 })
+            Some(Inst::Load {
+                width: LoadWidth::W,
+                rd,
+                rs1: Reg::Sp,
+                offset: imm as i64,
+            })
         }
         (0b10, 0b011) if xlen == Xlen::Rv64 => {
             // c.ldsp
@@ -214,8 +279,14 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
             if rd == Reg::Zero {
                 return None;
             }
-            let imm = (((half >> 5) & 3) << 3) | (((half >> 12) & 1) << 5) | (((half >> 2) & 7) << 6);
-            Some(Inst::Load { width: LoadWidth::D, rd, rs1: Reg::Sp, offset: imm as i64 })
+            let imm =
+                (((half >> 5) & 3) << 3) | (((half >> 12) & 1) << 5) | (((half >> 2) & 7) << 6);
+            Some(Inst::Load {
+                width: LoadWidth::D,
+                rd,
+                rs1: Reg::Sp,
+                offset: imm as i64,
+            })
         }
         (0b10, 0b100) => {
             let rd = full_reg(half >> 7);
@@ -225,20 +296,38 @@ pub fn expand(half: u16, xlen: Xlen) -> Option<Inst> {
                 (false, Reg::Zero, _) => None,
                 (false, _, Reg::Zero) => {
                     // c.jr
-                    Some(Inst::Jalr { rd: Reg::Zero, rs1: rd, offset: 0 })
+                    Some(Inst::Jalr {
+                        rd: Reg::Zero,
+                        rs1: rd,
+                        offset: 0,
+                    })
                 }
                 (false, _, _) => {
                     // c.mv
-                    Some(Inst::Op { op: AluOp::Add, rd, rs1: Reg::Zero, rs2 })
+                    Some(Inst::Op {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: Reg::Zero,
+                        rs2,
+                    })
                 }
                 (true, Reg::Zero, Reg::Zero) => Some(Inst::Ebreak),
                 (true, _, Reg::Zero) => {
                     // c.jalr
-                    Some(Inst::Jalr { rd: Reg::Ra, rs1: rd, offset: 0 })
+                    Some(Inst::Jalr {
+                        rd: Reg::Ra,
+                        rs1: rd,
+                        offset: 0,
+                    })
                 }
                 (true, _, _) => {
                     // c.add
-                    Some(Inst::Op { op: AluOp::Add, rd, rs1: rd, rs2 })
+                    Some(Inst::Op {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        rs2,
+                    })
                 }
             }
         }
@@ -327,30 +416,49 @@ fn is_creg(r: Reg) -> Option<u16> {
 /// ```
 pub fn compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
     match *inst {
-        Inst::OpImm { op: AluOp::Add, rd, rs1, imm } if rd == rs1 && rd != Reg::Zero => {
+        Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        } if rd == rs1 && rd != Reg::Zero => {
             // c.addi (funct3 = 000, op = 01)
             (-32..32).contains(&imm).then(|| {
                 let u = (imm & 0x3F) as u16;
                 ((u >> 5) << 12) | ((rd.index() as u16) << 7) | ((u & 0x1F) << 2) | 0b01
             })
         }
-        Inst::OpImm { op: AluOp::Add, rd, rs1: Reg::Zero, imm } if rd != Reg::Zero => {
+        Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::Zero,
+            imm,
+        } if rd != Reg::Zero => {
             // c.li
             (-32..32).contains(&imm).then(|| {
                 let u = (imm & 0x3F) as u16;
-                (0b010 << 13) | ((u >> 5) << 12) | ((rd.index() as u16) << 7) | ((u & 0x1F) << 2)
+                (0b010 << 13)
+                    | ((u >> 5) << 12)
+                    | ((rd.index() as u16) << 7)
+                    | ((u & 0x1F) << 2)
                     | 0b01
             })
         }
-        Inst::Op { op: AluOp::Add, rd, rs1: Reg::Zero, rs2 }
-            if rd != Reg::Zero && rs2 != Reg::Zero =>
-        {
+        Inst::Op {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::Zero,
+            rs2,
+        } if rd != Reg::Zero && rs2 != Reg::Zero => {
             // c.mv
             Some((0b100 << 13) | ((rd.index() as u16) << 7) | ((rs2.index() as u16) << 2) | 0b10)
         }
-        Inst::Op { op: AluOp::Add, rd, rs1, rs2 }
-            if rd == rs1 && rd != Reg::Zero && rs2 != Reg::Zero =>
-        {
+        Inst::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        } if rd == rs1 && rd != Reg::Zero && rs2 != Reg::Zero => {
             // c.add
             Some(
                 (0b100 << 13)
@@ -373,7 +481,12 @@ pub fn compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
             };
             Some((0b100 << 13) | (0b011 << 10) | (rdc << 7) | (f2 << 5) | (rs2c << 2) | 0b01)
         }
-        Inst::Load { width: LoadWidth::W, rd, rs1, offset } => {
+        Inst::Load {
+            width: LoadWidth::W,
+            rd,
+            rs1,
+            offset,
+        } => {
             let rdc = is_creg(rd)?;
             let rs1c = is_creg(rs1)?;
             if !(0..=0x7C).contains(&offset) || offset & 3 != 0 {
@@ -389,7 +502,12 @@ pub fn compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                     | (rdc << 2),
             )
         }
-        Inst::Store { width: StoreWidth::W, rs2, rs1, offset } => {
+        Inst::Store {
+            width: StoreWidth::W,
+            rs2,
+            rs1,
+            offset,
+        } => {
             let rs2c = is_creg(rs2)?;
             let rs1c = is_creg(rs1)?;
             if !(0..=0x7C).contains(&offset) || offset & 3 != 0 {
@@ -405,7 +523,12 @@ pub fn compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                     | (rs2c << 2),
             )
         }
-        Inst::Load { width: LoadWidth::D, rd, rs1, offset } if xlen == Xlen::Rv64 => {
+        Inst::Load {
+            width: LoadWidth::D,
+            rd,
+            rs1,
+            offset,
+        } if xlen == Xlen::Rv64 => {
             let rdc = is_creg(rd)?;
             let rs1c = is_creg(rs1)?;
             if !(0..=0xF8).contains(&offset) || offset & 7 != 0 {
@@ -420,7 +543,12 @@ pub fn compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                     | (rdc << 2),
             )
         }
-        Inst::Store { width: StoreWidth::D, rs2, rs1, offset } if xlen == Xlen::Rv64 => {
+        Inst::Store {
+            width: StoreWidth::D,
+            rs2,
+            rs1,
+            offset,
+        } if xlen == Xlen::Rv64 => {
             let rs2c = is_creg(rs2)?;
             let rs1c = is_creg(rs1)?;
             if !(0..=0xF8).contains(&offset) || offset & 7 != 0 {
@@ -435,7 +563,11 @@ pub fn compress(inst: &Inst, xlen: Xlen) -> Option<u16> {
                     | (rs2c << 2),
             )
         }
-        Inst::Jalr { rd: Reg::Zero, rs1, offset: 0 } if rs1 != Reg::Zero => {
+        Inst::Jalr {
+            rd: Reg::Zero,
+            rs1,
+            offset: 0,
+        } if rs1 != Reg::Zero => {
             // c.jr
             Some((0b100 << 13) | ((rs1.index() as u16) << 7) | 0b10)
         }
@@ -453,31 +585,126 @@ mod tests {
         // Cross-checked against riscv-gnu-toolchain objdump output.
         let cases: Vec<(u16, Inst)> = vec![
             // c.addi a0, 3 = 0x050d
-            (0x050D, Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 3 }),
+            (
+                0x050D,
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    imm: 3,
+                },
+            ),
             // c.li a5, -1 = 0x57fd
-            (0x57FD, Inst::OpImm { op: AluOp::Add, rd: Reg::A5, rs1: Reg::Zero, imm: -1 }),
+            (
+                0x57FD,
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A5,
+                    rs1: Reg::Zero,
+                    imm: -1,
+                },
+            ),
             // c.mv a0, a1 = 0x852e
-            (0x852E, Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::A1 }),
+            (
+                0x852E,
+                Inst::Op {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::Zero,
+                    rs2: Reg::A1,
+                },
+            ),
             // c.add a0, a1 = 0x952e
-            (0x952E, Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 }),
+            (
+                0x952E,
+                Inst::Op {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                },
+            ),
             // c.lw a2, 0(a0) = 0x4110
-            (0x4110, Inst::Load { width: LoadWidth::W, rd: Reg::A2, rs1: Reg::A0, offset: 0 }),
+            (
+                0x4110,
+                Inst::Load {
+                    width: LoadWidth::W,
+                    rd: Reg::A2,
+                    rs1: Reg::A0,
+                    offset: 0,
+                },
+            ),
             // c.sw a2, 4(a0) = 0xc150
-            (0xC150, Inst::Store { width: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A0, offset: 4 }),
+            (
+                0xC150,
+                Inst::Store {
+                    width: StoreWidth::W,
+                    rs2: Reg::A2,
+                    rs1: Reg::A0,
+                    offset: 4,
+                },
+            ),
             // c.ld a2, 8(a0) = 0x6510
-            (0x6510, Inst::Load { width: LoadWidth::D, rd: Reg::A2, rs1: Reg::A0, offset: 8 }),
+            (
+                0x6510,
+                Inst::Load {
+                    width: LoadWidth::D,
+                    rd: Reg::A2,
+                    rs1: Reg::A0,
+                    offset: 8,
+                },
+            ),
             // c.jr ra = 0x8082 (ret)
-            (0x8082, Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 }),
+            (
+                0x8082,
+                Inst::Jalr {
+                    rd: Reg::Zero,
+                    rs1: Reg::Ra,
+                    offset: 0,
+                },
+            ),
             // c.ebreak = 0x9002
             (0x9002, Inst::Ebreak),
             // c.sub s0, s1 = 0x8c05
-            (0x8C05, Inst::Op { op: AluOp::Sub, rd: Reg::S0, rs1: Reg::S0, rs2: Reg::S1 }),
+            (
+                0x8C05,
+                Inst::Op {
+                    op: AluOp::Sub,
+                    rd: Reg::S0,
+                    rs1: Reg::S0,
+                    rs2: Reg::S1,
+                },
+            ),
             // c.slli a0, 2 = 0x050a
-            (0x050A, Inst::OpImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: 2 }),
+            (
+                0x050A,
+                Inst::OpImm {
+                    op: AluOp::Sll,
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    imm: 2,
+                },
+            ),
             // c.addi4spn a0, sp, 16 = 0x0808
-            (0x0808, Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: 16 }),
+            (
+                0x0808,
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::Sp,
+                    imm: 16,
+                },
+            ),
             // c.addi16sp sp, -32 = 0x7139
-            (0x7139, Inst::OpImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm: -64 }),
+            (
+                0x7139,
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::Sp,
+                    rs1: Reg::Sp,
+                    imm: -64,
+                },
+            ),
         ];
         for (half, expect) in cases {
             assert_eq!(expand(half, Xlen::Rv64), Some(expect), "half {half:#06x}");
@@ -487,14 +714,30 @@ mod tests {
     #[test]
     fn branch_and_jump_offsets() {
         // c.j +0 = 0xa001; c.beqz a0, +4 = 0xc111; c.beqz a0, +8 = 0xc501.
-        assert_eq!(expand(0xA001, Xlen::Rv64), Some(Inst::Jal { rd: Reg::Zero, offset: 0 }));
+        assert_eq!(
+            expand(0xA001, Xlen::Rv64),
+            Some(Inst::Jal {
+                rd: Reg::Zero,
+                offset: 0
+            })
+        );
         assert_eq!(
             expand(0xC111, Xlen::Rv64),
-            Some(Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: 4 })
+            Some(Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::Zero,
+                offset: 4
+            })
         );
         assert_eq!(
             expand(0xC501, Xlen::Rv64),
-            Some(Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: 8 })
+            Some(Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::Zero,
+                offset: 8
+            })
         );
     }
 
@@ -510,14 +753,53 @@ mod tests {
     #[test]
     fn compress_expand_round_trip() {
         let cases = vec![
-            Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: -5 },
-            Inst::OpImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::Zero, imm: 31 },
-            Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::A1 },
-            Inst::Op { op: AluOp::Add, rd: Reg::S2, rs1: Reg::S2, rs2: Reg::T3 },
-            Inst::Op { op: AluOp::Xor, rd: Reg::S0, rs1: Reg::S0, rs2: Reg::A5 },
-            Inst::Load { width: LoadWidth::W, rd: Reg::A3, rs1: Reg::A4, offset: 64 },
-            Inst::Store { width: StoreWidth::D, rs2: Reg::S1, rs1: Reg::A0, offset: 0xF8 },
-            Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: -5,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::Zero,
+                imm: 31,
+            },
+            Inst::Op {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                rs2: Reg::A1,
+            },
+            Inst::Op {
+                op: AluOp::Add,
+                rd: Reg::S2,
+                rs1: Reg::S2,
+                rs2: Reg::T3,
+            },
+            Inst::Op {
+                op: AluOp::Xor,
+                rd: Reg::S0,
+                rs1: Reg::S0,
+                rs2: Reg::A5,
+            },
+            Inst::Load {
+                width: LoadWidth::W,
+                rd: Reg::A3,
+                rs1: Reg::A4,
+                offset: 64,
+            },
+            Inst::Store {
+                width: StoreWidth::D,
+                rs2: Reg::S1,
+                rs1: Reg::A0,
+                offset: 0xF8,
+            },
+            Inst::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0,
+            },
             Inst::Ebreak,
         ];
         for inst in cases {
@@ -530,12 +812,28 @@ mod tests {
     #[test]
     fn uncompressible_forms() {
         assert_eq!(
-            compress(&Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 100 }, Xlen::Rv64),
+            compress(
+                &Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    imm: 100
+                },
+                Xlen::Rv64
+            ),
             None
         );
         assert_eq!(compress(&Inst::Ecall, Xlen::Rv64), None);
         assert_eq!(
-            compress(&Inst::Load { width: LoadWidth::W, rd: Reg::T6, rs1: Reg::T5, offset: 0 }, Xlen::Rv64),
+            compress(
+                &Inst::Load {
+                    width: LoadWidth::W,
+                    rd: Reg::T6,
+                    rs1: Reg::T5,
+                    offset: 0
+                },
+                Xlen::Rv64
+            ),
             None,
             "t5/t6 are outside the RVC register subset"
         );

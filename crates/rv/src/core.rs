@@ -11,7 +11,7 @@ use crate::fp16::{pack2, unpack2};
 use crate::inst::*;
 use crate::mmu::{self, AccessKind, WalkFault};
 use crate::timing::CostModel;
-use hulkv_sim::{Cycles, SimError, Stats};
+use hulkv_sim::{Cycles, PcProfile, SharedTracer, SimError, Stats, TraceEvent, Track};
 
 /// The memory interface a core executes against.
 ///
@@ -177,6 +177,10 @@ pub struct Core {
     stats: Stats,
     trace: Option<std::collections::VecDeque<TraceEntry>>,
     trace_capacity: usize,
+    tracer: Option<SharedTracer>,
+    track: Track,
+    trace_base: u64,
+    profile: Option<PcProfile>,
 }
 
 /// One retired instruction in the execution trace.
@@ -208,6 +212,10 @@ impl Core {
             stats: Stats::new("core"),
             trace: None,
             trace_capacity: 0,
+            tracer: None,
+            track: Track::HostHart,
+            trace_base: 0,
+            profile: None,
         }
     }
 
@@ -222,6 +230,7 @@ impl Core {
         c.xpulp = true;
         c.csrs = CsrFile::new(hartid);
         c.stats = Stats::new(format!("core{hartid}"));
+        c.track = Track::ClusterCore(hartid as u8);
         c
     }
 
@@ -322,7 +331,10 @@ impl Core {
 
     /// The trace ring buffer, oldest first (empty when tracing is off).
     pub fn trace(&self) -> Vec<TraceEntry> {
-        self.trace.as_ref().map(|t| t.iter().copied().collect()).unwrap_or_default()
+        self.trace
+            .as_ref()
+            .map(|t| t.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Renders the trace as disassembly, one instruction per line.
@@ -331,6 +343,39 @@ impl Core {
             .iter()
             .map(|e| format!("{:#010x}: {}\n", e.pc, crate::disasm::disassemble(&e.inst)))
             .collect()
+    }
+
+    /// Attaches a structured SoC tracer: retired instructions (and taken
+    /// interrupts) are recorded on this core's track, stamped relative to
+    /// the tracer's global clock at attach time.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.trace_base = tracer.borrow().now();
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the structured tracer (instrumentation back to one branch).
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// The track this core's trace events are recorded on.
+    pub fn track(&self) -> Track {
+        self.track
+    }
+
+    /// Enables per-PC cycle profiling on the commit path.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(PcProfile::new());
+    }
+
+    /// The per-PC cycle histogram (`None` until [`Core::enable_profile`]).
+    pub fn profile(&self) -> Option<&PcProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Takes the per-PC histogram out of the core, leaving profiling off.
+    pub fn take_profile(&mut self) -> Option<PcProfile> {
+        self.profile.take()
     }
 
     /// Resets cycle/instruction/activity counters (not architectural state).
@@ -620,13 +665,21 @@ impl Core {
         match fmt {
             SimdFmt::B => {
                 for (i, lane) in out.iter_mut().enumerate() {
-                    let byte = if scalar { v as u8 } else { (v >> (8 * i)) as u8 };
+                    let byte = if scalar {
+                        v as u8
+                    } else {
+                        (v >> (8 * i)) as u8
+                    };
                     *lane = byte as i8 as i32;
                 }
             }
             SimdFmt::H => {
                 for (i, lane) in out.iter_mut().take(2).enumerate() {
-                    let h = if scalar { v as u16 } else { (v >> (16 * i)) as u16 };
+                    let h = if scalar {
+                        v as u16
+                    } else {
+                        (v >> (16 * i)) as u16
+                    };
                     *lane = h as i16 as i32;
                 }
             }
@@ -640,9 +693,7 @@ impl Core {
                 .iter()
                 .enumerate()
                 .fold(0u32, |acc, (i, &l)| acc | (((l as u8) as u32) << (8 * i))),
-            SimdFmt::H => {
-                ((lanes[0] as u16) as u32) | (((lanes[1] as u16) as u32) << 16)
-            }
+            SimdFmt::H => ((lanes[0] as u16) as u32) | (((lanes[1] as u16) as u32) << 16),
         }
     }
 
@@ -809,7 +860,10 @@ impl Core {
     /// system failure.
     pub fn step(&mut self, bus: &mut dyn CoreBus) -> Result<StepOutcome, RvError> {
         if self.halted {
-            return Ok(StepOutcome { cycles: Cycles::ZERO, halted: true });
+            return Ok(StepOutcome {
+                cycles: Cycles::ZERO,
+                halted: true,
+            });
         }
         if let Some(code) = self.takeable_interrupt() {
             if self.csrs.read(addr::MTVEC) != 0 {
@@ -819,7 +873,15 @@ impl Core {
                 self.stats.inc("interrupts");
                 let c = Cycles::new(self.cost.branch_taken_penalty + 1);
                 self.cycles += c;
-                return Ok(StepOutcome { cycles: c, halted: false });
+                if let Some(t) = &self.tracer {
+                    let mut t = t.borrow_mut();
+                    t.set_now(self.trace_base + self.cycles.get());
+                    t.record(self.track, TraceEvent::IrqClaim { irq: code as u32 });
+                }
+                return Ok(StepOutcome {
+                    cycles: c,
+                    halted: false,
+                });
             }
         }
         let pc = self.pc;
@@ -832,7 +894,10 @@ impl Core {
                 self.raise(TrapCause::InstPageFault, pc)?;
                 let c = Cycles::new(self.cost.base) + extra;
                 self.cycles += c;
-                return Ok(StepOutcome { cycles: c, halted: false });
+                return Ok(StepOutcome {
+                    cycles: c,
+                    halted: false,
+                });
             }
         };
         let (word, fetch_lat) = bus.fetch(fetch_pa).map_err(|e| RvError::Memory {
@@ -852,7 +917,10 @@ impl Core {
             self.raise(TrapCause::IllegalInstruction, word as u64)?;
             let c = Cycles::new(self.cost.base) + extra;
             self.cycles += c;
-            return Ok(StepOutcome { cycles: c, halted: false });
+            return Ok(StepOutcome {
+                cycles: c,
+                halted: false,
+            });
         };
 
         if let Some(trace) = &mut self.trace {
@@ -868,429 +936,553 @@ impl Core {
         let mut control_transfer = false;
         let mut trapped = false;
 
-        let exec_result: Result<(), RvError> = (|| { match inst {
-            Inst::Lui { rd, imm } => self.set_reg(rd, (imm << 12) as u64),
-            Inst::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add((imm << 12) as u64)),
-            Inst::Jal { rd, offset } => {
-                self.set_reg(rd, pc.wrapping_add(ilen));
-                next_pc = pc.wrapping_add(offset as u64);
-                penalty += self.cost.jump_penalty;
-                control_transfer = true;
-            }
-            Inst::Jalr { rd, rs1, offset } => {
-                let target = self.reg(rs1).wrapping_add(offset as u64) & !1;
-                self.set_reg(rd, pc.wrapping_add(ilen));
-                next_pc = target;
-                penalty += self.cost.jump_penalty;
-                control_transfer = true;
-            }
-            Inst::Branch { cond, rs1, rs2, offset } => {
-                let taken = match cond {
-                    BranchCond::Eq => self.reg(rs1) == self.reg(rs2),
-                    BranchCond::Ne => self.reg(rs1) != self.reg(rs2),
-                    BranchCond::Lt => self.sval(rs1) < self.sval(rs2),
-                    BranchCond::Ge => self.sval(rs1) >= self.sval(rs2),
-                    BranchCond::Ltu => self.reg(rs1) < self.reg(rs2),
-                    BranchCond::Geu => self.reg(rs1) >= self.reg(rs2),
-                };
-                if taken {
+        let exec_result: Result<(), RvError> = (|| {
+            match inst {
+                Inst::Lui { rd, imm } => self.set_reg(rd, (imm << 12) as u64),
+                Inst::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add((imm << 12) as u64)),
+                Inst::Jal { rd, offset } => {
+                    self.set_reg(rd, pc.wrapping_add(ilen));
                     next_pc = pc.wrapping_add(offset as u64);
-                    penalty += self.cost.branch_taken_penalty;
-                    self.stats.inc("taken_branches");
+                    penalty += self.cost.jump_penalty;
                     control_transfer = true;
                 }
-            }
-            Inst::Load { width, rd, rs1, offset } => {
-                let vaddr = self.reg(rs1).wrapping_add(offset as u64);
-                let v = self.load_int(bus, vaddr, width, &mut extra)?;
-                self.set_reg(rd, v);
-            }
-            Inst::Store { width, rs2, rs1, offset } => {
-                let vaddr = self.reg(rs1).wrapping_add(offset as u64);
-                let data = self.reg(rs2).to_le_bytes();
-                self.mem_store(bus, vaddr, &data[..width.bytes()], &mut extra)?;
-            }
-            Inst::OpImm { op, rd, rs1, imm } => {
-                let v = self.alu(op, self.reg(rs1), imm as u64);
-                self.set_reg(rd, v);
-                self.stats.inc("arith_ops");
-            }
-            Inst::OpImm32 { op, rd, rs1, imm } => {
-                self.set_reg(rd, Self::alu32(op, self.reg(rs1), imm as u64));
-                self.stats.inc("arith_ops");
-            }
-            Inst::Op { op, rd, rs1, rs2 } => {
-                let v = self.alu(op, self.reg(rs1), self.reg(rs2));
-                self.set_reg(rd, v);
-                self.stats.inc("arith_ops");
-            }
-            Inst::Op32 { op, rd, rs1, rs2 } => {
-                self.set_reg(rd, Self::alu32(op, self.reg(rs1), self.reg(rs2)));
-                self.stats.inc("arith_ops");
-            }
-            Inst::MulDiv { op, rd, rs1, rs2 } => {
-                let v = self.muldiv(op, self.reg(rs1), self.reg(rs2));
-                self.set_reg(rd, v);
-                self.stats.inc("arith_ops");
-            }
-            Inst::MulDiv32 { op, rd, rs1, rs2 } => {
-                let a = self.reg(rs1) as u32;
-                let b = self.reg(rs2) as u32;
-                let sa = a as i32;
-                let sb = b as i32;
-                let r: u32 = match op {
-                    MulDivOp::Mul => a.wrapping_mul(b),
-                    MulDivOp::Div => {
-                        if sb == 0 { u32::MAX } else { sa.wrapping_div(sb) as u32 }
+                Inst::Jalr { rd, rs1, offset } => {
+                    let target = self.reg(rs1).wrapping_add(offset as u64) & !1;
+                    self.set_reg(rd, pc.wrapping_add(ilen));
+                    next_pc = target;
+                    penalty += self.cost.jump_penalty;
+                    control_transfer = true;
+                }
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
+                    let taken = match cond {
+                        BranchCond::Eq => self.reg(rs1) == self.reg(rs2),
+                        BranchCond::Ne => self.reg(rs1) != self.reg(rs2),
+                        BranchCond::Lt => self.sval(rs1) < self.sval(rs2),
+                        BranchCond::Ge => self.sval(rs1) >= self.sval(rs2),
+                        BranchCond::Ltu => self.reg(rs1) < self.reg(rs2),
+                        BranchCond::Geu => self.reg(rs1) >= self.reg(rs2),
+                    };
+                    if taken {
+                        next_pc = pc.wrapping_add(offset as u64);
+                        penalty += self.cost.branch_taken_penalty;
+                        self.stats.inc("taken_branches");
+                        control_transfer = true;
                     }
-                    MulDivOp::Divu => {
-                        if b == 0 { u32::MAX } else { a / b }
-                    }
-                    MulDivOp::Rem => {
-                        if sb == 0 { a } else { sa.wrapping_rem(sb) as u32 }
-                    }
-                    MulDivOp::Remu => {
-                        if b == 0 { a } else { a % b }
-                    }
-                    _ => 0,
-                };
-                self.set_reg(rd, r as i32 as i64 as u64);
-                self.stats.inc("arith_ops");
-            }
-            Inst::LoadReserved { double, rd, rs1 } => {
-                let vaddr = self.reg(rs1);
-                let width = if double { LoadWidth::D } else { LoadWidth::W };
-                let v = self.load_int(bus, vaddr, width, &mut extra)?;
-                self.set_reg(rd, v);
-                self.reservation = Some(vaddr);
-            }
-            Inst::StoreConditional { double, rd, rs1, rs2 } => {
-                let vaddr = self.reg(rs1);
-                if self.reservation == Some(vaddr) {
+                }
+                Inst::Load {
+                    width,
+                    rd,
+                    rs1,
+                    offset,
+                } => {
+                    let vaddr = self.reg(rs1).wrapping_add(offset as u64);
+                    let v = self.load_int(bus, vaddr, width, &mut extra)?;
+                    self.set_reg(rd, v);
+                }
+                Inst::Store {
+                    width,
+                    rs2,
+                    rs1,
+                    offset,
+                } => {
+                    let vaddr = self.reg(rs1).wrapping_add(offset as u64);
                     let data = self.reg(rs2).to_le_bytes();
+                    self.mem_store(bus, vaddr, &data[..width.bytes()], &mut extra)?;
+                }
+                Inst::OpImm { op, rd, rs1, imm } => {
+                    let v = self.alu(op, self.reg(rs1), imm as u64);
+                    self.set_reg(rd, v);
+                    self.stats.inc("arith_ops");
+                }
+                Inst::OpImm32 { op, rd, rs1, imm } => {
+                    self.set_reg(rd, Self::alu32(op, self.reg(rs1), imm as u64));
+                    self.stats.inc("arith_ops");
+                }
+                Inst::Op { op, rd, rs1, rs2 } => {
+                    let v = self.alu(op, self.reg(rs1), self.reg(rs2));
+                    self.set_reg(rd, v);
+                    self.stats.inc("arith_ops");
+                }
+                Inst::Op32 { op, rd, rs1, rs2 } => {
+                    self.set_reg(rd, Self::alu32(op, self.reg(rs1), self.reg(rs2)));
+                    self.stats.inc("arith_ops");
+                }
+                Inst::MulDiv { op, rd, rs1, rs2 } => {
+                    let v = self.muldiv(op, self.reg(rs1), self.reg(rs2));
+                    self.set_reg(rd, v);
+                    self.stats.inc("arith_ops");
+                }
+                Inst::MulDiv32 { op, rd, rs1, rs2 } => {
+                    let a = self.reg(rs1) as u32;
+                    let b = self.reg(rs2) as u32;
+                    let sa = a as i32;
+                    let sb = b as i32;
+                    let r: u32 = match op {
+                        MulDivOp::Mul => a.wrapping_mul(b),
+                        MulDivOp::Div => {
+                            if sb == 0 {
+                                u32::MAX
+                            } else {
+                                sa.wrapping_div(sb) as u32
+                            }
+                        }
+                        MulDivOp::Divu => {
+                            if b == 0 {
+                                u32::MAX
+                            } else {
+                                a / b
+                            }
+                        }
+                        MulDivOp::Rem => {
+                            if sb == 0 {
+                                a
+                            } else {
+                                sa.wrapping_rem(sb) as u32
+                            }
+                        }
+                        MulDivOp::Remu => {
+                            if b == 0 {
+                                a
+                            } else {
+                                a % b
+                            }
+                        }
+                        _ => 0,
+                    };
+                    self.set_reg(rd, r as i32 as i64 as u64);
+                    self.stats.inc("arith_ops");
+                }
+                Inst::LoadReserved { double, rd, rs1 } => {
+                    let vaddr = self.reg(rs1);
+                    let width = if double { LoadWidth::D } else { LoadWidth::W };
+                    let v = self.load_int(bus, vaddr, width, &mut extra)?;
+                    self.set_reg(rd, v);
+                    self.reservation = Some(vaddr);
+                }
+                Inst::StoreConditional {
+                    double,
+                    rd,
+                    rs1,
+                    rs2,
+                } => {
+                    let vaddr = self.reg(rs1);
+                    if self.reservation == Some(vaddr) {
+                        let data = self.reg(rs2).to_le_bytes();
+                        let n = if double { 8 } else { 4 };
+                        self.mem_store(bus, vaddr, &data[..n], &mut extra)?;
+                        self.set_reg(rd, 0);
+                    } else {
+                        self.set_reg(rd, 1);
+                    }
+                    self.reservation = None;
+                }
+                Inst::Amo {
+                    op,
+                    double,
+                    rd,
+                    rs1,
+                    rs2,
+                } => {
+                    let vaddr = self.reg(rs1);
+                    let width = if double { LoadWidth::D } else { LoadWidth::W };
+                    let old = self.load_int(bus, vaddr, width, &mut extra)?;
+                    let b = self.reg(rs2);
+                    let new = match (op, double) {
+                        (AmoOp::Swap, _) => b,
+                        (AmoOp::Add, _) => old.wrapping_add(b),
+                        (AmoOp::Xor, _) => old ^ b,
+                        (AmoOp::And, _) => old & b,
+                        (AmoOp::Or, _) => old | b,
+                        (AmoOp::Min, true) => (old as i64).min(b as i64) as u64,
+                        (AmoOp::Max, true) => (old as i64).max(b as i64) as u64,
+                        (AmoOp::Min, false) => {
+                            ((old as u32 as i32).min(b as u32 as i32)) as u32 as u64
+                        }
+                        (AmoOp::Max, false) => {
+                            ((old as u32 as i32).max(b as u32 as i32)) as u32 as u64
+                        }
+                        (AmoOp::Minu, true) => old.min(b),
+                        (AmoOp::Maxu, true) => old.max(b),
+                        (AmoOp::Minu, false) => ((old as u32).min(b as u32)) as u64,
+                        (AmoOp::Maxu, false) => ((old as u32).max(b as u32)) as u64,
+                    };
+                    let data = new.to_le_bytes();
                     let n = if double { 8 } else { 4 };
                     self.mem_store(bus, vaddr, &data[..n], &mut extra)?;
-                    self.set_reg(rd, 0);
-                } else {
-                    self.set_reg(rd, 1);
+                    self.set_reg(rd, old);
                 }
-                self.reservation = None;
-            }
-            Inst::Amo { op, double, rd, rs1, rs2 } => {
-                let vaddr = self.reg(rs1);
-                let width = if double { LoadWidth::D } else { LoadWidth::W };
-                let old = self.load_int(bus, vaddr, width, &mut extra)?;
-                let b = self.reg(rs2);
-                let new = match (op, double) {
-                    (AmoOp::Swap, _) => b,
-                    (AmoOp::Add, _) => old.wrapping_add(b),
-                    (AmoOp::Xor, _) => old ^ b,
-                    (AmoOp::And, _) => old & b,
-                    (AmoOp::Or, _) => old | b,
-                    (AmoOp::Min, true) => (old as i64).min(b as i64) as u64,
-                    (AmoOp::Max, true) => (old as i64).max(b as i64) as u64,
-                    (AmoOp::Min, false) => ((old as u32 as i32).min(b as u32 as i32)) as u32 as u64,
-                    (AmoOp::Max, false) => ((old as u32 as i32).max(b as u32 as i32)) as u32 as u64,
-                    (AmoOp::Minu, true) => old.min(b),
-                    (AmoOp::Maxu, true) => old.max(b),
-                    (AmoOp::Minu, false) => ((old as u32).min(b as u32)) as u64,
-                    (AmoOp::Maxu, false) => ((old as u32).max(b as u32)) as u64,
-                };
-                let data = new.to_le_bytes();
-                let n = if double { 8 } else { 4 };
-                self.mem_store(bus, vaddr, &data[..n], &mut extra)?;
-                self.set_reg(rd, old);
-            }
-            Inst::Fence | Inst::FenceI => {}
-            Inst::Ecall => {
-                let cause = match self.priv_mode {
-                    PrivMode::User => TrapCause::EcallFromU,
-                    PrivMode::Supervisor => TrapCause::EcallFromS,
-                    PrivMode::Machine => TrapCause::EcallFromM,
-                };
-                self.raise(cause, 0)?;
-                next_pc = self.pc;
-                control_transfer = true;
-            }
-            Inst::Ebreak => {
-                halted = true;
-            }
-            Inst::Mret => {
-                if self.priv_mode != PrivMode::Machine {
-                    self.raise(TrapCause::IllegalInstruction, word as u64)?;
-                    next_pc = self.pc;
-                } else {
-                    let (epc, mode) = self.csrs.leave_trap_m();
-                    next_pc = epc;
-                    self.priv_mode = mode;
-                }
-                control_transfer = true;
-            }
-            Inst::Sret => {
-                if self.priv_mode < PrivMode::Supervisor {
-                    self.raise(TrapCause::IllegalInstruction, word as u64)?;
-                    next_pc = self.pc;
-                } else {
-                    let (epc, mode) = self.csrs.leave_trap_s();
-                    next_pc = epc;
-                    self.priv_mode = mode;
-                }
-                control_transfer = true;
-            }
-            Inst::Wfi => {}
-            Inst::Csr { op, rd, csr, src } => {
-                let old = self.csr_read(csr);
-                let arg = match src {
-                    CsrSrc::Reg(r) => self.reg(r),
-                    CsrSrc::Imm(v) => v as u64,
-                };
-                let skip_write = match src {
-                    CsrSrc::Reg(r) => op != CsrOp::Rw && r == Reg::Zero,
-                    CsrSrc::Imm(v) => op != CsrOp::Rw && v == 0,
-                };
-                if !skip_write {
-                    let new = match op {
-                        CsrOp::Rw => arg,
-                        CsrOp::Rs => old | arg,
-                        CsrOp::Rc => old & !arg,
+                Inst::Fence | Inst::FenceI => {}
+                Inst::Ecall => {
+                    let cause = match self.priv_mode {
+                        PrivMode::User => TrapCause::EcallFromU,
+                        PrivMode::Supervisor => TrapCause::EcallFromS,
+                        PrivMode::Machine => TrapCause::EcallFromM,
                     };
-                    self.csrs.write(csr, new);
+                    self.raise(cause, 0)?;
+                    next_pc = self.pc;
+                    control_transfer = true;
                 }
-                self.set_reg(rd, old);
-            }
+                Inst::Ebreak => {
+                    halted = true;
+                }
+                Inst::Mret => {
+                    if self.priv_mode != PrivMode::Machine {
+                        self.raise(TrapCause::IllegalInstruction, word as u64)?;
+                        next_pc = self.pc;
+                    } else {
+                        let (epc, mode) = self.csrs.leave_trap_m();
+                        next_pc = epc;
+                        self.priv_mode = mode;
+                    }
+                    control_transfer = true;
+                }
+                Inst::Sret => {
+                    if self.priv_mode < PrivMode::Supervisor {
+                        self.raise(TrapCause::IllegalInstruction, word as u64)?;
+                        next_pc = self.pc;
+                    } else {
+                        let (epc, mode) = self.csrs.leave_trap_s();
+                        next_pc = epc;
+                        self.priv_mode = mode;
+                    }
+                    control_transfer = true;
+                }
+                Inst::Wfi => {}
+                Inst::Csr { op, rd, csr, src } => {
+                    let old = self.csr_read(csr);
+                    let arg = match src {
+                        CsrSrc::Reg(r) => self.reg(r),
+                        CsrSrc::Imm(v) => v as u64,
+                    };
+                    let skip_write = match src {
+                        CsrSrc::Reg(r) => op != CsrOp::Rw && r == Reg::Zero,
+                        CsrSrc::Imm(v) => op != CsrOp::Rw && v == 0,
+                    };
+                    if !skip_write {
+                        let new = match op {
+                            CsrOp::Rw => arg,
+                            CsrOp::Rs => old | arg,
+                            CsrOp::Rc => old & !arg,
+                        };
+                        self.csrs.write(csr, new);
+                    }
+                    self.set_reg(rd, old);
+                }
 
-            // --- F/D ---
-            Inst::FpLoad { fmt, rd, rs1, offset } => {
-                let vaddr = self.reg(rs1).wrapping_add(offset as u64);
-                let mut b = [0u8; 8];
-                let n = if fmt == FpFmt::S { 4 } else { 8 };
-                self.mem_load(bus, vaddr, &mut b[..n], &mut extra)?;
-                if fmt == FpFmt::S {
-                    self.write_f32(rd, f32::from_bits(u32::from_le_bytes(b[..4].try_into().expect("4"))));
-                } else {
-                    self.f[rd.0 as usize] = u64::from_le_bytes(b);
+                // --- F/D ---
+                Inst::FpLoad {
+                    fmt,
+                    rd,
+                    rs1,
+                    offset,
+                } => {
+                    let vaddr = self.reg(rs1).wrapping_add(offset as u64);
+                    let mut b = [0u8; 8];
+                    let n = if fmt == FpFmt::S { 4 } else { 8 };
+                    self.mem_load(bus, vaddr, &mut b[..n], &mut extra)?;
+                    if fmt == FpFmt::S {
+                        self.write_f32(
+                            rd,
+                            f32::from_bits(u32::from_le_bytes(b[..4].try_into().expect("4"))),
+                        );
+                    } else {
+                        self.f[rd.0 as usize] = u64::from_le_bytes(b);
+                    }
                 }
-            }
-            Inst::FpStore { fmt, rs2, rs1, offset } => {
-                let vaddr = self.reg(rs1).wrapping_add(offset as u64);
-                let bits = self.f[rs2.0 as usize].to_le_bytes();
-                let n = if fmt == FpFmt::S { 4 } else { 8 };
-                self.mem_store(bus, vaddr, &bits[..n], &mut extra)?;
-            }
-            Inst::FpOp3 { fmt, op, rd, rs1, rs2 } => {
-                match fmt {
-                    FpFmt::S => {
-                        let a = self.read_f32(rs1);
-                        let b = self.read_f32(rs2);
-                        let r = match op {
-                            FpOp::Add => a + b,
-                            FpOp::Sub => a - b,
-                            FpOp::Mul => a * b,
-                            FpOp::Div => a / b,
-                            FpOp::Sqrt => a.sqrt(),
-                            FpOp::Min => a.min(b),
-                            FpOp::Max => a.max(b),
-                            FpOp::SgnJ => a.copysign(b),
-                            FpOp::SgnJn => a.copysign(-b),
-                            FpOp::SgnJx => {
-                                f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000))
+                Inst::FpStore {
+                    fmt,
+                    rs2,
+                    rs1,
+                    offset,
+                } => {
+                    let vaddr = self.reg(rs1).wrapping_add(offset as u64);
+                    let bits = self.f[rs2.0 as usize].to_le_bytes();
+                    let n = if fmt == FpFmt::S { 4 } else { 8 };
+                    self.mem_store(bus, vaddr, &bits[..n], &mut extra)?;
+                }
+                Inst::FpOp3 {
+                    fmt,
+                    op,
+                    rd,
+                    rs1,
+                    rs2,
+                } => {
+                    match fmt {
+                        FpFmt::S => {
+                            let a = self.read_f32(rs1);
+                            let b = self.read_f32(rs2);
+                            let r = match op {
+                                FpOp::Add => a + b,
+                                FpOp::Sub => a - b,
+                                FpOp::Mul => a * b,
+                                FpOp::Div => a / b,
+                                FpOp::Sqrt => a.sqrt(),
+                                FpOp::Min => a.min(b),
+                                FpOp::Max => a.max(b),
+                                FpOp::SgnJ => a.copysign(b),
+                                FpOp::SgnJn => a.copysign(-b),
+                                FpOp::SgnJx => {
+                                    f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000))
+                                }
+                            };
+                            self.write_f32(rd, r);
+                        }
+                        FpFmt::D => {
+                            let a = self.read_f64(rs1);
+                            let b = self.read_f64(rs2);
+                            let r = match op {
+                                FpOp::Add => a + b,
+                                FpOp::Sub => a - b,
+                                FpOp::Mul => a * b,
+                                FpOp::Div => a / b,
+                                FpOp::Sqrt => a.sqrt(),
+                                FpOp::Min => a.min(b),
+                                FpOp::Max => a.max(b),
+                                FpOp::SgnJ => a.copysign(b),
+                                FpOp::SgnJn => a.copysign(-b),
+                                FpOp::SgnJx => f64::from_bits(
+                                    a.to_bits() ^ (b.to_bits() & 0x8000_0000_0000_0000),
+                                ),
+                            };
+                            self.write_f64(rd, r);
+                        }
+                    }
+                    self.stats.inc("arith_ops");
+                    self.stats.inc("fp_insts");
+                }
+                Inst::FpFma {
+                    fmt,
+                    rd,
+                    rs1,
+                    rs2,
+                    rs3,
+                    negate_product,
+                    negate_addend,
+                } => {
+                    match fmt {
+                        FpFmt::S => {
+                            let a = self.read_f32(rs1);
+                            let b = self.read_f32(rs2);
+                            let c = self.read_f32(rs3);
+                            let a = if negate_product { -a } else { a };
+                            let c = if negate_addend { -c } else { c };
+                            self.write_f32(rd, a.mul_add(b, c));
+                        }
+                        FpFmt::D => {
+                            let a = self.read_f64(rs1);
+                            let b = self.read_f64(rs2);
+                            let c = self.read_f64(rs3);
+                            let a = if negate_product { -a } else { a };
+                            let c = if negate_addend { -c } else { c };
+                            self.write_f64(rd, a.mul_add(b, c));
+                        }
+                    }
+                    self.stats.add("arith_ops", 2);
+                    self.stats.inc("fp_insts");
+                }
+                Inst::FpCmp {
+                    fmt,
+                    cmp,
+                    rd,
+                    rs1,
+                    rs2,
+                } => {
+                    let r = match fmt {
+                        FpFmt::S => {
+                            let a = self.read_f32(rs1);
+                            let b = self.read_f32(rs2);
+                            match cmp {
+                                FpCmp::Eq => a == b,
+                                FpCmp::Lt => a < b,
+                                FpCmp::Le => a <= b,
                             }
-                        };
-                        self.write_f32(rd, r);
-                    }
-                    FpFmt::D => {
-                        let a = self.read_f64(rs1);
-                        let b = self.read_f64(rs2);
-                        let r = match op {
-                            FpOp::Add => a + b,
-                            FpOp::Sub => a - b,
-                            FpOp::Mul => a * b,
-                            FpOp::Div => a / b,
-                            FpOp::Sqrt => a.sqrt(),
-                            FpOp::Min => a.min(b),
-                            FpOp::Max => a.max(b),
-                            FpOp::SgnJ => a.copysign(b),
-                            FpOp::SgnJn => a.copysign(-b),
-                            FpOp::SgnJx => f64::from_bits(
-                                a.to_bits() ^ (b.to_bits() & 0x8000_0000_0000_0000),
-                            ),
-                        };
-                        self.write_f64(rd, r);
-                    }
+                        }
+                        FpFmt::D => {
+                            let a = self.read_f64(rs1);
+                            let b = self.read_f64(rs2);
+                            match cmp {
+                                FpCmp::Eq => a == b,
+                                FpCmp::Lt => a < b,
+                                FpCmp::Le => a <= b,
+                            }
+                        }
+                    };
+                    self.set_reg(rd, r as u64);
+                    self.stats.inc("fp_insts");
                 }
-                self.stats.inc("arith_ops");
-                self.stats.inc("fp_insts");
-            }
-            Inst::FpFma { fmt, rd, rs1, rs2, rs3, negate_product, negate_addend } => {
-                match fmt {
-                    FpFmt::S => {
-                        let a = self.read_f32(rs1);
-                        let b = self.read_f32(rs2);
-                        let c = self.read_f32(rs3);
-                        let a = if negate_product { -a } else { a };
-                        let c = if negate_addend { -c } else { c };
-                        self.write_f32(rd, a.mul_add(b, c));
-                    }
-                    FpFmt::D => {
-                        let a = self.read_f64(rs1);
-                        let b = self.read_f64(rs2);
-                        let c = self.read_f64(rs3);
-                        let a = if negate_product { -a } else { a };
-                        let c = if negate_addend { -c } else { c };
-                        self.write_f64(rd, a.mul_add(b, c));
-                    }
+                Inst::FpToInt {
+                    fmt,
+                    rd,
+                    rs1,
+                    signed,
+                    wide,
+                } => {
+                    let v = match fmt {
+                        FpFmt::S => self.read_f32(rs1) as f64,
+                        FpFmt::D => self.read_f64(rs1),
+                    };
+                    let r = match (wide, signed) {
+                        (false, true) => (v as i32) as i64 as u64,
+                        (false, false) => (v as u32) as i32 as i64 as u64,
+                        (true, true) => (v as i64) as u64,
+                        (true, false) => v as u64,
+                    };
+                    self.set_reg(rd, r);
+                    self.stats.inc("fp_insts");
                 }
-                self.stats.add("arith_ops", 2);
-                self.stats.inc("fp_insts");
-            }
-            Inst::FpCmp { fmt, cmp, rd, rs1, rs2 } => {
-                let r = match fmt {
-                    FpFmt::S => {
-                        let a = self.read_f32(rs1);
-                        let b = self.read_f32(rs2);
-                        match cmp {
-                            FpCmp::Eq => a == b,
-                            FpCmp::Lt => a < b,
-                            FpCmp::Le => a <= b,
+                Inst::IntToFp {
+                    fmt,
+                    rd,
+                    rs1,
+                    signed,
+                    wide,
+                } => {
+                    let raw = self.reg(rs1);
+                    let v: f64 = match (wide, signed) {
+                        (false, true) => raw as u32 as i32 as f64,
+                        (false, false) => raw as u32 as f64,
+                        (true, true) => raw as i64 as f64,
+                        (true, false) => raw as f64,
+                    };
+                    match fmt {
+                        FpFmt::S => self.write_f32(rd, v as f32),
+                        FpFmt::D => self.write_f64(rd, v),
+                    }
+                    self.stats.inc("fp_insts");
+                }
+                Inst::FpCvt { to, rd, rs1 } => {
+                    match to {
+                        FpFmt::S => {
+                            let v = self.read_f64(rs1);
+                            self.write_f32(rd, v as f32);
+                        }
+                        FpFmt::D => {
+                            let v = self.read_f32(rs1);
+                            self.write_f64(rd, v as f64);
                         }
                     }
-                    FpFmt::D => {
-                        let a = self.read_f64(rs1);
-                        let b = self.read_f64(rs2);
-                        match cmp {
-                            FpCmp::Eq => a == b,
-                            FpCmp::Lt => a < b,
-                            FpCmp::Le => a <= b,
-                        }
-                    }
-                };
-                self.set_reg(rd, r as u64);
-                self.stats.inc("fp_insts");
-            }
-            Inst::FpToInt { fmt, rd, rs1, signed, wide } => {
-                let v = match fmt {
-                    FpFmt::S => self.read_f32(rs1) as f64,
-                    FpFmt::D => self.read_f64(rs1),
-                };
-                let r = match (wide, signed) {
-                    (false, true) => (v as i32) as i64 as u64,
-                    (false, false) => (v as u32) as i32 as i64 as u64,
-                    (true, true) => (v as i64) as u64,
-                    (true, false) => v as u64,
-                };
-                self.set_reg(rd, r);
-                self.stats.inc("fp_insts");
-            }
-            Inst::IntToFp { fmt, rd, rs1, signed, wide } => {
-                let raw = self.reg(rs1);
-                let v: f64 = match (wide, signed) {
-                    (false, true) => raw as u32 as i32 as f64,
-                    (false, false) => raw as u32 as f64,
-                    (true, true) => raw as i64 as f64,
-                    (true, false) => raw as f64,
-                };
-                match fmt {
-                    FpFmt::S => self.write_f32(rd, v as f32),
-                    FpFmt::D => self.write_f64(rd, v),
+                    self.stats.inc("fp_insts");
                 }
-                self.stats.inc("fp_insts");
-            }
-            Inst::FpCvt { to, rd, rs1 } => {
-                match to {
-                    FpFmt::S => {
-                        let v = self.read_f64(rs1);
-                        self.write_f32(rd, v as f32);
-                    }
-                    FpFmt::D => {
-                        let v = self.read_f32(rs1);
-                        self.write_f64(rd, v as f64);
-                    }
+                Inst::FpMvToInt { fmt, rd, rs1 } => {
+                    let v = match fmt {
+                        FpFmt::S => self.f[rs1.0 as usize] as u32 as i32 as i64 as u64,
+                        FpFmt::D => self.f[rs1.0 as usize],
+                    };
+                    self.set_reg(rd, v);
                 }
-                self.stats.inc("fp_insts");
-            }
-            Inst::FpMvToInt { fmt, rd, rs1 } => {
-                let v = match fmt {
-                    FpFmt::S => self.f[rs1.0 as usize] as u32 as i32 as i64 as u64,
-                    FpFmt::D => self.f[rs1.0 as usize],
-                };
-                self.set_reg(rd, v);
-            }
-            Inst::FpMvFromInt { fmt, rd, rs1 } => match fmt {
-                FpFmt::S => self.write_f32(rd, f32::from_bits(self.reg(rs1) as u32)),
-                FpFmt::D => self.f[rd.0 as usize] = self.reg(rs1),
-            },
+                Inst::FpMvFromInt { fmt, rd, rs1 } => match fmt {
+                    FpFmt::S => self.write_f32(rd, f32::from_bits(self.reg(rs1) as u32)),
+                    FpFmt::D => self.f[rd.0 as usize] = self.reg(rs1),
+                },
 
-            // --- Xpulp ---
-            Inst::LoadPost { width, rd, rs1, offset } => {
-                let vaddr = self.reg(rs1);
-                let v = self.load_int(bus, vaddr, width, &mut extra)?;
-                self.set_reg(rs1, vaddr.wrapping_add(offset as u64));
-                self.set_reg(rd, v);
-            }
-            Inst::StorePost { width, rs2, rs1, offset } => {
-                let vaddr = self.reg(rs1);
-                let data = self.reg(rs2).to_le_bytes();
-                self.mem_store(bus, vaddr, &data[..width.bytes()], &mut extra)?;
-                self.set_reg(rs1, vaddr.wrapping_add(offset as u64));
-            }
-            Inst::Mac { rd, rs1, rs2, subtract } => {
-                let prod = (self.reg(rs1) as u32).wrapping_mul(self.reg(rs2) as u32);
-                let acc = self.reg(rd) as u32;
-                let r = if subtract {
-                    acc.wrapping_sub(prod)
-                } else {
-                    acc.wrapping_add(prod)
-                };
-                self.set_reg(rd, r as u64);
-                self.stats.add("arith_ops", 2);
-            }
-            Inst::PulpAlu { op, rd, rs1, rs2 } => {
-                let a = self.reg(rs1) as u32;
-                let b = self.reg(rs2) as u32;
-                let sa = a as i32;
-                let sb = b as i32;
-                let r: u32 = match op {
-                    PulpAluOp::Min => sa.min(sb) as u32,
-                    PulpAluOp::Max => sa.max(sb) as u32,
-                    PulpAluOp::Minu => a.min(b),
-                    PulpAluOp::Maxu => a.max(b),
-                    PulpAluOp::Abs => sa.wrapping_abs() as u32,
-                    PulpAluOp::Exths => (a as u16 as i16 as i32) as u32,
-                    PulpAluOp::Exthz => a & 0xFFFF,
-                    PulpAluOp::Extbs => (a as u8 as i8 as i32) as u32,
-                    PulpAluOp::Extbz => a & 0xFF,
-                    PulpAluOp::Clip => {
-                        let lo = -(sb.max(0)) - 1;
-                        let hi = sb.max(0);
-                        sa.clamp(lo, hi) as u32
+                // --- Xpulp ---
+                Inst::LoadPost {
+                    width,
+                    rd,
+                    rs1,
+                    offset,
+                } => {
+                    let vaddr = self.reg(rs1);
+                    let v = self.load_int(bus, vaddr, width, &mut extra)?;
+                    self.set_reg(rs1, vaddr.wrapping_add(offset as u64));
+                    self.set_reg(rd, v);
+                }
+                Inst::StorePost {
+                    width,
+                    rs2,
+                    rs1,
+                    offset,
+                } => {
+                    let vaddr = self.reg(rs1);
+                    let data = self.reg(rs2).to_le_bytes();
+                    self.mem_store(bus, vaddr, &data[..width.bytes()], &mut extra)?;
+                    self.set_reg(rs1, vaddr.wrapping_add(offset as u64));
+                }
+                Inst::Mac {
+                    rd,
+                    rs1,
+                    rs2,
+                    subtract,
+                } => {
+                    let prod = (self.reg(rs1) as u32).wrapping_mul(self.reg(rs2) as u32);
+                    let acc = self.reg(rd) as u32;
+                    let r = if subtract {
+                        acc.wrapping_sub(prod)
+                    } else {
+                        acc.wrapping_add(prod)
+                    };
+                    self.set_reg(rd, r as u64);
+                    self.stats.add("arith_ops", 2);
+                }
+                Inst::PulpAlu { op, rd, rs1, rs2 } => {
+                    let a = self.reg(rs1) as u32;
+                    let b = self.reg(rs2) as u32;
+                    let sa = a as i32;
+                    let sb = b as i32;
+                    let r: u32 = match op {
+                        PulpAluOp::Min => sa.min(sb) as u32,
+                        PulpAluOp::Max => sa.max(sb) as u32,
+                        PulpAluOp::Minu => a.min(b),
+                        PulpAluOp::Maxu => a.max(b),
+                        PulpAluOp::Abs => sa.wrapping_abs() as u32,
+                        PulpAluOp::Exths => (a as u16 as i16 as i32) as u32,
+                        PulpAluOp::Exthz => a & 0xFFFF,
+                        PulpAluOp::Extbs => (a as u8 as i8 as i32) as u32,
+                        PulpAluOp::Extbz => a & 0xFF,
+                        PulpAluOp::Clip => {
+                            let lo = -(sb.max(0)) - 1;
+                            let hi = sb.max(0);
+                            sa.clamp(lo, hi) as u32
+                        }
+                        PulpAluOp::Cnt => a.count_ones(),
+                        PulpAluOp::Ff1 => a.trailing_zeros().min(32),
+                        PulpAluOp::Fl1 => {
+                            if a == 0 {
+                                32
+                            } else {
+                                31 - a.leading_zeros()
+                            }
+                        }
+                        PulpAluOp::Ror => a.rotate_right(b & 31),
+                    };
+                    self.set_reg(rd, r as u64);
+                    self.stats.inc("arith_ops");
+                }
+                Inst::HwLoop {
+                    op,
+                    loop_idx,
+                    value,
+                    rs1,
+                } => {
+                    let l = &mut self.hwloops[loop_idx as usize];
+                    match op {
+                        HwLoopOp::Starti => l.start = pc.wrapping_add(value as u64),
+                        HwLoopOp::Endi => l.end = pc.wrapping_add(value as u64),
+                        HwLoopOp::Count => l.count = self.x[rs1.index() as usize] as u32 as u64,
+                        HwLoopOp::Counti => l.count = value as u64,
                     }
-                    PulpAluOp::Cnt => a.count_ones(),
-                    PulpAluOp::Ff1 => a.trailing_zeros().min(32),
-                    PulpAluOp::Fl1 => {
-                        if a == 0 { 32 } else { 31 - a.leading_zeros() }
-                    }
-                    PulpAluOp::Ror => a.rotate_right(b & 31),
-                };
-                self.set_reg(rd, r as u64);
-                self.stats.inc("arith_ops");
-            }
-            Inst::HwLoop { op, loop_idx, value, rs1 } => {
-                let l = &mut self.hwloops[loop_idx as usize];
-                match op {
-                    HwLoopOp::Starti => l.start = pc.wrapping_add(value as u64),
-                    HwLoopOp::Endi => l.end = pc.wrapping_add(value as u64),
-                    HwLoopOp::Count => l.count = self.x[rs1.index() as usize] as u32 as u64,
-                    HwLoopOp::Counti => l.count = value as u64,
+                }
+                Inst::Simd {
+                    op,
+                    fmt,
+                    rd,
+                    rs1,
+                    rs2,
+                    scalar_rs2,
+                } => {
+                    self.exec_simd(op, fmt, rd, rs1, rs2, scalar_rs2);
+                }
+                Inst::SimdFp { op, rd, rs1, rs2 } => {
+                    self.exec_simd_fp(op, rd, rs1, rs2);
                 }
             }
-            Inst::Simd { op, fmt, rd, rs1, rs2, scalar_rs2 } => {
-                self.exec_simd(op, fmt, rd, rs1, rs2, scalar_rs2);
-            }
-            Inst::SimdFp { op, rd, rs1, rs2 } => {
-                self.exec_simd_fp(op, rd, rs1, rs2);
-            }
-        }
-        Ok(()) })();
+            Ok(())
+        })();
         match exec_result {
             Ok(()) => {}
             // A data-access trap was taken: the instruction is abandoned
@@ -1329,7 +1521,18 @@ impl Core {
         self.stats.add("mem_stall_cycles", extra.get());
         let total = Cycles::new(self.cost.cost(&inst) + penalty) + extra;
         self.cycles += total;
-        Ok(StepOutcome { cycles: total, halted })
+        if let Some(t) = &self.tracer {
+            let mut t = t.borrow_mut();
+            t.set_now(self.trace_base + self.cycles.get());
+            t.record(self.track, TraceEvent::Retire { pc, word });
+        }
+        if let Some(p) = &mut self.profile {
+            p.record(pc, word, total.get());
+        }
+        Ok(StepOutcome {
+            cycles: total,
+            halted,
+        })
     }
 
     /// Runs until `ebreak` or until `max_cycles` elapse.
@@ -1497,7 +1700,11 @@ mod tests {
             a.fcvt_s_w(crate::inst::FReg(0), Reg::T0);
             a.li(Reg::T1, 4);
             a.fcvt_s_w(crate::inst::FReg(1), Reg::T1);
-            a.fmul_s(crate::inst::FReg(2), crate::inst::FReg(0), crate::inst::FReg(1));
+            a.fmul_s(
+                crate::inst::FReg(2),
+                crate::inst::FReg(0),
+                crate::inst::FReg(1),
+            );
             a.fcvt_w_s(Reg::A0, crate::inst::FReg(2));
             // fma: 3*4+4 = 16
             a.fmadd_s(
@@ -1519,7 +1726,11 @@ mod tests {
             a.fcvt_d_l(crate::inst::FReg(0), Reg::T0);
             a.li(Reg::T1, 8);
             a.fcvt_d_l(crate::inst::FReg(1), Reg::T1);
-            a.fdiv_d(crate::inst::FReg(2), crate::inst::FReg(0), crate::inst::FReg(1));
+            a.fdiv_d(
+                crate::inst::FReg(2),
+                crate::inst::FReg(0),
+                crate::inst::FReg(1),
+            );
             a.fmv_x_d(Reg::A0, crate::inst::FReg(2));
         });
         assert_eq!(f64::from_bits(c.reg(Reg::A0)), 0.125);
@@ -1630,7 +1841,10 @@ mod tests {
         let (c, _) = run_rv32(|a| {
             // a = [1, 2, 3, 4], b = [10, 20, 30, 40] (packed bytes)
             a.li(Reg::T0, 0x0403_0201);
-            a.li(Reg::T1, i64::from(10u32 | (20 << 8) | (30 << 16) | (40 << 24)));
+            a.li(
+                Reg::T1,
+                i64::from(10u32 | (20 << 8) | (30 << 16) | (40 << 24)),
+            );
             a.li(Reg::A0, 5);
             a.pv_sdotsp_b(Reg::A0, Reg::T0, Reg::T1);
         });
@@ -1718,7 +1932,7 @@ mod tests {
             a.li(Reg::T0, v as i64);
             a.li(Reg::T1, 1);
             a.pv_extract_b(Reg::A0, Reg::T0, Reg::T1); // lane 1 = -2, sext
-            // insert 0x7F into lane 2
+                                                       // insert 0x7F into lane 2
             a.mv(Reg::A1, Reg::T0);
             a.li(Reg::T2, 0x7F);
             a.li(Reg::T3, 2);

@@ -224,10 +224,23 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
     let f3 = funct3(w);
     let f7 = funct7(w);
     match opcode(w) {
-        0x37 => Some(Inst::Lui { rd: rd(w), imm: imm_u(w) }),
-        0x17 => Some(Inst::Auipc { rd: rd(w), imm: imm_u(w) }),
-        0x6F => Some(Inst::Jal { rd: rd(w), offset: imm_j(w) }),
-        0x67 if f3 == 0 => Some(Inst::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) }),
+        0x37 => Some(Inst::Lui {
+            rd: rd(w),
+            imm: imm_u(w),
+        }),
+        0x17 => Some(Inst::Auipc {
+            rd: rd(w),
+            imm: imm_u(w),
+        }),
+        0x6F => Some(Inst::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        }),
+        0x67 if f3 == 0 => Some(Inst::Jalr {
+            rd: rd(w),
+            rs1: rs1(w),
+            offset: imm_i(w),
+        }),
         0x63 => Some(Inst::Branch {
             cond: branch_cond(f3)?,
             rs1: rs1(w),
@@ -274,7 +287,12 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                 }
                 _ => imm_i(w),
             };
-            Some(Inst::OpImm { op, rd: rd(w), rs1: rs1(w), imm })
+            Some(Inst::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            })
         }
         0x1B if xlen == Xlen::Rv64 => {
             let op = match f3 {
@@ -293,7 +311,12 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                 AluOp::Sll | AluOp::Srl | AluOp::Sra => ((w >> 20) & 0x1F) as i64,
                 _ => imm_i(w),
             };
-            Some(Inst::OpImm32 { op, rd: rd(w), rs1: rs1(w), imm })
+            Some(Inst::OpImm32 {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            })
         }
         0x33 => {
             if f7 == 0b0000001 {
@@ -317,15 +340,28 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                 (0b111, 0b0000000) => AluOp::And,
                 _ => return None,
             };
-            Some(Inst::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+            Some(Inst::Op {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            })
         }
         0x3B if xlen == Xlen::Rv64 => {
             if f7 == 0b0000001 {
                 let op = muldiv_op(f3);
-                if !matches!(op, MulDivOp::Mul | MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu) {
+                if !matches!(
+                    op,
+                    MulDivOp::Mul | MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu
+                ) {
                     return None;
                 }
-                return Some(Inst::MulDiv32 { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) });
+                return Some(Inst::MulDiv32 {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                });
             }
             let op = match (f3, f7) {
                 (0b000, 0b0000000) => AluOp::Add,
@@ -335,7 +371,12 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                 (0b101, 0b0100000) => AluOp::Sra,
                 _ => return None,
             };
-            Some(Inst::Op32 { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+            Some(Inst::Op32 {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            })
         }
         0x2F => {
             let double = match f3 {
@@ -345,7 +386,11 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
             };
             let funct5 = f7 >> 2;
             match funct5 {
-                0b00010 => Some(Inst::LoadReserved { double, rd: rd(w), rs1: rs1(w) }),
+                0b00010 => Some(Inst::LoadReserved {
+                    double,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                }),
                 0b00011 => Some(Inst::StoreConditional {
                     double,
                     rd: rd(w),
@@ -365,7 +410,13 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                         0b11100 => AmoOp::Maxu,
                         _ => return None,
                     };
-                    Some(Inst::Amo { op, double, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+                    Some(Inst::Amo {
+                        op,
+                        double,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        rs2: rs2(w),
+                    })
                 }
             }
         }
@@ -397,7 +448,12 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
             } else {
                 CsrSrc::Reg(rs1(w))
             };
-            Some(Inst::Csr { op, rd: rd(w), csr, src })
+            Some(Inst::Csr {
+                op,
+                rd: rd(w),
+                csr,
+                src,
+            })
         }
 
         // --- F/D ---
@@ -407,7 +463,12 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                 0b011 => FpFmt::D,
                 _ => return None,
             };
-            Some(Inst::FpLoad { fmt, rd: frd(w), rs1: rs1(w), offset: imm_i(w) })
+            Some(Inst::FpLoad {
+                fmt,
+                rd: frd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            })
         }
         0x27 => {
             let fmt = match f3 {
@@ -415,7 +476,12 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                 0b011 => FpFmt::D,
                 _ => return None,
             };
-            Some(Inst::FpStore { fmt, rs2: frs2(w), rs1: rs1(w), offset: imm_s(w) })
+            Some(Inst::FpStore {
+                fmt,
+                rs2: frs2(w),
+                rs1: rs1(w),
+                offset: imm_s(w),
+            })
         }
         op @ (0x43 | 0x47 | 0x4B | 0x4F) => {
             let fmt = match (w >> 25) & 0b11 {
@@ -443,11 +509,41 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
             let fmt = fp_fmt(f7);
             let group = f7 >> 1;
             match group {
-                0b000000 => Some(Inst::FpOp3 { fmt, op: FpOp::Add, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
-                0b000010 => Some(Inst::FpOp3 { fmt, op: FpOp::Sub, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
-                0b000100 => Some(Inst::FpOp3 { fmt, op: FpOp::Mul, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
-                0b000110 => Some(Inst::FpOp3 { fmt, op: FpOp::Div, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
-                0b010110 => Some(Inst::FpOp3 { fmt, op: FpOp::Sqrt, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }),
+                0b000000 => Some(Inst::FpOp3 {
+                    fmt,
+                    op: FpOp::Add,
+                    rd: frd(w),
+                    rs1: frs1(w),
+                    rs2: frs2(w),
+                }),
+                0b000010 => Some(Inst::FpOp3 {
+                    fmt,
+                    op: FpOp::Sub,
+                    rd: frd(w),
+                    rs1: frs1(w),
+                    rs2: frs2(w),
+                }),
+                0b000100 => Some(Inst::FpOp3 {
+                    fmt,
+                    op: FpOp::Mul,
+                    rd: frd(w),
+                    rs1: frs1(w),
+                    rs2: frs2(w),
+                }),
+                0b000110 => Some(Inst::FpOp3 {
+                    fmt,
+                    op: FpOp::Div,
+                    rd: frd(w),
+                    rs1: frs1(w),
+                    rs2: frs2(w),
+                }),
+                0b010110 => Some(Inst::FpOp3 {
+                    fmt,
+                    op: FpOp::Sqrt,
+                    rd: frd(w),
+                    rs1: frs1(w),
+                    rs2: frs2(w),
+                }),
                 0b001000 => {
                     let op = match f3 {
                         0b000 => FpOp::SgnJ,
@@ -455,7 +551,13 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                         0b010 => FpOp::SgnJx,
                         _ => return None,
                     };
-                    Some(Inst::FpOp3 { fmt, op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+                    Some(Inst::FpOp3 {
+                        fmt,
+                        op,
+                        rd: frd(w),
+                        rs1: frs1(w),
+                        rs2: frs2(w),
+                    })
                 }
                 0b001010 => {
                     let op = match f3 {
@@ -463,12 +565,22 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                         0b001 => FpOp::Max,
                         _ => return None,
                     };
-                    Some(Inst::FpOp3 { fmt, op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+                    Some(Inst::FpOp3 {
+                        fmt,
+                        op,
+                        rd: frd(w),
+                        rs1: frs1(w),
+                        rs2: frs2(w),
+                    })
                 }
                 0b010000 => {
                     // fcvt.s.d (f7=0100000, rs2=1) / fcvt.d.s (f7=0100001, rs2=0)
                     let to = if f7 & 1 == 0 { FpFmt::S } else { FpFmt::D };
-                    Some(Inst::FpCvt { to, rd: frd(w), rs1: frs1(w) })
+                    Some(Inst::FpCvt {
+                        to,
+                        rd: frd(w),
+                        rs1: frs1(w),
+                    })
                 }
                 0b101000 => {
                     let cmp = match f3 {
@@ -477,7 +589,13 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                         0b010 => FpCmp::Eq,
                         _ => return None,
                     };
-                    Some(Inst::FpCmp { fmt, cmp, rd: rd(w), rs1: frs1(w), rs2: frs2(w) })
+                    Some(Inst::FpCmp {
+                        fmt,
+                        cmp,
+                        rd: rd(w),
+                        rs1: frs1(w),
+                        rs2: frs2(w),
+                    })
                 }
                 0b110000 => {
                     let (wide, signed) = match (w >> 20) & 0x1F {
@@ -487,7 +605,13 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                         0b00011 if xlen == Xlen::Rv64 => (true, false),
                         _ => return None,
                     };
-                    Some(Inst::FpToInt { fmt, rd: rd(w), rs1: frs1(w), signed, wide })
+                    Some(Inst::FpToInt {
+                        fmt,
+                        rd: rd(w),
+                        rs1: frs1(w),
+                        signed,
+                        wide,
+                    })
                 }
                 0b110100 => {
                     let (wide, signed) = match (w >> 20) & 0x1F {
@@ -497,10 +621,24 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                         0b00011 if xlen == Xlen::Rv64 => (true, false),
                         _ => return None,
                     };
-                    Some(Inst::IntToFp { fmt, rd: frd(w), rs1: rs1(w), signed, wide })
+                    Some(Inst::IntToFp {
+                        fmt,
+                        rd: frd(w),
+                        rs1: rs1(w),
+                        signed,
+                        wide,
+                    })
                 }
-                0b111000 if f3 == 0 => Some(Inst::FpMvToInt { fmt, rd: rd(w), rs1: frs1(w) }),
-                0b111100 if f3 == 0 => Some(Inst::FpMvFromInt { fmt, rd: frd(w), rs1: rs1(w) }),
+                0b111000 if f3 == 0 => Some(Inst::FpMvToInt {
+                    fmt,
+                    rd: rd(w),
+                    rs1: frs1(w),
+                }),
+                0b111100 if f3 == 0 => Some(Inst::FpMvFromInt {
+                    fmt,
+                    rd: frd(w),
+                    rs1: rs1(w),
+                }),
                 _ => None,
             }
         }
@@ -508,23 +646,48 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
         // --- Xpulp custom spaces ---
         0x0B if xpulp => {
             let width = load_width(f3, Xlen::Rv32)?;
-            Some(Inst::LoadPost { width, rd: rd(w), rs1: rs1(w), offset: imm_i(w) })
+            Some(Inst::LoadPost {
+                width,
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            })
         }
         0x2B if xpulp => {
             if f3 == 0b111 {
                 return match f7 {
-                    0 => Some(Inst::Mac { rd: rd(w), rs1: rs1(w), rs2: rs2(w), subtract: false }),
-                    1 => Some(Inst::Mac { rd: rd(w), rs1: rs1(w), rs2: rs2(w), subtract: true }),
+                    0 => Some(Inst::Mac {
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        rs2: rs2(w),
+                        subtract: false,
+                    }),
+                    1 => Some(Inst::Mac {
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        rs2: rs2(w),
+                        subtract: true,
+                    }),
                     _ => None,
                 };
             }
             let width = store_width(f3, Xlen::Rv32)?;
-            Some(Inst::StorePost { width, rs2: rs2(w), rs1: rs1(w), offset: imm_s(w) })
+            Some(Inst::StorePost {
+                width,
+                rs2: rs2(w),
+                rs1: rs1(w),
+                offset: imm_s(w),
+            })
         }
         0x5B if xpulp => {
             if f3 == 0b100 {
                 let op = simd_fp_op_from_index(f7)?;
-                return Some(Inst::SimdFp { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) });
+                return Some(Inst::SimdFp {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                });
             }
             let (fmt, scalar) = match f3 {
                 0b000 => (SimdFmt::B, false),
@@ -534,7 +697,14 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                 _ => return None,
             };
             let op = simd_op_from_index(f7)?;
-            Some(Inst::Simd { op, fmt, rd: rd(w), rs1: rs1(w), rs2: rs2(w), scalar_rs2: scalar })
+            Some(Inst::Simd {
+                op,
+                fmt,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+                scalar_rs2: scalar,
+            })
         }
         0x7B if xpulp => {
             let loop_idx = ((w >> 7) & 1) as u8;
@@ -565,7 +735,12 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
                 }),
                 0b100 => {
                     let op = pulp_alu_from_index(f7)?;
-                    Some(Inst::PulpAlu { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+                    Some(Inst::PulpAlu {
+                        op,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        rs2: rs2(w),
+                    })
                 }
                 _ => None,
             }
@@ -582,11 +757,24 @@ mod tests {
     #[test]
     fn decode_golden() {
         let i = decode(0x00C5_8533, Xlen::Rv64, false).unwrap();
-        assert_eq!(i, Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        assert_eq!(
+            i,
+            Inst::Op {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+        );
         let i = decode(0xFE02_9EE3, Xlen::Rv32, false).unwrap();
         assert_eq!(
             i,
-            Inst::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::Zero, offset: -4 }
+            Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::Zero,
+                offset: -4
+            }
         );
     }
 
@@ -644,21 +832,89 @@ mod tests {
     fn round_trip_core_set() {
         use Inst::*;
         let cases = vec![
-            Lui { rd: Reg::A0, imm: -1 },
-            Auipc { rd: Reg::T3, imm: 0x7FFFF },
-            Jal { rd: Reg::Ra, offset: -2048 },
-            Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 },
-            Load { width: LoadWidth::Hu, rd: Reg::S1, rs1: Reg::Gp, offset: -3 },
-            Store { width: StoreWidth::B, rs2: Reg::T6, rs1: Reg::Tp, offset: 2047 },
-            OpImm { op: AluOp::Xor, rd: Reg::A1, rs1: Reg::A2, imm: -2048 },
-            OpImm { op: AluOp::Sra, rd: Reg::A1, rs1: Reg::A2, imm: 63 },
-            Op { op: AluOp::Sltu, rd: Reg::A3, rs1: Reg::A4, rs2: Reg::A5 },
-            Op32 { op: AluOp::Sub, rd: Reg::S2, rs1: Reg::S3, rs2: Reg::S4 },
-            MulDiv { op: MulDivOp::Remu, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 },
-            MulDiv32 { op: MulDivOp::Divu, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 },
-            LoadReserved { double: true, rd: Reg::A0, rs1: Reg::A1 },
-            StoreConditional { double: false, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
-            Amo { op: AmoOp::Maxu, double: true, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Lui {
+                rd: Reg::A0,
+                imm: -1,
+            },
+            Auipc {
+                rd: Reg::T3,
+                imm: 0x7FFFF,
+            },
+            Jal {
+                rd: Reg::Ra,
+                offset: -2048,
+            },
+            Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0,
+            },
+            Load {
+                width: LoadWidth::Hu,
+                rd: Reg::S1,
+                rs1: Reg::Gp,
+                offset: -3,
+            },
+            Store {
+                width: StoreWidth::B,
+                rs2: Reg::T6,
+                rs1: Reg::Tp,
+                offset: 2047,
+            },
+            OpImm {
+                op: AluOp::Xor,
+                rd: Reg::A1,
+                rs1: Reg::A2,
+                imm: -2048,
+            },
+            OpImm {
+                op: AluOp::Sra,
+                rd: Reg::A1,
+                rs1: Reg::A2,
+                imm: 63,
+            },
+            Op {
+                op: AluOp::Sltu,
+                rd: Reg::A3,
+                rs1: Reg::A4,
+                rs2: Reg::A5,
+            },
+            Op32 {
+                op: AluOp::Sub,
+                rd: Reg::S2,
+                rs1: Reg::S3,
+                rs2: Reg::S4,
+            },
+            MulDiv {
+                op: MulDivOp::Remu,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            },
+            MulDiv32 {
+                op: MulDivOp::Divu,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            },
+            LoadReserved {
+                double: true,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+            },
+            StoreConditional {
+                double: false,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Amo {
+                op: AmoOp::Maxu,
+                double: true,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
             Fence,
             FenceI,
             Ecall,
@@ -666,8 +922,18 @@ mod tests {
             Mret,
             Sret,
             Wfi,
-            Csr { op: CsrOp::Rs, rd: Reg::A0, csr: 0xC00, src: CsrSrc::Reg(Reg::Zero) },
-            Csr { op: CsrOp::Rw, rd: Reg::Zero, csr: 0x300, src: CsrSrc::Imm(31) },
+            Csr {
+                op: CsrOp::Rs,
+                rd: Reg::A0,
+                csr: 0xC00,
+                src: CsrSrc::Reg(Reg::Zero),
+            },
+            Csr {
+                op: CsrOp::Rw,
+                rd: Reg::Zero,
+                csr: 0x300,
+                src: CsrSrc::Imm(31),
+            },
         ];
         for inst in cases {
             round_trip(inst, Xlen::Rv64, false);
@@ -678,23 +944,118 @@ mod tests {
     fn round_trip_fp_set() {
         use Inst::*;
         let cases = vec![
-            FpLoad { fmt: FpFmt::S, rd: FReg(1), rs1: Reg::Sp, offset: 16 },
-            FpLoad { fmt: FpFmt::D, rd: FReg(31), rs1: Reg::A0, offset: -8 },
-            FpStore { fmt: FpFmt::S, rs2: FReg(2), rs1: Reg::Sp, offset: 20 },
-            FpOp3 { fmt: FpFmt::S, op: FpOp::Add, rd: FReg(0), rs1: FReg(1), rs2: FReg(2) },
-            FpOp3 { fmt: FpFmt::D, op: FpOp::Div, rd: FReg(3), rs1: FReg(4), rs2: FReg(5) },
-            FpOp3 { fmt: FpFmt::S, op: FpOp::Sqrt, rd: FReg(6), rs1: FReg(7), rs2: FReg(0) },
-            FpOp3 { fmt: FpFmt::D, op: FpOp::SgnJx, rd: FReg(8), rs1: FReg(9), rs2: FReg(10) },
-            FpOp3 { fmt: FpFmt::S, op: FpOp::Max, rd: FReg(11), rs1: FReg(12), rs2: FReg(13) },
-            FpFma { fmt: FpFmt::S, rd: FReg(1), rs1: FReg(2), rs2: FReg(3), rs3: FReg(4), negate_product: false, negate_addend: false },
-            FpFma { fmt: FpFmt::D, rd: FReg(1), rs1: FReg(2), rs2: FReg(3), rs3: FReg(4), negate_product: true, negate_addend: true },
-            FpCmp { fmt: FpFmt::S, cmp: crate::inst::FpCmp::Lt, rd: Reg::A0, rs1: FReg(1), rs2: FReg(2) },
-            FpToInt { fmt: FpFmt::S, rd: Reg::A0, rs1: FReg(0), signed: true, wide: true },
-            IntToFp { fmt: FpFmt::D, rd: FReg(0), rs1: Reg::A0, signed: false, wide: false },
-            FpCvt { to: FpFmt::S, rd: FReg(1), rs1: FReg(2) },
-            FpCvt { to: FpFmt::D, rd: FReg(1), rs1: FReg(2) },
-            FpMvToInt { fmt: FpFmt::S, rd: Reg::A0, rs1: FReg(3) },
-            FpMvFromInt { fmt: FpFmt::D, rd: FReg(3), rs1: Reg::A0 },
+            FpLoad {
+                fmt: FpFmt::S,
+                rd: FReg(1),
+                rs1: Reg::Sp,
+                offset: 16,
+            },
+            FpLoad {
+                fmt: FpFmt::D,
+                rd: FReg(31),
+                rs1: Reg::A0,
+                offset: -8,
+            },
+            FpStore {
+                fmt: FpFmt::S,
+                rs2: FReg(2),
+                rs1: Reg::Sp,
+                offset: 20,
+            },
+            FpOp3 {
+                fmt: FpFmt::S,
+                op: FpOp::Add,
+                rd: FReg(0),
+                rs1: FReg(1),
+                rs2: FReg(2),
+            },
+            FpOp3 {
+                fmt: FpFmt::D,
+                op: FpOp::Div,
+                rd: FReg(3),
+                rs1: FReg(4),
+                rs2: FReg(5),
+            },
+            FpOp3 {
+                fmt: FpFmt::S,
+                op: FpOp::Sqrt,
+                rd: FReg(6),
+                rs1: FReg(7),
+                rs2: FReg(0),
+            },
+            FpOp3 {
+                fmt: FpFmt::D,
+                op: FpOp::SgnJx,
+                rd: FReg(8),
+                rs1: FReg(9),
+                rs2: FReg(10),
+            },
+            FpOp3 {
+                fmt: FpFmt::S,
+                op: FpOp::Max,
+                rd: FReg(11),
+                rs1: FReg(12),
+                rs2: FReg(13),
+            },
+            FpFma {
+                fmt: FpFmt::S,
+                rd: FReg(1),
+                rs1: FReg(2),
+                rs2: FReg(3),
+                rs3: FReg(4),
+                negate_product: false,
+                negate_addend: false,
+            },
+            FpFma {
+                fmt: FpFmt::D,
+                rd: FReg(1),
+                rs1: FReg(2),
+                rs2: FReg(3),
+                rs3: FReg(4),
+                negate_product: true,
+                negate_addend: true,
+            },
+            FpCmp {
+                fmt: FpFmt::S,
+                cmp: crate::inst::FpCmp::Lt,
+                rd: Reg::A0,
+                rs1: FReg(1),
+                rs2: FReg(2),
+            },
+            FpToInt {
+                fmt: FpFmt::S,
+                rd: Reg::A0,
+                rs1: FReg(0),
+                signed: true,
+                wide: true,
+            },
+            IntToFp {
+                fmt: FpFmt::D,
+                rd: FReg(0),
+                rs1: Reg::A0,
+                signed: false,
+                wide: false,
+            },
+            FpCvt {
+                to: FpFmt::S,
+                rd: FReg(1),
+                rs1: FReg(2),
+            },
+            FpCvt {
+                to: FpFmt::D,
+                rd: FReg(1),
+                rs1: FReg(2),
+            },
+            FpMvToInt {
+                fmt: FpFmt::S,
+                rd: Reg::A0,
+                rs1: FReg(3),
+            },
+            FpMvFromInt {
+                fmt: FpFmt::D,
+                rd: FReg(3),
+                rs1: Reg::A0,
+            },
         ];
         for inst in cases {
             round_trip(inst, Xlen::Rv64, false);
@@ -705,22 +1066,108 @@ mod tests {
     fn round_trip_xpulp_set() {
         use Inst::*;
         let cases = vec![
-            LoadPost { width: LoadWidth::W, rd: Reg::A0, rs1: Reg::A1, offset: 4 },
-            LoadPost { width: LoadWidth::Bu, rd: Reg::T0, rs1: Reg::T1, offset: -1 },
-            StorePost { width: StoreWidth::H, rs2: Reg::A2, rs1: Reg::A3, offset: 2 },
-            Mac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, subtract: false },
-            Mac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, subtract: true },
-            PulpAlu { op: PulpAluOp::Clip, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
-            PulpAlu { op: PulpAluOp::Abs, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::Zero },
-            HwLoop { op: HwLoopOp::Starti, loop_idx: 0, value: 8, rs1: Reg::Zero },
-            HwLoop { op: HwLoopOp::Endi, loop_idx: 1, value: 40, rs1: Reg::Zero },
-            HwLoop { op: HwLoopOp::Count, loop_idx: 0, value: 0, rs1: Reg::A5 },
-            HwLoop { op: HwLoopOp::Counti, loop_idx: 1, value: 4095, rs1: Reg::Zero },
-            Simd { op: SimdOp::Sdotsp, fmt: SimdFmt::B, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, scalar_rs2: false },
-            Simd { op: SimdOp::Max, fmt: SimdFmt::H, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, scalar_rs2: true },
-            Simd { op: SimdOp::Avgu, fmt: SimdFmt::B, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, scalar_rs2: true },
-            SimdFp { op: SimdFpOp::Mac, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
-            SimdFp { op: SimdFpOp::DotpexS, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            LoadPost {
+                width: LoadWidth::W,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: 4,
+            },
+            LoadPost {
+                width: LoadWidth::Bu,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                offset: -1,
+            },
+            StorePost {
+                width: StoreWidth::H,
+                rs2: Reg::A2,
+                rs1: Reg::A3,
+                offset: 2,
+            },
+            Mac {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                subtract: false,
+            },
+            Mac {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                subtract: true,
+            },
+            PulpAlu {
+                op: PulpAluOp::Clip,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            PulpAlu {
+                op: PulpAluOp::Abs,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::Zero,
+            },
+            HwLoop {
+                op: HwLoopOp::Starti,
+                loop_idx: 0,
+                value: 8,
+                rs1: Reg::Zero,
+            },
+            HwLoop {
+                op: HwLoopOp::Endi,
+                loop_idx: 1,
+                value: 40,
+                rs1: Reg::Zero,
+            },
+            HwLoop {
+                op: HwLoopOp::Count,
+                loop_idx: 0,
+                value: 0,
+                rs1: Reg::A5,
+            },
+            HwLoop {
+                op: HwLoopOp::Counti,
+                loop_idx: 1,
+                value: 4095,
+                rs1: Reg::Zero,
+            },
+            Simd {
+                op: SimdOp::Sdotsp,
+                fmt: SimdFmt::B,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                scalar_rs2: false,
+            },
+            Simd {
+                op: SimdOp::Max,
+                fmt: SimdFmt::H,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                scalar_rs2: true,
+            },
+            Simd {
+                op: SimdOp::Avgu,
+                fmt: SimdFmt::B,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+                scalar_rs2: true,
+            },
+            SimdFp {
+                op: SimdFpOp::Mac,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            SimdFp {
+                op: SimdFpOp::DotpexS,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
         ];
         for inst in cases {
             round_trip(inst, Xlen::Rv32, true);

@@ -146,13 +146,28 @@ pub fn disassemble(inst: &Inst) -> String {
                 format!("jalr {rd}, {offset}({rs1})")
             }
         }
-        Inst::Branch { cond, rs1, rs2, offset } => {
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
             format!("{} {rs1}, {rs2}, {offset}", branch_mnemonic(cond))
         }
-        Inst::Load { width, rd, rs1, offset } => {
+        Inst::Load {
+            width,
+            rd,
+            rs1,
+            offset,
+        } => {
             format!("{} {rd}, {offset}({rs1})", load_mnemonic(width))
         }
-        Inst::Store { width, rs2, rs1, offset } => {
+        Inst::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
             format!("{} {rs2}, {offset}({rs1})", store_mnemonic(width))
         }
         Inst::OpImm { op, rd, rs1, imm } => {
@@ -182,10 +197,21 @@ pub fn disassemble(inst: &Inst) -> String {
         Inst::LoadReserved { double, rd, rs1 } => {
             format!("lr.{} {rd}, ({rs1})", if double { "d" } else { "w" })
         }
-        Inst::StoreConditional { double, rd, rs1, rs2 } => {
+        Inst::StoreConditional {
+            double,
+            rd,
+            rs1,
+            rs2,
+        } => {
             format!("sc.{} {rd}, {rs2}, ({rs1})", if double { "d" } else { "w" })
         }
-        Inst::Amo { op, double, rd, rs1, rs2 } => {
+        Inst::Amo {
+            op,
+            double,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let name = match op {
                 AmoOp::Swap => "amoswap",
                 AmoOp::Add => "amoadd",
@@ -197,7 +223,10 @@ pub fn disassemble(inst: &Inst) -> String {
                 AmoOp::Minu => "amominu",
                 AmoOp::Maxu => "amomaxu",
             };
-            format!("{name}.{} {rd}, {rs2}, ({rs1})", if double { "d" } else { "w" })
+            format!(
+                "{name}.{} {rd}, {rs2}, ({rs1})",
+                if double { "d" } else { "w" }
+            )
         }
         Inst::Fence => "fence".to_string(),
         Inst::FenceI => "fence.i".to_string(),
@@ -220,13 +249,35 @@ pub fn disassemble(inst: &Inst) -> String {
                 CsrSrc::Imm(v) => format!("{name}{suffix} {rd}, {csr:#x}, {v}"),
             }
         }
-        Inst::FpLoad { fmt, rd, rs1, offset } => {
-            format!("fl{} {rd}, {offset}({rs1})", if fmt == FpFmt::S { "w" } else { "d" })
+        Inst::FpLoad {
+            fmt,
+            rd,
+            rs1,
+            offset,
+        } => {
+            format!(
+                "fl{} {rd}, {offset}({rs1})",
+                if fmt == FpFmt::S { "w" } else { "d" }
+            )
         }
-        Inst::FpStore { fmt, rs2, rs1, offset } => {
-            format!("fs{} {rs2}, {offset}({rs1})", if fmt == FpFmt::S { "w" } else { "d" })
+        Inst::FpStore {
+            fmt,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            format!(
+                "fs{} {rs2}, {offset}({rs1})",
+                if fmt == FpFmt::S { "w" } else { "d" }
+            )
         }
-        Inst::FpOp3 { fmt, op, rd, rs1, rs2 } => {
+        Inst::FpOp3 {
+            fmt,
+            op,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let name = match op {
                 FpOp::Add => "fadd",
                 FpOp::Sub => "fsub",
@@ -245,7 +296,15 @@ pub fn disassemble(inst: &Inst) -> String {
                 format!("{name}.{} {rd}, {rs1}, {rs2}", fp_suffix(fmt))
             }
         }
-        Inst::FpFma { fmt, rd, rs1, rs2, rs3, negate_product, negate_addend } => {
+        Inst::FpFma {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+            negate_product,
+            negate_addend,
+        } => {
             let name = match (negate_product, negate_addend) {
                 (false, false) => "fmadd",
                 (false, true) => "fmsub",
@@ -254,7 +313,13 @@ pub fn disassemble(inst: &Inst) -> String {
             };
             format!("{name}.{} {rd}, {rs1}, {rs2}, {rs3}", fp_suffix(fmt))
         }
-        Inst::FpCmp { fmt, cmp, rd, rs1, rs2 } => {
+        Inst::FpCmp {
+            fmt,
+            cmp,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let name = match cmp {
                 FpCmp::Eq => "feq",
                 FpCmp::Lt => "flt",
@@ -262,7 +327,13 @@ pub fn disassemble(inst: &Inst) -> String {
             };
             format!("{name}.{} {rd}, {rs1}, {rs2}", fp_suffix(fmt))
         }
-        Inst::FpToInt { fmt, rd, rs1, signed, wide } => {
+        Inst::FpToInt {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            wide,
+        } => {
             let int = match (wide, signed) {
                 (false, true) => "w",
                 (false, false) => "wu",
@@ -271,7 +342,13 @@ pub fn disassemble(inst: &Inst) -> String {
             };
             format!("fcvt.{int}.{} {rd}, {rs1}", fp_suffix(fmt))
         }
-        Inst::IntToFp { fmt, rd, rs1, signed, wide } => {
+        Inst::IntToFp {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            wide,
+        } => {
             let int = match (wide, signed) {
                 (false, true) => "w",
                 (false, false) => "wu",
@@ -285,19 +362,43 @@ pub fn disassemble(inst: &Inst) -> String {
             FpFmt::D => format!("fcvt.d.s {rd}, {rs1}"),
         },
         Inst::FpMvToInt { fmt, rd, rs1 } => {
-            format!("fmv.x.{} {rd}, {rs1}", if fmt == FpFmt::S { "w" } else { "d" })
+            format!(
+                "fmv.x.{} {rd}, {rs1}",
+                if fmt == FpFmt::S { "w" } else { "d" }
+            )
         }
         Inst::FpMvFromInt { fmt, rd, rs1 } => {
-            format!("fmv.{}.x {rd}, {rs1}", if fmt == FpFmt::S { "w" } else { "d" })
+            format!(
+                "fmv.{}.x {rd}, {rs1}",
+                if fmt == FpFmt::S { "w" } else { "d" }
+            )
         }
-        Inst::LoadPost { width, rd, rs1, offset } => {
+        Inst::LoadPost {
+            width,
+            rd,
+            rs1,
+            offset,
+        } => {
             format!("p.{} {rd}, {offset}({rs1}!)", load_mnemonic(width))
         }
-        Inst::StorePost { width, rs2, rs1, offset } => {
+        Inst::StorePost {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
             format!("p.{} {rs2}, {offset}({rs1}!)", store_mnemonic(width))
         }
-        Inst::Mac { rd, rs1, rs2, subtract } => {
-            format!("p.{} {rd}, {rs1}, {rs2}", if subtract { "msu" } else { "mac" })
+        Inst::Mac {
+            rd,
+            rs1,
+            rs2,
+            subtract,
+        } => {
+            format!(
+                "p.{} {rd}, {rs1}, {rs2}",
+                if subtract { "msu" } else { "mac" }
+            )
         }
         Inst::PulpAlu { op, rd, rs1, rs2 } => {
             let name = match op {
@@ -317,20 +418,38 @@ pub fn disassemble(inst: &Inst) -> String {
                 PulpAluOp::Ror => "ror",
             };
             match op {
-                PulpAluOp::Abs | PulpAluOp::Exths | PulpAluOp::Exthz | PulpAluOp::Extbs
-                | PulpAluOp::Extbz | PulpAluOp::Cnt | PulpAluOp::Ff1 | PulpAluOp::Fl1 => {
+                PulpAluOp::Abs
+                | PulpAluOp::Exths
+                | PulpAluOp::Exthz
+                | PulpAluOp::Extbs
+                | PulpAluOp::Extbz
+                | PulpAluOp::Cnt
+                | PulpAluOp::Ff1
+                | PulpAluOp::Fl1 => {
                     format!("p.{name} {rd}, {rs1}")
                 }
                 _ => format!("p.{name} {rd}, {rs1}, {rs2}"),
             }
         }
-        Inst::HwLoop { op, loop_idx, value, rs1 } => match op {
+        Inst::HwLoop {
+            op,
+            loop_idx,
+            value,
+            rs1,
+        } => match op {
             HwLoopOp::Starti => format!("lp.starti x{loop_idx}, {value}"),
             HwLoopOp::Endi => format!("lp.endi x{loop_idx}, {value}"),
             HwLoopOp::Count => format!("lp.count x{loop_idx}, {rs1}"),
             HwLoopOp::Counti => format!("lp.counti x{loop_idx}, {value}"),
         },
-        Inst::Simd { op, fmt, rd, rs1, rs2, scalar_rs2 } => {
+        Inst::Simd {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            scalar_rs2,
+        } => {
             let lanes = if fmt == SimdFmt::B { "b" } else { "h" };
             let mode = if scalar_rs2 { ".sc" } else { "" };
             format!("pv.{}{mode}.{lanes} {rd}, {rs1}, {rs2}", simd_op_name(op))
@@ -374,15 +493,84 @@ mod tests {
     #[test]
     fn standard_forms() {
         let cases: Vec<(Inst, &str)> = vec![
-            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: -4 }, "addi a0, sp, -4"),
-            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: 7 }, "li a0, 7"),
-            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: 0 }, "mv a0, a1"),
-            (Inst::Op { op: AluOp::Sub, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 }, "sub t0, t1, t2"),
-            (Inst::Load { width: LoadWidth::W, rd: Reg::A5, rs1: Reg::Sp, offset: 12 }, "lw a5, 12(sp)"),
-            (Inst::Store { width: StoreWidth::D, rs2: Reg::A0, rs1: Reg::Sp, offset: 0 }, "sd a0, 0(sp)"),
-            (Inst::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::Zero, offset: -4 }, "bne t0, zero, -4"),
-            (Inst::Jal { rd: Reg::Zero, offset: 16 }, "j 16"),
-            (Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 }, "ret"),
+            (
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::Sp,
+                    imm: -4,
+                },
+                "addi a0, sp, -4",
+            ),
+            (
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::Zero,
+                    imm: 7,
+                },
+                "li a0, 7",
+            ),
+            (
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    imm: 0,
+                },
+                "mv a0, a1",
+            ),
+            (
+                Inst::Op {
+                    op: AluOp::Sub,
+                    rd: Reg::T0,
+                    rs1: Reg::T1,
+                    rs2: Reg::T2,
+                },
+                "sub t0, t1, t2",
+            ),
+            (
+                Inst::Load {
+                    width: LoadWidth::W,
+                    rd: Reg::A5,
+                    rs1: Reg::Sp,
+                    offset: 12,
+                },
+                "lw a5, 12(sp)",
+            ),
+            (
+                Inst::Store {
+                    width: StoreWidth::D,
+                    rs2: Reg::A0,
+                    rs1: Reg::Sp,
+                    offset: 0,
+                },
+                "sd a0, 0(sp)",
+            ),
+            (
+                Inst::Branch {
+                    cond: BranchCond::Ne,
+                    rs1: Reg::T0,
+                    rs2: Reg::Zero,
+                    offset: -4,
+                },
+                "bne t0, zero, -4",
+            ),
+            (
+                Inst::Jal {
+                    rd: Reg::Zero,
+                    offset: 16,
+                },
+                "j 16",
+            ),
+            (
+                Inst::Jalr {
+                    rd: Reg::Zero,
+                    rs1: Reg::Ra,
+                    offset: 0,
+                },
+                "ret",
+            ),
             (Inst::Ecall, "ecall"),
         ];
         for (inst, text) in cases {
@@ -394,11 +582,21 @@ mod tests {
     fn xpulp_forms() {
         let cases: Vec<(Inst, &str)> = vec![
             (
-                Inst::LoadPost { width: LoadWidth::W, rd: Reg::T5, rs1: Reg::T3, offset: 4 },
+                Inst::LoadPost {
+                    width: LoadWidth::W,
+                    rd: Reg::T5,
+                    rs1: Reg::T3,
+                    offset: 4,
+                },
                 "p.lw t5, 4(t3!)",
             ),
             (
-                Inst::Mac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, subtract: false },
+                Inst::Mac {
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::A2,
+                    subtract: false,
+                },
                 "p.mac a0, a1, a2",
             ),
             (
@@ -424,11 +622,21 @@ mod tests {
                 "pv.max.sc.b t2, t1, t6",
             ),
             (
-                Inst::HwLoop { op: HwLoopOp::Counti, loop_idx: 0, value: 16, rs1: Reg::Zero },
+                Inst::HwLoop {
+                    op: HwLoopOp::Counti,
+                    loop_idx: 0,
+                    value: 16,
+                    rs1: Reg::Zero,
+                },
                 "lp.counti x0, 16",
             ),
             (
-                Inst::SimdFp { op: SimdFpOp::DotpexS, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+                Inst::SimdFp {
+                    op: SimdFpOp::DotpexS,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::A2,
+                },
                 "vfdotpex.s.h a0, a1, a2",
             ),
         ];
@@ -449,7 +657,13 @@ mod tests {
             negate_addend: false,
         };
         assert_eq!(disassemble(&fma), "fmadd.s f0, f1, f2, f3");
-        let cvt = Inst::FpToInt { fmt: FpFmt::D, rd: Reg::A0, rs1: FReg(4), signed: true, wide: true };
+        let cvt = Inst::FpToInt {
+            fmt: FpFmt::D,
+            rd: Reg::A0,
+            rs1: FReg(4),
+            signed: true,
+            wide: true,
+        };
         assert_eq!(disassemble(&cvt), "fcvt.l.d a0, f4");
     }
 

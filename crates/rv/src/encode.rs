@@ -47,7 +47,12 @@ fn i_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, imm: i64) -> Result<u32, 
 fn s_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i64) -> Result<u32, RvError> {
     check_imm(imm, 12)?;
     let imm = (imm as u32) & 0xFFF;
-    Ok(((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode)
+    Ok(((imm >> 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode)
 }
 
 fn b_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i64) -> Result<u32, RvError> {
@@ -73,7 +78,9 @@ fn b_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i64) -> Result<u32,
 fn u_type(opcode: u32, rd: u32, imm: i64) -> Result<u32, RvError> {
     // imm is the value placed in bits [31:12].
     if !(-(1 << 19)..(1 << 19)).contains(&imm) {
-        return Err(RvError::Encode(format!("U-type immediate {imm} out of range")));
+        return Err(RvError::Encode(format!(
+            "U-type immediate {imm} out of range"
+        )));
     }
     Ok((((imm as u32) & 0xF_FFFF) << 12) | (rd << 7) | opcode)
 }
@@ -273,15 +280,24 @@ pub fn encode(inst: &Inst) -> Result<u32, RvError> {
         Inst::Auipc { rd, imm } => u_type(OP_AUIPC, r(rd), imm),
         Inst::Jal { rd, offset } => j_type(OP_JAL, r(rd), offset),
         Inst::Jalr { rd, rs1, offset } => i_type(OP_JALR, r(rd), 0, r(rs1), offset),
-        Inst::Branch { cond, rs1, rs2, offset } => {
-            b_type(OP_BRANCH, branch_funct3(cond), r(rs1), r(rs2), offset)
-        }
-        Inst::Load { width, rd, rs1, offset } => {
-            i_type(OP_LOAD, r(rd), load_funct3(width), r(rs1), offset)
-        }
-        Inst::Store { width, rs2, rs1, offset } => {
-            s_type(OP_STORE, store_funct3(width), r(rs1), r(rs2), offset)
-        }
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => b_type(OP_BRANCH, branch_funct3(cond), r(rs1), r(rs2), offset),
+        Inst::Load {
+            width,
+            rd,
+            rs1,
+            offset,
+        } => i_type(OP_LOAD, r(rd), load_funct3(width), r(rs1), offset),
+        Inst::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => s_type(OP_STORE, store_funct3(width), r(rs1), r(rs2), offset),
         Inst::OpImm { op, rd, rs1, imm } => {
             let (f3, f7) = alu_funct(op);
             match op {
@@ -289,7 +305,14 @@ pub fn encode(inst: &Inst) -> Result<u32, RvError> {
                     if !(0..64).contains(&imm) {
                         return Err(RvError::Encode(format!("shift amount {imm} out of range")));
                     }
-                    Ok(r_type(OP_IMM, r(rd), f3, r(rs1), (imm as u32) & 0x1F, f7 | ((imm as u32 >> 5) & 1)))
+                    Ok(r_type(
+                        OP_IMM,
+                        r(rd),
+                        f3,
+                        r(rs1),
+                        (imm as u32) & 0x1F,
+                        f7 | ((imm as u32 >> 5) & 1),
+                    ))
                 }
                 AluOp::Sub => Err(RvError::Encode("subi does not exist; use addi".into())),
                 _ => i_type(OP_IMM, r(rd), f3, r(rs1), imm),
@@ -316,23 +339,51 @@ pub fn encode(inst: &Inst) -> Result<u32, RvError> {
             let (f3, f7) = alu_funct(op);
             Ok(r_type(OP_OP_32, r(rd), f3, r(rs1), r(rs2), f7))
         }
-        Inst::MulDiv { op, rd, rs1, rs2 } => {
-            Ok(r_type(OP_OP, r(rd), muldiv_funct3(op), r(rs1), r(rs2), 0b0000001))
-        }
-        Inst::MulDiv32 { op, rd, rs1, rs2 } => {
-            Ok(r_type(OP_OP_32, r(rd), muldiv_funct3(op), r(rs1), r(rs2), 0b0000001))
-        }
+        Inst::MulDiv { op, rd, rs1, rs2 } => Ok(r_type(
+            OP_OP,
+            r(rd),
+            muldiv_funct3(op),
+            r(rs1),
+            r(rs2),
+            0b0000001,
+        )),
+        Inst::MulDiv32 { op, rd, rs1, rs2 } => Ok(r_type(
+            OP_OP_32,
+            r(rd),
+            muldiv_funct3(op),
+            r(rs1),
+            r(rs2),
+            0b0000001,
+        )),
         Inst::LoadReserved { double, rd, rs1 } => {
             let f3 = if double { 0b011 } else { 0b010 };
             Ok(r_type(OP_AMO, r(rd), f3, r(rs1), 0, 0b00010 << 2))
         }
-        Inst::StoreConditional { double, rd, rs1, rs2 } => {
+        Inst::StoreConditional {
+            double,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let f3 = if double { 0b011 } else { 0b010 };
             Ok(r_type(OP_AMO, r(rd), f3, r(rs1), r(rs2), 0b00011 << 2))
         }
-        Inst::Amo { op, double, rd, rs1, rs2 } => {
+        Inst::Amo {
+            op,
+            double,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let f3 = if double { 0b011 } else { 0b010 };
-            Ok(r_type(OP_AMO, r(rd), f3, r(rs1), r(rs2), amo_funct5(op) << 2))
+            Ok(r_type(
+                OP_AMO,
+                r(rd),
+                f3,
+                r(rs1),
+                r(rs2),
+                amo_funct5(op) << 2,
+            ))
         }
         Inst::Fence => Ok(OP_MISC_MEM),
         Inst::FenceI => Ok(OP_MISC_MEM | (0b001 << 12)),
@@ -360,21 +411,37 @@ pub fn encode(inst: &Inst) -> Result<u32, RvError> {
         }
 
         // --- F/D ---
-        Inst::FpLoad { fmt, rd, rs1, offset } => {
+        Inst::FpLoad {
+            fmt,
+            rd,
+            rs1,
+            offset,
+        } => {
             let f3 = match fmt {
                 FpFmt::S => 0b010,
                 FpFmt::D => 0b011,
             };
             i_type(OP_LOAD_FP, fr(rd), f3, r(rs1), offset)
         }
-        Inst::FpStore { fmt, rs2, rs1, offset } => {
+        Inst::FpStore {
+            fmt,
+            rs2,
+            rs1,
+            offset,
+        } => {
             let f3 = match fmt {
                 FpFmt::S => 0b010,
                 FpFmt::D => 0b011,
             };
             s_type(OP_STORE_FP, f3, r(rs1), fr(rs2), offset)
         }
-        Inst::FpOp3 { fmt, op, rd, rs1, rs2 } => {
+        Inst::FpOp3 {
+            fmt,
+            op,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let fb = fp_fmt_bits(fmt);
             let (f7, f3, rs2v) = match op {
                 FpOp::Add => (fb, 0b000, fr(rs2)),
@@ -390,7 +457,15 @@ pub fn encode(inst: &Inst) -> Result<u32, RvError> {
             };
             Ok(r_type(OP_FP, fr(rd), f3, fr(rs1), rs2v, f7))
         }
-        Inst::FpFma { fmt, rd, rs1, rs2, rs3, negate_product, negate_addend } => {
+        Inst::FpFma {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+            negate_product,
+            negate_addend,
+        } => {
             let opcode = match (negate_product, negate_addend) {
                 (false, false) => OP_MADD,
                 (false, true) => OP_MSUB,
@@ -405,31 +480,70 @@ pub fn encode(inst: &Inst) -> Result<u32, RvError> {
                 | (fr(rd) << 7)
                 | opcode)
         }
-        Inst::FpCmp { fmt, cmp, rd, rs1, rs2 } => {
+        Inst::FpCmp {
+            fmt,
+            cmp,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let f3 = match cmp {
                 FpCmp::Le => 0b000,
                 FpCmp::Lt => 0b001,
                 FpCmp::Eq => 0b010,
             };
-            Ok(r_type(OP_FP, r(rd), f3, fr(rs1), fr(rs2), 0b1010000 | fp_fmt_bits(fmt)))
+            Ok(r_type(
+                OP_FP,
+                r(rd),
+                f3,
+                fr(rs1),
+                fr(rs2),
+                0b1010000 | fp_fmt_bits(fmt),
+            ))
         }
-        Inst::FpToInt { fmt, rd, rs1, signed, wide } => {
+        Inst::FpToInt {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            wide,
+        } => {
             let rs2 = match (wide, signed) {
                 (false, true) => 0b00000,
                 (false, false) => 0b00001,
                 (true, true) => 0b00010,
                 (true, false) => 0b00011,
             };
-            Ok(r_type(OP_FP, r(rd), 0b001, fr(rs1), rs2, 0b1100000 | fp_fmt_bits(fmt)))
+            Ok(r_type(
+                OP_FP,
+                r(rd),
+                0b001,
+                fr(rs1),
+                rs2,
+                0b1100000 | fp_fmt_bits(fmt),
+            ))
         }
-        Inst::IntToFp { fmt, rd, rs1, signed, wide } => {
+        Inst::IntToFp {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            wide,
+        } => {
             let rs2 = match (wide, signed) {
                 (false, true) => 0b00000,
                 (false, false) => 0b00001,
                 (true, true) => 0b00010,
                 (true, false) => 0b00011,
             };
-            Ok(r_type(OP_FP, fr(rd), 0b000, r(rs1), rs2, 0b1101000 | fp_fmt_bits(fmt)))
+            Ok(r_type(
+                OP_FP,
+                fr(rd),
+                0b000,
+                r(rs1),
+                rs2,
+                0b1101000 | fp_fmt_bits(fmt),
+            ))
         }
         Inst::FpCvt { to, rd, rs1 } => {
             // fcvt.s.d: funct7 0100000 rs2=1; fcvt.d.s: 0100001 rs2=0.
@@ -439,36 +553,75 @@ pub fn encode(inst: &Inst) -> Result<u32, RvError> {
             };
             Ok(r_type(OP_FP, fr(rd), 0b000, fr(rs1), rs2, f7))
         }
-        Inst::FpMvToInt { fmt, rd, rs1 } => {
-            Ok(r_type(OP_FP, r(rd), 0b000, fr(rs1), 0, 0b1110000 | fp_fmt_bits(fmt)))
-        }
-        Inst::FpMvFromInt { fmt, rd, rs1 } => {
-            Ok(r_type(OP_FP, fr(rd), 0b000, r(rs1), 0, 0b1111000 | fp_fmt_bits(fmt)))
-        }
+        Inst::FpMvToInt { fmt, rd, rs1 } => Ok(r_type(
+            OP_FP,
+            r(rd),
+            0b000,
+            fr(rs1),
+            0,
+            0b1110000 | fp_fmt_bits(fmt),
+        )),
+        Inst::FpMvFromInt { fmt, rd, rs1 } => Ok(r_type(
+            OP_FP,
+            fr(rd),
+            0b000,
+            r(rs1),
+            0,
+            0b1111000 | fp_fmt_bits(fmt),
+        )),
 
         // --- Xpulp ---
-        Inst::LoadPost { width, rd, rs1, offset } => {
+        Inst::LoadPost {
+            width,
+            rd,
+            rs1,
+            offset,
+        } => {
             if matches!(width, LoadWidth::D | LoadWidth::Wu) {
                 return Err(RvError::Encode("post-increment loads are RV32-only".into()));
             }
             i_type(OP_CUSTOM0, r(rd), load_funct3(width), r(rs1), offset)
         }
-        Inst::StorePost { width, rs2, rs1, offset } => {
+        Inst::StorePost {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
             if matches!(width, StoreWidth::D) {
-                return Err(RvError::Encode("post-increment stores are RV32-only".into()));
+                return Err(RvError::Encode(
+                    "post-increment stores are RV32-only".into(),
+                ));
             }
             s_type(OP_CUSTOM1, store_funct3(width), r(rs1), r(rs2), offset)
         }
-        Inst::Mac { rd, rs1, rs2, subtract } => {
+        Inst::Mac {
+            rd,
+            rs1,
+            rs2,
+            subtract,
+        } => {
             let f7 = if subtract { 1 } else { 0 };
             Ok(r_type(OP_CUSTOM1, r(rd), 0b111, r(rs1), r(rs2), f7))
         }
-        Inst::PulpAlu { op, rd, rs1, rs2 } => {
-            Ok(r_type(OP_CUSTOM3, r(rd), 0b100, r(rs1), r(rs2), pulp_alu_index(op)))
-        }
-        Inst::HwLoop { op, loop_idx, value, rs1 } => {
+        Inst::PulpAlu { op, rd, rs1, rs2 } => Ok(r_type(
+            OP_CUSTOM3,
+            r(rd),
+            0b100,
+            r(rs1),
+            r(rs2),
+            pulp_alu_index(op),
+        )),
+        Inst::HwLoop {
+            op,
+            loop_idx,
+            value,
+            rs1,
+        } => {
             if loop_idx > 1 {
-                return Err(RvError::Encode(format!("hardware loop index {loop_idx} > 1")));
+                return Err(RvError::Encode(format!(
+                    "hardware loop index {loop_idx} > 1"
+                )));
             }
             let rd = loop_idx as u32;
             match op {
@@ -485,18 +638,37 @@ pub fn encode(inst: &Inst) -> Result<u32, RvError> {
                 }
             }
         }
-        Inst::Simd { op, fmt, rd, rs1, rs2, scalar_rs2 } => {
+        Inst::Simd {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            scalar_rs2,
+        } => {
             let f3 = match (fmt, scalar_rs2) {
                 (SimdFmt::B, false) => 0b000,
                 (SimdFmt::H, false) => 0b001,
                 (SimdFmt::B, true) => 0b010,
                 (SimdFmt::H, true) => 0b011,
             };
-            Ok(r_type(OP_CUSTOM2, r(rd), f3, r(rs1), r(rs2), simd_op_index(op)))
+            Ok(r_type(
+                OP_CUSTOM2,
+                r(rd),
+                f3,
+                r(rs1),
+                r(rs2),
+                simd_op_index(op),
+            ))
         }
-        Inst::SimdFp { op, rd, rs1, rs2 } => {
-            Ok(r_type(OP_CUSTOM2, r(rd), 0b100, r(rs1), r(rs2), simd_fp_op_index(op)))
-        }
+        Inst::SimdFp { op, rd, rs1, rs2 } => Ok(r_type(
+            OP_CUSTOM2,
+            r(rd),
+            0b100,
+            r(rs1),
+            r(rs2),
+            simd_fp_op_index(op),
+        )),
     }
 }
 
@@ -508,14 +680,74 @@ mod tests {
     fn known_golden_words() {
         // Cross-checked against riscv-gnu binutils output.
         let cases: Vec<(Inst, u32)> = vec![
-            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 }, 0x0015_0513),
-            (Inst::Lui { rd: Reg::T0, imm: 0x12345 }, 0x1234_52B7),
-            (Inst::Jal { rd: Reg::Ra, offset: 8 }, 0x0080_00EF),
-            (Inst::Load { width: LoadWidth::W, rd: Reg::A5, rs1: Reg::Sp, offset: 12 }, 0x00C1_2783),
-            (Inst::Store { width: StoreWidth::D, rs2: Reg::A0, rs1: Reg::Sp, offset: 0 }, 0x00A1_3023),
-            (Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }, 0x00C5_8533),
-            (Inst::Op { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }, 0x40C5_8533),
-            (Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }, 0x02C5_8533),
+            (
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    imm: 1,
+                },
+                0x0015_0513,
+            ),
+            (
+                Inst::Lui {
+                    rd: Reg::T0,
+                    imm: 0x12345,
+                },
+                0x1234_52B7,
+            ),
+            (
+                Inst::Jal {
+                    rd: Reg::Ra,
+                    offset: 8,
+                },
+                0x0080_00EF,
+            ),
+            (
+                Inst::Load {
+                    width: LoadWidth::W,
+                    rd: Reg::A5,
+                    rs1: Reg::Sp,
+                    offset: 12,
+                },
+                0x00C1_2783,
+            ),
+            (
+                Inst::Store {
+                    width: StoreWidth::D,
+                    rs2: Reg::A0,
+                    rs1: Reg::Sp,
+                    offset: 0,
+                },
+                0x00A1_3023,
+            ),
+            (
+                Inst::Op {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::A2,
+                },
+                0x00C5_8533,
+            ),
+            (
+                Inst::Op {
+                    op: AluOp::Sub,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::A2,
+                },
+                0x40C5_8533,
+            ),
+            (
+                Inst::MulDiv {
+                    op: MulDivOp::Mul,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::A2,
+                },
+                0x02C5_8533,
+            ),
             (Inst::Ecall, 0x0000_0073),
             (Inst::Ebreak, 0x0010_0073),
         ];

@@ -1,0 +1,126 @@
+//! Hot-spot reporting: renders a [`PcProfile`] collected by a core into a
+//! human-readable table with disassembly, and aggregates retire counts per
+//! opcode mnemonic.
+//!
+//! The profile stores the raw instruction word per PC (recording never
+//! formats strings); decoding and formatting happen only here, at report
+//! time.
+
+use crate::disasm::disassemble;
+use crate::inst::{Inst, Xlen};
+use hulkv_sim::PcProfile;
+use std::collections::BTreeMap;
+
+fn decode_word(word: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
+    if word & 3 != 3 {
+        crate::compressed::expand(word as u16, xlen)
+    } else {
+        crate::decode::decode(word, xlen, xpulp)
+    }
+}
+
+/// Formats the `n` hottest PCs as a table: cycles, share of total,
+/// retire count, and disassembly.
+pub fn hotspot_report(profile: &PcProfile, xlen: Xlen, xpulp: bool, n: usize) -> String {
+    let total = profile.total_cycles().max(1) as f64;
+    let mut out = format!(
+        "hot spots ({} PCs, {} retired, {} cycles)\n{:>12} {:>10} {:>6} {:>8}  {}\n",
+        profile.len(),
+        profile.total_retired(),
+        profile.total_cycles(),
+        "pc",
+        "cycles",
+        "%",
+        "count",
+        "instruction",
+    );
+    for (pc, s) in profile.top(n) {
+        let text = decode_word(s.word, xlen, xpulp)
+            .map(|i| disassemble(&i))
+            .unwrap_or_else(|| format!(".word {:#010x}", s.word));
+        out.push_str(&format!(
+            "{:#12x} {:>10} {:>5.1}% {:>8}  {}\n",
+            pc,
+            s.cycles,
+            100.0 * s.cycles as f64 / total,
+            s.count,
+            text,
+        ));
+    }
+    out
+}
+
+/// Retire counts aggregated per opcode mnemonic (first disassembly token).
+pub fn opcode_histogram(profile: &PcProfile, xlen: Xlen, xpulp: bool) -> BTreeMap<String, u64> {
+    let mut hist = BTreeMap::new();
+    for (_, s) in profile.iter() {
+        let op = decode_word(s.word, xlen, xpulp)
+            .map(|i| {
+                let text = disassemble(&i);
+                text.split_whitespace().next().unwrap_or("?").to_owned()
+            })
+            .unwrap_or_else(|| "illegal".to_owned());
+        *hist.entry(op).or_insert(0) += s.count;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{Core, FlatBus};
+    use crate::{Asm, Reg};
+
+    fn profiled_loop() -> (Core, PcProfile) {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, 50);
+        let top = a.label();
+        a.bind(top);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, top);
+        a.ebreak();
+        let mut bus = FlatBus::new(4096);
+        bus.load_words(0, &a.assemble().unwrap());
+        let mut core = Core::cva6();
+        core.enable_profile();
+        core.run(&mut bus, 100_000).unwrap();
+        let p = core.take_profile().unwrap();
+        (core, p)
+    }
+
+    #[test]
+    fn profile_attributes_cycles_to_the_loop_body() {
+        let (core, p) = profiled_loop();
+        assert_eq!(p.total_cycles(), core.cycles().get());
+        assert_eq!(p.total_retired(), core.instret());
+        // The two loop instructions retire 50 times each and dominate.
+        let top = p.top(2);
+        assert!(top[0].1.count >= 50, "{:?}", top);
+    }
+
+    #[test]
+    fn report_contains_disassembly_and_totals() {
+        let (_, p) = profiled_loop();
+        let report = hotspot_report(&p, Xlen::Rv64, false, 5);
+        assert!(report.contains("addi"), "{report}");
+        assert!(report.contains("%"), "{report}");
+    }
+
+    #[test]
+    fn opcode_histogram_counts_retires_per_mnemonic() {
+        let (core, p) = profiled_loop();
+        let hist = opcode_histogram(&p, Xlen::Rv64, false);
+        assert_eq!(hist.values().sum::<u64>(), core.instret());
+        assert!(hist.get("addi").copied().unwrap_or(0) >= 50, "{hist:?}");
+    }
+
+    #[test]
+    fn profiling_off_by_default_and_removable() {
+        let mut core = Core::cva6();
+        assert!(core.profile().is_none());
+        core.enable_profile();
+        assert!(core.profile().is_some());
+        core.take_profile();
+        assert!(core.profile().is_none());
+    }
+}

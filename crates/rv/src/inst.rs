@@ -407,27 +407,100 @@ pub enum HwLoopOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Inst {
-    Lui { rd: Reg, imm: i64 },
-    Auipc { rd: Reg, imm: i64 },
-    Jal { rd: Reg, offset: i64 },
-    Jalr { rd: Reg, rs1: Reg, offset: i64 },
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, offset: i64 },
-    Load { width: LoadWidth, rd: Reg, rs1: Reg, offset: i64 },
-    Store { width: StoreWidth, rs2: Reg, rs1: Reg, offset: i64 },
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i64 },
+    Lui {
+        rd: Reg,
+        imm: i64,
+    },
+    Auipc {
+        rd: Reg,
+        imm: i64,
+    },
+    Jal {
+        rd: Reg,
+        offset: i64,
+    },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        offset: i64,
+    },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i64,
+    },
+    Load {
+        width: LoadWidth,
+        rd: Reg,
+        rs1: Reg,
+        offset: i64,
+    },
+    Store {
+        width: StoreWidth,
+        rs2: Reg,
+        rs1: Reg,
+        offset: i64,
+    },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i64,
+    },
     /// RV64 W-suffixed immediate ops (`addiw`, `slliw`, …).
-    OpImm32 { op: AluOp, rd: Reg, rs1: Reg, imm: i64 },
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    OpImm32 {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i64,
+    },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// RV64 W-suffixed register ops (`addw`, `sllw`, …).
-    Op32 { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
-    MulDiv { op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op32 {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    MulDiv {
+        op: MulDivOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// RV64 W-suffixed M ops (`mulw`, `divw`, …).
-    MulDiv32 { op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg },
+    MulDiv32 {
+        op: MulDivOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `lr.w`/`lr.d`.
-    LoadReserved { double: bool, rd: Reg, rs1: Reg },
+    LoadReserved {
+        double: bool,
+        rd: Reg,
+        rs1: Reg,
+    },
     /// `sc.w`/`sc.d`.
-    StoreConditional { double: bool, rd: Reg, rs1: Reg, rs2: Reg },
-    Amo { op: AmoOp, double: bool, rd: Reg, rs1: Reg, rs2: Reg },
+    StoreConditional {
+        double: bool,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Amo {
+        op: AmoOp,
+        double: bool,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     Fence,
     FenceI,
     Ecall,
@@ -435,39 +508,135 @@ pub enum Inst {
     Mret,
     Sret,
     Wfi,
-    Csr { op: CsrOp, rd: Reg, csr: u16, src: CsrSrc },
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        csr: u16,
+        src: CsrSrc,
+    },
 
     // --- F/D ---
-    FpLoad { fmt: FpFmt, rd: FReg, rs1: Reg, offset: i64 },
-    FpStore { fmt: FpFmt, rs2: FReg, rs1: Reg, offset: i64 },
-    FpOp3 { fmt: FpFmt, op: FpOp, rd: FReg, rs1: FReg, rs2: FReg },
+    FpLoad {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: Reg,
+        offset: i64,
+    },
+    FpStore {
+        fmt: FpFmt,
+        rs2: FReg,
+        rs1: Reg,
+        offset: i64,
+    },
+    FpOp3 {
+        fmt: FpFmt,
+        op: FpOp,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// Fused multiply-add family: `rd = ±(rs1 × rs2) ± rs3`.
-    FpFma { fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg, negate_product: bool, negate_addend: bool },
-    FpCmp { fmt: FpFmt, cmp: FpCmp, rd: Reg, rs1: FReg, rs2: FReg },
+    FpFma {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rs3: FReg,
+        negate_product: bool,
+        negate_addend: bool,
+    },
+    FpCmp {
+        fmt: FpFmt,
+        cmp: FpCmp,
+        rd: Reg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// `fcvt.{w,wu,l,lu}.{s,d}` — FP to integer.
-    FpToInt { fmt: FpFmt, rd: Reg, rs1: FReg, signed: bool, wide: bool },
+    FpToInt {
+        fmt: FpFmt,
+        rd: Reg,
+        rs1: FReg,
+        signed: bool,
+        wide: bool,
+    },
     /// `fcvt.{s,d}.{w,wu,l,lu}` — integer to FP.
-    IntToFp { fmt: FpFmt, rd: FReg, rs1: Reg, signed: bool, wide: bool },
+    IntToFp {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: Reg,
+        signed: bool,
+        wide: bool,
+    },
     /// `fcvt.s.d` / `fcvt.d.s`.
-    FpCvt { to: FpFmt, rd: FReg, rs1: FReg },
+    FpCvt {
+        to: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+    },
     /// `fmv.x.w` / `fmv.x.d`.
-    FpMvToInt { fmt: FpFmt, rd: Reg, rs1: FReg },
+    FpMvToInt {
+        fmt: FpFmt,
+        rd: Reg,
+        rs1: FReg,
+    },
     /// `fmv.w.x` / `fmv.d.x`.
-    FpMvFromInt { fmt: FpFmt, rd: FReg, rs1: Reg },
+    FpMvFromInt {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: Reg,
+    },
 
     // --- Xpulp (custom opcode spaces; RV32 cluster cores only) ---
     /// Post-increment load: `rd = mem[rs1]; rs1 += offset`.
-    LoadPost { width: LoadWidth, rd: Reg, rs1: Reg, offset: i64 },
+    LoadPost {
+        width: LoadWidth,
+        rd: Reg,
+        rs1: Reg,
+        offset: i64,
+    },
     /// Post-increment store: `mem[rs1] = rs2; rs1 += offset`.
-    StorePost { width: StoreWidth, rs2: Reg, rs1: Reg, offset: i64 },
+    StorePost {
+        width: StoreWidth,
+        rs2: Reg,
+        rs1: Reg,
+        offset: i64,
+    },
     /// `p.mac rd, rs1, rs2` (`rd += rs1 × rs2`) / `p.msu`.
-    Mac { rd: Reg, rs1: Reg, rs2: Reg, subtract: bool },
-    PulpAlu { op: PulpAluOp, rd: Reg, rs1: Reg, rs2: Reg },
-    HwLoop { op: HwLoopOp, loop_idx: u8, value: i64, rs1: Reg },
+    Mac {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        subtract: bool,
+    },
+    PulpAlu {
+        op: PulpAluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    HwLoop {
+        op: HwLoopOp,
+        loop_idx: u8,
+        value: i64,
+        rs1: Reg,
+    },
     /// Packed integer SIMD; `scalar_rs2` replicates `rs2`'s low lane.
-    Simd { op: SimdOp, fmt: SimdFmt, rd: Reg, rs1: Reg, rs2: Reg, scalar_rs2: bool },
+    Simd {
+        op: SimdOp,
+        fmt: SimdFmt,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        scalar_rs2: bool,
+    },
     /// Packed FP16 SIMD on the integer register file.
-    SimdFp { op: SimdFpOp, rd: Reg, rs1: Reg, rs2: Reg },
+    SimdFp {
+        op: SimdFpOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 }
 
 /// Source operand of a CSR instruction.
@@ -567,7 +736,10 @@ impl fmt::Display for RvError {
                 write!(f, "illegal instruction {word:#010x} at pc {pc:#x}")
             }
             RvError::UnsupportedOnCore { pc, what } => {
-                write!(f, "instruction {what} unsupported on this core at pc {pc:#x}")
+                write!(
+                    f,
+                    "instruction {what} unsupported on this core at pc {pc:#x}"
+                )
             }
             RvError::Memory { addr, cause } => {
                 write!(f, "memory fault at {addr:#x}: {cause}")

@@ -57,6 +57,7 @@ pub mod decode;
 pub mod disasm;
 pub mod encode;
 pub mod fp16;
+pub mod hotspot;
 pub mod inst;
 pub mod mmu;
 pub mod parse;
@@ -68,6 +69,7 @@ pub use csr::{CsrFile, PrivMode};
 pub use decode::decode;
 pub use disasm::{disassemble, disassemble_word};
 pub use encode::encode;
-pub use parse::parse_program;
+pub use hotspot::{hotspot_report, opcode_histogram};
 pub use inst::{Inst, Reg, RvError, Xlen};
+pub use parse::parse_program;
 pub use timing::CostModel;

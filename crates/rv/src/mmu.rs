@@ -188,8 +188,14 @@ mod tests {
     #[test]
     fn three_level_translation() {
         let (m, satp) = three_level_map(0x4000_1234, 0x8765_4000, RWX_AD);
-        let pa = translate_sv39(0x4000_1234, satp, AccessKind::Load, PrivMode::Supervisor, m.reader())
-            .unwrap();
+        let pa = translate_sv39(
+            0x4000_1234,
+            satp,
+            AccessKind::Load,
+            PrivMode::Supervisor,
+            m.reader(),
+        )
+        .unwrap();
         assert_eq!(pa, 0x8765_4234);
     }
 
@@ -203,8 +209,14 @@ mod tests {
         // 2 MB leaf at level 1 mapping to PA 0x20_0000.
         m.insert(l1 + ((vaddr >> 21) & 0x1FF) * 8, pte(0x20_0000, RWX_AD));
         let satp = (8u64 << 60) | (l2 >> 12);
-        let pa = translate_sv39(vaddr, satp, AccessKind::Fetch, PrivMode::Supervisor, PtMem(m).reader())
-            .unwrap();
+        let pa = translate_sv39(
+            vaddr,
+            satp,
+            AccessKind::Fetch,
+            PrivMode::Supervisor,
+            PtMem(m).reader(),
+        )
+        .unwrap();
         assert_eq!(pa, 0x20_0000 | (vaddr & 0x1F_FFFF));
     }
 
@@ -215,7 +227,13 @@ mod tests {
         // Gigapage leaf with non-zero low PPN bits.
         m.insert(l2, pte(0x1000, RWX_AD));
         let satp = (8u64 << 60) | (l2 >> 12);
-        let r = translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, PtMem(m).reader());
+        let r = translate_sv39(
+            0x1000,
+            satp,
+            AccessKind::Load,
+            PrivMode::Supervisor,
+            PtMem(m).reader(),
+        );
         assert_eq!(r, Err(WalkFault::PageFault));
     }
 
@@ -224,13 +242,32 @@ mod tests {
         // Read-only page: store faults, load succeeds.
         let flags = PTE_V | PTE_R | PTE_A | PTE_D;
         let (m, satp) = three_level_map(0x1000, 0x2000, flags);
-        assert!(translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()).is_ok());
+        assert!(translate_sv39(
+            0x1000,
+            satp,
+            AccessKind::Load,
+            PrivMode::Supervisor,
+            m.reader()
+        )
+        .is_ok());
         assert_eq!(
-            translate_sv39(0x1000, satp, AccessKind::Store, PrivMode::Supervisor, m.reader()),
+            translate_sv39(
+                0x1000,
+                satp,
+                AccessKind::Store,
+                PrivMode::Supervisor,
+                m.reader()
+            ),
             Err(WalkFault::PageFault)
         );
         assert_eq!(
-            translate_sv39(0x1000, satp, AccessKind::Fetch, PrivMode::Supervisor, m.reader()),
+            translate_sv39(
+                0x1000,
+                satp,
+                AccessKind::Fetch,
+                PrivMode::Supervisor,
+                m.reader()
+            ),
             Err(WalkFault::PageFault)
         );
     }
@@ -242,7 +279,13 @@ mod tests {
         assert!(translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::User, m.reader()).is_ok());
         // S-mode cannot touch U pages without SUM.
         assert_eq!(
-            translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()),
+            translate_sv39(
+                0x1000,
+                satp,
+                AccessKind::Load,
+                PrivMode::Supervisor,
+                m.reader()
+            ),
             Err(WalkFault::PageFault)
         );
         let (m, satp) = three_level_map(0x1000, 0x2000, RWX_AD);
@@ -256,15 +299,34 @@ mod tests {
     fn clear_accessed_or_dirty_faults() {
         let flags = PTE_V | PTE_R | PTE_W | PTE_A; // D clear
         let (m, satp) = three_level_map(0x1000, 0x2000, flags);
-        assert!(translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()).is_ok());
+        assert!(translate_sv39(
+            0x1000,
+            satp,
+            AccessKind::Load,
+            PrivMode::Supervisor,
+            m.reader()
+        )
+        .is_ok());
         assert_eq!(
-            translate_sv39(0x1000, satp, AccessKind::Store, PrivMode::Supervisor, m.reader()),
+            translate_sv39(
+                0x1000,
+                satp,
+                AccessKind::Store,
+                PrivMode::Supervisor,
+                m.reader()
+            ),
             Err(WalkFault::PageFault)
         );
         let flags = PTE_V | PTE_R; // A clear
         let (m, satp) = three_level_map(0x1000, 0x2000, flags);
         assert_eq!(
-            translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()),
+            translate_sv39(
+                0x1000,
+                satp,
+                AccessKind::Load,
+                PrivMode::Supervisor,
+                m.reader()
+            ),
             Err(WalkFault::PageFault)
         );
     }
@@ -273,7 +335,13 @@ mod tests {
     fn non_canonical_vaddr_faults() {
         let (m, satp) = three_level_map(0x1000, 0x2000, RWX_AD);
         assert_eq!(
-            translate_sv39(1u64 << 40, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()),
+            translate_sv39(
+                1u64 << 40,
+                satp,
+                AccessKind::Load,
+                PrivMode::Supervisor,
+                m.reader()
+            ),
             Err(WalkFault::PageFault)
         );
     }
@@ -283,7 +351,13 @@ mod tests {
         let m = PtMem(HashMap::new());
         let satp = 8u64 << 60;
         assert_eq!(
-            translate_sv39(0x1000, satp, AccessKind::Load, PrivMode::Supervisor, m.reader()),
+            translate_sv39(
+                0x1000,
+                satp,
+                AccessKind::Load,
+                PrivMode::Supervisor,
+                m.reader()
+            ),
             Err(WalkFault::AccessFault)
         );
     }

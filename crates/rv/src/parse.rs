@@ -110,42 +110,60 @@ impl Parser {
     fn dispatch(&mut self, m: &str, ops: &[&str]) -> PResult {
         // Zero-operand instructions.
         match m {
-            "nop" => return {
-                self.a.nop();
-                Ok(())
-            },
-            "ret" => return {
-                self.a.ret();
-                Ok(())
-            },
-            "ecall" => return {
-                self.a.ecall();
-                Ok(())
-            },
-            "ebreak" => return {
-                self.a.ebreak();
-                Ok(())
-            },
-            "mret" => return {
-                self.a.mret();
-                Ok(())
-            },
-            "sret" => return {
-                self.a.sret();
-                Ok(())
-            },
-            "wfi" => return {
-                self.a.inst(Inst::Wfi);
-                Ok(())
-            },
-            "fence" => return {
-                self.a.fence();
-                Ok(())
-            },
-            "fence.i" => return {
-                self.a.inst(Inst::FenceI);
-                Ok(())
-            },
+            "nop" => {
+                return {
+                    self.a.nop();
+                    Ok(())
+                }
+            }
+            "ret" => {
+                return {
+                    self.a.ret();
+                    Ok(())
+                }
+            }
+            "ecall" => {
+                return {
+                    self.a.ecall();
+                    Ok(())
+                }
+            }
+            "ebreak" => {
+                return {
+                    self.a.ebreak();
+                    Ok(())
+                }
+            }
+            "mret" => {
+                return {
+                    self.a.mret();
+                    Ok(())
+                }
+            }
+            "sret" => {
+                return {
+                    self.a.sret();
+                    Ok(())
+                }
+            }
+            "wfi" => {
+                return {
+                    self.a.inst(Inst::Wfi);
+                    Ok(())
+                }
+            }
+            "fence" => {
+                return {
+                    self.a.fence();
+                    Ok(())
+                }
+            }
+            "fence.i" => {
+                return {
+                    self.a.inst(Inst::FenceI);
+                    Ok(())
+                }
+            }
             _ => {}
         }
 
@@ -155,14 +173,24 @@ impl Parser {
                 let rd = freg(op3(ops, 0)?)?;
                 let (offset, rs1, _) = mem_operand(op3(ops, 1)?)?;
                 let fmt = if m == "flw" { FpFmt::S } else { FpFmt::D };
-                self.a.inst(Inst::FpLoad { fmt, rd, rs1, offset });
+                self.a.inst(Inst::FpLoad {
+                    fmt,
+                    rd,
+                    rs1,
+                    offset,
+                });
                 return Ok(());
             }
             "fsw" | "fsd" => {
                 let rs2 = freg(op3(ops, 0)?)?;
                 let (offset, rs1, _) = mem_operand(op3(ops, 1)?)?;
                 let fmt = if m == "fsw" { FpFmt::S } else { FpFmt::D };
-                self.a.inst(Inst::FpStore { fmt, rs2, rs1, offset });
+                self.a.inst(Inst::FpStore {
+                    fmt,
+                    rs2,
+                    rs1,
+                    offset,
+                });
                 return Ok(());
             }
             _ => {}
@@ -184,9 +212,19 @@ impl Parser {
             let (rd, rs1, i) = (reg(op3(ops, 0)?)?, reg(op3(ops, 1)?)?, imm(op3(ops, 2)?)?);
             let word = m.ends_with('w');
             self.a.inst(if word {
-                Inst::OpImm32 { op, rd, rs1, imm: i }
+                Inst::OpImm32 {
+                    op,
+                    rd,
+                    rs1,
+                    imm: i,
+                }
             } else {
-                Inst::OpImm { op, rd, rs1, imm: i }
+                Inst::OpImm {
+                    op,
+                    rd,
+                    rs1,
+                    imm: i,
+                }
             });
             return Ok(());
         }
@@ -205,9 +243,19 @@ impl Parser {
             let rd = reg(op3(ops, 0)?)?;
             let (offset, rs1, post) = mem_operand(op3(ops, 1)?)?;
             self.a.inst(if post {
-                Inst::LoadPost { width, rd, rs1, offset }
+                Inst::LoadPost {
+                    width,
+                    rd,
+                    rs1,
+                    offset,
+                }
             } else {
-                Inst::Load { width, rd, rs1, offset }
+                Inst::Load {
+                    width,
+                    rd,
+                    rs1,
+                    offset,
+                }
             });
             return Ok(());
         }
@@ -215,9 +263,19 @@ impl Parser {
             let rs2 = reg(op3(ops, 0)?)?;
             let (offset, rs1, post) = mem_operand(op3(ops, 1)?)?;
             self.a.inst(if post {
-                Inst::StorePost { width, rs2, rs1, offset }
+                Inst::StorePost {
+                    width,
+                    rs2,
+                    rs1,
+                    offset,
+                }
             } else {
-                Inst::Store { width, rs2, rs1, offset }
+                Inst::Store {
+                    width,
+                    rs2,
+                    rs1,
+                    offset,
+                }
             });
             return Ok(());
         }
@@ -270,7 +328,10 @@ impl Parser {
             "j" => {
                 let t = op3(ops, 0)?;
                 if let Ok(off) = imm(t) {
-                    self.a.inst(Inst::Jal { rd: Reg::Zero, offset: off });
+                    self.a.inst(Inst::Jal {
+                        rd: Reg::Zero,
+                        offset: off,
+                    });
                 } else {
                     let l = self.label_for(t);
                     self.a.j(l);
@@ -301,7 +362,11 @@ impl Parser {
                 // `jalr rd, off(rs1)` or `jalr rs1`.
                 if ops.len() == 1 {
                     let rs1 = reg(ops[0])?;
-                    self.a.inst(Inst::Jalr { rd: Reg::Ra, rs1, offset: 0 });
+                    self.a.inst(Inst::Jalr {
+                        rd: Reg::Ra,
+                        rs1,
+                        offset: 0,
+                    });
                 } else {
                     let rd = reg(op3(ops, 0)?)?;
                     let (offset, rs1, _) = mem_operand(op3(ops, 1)?)?;
@@ -373,7 +438,12 @@ impl Parser {
 
     fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: &str) -> PResult {
         if let Ok(off) = imm(target) {
-            self.a.inst(Inst::Branch { cond, rs1, rs2, offset: off });
+            self.a.inst(Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: off,
+            });
         } else {
             let l = self.label_for(target);
             self.a.items_branch(cond, rs1, rs2, l);
@@ -397,7 +467,12 @@ impl Parser {
             "sc" => {
                 let (rd, rs2) = (reg(op3(ops, 0)?)?, reg(op3(ops, 1)?)?);
                 let (_, rs1, _) = mem_operand(op3(ops, 2)?)?;
-                self.a.inst(Inst::StoreConditional { double, rd, rs1, rs2 });
+                self.a.inst(Inst::StoreConditional {
+                    double,
+                    rd,
+                    rs1,
+                    rs2,
+                });
                 Ok(Some(true))
             }
             _ => {
@@ -415,7 +490,13 @@ impl Parser {
                 };
                 let (rd, rs2) = (reg(op3(ops, 0)?)?, reg(op3(ops, 1)?)?);
                 let (_, rs1, _) = mem_operand(op3(ops, 2)?)?;
-                self.a.inst(Inst::Amo { op, double, rd, rs1, rs2 });
+                self.a.inst(Inst::Amo {
+                    op,
+                    double,
+                    rd,
+                    rs1,
+                    rs2,
+                });
                 Ok(Some(true))
             }
         }
@@ -452,27 +533,59 @@ impl Parser {
                 _ => None,
             };
             if let (Some((wide, signed)), Some(fmt)) = (int_kind(to), fp_kind(from)) {
-                self.a.inst(Inst::FpToInt { fmt, rd: reg(rd_s)?, rs1: freg(rs_s)?, signed, wide });
+                self.a.inst(Inst::FpToInt {
+                    fmt,
+                    rd: reg(rd_s)?,
+                    rs1: freg(rs_s)?,
+                    signed,
+                    wide,
+                });
                 return Ok(Some(true));
             }
             if let (Some(fmt), Some((wide, signed))) = (fp_kind(to), int_kind(from)) {
-                self.a.inst(Inst::IntToFp { fmt, rd: freg(rd_s)?, rs1: reg(rs_s)?, signed, wide });
+                self.a.inst(Inst::IntToFp {
+                    fmt,
+                    rd: freg(rd_s)?,
+                    rs1: reg(rs_s)?,
+                    signed,
+                    wide,
+                });
                 return Ok(Some(true));
             }
             if let (Some(to_fmt), Some(_)) = (fp_kind(to), fp_kind(from)) {
-                self.a.inst(Inst::FpCvt { to: to_fmt, rd: freg(rd_s)?, rs1: freg(rs_s)? });
+                self.a.inst(Inst::FpCvt {
+                    to: to_fmt,
+                    rd: freg(rd_s)?,
+                    rs1: freg(rs_s)?,
+                });
                 return Ok(Some(true));
             }
             return Err(format!("bad fcvt form `{full}`"));
         }
         if full == "fmv.x.w" || full == "fmv.x.d" {
-            let fmt = if full.ends_with('w') { FpFmt::S } else { FpFmt::D };
-            self.a.inst(Inst::FpMvToInt { fmt, rd: reg(op3(ops, 0)?)?, rs1: freg(op3(ops, 1)?)? });
+            let fmt = if full.ends_with('w') {
+                FpFmt::S
+            } else {
+                FpFmt::D
+            };
+            self.a.inst(Inst::FpMvToInt {
+                fmt,
+                rd: reg(op3(ops, 0)?)?,
+                rs1: freg(op3(ops, 1)?)?,
+            });
             return Ok(Some(true));
         }
         if full == "fmv.w.x" || full == "fmv.d.x" {
-            let fmt = if full.starts_with("fmv.w") { FpFmt::S } else { FpFmt::D };
-            self.a.inst(Inst::FpMvFromInt { fmt, rd: freg(op3(ops, 0)?)?, rs1: reg(op3(ops, 1)?)? });
+            let fmt = if full.starts_with("fmv.w") {
+                FpFmt::S
+            } else {
+                FpFmt::D
+            };
+            self.a.inst(Inst::FpMvFromInt {
+                fmt,
+                rd: freg(op3(ops, 0)?)?,
+                rs1: reg(op3(ops, 1)?)?,
+            });
             return Ok(Some(true));
         }
         let fmt = match suffix {
@@ -530,8 +643,18 @@ impl Parser {
         };
         let rd = freg(op3(ops, 0)?)?;
         let rs1 = freg(op3(ops, 1)?)?;
-        let rs2 = if op == FpOp::Sqrt { FReg(0) } else { freg(op3(ops, 2)?)? };
-        self.a.inst(Inst::FpOp3 { fmt, op, rd, rs1, rs2 });
+        let rs2 = if op == FpOp::Sqrt {
+            FReg(0)
+        } else {
+            freg(op3(ops, 2)?)?
+        };
+        self.a.inst(Inst::FpOp3 {
+            fmt,
+            op,
+            rd,
+            rs1,
+            rs2,
+        });
         Ok(Some(true))
     }
 
@@ -593,8 +716,17 @@ impl Parser {
             "starti" | "endi" => {
                 let t = op3(ops, 1)?;
                 if let Ok(off) = imm(t) {
-                    let op = if rest == "starti" { HwLoopOp::Starti } else { HwLoopOp::Endi };
-                    self.a.inst(Inst::HwLoop { op, loop_idx, value: off, rs1: Reg::Zero });
+                    let op = if rest == "starti" {
+                        HwLoopOp::Starti
+                    } else {
+                        HwLoopOp::Endi
+                    };
+                    self.a.inst(Inst::HwLoop {
+                        op,
+                        loop_idx,
+                        value: off,
+                        rs1: Reg::Zero,
+                    });
                 } else {
                     let l = self.label_for(t);
                     if rest == "starti" {
@@ -802,7 +934,9 @@ fn branch_from(m: &str) -> Option<BranchCond> {
 }
 
 fn op3<'a>(ops: &[&'a str], i: usize) -> PResult<&'a str> {
-    ops.get(i).copied().ok_or_else(|| format!("missing operand {}", i + 1))
+    ops.get(i)
+        .copied()
+        .ok_or_else(|| format!("missing operand {}", i + 1))
 }
 
 fn is_ident(s: &str) -> bool {
@@ -813,9 +947,9 @@ fn is_ident(s: &str) -> bool {
 
 fn reg(s: &str) -> PResult<Reg> {
     const NAMES: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     if let Some(i) = NAMES.iter().position(|&n| n == s) {
         return Ok(Reg::from_index(i as u8));
@@ -867,8 +1001,12 @@ fn imm(s: &str) -> PResult<i64> {
 
 /// Parses `offset(reg)` or `offset(reg!)`; a bare `(reg)` means offset 0.
 fn mem_operand(s: &str) -> PResult<(i64, Reg, bool)> {
-    let open = s.find('(').ok_or_else(|| format!("expected mem operand, got `{s}`"))?;
-    let close = s.rfind(')').ok_or_else(|| format!("missing `)` in `{s}`"))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| format!("expected mem operand, got `{s}`"))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| format!("missing `)` in `{s}`"))?;
     let off_s = s[..open].trim();
     let offset = if off_s.is_empty() { 0 } else { imm(off_s)? };
     let mut reg_s = s[open + 1..close].trim();
@@ -1027,6 +1165,14 @@ mod tests {
     fn numeric_register_names_accepted() {
         let words = parse_program("add x10, x11, x12\nebreak", Xlen::Rv64).unwrap();
         let i = decode(words[0], Xlen::Rv64, false).unwrap();
-        assert_eq!(i, Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        assert_eq!(
+            i,
+            Inst::Op {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+        );
     }
 }

@@ -101,14 +101,21 @@ impl CostModel {
                 _ => self.div,
             },
             Inst::FpOp3 { op, .. } => match op {
-                FpOp::Add | FpOp::Sub | FpOp::Min | FpOp::Max | FpOp::SgnJ | FpOp::SgnJn
+                FpOp::Add
+                | FpOp::Sub
+                | FpOp::Min
+                | FpOp::Max
+                | FpOp::SgnJ
+                | FpOp::SgnJn
                 | FpOp::SgnJx => self.fp_add,
                 FpOp::Mul => self.fp_mul,
                 FpOp::Div => self.fp_div,
                 FpOp::Sqrt => self.fp_sqrt,
             },
             Inst::FpFma { .. } => self.fp_fma,
-            Inst::FpCmp { .. } | Inst::FpToInt { .. } | Inst::IntToFp { .. }
+            Inst::FpCmp { .. }
+            | Inst::FpToInt { .. }
+            | Inst::IntToFp { .. }
             | Inst::FpCvt { .. } => self.fp_add,
             Inst::Csr { .. } => self.csr,
             Inst::Mac { .. } => self.mul,
@@ -127,15 +134,30 @@ mod tests {
     #[test]
     fn alu_is_single_cycle() {
         let m = CostModel::cva6();
-        let add = Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let add = Inst::Op {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(m.cost(&add), 1);
     }
 
     #[test]
     fn div_slower_than_mul() {
         for m in [CostModel::cva6(), CostModel::ri5cy()] {
-            let mul = Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
-            let div = Inst::MulDiv { op: MulDivOp::Div, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+            let mul = Inst::MulDiv {
+                op: MulDivOp::Mul,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            };
+            let div = Inst::MulDiv {
+                op: MulDivOp::Div,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            };
             assert!(m.cost(&div) > m.cost(&mul));
         }
     }
@@ -153,7 +175,12 @@ mod tests {
             negate_addend: false,
         };
         assert_eq!(m.cost(&fma), 1);
-        let mac = Inst::Mac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2, subtract: false };
+        let mac = Inst::Mac {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+            subtract: false,
+        };
         assert_eq!(m.cost(&mac), 1);
     }
 

@@ -1,132 +1,170 @@
-//! Property-based tests for the RISC-V toolchain: encode/decode mirrors,
-//! `li` correctness over arbitrary constants, and SIMD lanes vs scalar
-//! reference semantics.
+//! Randomized (seeded, deterministic) tests for the RISC-V toolchain:
+//! encode/decode mirrors, `li` correctness over arbitrary constants, and
+//! SIMD lanes vs scalar reference semantics. These were property-based
+//! tests; they now drive the same properties from `SplitMix64` so the
+//! workspace has no external dependencies.
 
 use hulkv_rv::inst::{
     AluOp, BranchCond, FReg, FpFmt, FpOp, Inst, LoadWidth, MulDivOp, PulpAluOp, Reg, SimdFmt,
     SimdOp, StoreWidth, Xlen,
 };
 use hulkv_rv::{decode, encode, Asm, Core, FlatBus};
-use proptest::prelude::*;
+use hulkv_sim::SplitMix64;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::from_index)
+const CASES: u64 = 64;
+
+fn any_reg(rng: &mut SplitMix64) -> Reg {
+    Reg::from_index(rng.next_below(32) as u8)
 }
 
-fn any_freg() -> impl Strategy<Value = FReg> {
-    (0u8..32).prop_map(FReg)
+fn any_freg(rng: &mut SplitMix64) -> FReg {
+    FReg(rng.next_below(32) as u8)
 }
 
-fn any_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-    ]
+fn any_alu_op(rng: &mut SplitMix64) -> AluOp {
+    const OPS: [AluOp; 9] = [
+        AluOp::Add,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ];
+    OPS[rng.next_below(OPS.len() as u64) as usize]
 }
 
-fn any_inst_rv64() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (any_reg(), -(1i64 << 19)..(1i64 << 19)).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
-        (any_reg(), any_reg(), -2048i64..2048).prop_map(|(rd, rs1, imm)| Inst::OpImm {
+/// A signed value uniform in `[-bound, bound)`.
+fn imm(rng: &mut SplitMix64, bound: i64) -> i64 {
+    rng.next_below(2 * bound as u64) as i64 - bound
+}
+
+fn any_inst_rv64(rng: &mut SplitMix64) -> Inst {
+    match rng.next_below(9) {
+        0 => Inst::Lui {
+            rd: any_reg(rng),
+            imm: imm(rng, 1 << 19),
+        },
+        1 => Inst::OpImm {
             op: AluOp::Add,
-            rd,
-            rs1,
-            imm
-        }),
-        (any_alu_op(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
-        (any_reg(), any_reg(), -2048i64..2048).prop_map(|(rd, rs1, offset)| Inst::Load {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm: imm(rng, 2048),
+        },
+        2 => Inst::Op {
+            op: any_alu_op(rng),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        3 => Inst::Load {
             width: LoadWidth::D,
-            rd,
-            rs1,
-            offset
-        }),
-        (any_reg(), any_reg(), -2048i64..2048).prop_map(|(rs2, rs1, offset)| Inst::Store {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: imm(rng, 2048),
+        },
+        4 => Inst::Store {
             width: StoreWidth::W,
-            rs2,
-            rs1,
-            offset
-        }),
-        (any_reg(), any_reg(), -4096i64..4096).prop_map(|(rs1, rs2, off)| Inst::Branch {
+            rs2: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: imm(rng, 2048),
+        },
+        5 => Inst::Branch {
             cond: BranchCond::Ltu,
-            rs1,
-            rs2,
-            offset: off & !1
-        }),
-        (any_reg(), -(1i64 << 20)..(1i64 << 20)).prop_map(|(rd, off)| Inst::Jal {
-            rd,
-            offset: off & !1
-        }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Inst::MulDiv {
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: imm(rng, 4096) & !1,
+        },
+        6 => Inst::Jal {
+            rd: any_reg(rng),
+            offset: imm(rng, 1 << 20) & !1,
+        },
+        7 => Inst::MulDiv {
             op: MulDivOp::Mulhsu,
-            rd,
-            rs1,
-            rs2
-        }),
-        (any_freg(), any_freg(), any_freg()).prop_map(|(rd, rs1, rs2)| Inst::FpOp3 {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        _ => Inst::FpOp3 {
             fmt: FpFmt::D,
             op: FpOp::Mul,
-            rd,
-            rs1,
-            rs2
-        }),
-    ]
+            rd: any_freg(rng),
+            rs1: any_freg(rng),
+            rs2: any_freg(rng),
+        },
+    }
 }
 
-fn any_inst_xpulp() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (any_reg(), any_reg(), -2048i64..2048).prop_map(|(rd, rs1, offset)| Inst::LoadPost {
+fn any_inst_xpulp(rng: &mut SplitMix64) -> Inst {
+    match rng.next_below(4) {
+        0 => Inst::LoadPost {
             width: LoadWidth::W,
-            rd,
-            rs1,
-            offset
-        }),
-        (any_reg(), any_reg(), any_reg(), any::<bool>()).prop_map(|(rd, rs1, rs2, subtract)| {
-            Inst::Mac { rd, rs1, rs2, subtract }
-        }),
-        (any_reg(), any_reg(), any_reg(), any::<bool>(), any::<bool>()).prop_map(
-            |(rd, rs1, rs2, h, sc)| Inst::Simd {
-                op: SimdOp::Sdotsp,
-                fmt: if h { SimdFmt::H } else { SimdFmt::B },
-                rd,
-                rs1,
-                rs2,
-                scalar_rs2: sc
-            }
-        ),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Inst::PulpAlu {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: imm(rng, 2048),
+        },
+        1 => Inst::Mac {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            subtract: rng.next_below(2) == 1,
+        },
+        2 => Inst::Simd {
+            op: SimdOp::Sdotsp,
+            fmt: if rng.next_below(2) == 1 {
+                SimdFmt::H
+            } else {
+                SimdFmt::B
+            },
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            scalar_rs2: rng.next_below(2) == 1,
+        },
+        _ => Inst::PulpAlu {
             op: PulpAluOp::Clip,
-            rd,
-            rs1,
-            rs2
-        }),
-    ]
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_round_trip_rv64(inst in any_inst_rv64()) {
+#[test]
+fn encode_decode_round_trip_rv64() {
+    let mut rng = SplitMix64::new(0x5eed_0001);
+    for _ in 0..4 * CASES {
+        let inst = any_inst_rv64(&mut rng);
         let w = encode(&inst).unwrap();
         let back = decode(w, Xlen::Rv64, false).expect("decodable");
-        prop_assert_eq!(back, inst);
+        assert_eq!(back, inst);
     }
+}
 
-    #[test]
-    fn encode_decode_round_trip_xpulp(inst in any_inst_xpulp()) {
+#[test]
+fn encode_decode_round_trip_xpulp() {
+    let mut rng = SplitMix64::new(0x5eed_0002);
+    for _ in 0..4 * CASES {
+        let inst = any_inst_xpulp(&mut rng);
         let w = encode(&inst).unwrap();
         let back = decode(w, Xlen::Rv32, true).expect("decodable");
-        prop_assert_eq!(back, inst);
+        assert_eq!(back, inst);
     }
+}
 
-    #[test]
-    fn li_materializes_any_constant(v in any::<i64>()) {
+#[test]
+fn li_materializes_any_constant() {
+    let mut rng = SplitMix64::new(0x5eed_0003);
+    for case in 0..CASES {
+        // Mix full-range values with small and boundary ones.
+        let v = match case % 4 {
+            0 => rng.next_u64() as i64,
+            1 => imm(&mut rng, 2048),
+            2 => [i64::MIN, i64::MAX, -1, 0][rng.next_below(4) as usize],
+            _ => (rng.next_u64() as i64) >> rng.next_below(64),
+        };
         let mut a = Asm::new(Xlen::Rv64);
         a.li(Reg::A0, v);
         a.ebreak();
@@ -134,11 +172,16 @@ proptest! {
         bus.load_words(0, &a.assemble().unwrap());
         let mut core = Core::cva6();
         core.run(&mut bus, 10_000).unwrap();
-        prop_assert_eq!(core.reg(Reg::A0) as i64, v);
+        assert_eq!(core.reg(Reg::A0) as i64, v);
     }
+}
 
-    #[test]
-    fn alu_matches_rust_semantics(a_val in any::<i64>(), b_val in any::<i64>()) {
+#[test]
+fn alu_matches_rust_semantics() {
+    let mut rng = SplitMix64::new(0x5eed_0004);
+    for _ in 0..CASES / 2 {
+        let a_val = rng.next_u64() as i64;
+        let b_val = rng.next_u64() as i64;
         let mut a = Asm::new(Xlen::Rv64);
         a.li(Reg::T0, a_val);
         a.li(Reg::T1, b_val);
@@ -152,15 +195,21 @@ proptest! {
         bus.load_words(0, &a.assemble().unwrap());
         let mut core = Core::cva6();
         core.run(&mut bus, 10_000).unwrap();
-        prop_assert_eq!(core.reg(Reg::A0), (a_val as u64).wrapping_add(b_val as u64));
-        prop_assert_eq!(core.reg(Reg::A1), (a_val as u64).wrapping_sub(b_val as u64));
-        prop_assert_eq!(core.reg(Reg::A2), (a_val ^ b_val) as u64);
-        prop_assert_eq!(core.reg(Reg::A3), ((a_val as u64) < (b_val as u64)) as u64);
-        prop_assert_eq!(core.reg(Reg::A4), (a_val as u64).wrapping_mul(b_val as u64));
+        assert_eq!(core.reg(Reg::A0), (a_val as u64).wrapping_add(b_val as u64));
+        assert_eq!(core.reg(Reg::A1), (a_val as u64).wrapping_sub(b_val as u64));
+        assert_eq!(core.reg(Reg::A2), (a_val ^ b_val) as u64);
+        assert_eq!(core.reg(Reg::A3), ((a_val as u64) < (b_val as u64)) as u64);
+        assert_eq!(core.reg(Reg::A4), (a_val as u64).wrapping_mul(b_val as u64));
     }
+}
 
-    #[test]
-    fn sdotsp_b_matches_scalar_reference(av in any::<u32>(), bv in any::<u32>(), acc in any::<i32>()) {
+#[test]
+fn sdotsp_b_matches_scalar_reference() {
+    let mut rng = SplitMix64::new(0x5eed_0005);
+    for _ in 0..CASES {
+        let av = rng.next_u32();
+        let bv = rng.next_u32();
+        let acc = rng.next_u32() as i32;
         let mut a = Asm::new(Xlen::Rv32);
         a.li(Reg::T0, av as i64);
         a.li(Reg::T1, bv as i64);
@@ -178,11 +227,16 @@ proptest! {
             let y = ((bv >> (8 * i)) as u8) as i8 as i32;
             expect = expect.wrapping_add(x.wrapping_mul(y));
         }
-        prop_assert_eq!(core.reg(Reg::A0) as u32, expect as u32);
+        assert_eq!(core.reg(Reg::A0) as u32, expect as u32);
     }
+}
 
-    #[test]
-    fn simd_add_h_matches_scalar_reference(av in any::<u32>(), bv in any::<u32>()) {
+#[test]
+fn simd_add_h_matches_scalar_reference() {
+    let mut rng = SplitMix64::new(0x5eed_0006);
+    for _ in 0..CASES {
+        let av = rng.next_u32();
+        let bv = rng.next_u32();
         let mut a = Asm::new(Xlen::Rv32);
         a.li(Reg::T0, av as i64);
         a.li(Reg::T1, bv as i64);
@@ -196,38 +250,54 @@ proptest! {
         let lo = (av as u16).wrapping_add(bv as u16);
         let hi = ((av >> 16) as u16).wrapping_add((bv >> 16) as u16);
         let expect = (lo as u32) | ((hi as u32) << 16);
-        prop_assert_eq!(core.reg(Reg::A0) as u32, expect);
+        assert_eq!(core.reg(Reg::A0) as u32, expect);
     }
+}
 
-    #[test]
-    fn fp16_round_trip_monotone(x in -1000.0f32..1000.0) {
-        use hulkv_rv::fp16::{f16_to_f32, f32_to_f16};
+#[test]
+fn fp16_round_trip_monotone() {
+    use hulkv_rv::fp16::{f16_to_f32, f32_to_f16};
+    let mut rng = SplitMix64::new(0x5eed_0007);
+    for _ in 0..4 * CASES {
+        let x = (rng.next_f64() * 2000.0 - 1000.0) as f32;
         let y = f16_to_f32(f32_to_f16(x));
         // Half precision keeps ~3 decimal digits in this range.
-        prop_assert!((x - y).abs() <= (x.abs() * 0.001).max(0.001));
+        assert!((x - y).abs() <= (x.abs() * 0.001).max(0.001), "{x} vs {y}");
     }
+}
 
-    #[test]
-    fn undecodable_words_never_panic(w in any::<u32>()) {
+#[test]
+fn undecodable_words_never_panic() {
+    let mut rng = SplitMix64::new(0x5eed_0008);
+    for _ in 0..16 * CASES {
+        let w = rng.next_u32();
         let _ = decode(w, Xlen::Rv32, true);
         let _ = decode(w, Xlen::Rv64, false);
     }
+}
 
-    #[test]
-    fn disassembly_parses_back_rv64(inst in any_inst_rv64()) {
+#[test]
+fn disassembly_parses_back_rv64() {
+    let mut rng = SplitMix64::new(0x5eed_0009);
+    for _ in 0..4 * CASES {
+        let inst = any_inst_rv64(&mut rng);
         let text = hulkv_rv::disassemble(&inst);
         let words = hulkv_rv::parse_program(&text, Xlen::Rv64)
             .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
-        prop_assert_eq!(words.len(), 1, "`{}` expanded", text);
-        prop_assert_eq!(decode(words[0], Xlen::Rv64, false), Some(inst), "`{}`", text);
+        assert_eq!(words.len(), 1, "`{text}` expanded");
+        assert_eq!(decode(words[0], Xlen::Rv64, false), Some(inst), "`{text}`");
     }
+}
 
-    #[test]
-    fn disassembly_parses_back_xpulp(inst in any_inst_xpulp()) {
+#[test]
+fn disassembly_parses_back_xpulp() {
+    let mut rng = SplitMix64::new(0x5eed_000a);
+    for _ in 0..4 * CASES {
+        let inst = any_inst_xpulp(&mut rng);
         let text = hulkv_rv::disassemble(&inst);
         let words = hulkv_rv::parse_program(&text, Xlen::Rv32)
             .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
-        prop_assert_eq!(words.len(), 1, "`{}` expanded", text);
-        prop_assert_eq!(decode(words[0], Xlen::Rv32, true), Some(inst), "`{}`", text);
+        assert_eq!(words.len(), 1, "`{text}` expanded");
+        assert_eq!(decode(words[0], Xlen::Rv32, true), Some(inst), "`{text}`");
     }
 }

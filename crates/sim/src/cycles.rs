@@ -194,15 +194,22 @@ impl fmt::Display for Freq {
 impl Div<u64> for Freq {
     type Output = Freq;
     fn div(self, rhs: u64) -> Freq {
-        assert!(rhs > 0 && self.khz.is_multiple_of(rhs), "inexact frequency division");
-        Freq { khz: self.khz / rhs }
+        assert!(
+            rhs > 0 && self.khz.is_multiple_of(rhs),
+            "inexact frequency division"
+        );
+        Freq {
+            khz: self.khz / rhs,
+        }
     }
 }
 
 impl Mul<u64> for Freq {
     type Output = Freq;
     fn mul(self, rhs: u64) -> Freq {
-        Freq { khz: self.khz * rhs }
+        Freq {
+            khz: self.khz * rhs,
+        }
     }
 }
 

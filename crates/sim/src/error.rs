@@ -55,7 +55,10 @@ impl fmt::Display for SimError {
                 write!(f, "access to unmapped address {addr:#x}")
             }
             SimError::Misaligned { addr, align } => {
-                write!(f, "misaligned access to {addr:#x} (requires {align}-byte alignment)")
+                write!(
+                    f,
+                    "misaligned access to {addr:#x} (requires {align}-byte alignment)"
+                )
             }
             SimError::OutOfRange { what, value, limit } => {
                 write!(f, "{what} {value:#x} exceeds limit {limit:#x}")
@@ -81,7 +84,9 @@ mod tests {
         assert!(SimError::Misaligned { addr: 3, align: 4 }
             .to_string()
             .contains("4-byte"));
-        assert!(SimError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(SimError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
         assert!(SimError::Model("y".into()).to_string().contains("y"));
     }
 

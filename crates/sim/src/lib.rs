@@ -34,11 +34,19 @@
 mod clock;
 mod cycles;
 mod error;
+pub mod json;
+pub mod metrics;
+pub mod profile;
 mod rng;
 mod stats;
+pub mod trace;
 
 pub use clock::{convert_freq, ClockDomain};
 pub use cycles::{Cycles, Freq};
 pub use error::SimError;
+pub use json::Json;
+pub use metrics::{MetricsSnapshot, METRICS_SCHEMA_VERSION};
+pub use profile::{PcProfile, PcSample};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Stats};
+pub use trace::{category, SharedTracer, TraceEvent, TraceRecord, Tracer, Track};

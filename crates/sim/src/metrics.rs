@@ -1,0 +1,202 @@
+//! Machine-readable metrics export.
+//!
+//! A [`MetricsSnapshot`] collects every modeled block's [`Stats`] plus the
+//! power model's per-block milliwatt figures into one JSON document, so
+//! bench runs can be archived and diffed across PRs. The document carries
+//! a schema-version field; [`MetricsSnapshot::parse`] rejects documents
+//! from a different schema so format drift is detected instead of being
+//! silently misread.
+
+use crate::json::Json;
+use crate::stats::Stats;
+use std::collections::BTreeMap;
+
+/// Version of the metrics JSON schema produced by [`MetricsSnapshot::to_json`].
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Everything a run reports: per-block counters, per-block power, and
+/// free-form scalar figures (wall-clock, speedups…).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Per-block counter registries (block name → counters).
+    pub blocks: Vec<Stats>,
+    /// Per-block power in milliwatts.
+    pub power_mw: BTreeMap<String, f64>,
+    /// Named scalar figures of merit.
+    pub figures: BTreeMap<String, f64>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one block's counters.
+    pub fn push_block(&mut self, stats: Stats) {
+        self.blocks.push(stats);
+    }
+
+    /// Records one block's power draw in milliwatts.
+    pub fn set_power_mw(&mut self, block: impl Into<String>, mw: f64) {
+        self.power_mw.insert(block.into(), mw);
+    }
+
+    /// Records a named scalar figure (e.g. `"speedup_x1000"`).
+    pub fn set_figure(&mut self, name: impl Into<String>, value: f64) {
+        self.figures.insert(name.into(), value);
+    }
+
+    /// Total power across all blocks, in milliwatts.
+    pub fn total_power_mw(&self) -> f64 {
+        self.power_mw.values().sum()
+    }
+
+    /// Serializes the snapshot to its JSON document.
+    pub fn to_json(&self) -> Json {
+        let blocks: Vec<Json> = self
+            .blocks
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("name", Json::from(s.name())),
+                    (
+                        "counters",
+                        Json::Obj(
+                            s.iter()
+                                .map(|(k, v)| (k.to_owned(), Json::from(v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema_version", Json::from(METRICS_SCHEMA_VERSION)),
+            ("blocks", Json::Arr(blocks)),
+            (
+                "power_mw",
+                Json::Obj(
+                    self.power_mw
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            ("total_power_mw", Json::from(self.total_power_mw())),
+            (
+                "figures",
+                Json::Obj(
+                    self.figures
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a snapshot back from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, a missing/mismatched `schema_version`
+    /// (format drift), or structurally invalid blocks.
+    pub fn parse(text: &str) -> Result<MetricsSnapshot, String> {
+        let doc = Json::parse(text)?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema_version")? as u32;
+        if version != METRICS_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} != supported {METRICS_SCHEMA_VERSION}"
+            ));
+        }
+        let mut snap = MetricsSnapshot::new();
+        for b in doc
+            .get("blocks")
+            .and_then(Json::as_arr)
+            .ok_or("missing blocks")?
+        {
+            let name = b
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("block without name")?;
+            let mut stats = Stats::new(name);
+            match b.get("counters") {
+                Some(Json::Obj(m)) => {
+                    for (k, v) in m {
+                        stats.set(k, v.as_f64().ok_or("non-numeric counter")? as u64);
+                    }
+                }
+                _ => return Err("block without counters".into()),
+            }
+            snap.push_block(stats);
+        }
+        if let Some(Json::Obj(m)) = doc.get("power_mw") {
+            for (k, v) in m {
+                snap.set_power_mw(k.clone(), v.as_f64().ok_or("non-numeric power")?);
+            }
+        }
+        if let Some(Json::Obj(m)) = doc.get("figures") {
+            for (k, v) in m {
+                snap.set_figure(k.clone(), v.as_f64().ok_or("non-numeric figure")?);
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let mut llc = Stats::new("llc");
+        llc.add("hits", 120);
+        llc.add("misses", 30);
+        snap.push_block(llc);
+        let mut core = Stats::new("cva6");
+        core.add("instret", 5000);
+        snap.push_block(core);
+        snap.set_power_mw("cva6", 45.5);
+        snap.set_power_mw("pmca", 88.0);
+        snap.set_figure("wall_seconds", 0.25);
+        snap
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample();
+        let text = snap.to_json().to_string();
+        let back = MetricsSnapshot::parse(&text).unwrap();
+        assert_eq!(back, snap);
+        assert!((back.total_power_mw() - 133.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema_drift_is_detected() {
+        let text = sample().to_json().to_string();
+        let drifted = text.replace(
+            &format!("\"schema_version\":{METRICS_SCHEMA_VERSION}"),
+            "\"schema_version\":9999",
+        );
+        let err = MetricsSnapshot::parse(&drifted).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        assert!(MetricsSnapshot::parse("{}").is_err());
+    }
+
+    #[test]
+    fn document_contains_every_block_and_power_entry() {
+        let doc = sample().to_json();
+        assert_eq!(doc.get("blocks").and_then(Json::as_arr).unwrap().len(), 2);
+        let power = doc.get("power_mw").unwrap();
+        assert!(power.get("cva6").is_some() && power.get("pmca").is_some());
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_f64),
+            Some(f64::from(METRICS_SCHEMA_VERSION))
+        );
+    }
+}

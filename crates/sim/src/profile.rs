@@ -1,0 +1,134 @@
+//! Per-PC cycle profiling.
+//!
+//! [`PcProfile`] is a histogram that attributes executed cycles to program
+//! counters. The ISS cores feed it on the commit path (when enabled);
+//! `hulkv-rv` turns it into a hot-spot report with disassembly and a
+//! per-opcode retire histogram (the raw instruction word is stored per PC
+//! so the recording path never formats strings or allocates per event).
+
+use std::collections::BTreeMap;
+
+/// Aggregate sample for one program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PcSample {
+    /// Number of times an instruction at this PC retired.
+    pub count: u64,
+    /// Total cycles attributed to this PC (issue + stall).
+    pub cycles: u64,
+    /// The most recent raw instruction word observed at this PC.
+    pub word: u32,
+}
+
+/// A per-PC cycle histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PcProfile {
+    samples: BTreeMap<u64, PcSample>,
+    total_cycles: u64,
+    total_retired: u64,
+}
+
+impl PcProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one retired instruction at `pc` costing `cycles`.
+    pub fn record(&mut self, pc: u64, word: u32, cycles: u64) {
+        let s = self.samples.entry(pc).or_default();
+        s.count += 1;
+        s.cycles += cycles;
+        s.word = word;
+        self.total_cycles += cycles;
+        self.total_retired += 1;
+    }
+
+    /// Total cycles across all PCs.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total retired instructions across all PCs.
+    pub fn total_retired(&self) -> u64 {
+        self.total_retired
+    }
+
+    /// Number of distinct PCs observed.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates `(pc, sample)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &PcSample)> {
+        self.samples.iter().map(|(pc, s)| (*pc, s))
+    }
+
+    /// The `n` hottest PCs by attributed cycles, descending.
+    pub fn top(&self, n: usize) -> Vec<(u64, PcSample)> {
+        let mut all: Vec<(u64, PcSample)> = self.samples.iter().map(|(pc, s)| (*pc, *s)).collect();
+        all.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &PcProfile) {
+        for (pc, s) in other.iter() {
+            let e = self.samples.entry(pc).or_default();
+            e.count += s.count;
+            e.cycles += s.cycles;
+            e.word = s.word;
+        }
+        self.total_cycles += other.total_cycles;
+        self.total_retired += other.total_retired;
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.total_cycles = 0;
+        self.total_retired = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_ranks_hot_spots() {
+        let mut p = PcProfile::new();
+        p.record(0x100, 0x13, 1);
+        p.record(0x104, 0x93, 10);
+        p.record(0x104, 0x93, 10);
+        p.record(0x108, 0x33, 3);
+        assert_eq!(p.total_cycles(), 24);
+        assert_eq!(p.total_retired(), 4);
+        assert_eq!(p.len(), 3);
+        let top = p.top(2);
+        assert_eq!(top[0].0, 0x104);
+        assert_eq!(top[0].1.cycles, 20);
+        assert_eq!(top[0].1.count, 2);
+        assert_eq!(top[1].0, 0x108);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PcProfile::new();
+        a.record(0x100, 0x13, 2);
+        let mut b = PcProfile::new();
+        b.record(0x100, 0x13, 3);
+        b.record(0x200, 0x33, 1);
+        a.merge(&b);
+        assert_eq!(a.total_cycles(), 6);
+        assert_eq!(a.top(1)[0].1.cycles, 5);
+        a.reset();
+        assert!(a.is_empty());
+        assert_eq!(a.total_cycles(), 0);
+    }
+}

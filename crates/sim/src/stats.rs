@@ -120,6 +120,16 @@ impl Stats {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Sets counter `key` to an absolute value, creating it if needed.
+    pub fn set(&mut self, key: &str, value: u64) {
+        self.counters.insert(key.to_owned(), value);
+    }
+
+    /// Sum of every counter in the registry.
+    pub fn total(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
     /// Merges another registry into this one, summing shared keys.
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in other.iter() {
@@ -132,6 +142,12 @@ impl Stats {
         for v in self.counters.values_mut() {
             *v = 0;
         }
+    }
+}
+
+impl From<&Stats> for BTreeMap<String, u64> {
+    fn from(s: &Stats) -> Self {
+        s.counters.clone()
     }
 }
 
@@ -196,6 +212,19 @@ mod tests {
         s.reset();
         assert_eq!(s.get("k"), 0);
         assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn set_overwrites_and_total_sums() {
+        let mut s = Stats::new("s");
+        s.add("a", 2);
+        s.set("a", 10);
+        s.set("b", 5);
+        assert_eq!(s.get("a"), 10);
+        assert_eq!(s.total(), 15);
+        let map: BTreeMap<String, u64> = (&s).into();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["b"], 5);
     }
 
     #[test]

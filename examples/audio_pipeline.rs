@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let uart = Rc::new(RefCell::new(Uart::new(115_200, 50_000_000)));
     let uart_dyn: SharedMem = uart.clone();
     soc.map_device("uart", UART_BASE, uart_dyn)?;
-    soc.map_device("i2s", I2S_BASE, shared(I2sSource::new(16_000, 50_000_000, 440.0)))?;
+    soc.map_device(
+        "i2s",
+        I2S_BASE,
+        shared(I2sSource::new(16_000, 50_000_000, 440.0)),
+    )?;
 
     // 1. µDMA drains one block of samples into the L2SPM (the core sleeps).
     let capture = map::L2SPM_BASE + 0x3_0000;

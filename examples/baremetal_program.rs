@@ -60,7 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     bus.write_bytes(0x10_000, &pte.to_le_bytes());
 
     let mut core = Core::new(Xlen::Rv64, CostModel::cva6());
-    core.csrs_mut().write(addr::SATP, (8u64 << 60) | (0x10_000 >> 12));
+    core.csrs_mut()
+        .write(addr::SATP, (8u64 << 60) | (0x10_000 >> 12));
     core.set_priv_mode(hulkv_rv::PrivMode::Supervisor);
     core.set_pc(0x8000);
     core.run(&mut bus, 10_000)?;

@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "HULK-V up: {} MB of main memory behind {}",
         soc.config().main_memory_bytes() >> 20,
-        if soc.config().llc.is_some() { "a 128 kB LLC" } else { "no LLC" },
+        if soc.config().llc.is_some() {
+            "a 128 kB LLC"
+        } else {
+            "no LLC"
+        },
     );
 
     // 2. Run a scalar program on the host: sum the integers 1..=1000.
@@ -51,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cluster: offload took {} SoC cycles ({} of overhead{})",
         result.total_soc_cycles.get(),
         result.overhead_cycles.get(),
-        if result.code_loaded { ", incl. lazy code load" } else { "" },
+        if result.code_loaded {
+            ", incl. lazy code load"
+        } else {
+            ""
+        },
     );
     print!("cluster results (hart_id^2): ");
     for hart in 0..8u64 {

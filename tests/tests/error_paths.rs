@@ -2,7 +2,7 @@
 //! descriptively, never silently corrupt state.
 
 use hulkv::{map, HulkV, SocConfig, SocError};
-use hulkv_rv::{parse_program, Asm, Reg, RvError, Xlen};
+use hulkv_rv::{parse_program, Asm, RvError, Xlen};
 
 #[test]
 fn runaway_host_program_times_out() {
@@ -51,7 +51,10 @@ fn unmapped_address_faults_with_address() {
         .run_host_assembly("li t0, 0x70000000\nld t1, 0(t0)\nebreak\n")
         .unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("unmapped") || msg.contains("memory fault"), "{msg}");
+    assert!(
+        msg.contains("unmapped") || msg.contains("memory fault"),
+        "{msg}"
+    );
 }
 
 #[test]

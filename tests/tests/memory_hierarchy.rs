@@ -6,7 +6,6 @@ use hulkv::{map, HulkV, MemorySetup, SocConfig};
 use hulkv_mem::{shared, Llc, LlcConfig, MemoryDevice, Sram};
 use hulkv_rv::{Asm, Reg, Xlen};
 use hulkv_sim::{Cycles, SplitMix64};
-use proptest::prelude::*;
 
 #[test]
 fn host_store_visible_to_cluster_and_back() {
@@ -18,8 +17,12 @@ fn host_store_visible_to_cluster_and_back() {
     h.li(Reg::T0, 0x1122_3344);
     h.sw(Reg::T0, Reg::A0, 0);
     h.ebreak();
-    soc.run_host_program(&h.assemble().unwrap(), |c| c.set_reg(Reg::A0, buf), 1_000_000)
-        .unwrap();
+    soc.run_host_program(
+        &h.assemble().unwrap(),
+        |c| c.set_reg(Reg::A0, buf),
+        1_000_000,
+    )
+    .unwrap();
 
     // Cluster reads it through the IOPMP + AXI + LLC, increments, writes.
     let mut k = Asm::new(Xlen::Rv32);
@@ -28,14 +31,19 @@ fn host_store_visible_to_cluster_and_back() {
     k.sw(Reg::T0, Reg::A0, 0);
     k.ebreak();
     let kernel = soc.register_kernel(&k.assemble().unwrap()).unwrap();
-    soc.offload(kernel, &[(Reg::A0, buf)], 1, 1_000_000).unwrap();
+    soc.offload(kernel, &[(Reg::A0, buf)], 1, 1_000_000)
+        .unwrap();
 
     // Host reads it back.
     let mut h2 = Asm::new(Xlen::Rv64);
     h2.lw(Reg::A0, Reg::A0, 0);
     h2.ebreak();
-    soc.run_host_program(&h2.assemble().unwrap(), |c| c.set_reg(Reg::A0, buf), 1_000_000)
-        .unwrap();
+    soc.run_host_program(
+        &h2.assemble().unwrap(),
+        |c| c.set_reg(Reg::A0, buf),
+        1_000_000,
+    )
+    .unwrap();
     assert_eq!(soc.host().core().reg(Reg::A0), 0x1122_3345);
 }
 
@@ -46,10 +54,7 @@ fn dma_staged_tile_matches_backdoor_contents() {
     let data: Vec<u8> = (0..1024u32).map(|v| v as u8).collect();
     soc.write_mem(src, &data).unwrap();
 
-    let cycles = soc
-        .cluster_mut()
-        .dma_to_tcdm(src, 0x800, 1024)
-        .unwrap();
+    let cycles = soc.cluster_mut().dma_to_tcdm(src, 0x800, 1024).unwrap();
     assert!(cycles.get() > 0);
     let mut out = vec![0u8; 1024];
     soc.cluster_mut().tcdm_read(0x800, &mut out).unwrap();
@@ -113,7 +118,9 @@ fn cluster_tcdm_is_much_faster_than_dram_access() {
     };
 
     let mut soc = HulkV::new(SocConfig::default()).unwrap();
-    let tcdm_kernel = soc.register_kernel(&make_prog(hulkv_cluster::TCDM_BASE)).unwrap();
+    let tcdm_kernel = soc
+        .register_kernel(&make_prog(hulkv_cluster::TCDM_BASE))
+        .unwrap();
     let dram_kernel = soc.register_kernel(&make_prog(map::SHARED_BASE)).unwrap();
     let fast = soc.offload(tcdm_kernel, &[], 1, 10_000_000).unwrap();
     let slow = soc.offload(dram_kernel, &[], 1, 100_000_000).unwrap();
@@ -127,21 +134,24 @@ fn cluster_tcdm_is_much_faster_than_dram_access() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The LLC is transparent: any access sequence reads the same data
-    /// with and without it.
-    #[test]
-    fn llc_is_data_transparent(seed in any::<u64>()) {
+/// The LLC is transparent: any access sequence reads the same data
+/// with and without it. (Seeded, deterministic randomized test.)
+#[test]
+fn llc_is_data_transparent() {
+    for seed in 0..16u64 {
         let plain = shared(Sram::new("plain", 1 << 16, Cycles::new(5)));
         let backing = shared(Sram::new("backing", 1 << 16, Cycles::new(5)));
         let mut llc = Llc::new(
-            LlcConfig { lines: 16, ways: 2, ..LlcConfig::default() },
+            LlcConfig {
+                lines: 16,
+                ways: 2,
+                ..LlcConfig::default()
+            },
             backing,
-        ).unwrap();
+        )
+        .unwrap();
 
-        let mut rng = SplitMix64::new(seed);
+        let mut rng = SplitMix64::new(0xcafe_0000 + seed);
         for _ in 0..200 {
             let addr = rng.next_below((1 << 16) - 8);
             let len = 1 + rng.next_below(8) as usize;
@@ -155,7 +165,7 @@ proptest! {
                 let mut b = vec![0u8; len];
                 llc.read(addr, &mut a).unwrap();
                 plain.borrow_mut().read(addr, &mut b).unwrap();
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b);
             }
         }
         // And after a flush the backing store matches everywhere touched.
@@ -164,6 +174,6 @@ proptest! {
         let mut b = vec![0u8; 1 << 16];
         llc.read(0, &mut a).unwrap();
         plain.borrow_mut().read(0, &mut b).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -31,8 +31,10 @@ fn user_process_makes_syscalls_through_sv39() {
     let vpn1 = (USER_CODE >> 21) & 0x1FF;
     let root_entry = ((L1_PT - map::DRAM_BASE + map::DRAM_BASE) >> 12 << 10) | PTE_V;
     let leaf = ((USER_CODE >> 12) << 10) | PTE_V | PTE_R | PTE_W | PTE_X | PTE_U | PTE_A | PTE_D;
-    soc.write_mem(ROOT_PT + vpn2 * 8, &root_entry.to_le_bytes()).unwrap();
-    soc.write_mem(L1_PT + vpn1 * 8, &leaf.to_le_bytes()).unwrap();
+    soc.write_mem(ROOT_PT + vpn2 * 8, &root_entry.to_le_bytes())
+        .unwrap();
+    soc.write_mem(L1_PT + vpn1 * 8, &leaf.to_le_bytes())
+        .unwrap();
 
     // --- The machine-mode syscall handler (the "kernel"). ---
     // ABI: a7 = 1 -> putchar(a0); a7 = 93 -> exit(a0). Console cursor in
@@ -133,20 +135,22 @@ fn user_process_cannot_touch_kernel_memory() {
     let vpn1 = (USER_CODE >> 21) & 0x1FF;
     let root_entry = (L1_PT >> 12 << 10) | PTE_V;
     let leaf = ((USER_CODE >> 12) << 10) | PTE_V | PTE_R | PTE_W | PTE_X | PTE_U | PTE_A | PTE_D;
-    soc.write_mem(ROOT_PT + vpn2 * 8, &root_entry.to_le_bytes()).unwrap();
-    soc.write_mem(L1_PT + vpn1 * 8, &leaf.to_le_bytes()).unwrap();
+    soc.write_mem(ROOT_PT + vpn2 * 8, &root_entry.to_le_bytes())
+        .unwrap();
+    soc.write_mem(L1_PT + vpn1 * 8, &leaf.to_le_bytes())
+        .unwrap();
 
     // Trap handler: record mcause and stop.
-    let handler = parse_program(
-        &format!("csrr a0, {}\nebreak\n", addr::MCAUSE),
-        Xlen::Rv64,
-    )
-    .unwrap();
+    let handler =
+        parse_program(&format!("csrr a0, {}\nebreak\n", addr::MCAUSE), Xlen::Rv64).unwrap();
     soc.host_mut().load_program(HANDLER, &handler).unwrap();
 
     // User process dereferences an unmapped kernel address.
     let user = parse_program(
-        &format!("li t0, {}\nld t1, 0(t0)\nebreak\n", map::DRAM_BASE + 0x10_0000),
+        &format!(
+            "li t0, {}\nld t1, 0(t0)\nebreak\n",
+            map::DRAM_BASE + 0x10_0000
+        ),
         Xlen::Rv64,
     )
     .unwrap();

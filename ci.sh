@@ -16,4 +16,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustfmt =="
 cargo fmt --check
 
+echo "== simulator throughput smoke =="
+# Quick decode-cache on/off run: proves cycle-count neutrality and fails
+# if simulated MIPS regressed >30% against the committed baseline (the
+# baseline is deliberately conservative to absorb machine variance).
+cargo run --release -p hulkv-bench --bin sim_throughput -- \
+  --quick --baseline BENCH_sim_throughput.baseline.json
+
 echo "CI OK"

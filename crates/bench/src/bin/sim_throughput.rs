@@ -1,0 +1,344 @@
+//! Simulator-throughput benchmark: wall-clock simulated MIPS.
+//!
+//! Unlike every other binary in this crate, this one measures the
+//! *simulator*, not the simulated SoC: how many instructions per host
+//! wall-clock second the ISS retires. Three workloads run:
+//!
+//! 1. **Decode-bound microbench** — a pure ALU/branch loop on the bare
+//!    CVA6 core model in supervisor mode under Sv39 (flat memory, no
+//!    cache hierarchy in the loop), so the ISS front end — page-table
+//!    walk, fetch, decode — dominates every simulated step. This is the
+//!    workload the decoded-instruction cache + micro-TLB target and the
+//!    one the ≥3x speedup gate is measured on. It runs twice, decode
+//!    cache on and off, which both yields the fast-path speedup and
+//!    proves cycle-count neutrality (the two runs must agree bit-for-bit
+//!    on simulated cycles).
+//! 2. **Dhrystone-style loop** — ALU/branch/load/store through the full
+//!    host L1I/L1D/LLC hierarchy, also on vs. off, for a figure closer to
+//!    real host code (every fetch replay still revalidates the L1I).
+//! 3. **Mixed workload** — the obs reference workload (host int8 matmul +
+//!    8-core PMCA offload) on a full SoC, for an end-to-end MIPS figure.
+//!
+//! Results land in `BENCH_sim_throughput.json`. Flags:
+//!
+//! * `--quick` — smaller iteration counts (CI smoke run);
+//! * `--out <path>` — output path (default `BENCH_sim_throughput.json`);
+//! * `--baseline <path>` — compare against a committed baseline and exit
+//!   non-zero if host-side MIPS regressed by more than 30%.
+
+use std::time::Instant;
+
+use hulkv::{HulkV, SocConfig};
+use hulkv_host::{Host, HostConfig};
+use hulkv_kernels::suite::{Kernel, KernelParams};
+use hulkv_mem::{shared, Bus, Sram};
+use hulkv_rv::csr::addr as csr_addr;
+use hulkv_rv::{Asm, Core, FlatBus, PrivMode, Reg, Xlen};
+use hulkv_sim::{Cycles, Json};
+
+/// Allowed fractional MIPS regression versus the committed baseline.
+const REGRESSION_BUDGET: f64 = 0.30;
+
+struct Args {
+    quick: bool,
+    out: String,
+    baseline: Option<String>,
+}
+
+impl Args {
+    fn from_env() -> Self {
+        let mut out = Args {
+            quick: false,
+            out: "BENCH_sim_throughput.json".into(),
+            baseline: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut bind = |slot: &mut String, flag: &str| {
+                if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                    *slot = v.to_owned();
+                } else if arg == flag {
+                    if let Some(v) = args.next() {
+                        *slot = v;
+                    }
+                }
+            };
+            if arg == "--quick" {
+                out.quick = true;
+            }
+            bind(&mut out.out, "--out");
+            let mut base = out.baseline.take().unwrap_or_default();
+            bind(&mut base, "--baseline");
+            out.baseline = (!base.is_empty()).then_some(base);
+        }
+        out
+    }
+}
+
+fn fresh_host() -> Host {
+    let mut bus = Bus::new("axi", Cycles::new(2));
+    bus.map(
+        "dram",
+        0x8000_0000,
+        shared(Sram::new("dram", 1 << 20, Cycles::new(20))),
+    )
+    .expect("map dram");
+    Host::new(HostConfig::default(), shared(bus))
+}
+
+/// The decode-bound microbench: `iters` passes over a short pure ALU /
+/// branch body that stays resident in the L1I after the first pass. With
+/// no data-memory traffic, fetch + decode dominate each simulated step,
+/// which is exactly the cost the decoded-instruction cache removes — this
+/// is the workload the ≥3x acceptance gate is measured on.
+fn microbench_words(iters: i64) -> Vec<u32> {
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::T0, iters);
+    a.li(Reg::A0, 0);
+    let top = a.label();
+    a.bind(top);
+    a.add(Reg::A0, Reg::A0, Reg::T0);
+    a.slli(Reg::T2, Reg::A0, 1);
+    a.xor(Reg::A0, Reg::A0, Reg::T2);
+    a.srli(Reg::T3, Reg::A0, 3);
+    a.sub(Reg::A0, Reg::A0, Reg::T3);
+    a.andi(Reg::T2, Reg::A0, 0xff);
+    a.or(Reg::A0, Reg::A0, Reg::T2);
+    a.addi(Reg::A0, Reg::A0, 3);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, top);
+    a.ebreak();
+    a.assemble().expect("assemble microbench")
+}
+
+/// A dhrystone-style loop mixing ALU, branches and L1D loads/stores —
+/// closer to real host code, reported alongside the decode-bound figure.
+fn dhrystone_words(iters: i64) -> Vec<u32> {
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::T0, iters);
+    a.li(Reg::T1, 0x8001_0000u32 as i64);
+    a.li(Reg::A0, 0);
+    let top = a.label();
+    a.bind(top);
+    a.add(Reg::A0, Reg::A0, Reg::T0);
+    a.slli(Reg::T2, Reg::A0, 1);
+    a.xor(Reg::A0, Reg::A0, Reg::T2);
+    a.sd(Reg::A0, Reg::T1, 0);
+    a.ld(Reg::T3, Reg::T1, 0);
+    a.sub(Reg::A0, Reg::A0, Reg::T3);
+    a.addi(Reg::A0, Reg::A0, 3);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, top);
+    a.ebreak();
+    a.assemble().expect("assemble dhrystone loop")
+}
+
+struct HostRun {
+    mips: f64,
+    cycles: u64,
+    instret: u64,
+    decode_hits: u64,
+    wall_s: f64,
+}
+
+/// Runs `words` on a bare CVA6 core model over flat memory, in supervisor
+/// mode under Sv39 with an identity-mapped 4 KiB code page: the pure-ISS
+/// configuration the decode-bound microbench is timed in. With the fast
+/// path off this is exactly the pre-cache interpreter — a three-level
+/// page-table walk, a fetch and a full decode on every single step; with
+/// it on, the micro-TLB + decoded-entry replay skip all three. The flat
+/// bus charges zero cycles everywhere, so both runs retire identical
+/// simulated cycle counts.
+fn run_iss(words: &[u32], decode: bool) -> HostRun {
+    const ROOT: u64 = 0x8000;
+    const L1: u64 = 0x9000;
+    const L0: u64 = 0xA000;
+    const CODE: u64 = 0x1000; // VA == PA: vpn2 = 0, vpn1 = 0, vpn0 = 1
+    const PTE_LEAF: u64 = 0x4B; // V | R | X | A
+
+    let mut bus = FlatBus::new(1 << 16);
+    bus.load_words(CODE, words);
+    let pte = |pa: u64, flags: u64| ((pa >> 12) << 10) | flags;
+    bus.write_bytes(ROOT, &pte(L1, 1).to_le_bytes());
+    bus.write_bytes(L1, &pte(L0, 1).to_le_bytes());
+    bus.write_bytes(L0 + 8, &pte(CODE, PTE_LEAF).to_le_bytes());
+
+    let mut core = Core::cva6();
+    core.set_decode_cache(decode);
+    core.set_priv_mode(PrivMode::Supervisor);
+    core.csrs_mut()
+        .write(csr_addr::SATP, (8 << 60) | (ROOT >> 12));
+    core.set_pc(CODE);
+    let t0 = Instant::now();
+    let cycles = core.run(&mut bus, u64::MAX).expect("run");
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let stats = core.stats();
+    HostRun {
+        mips: core.instret() as f64 / wall_s / 1e6,
+        cycles: cycles.get(),
+        instret: core.instret(),
+        decode_hits: stats.get("decode_hits"),
+        wall_s,
+    }
+}
+
+fn run_host(words: &[u32], decode: bool) -> HostRun {
+    let mut host = fresh_host();
+    host.core_mut().set_decode_cache(decode);
+    host.load_program(0x8000_0000, words).expect("load");
+    host.core_mut().set_pc(0x8000_0000);
+    host.core_mut().set_reg(Reg::Sp, 0x8008_0000);
+    let t0 = Instant::now();
+    let cycles = host.run(u64::MAX).expect("run");
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let stats = host.core().stats();
+    HostRun {
+        mips: host.core().instret() as f64 / wall_s / 1e6,
+        cycles: cycles.get(),
+        instret: host.core().instret(),
+        decode_hits: stats.get("decode_hits"),
+        wall_s,
+    }
+}
+
+struct MixedRun {
+    mips: f64,
+    instret: u64,
+    wall_s: f64,
+}
+
+fn run_mixed(params: &KernelParams) -> MixedRun {
+    let mut soc = HulkV::new(SocConfig::default()).expect("default SoC");
+    let t0 = Instant::now();
+    Kernel::MatMulI8
+        .run_on_host(&mut soc, params)
+        .expect("host matmul");
+    Kernel::MatMulI8
+        .run_on_cluster(&mut soc, params, 8)
+        .expect("cluster matmul offload");
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let instret = soc.host().core().instret() + soc.cluster().stats().get("instret");
+    MixedRun {
+        mips: instret as f64 / wall_s / 1e6,
+        instret,
+        wall_s,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    // Quick mode still needs ~10ms timing windows per pass: much below
+    // that, scheduler noise swamps the on/off ratio.
+    let iters = if args.quick { 120_000 } else { 400_000 };
+    let words = microbench_words(iters);
+    let dhry = dhrystone_words(iters);
+
+    // Warm-up pass absorbs one-time costs (page-in, allocator), then each
+    // configuration runs several times and reports its best pass: wall
+    // clock on a shared machine is noisy upward only, so the minimum is
+    // the low-noise estimate of simulator speed (simulated cycle counts
+    // are identical across passes either way).
+    let reps = if args.quick { 3 } else { 5 };
+    let best = |f: &dyn Fn() -> HostRun| {
+        let mut best = f();
+        for _ in 1..reps {
+            let r = f();
+            assert_eq!(r.cycles, best.cycles, "nondeterministic simulation");
+            if r.wall_s < best.wall_s {
+                best = r;
+            }
+        }
+        best
+    };
+    run_iss(&words, true);
+    let on = best(&|| run_iss(&words, true));
+    let off = best(&|| run_iss(&words, false));
+    let dhry_on = best(&|| run_host(&dhry, true));
+    let dhry_off = best(&|| run_host(&dhry, false));
+    let cycle_neutral = on.cycles == off.cycles && dhry_on.cycles == dhry_off.cycles;
+    let speedup = on.mips / off.mips;
+    let dhry_speedup = dhry_on.mips / dhry_off.mips;
+
+    let params = if args.quick {
+        KernelParams::tiny()
+    } else {
+        KernelParams::small()
+    };
+    let mixed = run_mixed(&params);
+
+    println!(
+        "decode-bound microbench ({} instructions simulated):",
+        on.instret
+    );
+    println!(
+        "  decode cache on : {:>8.2} MIPS  ({} cycles, {} decode hits, {:.3}s)",
+        on.mips, on.cycles, on.decode_hits, on.wall_s
+    );
+    println!(
+        "  decode cache off: {:>8.2} MIPS  ({} cycles, {:.3}s)",
+        off.mips, off.cycles, off.wall_s
+    );
+    println!("  speedup         : {speedup:>8.2}x");
+    println!(
+        "dhrystone-style loop ({} instructions simulated):",
+        dhry_on.instret
+    );
+    println!(
+        "  decode cache on : {:>8.2} MIPS   off: {:>8.2} MIPS   speedup {dhry_speedup:.2}x",
+        dhry_on.mips, dhry_off.mips
+    );
+    println!(
+        "cycle-neutral: {}",
+        if cycle_neutral { "yes" } else { "NO — BUG" }
+    );
+    println!(
+        "mixed workload: {:.2} MIPS ({} instructions, {:.3}s)",
+        mixed.mips, mixed.instret, mixed.wall_s
+    );
+
+    let doc = Json::obj([
+        ("schema_version", Json::from(1u64)),
+        ("quick", Json::from(args.quick)),
+        ("mips_host_on", Json::from(on.mips)),
+        ("mips_host_off", Json::from(off.mips)),
+        ("speedup", Json::from(speedup)),
+        ("cycle_neutral", Json::from(cycle_neutral)),
+        ("host_cycles", Json::from(on.cycles)),
+        ("host_instret", Json::from(on.instret)),
+        ("decode_hits", Json::from(on.decode_hits)),
+        ("mips_dhrystone_on", Json::from(dhry_on.mips)),
+        ("mips_dhrystone_off", Json::from(dhry_off.mips)),
+        ("dhrystone_speedup", Json::from(dhry_speedup)),
+        ("mips_mixed", Json::from(mixed.mips)),
+        ("mixed_instret", Json::from(mixed.instret)),
+    ]);
+    std::fs::write(&args.out, format!("{doc}\n"))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("results written to {}", args.out);
+
+    if !cycle_neutral {
+        eprintln!("FAIL: decode cache changed simulated cycle counts");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+        let base = Json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {path}: {e}"));
+        let base_mips = base
+            .get("mips_host_on")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("baseline {path} lacks mips_host_on"));
+        let floor = base_mips * (1.0 - REGRESSION_BUDGET);
+        println!("baseline host MIPS {base_mips:.2}, regression floor {floor:.2}");
+        if on.mips < floor {
+            eprintln!(
+                "FAIL: host MIPS {:.2} regressed more than {:.0}% below baseline {:.2}",
+                on.mips,
+                REGRESSION_BUDGET * 100.0,
+                base_mips
+            );
+            std::process::exit(1);
+        }
+    }
+}

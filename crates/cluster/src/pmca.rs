@@ -41,6 +41,9 @@ pub struct ClusterConfig {
     pub barrier_cycles: u64,
     /// Per-core stack carved from the top of the TCDM.
     pub stack_bytes: usize,
+    /// Whether the cores use the simulator's decoded-instruction cache
+    /// (host-side fast path; cycle-neutral, off only for ablation runs).
+    pub decode_cache: bool,
 }
 
 impl Default for ClusterConfig {
@@ -55,6 +58,7 @@ impl Default for ClusterConfig {
             soc_freq: Freq::mhz(450),
             barrier_cycles: 8,
             stack_bytes: 1024,
+            decode_cache: true,
         }
     }
 }
@@ -295,10 +299,25 @@ impl Cluster {
         let mut per_core = Vec::with_capacity(num_cores);
         let mut per_core_instret = Vec::with_capacity(num_cores);
         let mut arith_ops = 0u64;
-        let tcdm_top = TCDM_BASE + self.cfg.tcdm_bytes() as u64;
+        let tcdm_bytes = self.cfg.tcdm_bytes() as u64;
+        let tcdm_top = TCDM_BASE + tcdm_bytes;
+        // Per-team constants, hoisted out of the per-core loop.
+        //
+        // Expected extra TCDM-bank-conflict stall, in 1/65536ths of a cycle
+        // per access. With N cores issuing uniformly random accesses over B
+        // word-interleaved banks, the chance another given core hits the same
+        // bank in the same cycle is 1/B; summed over the N-1 peers and halved
+        // (the loser of a 2-way collision stalls, the winner does not) the
+        // expected stall is (N-1)/(2B) cycles per access, encoded Q16:
+        let conflict_q16 = if num_cores > 1 {
+            ((num_cores as u64 - 1) << 16) / (2 * self.cfg.banks as u64)
+        } else {
+            0
+        };
 
         for hartid in 0..num_cores {
             let mut core = Core::ri5cy(hartid as u64);
+            core.set_decode_cache(self.cfg.decode_cache);
             if let Some(t) = &self.tracer {
                 core.set_tracer(t.clone());
             }
@@ -328,16 +347,10 @@ impl Cluster {
                 tcdm: &self.tcdm,
                 ext: &self.ext,
                 icache: &mut private_icache,
-                tcdm_bytes: self.cfg.tcdm_bytes() as u64,
+                tcdm_bytes,
                 cluster_freq: self.cfg.freq,
                 soc_freq: self.cfg.soc_freq,
-                // Expected extra TCDM-bank conflicts, in 1/65536ths of a
-                // cycle per access: (N-1) / (2B).
-                conflict_q16: if num_cores > 1 {
-                    ((num_cores as u64 - 1) << 16) / (2 * self.cfg.banks as u64)
-                } else {
-                    0
-                },
+                conflict_q16,
                 conflict_acc: 0,
                 conflicts: 0,
             };
@@ -345,7 +358,12 @@ impl Cluster {
             self.stats.add("tcdm_conflicts", bus.conflicts);
             per_core.push(core.cycles());
             per_core_instret.push(core.instret());
-            arith_ops += core.stats().get("arith_ops");
+            self.stats.add("instret", core.instret());
+            let cs = core.stats();
+            arith_ops += cs.get("arith_ops");
+            for key in ["decode_hits", "decode_misses", "decode_invalidations"] {
+                self.stats.add(key, cs.get(key));
+            }
         }
 
         let max = per_core.iter().copied().fold(Cycles::ZERO, Cycles::max);
@@ -403,6 +421,7 @@ impl ClusterCoreBus<'_> {
 }
 
 impl CoreBus for ClusterCoreBus<'_> {
+    #[inline]
     fn fetch(&mut self, addr: u64) -> Result<(u32, Cycles), SimError> {
         let mut b = [0u8; 4];
         let lat = self.icache.read(addr, &mut b)?;
@@ -410,6 +429,17 @@ impl CoreBus for ClusterCoreBus<'_> {
         Ok((u32::from_le_bytes(b), self.ext_stall(lat).max(Cycles::ZERO)))
     }
 
+    #[inline]
+    fn fetch_touch(&mut self, addr: u64) -> bool {
+        self.icache.probe_fetch(addr, 4)
+    }
+
+    #[inline]
+    fn fetch_epoch(&self) -> u64 {
+        self.icache.epoch()
+    }
+
+    #[inline]
     fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
         if let Some(off) = self.tcdm_offset(addr, buf.len()) {
             self.tcdm.borrow_mut().read(off, buf)?;
@@ -420,6 +450,7 @@ impl CoreBus for ClusterCoreBus<'_> {
         }
     }
 
+    #[inline]
     fn store(&mut self, addr: u64, data: &[u8]) -> Result<Cycles, SimError> {
         if let Some(off) = self.tcdm_offset(addr, data.len()) {
             self.tcdm.borrow_mut().write(off, data)?;
@@ -548,6 +579,35 @@ mod tests {
         assert!(r8.cycles > r1.cycles);
         // But the conflict tax is mild: 16 banks for 8 cores.
         assert!(r8.cycles.get() < r1.cycles.get() * 2);
+    }
+
+    #[test]
+    fn decode_cache_is_cycle_neutral_for_teams() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, TCDM_BASE as i64);
+        a.li(Reg::T2, 300);
+        let top = a.label();
+        a.bind(top);
+        a.lw(Reg::T1, Reg::T0, 0);
+        a.addi(Reg::T1, Reg::T1, 1);
+        a.sw(Reg::T1, Reg::T0, 4);
+        a.addi(Reg::T2, Reg::T2, -1);
+        a.bnez(Reg::T2, top);
+        a.ebreak();
+        let words = a.assemble().unwrap();
+
+        let mut on = Cluster::new(ClusterConfig::default(), soc_with_program(&words));
+        let r_on = on.run_team(0x8000_0000, &[], 8, 1_000_000).unwrap();
+        let cfg_off = ClusterConfig {
+            decode_cache: false,
+            ..ClusterConfig::default()
+        };
+        let mut off = Cluster::new(cfg_off, soc_with_program(&words));
+        let r_off = off.run_team(0x8000_0000, &[], 8, 1_000_000).unwrap();
+        assert_eq!(r_on.cycles, r_off.cycles);
+        assert_eq!(r_on.per_core, r_off.per_core);
+        assert!(on.stats().get("decode_hits") > 1000);
+        assert_eq!(off.stats().get("decode_hits"), 0);
     }
 
     #[test]

@@ -340,7 +340,7 @@ impl HulkV {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::new();
         snap.push_block(self.stats.clone());
-        snap.push_block(self.host.core().stats().clone());
+        snap.push_block(self.host.core().stats());
         snap.push_block(self.host.l1i_stats().clone());
         snap.push_block(self.host.l1d_stats().clone());
         snap.push_block(self.cluster.stats().clone());
@@ -768,6 +768,10 @@ mod tests {
         for required in ["soc", "core", "l1i", "l1d", "cluster", "udma", "hyperram"] {
             assert!(names.contains(&required), "missing {required} in {names:?}");
         }
+        // The simulator's decode-cache counters ride along in the cluster
+        // block (the offload above ran 8 cores through the fast path).
+        let cluster_block = snap.blocks.iter().find(|b| b.name() == "cluster").unwrap();
+        assert!(cluster_block.get("decode_hits") + cluster_block.get("decode_misses") > 0);
         // Round-trips through the JSON exporter.
         let parsed = MetricsSnapshot::parse(&snap.to_json().to_string()).unwrap();
         assert_eq!(parsed.blocks.len(), snap.blocks.len());

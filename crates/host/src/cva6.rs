@@ -172,6 +172,9 @@ impl Host {
         }
         self.bus.borrow_mut().write(addr, &bytes)?;
         self.l1i.flush()?;
+        // The L1I flush already bumps the fetch epoch, but dropping the
+        // decoded entries explicitly keeps the invalidation counter honest.
+        self.core.invalidate_decoded();
         Ok(())
     }
 
@@ -259,6 +262,7 @@ impl HostBus<'_> {
 }
 
 impl CoreBus for HostBus<'_> {
+    #[inline]
     fn fetch(&mut self, addr: u64) -> Result<(u32, Cycles), SimError> {
         let mut b = [0u8; 4];
         let lat = if self.cacheable(addr) {
@@ -269,6 +273,19 @@ impl CoreBus for HostBus<'_> {
         Ok((u32::from_le_bytes(b), lat.saturating_sub(Cycles::new(1))))
     }
 
+    #[inline]
+    fn fetch_touch(&mut self, addr: u64) -> bool {
+        // Only cacheable code can replay: an uncached (device-region) fetch
+        // always pays the bridge latency, so it is never installed anyway.
+        self.cacheable(addr) && self.l1i.probe_fetch(addr, 4)
+    }
+
+    #[inline]
+    fn fetch_epoch(&self) -> u64 {
+        self.l1i.epoch()
+    }
+
+    #[inline]
     fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
         let lat = if self.cacheable(addr) {
             self.l1d.read(addr, buf)?
@@ -278,6 +295,7 @@ impl CoreBus for HostBus<'_> {
         Ok(lat.saturating_sub(Cycles::new(1)))
     }
 
+    #[inline]
     fn store(&mut self, addr: u64, data: &[u8]) -> Result<Cycles, SimError> {
         let lat = if self.cacheable(addr) {
             self.l1d.write(addr, data)?
@@ -363,6 +381,30 @@ mod tests {
         let mut b = [0u8; 4];
         host.read_mem(0x8002_0000, &mut b).unwrap();
         assert_eq!(u32::from_le_bytes(b), 77);
+    }
+
+    #[test]
+    fn decode_cache_is_cycle_neutral_through_cache_hierarchy() {
+        let body = |a: &mut Asm| {
+            a.li(Reg::T0, 0x8001_0000u32 as i64);
+            a.li(Reg::T2, 500);
+            let top = a.label();
+            a.bind(top);
+            a.ld(Reg::T1, Reg::T0, 0);
+            a.addi(Reg::T1, Reg::T1, 3);
+            a.sd(Reg::T1, Reg::T0, 0);
+            a.addi(Reg::T2, Reg::T2, -1);
+            a.bnez(Reg::T2, top);
+        };
+        let mut on = host_with(30, true);
+        let c_on = run_program(&mut on, body);
+        let mut off = host_with(30, true);
+        off.core_mut().set_decode_cache(false);
+        let c_off = run_program(&mut off, body);
+        assert_eq!(c_on, c_off, "decode cache must not change timing");
+        assert_eq!(on.core().reg(Reg::T1), off.core().reg(Reg::T1));
+        assert!(on.core().stats().get("decode_hits") > 1000);
+        assert_eq!(off.core().stats().get("decode_hits"), 0);
     }
 
     #[test]

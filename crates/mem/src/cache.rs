@@ -2,7 +2,7 @@
 
 use crate::device::check_range;
 use crate::{MemoryDevice, SharedMem};
-use hulkv_sim::{Cycles, SharedTracer, SimError, Stats, TraceEvent, Track};
+use hulkv_sim::{Cycles, SharedTracer, SimError, Stats, StatsHandle, TraceEvent, Track};
 
 /// Write-handling policy of a [`Cache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,6 +130,19 @@ pub struct Cache {
     backing: SharedMem,
     stats: Stats,
     tick: u64,
+    /// Bumped whenever resident contents may change (refill or flush).
+    /// Fetch fast paths cache decoded instructions against this value.
+    epoch: u64,
+    /// `log2(line_bytes)` / `log2(sets)`, so the per-access address split
+    /// is two shifts instead of two integer divisions.
+    line_shift: u32,
+    set_shift: u32,
+    /// Pre-registered handles for the per-access counters, so the hot
+    /// lookup paths bump an array slot instead of searching by key.
+    h_hits: StatsHandle,
+    h_misses: StatsHandle,
+    h_bytes_read: StatsHandle,
+    h_bytes_written: StatsHandle,
     tracer: Option<SharedTracer>,
     track: Track,
 }
@@ -152,13 +165,26 @@ impl Cache {
             };
             cfg.ways * cfg.sets
         ];
-        let stats = Stats::new(cfg.name.clone());
+        let mut stats = Stats::new(cfg.name.clone());
+        let h_hits = stats.handle("hits");
+        let h_misses = stats.handle("misses");
+        let h_bytes_read = stats.handle("bytes_read");
+        let h_bytes_written = stats.handle("bytes_written");
+        let line_shift = cfg.line_bytes.trailing_zeros();
+        let set_shift = cfg.sets.trailing_zeros();
         Ok(Cache {
             cfg,
             lines,
             backing,
             stats,
             tick: 0,
+            epoch: 0,
+            line_shift,
+            set_shift,
+            h_hits,
+            h_misses,
+            h_bytes_read,
+            h_bytes_written,
             tracer: None,
             track: Track::Llc,
         })
@@ -183,6 +209,39 @@ impl Cache {
         &self.cfg
     }
 
+    /// Content-stability epoch: changes whenever a refill or flush may have
+    /// altered which bytes a resident address returns. A decoded-instruction
+    /// cache entry recorded under one epoch may only be replayed while the
+    /// epoch is unchanged (conservative: any refill invalidates).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Revalidates a fetch that previously hit: if the whole `len`-byte
+    /// access lies inside one resident line, performs exactly the read-hit
+    /// side effects (`hits` counter, hit trace event, LRU touch,
+    /// `bytes_read`) and returns `true`. Otherwise performs **no** side
+    /// effects and returns `false`, and the caller must issue the real
+    /// [`MemoryDevice::read`]. This keeps statistics, traces and LRU state
+    /// bit-identical to the slow path for replayed zero-latency fetches.
+    #[inline]
+    pub fn probe_fetch(&mut self, addr: u64, len: usize) -> bool {
+        let in_line = (addr & (self.cfg.line_bytes as u64 - 1)) as usize;
+        if in_line + len > self.cfg.line_bytes {
+            return false; // straddles a line boundary: take the slow path
+        }
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let Some(idx) = self.lookup(set, tag) else {
+            return false;
+        };
+        self.stats.bump(self.h_hits, 1);
+        self.trace(TraceEvent::CacheHit { addr, write: false });
+        self.touch(idx);
+        self.stats.bump(self.h_bytes_read, len as u64);
+        true
+    }
+
     /// Fraction of accesses that missed, `misses / (hits + misses)`.
     pub fn miss_ratio(&self) -> f64 {
         self.stats.ratio("misses", "hits")
@@ -194,6 +253,7 @@ impl Cache {
     ///
     /// Propagates backing-store errors from write-backs.
     pub fn flush(&mut self) -> Result<Cycles, SimError> {
+        self.epoch += 1;
         let mut total = Cycles::ZERO;
         let (sets, line_bytes) = (self.cfg.sets, self.cfg.line_bytes);
         for idx in 0..self.lines.len() {
@@ -211,23 +271,27 @@ impl Cache {
         Ok(total)
     }
 
+    #[inline]
     fn set_of(&self, addr: u64) -> usize {
-        ((addr / self.cfg.line_bytes as u64) as usize) & (self.cfg.sets - 1)
+        ((addr >> self.line_shift) as usize) & (self.cfg.sets - 1)
     }
 
+    #[inline]
     fn tag_of(&self, addr: u64) -> u64 {
-        addr / self.cfg.line_bytes as u64 / self.cfg.sets as u64
+        addr >> (self.line_shift + self.set_shift)
     }
 
     fn line_base(&self, tag: u64, set: usize) -> u64 {
-        (tag * self.cfg.sets as u64 + set as u64) * self.cfg.line_bytes as u64
+        ((tag << self.set_shift) + set as u64) << self.line_shift
     }
 
     /// Finds the way holding `(tag, set)`, if present.
+    #[inline]
     fn lookup(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.cfg.ways;
-        (0..self.cfg.ways)
-            .find(|&w| self.lines[base + w].valid && self.lines[base + w].tag == tag)
+        self.lines[base..base + self.cfg.ways]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
             .map(|w| base + w)
     }
 
@@ -256,7 +320,7 @@ impl Cache {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         if let Some(idx) = self.lookup(set, tag) {
-            self.stats.inc("hits");
+            self.stats.bump(self.h_hits, 1);
             self.trace(TraceEvent::CacheHit {
                 addr,
                 write: is_write,
@@ -264,7 +328,7 @@ impl Cache {
             self.touch(idx);
             return Ok((idx, Cycles::ZERO));
         }
-        self.stats.inc("misses");
+        self.stats.bump(self.h_misses, 1);
         self.trace(TraceEvent::CacheMiss {
             addr,
             write: is_write,
@@ -285,6 +349,7 @@ impl Cache {
         let mut data = std::mem::take(&mut self.lines[idx].data);
         lat += self.backing.borrow_mut().read(line_addr, &mut data)?;
         self.stats.inc("refills");
+        self.epoch += 1;
         self.lines[idx] = Line {
             valid: true,
             dirty: false,
@@ -308,14 +373,14 @@ impl MemoryDevice for Cache {
         let mut pos = 0usize;
         while pos < buf.len() {
             let addr = offset + pos as u64;
-            let in_line = (addr % self.cfg.line_bytes as u64) as usize;
+            let in_line = (addr & (self.cfg.line_bytes as u64 - 1)) as usize;
             let n = (self.cfg.line_bytes - in_line).min(buf.len() - pos);
             let (idx, fill) = self.ensure_line(addr, false)?;
             buf[pos..pos + n].copy_from_slice(&self.lines[idx].data[in_line..in_line + n]);
             total += self.cfg.hit_latency + fill;
             pos += n;
         }
-        self.stats.add("bytes_read", buf.len() as u64);
+        self.stats.bump(self.h_bytes_read, buf.len() as u64);
         Ok(total)
     }
 
@@ -327,13 +392,13 @@ impl MemoryDevice for Cache {
             let addr = offset + pos as u64;
             let set = self.set_of(addr);
             let tag = self.tag_of(addr);
-            let in_line = (addr % self.cfg.line_bytes as u64) as usize;
+            let in_line = (addr & (self.cfg.line_bytes as u64 - 1)) as usize;
             let n = (self.cfg.line_bytes - in_line).min(data.len() - pos);
             let chunk = &data[pos..pos + n];
 
             let idx = match self.lookup(set, tag) {
                 Some(idx) => {
-                    self.stats.inc("hits");
+                    self.stats.bump(self.h_hits, 1);
                     self.trace(TraceEvent::CacheHit { addr, write: true });
                     self.touch(idx);
                     Some(idx)
@@ -345,7 +410,7 @@ impl MemoryDevice for Cache {
                     Some(idx)
                 }
                 None => {
-                    self.stats.inc("misses");
+                    self.stats.bump(self.h_misses, 1);
                     self.trace(TraceEvent::CacheMiss { addr, write: true });
                     None
                 }
@@ -374,7 +439,7 @@ impl MemoryDevice for Cache {
             total += self.cfg.hit_latency;
             pos += n;
         }
-        self.stats.add("bytes_written", data.len() as u64);
+        self.stats.bump(self.h_bytes_written, data.len() as u64);
         Ok(total)
     }
 
@@ -511,6 +576,56 @@ mod tests {
         c.read(0, &mut b).unwrap();
         c.read(0, &mut b).unwrap();
         assert!((c.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_fetch_mirrors_hit_side_effects() {
+        let (mut c, _) = test_cache(WritePolicy::WriteBack, true, false);
+        let mut b = [0u8; 4];
+        c.read(0x20, &mut b).unwrap(); // bring the line in
+        let hits = c.stats().get("hits");
+        let bytes = c.stats().get("bytes_read");
+        assert!(c.probe_fetch(0x20, 4), "resident line revalidates");
+        assert_eq!(c.stats().get("hits"), hits + 1);
+        assert_eq!(c.stats().get("bytes_read"), bytes + 4);
+        // Not resident: no side effects at all.
+        let misses = c.stats().get("misses");
+        assert!(!c.probe_fetch(0x100, 4));
+        assert_eq!(c.stats().get("hits"), hits + 1);
+        assert_eq!(c.stats().get("misses"), misses);
+        // Line-straddling accesses always refuse (line_bytes = 16).
+        assert!(!c.probe_fetch(0x2E, 4));
+    }
+
+    #[test]
+    fn probe_fetch_touch_updates_lru() {
+        let (mut c, _) = test_cache(WritePolicy::WriteBack, true, false);
+        let mut b = [0u8; 1];
+        // Fill both ways of set 0 with lines A (0) and B (64).
+        c.read(0, &mut b).unwrap();
+        c.read(64, &mut b).unwrap();
+        // Revalidate A via the probe, making B the LRU victim.
+        assert!(c.probe_fetch(0, 4));
+        c.read(128, &mut b).unwrap(); // brings in C, must evict B
+        let misses = c.stats().get("misses");
+        c.read(0, &mut b).unwrap(); // A survived
+        assert_eq!(c.stats().get("misses"), misses);
+    }
+
+    #[test]
+    fn epoch_tracks_refills_and_flush() {
+        let (mut c, _) = test_cache(WritePolicy::WriteBack, true, false);
+        let e0 = c.epoch();
+        let mut b = [0u8; 4];
+        c.read(0, &mut b).unwrap(); // refill
+        let e1 = c.epoch();
+        assert!(e1 > e0);
+        c.read(0, &mut b).unwrap(); // pure hit: stable
+        assert_eq!(c.epoch(), e1);
+        assert!(c.probe_fetch(0, 4)); // probe: stable
+        assert_eq!(c.epoch(), e1);
+        c.flush().unwrap();
+        assert!(c.epoch() > e1);
     }
 
     #[test]

@@ -824,6 +824,11 @@ impl Asm {
     pub fn fence(&mut self) {
         self.inst(Inst::Fence);
     }
+    /// `fence.i` — instruction-stream synchronization after self-modifying
+    /// code (also drops the simulator's decoded-instruction cache).
+    pub fn fence_i(&mut self) {
+        self.inst(Inst::FenceI);
+    }
     /// `csrr rd, csr`.
     pub fn csrr(&mut self, rd: Reg, csr: u16) {
         self.inst(Inst::Csr {

@@ -40,6 +40,36 @@ pub trait CoreBus {
     ///
     /// Returns the underlying memory-system error.
     fn store(&mut self, addr: u64, data: &[u8]) -> Result<Cycles, SimError>;
+
+    /// Revalidates a decoded-instruction-cache hit: returns `true` iff a
+    /// 4-byte fetch at `addr` would be a zero-stall hit right now, *and*
+    /// performs exactly the side effects that hit would have (statistics,
+    /// trace events, LRU recency). Returning `false` must leave the memory
+    /// system untouched; the core then issues the real [`CoreBus::fetch`].
+    ///
+    /// The default (`false`) disables decoded-instruction replay on buses
+    /// that do not opt in.
+    fn fetch_touch(&mut self, _addr: u64) -> bool {
+        false
+    }
+
+    /// Content-stability epoch for fetches: must change whenever the bytes
+    /// a resident fetch returns may have changed (cache refill or flush).
+    /// A decoded entry recorded under one epoch is only replayed while the
+    /// epoch is unchanged. Buses with immutable fetch timing return a
+    /// constant.
+    fn fetch_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Whether every access on this bus is zero-latency and free of
+    /// history-dependent state (no LRU, no occupancy counters). Only on
+    /// such buses may the core skip a Sv39 page-table walk via its fetch
+    /// micro-TLB: on cached buses the walk's PTE loads move L1D state, so
+    /// the walk must really execute to keep timing bit-exact.
+    fn timing_stateless(&self) -> bool {
+        false
+    }
 }
 
 /// A flat zero-wait-state memory for tests, examples and kernel golden runs.
@@ -109,22 +139,37 @@ impl FlatBus {
 }
 
 impl CoreBus for FlatBus {
+    #[inline]
     fn fetch(&mut self, addr: u64) -> Result<(u32, Cycles), SimError> {
         let o = self.check(addr, 4)?;
         let w = u32::from_le_bytes(self.mem[o..o + 4].try_into().expect("4 bytes"));
         Ok((w, Cycles::ZERO))
     }
 
+    #[inline]
     fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
         let o = self.check(addr, buf.len())?;
         buf.copy_from_slice(&self.mem[o..o + buf.len()]);
         Ok(Cycles::ZERO)
     }
 
+    #[inline]
     fn store(&mut self, addr: u64, data: &[u8]) -> Result<Cycles, SimError> {
         let o = self.check(addr, data.len())?;
         self.mem[o..o + data.len()].copy_from_slice(data);
         Ok(Cycles::ZERO)
+    }
+
+    #[inline]
+    fn fetch_touch(&mut self, addr: u64) -> bool {
+        // A flat memory has no per-access state; a fetch "hits" whenever
+        // it is in bounds, with no side effects to mirror.
+        addr as usize + 4 <= self.mem.len()
+    }
+
+    #[inline]
+    fn timing_stateless(&self) -> bool {
+        true
     }
 }
 
@@ -142,6 +187,128 @@ struct HwLoopState {
     start: u64,
     end: u64,
     count: u64,
+}
+
+/// Entries in the per-core decoded-instruction cache, indexed by
+/// `(vaddr >> 1) & (DECODE_CACHE_ENTRIES - 1)` — 2-byte granularity so
+/// adjacent RVC parcels get distinct slots. Indexing by *virtual* PC lets
+/// the replay path start the entry load before the µTLB resolves the
+/// physical address; the entry is still *tagged* by physical address, so
+/// a remapped page can never replay another page's decode.
+const DECODE_CACHE_ENTRIES: usize = 4096;
+
+/// One slot of the decoded-instruction cache. Entries are installed only
+/// for fetches whose whole fetch path (translation walk + instruction
+/// fetch) added **zero** stall cycles, so a replay charges zero extra
+/// cycles — exactly what the slow path would charge for the same
+/// steady-state hit.
+#[derive(Debug, Clone, Copy)]
+struct DecodedEntry {
+    /// Virtual PC the entry was installed for (the tag; distinct VAs can
+    /// share a slot, so the full address must match).
+    va: u64,
+    /// Physical address of the fetch, replayed into
+    /// [`CoreBus::fetch_touch`]. Trustworthy whenever `version`/`mode`
+    /// match: the translation inputs (`satp`, privilege) are covered by
+    /// the stamp.
+    pa: u64,
+    /// Core-side invalidation generation; stale when != `Core::decode_gen`.
+    gen: u64,
+    /// [`CsrFile::version`] at install time. Any CSR write bumps it, so a
+    /// matching stamp proves both "no interrupt became takeable" and
+    /// "fetch translation unchanged" without re-deriving either.
+    version: u64,
+    /// [`CoreBus::fetch_epoch`] at install time; stale when the bus has
+    /// refilled or flushed since.
+    epoch: u64,
+    /// Raw instruction word (for the trace ring and Retire events).
+    word: u32,
+    /// Parcel length in bytes: 2 (RVC) or 4.
+    ilen: u8,
+    /// [`CostModel::cost`] of `inst`: a pure function of the decoded
+    /// instruction, cached so a replay skips the cost-model match.
+    cost: u8,
+    /// Privilege mode at install time (part of the stamp).
+    mode: PrivMode,
+    /// Whether the fetch translation went through Sv39. Paged entries
+    /// only replay on timing-stateless buses (the walk has memory-system
+    /// side effects on cached ones) and count as µTLB hits.
+    paged: bool,
+    /// The pre-decoded instruction.
+    inst: Inst,
+}
+
+impl DecodedEntry {
+    /// Filler for empty slots; `gen: 0` never matches (generations start
+    /// at 1), so the other fields are never consulted.
+    const DEAD: DecodedEntry = DecodedEntry {
+        va: 0,
+        pa: 0,
+        gen: 0,
+        version: 0,
+        epoch: 0,
+        word: 0,
+        ilen: 0,
+        cost: 0,
+        mode: PrivMode::Machine,
+        paged: false,
+        inst: Inst::Ebreak,
+    };
+}
+
+/// Hot-path activity counters, kept as plain fields (the `Stats` registry
+/// costs a B-tree lookup plus a key allocation per bump) and materialized
+/// into a [`Stats`] by [`Core::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreCounters {
+    arith_ops: u64,
+    loads: u64,
+    stores: u64,
+    taken_branches: u64,
+    mem_stall_cycles: u64,
+    simd_insts: u64,
+    fp_insts: u64,
+    interrupts: u64,
+    decode_hits: u64,
+    decode_misses: u64,
+    decode_invalidations: u64,
+    itlb_hits: u64,
+    itlb_misses: u64,
+}
+
+/// 1-entry fetch micro-TLB: while fetches stay on one virtual page and the
+/// CSR file and privilege mode are unchanged, the translation is linear in
+/// the page offset (true for 4 KiB pages and superpages alike).
+#[derive(Debug, Clone, Copy)]
+struct FetchTlb {
+    valid: bool,
+    /// Virtual page number (`vaddr >> 12`).
+    page: u64,
+    /// Physical page base (`pa & !0xFFF`).
+    base: u64,
+    /// CSR-file version the walk ran under.
+    version: u64,
+    /// Privilege mode the walk ran under.
+    mode: PrivMode,
+}
+
+/// Cached `satp`/privilege view so the hot loop revalidates the MMU mode
+/// with one integer compare instead of a CSR-file read per instruction.
+#[derive(Debug, Clone, Copy)]
+struct MmuCache {
+    version: u64,
+    mode: PrivMode,
+    satp: u64,
+    active: bool,
+}
+
+/// Cached result of [`Core::takeable_interrupt`], keyed by CSR version and
+/// privilege mode (its only inputs).
+#[derive(Debug, Clone, Copy)]
+struct IrqCache {
+    version: u64,
+    mode: PrivMode,
+    takeable: Option<u64>,
 }
 
 /// One simulated RISC-V hart.
@@ -174,13 +341,27 @@ pub struct Core {
     cycles: Cycles,
     instret: u64,
     halted: bool,
-    stats: Stats,
+    stats_name: String,
+    counters: CoreCounters,
+    decode_cache: Option<Box<[DecodedEntry]>>,
+    decode_enabled: bool,
+    decode_gen: u64,
+    /// Coarse dirty filter: the PA watermarks `[code_lo, code_hi)` cover
+    /// every installed entry; a store overlapping the range invalidates.
+    code_lo: u64,
+    code_hi: u64,
+    itlb: FetchTlb,
+    mmu_cache: MmuCache,
+    irq_cache: IrqCache,
     trace: Option<std::collections::VecDeque<TraceEntry>>,
     trace_capacity: usize,
     tracer: Option<SharedTracer>,
     track: Track,
     trace_base: u64,
     profile: Option<PcProfile>,
+    /// True when any of `trace`/`tracer`/`profile` is attached: one flag
+    /// the retire path checks instead of three `Option`s.
+    observe: bool,
 }
 
 /// One retired instruction in the execution trace.
@@ -209,13 +390,38 @@ impl Core {
             cycles: Cycles::ZERO,
             instret: 0,
             halted: false,
-            stats: Stats::new("core"),
+            stats_name: "core".into(),
+            counters: CoreCounters::default(),
+            decode_cache: None,
+            decode_enabled: true,
+            decode_gen: 1,
+            code_lo: u64::MAX,
+            code_hi: 0,
+            itlb: FetchTlb {
+                valid: false,
+                page: 0,
+                base: 0,
+                version: 0,
+                mode: PrivMode::Machine,
+            },
+            mmu_cache: MmuCache {
+                version: 0,
+                mode: PrivMode::Machine,
+                satp: 0,
+                active: false,
+            },
+            irq_cache: IrqCache {
+                version: 0,
+                mode: PrivMode::Machine,
+                takeable: None,
+            },
             trace: None,
             trace_capacity: 0,
             tracer: None,
             track: Track::HostHart,
             trace_base: 0,
             profile: None,
+            observe: false,
         }
     }
 
@@ -229,7 +435,7 @@ impl Core {
         let mut c = Core::new(Xlen::Rv32, CostModel::ri5cy());
         c.xpulp = true;
         c.csrs = CsrFile::new(hartid);
-        c.stats = Stats::new(format!("core{hartid}"));
+        c.stats_name = format!("core{hartid}");
         c.track = Track::ClusterCore(hartid as u8);
         c
     }
@@ -255,14 +461,16 @@ impl Core {
     }
 
     /// Writes an integer register (`zero` stays zero; RV32 masks to 32 bits).
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, v: u64) {
-        if r == Reg::Zero {
-            return;
-        }
-        self.x[r.index() as usize] = match self.xlen {
-            Xlen::Rv32 => v & 0xFFFF_FFFF,
-            Xlen::Rv64 => v,
+        // Branchless: store, then re-pin x0 to zero. Cheaper on the retire
+        // path than branching on `r == zero` and on the XLEN.
+        let mask = match self.xlen {
+            Xlen::Rv32 => 0xFFFF_FFFF,
+            Xlen::Rv64 => u64::MAX,
         };
+        self.x[r.index() as usize] = v & mask;
+        self.x[0] = 0;
     }
 
     /// Reads a floating-point register's raw bits.
@@ -316,9 +524,92 @@ impl Core {
     }
 
     /// Activity counters: `instret`, `arith_ops` (GOps-weighted), `loads`,
-    /// `stores`, `taken_branches`, `mem_stall_cycles`.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// `stores`, `taken_branches`, `mem_stall_cycles`, plus the
+    /// simulator's own fast-path counters (`decode_hits`, `decode_misses`,
+    /// `decode_invalidations`, `itlb_hits`, `itlb_misses`).
+    ///
+    /// The hot loop keeps counters as plain fields (a `Stats` bump costs a
+    /// B-tree lookup and a key allocation per instruction); this
+    /// materializes them into a registry on demand. Counters that are zero
+    /// are omitted, matching the lazily-populated registry the interpreter
+    /// previously updated in place — except the decode-cache trio, which
+    /// is always present so metrics exports carry the fast-path story even
+    /// for all-miss ablation runs.
+    pub fn stats(&self) -> Stats {
+        let c = &self.counters;
+        let mut s = Stats::new(self.stats_name.clone());
+        for (k, v) in [
+            ("instret", self.instret),
+            ("arith_ops", c.arith_ops),
+            ("loads", c.loads),
+            ("stores", c.stores),
+            ("taken_branches", c.taken_branches),
+            ("mem_stall_cycles", c.mem_stall_cycles),
+            ("simd_insts", c.simd_insts),
+            ("fp_insts", c.fp_insts),
+            ("interrupts", c.interrupts),
+            ("itlb_hits", c.itlb_hits),
+            ("itlb_misses", c.itlb_misses),
+        ] {
+            if v != 0 {
+                s.set(k, v);
+            }
+        }
+        s.set("decode_hits", c.decode_hits);
+        s.set("decode_misses", c.decode_misses);
+        s.set("decode_invalidations", c.decode_invalidations);
+        s
+    }
+
+    /// Enables or disables the decoded-instruction cache and fetch µTLB
+    /// fast path (the ablation knob). Timing, architectural state and
+    /// memory-system statistics are bit-identical either way; only
+    /// wall-clock simulation speed and the `decode_*`/`itlb_*` counters
+    /// change. Default: enabled.
+    pub fn set_decode_cache(&mut self, enabled: bool) {
+        if self.decode_enabled != enabled {
+            self.decode_enabled = enabled;
+            self.drop_decoded();
+        }
+    }
+
+    /// Whether the decoded-instruction fast path is active.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.decode_enabled
+    }
+
+    /// Drops every decoded entry and the fetch µTLB without counting an
+    /// architectural invalidation (configuration changes).
+    fn drop_decoded(&mut self) {
+        self.decode_gen += 1;
+        self.itlb.valid = false;
+        self.code_lo = u64::MAX;
+        self.code_hi = 0;
+    }
+
+    /// Invalidates the decoded-instruction cache and fetch µTLB — the
+    /// `fence.i` / store-to-cached-code / program-reload path. Ticks the
+    /// `decode_invalidations` counter and emits a [`TraceEvent::DecodeCache`]
+    /// sample when a tracer is attached.
+    pub fn invalidate_decoded(&mut self) {
+        self.drop_decoded();
+        self.counters.decode_invalidations += 1;
+        self.trace_decode_counters();
+    }
+
+    fn trace_decode_counters(&mut self) {
+        if let Some(t) = &self.tracer {
+            let mut t = t.borrow_mut();
+            t.set_now(self.trace_base + self.cycles.get());
+            t.record(
+                self.track,
+                TraceEvent::DecodeCache {
+                    hits: self.counters.decode_hits,
+                    misses: self.counters.decode_misses,
+                    invalidations: self.counters.decode_invalidations,
+                },
+            );
+        }
     }
 
     /// Enables execution tracing, keeping the last `capacity` retired
@@ -327,6 +618,7 @@ impl Core {
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(std::collections::VecDeque::with_capacity(capacity));
         self.trace_capacity = capacity.max(1);
+        self.refresh_observe();
     }
 
     /// The trace ring buffer, oldest first (empty when tracing is off).
@@ -351,11 +643,13 @@ impl Core {
     pub fn set_tracer(&mut self, tracer: SharedTracer) {
         self.trace_base = tracer.borrow().now();
         self.tracer = Some(tracer);
+        self.refresh_observe();
     }
 
     /// Detaches the structured tracer (instrumentation back to one branch).
     pub fn clear_tracer(&mut self) {
         self.tracer = None;
+        self.refresh_observe();
     }
 
     /// The track this core's trace events are recorded on.
@@ -366,6 +660,7 @@ impl Core {
     /// Enables per-PC cycle profiling on the commit path.
     pub fn enable_profile(&mut self) {
         self.profile = Some(PcProfile::new());
+        self.refresh_observe();
     }
 
     /// The per-PC cycle histogram (`None` until [`Core::enable_profile`]).
@@ -375,14 +670,20 @@ impl Core {
 
     /// Takes the per-PC histogram out of the core, leaving profiling off.
     pub fn take_profile(&mut self) -> Option<PcProfile> {
-        self.profile.take()
+        let p = self.profile.take();
+        self.refresh_observe();
+        p
+    }
+
+    fn refresh_observe(&mut self) {
+        self.observe = self.trace.is_some() || self.tracer.is_some() || self.profile.is_some();
     }
 
     /// Resets cycle/instruction/activity counters (not architectural state).
     pub fn reset_counters(&mut self) {
         self.cycles = Cycles::ZERO;
         self.instret = 0;
-        self.stats.reset();
+        self.counters = CoreCounters::default();
     }
 
     fn sval(&self, r: Reg) -> i64 {
@@ -438,18 +739,35 @@ impl Core {
         })
     }
 
+    /// Refreshes the cached `satp`/paging-mode view when the CSR file or
+    /// privilege mode has changed since the last look.
+    #[inline]
+    fn mmu_refresh(&mut self) {
+        let v = self.csrs.version();
+        if self.mmu_cache.version != v || self.mmu_cache.mode != self.priv_mode {
+            let satp = self.csrs.satp();
+            self.mmu_cache = MmuCache {
+                version: v,
+                mode: self.priv_mode,
+                satp,
+                active: mmu::sv39_active(satp, self.priv_mode),
+            };
+        }
+    }
+
     /// Translates a virtual address, charging PTE-walk memory time.
-    fn translate(
+    fn translate<B: CoreBus + ?Sized>(
         &mut self,
-        bus: &mut dyn CoreBus,
+        bus: &mut B,
         vaddr: u64,
         kind: AccessKind,
         extra: &mut Cycles,
     ) -> Result<u64, WalkFault> {
-        let satp = self.csrs.satp();
-        if !mmu::sv39_active(satp, self.priv_mode) {
+        self.mmu_refresh();
+        if !self.mmu_cache.active {
             return Ok(vaddr);
         }
+        let satp = self.mmu_cache.satp;
         let mut walk_cycles = Cycles::ZERO;
         let pa = mmu::translate_sv39(vaddr, satp, kind, self.priv_mode, |pte_addr| {
             let mut b = [0u8; 8];
@@ -465,9 +783,10 @@ impl Core {
         Ok(pa)
     }
 
-    fn mem_load(
+    #[inline]
+    fn mem_load<B: CoreBus + ?Sized>(
         &mut self,
-        bus: &mut dyn CoreBus,
+        bus: &mut B,
         vaddr: u64,
         buf: &mut [u8],
         extra: &mut Cycles,
@@ -484,13 +803,14 @@ impl Core {
             cause: e.to_string(),
         })?;
         *extra += lat;
-        self.stats.inc("loads");
+        self.counters.loads += 1;
         Ok(())
     }
 
-    fn mem_store(
+    #[inline]
+    fn mem_store<B: CoreBus + ?Sized>(
         &mut self,
-        bus: &mut dyn CoreBus,
+        bus: &mut B,
         vaddr: u64,
         data: &[u8],
         extra: &mut Cycles,
@@ -507,13 +827,21 @@ impl Core {
             cause: e.to_string(),
         })?;
         *extra += lat;
-        self.stats.inc("stores");
+        self.counters.stores += 1;
+        // Coarse self-modifying-code filter: a store overlapping the PA
+        // range the decode cache has installed entries for drops the whole
+        // cache (single range compare per store; exact invalidation is the
+        // rare case and handled by the generation bump).
+        if pa < self.code_hi && pa.saturating_add(data.len() as u64) > self.code_lo {
+            self.invalidate_decoded();
+        }
         Ok(())
     }
 
-    fn load_int(
+    #[inline]
+    fn load_int<B: CoreBus + ?Sized>(
         &mut self,
-        bus: &mut dyn CoreBus,
+        bus: &mut B,
         vaddr: u64,
         width: LoadWidth,
         extra: &mut Cycles,
@@ -791,8 +1119,8 @@ impl Core {
             }
         };
         self.set_reg(rd, value as u64);
-        self.stats.add("arith_ops", ops);
-        self.stats.inc("simd_insts");
+        self.counters.arith_ops += ops;
+        self.counters.simd_insts += 1;
     }
 
     fn exec_simd_fp(&mut self, op: SimdFpOp, rd: Reg, rs1: Reg, rs2: Reg) {
@@ -803,12 +1131,12 @@ impl Core {
                 let acc = f32::from_bits(self.reg(rd) as u32);
                 let r = a0 * b0 + a1 * b1 + acc;
                 self.set_reg(rd, r.to_bits() as u64);
-                self.stats.add("arith_ops", 4);
+                self.counters.arith_ops += 4;
             }
             SimdFpOp::Mac => {
                 let (d0, d1) = unpack2(self.reg(rd) as u32);
                 self.set_reg(rd, pack2(d0 + a0 * b0, d1 + a1 * b1) as u64);
-                self.stats.add("arith_ops", 4);
+                self.counters.arith_ops += 4;
             }
             _ => {
                 let f = |x: f32, y: f32| match op {
@@ -820,10 +1148,10 @@ impl Core {
                     _ => unreachable!(),
                 };
                 self.set_reg(rd, pack2(f(a0, b0), f(a1, b1)) as u64);
-                self.stats.add("arith_ops", 2);
+                self.counters.arith_ops += 2;
             }
         }
-        self.stats.inc("fp_insts");
+        self.counters.fp_insts += 1;
     }
 
     /// Marks a machine interrupt pending (or clears it): `code` is the
@@ -851,6 +1179,22 @@ impl Core {
         [11u64, 3, 7].into_iter().find(|&c| pending & (1 << c) != 0)
     }
 
+    /// [`Core::takeable_interrupt`] behind a CSR-version cache: its only
+    /// inputs are `mip`/`mie`/`mstatus` and the privilege mode, so the
+    /// result is stable until either changes.
+    #[inline]
+    fn takeable_interrupt_cached(&mut self) -> Option<u64> {
+        let v = self.csrs.version();
+        if self.irq_cache.version != v || self.irq_cache.mode != self.priv_mode {
+            self.irq_cache = IrqCache {
+                version: v,
+                mode: self.priv_mode,
+                takeable: self.takeable_interrupt(),
+            };
+        }
+        self.irq_cache.takeable
+    }
+
     /// Executes one instruction.
     ///
     /// # Errors
@@ -858,19 +1202,61 @@ impl Core {
     /// Returns an [`RvError`] when the core cannot continue: illegal
     /// instruction / fault with no trap handler installed, or a memory
     /// system failure.
-    pub fn step(&mut self, bus: &mut dyn CoreBus) -> Result<StepOutcome, RvError> {
+    #[inline]
+    pub fn step<B: CoreBus + ?Sized>(&mut self, bus: &mut B) -> Result<StepOutcome, RvError> {
         if self.halted {
             return Ok(StepOutcome {
                 cycles: Cycles::ZERO,
                 halted: true,
             });
         }
-        if let Some(code) = self.takeable_interrupt() {
+        let pc = self.pc;
+
+        if self.decode_enabled {
+            // Fast path: replay a decoded entry stamped with the CSR-file
+            // version and privilege mode of the step that installed it.
+            // An unchanged stamp proves, without re-deriving anything,
+            // that (a) no CSR write happened since, so no interrupt can
+            // have become takeable (`mip`/`mie`/`mstatus` writes all bump
+            // the version — the install step's prologue already concluded
+            // "no interrupt" at this exact stamp), and (b) the fetch
+            // translation is unchanged (`satp` is a CSR, the mode is
+            // compared). A paged entry additionally requires a
+            // timing-stateless bus: on cached buses the Sv39 walk's PTE
+            // loads move L1D LRU state, so the walk must really run.
+            // Entries are installed only for zero-stall fetches, so
+            // replaying `extra = 0` is exactly what the slow path would
+            // charge; the bus revalidates the fetch as a hit with
+            // identical side effects via `fetch_touch`.
+            if let Some(cache) = &self.decode_cache {
+                let e = &cache[(pc >> 1) as usize & (DECODE_CACHE_ENTRIES - 1)];
+                // Branchless stamp check: OR the XOR of every u64 field so
+                // the common all-match case costs one predicted branch.
+                let stale = (e.gen ^ self.decode_gen)
+                    | (e.va ^ pc)
+                    | (e.version ^ self.csrs.version())
+                    | (e.epoch ^ bus.fetch_epoch());
+                if stale == 0
+                    && e.mode == self.priv_mode
+                    && (!e.paged || bus.timing_stateless())
+                    && bus.fetch_touch(e.pa)
+                {
+                    let (inst, ilen, word, cost) =
+                        (e.inst, u64::from(e.ilen), e.word, u64::from(e.cost));
+                    self.counters.decode_hits += 1;
+                    // A paged replay is also a served-without-a-walk fetch
+                    // translation; account it as a µTLB hit.
+                    self.counters.itlb_hits += u64::from(e.paged);
+                    return self.execute(bus, pc, inst, ilen, word, cost, Cycles::ZERO);
+                }
+            }
+        }
+        if let Some(code) = self.takeable_interrupt_cached() {
             if self.csrs.read(addr::MTVEC) != 0 {
                 let prev = self.priv_mode;
                 self.pc = self.csrs.enter_interrupt_m(code, self.pc, prev);
                 self.priv_mode = PrivMode::Machine;
-                self.stats.inc("interrupts");
+                self.counters.interrupts += 1;
                 let c = Cycles::new(self.cost.branch_taken_penalty + 1);
                 self.cycles += c;
                 if let Some(t) = &self.tracer {
@@ -884,22 +1270,86 @@ impl Core {
                 });
             }
         }
-        let pc = self.pc;
+
+        if self.decode_enabled {
+            self.counters.decode_misses += 1;
+            let known_pa = self.fetch_pa_cached(pc, bus.timing_stateless());
+            return self.step_decode(bus, pc, known_pa);
+        }
+        self.step_decode(bus, pc, None)
+    }
+
+    /// Fetch translation that provably costs zero cycles and touches no
+    /// memory-system state: paging off (identity mapping), or a fetch-µTLB
+    /// hit on a timing-stateless bus. On cached buses the Sv39 walk's PTE
+    /// loads move L1D LRU state, so the walk must really run there.
+    #[inline]
+    fn fetch_pa_cached(&mut self, pc: u64, stateless: bool) -> Option<u64> {
+        self.mmu_refresh();
+        if !self.mmu_cache.active {
+            return Some(pc);
+        }
+        if stateless
+            && self.itlb.valid
+            && self.itlb.page == pc >> 12
+            && self.itlb.version == self.mmu_cache.version
+            && self.itlb.mode == self.priv_mode
+        {
+            self.counters.itlb_hits += 1;
+            return Some(self.itlb.base | (pc & 0xFFF));
+        }
+        None
+    }
+
+    /// The full decode path: translate (unless `known_pa` already proves a
+    /// zero-cost translation), fetch, expand/decode, execute. Installs a
+    /// decoded-instruction-cache entry when the whole fetch path added
+    /// zero stall cycles.
+    ///
+    /// Kept out of line so the replay fast path in [`Core::step`] stays
+    /// small enough to inline into the run loop.
+    #[inline(never)]
+    fn step_decode<B: CoreBus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        pc: u64,
+        known_pa: Option<u64>,
+    ) -> Result<StepOutcome, RvError> {
         let mut extra = Cycles::ZERO;
 
         // Fetch (with translation when paging is on).
-        let fetch_pa = match self.translate(bus, pc, AccessKind::Fetch, &mut extra) {
-            Ok(pa) => pa,
-            Err(_) => {
-                self.raise(TrapCause::InstPageFault, pc)?;
-                let c = Cycles::new(self.cost.base) + extra;
-                self.cycles += c;
-                return Ok(StepOutcome {
-                    cycles: c,
-                    halted: false,
-                });
-            }
+        let fetch_pa = match known_pa {
+            Some(pa) => pa,
+            None => match self.translate(bus, pc, AccessKind::Fetch, &mut extra) {
+                Ok(pa) => pa,
+                Err(_) => {
+                    self.raise(TrapCause::InstPageFault, pc)?;
+                    let c = Cycles::new(self.cost.base) + extra;
+                    self.cycles += c;
+                    return Ok(StepOutcome {
+                        cycles: c,
+                        halted: false,
+                    });
+                }
+            },
         };
+        // Install the fetch µTLB entry: translation is linear within a
+        // page (4 KiB pages and superpages alike), so same-page fetches
+        // can reuse it while the CSR file and privilege are unchanged.
+        if known_pa.is_none()
+            && self.decode_enabled
+            && self.mmu_cache.active
+            && bus.timing_stateless()
+        {
+            self.counters.itlb_misses += 1;
+            self.itlb = FetchTlb {
+                valid: true,
+                page: pc >> 12,
+                base: fetch_pa & !0xFFF,
+                version: self.mmu_cache.version,
+                mode: self.priv_mode,
+            };
+        }
         let (word, fetch_lat) = bus.fetch(fetch_pa).map_err(|e| RvError::Memory {
             addr: fetch_pa,
             cause: e.to_string(),
@@ -923,11 +1373,61 @@ impl Core {
             });
         };
 
-        if let Some(trace) = &mut self.trace {
-            if trace.len() == self.trace_capacity {
-                trace.pop_front();
+        // Install only when the fetch path was zero-stall (steady-state
+        // I-side hit): replaying such an entry charges zero extra cycles,
+        // which is exactly what the slow path produces for the same hit.
+        // First-touch misses (stall > 0) never install, so a replay can
+        // never smear miss latency into later iterations.
+        let cost = self.cost.cost(&inst);
+        // `cost` is cached as a u8 in the entry; a cost model exceeding
+        // that range simply never installs (correctness over speed).
+        if self.decode_enabled && extra == Cycles::ZERO && cost <= u64::from(u8::MAX) {
+            let cache = self.decode_cache.get_or_insert_with(|| {
+                vec![DecodedEntry::DEAD; DECODE_CACHE_ENTRIES].into_boxed_slice()
+            });
+            cache[(pc >> 1) as usize & (DECODE_CACHE_ENTRIES - 1)] = DecodedEntry {
+                va: pc,
+                pa: fetch_pa,
+                gen: self.decode_gen,
+                version: self.csrs.version(),
+                epoch: bus.fetch_epoch(),
+                word,
+                ilen: ilen as u8,
+                cost: cost as u8,
+                mode: self.priv_mode,
+                paged: self.mmu_cache.active,
+                inst,
+            };
+            self.code_lo = self.code_lo.min(fetch_pa);
+            self.code_hi = self.code_hi.max(fetch_pa + 4);
+        }
+
+        self.execute(bus, pc, inst, ilen, word, cost, extra)
+    }
+
+    /// Executes an already-fetched, already-decoded instruction and
+    /// commits its timing — shared by the decode-cache fast path and the
+    /// full decode path. `base_cost` is the instruction's static
+    /// [`CostModel::cost`], computed once at decode time and replayed from
+    /// the decoded-entry cache.
+    #[allow(clippy::too_many_arguments)]
+    fn execute<B: CoreBus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        pc: u64,
+        inst: Inst,
+        ilen: u64,
+        word: u32,
+        base_cost: u64,
+        mut extra: Cycles,
+    ) -> Result<StepOutcome, RvError> {
+        if self.observe {
+            if let Some(trace) = &mut self.trace {
+                if trace.len() == self.trace_capacity {
+                    trace.pop_front();
+                }
+                trace.push_back(TraceEntry { pc, inst });
             }
-            trace.push_back(TraceEntry { pc, inst });
         }
 
         let mut next_pc = pc.wrapping_add(ilen);
@@ -970,7 +1470,7 @@ impl Core {
                     if taken {
                         next_pc = pc.wrapping_add(offset as u64);
                         penalty += self.cost.branch_taken_penalty;
-                        self.stats.inc("taken_branches");
+                        self.counters.taken_branches += 1;
                         control_transfer = true;
                     }
                 }
@@ -997,25 +1497,25 @@ impl Core {
                 Inst::OpImm { op, rd, rs1, imm } => {
                     let v = self.alu(op, self.reg(rs1), imm as u64);
                     self.set_reg(rd, v);
-                    self.stats.inc("arith_ops");
+                    self.counters.arith_ops += 1;
                 }
                 Inst::OpImm32 { op, rd, rs1, imm } => {
                     self.set_reg(rd, Self::alu32(op, self.reg(rs1), imm as u64));
-                    self.stats.inc("arith_ops");
+                    self.counters.arith_ops += 1;
                 }
                 Inst::Op { op, rd, rs1, rs2 } => {
                     let v = self.alu(op, self.reg(rs1), self.reg(rs2));
                     self.set_reg(rd, v);
-                    self.stats.inc("arith_ops");
+                    self.counters.arith_ops += 1;
                 }
                 Inst::Op32 { op, rd, rs1, rs2 } => {
                     self.set_reg(rd, Self::alu32(op, self.reg(rs1), self.reg(rs2)));
-                    self.stats.inc("arith_ops");
+                    self.counters.arith_ops += 1;
                 }
                 Inst::MulDiv { op, rd, rs1, rs2 } => {
                     let v = self.muldiv(op, self.reg(rs1), self.reg(rs2));
                     self.set_reg(rd, v);
-                    self.stats.inc("arith_ops");
+                    self.counters.arith_ops += 1;
                 }
                 Inst::MulDiv32 { op, rd, rs1, rs2 } => {
                     let a = self.reg(rs1) as u32;
@@ -1055,7 +1555,7 @@ impl Core {
                         _ => 0,
                     };
                     self.set_reg(rd, r as i32 as i64 as u64);
-                    self.stats.inc("arith_ops");
+                    self.counters.arith_ops += 1;
                 }
                 Inst::LoadReserved { double, rd, rs1 } => {
                     let vaddr = self.reg(rs1);
@@ -1116,7 +1616,10 @@ impl Core {
                     self.mem_store(bus, vaddr, &data[..n], &mut extra)?;
                     self.set_reg(rd, old);
                 }
-                Inst::Fence | Inst::FenceI => {}
+                Inst::Fence => {}
+                // fence.i orders the instruction stream after stores: the
+                // architectural invalidation point for decoded entries.
+                Inst::FenceI => self.invalidate_decoded(),
                 Inst::Ecall => {
                     let cause = match self.priv_mode {
                         PrivMode::User => TrapCause::EcallFromU,
@@ -1252,8 +1755,8 @@ impl Core {
                             self.write_f64(rd, r);
                         }
                     }
-                    self.stats.inc("arith_ops");
-                    self.stats.inc("fp_insts");
+                    self.counters.arith_ops += 1;
+                    self.counters.fp_insts += 1;
                 }
                 Inst::FpFma {
                     fmt,
@@ -1282,8 +1785,8 @@ impl Core {
                             self.write_f64(rd, a.mul_add(b, c));
                         }
                     }
-                    self.stats.add("arith_ops", 2);
-                    self.stats.inc("fp_insts");
+                    self.counters.arith_ops += 2;
+                    self.counters.fp_insts += 1;
                 }
                 Inst::FpCmp {
                     fmt,
@@ -1313,7 +1816,7 @@ impl Core {
                         }
                     };
                     self.set_reg(rd, r as u64);
-                    self.stats.inc("fp_insts");
+                    self.counters.fp_insts += 1;
                 }
                 Inst::FpToInt {
                     fmt,
@@ -1333,7 +1836,7 @@ impl Core {
                         (true, false) => v as u64,
                     };
                     self.set_reg(rd, r);
-                    self.stats.inc("fp_insts");
+                    self.counters.fp_insts += 1;
                 }
                 Inst::IntToFp {
                     fmt,
@@ -1353,7 +1856,7 @@ impl Core {
                         FpFmt::S => self.write_f32(rd, v as f32),
                         FpFmt::D => self.write_f64(rd, v),
                     }
-                    self.stats.inc("fp_insts");
+                    self.counters.fp_insts += 1;
                 }
                 Inst::FpCvt { to, rd, rs1 } => {
                     match to {
@@ -1366,7 +1869,7 @@ impl Core {
                             self.write_f64(rd, v as f64);
                         }
                     }
-                    self.stats.inc("fp_insts");
+                    self.counters.fp_insts += 1;
                 }
                 Inst::FpMvToInt { fmt, rd, rs1 } => {
                     let v = match fmt {
@@ -1417,7 +1920,7 @@ impl Core {
                         acc.wrapping_add(prod)
                     };
                     self.set_reg(rd, r as u64);
-                    self.stats.add("arith_ops", 2);
+                    self.counters.arith_ops += 2;
                 }
                 Inst::PulpAlu { op, rd, rs1, rs2 } => {
                     let a = self.reg(rs1) as u32;
@@ -1451,7 +1954,7 @@ impl Core {
                         PulpAluOp::Ror => a.rotate_right(b & 31),
                     };
                     self.set_reg(rd, r as u64);
-                    self.stats.inc("arith_ops");
+                    self.counters.arith_ops += 1;
                 }
                 Inst::HwLoop {
                     op,
@@ -1499,7 +2002,9 @@ impl Core {
         }
 
         // Hardware loops: zero-cycle back-edge at the end of a loop body.
-        if !control_transfer && !halted {
+        // Only Xpulp cores can ever arm one, so gate the scan on the
+        // extension flag rather than probing both slots every retire.
+        if self.xpulp && !control_transfer && !halted {
             for i in 0..2 {
                 let l = &mut self.hwloops[i];
                 if l.count > 0 && next_pc == l.end {
@@ -1517,17 +2022,22 @@ impl Core {
         self.pc = next_pc;
         self.halted = halted;
         self.instret += 1;
-        self.stats.inc("instret");
-        self.stats.add("mem_stall_cycles", extra.get());
-        let total = Cycles::new(self.cost.cost(&inst) + penalty) + extra;
+        self.counters.mem_stall_cycles += extra.get();
+        let total = Cycles::new(base_cost + penalty) + extra;
         self.cycles += total;
-        if let Some(t) = &self.tracer {
-            let mut t = t.borrow_mut();
-            t.set_now(self.trace_base + self.cycles.get());
-            t.record(self.track, TraceEvent::Retire { pc, word });
+        if self.observe {
+            if let Some(t) = &self.tracer {
+                let mut t = t.borrow_mut();
+                t.set_now(self.trace_base + self.cycles.get());
+                t.record(self.track, TraceEvent::Retire { pc, word });
+            }
+            if let Some(p) = &mut self.profile {
+                p.record(pc, word, total.get());
+            }
         }
-        if let Some(p) = &mut self.profile {
-            p.record(pc, word, total.get());
+        if halted {
+            // Final decode-cache counter sample for the Chrome trace.
+            self.trace_decode_counters();
         }
         Ok(StepOutcome {
             cycles: total,
@@ -1543,14 +2053,19 @@ impl Core {
     ///
     /// Propagates [`Core::step`] errors and returns [`RvError::Timeout`]
     /// when the budget expires.
-    pub fn run(&mut self, bus: &mut dyn CoreBus, max_cycles: u64) -> Result<Cycles, RvError> {
+    pub fn run<B: CoreBus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        max_cycles: u64,
+    ) -> Result<Cycles, RvError> {
         let start = self.cycles;
+        let limit = start.get().saturating_add(max_cycles);
         while !self.halted {
             let out = self.step(bus)?;
             if out.halted {
                 break;
             }
-            if (self.cycles - start).get() > max_cycles {
+            if self.cycles.get() > limit {
                 return Err(RvError::Timeout {
                     cycles: (self.cycles - start).get(),
                 });
@@ -2214,5 +2729,250 @@ mod tests {
         assert_eq!(c.stats().get("loads"), 1);
         assert_eq!(c.stats().get("stores"), 1);
         assert!(c.stats().get("arith_ops") >= 1);
+    }
+
+    /// Runs `build` twice on fresh cores, decode cache on and off, and
+    /// asserts bit-identical cycles, instret and register state.
+    fn assert_decode_neutral(build: impl Fn(&mut Asm)) -> Core {
+        let assemble = |build: &dyn Fn(&mut Asm)| {
+            let mut a = Asm::new(Xlen::Rv64);
+            build(&mut a);
+            a.ebreak();
+            a.assemble().expect("assemble")
+        };
+        let words = assemble(&build);
+        let run = |decode: bool| {
+            let mut bus = FlatBus::new(1 << 16);
+            bus.load_words(0, &words);
+            let mut core = Core::cva6();
+            core.set_decode_cache(decode);
+            core.set_reg(Reg::Sp, 0x8000);
+            core.run(&mut bus, 1_000_000).expect("run");
+            core
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.cycles(), off.cycles(), "cycle-count neutrality");
+        assert_eq!(on.instret(), off.instret());
+        for r in Reg::ALL {
+            assert_eq!(on.reg(r), off.reg(r), "register {r:?}");
+        }
+        assert_eq!(off.stats().get("decode_hits"), 0);
+        on
+    }
+
+    #[test]
+    fn decode_cache_is_cycle_neutral_on_flat_bus() {
+        let on = assert_decode_neutral(|a| {
+            a.li(Reg::A0, 1);
+            a.li(Reg::T0, 200);
+            let top = a.label();
+            a.bind(top);
+            a.add(Reg::A0, Reg::A0, Reg::T0);
+            a.sd(Reg::A0, Reg::Sp, 0);
+            a.ld(Reg::A1, Reg::Sp, 0);
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, top);
+        });
+        assert!(on.stats().get("decode_hits") > 500);
+    }
+
+    #[test]
+    fn fence_i_ticks_invalidation_counter() {
+        let (c, _) = run_rv64(|a| {
+            a.nop();
+            a.fence_i();
+            a.nop();
+        });
+        assert!(c.stats().get("decode_invalidations") >= 1);
+    }
+
+    #[test]
+    fn self_modifying_code_executes_new_bytes_after_fence_i() {
+        // The instruction at address 0 is executed, patched by a store,
+        // fence.i'd, and executed again: the second pass must run the new
+        // bytes, and the stale decoded entry must be provably dropped.
+        let patch = crate::encode::encode(&Inst::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 99,
+        })
+        .unwrap();
+        let mut a = Asm::new(Xlen::Rv64);
+        let top = a.label();
+        let done = a.label();
+        a.bind(top);
+        a.addi(Reg::A0, Reg::A0, 1); // patch site, address 0
+        a.bnez(Reg::T2, done);
+        a.li(Reg::T1, patch as i64);
+        a.sw(Reg::T1, Reg::Zero, 0);
+        a.fence_i();
+        a.li(Reg::T2, 1);
+        a.j(top);
+        a.bind(done);
+        a.ebreak();
+
+        let mut bus = FlatBus::new(1 << 12);
+        bus.load_words(0, &a.assemble().unwrap());
+        let mut core = Core::cva6();
+        core.run(&mut bus, 100_000).unwrap();
+        assert!(core.is_halted());
+        assert_eq!(core.reg(Reg::A0), 100, "1 + patched 99");
+        assert!(core.stats().get("decode_invalidations") >= 1);
+    }
+
+    #[test]
+    fn direct_mapped_index_aliases_resolve_by_tag() {
+        // Two code blocks 8 KiB apart alias onto the same decode-cache
+        // entries (4096 entries x 2-byte granularity): the pa tag must keep
+        // them apart while a loop ping-pongs between the two.
+        let mut near = Asm::new(Xlen::Rv64);
+        near.addi(Reg::A0, Reg::A0, 1);
+        near.ret();
+        let mut far = Asm::new(Xlen::Rv64);
+        far.addi(Reg::A0, Reg::A0, 7);
+        far.ret();
+        let mut main = Asm::new(Xlen::Rv64);
+        main.li(Reg::T0, 0x4000); // near block, aliases 0x6000 (+8 KiB)
+        main.li(Reg::T1, 0x6000);
+        main.li(Reg::T2, 50);
+        let top = main.label();
+        main.bind(top);
+        main.inst(Inst::Jalr {
+            rd: Reg::Ra,
+            rs1: Reg::T0,
+            offset: 0,
+        });
+        main.inst(Inst::Jalr {
+            rd: Reg::Ra,
+            rs1: Reg::T1,
+            offset: 0,
+        });
+        main.addi(Reg::T2, Reg::T2, -1);
+        main.bnez(Reg::T2, top);
+        main.ebreak();
+
+        let mut bus = FlatBus::new(1 << 16);
+        bus.load_words(0, &main.assemble().unwrap());
+        bus.load_words(0x4000, &near.assemble().unwrap());
+        bus.load_words(0x6000, &far.assemble().unwrap());
+        let mut core = Core::cva6();
+        core.run(&mut bus, 1_000_000).unwrap();
+        assert_eq!(core.reg(Reg::A0), 50 * 8);
+        // The aliasing halves re-miss every iteration; the loop body hits.
+        assert!(core.stats().get("decode_hits") > 0);
+        assert!(core.stats().get("decode_misses") >= 100);
+    }
+
+    #[test]
+    fn rvc_mix_is_cycle_neutral_across_entry_boundaries() {
+        // Hand-packed stream mixing 16- and 32-bit instructions so that
+        // 32-bit words sit at 2-byte offsets, exercising decoded entries at
+        // adjacent half-word indices. Run with the cache on and off.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x4515u16.to_le_bytes()); // c.li a0, 5
+        bytes.extend_from_slice(
+            &crate::encode::encode(&Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg::A2,
+                rs1: Reg::A0,
+                imm: 100,
+            })
+            .unwrap()
+            .to_le_bytes(),
+        );
+        bytes.extend_from_slice(&0x050Du16.to_le_bytes()); // c.addi a0, 3
+        bytes.extend_from_slice(&0x85AAu16.to_le_bytes()); // c.mv a1, a0
+                                                           // Loop: addi t0, t0, -1 ; bnez t0, -12 (back to the c.li).
+        bytes.extend_from_slice(
+            &crate::encode::encode(&Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                imm: -1,
+            })
+            .unwrap()
+            .to_le_bytes(),
+        );
+        bytes.extend_from_slice(
+            &crate::encode::encode(&Inst::Branch {
+                cond: crate::inst::BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::Zero,
+                offset: -14,
+            })
+            .unwrap()
+            .to_le_bytes(),
+        );
+        bytes.extend_from_slice(&0x9002u16.to_le_bytes()); // c.ebreak
+
+        let run = |decode: bool| {
+            let mut bus = FlatBus::new(1 << 12);
+            bus.write_bytes(0x100, &bytes);
+            let mut core = Core::cva6();
+            core.set_decode_cache(decode);
+            core.set_pc(0x100);
+            core.set_reg(Reg::T0, 40);
+            core.run(&mut bus, 100_000).unwrap();
+            core
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(on.is_halted());
+        assert_eq!(on.cycles(), off.cycles());
+        assert_eq!(on.instret(), off.instret());
+        assert_eq!(on.reg(Reg::A0), 8);
+        assert_eq!(on.reg(Reg::A1), 8);
+        assert_eq!(on.reg(Reg::A2), 105);
+        assert!(on.stats().get("decode_hits") > 100);
+    }
+
+    /// Writes a Sv39 PTE (`pa` with `flags`) at `at` in flat memory.
+    fn write_pte(bus: &mut FlatBus, at: u64, pa: u64, flags: u64) {
+        bus.write_bytes(at, &(((pa >> 12) << 10) | flags).to_le_bytes());
+    }
+
+    #[test]
+    fn micro_tlb_does_not_survive_satp_rewrite() {
+        // Two page-table sets map the SAME virtual page to different
+        // physical code; after a satp rewrite the fetch µTLB must retranslate
+        // rather than serve the stale physical base.
+        const PTE_V: u64 = 1 << 0;
+        const LEAF: u64 = PTE_V | (1 << 1) | (1 << 3) | (1 << 6); // V|R|X|A
+        let mut bus = FlatBus::new(1 << 16);
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::A0, 42);
+        a.ebreak();
+        bus.load_words(0x3000, &a.assemble().unwrap());
+        let mut b = Asm::new(Xlen::Rv64);
+        b.li(Reg::A0, 99);
+        b.ebreak();
+        bus.load_words(0x6000, &b.assemble().unwrap());
+        // VA 0x1000: vpn2 = 0, vpn1 = 0, vpn0 = 1.
+        for (root, l1, l0, code) in [
+            (0x8000u64, 0x9000u64, 0xA000u64, 0x3000u64),
+            (0xB000, 0xC000, 0xD000, 0x6000),
+        ] {
+            write_pte(&mut bus, root, l1, PTE_V);
+            write_pte(&mut bus, l1, l0, PTE_V);
+            write_pte(&mut bus, l0 + 8, code, LEAF);
+        }
+        let satp1 = (8u64 << 60) | (0x8000 >> 12);
+        let satp2 = (8u64 << 60) | (0xB000 >> 12);
+
+        let mut core = Core::cva6();
+        core.set_priv_mode(PrivMode::Supervisor);
+        core.csrs_mut().write(addr::SATP, satp1);
+        core.set_pc(0x1000);
+        core.run(&mut bus, 100_000).unwrap();
+        assert_eq!(core.reg(Reg::A0), 42);
+        assert!(core.stats().get("itlb_hits") >= 1, "same-page fetches hit");
+
+        core.csrs_mut().write(addr::SATP, satp2);
+        core.set_pc(0x1000);
+        core.resume();
+        core.run(&mut bus, 100_000).unwrap();
+        assert_eq!(core.reg(Reg::A0), 99, "stale µTLB served after satp write");
     }
 }

@@ -118,6 +118,10 @@ impl TrapCause {
 #[derive(Debug, Clone, Default)]
 pub struct CsrFile {
     regs: BTreeMap<u16, u64>,
+    /// Bumped on every mutation; lets the interpreter cache CSR-derived
+    /// state (MMU mode, interrupt summary, fetch micro-TLB) and revalidate
+    /// it with one integer compare instead of re-reading the register file.
+    version: u64,
 }
 
 impl CsrFile {
@@ -136,7 +140,15 @@ impl CsrFile {
             | (1 << 18) // S
             | (1 << 20); // U
         regs.insert(addr::MISA, misa);
-        CsrFile { regs }
+        CsrFile { regs, version: 1 }
+    }
+
+    /// Monotonic mutation counter. Any value cached against an older
+    /// version must be recomputed. Every trap entry/exit path funnels
+    /// through [`CsrFile::write`], so comparing versions is sufficient to
+    /// detect `satp`, `mstatus`, `mip`/`mie` and privilege-related changes.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Reads a CSR (unimplemented CSRs read as zero, like the RTL's
@@ -148,6 +160,9 @@ impl CsrFile {
     /// Writes a CSR. Read-only CSRs (`mhartid`, the user-mode counter
     /// shadows) ignore writes.
     pub fn write(&mut self, csr: u16, value: u64) {
+        // Bumped even for ignored writes: a spurious bump only costs a
+        // cache refresh, while a missed one would serve stale state.
+        self.version += 1;
         match csr {
             addr::MHARTID | addr::CYCLE | addr::TIME | addr::INSTRET => {}
             addr::SSTATUS => {
@@ -296,6 +311,23 @@ mod tests {
         assert_eq!(PrivMode::from_bits(1), PrivMode::Supervisor);
         assert_eq!(PrivMode::from_bits(2), PrivMode::Machine);
         assert!(PrivMode::User < PrivMode::Supervisor);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation_path() {
+        let mut c = CsrFile::new(0);
+        let v0 = c.version();
+        c.write(addr::SATP, 8 << 60);
+        assert!(c.version() > v0, "plain write bumps");
+        let v1 = c.version();
+        c.enter_trap_m(TrapCause::EcallFromU, 0x100, 0, PrivMode::User);
+        assert!(c.version() > v1, "trap entry bumps");
+        let v2 = c.version();
+        c.leave_trap_m();
+        assert!(c.version() > v2, "mret bumps");
+        let v3 = c.version();
+        c.leave_trap_s();
+        assert!(c.version() > v3, "sret bumps");
     }
 
     #[test]

@@ -29,23 +29,27 @@ impl Cycles {
     pub const ZERO: Cycles = Cycles(0);
 
     /// Creates a cycle count.
+    #[inline]
     pub const fn new(n: u64) -> Self {
         Cycles(n)
     }
 
     /// Returns the raw count.
+    #[inline]
     pub const fn get(self) -> u64 {
         self.0
     }
 
     /// Saturating subtraction.
     #[must_use]
+    #[inline]
     pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
         Cycles(self.0.saturating_sub(rhs.0))
     }
 
     /// Returns the larger of the two counts.
     #[must_use]
+    #[inline]
     pub fn max(self, other: Cycles) -> Cycles {
         Cycles(self.0.max(other.0))
     }
@@ -73,12 +77,14 @@ impl fmt::Display for Cycles {
 
 impl Add for Cycles {
     type Output = Cycles;
+    #[inline]
     fn add(self, rhs: Cycles) -> Cycles {
         Cycles(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for Cycles {
+    #[inline]
     fn add_assign(&mut self, rhs: Cycles) {
         self.0 += rhs.0;
     }
@@ -86,12 +92,14 @@ impl AddAssign for Cycles {
 
 impl Sub for Cycles {
     type Output = Cycles;
+    #[inline]
     fn sub(self, rhs: Cycles) -> Cycles {
         Cycles(self.0 - rhs.0)
     }
 }
 
 impl SubAssign for Cycles {
+    #[inline]
     fn sub_assign(&mut self, rhs: Cycles) {
         self.0 -= rhs.0;
     }
@@ -99,6 +107,7 @@ impl SubAssign for Cycles {
 
 impl Mul<u64> for Cycles {
     type Output = Cycles;
+    #[inline]
     fn mul(self, rhs: u64) -> Cycles {
         Cycles(self.0 * rhs)
     }

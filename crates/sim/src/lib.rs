@@ -48,5 +48,5 @@ pub use json::Json;
 pub use metrics::{MetricsSnapshot, METRICS_SCHEMA_VERSION};
 pub use profile::{PcProfile, PcSample};
 pub use rng::SplitMix64;
-pub use stats::{Counter, Stats};
+pub use stats::{Counter, Stats, StatsHandle};
 pub use trace::{category, SharedTracer, TraceEvent, TraceRecord, Tracer, Track};

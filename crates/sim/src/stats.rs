@@ -51,12 +51,25 @@ impl fmt::Display for Counter {
     }
 }
 
+/// A stable index into a [`Stats`] registry, returned by [`Stats::handle`].
+///
+/// Blocks on per-access hot paths (cache hits, bus transfers) register
+/// their counters once at construction and then update them by index with
+/// [`Stats::bump`], which is a plain array increment — no key lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsHandle(usize);
+
 /// A named collection of counters, used by every model block to report
 /// activity (cache hits/misses, DRAM bytes, retired instructions, stalls…).
 ///
 /// The power model consumes these counts to compute per-block utilization,
 /// mirroring how the paper extracts switching activity from simulation
 /// traces for PrimeTime.
+///
+/// Counters live in a small insertion-ordered vector: by-name access scans
+/// linearly (registries hold a dozen keys at most), and hot paths skip the
+/// scan entirely via [`Stats::handle`] / [`Stats::bump`]. Iteration and
+/// display stay in key order regardless of insertion order.
 ///
 /// # Example
 ///
@@ -69,10 +82,10 @@ impl fmt::Display for Counter {
 /// assert_eq!(s.get("hit"), 10);
 /// assert!((s.ratio("hit", "miss") - 10.0 / 12.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Stats {
     name: String,
-    counters: BTreeMap<String, u64>,
+    counters: Vec<(String, u64)>,
 }
 
 impl Stats {
@@ -80,13 +93,18 @@ impl Stats {
     pub fn new(name: impl Into<String>) -> Self {
         Stats {
             name: name.into(),
-            counters: BTreeMap::new(),
+            counters: Vec::new(),
         }
     }
 
     /// The block name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    #[inline]
+    fn idx(&self, key: &str) -> Option<usize> {
+        self.counters.iter().position(|(k, _)| k == key)
     }
 
     /// Increments counter `key` by one.
@@ -96,12 +114,35 @@ impl Stats {
 
     /// Increments counter `key` by `n`.
     pub fn add(&mut self, key: &str, n: u64) {
-        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+        match self.idx(key) {
+            Some(i) => self.counters[i].1 += n,
+            None => self.counters.push((key.to_owned(), n)),
+        }
+    }
+
+    /// Registers `key` (at zero if new) and returns a stable handle for
+    /// [`Stats::bump`]. Handles stay valid for the registry's lifetime;
+    /// [`Stats::reset`] zeroes values but keeps keys and handles.
+    pub fn handle(&mut self, key: &str) -> StatsHandle {
+        StatsHandle(match self.idx(key) {
+            Some(i) => i,
+            None => {
+                self.counters.push((key.to_owned(), 0));
+                self.counters.len() - 1
+            }
+        })
+    }
+
+    /// Increments the counter behind `h` by `n` — a plain array increment,
+    /// for per-access hot paths.
+    #[inline]
+    pub fn bump(&mut self, h: StatsHandle, n: u64) {
+        self.counters[h.0].1 += n;
     }
 
     /// Reads counter `key` (zero when never touched).
     pub fn get(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.idx(key).map_or(0, |i| self.counters[i].1)
     }
 
     /// `a / (a + b)` as a float; zero when both counters are zero.
@@ -117,17 +158,26 @@ impl Stats {
 
     /// Iterates over `(key, value)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        let mut pairs: Vec<(&str, u64)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        pairs.into_iter()
     }
 
     /// Sets counter `key` to an absolute value, creating it if needed.
     pub fn set(&mut self, key: &str, value: u64) {
-        self.counters.insert(key.to_owned(), value);
+        match self.idx(key) {
+            Some(i) => self.counters[i].1 = value,
+            None => self.counters.push((key.to_owned(), value)),
+        }
     }
 
     /// Sum of every counter in the registry.
     pub fn total(&self) -> u64 {
-        self.counters.values().sum()
+        self.counters.iter().map(|(_, v)| v).sum()
     }
 
     /// Merges another registry into this one, summing shared keys.
@@ -139,22 +189,33 @@ impl Stats {
 
     /// Resets every counter to zero (keys are retained).
     pub fn reset(&mut self) {
-        for v in self.counters.values_mut() {
+        for (_, v) in &mut self.counters {
             *v = 0;
         }
     }
 }
 
+impl PartialEq for Stats {
+    /// Key-order comparison: two registries are equal when they expose the
+    /// same name and the same `(key, value)` set, regardless of the order
+    /// the keys were first touched in.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Stats {}
+
 impl From<&Stats> for BTreeMap<String, u64> {
     fn from(s: &Stats) -> Self {
-        s.counters.clone()
+        s.iter().map(|(k, v)| (k.to_owned(), v)).collect()
     }
 }
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "[{}]", self.name)?;
-        for (k, v) in &self.counters {
+        for (k, v) in self.iter() {
             writeln!(f, "  {k}: {v}")?;
         }
         Ok(())
@@ -185,6 +246,34 @@ mod tests {
         assert_eq!(s.get("hit"), 10);
         assert_eq!(s.get("unknown"), 0);
         assert!((s.ratio("hit", "miss") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_bump_without_lookup() {
+        let mut s = Stats::new("c");
+        let h = s.handle("hits");
+        s.bump(h, 2);
+        s.add("hits", 1);
+        assert_eq!(s.get("hits"), 3);
+        // Handles survive reset and stay bound to their key.
+        s.reset();
+        s.bump(h, 5);
+        assert_eq!(s.get("hits"), 5);
+        // Re-registering an existing key returns the same slot.
+        assert_eq!(s.handle("hits"), h);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = Stats::new("s");
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Stats::new("s");
+        b.add("y", 2);
+        b.add("x", 1);
+        assert_eq!(a, b);
+        b.add("z", 0);
+        assert_ne!(a, b);
     }
 
     #[test]

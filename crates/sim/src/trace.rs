@@ -51,6 +51,8 @@ pub mod category {
     pub const IRQ: u32 = 1 << 5;
     /// Offload begin/end.
     pub const OFFLOAD: u32 = 1 << 6;
+    /// Decoded-instruction-cache counter samples (simulator fast path).
+    pub const DECODE: u32 = 1 << 7;
     /// Everything.
     pub const ALL: u32 = u32::MAX;
 }
@@ -201,6 +203,16 @@ pub enum TraceEvent {
         /// Registered kernel id.
         kernel: u32,
     },
+    /// A decoded-instruction-cache counter sample (emitted on each
+    /// invalidation and at core halt; exported as a Chrome counter track).
+    DecodeCache {
+        /// Fast-path replays so far.
+        hits: u64,
+        /// Full decode-path executions so far.
+        misses: u64,
+        /// Whole-cache invalidations so far.
+        invalidations: u64,
+    },
 }
 
 impl TraceEvent {
@@ -216,6 +228,7 @@ impl TraceEvent {
             TraceEvent::MailboxSend { .. } | TraceEvent::MailboxRecv { .. } => category::MAILBOX,
             TraceEvent::IrqRaise { .. } | TraceEvent::IrqClaim { .. } => category::IRQ,
             TraceEvent::OffloadBegin { .. } | TraceEvent::OffloadEnd { .. } => category::OFFLOAD,
+            TraceEvent::DecodeCache { .. } => category::DECODE,
         }
     }
 
@@ -235,6 +248,7 @@ impl TraceEvent {
             TraceEvent::IrqClaim { .. } => "irq_claim",
             TraceEvent::OffloadBegin { .. } => "offload_begin",
             TraceEvent::OffloadEnd { .. } => "offload",
+            TraceEvent::DecodeCache { .. } => "decode_cache",
         }
     }
 
@@ -247,6 +261,7 @@ impl TraceEvent {
             category::DMA => "dma",
             category::MAILBOX => "mailbox",
             category::IRQ => "irq",
+            category::DECODE => "decode",
             _ => "offload",
         }
     }
@@ -291,6 +306,15 @@ impl TraceEvent {
             TraceEvent::OffloadEnd { kernel } => {
                 Json::obj([("kernel", Json::from(u64::from(kernel)))])
             }
+            TraceEvent::DecodeCache {
+                hits,
+                misses,
+                invalidations,
+            } => Json::obj([
+                ("hits", Json::from(hits)),
+                ("misses", Json::from(misses)),
+                ("invalidations", Json::from(invalidations)),
+            ]),
         }
     }
 }
@@ -467,7 +491,10 @@ impl Tracer {
                 ("ts", Json::from(r.ts)),
                 ("args", r.event.args()),
             ];
-            if r.dur > 0 {
+            if matches!(r.event, TraceEvent::DecodeCache { .. }) {
+                // Counter samples render as a stacked counter track.
+                pairs.push(("ph", Json::from("C")));
+            } else if r.dur > 0 {
                 pairs.push(("ph", Json::from("X")));
                 pairs.push(("dur", Json::from(r.dur)));
             } else {

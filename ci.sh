@@ -16,6 +16,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustfmt =="
 cargo fmt --check
 
+echo "== differential fuzz (fixed seed) =="
+# 500 random programs per ISA side, fast paths on vs off in lockstep;
+# any architectural or cycle divergence fails the gate and leaves a
+# minimized repro in fuzz/repros/.
+cargo run --release -p hulkv-fuzz --bin fuzz_iss -- --ci-budget --seed 20260807
+
 echo "== simulator throughput smoke =="
 # Quick decode-cache on/off run: proves cycle-count neutrality and fails
 # if simulated MIPS regressed >30% against the committed baseline (the

@@ -6,6 +6,8 @@ use hulkv_mem::{
 };
 use hulkv_rv::{Core, CoreBus, Reg, RvError};
 use hulkv_sim::{convert_freq, Cycles, Freq, SharedTracer, SimError, Stats, Track};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Cluster-local base address of the L1 scratchpad (TCDM).
 pub const TCDM_BASE: u64 = 0x1000_0000;
@@ -80,6 +82,10 @@ pub struct TeamResult {
     pub per_core: Vec<Cycles>,
     /// Instructions retired by each core.
     pub per_core_instret: Vec<u64>,
+    /// Final architectural state digest of each core
+    /// ([`Core::state_digest`]): lets differential harnesses compare
+    /// whole-team outcomes without re-running cores.
+    pub per_core_state: Vec<u64>,
     /// Sum of GOps-weighted arithmetic operations across the team.
     pub arith_ops: u64,
 }
@@ -95,7 +101,9 @@ pub struct Cluster {
     cfg: ClusterConfig,
     tcdm: SharedMem,
     ext: SharedMem,
-    shared_icache: SharedMem,
+    // Kept as the concrete type (not `SharedMem`) so [`Cluster::flush_icache`]
+    // can reach `Cache::flush`; clones coerce to `SharedMem` where needed.
+    shared_icache: Rc<RefCell<Cache>>,
     dma: DmaEngine,
     stats: Stats,
     busy_cycles: Cycles,
@@ -112,7 +120,7 @@ impl Cluster {
     pub fn new(cfg: ClusterConfig, ext: SharedMem) -> Self {
         assert!(cfg.cores > 0 && cfg.banks > 0, "degenerate cluster config");
         let tcdm = shared(Sram::new("tcdm", cfg.tcdm_bytes(), Cycles::new(1)));
-        let shared_icache = shared(
+        let shared_icache = Rc::new(RefCell::new(
             Cache::new(
                 CacheConfig {
                     name: "icache_l1_5".into(),
@@ -129,7 +137,7 @@ impl Cluster {
                 ext.clone(),
             )
             .expect("shared I-cache geometry"),
-        );
+        ));
         Cluster {
             cfg,
             tcdm,
@@ -188,6 +196,20 @@ impl Cluster {
     /// Propagates TCDM range errors.
     pub fn tcdm_read(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
         self.tcdm.borrow_mut().read(offset, buf).map(|_| ())
+    }
+
+    /// Flushes the shared L1.5 instruction cache — the PULP runtime's
+    /// icache-flush doorbell. Required after cluster code in the L2SPM is
+    /// modified from outside the cluster (e.g. the host patching a loaded
+    /// kernel): the per-team private I-caches start cold, but this cache
+    /// persists across [`Cluster::run_team`] calls and would otherwise
+    /// serve stale instruction bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing errors (none occur: the cache is write-through).
+    pub fn flush_icache(&mut self) -> Result<(), SimError> {
+        self.shared_icache.borrow_mut().flush().map(|_| ())
     }
 
     /// Backdoor TCDM `u32` read.
@@ -298,6 +320,7 @@ impl Cluster {
         let num_cores = num_cores.min(self.cfg.cores).max(1);
         let mut per_core = Vec::with_capacity(num_cores);
         let mut per_core_instret = Vec::with_capacity(num_cores);
+        let mut per_core_state = Vec::with_capacity(num_cores);
         let mut arith_ops = 0u64;
         let tcdm_bytes = self.cfg.tcdm_bytes() as u64;
         let tcdm_top = TCDM_BASE + tcdm_bytes;
@@ -358,6 +381,7 @@ impl Cluster {
             self.stats.add("tcdm_conflicts", bus.conflicts);
             per_core.push(core.cycles());
             per_core_instret.push(core.instret());
+            per_core_state.push(core.state_digest());
             self.stats.add("instret", core.instret());
             let cs = core.stats();
             arith_ops += cs.get("arith_ops");
@@ -375,6 +399,7 @@ impl Cluster {
             cycles,
             per_core,
             per_core_instret,
+            per_core_state,
             arith_ops,
         })
     }

@@ -1,0 +1,183 @@
+//! Differential fuzzing campaign driver.
+//!
+//! Runs N random programs per ISA side in lockstep (fast paths on vs
+//! off). Every campaign is reproducible from the printed seed; the first
+//! divergence is delta-debugged to a minimal program and written to the
+//! repro directory, and the process exits non-zero.
+//!
+//! ```text
+//! fuzz_iss [--seed N] [--programs N] [--ci-budget]
+//!          [--inject-divergence] [--repro-dir DIR] [--json]
+//! ```
+
+use hulkv_fuzz::{generate, run_differential, shrink, Isa, LockstepOptions, Program};
+use hulkv_rv::disassemble_word;
+use hulkv_sim::{Json, SplitMix64};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+const SIDES: [Isa; 4] = [
+    Isa::Rv64Sv39,
+    Isa::Rv32Pulp,
+    Isa::Rv64Host,
+    Isa::Rv32Cluster,
+];
+
+struct Cli {
+    seed: u64,
+    programs: u64,
+    inject_divergence: bool,
+    repro_dir: String,
+    json: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        seed: 1,
+        programs: 100,
+        inject_divergence: false,
+        repro_dir: "fuzz/repros".to_string(),
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--seed" => cli.seed = num("--seed")?,
+            "--programs" => cli.programs = num("--programs")?,
+            "--ci-budget" => cli.programs = 500,
+            "--inject-divergence" => cli.inject_divergence = true,
+            "--repro-dir" => {
+                cli.repro_dir = args.next().ok_or("--repro-dir needs a value")?;
+            }
+            "--json" => cli.json = true,
+            "--help" | "-h" => {
+                return Err("usage: fuzz_iss [--seed N] [--programs N] [--ci-budget] \
+                     [--inject-divergence] [--repro-dir DIR] [--json]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Renders a diverging program as a self-contained repro report.
+fn render_repro(prog: &Program, side_seed: u64, index: u64, what: &str, step: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "HULK-V differential fuzzer repro");
+    let _ = writeln!(out, "isa: {:?}", prog.isa);
+    let _ = writeln!(out, "side-seed: {side_seed:#x}  program-index: {index}");
+    let _ = writeln!(out, "entry: {:#x}", prog.entry);
+    let _ = writeln!(out, "initial-satp-slot: {}", prog.initial_satp);
+    let _ = writeln!(out, "hostile-page-flags: {:02x?}", prog.hostile_flags);
+    let _ = writeln!(out, "interrupts (step, cause): {:?}", prog.interrupts);
+    let _ = writeln!(out, "data-seed: {:#x}", prog.data_seed);
+    let _ = writeln!(out, "reg-seed: {:#x}", prog.reg_seed);
+    let _ = writeln!(out, "divergence at step {step}: {what}");
+    let _ = writeln!(out, "\nitems ({}):", prog.items.len());
+    for item in &prog.items {
+        let _ = writeln!(out, "  {item:?}");
+    }
+    let xpulp = matches!(prog.isa, Isa::Rv32Pulp | Isa::Rv32Cluster);
+    let xlen = prog.isa.xlen();
+    let _ = writeln!(out, "\ndisassembly:");
+    for (i, w) in prog.words().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:#010x}: {:08x}  {}",
+            prog.entry + i as u64 * 4,
+            w,
+            disassemble_word(*w, xlen, xpulp)
+        );
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = LockstepOptions {
+        inject_divergence: cli.inject_divergence,
+        ..LockstepOptions::default()
+    };
+    println!(
+        "fuzz_iss: seed {} ({} programs per side; rerun with --seed {} to reproduce)",
+        cli.seed, cli.programs, cli.seed
+    );
+
+    let mut side_reports = Vec::new();
+    let mut total_programs = 0u64;
+    let mut total_retired = 0u64;
+    for (s, isa) in SIDES.iter().enumerate() {
+        let side_seed = cli.seed ^ ((s as u64 + 1) << 32);
+        let mut retired = 0u64;
+        for k in 0..cli.programs {
+            let mut rng = SplitMix64::new(side_seed).fork(k);
+            let prog = generate(&mut rng, *isa);
+            total_programs += 1;
+            let div = match run_differential(&prog, &opts) {
+                Ok(stats) => {
+                    retired += stats.retired;
+                    continue;
+                }
+                Err(div) => div,
+            };
+            eprintln!(
+                "divergence: {isa:?} program {k} (side seed {side_seed:#x}) step {}: {}",
+                div.step, div.what
+            );
+            eprintln!("shrinking...");
+            let (min, min_div) = shrink(&prog, |p| run_differential(p, &opts).err())
+                .expect("diverging program must still diverge when re-run");
+            let report = render_repro(&min, side_seed, k, &min_div.what, min_div.step);
+            let path = format!("{}/repro_{isa:?}_{side_seed:x}_{k}.txt", cli.repro_dir);
+            if let Err(e) = std::fs::create_dir_all(&cli.repro_dir)
+                .and_then(|()| std::fs::write(&path, &report))
+            {
+                eprintln!("failed to write repro to {path}: {e}");
+                eprintln!("{report}");
+            } else {
+                eprintln!(
+                    "minimized to {} items; repro written to {path}",
+                    min.items.len()
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        total_retired += retired;
+        side_reports.push(Json::obj([
+            ("isa", Json::Str(format!("{isa:?}"))),
+            ("programs", Json::from(cli.programs)),
+            ("retired", Json::from(retired)),
+        ]));
+        println!(
+            "  {isa:?}: {} programs, {retired} instructions retired, 0 divergences",
+            cli.programs
+        );
+    }
+
+    if cli.json {
+        let summary = Json::obj([
+            ("seed", Json::from(cli.seed)),
+            ("programs", Json::from(total_programs)),
+            ("retired", Json::from(total_retired)),
+            ("divergences", Json::from(0u64)),
+            ("sides", Json::Arr(side_reports)),
+        ]);
+        println!("{summary}");
+    } else {
+        println!("fuzz_iss: {total_programs} programs, 0 divergences");
+    }
+    ExitCode::SUCCESS
+}

@@ -136,6 +136,13 @@ impl Host {
         &mut self.core
     }
 
+    /// Enables or disables the core's decoded-instruction cache and fetch
+    /// µTLB. Used by the differential fuzzer to run fast-path and
+    /// reference configurations of the same host side by side.
+    pub fn set_decode_cache(&mut self, enabled: bool) {
+        self.core.set_decode_cache(enabled);
+    }
+
     /// L1 data cache statistics.
     pub fn l1d_stats(&self) -> &Stats {
         self.l1d.stats()

@@ -180,6 +180,12 @@ impl HyperRam {
         &self.cfg
     }
 
+    /// FNV-1a digest of the stored content (see
+    /// [`SparseStorage::content_digest`]).
+    pub fn content_digest(&self) -> u64 {
+        self.storage.content_digest()
+    }
+
     /// Initial latency of one burst, in bus cycles.
     fn initial_latency(&self) -> u64 {
         let acc = if self.cfg.fixed_2x_latency {
@@ -338,6 +344,60 @@ mod tests {
         let mut buf = [0u8; 64];
         ram.read(1024 - 32, &mut buf).unwrap(); // straddles CS0/CS1
         assert_eq!(ram.stats().get("bursts"), 2);
+    }
+
+    #[test]
+    fn chip_boundary_crossing_pays_per_segment_latency() {
+        // A burst straddling a CS-decode boundary is two HyperBUS
+        // transactions: the controller must deassert CS, so the second
+        // segment re-pays the full command/address + row (tACC) latency.
+        let cfg = HyperRamConfig {
+            chips_per_bus: 2,
+            chip_bytes: 1024,
+            ..HyperRamConfig::default()
+        };
+        let mut ram = HyperRam::new(cfg.clone());
+        let mut buf = [0u8; 64];
+        let crossing = ram.read(1024 - 32, &mut buf).unwrap();
+        let flat = ram.read(0, &mut buf).unwrap();
+        // Identical length and data cycles; the crossing burst differs by
+        // exactly one extra initial latency, seen from the SoC domain.
+        let init_soc = convert_freq(
+            Cycles::new(ram.initial_latency()),
+            cfg.bus_freq,
+            cfg.soc_freq,
+        );
+        assert_eq!(crossing.get() - flat.get(), init_soc.get());
+        // Timing identity: the crossing burst costs the same as issuing its
+        // two segments as separate transactions, minus the one duplicated
+        // controller front-end.
+        let mut half = [0u8; 32];
+        let seg0 = ram.read(1024 - 32, &mut half).unwrap();
+        let seg1 = ram.read(1024, &mut half).unwrap();
+        assert_eq!(
+            crossing + Cycles::new(cfg.frontend_cycles),
+            seg0 + seg1,
+            "crossing burst must decompose into per-segment transactions"
+        );
+    }
+
+    #[test]
+    fn chip_boundary_and_tcsm_splits_compose() {
+        // 160 bytes starting 32 before a CS boundary: segment 1 is capped
+        // by the boundary (32 B), segment 2 by the tCSM limit (128 B).
+        let cfg = HyperRamConfig {
+            chips_per_bus: 4,
+            chip_bytes: 1024,
+            ..HyperRamConfig::default()
+        };
+        let mut ram = HyperRam::new(cfg.clone());
+        let mut buf = [0u8; 160];
+        let lat = ram.read(1024 - 32, &mut buf).unwrap();
+        assert_eq!(ram.stats().get("bursts"), 2);
+        // 2 × init + (16 + 64) data bus cycles, doubled into the SoC
+        // domain, plus one front-end.
+        let bus = 2 * ram.initial_latency() + 16 + 64;
+        assert_eq!(lat.get(), 2 * bus + cfg.frontend_cycles);
     }
 
     #[test]

@@ -66,6 +66,31 @@ impl SparseStorage {
         }
     }
 
+    /// FNV-1a digest of the stored content.
+    ///
+    /// Pages are visited in address order (the `HashMap` iteration order is
+    /// not deterministic, so the keys are sorted first) and all-zero pages
+    /// are skipped, making the digest a pure function of the *readable*
+    /// content: writing zeros to an untouched region, which materializes a
+    /// page without changing what any read returns, leaves the digest
+    /// unchanged. The differential co-simulation driver relies on this to
+    /// compare DRAM images between two runs without caring how each run's
+    /// access pattern happened to materialize pages.
+    pub fn content_digest(&self) -> u64 {
+        let mut keys: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.iter().any(|&b| b != 0))
+            .map(|(&k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        let mut h = hulkv_sim::Fnv64::new();
+        for k in keys {
+            h.write_u64(k).write(&self.pages[&k][..]);
+        }
+        h.finish()
+    }
+
     /// Writes `data`, materializing pages as needed.
     pub fn write(&mut self, offset: u64, data: &[u8]) {
         debug_assert!(offset + data.len() as u64 <= self.size);

@@ -52,6 +52,13 @@ impl Sram {
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
         &mut self.data
     }
+
+    /// FNV-1a digest of the full contents (no timing, no stats). Used by
+    /// the differential co-simulation driver to compare memory images
+    /// between two runs in O(1) driver state.
+    pub fn content_digest(&self) -> u64 {
+        hulkv_sim::Fnv64::new().write(&self.data).finish()
+    }
 }
 
 impl MemoryDevice for Sram {

@@ -191,6 +191,44 @@ fn hyperram_latency_monotone_in_length() {
 }
 
 #[test]
+fn hyperram_crossing_burst_decomposes_into_segments() {
+    // Timing identity at chip (CS-decode) boundaries: a burst crossing the
+    // boundary costs exactly what its two per-chip segments cost as
+    // separate transactions, minus the one duplicated controller
+    // front-end. Random lengths and offsets around random boundaries.
+    let mut rng = SplitMix64::new(0x7701_0000);
+    for _ in 0..CASES {
+        let cfg = HyperRamConfig {
+            chips_per_bus: 4,
+            chip_bytes: 4096,
+            dual_bus: rng.next_below(2) == 1,
+            ..HyperRamConfig::default()
+        };
+        let span = if cfg.dual_bus {
+            cfg.chip_bytes * 2
+        } else {
+            cfg.chip_bytes
+        };
+        let boundary = span * (1 + rng.next_below(2));
+        let before = 1 + rng.next_below(64);
+        let after = 1 + rng.next_below(64) as usize;
+        let start = boundary - before;
+        let len = before as usize + after;
+        let mut ram = HyperRam::new(cfg.clone());
+        let mut buf = vec![0u8; len];
+        let whole = ram.read(start, &mut buf).unwrap();
+        let seg0 = ram.read(start, &mut buf[..before as usize]).unwrap();
+        let seg1 = ram.read(boundary, &mut buf[before as usize..]).unwrap();
+        assert_eq!(
+            whole + Cycles::new(cfg.frontend_cycles),
+            seg0 + seg1,
+            "start {start:#x} len {len} dual {}",
+            cfg.dual_bus
+        );
+    }
+}
+
+#[test]
 fn clock_bridge_preserves_data() {
     use hulkv_mem::ClockBridge;
     use hulkv_sim::Freq;

@@ -1,10 +1,6 @@
 //! The decode–execute interpreter shared by the CVA6 host model and the
 //! PMCA cluster cores.
 
-// The RISC-V division instructions define explicit divide-by-zero results;
-// spelling the checks out mirrors the specification text.
-#![allow(clippy::manual_checked_ops)]
-
 use crate::csr::{addr, CsrFile, PrivMode, TrapCause};
 use crate::decode::decode;
 use crate::fp16::{pack2, unpack2};
@@ -123,6 +119,13 @@ impl FlatBus {
     /// Backdoor little-endian `u64` read.
     pub fn read_u64(&self, addr: u64) -> u64 {
         u64::from_le_bytes(self.read_bytes(addr, 8).try_into().expect("8 bytes"))
+    }
+
+    /// FNV-1a digest of the full memory image (no timing side effects).
+    /// The differential co-simulation driver compares this between a
+    /// fast-path and a reference run at every checkpoint.
+    pub fn content_digest(&self) -> u64 {
+        hulkv_sim::Fnv64::new().write(&self.mem).finish()
     }
 
     fn check(&self, addr: u64, len: usize) -> Result<usize, SimError> {
@@ -561,6 +564,35 @@ impl Core {
         s
     }
 
+    /// FNV-1a digest of the complete architectural state: PC, privilege
+    /// mode, integer and FP register files, the LR/SC reservation, Xpulp
+    /// hardware-loop state, the halt flag, and the CSR file (via
+    /// [`CsrFile::digest`]). Microarchitectural bookkeeping — decode cache,
+    /// µTLB, counters, the CSR mutation version — is deliberately excluded:
+    /// the lockstep co-simulation driver compares this digest between a
+    /// fast-path and a reference run, which must agree on architecture while
+    /// differing freely in simulator internals. Cycle and instret counts
+    /// are also excluded; the driver compares those separately so a timing
+    /// divergence is reported as such rather than as a state mismatch.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hulkv_sim::Fnv64::new();
+        h.write_u64(self.pc)
+            .write_u64(self.priv_mode as u64)
+            .write_u64(u64::from(self.halted));
+        for v in self.x.iter().chain(self.f.iter()) {
+            h.write_u64(*v);
+        }
+        h.write_u64(
+            self.reservation
+                .map_or(u64::MAX, |r| r ^ 0x5555_5555_5555_5555),
+        );
+        for l in &self.hwloops {
+            h.write_u64(l.start).write_u64(l.end).write_u64(l.count);
+        }
+        h.write_u64(self.csrs.digest());
+        h.finish()
+    }
+
     /// Enables or disables the decoded-instruction cache and fetch µTLB
     /// fast path (the ablation knob). Timing, architectural state and
     /// memory-system statistics are bit-identical either way; only
@@ -783,6 +815,53 @@ impl Core {
         Ok(pa)
     }
 
+    /// Translates a data access, splitting it at a 4 KiB page boundary when
+    /// Sv39 is active: each page translates (and can fault) independently,
+    /// and a fault reports the virtual address of the first byte *on the
+    /// faulting page* — not the base address of the access. Both
+    /// translations resolve before the caller touches memory, so a store
+    /// whose second page faults commits nothing.
+    ///
+    /// Returns `(pa, split)`: `split` is `Some((first_len, second_pa))`
+    /// when the access straddles a boundary and must be issued as two bus
+    /// transactions.
+    #[inline]
+    fn translate_span<B: CoreBus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        vaddr: u64,
+        len: usize,
+        kind: AccessKind,
+        extra: &mut Cycles,
+    ) -> Result<(u64, Option<(usize, u64)>), RvError> {
+        let cause = match kind {
+            AccessKind::Store => TrapCause::StorePageFault,
+            _ => TrapCause::LoadPageFault,
+        };
+        self.mmu_refresh();
+        let straddles = self.mmu_cache.active && (vaddr & 0xFFF) + len as u64 > 0x1000;
+        let pa = match self.translate(bus, vaddr, kind, extra) {
+            Ok(pa) => pa,
+            Err(_) => {
+                self.raise(cause, vaddr)?;
+                return Err(RvError::TrapTaken);
+            }
+        };
+        if !straddles {
+            return Ok((pa, None));
+        }
+        let first_len = (0x1000 - (vaddr & 0xFFF)) as usize;
+        let second_va = (vaddr & !0xFFF).wrapping_add(0x1000);
+        let second_pa = match self.translate(bus, second_va, kind, extra) {
+            Ok(pa) => pa,
+            Err(_) => {
+                self.raise(cause, second_va)?;
+                return Err(RvError::TrapTaken);
+            }
+        };
+        Ok((pa, Some((first_len, second_pa))))
+    }
+
     #[inline]
     fn mem_load<B: CoreBus + ?Sized>(
         &mut self,
@@ -791,19 +870,51 @@ impl Core {
         buf: &mut [u8],
         extra: &mut Cycles,
     ) -> Result<(), RvError> {
-        let pa = match self.translate(bus, vaddr, AccessKind::Load, extra) {
-            Ok(pa) => pa,
-            Err(_) => {
-                self.raise(TrapCause::LoadPageFault, vaddr)?;
-                return Err(RvError::TrapTaken);
+        let (pa, split) = self.translate_span(bus, vaddr, buf.len(), AccessKind::Load, extra)?;
+        match split {
+            None => {
+                let lat = bus.load(pa, buf).map_err(|e| RvError::Memory {
+                    addr: pa,
+                    cause: e.to_string(),
+                })?;
+                *extra += lat;
             }
-        };
-        let lat = bus.load(pa, buf).map_err(|e| RvError::Memory {
+            Some((first_len, second_pa)) => {
+                let (lo, hi) = buf.split_at_mut(first_len);
+                for (seg_pa, seg) in [(pa, lo), (second_pa, hi)] {
+                    let lat = bus.load(seg_pa, seg).map_err(|e| RvError::Memory {
+                        addr: seg_pa,
+                        cause: e.to_string(),
+                    })?;
+                    *extra += lat;
+                }
+            }
+        }
+        self.counters.loads += 1;
+        Ok(())
+    }
+
+    /// One physically-contiguous store segment: the bus write plus the
+    /// coarse self-modifying-code filter — a store overlapping the PA
+    /// range the decode cache has installed entries for drops the whole
+    /// cache (single range compare per store; exact invalidation is the
+    /// rare case and handled by the generation bump).
+    #[inline]
+    fn store_segment<B: CoreBus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        pa: u64,
+        data: &[u8],
+        extra: &mut Cycles,
+    ) -> Result<(), RvError> {
+        let lat = bus.store(pa, data).map_err(|e| RvError::Memory {
             addr: pa,
             cause: e.to_string(),
         })?;
         *extra += lat;
-        self.counters.loads += 1;
+        if pa < self.code_hi && pa.saturating_add(data.len() as u64) > self.code_lo {
+            self.invalidate_decoded();
+        }
         Ok(())
     }
 
@@ -815,26 +926,15 @@ impl Core {
         data: &[u8],
         extra: &mut Cycles,
     ) -> Result<(), RvError> {
-        let pa = match self.translate(bus, vaddr, AccessKind::Store, extra) {
-            Ok(pa) => pa,
-            Err(_) => {
-                self.raise(TrapCause::StorePageFault, vaddr)?;
-                return Err(RvError::TrapTaken);
+        let (pa, split) = self.translate_span(bus, vaddr, data.len(), AccessKind::Store, extra)?;
+        match split {
+            None => self.store_segment(bus, pa, data, extra)?,
+            Some((first_len, second_pa)) => {
+                self.store_segment(bus, pa, &data[..first_len], extra)?;
+                self.store_segment(bus, second_pa, &data[first_len..], extra)?;
             }
-        };
-        let lat = bus.store(pa, data).map_err(|e| RvError::Memory {
-            addr: pa,
-            cause: e.to_string(),
-        })?;
-        *extra += lat;
-        self.counters.stores += 1;
-        // Coarse self-modifying-code filter: a store overlapping the PA
-        // range the decode cache has installed entries for drops the whole
-        // cache (single range compare per store; exact invalidation is the
-        // rare case and handled by the generation bump).
-        if pa < self.code_hi && pa.saturating_add(data.len() as u64) > self.code_lo {
-            self.invalidate_decoded();
         }
+        self.counters.stores += 1;
         Ok(())
     }
 
@@ -906,34 +1006,19 @@ impl Core {
                     MulDivOp::Mulh => ((sa as i128 * sb as i128) >> 64) as u64,
                     MulDivOp::Mulhsu => ((sa as i128 * b as u128 as i128) >> 64) as u64,
                     MulDivOp::Mulhu => ((a as u128 * b as u128) >> 64) as u64,
-                    MulDivOp::Div => {
-                        if sb == 0 {
-                            u64::MAX
-                        } else {
-                            sa.wrapping_div(sb) as u64
-                        }
-                    }
-                    MulDivOp::Divu => {
-                        if b == 0 {
-                            u64::MAX
-                        } else {
-                            a / b
-                        }
-                    }
-                    MulDivOp::Rem => {
-                        if sb == 0 {
-                            a
-                        } else {
-                            sa.wrapping_rem(sb) as u64
-                        }
-                    }
-                    MulDivOp::Remu => {
-                        if b == 0 {
-                            a
-                        } else {
-                            a % b
-                        }
-                    }
+                    // `checked_div`/`checked_rem` return `None` exactly on
+                    // the two cases the ISA defines specially: divide by
+                    // zero (quotient all-ones, remainder = dividend) and
+                    // signed overflow MIN/-1 (quotient MIN = the dividend,
+                    // remainder 0).
+                    MulDivOp::Div => sa
+                        .checked_div(sb)
+                        .map_or(if sb == 0 { u64::MAX } else { a }, |v| v as u64),
+                    MulDivOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+                    MulDivOp::Rem => sa
+                        .checked_rem(sb)
+                        .map_or(if sb == 0 { a } else { 0 }, |v| v as u64),
+                    MulDivOp::Remu => a.checked_rem(b).unwrap_or(a),
                 }
             }
             Xlen::Rv32 => {
@@ -946,34 +1031,14 @@ impl Core {
                     MulDivOp::Mulh => ((sa as i64 * sb as i64) >> 32) as u32,
                     MulDivOp::Mulhsu => ((sa as i64 * ub as i64) >> 32) as u32,
                     MulDivOp::Mulhu => ((ua as u64 * ub as u64) >> 32) as u32,
-                    MulDivOp::Div => {
-                        if sb == 0 {
-                            u32::MAX
-                        } else {
-                            sa.wrapping_div(sb) as u32
-                        }
-                    }
-                    MulDivOp::Divu => {
-                        if ub == 0 {
-                            u32::MAX
-                        } else {
-                            ua / ub
-                        }
-                    }
-                    MulDivOp::Rem => {
-                        if sb == 0 {
-                            ua
-                        } else {
-                            sa.wrapping_rem(sb) as u32
-                        }
-                    }
-                    MulDivOp::Remu => {
-                        if ub == 0 {
-                            ua
-                        } else {
-                            ua % ub
-                        }
-                    }
+                    MulDivOp::Div => sa
+                        .checked_div(sb)
+                        .map_or(if sb == 0 { u32::MAX } else { ua }, |v| v as u32),
+                    MulDivOp::Divu => ua.checked_div(ub).unwrap_or(u32::MAX),
+                    MulDivOp::Rem => sa
+                        .checked_rem(sb)
+                        .map_or(if sb == 0 { ua } else { 0 }, |v| v as u32),
+                    MulDivOp::Remu => ua.checked_rem(ub).unwrap_or(ua),
                 };
                 r as u64
             }
@@ -1524,34 +1589,14 @@ impl Core {
                     let sb = b as i32;
                     let r: u32 = match op {
                         MulDivOp::Mul => a.wrapping_mul(b),
-                        MulDivOp::Div => {
-                            if sb == 0 {
-                                u32::MAX
-                            } else {
-                                sa.wrapping_div(sb) as u32
-                            }
-                        }
-                        MulDivOp::Divu => {
-                            if b == 0 {
-                                u32::MAX
-                            } else {
-                                a / b
-                            }
-                        }
-                        MulDivOp::Rem => {
-                            if sb == 0 {
-                                a
-                            } else {
-                                sa.wrapping_rem(sb) as u32
-                            }
-                        }
-                        MulDivOp::Remu => {
-                            if b == 0 {
-                                a
-                            } else {
-                                a % b
-                            }
-                        }
+                        MulDivOp::Div => sa
+                            .checked_div(sb)
+                            .map_or(if sb == 0 { u32::MAX } else { a }, |v| v as u32),
+                        MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+                        MulDivOp::Rem => sa
+                            .checked_rem(sb)
+                            .map_or(if sb == 0 { a } else { 0 }, |v| v as u32),
+                        MulDivOp::Remu => a.checked_rem(b).unwrap_or(a),
                         _ => 0,
                     };
                     self.set_reg(rd, r as i32 as i64 as u64);
@@ -2974,5 +3019,120 @@ mod tests {
         core.resume();
         core.run(&mut bus, 100_000).unwrap();
         assert_eq!(core.reg(Reg::A0), 99, "stale µTLB served after satp write");
+    }
+
+    /// Common Sv39 fixture for the page-straddle tests: code at VA 0x1000
+    /// (PA 0x3000), a data page at VA 0x4000 (PA 0x6000), and — only when
+    /// `map_second` — a second data page at VA 0x5000 mapped to the
+    /// *non-contiguous* PA 0x7000, so a straddling access that translated
+    /// only its base address would write the wrong physical bytes. An
+    /// M-mode `ebreak` handler at PA 0x2000 catches faults.
+    fn straddle_soc(map_second: bool, body: impl FnOnce(&mut Asm)) -> (Core, FlatBus) {
+        const PTE_V: u64 = 1 << 0;
+        const RWAD: u64 = PTE_V | (1 << 1) | (1 << 2) | (1 << 6) | (1 << 7);
+        const XA: u64 = PTE_V | (1 << 1) | (1 << 3) | (1 << 6);
+        let mut bus = FlatBus::new(1 << 16);
+        let mut a = Asm::new(Xlen::Rv64);
+        body(&mut a);
+        a.ebreak();
+        bus.load_words(0x3000, &a.assemble().unwrap());
+        bus.load_words(0x2000, &[crate::encode::encode(&Inst::Ebreak).unwrap()]);
+        write_pte(&mut bus, 0x8000, 0x9000, PTE_V);
+        write_pte(&mut bus, 0x9000, 0xA000, PTE_V);
+        write_pte(&mut bus, 0xA000 + 8, 0x3000, XA);
+        write_pte(&mut bus, 0xA000 + 8 * 4, 0x6000, RWAD);
+        if map_second {
+            write_pte(&mut bus, 0xA000 + 8 * 5, 0x7000, RWAD);
+        }
+        let mut core = Core::cva6();
+        core.csrs_mut().write(addr::MTVEC, 0x2000);
+        core.csrs_mut()
+            .write(addr::SATP, (8u64 << 60) | (0x8000 >> 12));
+        core.set_priv_mode(PrivMode::Supervisor);
+        core.set_pc(0x1000);
+        core.run(&mut bus, 100_000).unwrap();
+        (core, bus)
+    }
+
+    #[test]
+    fn straddling_store_and_load_translate_each_page() {
+        let (core, bus) = straddle_soc(true, |a| {
+            a.li(Reg::A1, 0x4FFC);
+            a.li(Reg::T0, 0x1122_3344_5566_7788);
+            a.sd(Reg::T0, Reg::A1, 0);
+            a.ld(Reg::A2, Reg::A1, 0);
+        });
+        assert!(core.is_halted());
+        assert_eq!(core.csrs().read(addr::MCAUSE), 0, "no trap expected");
+        assert_eq!(core.reg(Reg::A2), 0x1122_3344_5566_7788);
+        // The low half lands at the end of PA 0x6000's page, the high half
+        // at the start of the non-contiguous PA 0x7000 — not at PA 0x7000-4.
+        assert_eq!(bus.read_u32(0x6FFC), 0x5566_7788);
+        assert_eq!(bus.read_u32(0x7000), 0x1122_3344);
+    }
+
+    #[test]
+    fn straddling_load_faults_on_the_second_page() {
+        let (core, _) = straddle_soc(false, |a| {
+            a.li(Reg::A1, 0x4FFC);
+            a.ld(Reg::A2, Reg::A1, 0);
+        });
+        assert!(core.is_halted(), "fault must reach the M-mode handler");
+        assert_eq!(
+            core.csrs().read(addr::MCAUSE),
+            TrapCause::LoadPageFault.code()
+        );
+        // tval reports the first byte on the *faulting* page, not the base.
+        assert_eq!(core.csrs().read(addr::MTVAL), 0x5000);
+    }
+
+    #[test]
+    fn straddling_store_faults_without_partial_commit() {
+        let (core, bus) = straddle_soc(false, |a| {
+            a.li(Reg::A1, 0x4FFC);
+            a.li(Reg::T0, -1);
+            a.sd(Reg::T0, Reg::A1, 0);
+        });
+        assert!(core.is_halted());
+        assert_eq!(
+            core.csrs().read(addr::MCAUSE),
+            TrapCause::StorePageFault.code()
+        );
+        assert_eq!(core.csrs().read(addr::MTVAL), 0x5000);
+        // Both pages translate before any byte is written: the mapped first
+        // page must be untouched even though only the second page faulted.
+        assert_eq!(bus.read_u32(0x6FFC), 0);
+    }
+
+    #[test]
+    fn straddling_amo_translates_both_pages() {
+        let (core, bus) = straddle_soc(true, |a| {
+            a.li(Reg::A1, 0x4FFC);
+            a.li(Reg::T0, 1);
+            a.amoadd_d(Reg::A2, Reg::T0, Reg::A1);
+            a.amoadd_d(Reg::A3, Reg::T0, Reg::A1);
+        });
+        assert!(core.is_halted());
+        assert_eq!(core.reg(Reg::A2), 0, "first AMO reads the initial zero");
+        assert_eq!(core.reg(Reg::A3), 1, "second AMO observes the first");
+        assert_eq!(bus.read_u32(0x6FFC), 2);
+        assert_eq!(bus.read_u32(0x7000), 0);
+    }
+
+    #[test]
+    fn straddling_amo_faults_on_the_second_page() {
+        let (core, bus) = straddle_soc(false, |a| {
+            a.li(Reg::A1, 0x4FFC);
+            a.li(Reg::T0, 1);
+            a.amoadd_d(Reg::A2, Reg::T0, Reg::A1);
+        });
+        assert!(core.is_halted());
+        assert_eq!(
+            core.csrs().read(addr::MCAUSE),
+            TrapCause::LoadPageFault.code(),
+            "the AMO's read phase touches the unmapped page first"
+        );
+        assert_eq!(core.csrs().read(addr::MTVAL), 0x5000);
+        assert_eq!(bus.read_u32(0x6FFC), 0, "no partial commit");
     }
 }

@@ -183,6 +183,22 @@ impl CsrFile {
         self.read(addr::SATP)
     }
 
+    /// FNV-1a digest over the architectural register contents, in address
+    /// order. The mutation counter is excluded: it tracks *how* the state
+    /// was reached (including ignored writes), not what the state is, so
+    /// two runs with identical architectural CSR contents digest equal.
+    /// Zero-valued entries are skipped so a register explicitly written to
+    /// zero digests the same as one never touched — both read as zero.
+    pub fn digest(&self) -> u64 {
+        let mut h = hulkv_sim::Fnv64::new();
+        for (&a, &v) in &self.regs {
+            if v != 0 {
+                h.write_u64(u64::from(a)).write_u64(v);
+            }
+        }
+        h.finish()
+    }
+
     /// Performs machine-trap entry bookkeeping and returns the trap vector.
     pub fn enter_trap_m(&mut self, cause: TrapCause, pc: u64, tval: u64, prev: PrivMode) -> u64 {
         self.enter_trap_m_raw(cause.code(), pc, tval, prev)

@@ -1,0 +1,86 @@
+//! A tiny deterministic digest for state comparison.
+//!
+//! The differential co-simulation driver (see `hulkv-fuzz`) compares the
+//! architectural state of two interpreter runs — register files, CSRs,
+//! whole memories — after every few thousand retires. Hashing keeps those
+//! comparisons O(1) in the driver while the digest itself is a single
+//! streaming pass over the state. FNV-1a is used because the inputs are
+//! trusted simulator state, not adversarial data: what matters here is
+//! determinism across platforms and zero dependencies, not collision
+//! resistance.
+
+/// Streaming 64-bit FNV-1a hasher.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_sim::Fnv64;
+///
+/// let mut a = Fnv64::new();
+/// a.write_u64(1).write_u64(2);
+/// let mut b = Fnv64::new();
+/// b.write_u64(1).write_u64(2);
+/// assert_eq!(a.finish(), b.finish());
+/// assert_ne!(Fnv64::new().write_u64(3).finish(), a.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Fnv64 {
+    /// Creates a hasher in the standard FNV-1a offset-basis state.
+    pub const fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c — the published test vector.
+        assert_eq!(Fnv64::new().write(b"a").finish(), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let ab = Fnv64::new().write_u64(1).write_u64(2).finish();
+        let ba = Fnv64::new().write_u64(2).write_u64(1).finish();
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn empty_is_offset_basis() {
+        assert_eq!(Fnv64::new().finish(), 0xCBF2_9CE4_8422_2325);
+    }
+}

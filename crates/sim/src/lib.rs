@@ -33,6 +33,7 @@
 
 mod clock;
 mod cycles;
+mod digest;
 mod error;
 pub mod json;
 pub mod metrics;
@@ -43,6 +44,7 @@ pub mod trace;
 
 pub use clock::{convert_freq, ClockDomain};
 pub use cycles::{Cycles, Freq};
+pub use digest::Fnv64;
 pub use error::SimError;
 pub use json::Json;
 pub use metrics::{MetricsSnapshot, METRICS_SCHEMA_VERSION};

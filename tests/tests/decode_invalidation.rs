@@ -1,0 +1,193 @@
+//! Cross-side store-to-code: one side of the SoC patches the other
+//! side's instruction memory, and the patched code must (a) actually
+//! execute, and (b) do so with bit-identical cycle counts whether the
+//! decoded-instruction caches are on or off.
+//!
+//! This guards the two invalidation paths that self-modifying-code
+//! watermarks inside a single core cannot see: the host writing the
+//! cluster's L2SPM kernel copy, and the cluster writing host code in
+//! DRAM.
+
+use hulkv::{map, HulkV, SocConfig};
+use hulkv_rv::{Asm, Reg, Xlen};
+
+/// A SoC with the decoded-instruction cache + fetch µTLB switched on or
+/// off on *both* sides.
+fn build_soc(decode: bool) -> HulkV {
+    let mut cfg = SocConfig::default();
+    cfg.cluster.decode_cache = decode;
+    let mut soc = HulkV::new(cfg).unwrap();
+    soc.host_mut().set_decode_cache(decode);
+    soc
+}
+
+fn read_u32(soc: &mut HulkV, addr: u64) -> u32 {
+    let mut w = [0u8; 4];
+    soc.read_mem(addr, &mut w).unwrap();
+    u32::from_le_bytes(w)
+}
+
+/// Single `li t0, imm` instruction word (imm fits in 12 bits).
+fn li_word(xlen: Xlen, imm: i64) -> u32 {
+    let mut a = Asm::new(xlen);
+    a.li(Reg::T0, imm);
+    let words = a.assemble().unwrap();
+    assert_eq!(words.len(), 1, "imm must encode as a single addi");
+    words[0]
+}
+
+/// Host patches cluster code: the kernel's lazily-loaded L2SPM copy is
+/// overwritten by a host store between two offloads of the *same*
+/// kernel; the second offload reuses the cached copy and must execute
+/// the patched instruction.
+fn host_patches_cluster_code(decode: bool) -> (Vec<u32>, Vec<u64>) {
+    let mut soc = build_soc(decode);
+    let buf = soc.hulk_malloc(4).unwrap();
+
+    // Kernel: t0 = 111; *a0 = t0.
+    let mut k = Asm::new(Xlen::Rv32);
+    k.li(Reg::T0, 111);
+    k.sw(Reg::T0, Reg::A0, 0);
+    k.ebreak();
+    let kernel = soc.register_kernel(&k.assemble().unwrap()).unwrap();
+
+    let r1 = soc
+        .offload(kernel, &[(Reg::A0, buf)], 1, 1_000_000)
+        .unwrap();
+    assert!(r1.code_loaded);
+    let v1 = read_u32(&mut soc, buf);
+
+    // Host: store `li t0, 222` over the kernel's first word in the
+    // L2SPM (the first registered kernel loads at offset 0). The store
+    // goes through the host L1D (write-through), like a driver poking
+    // accelerator program memory.
+    let patch = li_word(Xlen::Rv32, 222);
+    let mut h = Asm::new(Xlen::Rv64);
+    h.sw(Reg::A1, Reg::A0, 0);
+    h.ebreak();
+    let hc = soc
+        .run_host_program(
+            &h.assemble().unwrap(),
+            |core| {
+                core.set_reg(Reg::A0, map::L2SPM_BASE);
+                core.set_reg(Reg::A1, patch as u64);
+            },
+            1_000_000,
+        )
+        .unwrap();
+
+    // The runtime's icache-flush doorbell: without it the cluster's
+    // persistent shared L1.5 I-cache serves the stale pre-patch bytes.
+    soc.cluster_mut().flush_icache().unwrap();
+
+    let r2 = soc
+        .offload(kernel, &[(Reg::A0, buf)], 1, 1_000_000)
+        .unwrap();
+    assert!(!r2.code_loaded, "second offload must reuse the L2 copy");
+    let v2 = read_u32(&mut soc, buf);
+
+    (
+        vec![v1, v2],
+        vec![
+            r1.total_soc_cycles.get(),
+            r1.team.cycles.get(),
+            hc.get(),
+            r2.total_soc_cycles.get(),
+            r2.team.cycles.get(),
+        ],
+    )
+}
+
+/// Cluster patches host code: a kernel stores a new instruction word
+/// over the host program in DRAM; after the model's `fence.i`
+/// equivalent (L1I flush + decoded-entry invalidation) the host re-runs
+/// the patched code in place.
+fn cluster_patches_host_code(decode: bool) -> (Vec<u32>, Vec<u64>) {
+    let mut soc = build_soc(decode);
+    let buf = soc.hulk_malloc(4).unwrap();
+
+    // Host program at HOST_CODE: t0 = 5; *a0 = t0.
+    let mut h = Asm::new(Xlen::Rv64);
+    h.li(Reg::T0, 5);
+    h.sw(Reg::T0, Reg::A0, 0);
+    h.ebreak();
+    let c1 = soc
+        .run_host_program(
+            &h.assemble().unwrap(),
+            |core| core.set_reg(Reg::A0, buf),
+            1_000_000,
+        )
+        .unwrap();
+    let v1 = read_u32(&mut soc, buf);
+
+    // Kernel: *a0 = a1 — patches the host's `li t0, 5` to `li t0, 9`
+    // through the cluster's AXI master and the IOPMP's DRAM window.
+    let mut k = Asm::new(Xlen::Rv32);
+    k.sw(Reg::A1, Reg::A0, 0);
+    k.ebreak();
+    let kernel = soc.register_kernel(&k.assemble().unwrap()).unwrap();
+    let patch = li_word(Xlen::Rv64, 9);
+    let r = soc
+        .offload(
+            kernel,
+            &[(Reg::A0, map::HOST_CODE), (Reg::A1, patch as u64)],
+            1,
+            1_000_000,
+        )
+        .unwrap();
+
+    // The driver's fence.i equivalent after a cross-side code write,
+    // then re-run the patched program *without* reloading it.
+    soc.host_mut().flush_l1().unwrap();
+    soc.host_mut().core_mut().invalidate_decoded();
+    let core = soc.host_mut().core_mut();
+    core.set_pc(map::HOST_CODE);
+    core.set_reg(Reg::A0, buf);
+    core.resume();
+    let c2 = soc.host_mut().run(1_000_000).unwrap();
+    let v2 = read_u32(&mut soc, buf);
+
+    (
+        vec![v1, v2],
+        vec![
+            c1.get(),
+            r.total_soc_cycles.get(),
+            r.team.cycles.get(),
+            c2.get(),
+        ],
+    )
+}
+
+#[test]
+fn host_store_to_cluster_code_takes_effect() {
+    let (vals, _) = host_patches_cluster_code(true);
+    assert_eq!(vals, vec![111, 222]);
+}
+
+#[test]
+fn host_store_to_cluster_code_is_cycle_identical_with_decode_cache() {
+    let (vals_on, cycles_on) = host_patches_cluster_code(true);
+    let (vals_off, cycles_off) = host_patches_cluster_code(false);
+    assert_eq!(vals_on, vals_off);
+    assert_eq!(
+        cycles_on, cycles_off,
+        "decode cache must be cycle-invisible across a cross-side code patch"
+    );
+}
+
+#[test]
+fn cluster_store_to_host_code_takes_effect() {
+    let (vals, _) = cluster_patches_host_code(true);
+    assert_eq!(vals, vec![5, 9]);
+}
+
+#[test]
+fn cluster_store_to_host_code_is_cycle_identical_with_decode_cache() {
+    let (vals_on, cycles_on) = cluster_patches_host_code(true);
+    let (vals_off, cycles_off) = cluster_patches_host_code(false);
+    assert_eq!(vals_on, vals_off);
+    assert_eq!(
+        cycles_on, cycles_off,
+        "decode cache must be cycle-invisible across a cross-side code patch"
+    );
+}

@@ -16,6 +16,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustfmt =="
 cargo fmt --check
 
+echo "== guest-program lint (hulkv-lint) =="
+# Static analysis over every kernel, benchmark, example, and committed
+# fuzz repro. Fails only on findings NOT accepted (with a justification)
+# in crates/analyze/lint_baseline.json.
+cargo run --release -p hulkv-analyze --bin hulkv-lint -- --ci
+
 echo "== differential fuzz (fixed seed) =="
 # 500 random programs per ISA side, fast paths on vs off in lockstep;
 # any architectural or cycle divergence fails the gate and leaves a

@@ -1,0 +1,468 @@
+//! A constant/alignment/range abstract interpreter over the integer
+//! register file.
+//!
+//! The domain is a strided interval: `Abs { lo, hi, stride }` denotes the
+//! set `{ lo, lo+stride, …, hi }` (unsigned, non-wrapping; `stride == 0`
+//! denotes the singleton `{ lo }`). That is exactly the information the
+//! checks need — constants (`lo == hi`), alignment (`stride` and
+//! `lo % size`), and the conservative footprint `[lo, hi + size)` of a
+//! memory access.
+//!
+//! The fixpoint is a worklist over the recovered CFG with per-PC join
+//! counters: after [`WIDEN_AFTER`] joins at the same PC a register is
+//! widened straight to top, and a hard iteration cap (proportional to the
+//! instruction count) bails the whole analysis out to top — so the
+//! interpreter terminates on any input, including adversarial
+//! fuzzer-generated CFGs.
+
+use crate::cfg::Cfg;
+use crate::GuestProgram;
+use hulkv_rv::inst::{AluOp, Inst, MulDivOp, Reg};
+use hulkv_rv::Xlen;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Joins before a register is widened to top at a given PC.
+pub const WIDEN_AFTER: u32 = 8;
+
+/// A strided unsigned interval: the values `{ lo, lo+stride, …, hi }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abs {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+    /// Common difference; `0` means the singleton `{ lo }`.
+    pub stride: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Abs {
+    /// The full value set of the given register width.
+    pub fn top(xlen: Xlen) -> Abs {
+        Abs {
+            lo: 0,
+            hi: match xlen {
+                Xlen::Rv32 => u64::from(u32::MAX),
+                Xlen::Rv64 => u64::MAX,
+            },
+            stride: 1,
+        }
+    }
+
+    /// A known constant.
+    pub fn constant(v: u64) -> Abs {
+        Abs {
+            lo: v,
+            hi: v,
+            stride: 0,
+        }
+    }
+
+    /// Whether this is a known constant.
+    pub fn as_const(&self) -> Option<u64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether this is the top element for `xlen`.
+    pub fn is_top(&self, xlen: Xlen) -> bool {
+        *self == Abs::top(xlen)
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: Abs) -> Abs {
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.max(other.hi);
+        let stride = gcd(gcd(self.stride, other.stride), self.lo.abs_diff(other.lo));
+        Abs { lo, hi, stride }
+    }
+
+    /// Abstract wrapping addition of a constant.
+    fn add_const(self, c: u64, xlen: Xlen) -> Abs {
+        let lo = self.lo.wrapping_add(c);
+        let hi = self.hi.wrapping_add(c);
+        // Give up on wrap-around rather than modeling circular intervals.
+        if hi < lo || masked(hi, xlen) != hi || masked(lo, xlen) != lo {
+            return Abs::top(xlen);
+        }
+        Abs { lo, hi, ..self }
+    }
+
+    /// Abstract addition.
+    fn add(self, other: Abs, xlen: Xlen) -> Abs {
+        if let Some(c) = other.as_const() {
+            return self.add_const(c, xlen);
+        }
+        if let Some(c) = self.as_const() {
+            return other.add_const(c, xlen);
+        }
+        let (lo, o1) = self.lo.overflowing_add(other.lo);
+        let (hi, o2) = self.hi.overflowing_add(other.hi);
+        if o1 || o2 || masked(hi, xlen) != hi {
+            return Abs::top(xlen);
+        }
+        Abs {
+            lo,
+            hi,
+            stride: gcd(self.stride, other.stride),
+        }
+    }
+
+    /// Abstract left shift by a known amount.
+    fn shl_const(self, sh: u32, xlen: Xlen) -> Abs {
+        let bits = xlen.bits();
+        let sh = sh % bits;
+        if sh == 0 {
+            return self;
+        }
+        if self.hi.leading_zeros() < sh + (64 - bits) {
+            return Abs::top(xlen);
+        }
+        Abs {
+            lo: self.lo << sh,
+            hi: self.hi << sh,
+            stride: if self.stride == 0 {
+                0
+            } else {
+                self.stride << sh
+            },
+        }
+    }
+
+    /// Abstract multiplication by a known constant.
+    fn mul_const(self, c: u64, xlen: Xlen) -> Abs {
+        if c == 0 {
+            return Abs::constant(0);
+        }
+        let (hi, o) = self.hi.overflowing_mul(c);
+        if o || masked(hi, xlen) != hi {
+            return Abs::top(xlen);
+        }
+        Abs {
+            lo: self.lo * c,
+            hi,
+            stride: self.stride.saturating_mul(c),
+        }
+    }
+}
+
+fn masked(v: u64, xlen: Xlen) -> u64 {
+    match xlen {
+        Xlen::Rv32 => v & u64::from(u32::MAX),
+        Xlen::Rv64 => v,
+    }
+}
+
+/// Abstract register file: one [`Abs`] per integer register (`x0` is
+/// pinned to the constant zero).
+pub type AbsRegs = [Abs; 32];
+
+/// Fixpoint result: the abstract state *before* each reachable
+/// instruction, plus whether the iteration budget was exhausted.
+#[derive(Debug)]
+pub struct AbsintResult {
+    /// Pre-state per PC.
+    pub states: BTreeMap<u64, AbsRegs>,
+    /// True when the hard iteration cap fired and every state was widened
+    /// to top (reported as [`crate::CheckKind::AnalysisBudget`]).
+    pub budget_exhausted: bool,
+}
+
+impl AbsintResult {
+    /// Evaluates the address of a `rs1 + offset` access at `pc`.
+    pub fn addr_at(&self, pc: u64, rs1: Reg, offset: i64, xlen: Xlen) -> Option<Abs> {
+        let regs = self.states.get(&pc)?;
+        let base = regs[rs1.index() as usize];
+        Some(base.add_const(masked(offset as u64, xlen), xlen))
+    }
+}
+
+fn entry_state(xlen: Xlen) -> AbsRegs {
+    let mut regs = [Abs::top(xlen); 32];
+    regs[0] = Abs::constant(0);
+    regs
+}
+
+/// One instruction's abstract transfer function.
+fn transfer(inst: &Inst, pc: u64, len: u64, regs: &mut AbsRegs, xlen: Xlen) {
+    let top = Abs::top(xlen);
+    let set = |regs: &mut AbsRegs, rd: Reg, v: Abs| {
+        if rd != Reg::Zero {
+            regs[rd.index() as usize] = Abs {
+                lo: masked(v.lo, xlen),
+                hi: masked(v.hi, xlen),
+                stride: v.stride,
+            };
+        }
+    };
+    let get = |regs: &AbsRegs, r: Reg| regs[r.index() as usize];
+    match *inst {
+        Inst::Lui { rd, imm } => set(regs, rd, Abs::constant(masked((imm << 12) as u64, xlen))),
+        Inst::Auipc { rd, imm } => set(
+            regs,
+            rd,
+            Abs::constant(masked(pc.wrapping_add((imm << 12) as u64), xlen)),
+        ),
+        Inst::Jal { rd, .. } | Inst::Jalr { rd, .. } => {
+            set(regs, rd, Abs::constant(masked(pc + len, xlen)));
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            let a = get(regs, rs1);
+            let v = match op {
+                AluOp::Add => a.add_const(masked(imm as u64, xlen), xlen),
+                AluOp::Sll => a.shl_const(imm as u32, xlen),
+                AluOp::And | AluOp::Or | AluOp::Xor => match (a.as_const(), op) {
+                    (Some(c), AluOp::And) => Abs::constant(c & masked(imm as u64, xlen)),
+                    (Some(c), AluOp::Or) => Abs::constant(c | masked(imm as u64, xlen)),
+                    (Some(c), AluOp::Xor) => Abs::constant(c ^ masked(imm as u64, xlen)),
+                    _ => top,
+                },
+                AluOp::Srl => match a.as_const() {
+                    Some(c) => Abs::constant(c >> (imm as u32 % xlen.bits())),
+                    None => top,
+                },
+                _ => top,
+            };
+            set(regs, rd, v);
+        }
+        Inst::OpImm32 { op, rd, rs1, imm } => {
+            // addiw & friends: compute in 32 bits, sign-extend. Keep only
+            // results that stay in the non-negative 32-bit range, where
+            // sign extension is the identity.
+            let a = get(regs, rs1);
+            let v = match (op, a.as_const()) {
+                (AluOp::Add, Some(c)) => {
+                    let r = (c as u32).wrapping_add(imm as u32);
+                    if r <= i32::MAX as u32 {
+                        Abs::constant(u64::from(r))
+                    } else {
+                        top
+                    }
+                }
+                _ => top,
+            };
+            set(regs, rd, v);
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let a = get(regs, rs1);
+            let b = get(regs, rs2);
+            let v = match op {
+                AluOp::Add => a.add(b, xlen),
+                AluOp::Sub => match b.as_const() {
+                    Some(c) if a.lo >= c => Abs {
+                        lo: a.lo - c,
+                        hi: a.hi - c,
+                        stride: a.stride,
+                    },
+                    _ => top,
+                },
+                AluOp::Sll => match b.as_const() {
+                    Some(c) => a.shl_const(c as u32, xlen),
+                    None => top,
+                },
+                _ => top,
+            };
+            set(regs, rd, v);
+        }
+        Inst::MulDiv {
+            op: MulDivOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let a = get(regs, rs1);
+            let b = get(regs, rs2);
+            let v = match (a.as_const(), b.as_const()) {
+                (_, Some(c)) => a.mul_const(c, xlen),
+                (Some(c), _) => b.mul_const(c, xlen),
+                _ => top,
+            };
+            set(regs, rd, v);
+        }
+        Inst::Load { rd, .. } | Inst::LoadReserved { rd, .. } => set(regs, rd, top),
+        Inst::LoadPost {
+            rd, rs1, offset, ..
+        } => {
+            set(regs, rd, top);
+            let v = get(regs, rs1).add_const(masked(offset as u64, xlen), xlen);
+            set(regs, rs1, v);
+        }
+        Inst::StorePost { rs1, offset, .. } => {
+            let v = get(regs, rs1).add_const(masked(offset as u64, xlen), xlen);
+            set(regs, rs1, v);
+        }
+        Inst::StoreConditional { rd, .. } | Inst::Amo { rd, .. } => set(regs, rd, top),
+        Inst::Csr { rd, .. } => set(regs, rd, top),
+        Inst::FpToInt { rd, .. } | Inst::FpMvToInt { rd, .. } | Inst::FpCmp { rd, .. } => {
+            set(regs, rd, top)
+        }
+        Inst::Op32 { rd, .. }
+        | Inst::MulDiv32 { rd, .. }
+        | Inst::MulDiv { rd, .. }
+        | Inst::Mac { rd, .. }
+        | Inst::PulpAlu { rd, .. }
+        | Inst::Simd { rd, .. }
+        | Inst::SimdFp { rd, .. } => set(regs, rd, top),
+        // Branches, stores, fences, hw-loop setup, FP-only ops: no integer
+        // register is written.
+        _ => {}
+    }
+}
+
+/// Runs the fixpoint over a recovered CFG.
+pub fn interpret(prog: &GuestProgram, cfg: &Cfg) -> AbsintResult {
+    let xlen = prog.side.xlen();
+    let mut states: BTreeMap<u64, AbsRegs> = BTreeMap::new();
+    let mut join_counts: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut work: VecDeque<u64> = VecDeque::new();
+    if cfg.reachable(prog.base) {
+        states.insert(prog.base, entry_state(xlen));
+        work.push_back(prog.base);
+    }
+    let budget = cfg.insts.len().saturating_mul(64).max(1024);
+    let mut iterations = 0usize;
+    let mut budget_exhausted = false;
+
+    while let Some(pc) = work.pop_front() {
+        iterations += 1;
+        if iterations > budget {
+            budget_exhausted = true;
+            break;
+        }
+        let Some(ci) = cfg.insts.get(&pc) else {
+            continue;
+        };
+        let mut regs = states[&pc];
+        if let Some(inst) = &ci.inst {
+            transfer(inst, pc, u64::from(ci.len), &mut regs, xlen);
+        }
+        for &succ in cfg.succs.get(&pc).into_iter().flatten() {
+            let changed = match states.get_mut(&succ) {
+                None => {
+                    states.insert(succ, regs);
+                    true
+                }
+                Some(old) => {
+                    let count = join_counts.entry(succ).or_insert(0);
+                    let mut joined = *old;
+                    let mut any = false;
+                    for i in 1..32 {
+                        let j = if *count >= WIDEN_AFTER && old[i] != regs[i] {
+                            Abs::top(xlen)
+                        } else {
+                            old[i].join(regs[i])
+                        };
+                        if j != old[i] {
+                            joined[i] = j;
+                            any = true;
+                        }
+                    }
+                    if any {
+                        *count += 1;
+                        *old = joined;
+                    }
+                    any
+                }
+            };
+            if changed {
+                work.push_back(succ);
+            }
+        }
+    }
+
+    if budget_exhausted {
+        let top_state = entry_state(xlen);
+        for s in states.values_mut() {
+            *s = top_state;
+        }
+    }
+    AbsintResult {
+        states,
+        budget_exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::recover;
+    use crate::Side;
+    use hulkv_rv::{Asm, Reg, Xlen};
+
+    #[test]
+    fn join_and_stride() {
+        let a = Abs::constant(4).join(Abs::constant(12));
+        assert_eq!(
+            a,
+            Abs {
+                lo: 4,
+                hi: 12,
+                stride: 8
+            }
+        );
+        let b = a.join(Abs::constant(8));
+        assert_eq!(b.stride, 4);
+        assert!(Abs::top(Xlen::Rv32).join(a).is_top(Xlen::Rv32));
+    }
+
+    #[test]
+    fn li_materializes_constants() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, 0x1000_0004);
+        a.lw(Reg::T1, Reg::T0, 8);
+        a.ebreak();
+        let p = GuestProgram::from_words("t", &a.assemble().unwrap(), 0, Side::Cluster);
+        let cfg = recover(&p);
+        let r = interpret(&p, &cfg);
+        let (&load_pc, _) = cfg
+            .insts
+            .iter()
+            .find(|(_, i)| matches!(i.inst, Some(Inst::Load { .. })))
+            .unwrap();
+        let addr = r.addr_at(load_pc, Reg::T0, 8, Xlen::Rv32).unwrap();
+        assert_eq!(addr.as_const(), Some(0x1000_000C));
+    }
+
+    #[test]
+    fn loop_counter_widens_not_diverges() {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, 0);
+        let top = a.label();
+        a.bind(top);
+        a.addi(Reg::T0, Reg::T0, 8);
+        a.bnez(Reg::T0, top);
+        a.ebreak();
+        let p = GuestProgram::from_words("t", &a.assemble().unwrap(), 0, Side::Host);
+        let cfg = recover(&p);
+        let r = interpret(&p, &cfg);
+        assert!(!r.budget_exhausted);
+    }
+
+    #[test]
+    fn post_increment_tracks_base() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, 0x1000_0000);
+        a.p_lw_post(Reg::T1, Reg::T0, 4);
+        a.p_lw_post(Reg::T2, Reg::T0, 4);
+        a.ebreak();
+        let p = GuestProgram::from_words("t", &a.assemble().unwrap(), 0, Side::Cluster);
+        let cfg = recover(&p);
+        let r = interpret(&p, &cfg);
+        let (&second, _) = cfg
+            .insts
+            .iter()
+            .filter(|(_, i)| matches!(i.inst, Some(Inst::LoadPost { .. })))
+            .nth(1)
+            .unwrap();
+        let addr = r.addr_at(second, Reg::T0, 0, Xlen::Rv32).unwrap();
+        assert_eq!(addr.as_const(), Some(0x1000_0004));
+    }
+}

@@ -1,0 +1,278 @@
+//! `hulkv-lint` — static analysis over every guest program this
+//! repository generates.
+//!
+//! The input set is the Figure-6 kernel suite (host and cluster
+//! flavours), the IoT benchmarks, the example programs, and any committed
+//! fuzzer repros. Findings are diffed against a committed baseline
+//! (`crates/analyze/lint_baseline.json`) so CI fails only on *new*
+//! findings; intentional ones are accepted there with a one-line
+//! justification each.
+//!
+//! Usage: `hulkv-lint [--ci] [--json] [--write-baseline] [--confirm]
+//!                    [--baseline PATH] [--repro-dir DIR]`
+
+use hulkv_analyze::{analyze, dynamic, AnalyzeConfig, Baseline, GuestProgram, Report, Side};
+use hulkv_sim::Json;
+use std::process::ExitCode;
+
+struct Cli {
+    ci: bool,
+    json: bool,
+    write_baseline: bool,
+    confirm: bool,
+    baseline: String,
+    repro_dir: String,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        ci: false,
+        json: false,
+        write_baseline: false,
+        confirm: false,
+        baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/lint_baseline.json").to_string(),
+        repro_dir: concat!(env!("CARGO_MANIFEST_DIR"), "/../../fuzz/repros").to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ci" => cli.ci = true,
+            "--json" => cli.json = true,
+            "--write-baseline" => cli.write_baseline = true,
+            "--confirm" => cli.confirm = true,
+            "--baseline" => cli.baseline = args.next().ok_or("--baseline needs a value")?,
+            "--repro-dir" => cli.repro_dir = args.next().ok_or("--repro-dir needs a value")?,
+            other => {
+                return Err(format!(
+                    "unknown argument {other}\nusage: hulkv-lint [--ci] [--json] \
+                     [--write-baseline] [--confirm] [--baseline PATH] [--repro-dir DIR]"
+                ))
+            }
+        }
+    }
+    Ok(cli)
+}
+
+/// The addresses each flavour executes at on the SoC (see
+/// `HulkV::run_host_program` and `HulkV::offload`).
+fn host_base() -> u64 {
+    hulkv::map::HOST_CODE
+}
+fn cluster_base() -> u64 {
+    hulkv::map::L2SPM_BASE
+}
+
+fn catalog(repro_dir: &str) -> Vec<(GuestProgram, AnalyzeConfig)> {
+    let mut programs = Vec::new();
+    for p in hulkv_kernels::suite::lint_catalog()
+        .into_iter()
+        .chain(hulkv_kernels::iot::lint_catalog())
+    {
+        let (side, base) = if p.cluster {
+            (Side::Cluster, cluster_base())
+        } else {
+            (Side::Host, host_base())
+        };
+        programs.push((
+            GuestProgram::from_words(&p.name, &p.words, base, side),
+            AnalyzeConfig::for_side(side),
+        ));
+    }
+    for e in hulkv_examples::guest_programs() {
+        use hulkv_examples::ExampleTarget;
+        let (side, base, cfg) = match e.target {
+            ExampleTarget::Host => (Side::Host, host_base(), AnalyzeConfig::for_side(Side::Host)),
+            ExampleTarget::Cluster => (
+                Side::Cluster,
+                cluster_base(),
+                AnalyzeConfig::for_side(Side::Cluster),
+            ),
+            // Raw-core programs have no SoC memory view; the ISA checks
+            // (alignment, hw-loops, CSRs) still apply.
+            ExampleTarget::Raw { base, xlen } => (
+                match xlen {
+                    hulkv_rv::Xlen::Rv64 => Side::Host,
+                    hulkv_rv::Xlen::Rv32 => Side::Cluster,
+                },
+                base,
+                AnalyzeConfig::default(),
+            ),
+        };
+        programs.push((GuestProgram::from_words(e.name, &e.words, base, side), cfg));
+    }
+    for (_, prog) in repro_programs(repro_dir) {
+        programs.push((prog, AnalyzeConfig::default()));
+    }
+    programs
+}
+
+/// Parses committed fuzzer repros (see `fuzz_iss::render_repro`): the
+/// `isa:` / `entry:` headers plus the `  0x........: xxxxxxxx` disassembly
+/// lines carry everything needed to re-analyze the program. A missing
+/// directory is simply an empty set.
+fn repro_programs(dir: &str) -> Vec<(String, GuestProgram)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.extension().and_then(|e| e.to_str()) != Some("txt") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Some((prog, name)) = parse_repro(&text, &path) else {
+            eprintln!("hulkv-lint: skipping unparsable repro {}", path.display());
+            continue;
+        };
+        out.push((name, prog));
+    }
+    out
+}
+
+fn parse_repro(text: &str, path: &std::path::Path) -> Option<(GuestProgram, String)> {
+    let mut side = None;
+    let mut entry = None;
+    let mut words: Vec<u32> = Vec::new();
+    for line in text.lines() {
+        if let Some(isa) = line.strip_prefix("isa: ") {
+            // RV32 fuzz ISAs enable Xpulp; RV64 ones do not.
+            side = Some(if isa.trim().starts_with("Rv32") {
+                Side::Cluster
+            } else {
+                Side::Host
+            });
+        } else if let Some(e) = line.strip_prefix("entry: ") {
+            entry = u64::from_str_radix(e.trim().trim_start_matches("0x"), 16).ok();
+        } else if let Some(rest) = line.strip_prefix("  0x") {
+            // "  0x........: xxxxxxxx  <disasm>"
+            let (_, tail) = rest.split_once(':')?;
+            let word = tail.split_whitespace().next()?;
+            words.push(u32::from_str_radix(word, 16).ok()?);
+        }
+    }
+    let name = format!(
+        "fuzz/{}",
+        path.file_stem().and_then(|s| s.to_str()).unwrap_or("repro")
+    );
+    Some((
+        GuestProgram::from_words(&name, &words, entry?, side?),
+        name.clone(),
+    ))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let inputs = catalog(&cli.repro_dir);
+    let mut reports: Vec<Report> = Vec::new();
+    let mut confirm_lines: Vec<String> = Vec::new();
+    for (prog, cfg) in &inputs {
+        let report = analyze(prog, cfg);
+        if cli.confirm
+            && report
+                .findings
+                .iter()
+                .any(|f| f.kind.trace_category().is_some())
+        {
+            let outcome = dynamic::confirm(prog, &report, 10_000_000);
+            confirm_lines.push(format!(
+                "{}: confirmed {:?}, unconfirmed {:?}{}",
+                prog.name,
+                outcome.confirmed,
+                outcome.unconfirmed,
+                outcome
+                    .run_error
+                    .as_deref()
+                    .map(|e| format!(" (run: {e})"))
+                    .unwrap_or_default()
+            ));
+        }
+        reports.push(report);
+    }
+    let total: usize = reports.iter().map(|r| r.findings.len()).sum();
+
+    if cli.write_baseline {
+        let previous = std::fs::read_to_string(&cli.baseline)
+            .ok()
+            .and_then(|t| Baseline::parse(&t).ok())
+            .unwrap_or_default();
+        let text = Baseline::from_reports(&reports, &previous);
+        if let Err(e) = std::fs::write(&cli.baseline, text) {
+            eprintln!("hulkv-lint: cannot write {}: {e}", cli.baseline);
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "hulkv-lint: baseline written to {} ({} findings over {} programs)",
+            cli.baseline,
+            total,
+            reports.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.json {
+        let doc = Json::Arr(reports.iter().map(Report::to_json).collect());
+        println!("{doc}");
+    } else {
+        for r in &reports {
+            print!("{}", r.render_text());
+        }
+        println!(
+            "hulkv-lint: {} programs analyzed, {} findings",
+            reports.len(),
+            total
+        );
+    }
+    for line in &confirm_lines {
+        println!("confirm: {line}");
+    }
+
+    if cli.ci {
+        let baseline = match std::fs::read_to_string(&cli.baseline) {
+            Ok(t) => match Baseline::parse(&t) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("hulkv-lint: bad baseline {}: {e}", cli.baseline);
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => Baseline::default(),
+        };
+        let diff = baseline.diff(&reports);
+        for (prog, check, found, accepted) in &diff.stale {
+            println!(
+                "hulkv-lint: stale baseline: {prog}/{check} accepts {accepted} but only \
+                 {found} found — consider tightening"
+            );
+        }
+        if !diff.regressions.is_empty() {
+            for (prog, check, found, accepted) in &diff.regressions {
+                eprintln!(
+                    "hulkv-lint: NEW findings: {prog}/{check}: {found} found, \
+                     {accepted} accepted by baseline"
+                );
+            }
+            eprintln!(
+                "hulkv-lint: fix the findings or re-run with --write-baseline and \
+                 justify them in {}",
+                cli.baseline
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "hulkv-lint: CI clean against baseline ({} accepted budgets)",
+            baseline.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

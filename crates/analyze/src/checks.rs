@@ -1,0 +1,852 @@
+//! The check catalogue: every analysis that turns the CFG and the
+//! abstract state into findings.
+//!
+//! All map/alignment checks only fire on *provable* violations — the
+//! whole abstract value set must be illegal — so a top address (e.g. a
+//! runtime kernel argument) never produces a false positive. Warning
+//! classes map onto `hulkv-trace` event categories (see
+//! [`CheckKind::trace_category`]) so the dynamic harness in
+//! [`crate::dynamic`] can confirm a static finding against recorded
+//! events from an actual execution.
+
+use crate::absint::AbsintResult;
+use crate::cfg::{Cfg, HwLoopRegion};
+use crate::{AnalyzeConfig, GuestProgram};
+use hulkv_rv::csr::addr;
+use hulkv_rv::inst::{CsrOp, CsrSrc, Inst, Reg};
+use hulkv_rv::{disassemble, disassemble_word};
+use hulkv_sim::category;
+use std::collections::BTreeSet;
+
+/// Finding severity: errors are provable platform violations, warnings
+/// are hazards, infos are hygiene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Hygiene / informational.
+    Info,
+    /// A hazard that is legal but almost certainly unintended.
+    Warning,
+    /// A provable violation that faults or corrupts state at runtime.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case display name (`"error"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The check that produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckKind {
+    /// A reachable parcel does not decode on this side.
+    Undecodable,
+    /// Decoded code never reached from the entry.
+    Unreachable,
+    /// A direct branch or jump targets an address outside the image.
+    OutOfImageJump,
+    /// A data access provably outside every host bus window.
+    MemMap,
+    /// A cluster data access the IOPMP provably denies.
+    IopmpDenied,
+    /// A provably misaligned load/store/AMO.
+    Misaligned,
+    /// A store into this image's own code with no `fence.i` behind it.
+    SmcNoFence,
+    /// A host store into the L2SPM window holding PMCA kernel code
+    /// (requires a `Cluster::flush_icache` doorbell before the next
+    /// offload).
+    CrossSideSmc,
+    /// A branch crossing a hardware-loop body boundary.
+    HwLoopBranch,
+    /// Hardware-loop state written inside a loop body.
+    HwLoopSetupInBody,
+    /// Hardware-loop bodies that overlap without nesting.
+    HwLoopNesting,
+    /// A degenerate loop body (empty, inverted, or with an end marker no
+    /// instruction boundary reaches).
+    HwLoopBody,
+    /// A loop armed with a provably zero iteration count.
+    HwLoopCount,
+    /// A write to a read-only CSR.
+    CsrReadOnly,
+    /// An access to a CSR the cores do not implement.
+    CsrUnknown,
+    /// The abstract interpreter hit its iteration budget; value-dependent
+    /// checks were skipped for this program.
+    AnalysisBudget,
+}
+
+impl CheckKind {
+    /// Stable machine-readable name (used in baselines and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::Undecodable => "undecodable",
+            CheckKind::Unreachable => "unreachable",
+            CheckKind::OutOfImageJump => "out-of-image-jump",
+            CheckKind::MemMap => "mem-map",
+            CheckKind::IopmpDenied => "iopmp-denied",
+            CheckKind::Misaligned => "misaligned",
+            CheckKind::SmcNoFence => "smc-no-fence",
+            CheckKind::CrossSideSmc => "cross-side-smc",
+            CheckKind::HwLoopBranch => "hwloop-branch",
+            CheckKind::HwLoopSetupInBody => "hwloop-setup-in-body",
+            CheckKind::HwLoopNesting => "hwloop-nesting",
+            CheckKind::HwLoopBody => "hwloop-body",
+            CheckKind::HwLoopCount => "hwloop-count",
+            CheckKind::CsrReadOnly => "csr-read-only",
+            CheckKind::CsrUnknown => "csr-unknown",
+            CheckKind::AnalysisBudget => "analysis-budget",
+        }
+    }
+
+    /// Default severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            CheckKind::Undecodable
+            | CheckKind::MemMap
+            | CheckKind::IopmpDenied
+            | CheckKind::OutOfImageJump => Severity::Error,
+            CheckKind::Misaligned
+            | CheckKind::SmcNoFence
+            | CheckKind::CrossSideSmc
+            | CheckKind::HwLoopBranch
+            | CheckKind::HwLoopSetupInBody
+            | CheckKind::HwLoopNesting
+            | CheckKind::HwLoopBody
+            | CheckKind::CsrReadOnly => Severity::Warning,
+            CheckKind::Unreachable
+            | CheckKind::HwLoopCount
+            | CheckKind::CsrUnknown
+            | CheckKind::AnalysisBudget => Severity::Info,
+        }
+    }
+
+    /// The `hulkv-trace` category whose events confirm this finding
+    /// dynamically, when one exists.
+    pub fn trace_category(self) -> Option<u32> {
+        match self {
+            CheckKind::IopmpDenied | CheckKind::Misaligned | CheckKind::MemMap => {
+                Some(category::PROTECT)
+            }
+            CheckKind::SmcNoFence | CheckKind::CrossSideSmc => Some(category::DECODE),
+            _ => None,
+        }
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The check that fired.
+    pub kind: CheckKind,
+    /// Severity (defaults to [`CheckKind::severity`]).
+    pub severity: Severity,
+    /// PC of the offending instruction.
+    pub pc: u64,
+    /// Disassembly at that PC.
+    pub disasm: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+struct Ctx<'a> {
+    prog: &'a GuestProgram,
+    cfg: &'a Cfg,
+    abs: &'a AbsintResult,
+    findings: Vec<Finding>,
+}
+
+impl Ctx<'_> {
+    fn disasm_at(&self, pc: u64) -> String {
+        match self.cfg.insts.get(&pc) {
+            Some(ci) => match &ci.inst {
+                Some(inst) => disassemble(inst),
+                None => format!(".word {:#010x}", ci.raw),
+            },
+            None => "<not decoded>".to_string(),
+        }
+    }
+
+    fn emit(&mut self, kind: CheckKind, pc: u64, message: String) {
+        let disasm = self.disasm_at(pc);
+        self.findings.push(Finding {
+            kind,
+            severity: kind.severity(),
+            pc,
+            disasm,
+            message,
+        });
+    }
+}
+
+/// Runs every check over one program.
+pub fn run_all(
+    prog: &GuestProgram,
+    cfg: &Cfg,
+    abs: &AbsintResult,
+    config: &AnalyzeConfig,
+) -> Vec<Finding> {
+    let mut ctx = Ctx {
+        prog,
+        cfg,
+        abs,
+        findings: Vec::new(),
+    };
+    check_decode(&mut ctx);
+    check_unreachable(&mut ctx);
+    check_out_of_image(&mut ctx);
+    if abs.budget_exhausted {
+        ctx.emit(
+            CheckKind::AnalysisBudget,
+            prog.base,
+            "abstract interpretation exceeded its iteration budget; \
+             value-dependent checks degraded to top"
+                .to_string(),
+        );
+    }
+    check_memory(&mut ctx, config);
+    check_hw_loops(&mut ctx);
+    check_csrs(&mut ctx);
+    ctx.findings
+}
+
+fn check_decode(ctx: &mut Ctx<'_>) {
+    let bad: Vec<u64> = ctx
+        .cfg
+        .insts
+        .iter()
+        .filter(|(_, ci)| ci.inst.is_none())
+        .map(|(&pc, _)| pc)
+        .collect();
+    for pc in bad {
+        let raw = ctx.cfg.insts[&pc].raw;
+        ctx.emit(
+            CheckKind::Undecodable,
+            pc,
+            format!(
+                "reachable parcel {raw:#010x} does not decode on the {:?} side",
+                ctx.prog.side
+            ),
+        );
+    }
+}
+
+/// Linear-sweep the image and report decodable instructions the reachable
+/// sweep never visited. Suppressed when a computed goto exists (its
+/// target set is unknown, so nothing is provably unreachable).
+fn check_unreachable(ctx: &mut Ctx<'_>) {
+    if ctx.cfg.has_computed_goto {
+        return;
+    }
+    let xlen = ctx.prog.side.xlen();
+    let xpulp = ctx.prog.side.xpulp();
+    let mut pc = ctx.prog.base;
+    // Report only the first PC of each contiguous dead run to keep the
+    // output proportional to the number of holes, not their size.
+    let mut run_start: Option<(u64, u32)> = None;
+    let mut runs: Vec<(u64, u32)> = Vec::new();
+    while pc < ctx.prog.end() {
+        let offset = (pc - ctx.prog.base) as usize;
+        let Some(parcel) = hulkv_rv::fetch_parcel(&ctx.prog.bytes, offset, xlen, xpulp) else {
+            break;
+        };
+        let dead = parcel.inst.is_some() && !ctx.cfg.reachable(pc);
+        match (dead, run_start) {
+            (true, None) => run_start = Some((pc, parcel.raw)),
+            (false, Some(s)) => {
+                runs.push(s);
+                run_start = None;
+            }
+            _ => {}
+        }
+        pc += u64::from(parcel.len);
+    }
+    runs.extend(run_start);
+    for (pc, raw) in runs {
+        // The CFG never decoded this PC, so bypass disasm_at.
+        ctx.findings.push(Finding {
+            kind: CheckKind::Unreachable,
+            severity: CheckKind::Unreachable.severity(),
+            pc,
+            disasm: disassemble_word(raw, xlen, xpulp),
+            message: "code not reachable from the entry point".to_string(),
+        });
+    }
+}
+
+fn check_out_of_image(ctx: &mut Ctx<'_>) {
+    let pcs: Vec<u64> = ctx.cfg.out_of_image.iter().copied().collect();
+    for pc in pcs {
+        ctx.emit(
+            CheckKind::OutOfImageJump,
+            pc,
+            format!(
+                "direct control transfer leaves the image [{:#x}, {:#x})",
+                ctx.prog.base,
+                ctx.prog.end()
+            ),
+        );
+    }
+}
+
+/// Map, IOPMP, alignment and self-modifying-code checks — everything
+/// driven by the abstract address of a data access.
+fn check_memory(ctx: &mut Ctx<'_>, config: &AnalyzeConfig) {
+    if ctx.abs.budget_exhausted {
+        return;
+    }
+    let xlen = ctx.prog.side.xlen();
+    let accesses: Vec<(u64, Reg, i64, usize, bool)> = ctx
+        .cfg
+        .insts
+        .iter()
+        .filter_map(|(&pc, ci)| {
+            let (rs1, offset, size, store) = match ci.inst? {
+                Inst::Load {
+                    width, rs1, offset, ..
+                }
+                | Inst::LoadPost {
+                    width, rs1, offset, ..
+                } => (rs1, offset, width.bytes(), false),
+                Inst::Store {
+                    width, rs1, offset, ..
+                }
+                | Inst::StorePost {
+                    width, rs1, offset, ..
+                } => (rs1, offset, width.bytes(), true),
+                Inst::FpLoad {
+                    fmt, rs1, offset, ..
+                } => (
+                    rs1,
+                    offset,
+                    if fmt == hulkv_rv::inst::FpFmt::S {
+                        4
+                    } else {
+                        8
+                    },
+                    false,
+                ),
+                Inst::FpStore {
+                    fmt, rs1, offset, ..
+                } => (
+                    rs1,
+                    offset,
+                    if fmt == hulkv_rv::inst::FpFmt::S {
+                        4
+                    } else {
+                        8
+                    },
+                    true,
+                ),
+                Inst::LoadReserved { double, rs1, .. } => {
+                    (rs1, 0, if double { 8 } else { 4 }, false)
+                }
+                Inst::StoreConditional { double, rs1, .. } | Inst::Amo { double, rs1, .. } => {
+                    (rs1, 0, if double { 8 } else { 4 }, true)
+                }
+                _ => return None,
+            };
+            Some((pc, rs1, offset, size, store))
+        })
+        .collect();
+
+    for (pc, rs1, offset, size, store) in accesses {
+        let Some(addr) = ctx.abs.addr_at(pc, rs1, offset, xlen) else {
+            continue;
+        };
+        if addr.is_top(xlen) {
+            continue;
+        }
+        // Alignment: every value in the set is `lo (mod stride)`, so the
+        // access is provably misaligned when the stride preserves the
+        // misaligned residue.
+        let s = size as u64;
+        if s > 1 && addr.stride % s == 0 && addr.lo % s != 0 {
+            ctx.emit(
+                CheckKind::Misaligned,
+                pc,
+                format!(
+                    "{}-byte access at address ≡ {:#x} (mod {}) is always misaligned",
+                    size,
+                    addr.lo % s,
+                    s
+                ),
+            );
+        }
+        // Map / IOPMP: provable only when the whole footprint misses
+        // every allowed window.
+        if let Some(view) = &config.view {
+            let legal = view
+                .regions
+                .iter()
+                .any(|r| r.contains_span(addr.lo, addr.hi, size));
+            let possibly_legal = view.regions.iter().any(|r| {
+                // Some value of the set could land inside the window.
+                addr.lo < r.base.saturating_add(r.size) && addr.hi >= r.base
+            });
+            if !legal && !possibly_legal {
+                ctx.emit(
+                    view.deny_kind,
+                    pc,
+                    format!(
+                        "{} of [{:#x}, {:#x}]+{} is outside every allowed window",
+                        if store { "store" } else { "load" },
+                        addr.lo,
+                        addr.hi,
+                        size
+                    ),
+                );
+            }
+            // Cross-side SMC: host store into the PMCA kernel-code half
+            // of the L2SPM.
+            if store {
+                if let Some((code_base, code_size)) = view.cluster_code {
+                    let code = crate::Region {
+                        name: String::new(),
+                        base: code_base,
+                        size: code_size,
+                    };
+                    if code.contains_span(addr.lo, addr.hi, size) {
+                        ctx.emit(
+                            CheckKind::CrossSideSmc,
+                            pc,
+                            "store into the L2SPM kernel-code window; the PMCA's \
+                             shared I-cache needs a flush_icache doorbell before \
+                             the next offload"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        // Self-modifying code within this image.
+        if store {
+            check_smc(ctx, pc, addr.lo, addr.hi, size);
+        }
+    }
+}
+
+/// A store whose footprint provably lands inside this image's code: walk
+/// forward from the store, stopping at `fence.i`; if a stored-to PC is
+/// executable on such a path, stale pre-modification bytes can run.
+fn check_smc(ctx: &mut Ctx<'_>, store_pc: u64, lo: u64, hi: u64, size: usize) {
+    let span_end = hi.saturating_add(size as u64);
+    if span_end <= ctx.prog.base || lo >= ctx.prog.end() {
+        return;
+    }
+    let mut seen = BTreeSet::new();
+    let mut work: Vec<u64> = ctx
+        .cfg
+        .succs
+        .get(&store_pc)
+        .into_iter()
+        .flatten()
+        .copied()
+        .collect();
+    while let Some(pc) = work.pop() {
+        if !seen.insert(pc) {
+            continue;
+        }
+        let Some(ci) = ctx.cfg.insts.get(&pc) else {
+            continue;
+        };
+        if matches!(ci.inst, Some(Inst::FenceI)) {
+            continue; // This path is safe past the fence.
+        }
+        if pc.wrapping_add(u64::from(ci.len)) > lo && pc < span_end {
+            ctx.emit(
+                CheckKind::SmcNoFence,
+                store_pc,
+                format!(
+                    "store overwrites code at [{lo:#x}, {span_end:#x}) which is \
+                     reachable without an intervening fence.i (e.g. at {pc:#x})"
+                ),
+            );
+            return;
+        }
+        work.extend(ctx.cfg.succs.get(&pc).into_iter().flatten().copied());
+    }
+}
+
+fn region_contains(l: &HwLoopRegion, pc: u64) -> bool {
+    pc >= l.start && pc < l.end
+}
+
+fn check_hw_loops(ctx: &mut Ctx<'_>) {
+    let loops = ctx.cfg.loops.clone();
+    for l in &loops {
+        // Degenerate bodies.
+        if l.end <= l.start {
+            ctx.emit(
+                CheckKind::HwLoopBody,
+                l.setup_pc,
+                format!(
+                    "hardware loop {} body [{:#x}, {:#x}) is empty or inverted",
+                    l.idx, l.start, l.end
+                ),
+            );
+            continue;
+        }
+        // The back-edge fires when an instruction *falls through* onto
+        // `end`: `end` must be an instruction boundary and the last body
+        // instruction must not itself transfer control.
+        let last = ctx
+            .cfg
+            .insts
+            .range(l.start..l.end)
+            .next_back()
+            .map(|(&pc, ci)| (pc, ci.len, ci.inst));
+        match last {
+            Some((pc, len, inst)) if pc + u64::from(len) == l.end => {
+                if matches!(
+                    inst,
+                    Some(
+                        Inst::Jal { .. }
+                            | Inst::Jalr { .. }
+                            | Inst::Branch { .. }
+                            | Inst::Ebreak
+                            | Inst::Mret
+                            | Inst::Sret
+                    )
+                ) {
+                    ctx.emit(
+                        CheckKind::HwLoopBody,
+                        pc,
+                        format!(
+                            "last instruction of hardware loop {} body is a control \
+                             transfer; the zero-cycle back-edge at {:#x} never fires",
+                            l.idx, l.end
+                        ),
+                    );
+                }
+            }
+            _ => {
+                ctx.emit(
+                    CheckKind::HwLoopBody,
+                    l.setup_pc,
+                    format!(
+                        "hardware loop {} end marker {:#x} is not an instruction \
+                         boundary; the back-edge never fires",
+                        l.idx, l.end
+                    ),
+                );
+            }
+        }
+        // Branches crossing the body boundary, and loop state written
+        // inside the body.
+        let insts: Vec<(u64, Option<Inst>)> = ctx
+            .cfg
+            .insts
+            .iter()
+            .map(|(&pc, ci)| (pc, ci.inst))
+            .collect();
+        for (pc, inst) in insts {
+            let Some(inst) = inst else { continue };
+            let inside = region_contains(l, pc);
+            let target = match inst {
+                Inst::Jal { offset, .. } | Inst::Branch { offset, .. } => {
+                    Some(pc.wrapping_add(offset as u64))
+                }
+                _ => None,
+            };
+            if let Some(t) = target {
+                // A branch from the last body slot to `end` is the idiom
+                // for "skip the back-edge", which is exactly the hazard:
+                // count state stays armed. Flag any boundary crossing.
+                if inside != (t >= l.start && t < l.end) {
+                    ctx.emit(
+                        CheckKind::HwLoopBranch,
+                        pc,
+                        format!(
+                            "control transfer {} hardware loop {} body [{:#x}, {:#x})",
+                            if inside { "out of" } else { "into" },
+                            l.idx,
+                            l.start,
+                            l.end
+                        ),
+                    );
+                }
+            }
+            if inside && matches!(inst, Inst::HwLoop { .. }) {
+                ctx.emit(
+                    CheckKind::HwLoopSetupInBody,
+                    pc,
+                    format!(
+                        "hardware-loop state written inside loop {} body [{:#x}, {:#x})",
+                        l.idx, l.start, l.end
+                    ),
+                );
+            }
+        }
+        // Provably zero iteration count: a counti 0, or a count from a
+        // register holding a known zero.
+        let setups: Vec<(u64, Inst)> = ctx
+            .cfg
+            .insts
+            .iter()
+            .filter_map(|(&pc, ci)| ci.inst.map(|i| (pc, i)))
+            .collect();
+        for (pc, inst) in setups {
+            if let Inst::HwLoop {
+                op,
+                loop_idx,
+                value,
+                rs1,
+            } = inst
+            {
+                if loop_idx & 1 != l.idx || region_contains(l, pc) {
+                    continue;
+                }
+                let zero = match op {
+                    hulkv_rv::inst::HwLoopOp::Counti => value == 0,
+                    hulkv_rv::inst::HwLoopOp::Count => ctx
+                        .abs
+                        .states
+                        .get(&pc)
+                        .map(|s| s[rs1.index() as usize].as_const() == Some(0))
+                        .unwrap_or(false),
+                    _ => false,
+                };
+                if zero {
+                    ctx.emit(
+                        CheckKind::HwLoopCount,
+                        pc,
+                        format!("hardware loop {} armed with a zero count", l.idx),
+                    );
+                }
+            }
+        }
+    }
+    // Overlap without nesting (including two regions in the same slot).
+    for (i, a) in loops.iter().enumerate() {
+        for b in &loops[i + 1..] {
+            let overlap = a.start < b.end && b.start < a.end;
+            let nested =
+                (a.start <= b.start && b.end <= a.end) || (b.start <= a.start && a.end <= b.end);
+            if overlap && (!nested || a.idx == b.idx) {
+                ctx.emit(
+                    CheckKind::HwLoopNesting,
+                    b.setup_pc,
+                    format!(
+                        "hardware-loop bodies [{:#x}, {:#x}) (slot {}) and \
+                         [{:#x}, {:#x}) (slot {}) overlap illegally",
+                        a.start, a.end, a.idx, b.start, b.end, b.idx
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The CSRs the cores implement (see `hulkv_rv::csr`); anything else
+/// reads zero / ignores writes in the model but traps on real hardware.
+const KNOWN_CSRS: &[u16] = &[
+    addr::MSTATUS,
+    addr::MISA,
+    addr::MEDELEG,
+    addr::MIDELEG,
+    addr::MIE,
+    addr::MTVEC,
+    addr::MSCRATCH,
+    addr::MEPC,
+    addr::MCAUSE,
+    addr::MTVAL,
+    addr::MIP,
+    addr::MHARTID,
+    addr::SSTATUS,
+    addr::STVEC,
+    addr::SSCRATCH,
+    addr::SEPC,
+    addr::SCAUSE,
+    addr::STVAL,
+    addr::SATP,
+    addr::CYCLE,
+    addr::TIME,
+    addr::INSTRET,
+    addr::MCYCLE,
+    addr::MINSTRET,
+    addr::FFLAGS,
+    addr::FRM,
+    addr::FCSR,
+];
+
+fn check_csrs(ctx: &mut Ctx<'_>) {
+    let csr_insts: Vec<(u64, CsrOp, u16, CsrSrc)> = ctx
+        .cfg
+        .insts
+        .iter()
+        .filter_map(|(&pc, ci)| match ci.inst? {
+            Inst::Csr { op, csr, src, .. } => Some((pc, op, csr, src)),
+            _ => None,
+        })
+        .collect();
+    for (pc, op, csr, src) in csr_insts {
+        // `csrrs/rc` with a zero source are pure reads by the spec.
+        let writes = match (op, src) {
+            (CsrOp::Rw, _) => true,
+            (_, CsrSrc::Reg(r)) => r != Reg::Zero,
+            (_, CsrSrc::Imm(i)) => i != 0,
+        };
+        if !KNOWN_CSRS.contains(&csr) {
+            ctx.emit(
+                CheckKind::CsrUnknown,
+                pc,
+                format!("CSR {csr:#x} is not implemented by either core"),
+            );
+            continue;
+        }
+        // Addresses with the top two bits of the access field set are
+        // architecturally read-only (csr[11:10] == 0b11).
+        if writes && (csr >> 10) == 0b11 {
+            ctx.emit(
+                CheckKind::CsrReadOnly,
+                pc,
+                format!("write to read-only CSR {csr:#x} traps on real hardware"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalyzeConfig, GuestProgram, Side};
+    use hulkv_rv::{Asm, Xlen};
+
+    fn kinds(prog: &GuestProgram, cfg: &AnalyzeConfig) -> Vec<CheckKind> {
+        analyze(prog, cfg).findings.iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, hulkv_cluster::TCDM_BASE as i64);
+        a.lw(Reg::T1, Reg::T0, 0);
+        a.addi(Reg::T1, Reg::T1, 1);
+        a.sw(Reg::T1, Reg::T0, 4);
+        a.ebreak();
+        let p = GuestProgram::from_words("clean", &a.assemble().unwrap(), 0, Side::Cluster);
+        assert!(kinds(&p, &AnalyzeConfig::for_side(Side::Cluster)).is_empty());
+    }
+
+    #[test]
+    fn iopmp_denied_store_is_flagged() {
+        let mut a = Asm::new(Xlen::Rv32);
+        // The peripheral window is not IOPMP-whitelisted for the cluster.
+        a.li(Reg::T0, hulkv::map::PERIPH_BASE as i64);
+        a.sw(Reg::T1, Reg::T0, 0);
+        a.ebreak();
+        let p = GuestProgram::from_words("denied", &a.assemble().unwrap(), 0, Side::Cluster);
+        assert!(
+            kinds(&p, &AnalyzeConfig::for_side(Side::Cluster)).contains(&CheckKind::IopmpDenied)
+        );
+    }
+
+    #[test]
+    fn host_map_violation_is_flagged() {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, 0x4000_0000); // between PLIC and DRAM: unmapped
+        a.ld(Reg::T1, Reg::T0, 0);
+        a.ebreak();
+        let p = GuestProgram::from_words("unmapped", &a.assemble().unwrap(), 0, Side::Host);
+        assert!(kinds(&p, &AnalyzeConfig::for_side(Side::Host)).contains(&CheckKind::MemMap));
+    }
+
+    #[test]
+    fn misaligned_amo_is_flagged() {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, (hulkv::map::DRAM_BASE + 2) as i64);
+        a.amoadd_w(Reg::T1, Reg::T2, Reg::T0);
+        a.ebreak();
+        let p = GuestProgram::from_words("amo", &a.assemble().unwrap(), 0, Side::Host);
+        assert!(kinds(&p, &AnalyzeConfig::for_side(Side::Host)).contains(&CheckKind::Misaligned));
+    }
+
+    #[test]
+    fn runtime_argument_addresses_do_not_false_positive() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.lw(Reg::T0, Reg::A0, 0); // a0 is a kernel argument: top
+        a.sw(Reg::T0, Reg::A1, 0);
+        a.ebreak();
+        let p = GuestProgram::from_words("args", &a.assemble().unwrap(), 0, Side::Cluster);
+        assert!(kinds(&p, &AnalyzeConfig::for_side(Side::Cluster)).is_empty());
+    }
+
+    #[test]
+    fn hw_loop_branch_out_is_flagged() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.lp_counti(0, 4);
+        let (ls, le) = (a.label(), a.label());
+        a.lp_starti(0, ls);
+        a.lp_endi(0, le);
+        a.bind(ls);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.bnez(Reg::T0, le); // branch out of the body
+        a.addi(Reg::T1, Reg::T1, 1);
+        a.bind(le);
+        a.ebreak();
+        let p = GuestProgram::from_words("loop", &a.assemble().unwrap(), 0, Side::Cluster);
+        assert!(kinds(&p, &AnalyzeConfig::default()).contains(&CheckKind::HwLoopBranch));
+    }
+
+    #[test]
+    fn hw_loop_setup_in_body_is_flagged() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.lp_counti(0, 4);
+        let (ls, le) = (a.label(), a.label());
+        a.lp_starti(0, ls);
+        a.lp_endi(0, le);
+        a.bind(ls);
+        a.lp_counti(0, 2); // rewrites the armed count inside the body
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.bind(le);
+        a.ebreak();
+        let p = GuestProgram::from_words("loop", &a.assemble().unwrap(), 0, Side::Cluster);
+        assert!(kinds(&p, &AnalyzeConfig::default()).contains(&CheckKind::HwLoopSetupInBody));
+    }
+
+    #[test]
+    fn csr_misuse_is_flagged() {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.csrw(addr::CYCLE, Reg::T0); // read-only
+        a.csrr(Reg::T1, 0x7C0); // custom CSR, not implemented
+        a.ebreak();
+        let p = GuestProgram::from_words("csr", &a.assemble().unwrap(), 0, Side::Host);
+        let ks = kinds(&p, &AnalyzeConfig::default());
+        assert!(ks.contains(&CheckKind::CsrReadOnly));
+        assert!(ks.contains(&CheckKind::CsrUnknown));
+    }
+
+    #[test]
+    fn smc_without_fence_is_flagged() {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, 0x100); // base of this image
+        a.li(Reg::T1, 0x13); // nop encoding
+        a.sw(Reg::T1, Reg::T0, 16); // patch an upcoming instruction
+        a.addi(Reg::T2, Reg::T2, 1);
+        a.addi(Reg::T2, Reg::T2, 2);
+        a.ebreak();
+        let p = GuestProgram::from_words("smc", &a.assemble().unwrap(), 0x100, Side::Host);
+        assert!(kinds(&p, &AnalyzeConfig::default()).contains(&CheckKind::SmcNoFence));
+    }
+
+    #[test]
+    fn smc_with_fence_is_clean() {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, 0x100);
+        a.li(Reg::T1, 0x13);
+        a.sw(Reg::T1, Reg::T0, 16);
+        a.fence_i();
+        a.addi(Reg::T2, Reg::T2, 1);
+        a.addi(Reg::T2, Reg::T2, 2);
+        a.ebreak();
+        let p = GuestProgram::from_words("smc", &a.assemble().unwrap(), 0x100, Side::Host);
+        assert!(!kinds(&p, &AnalyzeConfig::default()).contains(&CheckKind::SmcNoFence));
+    }
+}

@@ -1,0 +1,231 @@
+//! Dynamic confirmation of static findings.
+//!
+//! Static findings are predictions; the simulator can test them. This
+//! module executes a flagged program on a real [`hulkv::HulkV`] instance
+//! with the `protect` trace category enabled and matches the recorded
+//! [`TraceEvent`]s back against the report:
+//!
+//! * a [`CheckKind::Misaligned`] finding is confirmed by a `misaligned`
+//!   event at the *same PC* the analyzer flagged;
+//! * a [`CheckKind::IopmpDenied`] finding is confirmed by an `iopmp_deny`
+//!   event from the cluster's IOPMP port;
+//! * a [`CheckKind::MemMap`] finding is confirmed when the run faults
+//!   (the host bus has no window to deny from, it just errors).
+//!
+//! Anything the analyzer flagged on a path execution never took stays
+//! `unconfirmed` — that is a property of the chosen inputs, not a
+//! refutation — and classes with no runtime signal (e.g. hardware-loop
+//! shape warnings) are listed as `unchecked`.
+
+use crate::checks::CheckKind;
+use crate::report::Report;
+use crate::{GuestProgram, Side};
+use hulkv::{map, HulkV, SocConfig};
+use hulkv_sim::{category, SharedTracer, TraceEvent, Tracer};
+use std::collections::BTreeSet;
+
+/// Outcome of one confirmation run.
+#[derive(Debug, Default)]
+pub struct DynamicOutcome {
+    /// Finding classes with matching runtime evidence.
+    pub confirmed: Vec<CheckKind>,
+    /// Classes with a runtime signal that produced no evidence on this
+    /// run (execution may simply not have reached the flagged path).
+    pub unconfirmed: Vec<CheckKind>,
+    /// Classes with no runtime signal to check against.
+    pub unchecked: Vec<CheckKind>,
+    /// Execution error, if the run faulted (often the violation itself).
+    pub run_error: Option<String>,
+}
+
+/// Whether a class has a runtime signal this harness can observe.
+fn has_dynamic_signal(kind: CheckKind) -> bool {
+    matches!(
+        kind,
+        CheckKind::Misaligned | CheckKind::IopmpDenied | CheckKind::MemMap
+    )
+}
+
+fn words_of(prog: &GuestProgram) -> Vec<u32> {
+    prog.bytes
+        .chunks(4)
+        .map(|c| {
+            let mut w = [0u8; 4];
+            w[..c.len()].copy_from_slice(c);
+            u32::from_le_bytes(w)
+        })
+        .collect()
+}
+
+fn run_host(prog: &GuestProgram, tracer: &SharedTracer, max_cycles: u64) -> Result<(), String> {
+    if prog.base != map::HOST_CODE {
+        return Err(format!(
+            "host confirmation runs execute at {:#x}; program is based at {:#x}",
+            map::HOST_CODE,
+            prog.base
+        ));
+    }
+    let mut soc = HulkV::new(SocConfig::default()).map_err(|e| e.to_string())?;
+    soc.attach_tracer(tracer.clone());
+    soc.run_host_program(&words_of(prog), |_| {}, max_cycles)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+fn run_cluster(prog: &GuestProgram, tracer: &SharedTracer, max_cycles: u64) -> Result<(), String> {
+    let cfg = SocConfig::default();
+    let l2_end = map::L2SPM_BASE + cfg.l2spm_bytes as u64;
+    if prog.base < map::L2SPM_BASE || prog.end() > l2_end {
+        return Err(format!(
+            "cluster confirmation runs execute from the L2SPM [{:#x}, {l2_end:#x}); \
+             program spans [{:#x}, {:#x})",
+            map::L2SPM_BASE,
+            prog.base,
+            prog.end()
+        ));
+    }
+    let mut soc = HulkV::new(cfg).map_err(|e| e.to_string())?;
+    soc.attach_tracer(tracer.clone());
+    soc.write_mem(prog.base, &prog.bytes)
+        .map_err(|e| e.to_string())?;
+    soc.cluster_mut()
+        .run_team(prog.base, &[], 1, max_cycles)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+/// Executes `prog` with protection tracing enabled and matches the
+/// recorded events against `report`'s findings.
+pub fn confirm(prog: &GuestProgram, report: &Report, max_cycles: u64) -> DynamicOutcome {
+    let kinds: BTreeSet<CheckKind> = report.findings.iter().map(|f| f.kind).collect();
+    let mut out = DynamicOutcome {
+        unchecked: kinds
+            .iter()
+            .copied()
+            .filter(|&k| !has_dynamic_signal(k))
+            .collect(),
+        ..DynamicOutcome::default()
+    };
+    let traceable: Vec<CheckKind> = kinds
+        .into_iter()
+        .filter(|&k| has_dynamic_signal(k))
+        .collect();
+    if traceable.is_empty() {
+        return out;
+    }
+
+    let tracer = Tracer::shared(1 << 16);
+    tracer.borrow_mut().enable(category::PROTECT);
+    out.run_error = match prog.side {
+        Side::Host => run_host(prog, &tracer, max_cycles),
+        Side::Cluster => run_cluster(prog, &tracer, max_cycles),
+    }
+    .err();
+
+    let mut misaligned_pcs: BTreeSet<u64> = BTreeSet::new();
+    let mut iopmp_denied = false;
+    {
+        let t = tracer.borrow();
+        for rec in t.events() {
+            match rec.event {
+                TraceEvent::Misaligned { pc, .. } => {
+                    misaligned_pcs.insert(pc);
+                }
+                TraceEvent::IopmpDeny { .. } => iopmp_denied = true,
+                _ => {}
+            }
+        }
+    }
+
+    for k in traceable {
+        let hit = match k {
+            CheckKind::Misaligned => report
+                .findings
+                .iter()
+                .any(|f| f.kind == k && misaligned_pcs.contains(&f.pc)),
+            CheckKind::IopmpDenied => iopmp_denied,
+            CheckKind::MemMap => out.run_error.is_some(),
+            _ => false,
+        };
+        if hit {
+            out.confirmed.push(k);
+        } else {
+            out.unconfirmed.push(k);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalyzeConfig};
+    use hulkv_rv::{Asm, Reg, Xlen};
+
+    #[test]
+    fn misaligned_finding_confirmed_by_trace_event() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, (hulkv_cluster::TCDM_BASE + 2) as i64);
+        a.lw(Reg::T1, Reg::T0, 0);
+        a.ebreak();
+        let prog = GuestProgram::from_words(
+            "misaligned",
+            &a.assemble().unwrap(),
+            map::L2SPM_BASE,
+            Side::Cluster,
+        );
+        let report = analyze(&prog, &AnalyzeConfig::for_side(Side::Cluster));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == CheckKind::Misaligned));
+        let out = confirm(&prog, &report, 100_000);
+        assert!(
+            out.confirmed.contains(&CheckKind::Misaligned),
+            "expected dynamic confirmation, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn iopmp_denied_finding_confirmed_by_trace_event() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, hulkv::map::PERIPH_BASE as i64);
+        a.sw(Reg::T1, Reg::T0, 0);
+        a.ebreak();
+        let prog = GuestProgram::from_words(
+            "denied",
+            &a.assemble().unwrap(),
+            map::L2SPM_BASE,
+            Side::Cluster,
+        );
+        let report = analyze(&prog, &AnalyzeConfig::for_side(Side::Cluster));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == CheckKind::IopmpDenied));
+        let out = confirm(&prog, &report, 100_000);
+        assert!(
+            out.confirmed.contains(&CheckKind::IopmpDenied),
+            "expected dynamic confirmation, got {out:?}"
+        );
+        // The denial aborts the team run, which the outcome reports.
+        assert!(out.run_error.is_some());
+    }
+
+    #[test]
+    fn clean_program_has_nothing_to_confirm() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, hulkv_cluster::TCDM_BASE as i64);
+        a.sw(Reg::T1, Reg::T0, 0);
+        a.ebreak();
+        let prog = GuestProgram::from_words(
+            "clean",
+            &a.assemble().unwrap(),
+            map::L2SPM_BASE,
+            Side::Cluster,
+        );
+        let report = analyze(&prog, &AnalyzeConfig::for_side(Side::Cluster));
+        let out = confirm(&prog, &report, 100_000);
+        assert!(out.confirmed.is_empty() && out.unconfirmed.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Static analysis for HULK-V guest binaries.
+//!
+//! The dynamic half of the verification pipeline (the PR-3 differential
+//! fuzzer, the trace infrastructure) only catches a bug when an execution
+//! reaches it. This crate adds the static half: it reuses the real
+//! [`hulkv_rv`] decoder to recover a control-flow graph from a raw guest
+//! image ([`cfg`]), runs a small abstract interpreter over the integer
+//! register file ([`absint`] — a constant/alignment/range lattice), and
+//! powers a catalogue of checks ([`checks`]) that flag provable
+//! software/platform mismatches *before* anything executes:
+//!
+//! * Xpulp hardware-loop legality (branches into or out of a body, loop
+//!   state written inside a body, bad nesting, unreachable end markers);
+//! * accesses the SoC address map or the IOPMP provably rejects, resolved
+//!   per side (host view vs. cluster view);
+//! * provably misaligned loads, stores and AMOs;
+//! * stores into executable regions with no `fence.i` on the path behind
+//!   them, and host stores into the cluster's L2SPM code window;
+//! * undecodable or unreachable instructions and branches leaving the
+//!   image;
+//! * CSR misuse (writes to read-only or unimplemented CSRs).
+//!
+//! Every finding carries a PC, the disassembly of the offending
+//! instruction and a machine-readable JSON rendering ([`report`]); the
+//! `hulkv-lint` binary diffs findings against a committed baseline so CI
+//! fails only on *new* ones. Warning classes map onto `hulkv-trace` event
+//! categories, and [`dynamic`] closes the loop by executing a flagged
+//! program and confirming findings against the recorded events.
+//!
+//! # Example
+//!
+//! ```
+//! use hulkv_analyze::{analyze, AnalyzeConfig, CheckKind, GuestProgram, Side};
+//! use hulkv_rv::{Asm, Reg, Xlen};
+//!
+//! // A store through a provably misaligned pointer.
+//! let mut a = Asm::new(Xlen::Rv32);
+//! a.li(Reg::T0, 0x1000_0002);
+//! a.sw(Reg::T1, Reg::T0, 0);
+//! a.ebreak();
+//! let prog = GuestProgram::from_words("demo", &a.assemble()?, 0, Side::Cluster);
+//! let report = analyze(&prog, &AnalyzeConfig::default());
+//! assert!(report.findings.iter().any(|f| f.kind == CheckKind::Misaligned));
+//! # Ok::<(), hulkv_rv::RvError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absint;
+pub mod cfg;
+pub mod checks;
+pub mod dynamic;
+pub mod report;
+
+pub use checks::{CheckKind, Finding, Severity};
+pub use report::{Baseline, Report};
+
+use hulkv_rv::Xlen;
+
+/// Which HULK-V core a guest binary targets. The side fixes the register
+/// width, the extension set the decoder accepts, and the default memory
+/// view the map checks resolve against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The RV64GC CVA6 host (no Xpulp; host address map).
+    Host,
+    /// An RV32 Xpulp PMCA core (TCDM plus the IOPMP windows).
+    Cluster,
+}
+
+impl Side {
+    /// Register width of this side.
+    pub fn xlen(self) -> Xlen {
+        match self {
+            Side::Host => Xlen::Rv64,
+            Side::Cluster => Xlen::Rv32,
+        }
+    }
+
+    /// Whether the decoder should accept Xpulp encodings.
+    pub fn xpulp(self) -> bool {
+        matches!(self, Side::Cluster)
+    }
+}
+
+/// A guest binary to analyze: a raw little-endian image, the address it
+/// is loaded at, and the core it targets. Execution is assumed to enter
+/// at `base`.
+#[derive(Debug, Clone)]
+pub struct GuestProgram {
+    /// Display name used in findings and baselines.
+    pub name: String,
+    /// The raw image bytes.
+    pub bytes: Vec<u8>,
+    /// Load (and entry) address.
+    pub base: u64,
+    /// Target core.
+    pub side: Side,
+}
+
+impl GuestProgram {
+    /// Builds a program from assembled instruction words (the form every
+    /// generator in this repository produces).
+    pub fn from_words(name: &str, words: &[u32], base: u64, side: Side) -> Self {
+        GuestProgram {
+            name: name.to_string(),
+            bytes: words.iter().flat_map(|w| w.to_le_bytes()).collect(),
+            base,
+            side,
+        }
+    }
+
+    /// End address (exclusive) of the image.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+}
+
+/// A named physical window data accesses may legally touch.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Display name (`"tcdm"`, `"dram"`, …).
+    pub name: String,
+    /// Base address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl Region {
+    fn contains_span(&self, lo: u64, hi_incl: u64, size: usize) -> bool {
+        let end = self.base as u128 + self.size as u128;
+        lo >= self.base && hi_incl as u128 + size as u128 <= end
+    }
+}
+
+/// The memory view a program's data accesses are checked against: the set
+/// of windows the side may touch, and which finding a provable escape
+/// raises (plain map error on the host, IOPMP denial on the cluster).
+#[derive(Debug, Clone)]
+pub struct MemView {
+    /// Allowed windows.
+    pub regions: Vec<Region>,
+    /// Finding kind for accesses provably outside every window.
+    pub deny_kind: CheckKind,
+    /// Host-side window holding PMCA kernel code (stores into it are
+    /// cross-side self-modifying code); `None` on the cluster view.
+    pub cluster_code: Option<(u64, u64)>,
+}
+
+impl MemView {
+    /// The CVA6 host's view for a SoC configuration: the bus windows of
+    /// [`hulkv::host_regions`], with the kernel half of the L2SPM marked
+    /// as cluster code.
+    pub fn host(cfg: &hulkv::SocConfig) -> Self {
+        MemView {
+            regions: hulkv::host_regions(cfg)
+                .into_iter()
+                .map(|(name, base, size)| Region {
+                    name: name.to_string(),
+                    base,
+                    size,
+                })
+                .collect(),
+            deny_kind: CheckKind::MemMap,
+            // The offload runtime packs kernel binaries into the lower
+            // half of the L2SPM; host benchmark data lives in the upper
+            // half (see `hulkv_kernels::suite::host_data_base`).
+            cluster_code: Some((hulkv::map::L2SPM_BASE, cfg.l2spm_bytes as u64 / 2)),
+        }
+    }
+
+    /// A PMCA core's view for a SoC configuration: the TCDM plus the
+    /// windows the host's IOPMP whitelists
+    /// ([`hulkv::default_iopmp_windows`]); everything else is a provable
+    /// IOPMP denial.
+    pub fn cluster(cfg: &hulkv::SocConfig) -> Self {
+        let mut regions = vec![Region {
+            name: "tcdm".to_string(),
+            base: hulkv_cluster::TCDM_BASE,
+            size: cfg.cluster.tcdm_bytes() as u64,
+        }];
+        regions.extend(
+            hulkv::default_iopmp_windows(cfg)
+                .into_iter()
+                .enumerate()
+                .map(|(i, (base, size))| Region {
+                    name: ["l2spm", "dram"].get(i).unwrap_or(&"iopmp").to_string(),
+                    base,
+                    size,
+                }),
+        );
+        MemView {
+            regions,
+            deny_kind: CheckKind::IopmpDenied,
+            cluster_code: None,
+        }
+    }
+}
+
+/// Analyzer knobs.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeConfig {
+    /// Memory view for map/IOPMP checks; `None` (e.g. for raw-core
+    /// programs over a [`hulkv_rv::FlatBus`]) skips them.
+    pub view: Option<MemView>,
+}
+
+impl AnalyzeConfig {
+    /// The default view for a side under the default SoC configuration.
+    pub fn for_side(side: Side) -> Self {
+        let cfg = hulkv::SocConfig::default();
+        AnalyzeConfig {
+            view: Some(match side {
+                Side::Host => MemView::host(&cfg),
+                Side::Cluster => MemView::cluster(&cfg),
+            }),
+        }
+    }
+}
+
+/// Runs CFG recovery, the abstract interpreter and the full check suite
+/// over one guest program.
+pub fn analyze(prog: &GuestProgram, cfg: &AnalyzeConfig) -> Report {
+    let graph = cfg::recover(prog);
+    let absint = absint::interpret(prog, &graph);
+    let mut findings = checks::run_all(prog, &graph, &absint, cfg);
+    findings.sort_by_key(|f| (f.pc, f.kind as u32));
+    Report {
+        program: prog.name.clone(),
+        findings,
+    }
+}

@@ -1,0 +1,273 @@
+//! Report rendering and baseline diffing.
+//!
+//! A [`Report`] is the findings of one program; [`Baseline`] is the
+//! committed per-`(program, check)` budget of *accepted* findings with a
+//! one-line justification each. `hulkv-lint --ci` fails only when a
+//! program exceeds its budget — new findings break the build, known ones
+//! do not, and a baseline entry whose findings disappeared is reported so
+//! the budget can be tightened.
+
+use crate::checks::{Finding, Severity};
+use hulkv_sim::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The findings of one analyzed program.
+#[derive(Debug)]
+pub struct Report {
+    /// Program name (stable across runs; baseline key).
+    pub program: String,
+    /// Findings sorted by `(pc, kind)`.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Highest severity present, or `None` when clean.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", Json::from(self.program.as_str())),
+            (
+                "findings",
+                Json::Arr(self.findings.iter().map(finding_json).collect()),
+            ),
+        ])
+    }
+
+    /// Renders the report as human-readable text, one line per finding.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}: {}: {:#010x}: {} [{}]  # {}",
+                self.program,
+                f.severity.name(),
+                f.pc,
+                f.kind.name(),
+                f.disasm,
+                f.message
+            );
+        }
+        out
+    }
+}
+
+fn finding_json(f: &Finding) -> Json {
+    Json::obj([
+        ("check", Json::from(f.kind.name())),
+        ("severity", Json::from(f.severity.name())),
+        ("pc", Json::from(f.pc)),
+        ("disasm", Json::from(f.disasm.as_str())),
+        ("message", Json::from(f.message.as_str())),
+    ])
+}
+
+/// One accepted-findings budget: how many findings of one check one
+/// program may produce, and why they are acceptable.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Accepted finding count.
+    pub count: usize,
+    /// One-line justification.
+    pub why: String,
+}
+
+/// The committed baseline: accepted findings per `(program, check)`.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), BaselineEntry>,
+}
+
+/// Result of diffing one run against the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// `(program, check, found, accepted)` where found > accepted: these
+    /// fail CI.
+    pub regressions: Vec<(String, String, usize, usize)>,
+    /// `(program, check, found, accepted)` where found < accepted: the
+    /// baseline is stale and can be tightened (does not fail CI).
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+impl Baseline {
+    /// Parses a baseline from its JSON rendering.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let json = Json::parse(text)?;
+        let arr = json
+            .get("accepted")
+            .and_then(Json::as_arr)
+            .ok_or("baseline: missing `accepted` array")?;
+        let mut entries = BTreeMap::new();
+        for e in arr {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry: missing `{k}`"))
+            };
+            let program = field("program")?;
+            let check = field("check")?;
+            let count = e
+                .get("count")
+                .and_then(Json::as_f64)
+                .ok_or("baseline entry: missing `count`")? as usize;
+            let why = field("why")?;
+            entries.insert((program, check), BaselineEntry { count, why });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Number of accepted `(program, check)` budgets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline accepts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes reports into baseline JSON, carrying over existing
+    /// justifications and marking new entries for a human to fill in.
+    pub fn from_reports(reports: &[Report], previous: &Baseline) -> String {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for r in reports {
+            for f in &r.findings {
+                *counts
+                    .entry((r.program.clone(), f.kind.name().to_string()))
+                    .or_default() += 1;
+            }
+        }
+        let accepted: Vec<Json> = counts
+            .iter()
+            .map(|((program, check), &count)| {
+                let why = previous
+                    .entries
+                    .get(&(program.clone(), check.clone()))
+                    .map(|e| e.why.clone())
+                    .unwrap_or_else(|| "TODO: justify".to_string());
+                Json::obj([
+                    ("program", Json::from(program.as_str())),
+                    ("check", Json::from(check.as_str())),
+                    ("count", Json::from(count as u64)),
+                    ("why", Json::from(why.as_str())),
+                ])
+            })
+            .collect();
+        Json::obj([("accepted", Json::Arr(accepted))]).to_string()
+    }
+
+    /// Diffs reports against the accepted budgets.
+    pub fn diff(&self, reports: &[Report]) -> BaselineDiff {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for r in reports {
+            for f in &r.findings {
+                *counts
+                    .entry((r.program.clone(), f.kind.name().to_string()))
+                    .or_default() += 1;
+            }
+        }
+        let mut diff = BaselineDiff::default();
+        for (key, &found) in &counts {
+            let accepted = self.entries.get(key).map_or(0, |e| e.count);
+            if found > accepted {
+                diff.regressions
+                    .push((key.0.clone(), key.1.clone(), found, accepted));
+            }
+        }
+        for (key, entry) in &self.entries {
+            let found = counts.get(key).copied().unwrap_or(0);
+            if found < entry.count {
+                diff.stale
+                    .push((key.0.clone(), key.1.clone(), found, entry.count));
+            }
+        }
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::CheckKind;
+
+    fn finding(kind: CheckKind, pc: u64) -> Finding {
+        Finding {
+            kind,
+            severity: kind.severity(),
+            pc,
+            disasm: "nop".into(),
+            message: "m".into(),
+        }
+    }
+
+    fn report(name: &str, kinds: &[CheckKind]) -> Report {
+        Report {
+            program: name.into(),
+            findings: kinds
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| finding(k, i as u64 * 4))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trip_and_diff() {
+        let reports = [
+            report("a", &[CheckKind::Misaligned, CheckKind::Misaligned]),
+            report("b", &[CheckKind::CsrUnknown]),
+        ];
+        let text = Baseline::from_reports(&reports, &Baseline::default());
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.len(), 2);
+        // Exactly the baselined findings: clean diff.
+        let d = base.diff(&reports);
+        assert!(d.regressions.is_empty() && d.stale.is_empty());
+        // One more misaligned finding in `a`: a regression.
+        let worse = [
+            report(
+                "a",
+                &[
+                    CheckKind::Misaligned,
+                    CheckKind::Misaligned,
+                    CheckKind::Misaligned,
+                ],
+            ),
+            report("b", &[CheckKind::CsrUnknown]),
+        ];
+        let d = base.diff(&worse);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].2, 3);
+        // A finding class disappears: stale budget, not a failure.
+        let better = [report("b", &[CheckKind::CsrUnknown])];
+        let d = base.diff(&better);
+        assert!(d.regressions.is_empty());
+        assert_eq!(d.stale.len(), 1);
+    }
+
+    #[test]
+    fn unbaselined_finding_regresses_against_empty_baseline() {
+        let base = Baseline::default();
+        let d = base.diff(&[report("x", &[CheckKind::MemMap])]);
+        assert_eq!(d.regressions.len(), 1);
+    }
+
+    #[test]
+    fn json_rendering_parses_back() {
+        let r = report("p", &[CheckKind::HwLoopBranch]);
+        let parsed = Json::parse(&r.to_json().to_string()).unwrap();
+        assert_eq!(parsed.get("program").and_then(Json::as_str), Some("p"));
+        let arr = parsed.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(
+            arr[0].get("check").and_then(Json::as_str),
+            Some("hwloop-branch")
+        );
+    }
+}

@@ -151,10 +151,12 @@ impl Cluster {
     }
 
     /// Attaches a structured SoC tracer: the cluster DMA records its
-    /// transfers, and every core of each subsequent team records retires on
-    /// its own per-hart track.
+    /// transfers, every core of each subsequent team records retires on
+    /// its own per-hart track, and the external port (in the full SoC, the
+    /// IOPMP) records protection events.
     pub fn set_tracer(&mut self, tracer: SharedTracer) {
         self.dma.set_tracer(tracer.clone(), Track::ClusterDma);
+        self.ext.borrow_mut().attach_tracer(tracer.clone());
         self.tracer = Some(tracer);
     }
 

@@ -1,7 +1,7 @@
 //! The IOPMP filtering the cluster's AXI master port.
 
 use hulkv_mem::{MemoryDevice, SharedMem};
-use hulkv_sim::{Cycles, SimError, Stats};
+use hulkv_sim::{Cycles, SharedTracer, SimError, Stats, TraceEvent, Track};
 
 /// An I/O physical-memory-protection filter.
 ///
@@ -29,6 +29,7 @@ pub struct IoPmp {
     inner: SharedMem,
     windows: Vec<(u64, u64)>,
     stats: Stats,
+    tracer: Option<SharedTracer>,
 }
 
 impl IoPmp {
@@ -38,6 +39,7 @@ impl IoPmp {
             inner,
             windows: Vec::new(),
             stats: Stats::new("iopmp"),
+            tracer: None,
         }
     }
 
@@ -51,11 +53,22 @@ impl IoPmp {
         self.windows.clear();
     }
 
+    /// The configured allow windows as `(base, size)` pairs.
+    pub fn windows(&self) -> &[(u64, u64)] {
+        &self.windows
+    }
+
     /// Whether an access is inside a single whitelisted window.
+    ///
+    /// Arithmetic is widened so queries that touch the very end of the
+    /// address space (where `addr + len` would wrap) are answered instead
+    /// of overflowing. Zero-length queries succeed whenever `addr` lies
+    /// inside (or exactly at the end of) a window.
     pub fn permits(&self, addr: u64, len: usize) -> bool {
+        let span_end = addr as u128 + len as u128;
         self.windows
             .iter()
-            .any(|&(base, size)| addr >= base && addr + len as u64 <= base + size)
+            .any(|&(base, size)| addr >= base && span_end <= base as u128 + size as u128)
     }
 
     fn check(&mut self, addr: u64, len: usize) -> Result<(), SimError> {
@@ -63,9 +76,18 @@ impl IoPmp {
             Ok(())
         } else {
             self.stats.inc("denied");
+            if let Some(t) = &self.tracer {
+                t.borrow_mut().record(
+                    Track::Soc,
+                    TraceEvent::IopmpDeny {
+                        addr,
+                        bytes: len.min(u32::MAX as usize) as u32,
+                    },
+                );
+            }
             Err(SimError::Model(format!(
                 "iopmp denied cluster access to {addr:#x}..{:#x}",
-                addr + len as u64
+                addr as u128 + len as u128
             )))
         }
     }
@@ -94,6 +116,10 @@ impl MemoryDevice for IoPmp {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
     }
 }
 
@@ -140,5 +166,76 @@ mod tests {
         assert!(!p.permits(0x1000, 1));
         let mut b = [0u8; 1];
         assert!(p.read(0x1000, &mut b).is_err());
+        assert_eq!(p.stats().get("denied"), 1);
+    }
+
+    #[test]
+    fn abutting_windows_do_not_merge() {
+        let mem = shared(Sram::new("m", 0x10000, Cycles::new(1)));
+        let mut p = IoPmp::new(mem);
+        p.allow(0x1000, 0x100);
+        p.allow(0x1100, 0x100);
+        // Each window permits accesses wholly inside it…
+        assert!(p.permits(0x10F0, 0x10));
+        assert!(p.permits(0x1100, 0x10));
+        // …but a span crossing the seam is inside no *single* window.
+        assert!(!p.permits(0x10F8, 0x10));
+        assert_eq!(p.windows().len(), 2);
+    }
+
+    #[test]
+    fn overlapping_windows_each_checked_alone() {
+        let mem = shared(Sram::new("m", 0x10000, Cycles::new(1)));
+        let mut p = IoPmp::new(mem);
+        p.allow(0x1000, 0x200);
+        p.allow(0x1100, 0x200);
+        // Inside the overlap, either window covers the access.
+        assert!(p.permits(0x1180, 8));
+        // A span covering the union but exceeding both windows is denied.
+        assert!(!p.permits(0x1000, 0x300));
+    }
+
+    #[test]
+    fn zero_length_queries() {
+        let p = pmp();
+        assert!(p.permits(0x1000, 0));
+        // The exclusive end of a window still "contains" an empty access.
+        assert!(p.permits(0x2000, 0));
+        assert!(!p.permits(0x2001, 0));
+        assert!(!p.permits(0x0, 0));
+    }
+
+    #[test]
+    fn end_of_address_space_queries_do_not_overflow() {
+        let mem = shared(Sram::new("m", 0x10000, Cycles::new(1)));
+        let mut p = IoPmp::new(mem);
+        p.allow(u64::MAX - 0xFFF, 0x1000);
+        // `addr + len` == 2^64: representable only in widened arithmetic.
+        assert!(p.permits(u64::MAX - 0x7, 8));
+        assert!(p.permits(u64::MAX, 1));
+        assert!(!p.permits(u64::MAX, 2));
+        // An unconfigured filter must also answer (not overflow) at the top.
+        let mem2 = shared(Sram::new("m", 0x10, Cycles::new(1)));
+        let q = IoPmp::new(mem2);
+        assert!(!q.permits(u64::MAX, 16));
+    }
+
+    #[test]
+    fn denied_access_records_trace_event() {
+        use hulkv_sim::{category, Tracer};
+        let mut p = pmp();
+        let tracer = Tracer::shared(16);
+        tracer.borrow_mut().enable(category::PROTECT);
+        p.attach_tracer(tracer.clone());
+        assert!(p.write(0x0, &[1, 2]).is_err());
+        let t = tracer.borrow();
+        let rec = t
+            .events()
+            .find(|r| matches!(r.event, TraceEvent::IopmpDeny { .. }))
+            .expect("deny should be traced");
+        assert!(matches!(
+            rec.event,
+            TraceEvent::IopmpDeny { addr: 0, bytes: 2 }
+        ));
     }
 }

@@ -55,4 +55,4 @@ mod soc;
 pub use config::{MainMemory, MemorySetup, SocConfig};
 pub use iopmp::IoPmp;
 pub use mailbox::Mailbox;
-pub use soc::{map, HulkV, KernelId, OffloadResult, SocError};
+pub use soc::{default_iopmp_windows, host_regions, map, HulkV, KernelId, OffloadResult, SocError};

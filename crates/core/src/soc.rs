@@ -37,6 +37,29 @@ pub mod map {
     pub const SHARED_BASE: u64 = DRAM_BASE + 0x0200_0000;
 }
 
+/// The IOPMP allow windows [`HulkV::new`] configures for `cfg`: the L2SPM
+/// (kernel code) and the whole DRAM window (shared buffers). Exposed so
+/// tooling (e.g. the static analyzer) can reason about the cluster's view
+/// of the address space without instantiating a SoC.
+pub fn default_iopmp_windows(cfg: &SocConfig) -> Vec<(u64, u64)> {
+    vec![
+        (map::L2SPM_BASE, cfg.l2spm_bytes as u64),
+        (map::DRAM_BASE, cfg.main_memory_bytes()),
+    ]
+}
+
+/// The host-visible physical regions `(name, base, size)` the AXI bus in
+/// [`HulkV::new`] maps for `cfg`. Data accesses outside these windows fault
+/// on the real interconnect; tooling uses this as the host's memory view.
+pub fn host_regions(cfg: &SocConfig) -> Vec<(&'static str, u64, u64)> {
+    vec![
+        ("clint", map::CLINT_BASE, 0xC000),
+        ("plic", map::PLIC_BASE, 0x40_0000),
+        ("l2spm", map::L2SPM_BASE, cfg.l2spm_bytes as u64),
+        ("dram", map::DRAM_BASE, cfg.main_memory_bytes()),
+    ]
+}
+
 /// Errors from SoC-level operations.
 #[derive(Debug)]
 #[non_exhaustive]

@@ -10,6 +10,7 @@
 //!          [--inject-divergence] [--repro-dir DIR] [--json]
 //! ```
 
+use hulkv_analyze::{analyze, AnalyzeConfig, GuestProgram, Side};
 use hulkv_fuzz::{generate, run_differential, shrink, Isa, LockstepOptions, Program};
 use hulkv_rv::disassemble_word;
 use hulkv_sim::{Json, SplitMix64};
@@ -119,6 +120,7 @@ fn main() -> ExitCode {
     let mut side_reports = Vec::new();
     let mut total_programs = 0u64;
     let mut total_retired = 0u64;
+    let mut static_findings = 0u64;
     for (s, isa) in SIDES.iter().enumerate() {
         let side_seed = cli.seed ^ ((s as u64 + 1) << 32);
         let mut retired = 0u64;
@@ -126,6 +128,22 @@ fn main() -> ExitCode {
             let mut rng = SplitMix64::new(side_seed).fork(k);
             let prog = generate(&mut rng, *isa);
             total_programs += 1;
+            // Every generated program also goes through the static
+            // analyzer — a termination and robustness test on exactly the
+            // hostile inputs the fuzzer is good at producing (the
+            // findings themselves are expected: the generator emits
+            // misaligned and wild accesses on purpose).
+            let side = match isa {
+                Isa::Rv32Pulp | Isa::Rv32Cluster => Side::Cluster,
+                Isa::Rv64Sv39 | Isa::Rv64Host => Side::Host,
+            };
+            let gp = GuestProgram::from_words(
+                &format!("fuzz/{isa:?}/{k}"),
+                &prog.words(),
+                prog.entry,
+                side,
+            );
+            static_findings += analyze(&gp, &AnalyzeConfig::default()).findings.len() as u64;
             let div = match run_differential(&prog, &opts) {
                 Ok(stats) => {
                     retired += stats.retired;
@@ -173,11 +191,15 @@ fn main() -> ExitCode {
             ("programs", Json::from(total_programs)),
             ("retired", Json::from(total_retired)),
             ("divergences", Json::from(0u64)),
+            ("static_findings", Json::from(static_findings)),
             ("sides", Json::Arr(side_reports)),
         ]);
         println!("{summary}");
     } else {
-        println!("fuzz_iss: {total_programs} programs, 0 divergences");
+        println!(
+            "fuzz_iss: {total_programs} programs, 0 divergences \
+             ({static_findings} static findings, all analyzed without hangs)"
+        );
     }
     ExitCode::SUCCESS
 }

@@ -79,6 +79,54 @@ mod tests {
     }
 
     #[test]
+    fn static_analyzer_terminates_on_generated_programs() {
+        // The same hostile inputs the differential fuzzer runs also feed
+        // the static analyzer: whatever the generator emits (misaligned
+        // accesses, wild jumps, hw-loop abuse, trap-happy CSR traffic),
+        // analysis must terminate without panicking — the iteration
+        // budget is the only backstop this asserts.
+        use hulkv_analyze::{analyze, AnalyzeConfig, GuestProgram, Side};
+        for isa in [
+            Isa::Rv64Sv39,
+            Isa::Rv32Pulp,
+            Isa::Rv64Host,
+            Isa::Rv32Cluster,
+        ] {
+            for k in 0..40 {
+                let mut rng = SplitMix64::new(0x0057_A71C).fork(k);
+                let prog = generate(&mut rng, isa);
+                let side = match isa {
+                    Isa::Rv32Pulp | Isa::Rv32Cluster => Side::Cluster,
+                    Isa::Rv64Sv39 | Isa::Rv64Host => Side::Host,
+                };
+                let gp = GuestProgram::from_words("fuzzed", &prog.words(), prog.entry, side);
+                let report = analyze(&gp, &AnalyzeConfig::default());
+                // Findings must carry coherent PCs (inside or at least
+                // derived from the image the analyzer was handed).
+                for f in &report.findings {
+                    assert!(f.pc >= gp.base && f.pc < gp.end().max(gp.base + 4));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_analyzer_terminates_on_garbage_bytes() {
+        use hulkv_analyze::{analyze, AnalyzeConfig, GuestProgram, Side};
+        let mut rng = SplitMix64::new(0xDEAD_BEA7);
+        for trial in 0..32 {
+            let words: Vec<u32> = (0..256).map(|_| rng.next_u32()).collect();
+            let side = if trial % 2 == 0 {
+                Side::Host
+            } else {
+                Side::Cluster
+            };
+            let gp = GuestProgram::from_words("garbage", &words, 0x1000, side);
+            let _ = analyze(&gp, &AnalyzeConfig::default());
+        }
+    }
+
+    #[test]
     fn injected_divergence_is_caught_and_shrinks() {
         let opts = LockstepOptions {
             inject_divergence: true,

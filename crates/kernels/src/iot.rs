@@ -218,6 +218,28 @@ enum Expect {
     None,
 }
 
+/// Every IoT benchmark program at unit scale — the host-side input set
+/// for `hulkv-lint` (all six execute at `map::HOST_CODE` on the RV64
+/// host, see [`IotBenchmark::run`]).
+pub fn lint_catalog() -> Vec<crate::suite::LintProgram> {
+    let scale = Scale(1);
+    let all = [
+        IotBenchmark::Crc32,
+        IotBenchmark::Sort,
+        IotBenchmark::PointerChase,
+        IotBenchmark::Fir64,
+        IotBenchmark::MatrixWalk,
+        IotBenchmark::Dhrystone,
+    ];
+    all.iter()
+        .map(|&b| crate::suite::LintProgram {
+            name: format!("iot/{}", b.name()),
+            words: b.prepare(scale).0,
+            cluster: false,
+        })
+        .collect()
+}
+
 /// Reference CRC-32 (reflected, poly `0xEDB88320`), matching the generated
 /// program.
 pub fn software_crc32(data: &[u8]) -> u32 {

@@ -224,6 +224,46 @@ pub fn cluster_program_for_tests(kernel: Kernel, size: usize) -> Vec<u32> {
     }
 }
 
+/// One generated guest program surfaced for static analysis: the name it
+/// is reported under, the assembled words, and which core it targets
+/// (`cluster` programs are RV32 Xpulp and execute from the L2SPM;
+/// everything else is RV64 host code executing at `map::HOST_CODE`).
+#[derive(Debug, Clone)]
+pub struct LintProgram {
+    /// Report / baseline key.
+    pub name: String,
+    /// Assembled instruction words.
+    pub words: Vec<u32>,
+    /// `true` for PMCA (RV32 Xpulp) programs.
+    pub cluster: bool,
+}
+
+/// Every program the Figure-6 suite generates, in both flavours, at the
+/// benchmark sizes — the input set for `hulkv-lint`.
+pub fn lint_catalog() -> Vec<LintProgram> {
+    let p = KernelParams::small();
+    let cores = 8;
+    Kernel::ALL
+        .iter()
+        .flat_map(|&k| {
+            let host = k.host_setup(&p).0;
+            let cluster = k.cluster_setup(&p, cores).0;
+            [
+                LintProgram {
+                    name: format!("suite/{}/host", k.name()),
+                    words: host,
+                    cluster: false,
+                },
+                LintProgram {
+                    name: format!("suite/{}/cluster", k.name()),
+                    words: cluster,
+                    cluster: true,
+                },
+            ]
+        })
+        .collect()
+}
+
 const HOST_RUN_BUDGET: u64 = 2_000_000_000;
 const CLUSTER_RUN_BUDGET: u64 = 500_000_000;
 

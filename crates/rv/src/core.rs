@@ -862,6 +862,29 @@ impl Core {
         Ok((pa, Some((first_len, second_pa))))
     }
 
+    /// Records a [`TraceEvent::Misaligned`] when a tracer is attached and
+    /// the access is not naturally aligned — purely observational (the
+    /// model executes misaligned accesses), and free when no tracer is
+    /// attached. This is the dynamic confirmation signal for the static
+    /// analyzer's misalignment findings.
+    #[inline]
+    fn trace_misaligned(&mut self, vaddr: u64, len: usize) {
+        if let Some(t) = &self.tracer {
+            if len > 1 && vaddr & (len as u64 - 1) != 0 {
+                let mut t = t.borrow_mut();
+                t.set_now(self.trace_base + self.cycles.get());
+                t.record(
+                    self.track,
+                    TraceEvent::Misaligned {
+                        pc: self.pc,
+                        addr: vaddr,
+                        bytes: len as u32,
+                    },
+                );
+            }
+        }
+    }
+
     #[inline]
     fn mem_load<B: CoreBus + ?Sized>(
         &mut self,
@@ -870,6 +893,7 @@ impl Core {
         buf: &mut [u8],
         extra: &mut Cycles,
     ) -> Result<(), RvError> {
+        self.trace_misaligned(vaddr, buf.len());
         let (pa, split) = self.translate_span(bus, vaddr, buf.len(), AccessKind::Load, extra)?;
         match split {
             None => {
@@ -926,6 +950,7 @@ impl Core {
         data: &[u8],
         extra: &mut Cycles,
     ) -> Result<(), RvError> {
+        self.trace_misaligned(vaddr, data.len());
         let (pa, split) = self.translate_span(bus, vaddr, data.len(), AccessKind::Store, extra)?;
         match split {
             None => self.store_segment(bus, pa, data, extra)?,

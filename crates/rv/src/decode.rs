@@ -749,6 +749,69 @@ pub fn decode(w: u32, xlen: Xlen, xpulp: bool) -> Option<Inst> {
     }
 }
 
+/// One instruction parcel fetched from a flat code image: the raw bits,
+/// the parcel length in bytes (2 for RVC, 4 otherwise) and the decode
+/// result (`None` when the bits are undecodable or the parcel is
+/// truncated by the end of the image).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parcel {
+    /// Raw instruction bits (low halfword only when truncated).
+    pub raw: u32,
+    /// Parcel length in bytes: 2 (RVC) or 4.
+    pub len: u8,
+    /// The decoded instruction, or `None` for undecodable/truncated bits.
+    pub inst: Option<Inst>,
+}
+
+/// Fetches and decodes the instruction parcel at byte `offset` of a flat
+/// code image, RVC-aware — the static-analysis twin of the interpreter's
+/// fetch path (same length determination, same [`decode`]/
+/// [`crate::compressed::expand`] calls).
+///
+/// Returns `None` when fewer than two bytes remain at `offset` (nothing
+/// fetchable); a 32-bit parcel whose upper halfword is cut off by the end
+/// of the image comes back as `Some` with `inst: None` and `len: 4`, so
+/// callers can report "truncated parcel" at a precise pc.
+///
+/// # Example
+///
+/// ```
+/// use hulkv_rv::decode::fetch_parcel;
+/// use hulkv_rv::Xlen;
+///
+/// let image = 0x0015_0513u32.to_le_bytes(); // addi a0, a0, 1
+/// let p = fetch_parcel(&image, 0, Xlen::Rv64, false).unwrap();
+/// assert_eq!((p.len, p.raw), (4, 0x0015_0513));
+/// assert!(p.inst.is_some());
+/// ```
+pub fn fetch_parcel(image: &[u8], offset: usize, xlen: Xlen, xpulp: bool) -> Option<Parcel> {
+    let lo_bytes = image.get(offset..offset + 2)?;
+    let lo = u16::from_le_bytes([lo_bytes[0], lo_bytes[1]]);
+    if lo & 3 != 3 {
+        return Some(Parcel {
+            raw: u32::from(lo),
+            len: 2,
+            inst: crate::compressed::expand(lo, xlen),
+        });
+    }
+    match image.get(offset + 2..offset + 4) {
+        Some(hi_bytes) => {
+            let hi = u16::from_le_bytes([hi_bytes[0], hi_bytes[1]]);
+            let word = u32::from(lo) | (u32::from(hi) << 16);
+            Some(Parcel {
+                raw: word,
+                len: 4,
+                inst: decode(word, xlen, xpulp),
+            })
+        }
+        None => Some(Parcel {
+            raw: u32::from(lo),
+            len: 4,
+            inst: None,
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

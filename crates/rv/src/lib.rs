@@ -66,7 +66,7 @@ pub mod timing;
 pub use crate::core::{Core, CoreBus, FlatBus, StepOutcome, TraceEntry};
 pub use asm::{Asm, Label};
 pub use csr::{CsrFile, PrivMode};
-pub use decode::decode;
+pub use decode::{decode, fetch_parcel, Parcel};
 pub use disasm::{disassemble, disassemble_word};
 pub use encode::encode;
 pub use hotspot::{hotspot_report, opcode_histogram};

@@ -53,6 +53,9 @@ pub mod category {
     pub const OFFLOAD: u32 = 1 << 6;
     /// Decoded-instruction-cache counter samples (simulator fast path).
     pub const DECODE: u32 = 1 << 7;
+    /// Protection and legality events (IOPMP denials, provably misaligned
+    /// guest accesses) — the dynamic side of the `hulkv-analyze` checks.
+    pub const PROTECT: u32 = 1 << 8;
     /// Everything.
     pub const ALL: u32 = u32::MAX;
 }
@@ -203,6 +206,25 @@ pub enum TraceEvent {
         /// Registered kernel id.
         kernel: u32,
     },
+    /// The IOPMP denied a cluster-side master transaction.
+    IopmpDeny {
+        /// Faulting SoC address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+    },
+    /// A core issued a data access not naturally aligned for its size.
+    /// The model executes it (splitting at page boundaries as needed);
+    /// the event lets the static analyzer's misalignment findings be
+    /// confirmed or refuted dynamically.
+    Misaligned {
+        /// Program counter of the access.
+        pc: u64,
+        /// Accessed (virtual) address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+    },
     /// A decoded-instruction-cache counter sample (emitted on each
     /// invalidation and at core halt; exported as a Chrome counter track).
     DecodeCache {
@@ -229,6 +251,7 @@ impl TraceEvent {
             TraceEvent::IrqRaise { .. } | TraceEvent::IrqClaim { .. } => category::IRQ,
             TraceEvent::OffloadBegin { .. } | TraceEvent::OffloadEnd { .. } => category::OFFLOAD,
             TraceEvent::DecodeCache { .. } => category::DECODE,
+            TraceEvent::IopmpDeny { .. } | TraceEvent::Misaligned { .. } => category::PROTECT,
         }
     }
 
@@ -249,6 +272,8 @@ impl TraceEvent {
             TraceEvent::OffloadBegin { .. } => "offload_begin",
             TraceEvent::OffloadEnd { .. } => "offload",
             TraceEvent::DecodeCache { .. } => "decode_cache",
+            TraceEvent::IopmpDeny { .. } => "iopmp_deny",
+            TraceEvent::Misaligned { .. } => "misaligned",
         }
     }
 
@@ -262,6 +287,7 @@ impl TraceEvent {
             category::MAILBOX => "mailbox",
             category::IRQ => "irq",
             category::DECODE => "decode",
+            category::PROTECT => "protect",
             _ => "offload",
         }
     }
@@ -306,6 +332,14 @@ impl TraceEvent {
             TraceEvent::OffloadEnd { kernel } => {
                 Json::obj([("kernel", Json::from(u64::from(kernel)))])
             }
+            TraceEvent::IopmpDeny { addr, bytes } => {
+                Json::obj([("addr", hex(addr)), ("bytes", Json::from(u64::from(bytes)))])
+            }
+            TraceEvent::Misaligned { pc, addr, bytes } => Json::obj([
+                ("pc", hex(pc)),
+                ("addr", hex(addr)),
+                ("bytes", Json::from(u64::from(bytes))),
+            ]),
             TraceEvent::DecodeCache {
                 hits,
                 misses,

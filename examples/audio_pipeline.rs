@@ -7,9 +7,10 @@
 //! Run with: `cargo run -p hulkv-examples --bin audio_pipeline --release`
 
 use hulkv::{map, HulkV, SocConfig};
+use hulkv_examples::{audio_fir_kernel, uart_report_program};
 use hulkv_host::{I2sSource, Uart};
 use hulkv_mem::{shared, SharedMem};
-use hulkv_rv::{Asm, Reg, Xlen};
+use hulkv_rv::Reg;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -47,35 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     soc.write_mem(coeffs, &coeff_data)?;
     let out = soc.hulk_malloc(SAMPLES * 4)?;
 
-    let mut k = Asm::new(Xlen::Rv32);
-    // i = hartid; while i < n: y[i] = dot(x[i..i+taps], h); i += ncores
-    k.csrr(Reg::S0, hulkv_rv::csr::addr::MHARTID);
-    let done = k.label();
-    let loop_i = k.label();
-    k.bind(loop_i);
-    k.bge(Reg::S0, Reg::A3, done);
-    k.slli(Reg::T0, Reg::S0, 1);
-    k.add(Reg::T0, Reg::T0, Reg::A0);
-    k.mv(Reg::T1, Reg::A1);
-    k.li(Reg::T4, 0);
-    k.lp_counti(0, (TAPS / 2) as i64);
-    let (ls, le) = (k.label(), k.label());
-    k.lp_starti(0, ls);
-    k.lp_endi(0, le);
-    k.bind(ls);
-    k.p_lw_post(Reg::T5, Reg::T0, 4);
-    k.p_lw_post(Reg::T6, Reg::T1, 4);
-    k.pv_sdotsp_h(Reg::T4, Reg::T5, Reg::T6);
-    k.bind(le);
-    k.slli(Reg::T2, Reg::S0, 2);
-    k.add(Reg::T2, Reg::T2, Reg::A2);
-    k.sw(Reg::T4, Reg::T2, 0);
-    k.add(Reg::S0, Reg::S0, Reg::A7);
-    k.j(loop_i);
-    k.bind(done);
-    k.ebreak();
-
-    let kernel = soc.register_kernel(&k.assemble()?)?;
+    let kernel = soc.register_kernel(&audio_fir_kernel(TAPS)?)?;
     let r = soc.offload(
         kernel,
         &[
@@ -102,14 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         peak = peak.max(i32::from_le_bytes(w).abs());
     }
     let report = format!("peak(|y|) = {peak}\n");
-    let mut p = Asm::new(Xlen::Rv64);
-    p.li(Reg::T0, UART_BASE as i64);
-    for b in report.bytes() {
-        p.li(Reg::T1, b as i64);
-        p.sb(Reg::T1, Reg::T0, 0);
-    }
-    p.ebreak();
-    soc.run_host_program(&p.assemble()?, |_| {}, 10_000_000)?;
+    let words = uart_report_program(&report, UART_BASE)?;
+    soc.run_host_program(&words, |_| {}, 10_000_000)?;
     print!(
         "host console: {}",
         String::from_utf8_lossy(uart.borrow().output())

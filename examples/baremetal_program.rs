@@ -4,29 +4,15 @@
 //!
 //! Run with: `cargo run -p hulkv-examples --bin baremetal_program`
 
+use hulkv_examples::{countdown_program, sv39_probe_program, xpulp_dotp_program};
 use hulkv_rv::csr::addr;
-use hulkv_rv::{Asm, Core, CostModel, FlatBus, Reg, Xlen};
+use hulkv_rv::{Core, CostModel, FlatBus, Reg, Xlen};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- A: Xpulp dot product on one RI5CY core ------------------------
     // 16 int8 pairs with hardware loop + packed SIMD: 4 MACs per sdotsp.
-    let mut a = Asm::new(Xlen::Rv32);
-    a.li(Reg::T0, 0x1000); // x
-    a.li(Reg::T1, 0x1100); // w
-    a.li(Reg::A0, 0);
-    a.lp_counti(0, 4); // 4 words = 16 int8 lanes
-    let (ls, le) = (a.label(), a.label());
-    a.lp_starti(0, ls);
-    a.lp_endi(0, le);
-    a.bind(ls);
-    a.p_lw_post(Reg::T2, Reg::T0, 4);
-    a.p_lw_post(Reg::T3, Reg::T1, 4);
-    a.pv_sdotsp_b(Reg::A0, Reg::T2, Reg::T3);
-    a.bind(le);
-    a.ebreak();
-
     let mut bus = FlatBus::new(1 << 16);
-    bus.load_words(0, &a.assemble()?);
+    bus.load_words(0, &xpulp_dotp_program(0x1000, 0x1100, 4)?);
     let x: Vec<i8> = (1..=16).collect();
     let w: Vec<i8> = (1..=16).rev().collect();
     bus.write_bytes(0x1000, &x.iter().map(|&v| v as u8).collect::<Vec<_>>());
@@ -47,13 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- B: Sv39 virtual memory on the CVA6 model ----------------------
     // Identity-map a gigapage with a single level-2 PTE, enter supervisor
     // mode, and run a load through translation.
-    let mut prog = Asm::new(Xlen::Rv64);
-    prog.li(Reg::T0, 0x5000);
-    prog.ld(Reg::A0, Reg::T0, 0); // virtual load
-    prog.ebreak();
-
     let mut bus = FlatBus::new(1 << 20);
-    bus.load_words(0x8000, &prog.assemble()?);
+    bus.load_words(0x8000, &sv39_probe_program(0x5000)?);
     bus.write_bytes(0x5000, &0xFEED_F00D_u64.to_le_bytes()[..8]);
     // Root page table at 0x10000: entry 0 = identity RWX gigapage.
     let pte: u64 = 0xCF; // V|R|W|X|A|D, PPN 0
@@ -74,14 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- C: cost-model comparison --------------------------------------
     // The same scalar loop on both microarchitectures.
-    let mut loop_prog = Asm::new(Xlen::Rv32);
-    loop_prog.li(Reg::T0, 1000);
-    let top = loop_prog.label();
-    loop_prog.bind(top);
-    loop_prog.addi(Reg::T0, Reg::T0, -1);
-    loop_prog.bnez(Reg::T0, top);
-    loop_prog.ebreak();
-    let words = loop_prog.assemble()?;
+    let words = countdown_program(1000)?;
 
     for (name, mut core) in [
         ("CVA6 ", Core::new(Xlen::Rv32, CostModel::cva6())),

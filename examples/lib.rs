@@ -1,2 +1,210 @@
 //! Shared support for the HULK-V examples (each example is a standalone
 //! binary; see `quickstart.rs` first).
+//!
+//! The guest programs the examples assemble live here rather than inline
+//! in the binaries so that `hulkv-lint` can statically analyze exactly
+//! the code the examples run — [`guest_programs`] is the lint surface.
+
+use hulkv_rv::{Asm, Reg, RvError, Xlen};
+
+/// Where an example program executes, which fixes the ISA flavour and the
+/// memory view `hulkv-lint` checks it against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExampleTarget {
+    /// RV64 program run through [`hulkv::HulkV::run_host_program`] (loads
+    /// at `map::HOST_CODE`, checked against the host bus map).
+    Host,
+    /// RV32 Xpulp kernel offloaded to the PMCA (executes from the L2SPM,
+    /// checked against the TCDM + IOPMP windows).
+    Cluster,
+    /// Program run on a raw core over a [`hulkv_rv::FlatBus`] at the given
+    /// base — no SoC memory view applies.
+    Raw {
+        /// Load/entry address on the flat bus.
+        base: u64,
+        /// Register width of the raw core.
+        xlen: Xlen,
+    },
+}
+
+/// One example guest program surfaced for static analysis.
+#[derive(Debug, Clone)]
+pub struct ExampleProgram {
+    /// Report / baseline key.
+    pub name: &'static str,
+    /// Assembled instruction words.
+    pub words: Vec<u32>,
+    /// Where it runs.
+    pub target: ExampleTarget,
+}
+
+/// `quickstart`: sum the integers `1..=1000` on the host.
+pub fn host_sum_program() -> Result<Vec<u32>, RvError> {
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::A0, 0);
+    a.li(Reg::T0, 1000);
+    let top = a.label();
+    a.bind(top);
+    a.add(Reg::A0, Reg::A0, Reg::T0);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, top);
+    a.ebreak();
+    a.assemble()
+}
+
+/// `quickstart`: each PMCA core squares its hart id and stores the result
+/// into the shared buffer passed in `a0`.
+pub fn hart_square_kernel() -> Result<Vec<u32>, RvError> {
+    let mut a = Asm::new(Xlen::Rv32);
+    a.csrr(Reg::T0, hulkv_rv::csr::addr::MHARTID);
+    a.mul(Reg::T1, Reg::T0, Reg::T0);
+    a.slli(Reg::T0, Reg::T0, 2);
+    a.add(Reg::T0, Reg::T0, Reg::A0);
+    a.sw(Reg::T1, Reg::T0, 0);
+    a.ebreak();
+    a.assemble()
+}
+
+/// `audio_pipeline`: int16 FIR on the PMCA — each core filters samples
+/// `hartid, hartid + ncores, …` with a hardware loop around the Xpulp
+/// packed dot product. Arguments: `a0` = samples, `a1` = coefficients,
+/// `a2` = output, `a3` = sample count, `a7` = core count.
+pub fn audio_fir_kernel(taps: usize) -> Result<Vec<u32>, RvError> {
+    let mut k = Asm::new(Xlen::Rv32);
+    k.csrr(Reg::S0, hulkv_rv::csr::addr::MHARTID);
+    let done = k.label();
+    let loop_i = k.label();
+    k.bind(loop_i);
+    k.bge(Reg::S0, Reg::A3, done);
+    k.slli(Reg::T0, Reg::S0, 1);
+    k.add(Reg::T0, Reg::T0, Reg::A0);
+    k.mv(Reg::T1, Reg::A1);
+    k.li(Reg::T4, 0);
+    k.lp_counti(0, (taps / 2) as i64);
+    let (ls, le) = (k.label(), k.label());
+    k.lp_starti(0, ls);
+    k.lp_endi(0, le);
+    k.bind(ls);
+    k.p_lw_post(Reg::T5, Reg::T0, 4);
+    k.p_lw_post(Reg::T6, Reg::T1, 4);
+    k.pv_sdotsp_h(Reg::T4, Reg::T5, Reg::T6);
+    k.bind(le);
+    k.slli(Reg::T2, Reg::S0, 2);
+    k.add(Reg::T2, Reg::T2, Reg::A2);
+    k.sw(Reg::T4, Reg::T2, 0);
+    k.add(Reg::S0, Reg::S0, Reg::A7);
+    k.j(loop_i);
+    k.bind(done);
+    k.ebreak();
+    k.assemble()
+}
+
+/// `audio_pipeline`: the host prints `report` byte-by-byte to a UART
+/// mapped at `uart_base`.
+pub fn uart_report_program(report: &str, uart_base: u64) -> Result<Vec<u32>, RvError> {
+    let mut p = Asm::new(Xlen::Rv64);
+    p.li(Reg::T0, uart_base as i64);
+    for b in report.bytes() {
+        p.li(Reg::T1, b as i64);
+        p.sb(Reg::T1, Reg::T0, 0);
+    }
+    p.ebreak();
+    p.assemble()
+}
+
+/// `baremetal_program` part A: Xpulp int8 dot product with a hardware
+/// loop, reading `words` packed words from `x` and `w`.
+pub fn xpulp_dotp_program(x: u64, w: u64, words: i64) -> Result<Vec<u32>, RvError> {
+    let mut a = Asm::new(Xlen::Rv32);
+    a.li(Reg::T0, x as i64);
+    a.li(Reg::T1, w as i64);
+    a.li(Reg::A0, 0);
+    a.lp_counti(0, words);
+    let (ls, le) = (a.label(), a.label());
+    a.lp_starti(0, ls);
+    a.lp_endi(0, le);
+    a.bind(ls);
+    a.p_lw_post(Reg::T2, Reg::T0, 4);
+    a.p_lw_post(Reg::T3, Reg::T1, 4);
+    a.pv_sdotsp_b(Reg::A0, Reg::T2, Reg::T3);
+    a.bind(le);
+    a.ebreak();
+    a.assemble()
+}
+
+/// `baremetal_program` part B: one RV64 load through Sv39 translation.
+pub fn sv39_probe_program(addr: u64) -> Result<Vec<u32>, RvError> {
+    let mut a = Asm::new(Xlen::Rv64);
+    a.li(Reg::T0, addr as i64);
+    a.ld(Reg::A0, Reg::T0, 0);
+    a.ebreak();
+    a.assemble()
+}
+
+/// `baremetal_program` part C: an `n`-iteration countdown loop (the
+/// cost-model comparison workload).
+pub fn countdown_program(n: i64) -> Result<Vec<u32>, RvError> {
+    let mut a = Asm::new(Xlen::Rv32);
+    a.li(Reg::T0, n);
+    let top = a.label();
+    a.bind(top);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, top);
+    a.ebreak();
+    a.assemble()
+}
+
+/// Every guest program the examples assemble, with the parameters the
+/// binaries use — the `hulkv-lint` input set.
+///
+/// # Panics
+///
+/// Panics if an example program fails to assemble (a bug by definition:
+/// the same builders run in the examples).
+pub fn guest_programs() -> Vec<ExampleProgram> {
+    let raw32 = |base| ExampleTarget::Raw {
+        base,
+        xlen: Xlen::Rv32,
+    };
+    vec![
+        ExampleProgram {
+            name: "examples/quickstart/host-sum",
+            words: host_sum_program().expect("assemble"),
+            target: ExampleTarget::Host,
+        },
+        ExampleProgram {
+            name: "examples/quickstart/hart-square",
+            words: hart_square_kernel().expect("assemble"),
+            target: ExampleTarget::Cluster,
+        },
+        ExampleProgram {
+            name: "examples/audio-pipeline/fir",
+            words: audio_fir_kernel(16).expect("assemble"),
+            target: ExampleTarget::Cluster,
+        },
+        ExampleProgram {
+            name: "examples/audio-pipeline/uart-report",
+            words: uart_report_program("peak(|y|) = 0\n", hulkv::map::PERIPH_BASE)
+                .expect("assemble"),
+            target: ExampleTarget::Host,
+        },
+        ExampleProgram {
+            name: "examples/baremetal/xpulp-dotp",
+            words: xpulp_dotp_program(0x1000, 0x1100, 4).expect("assemble"),
+            target: raw32(0),
+        },
+        ExampleProgram {
+            name: "examples/baremetal/sv39-probe",
+            words: sv39_probe_program(0x5000).expect("assemble"),
+            target: ExampleTarget::Raw {
+                base: 0x8000,
+                xlen: Xlen::Rv64,
+            },
+        },
+        ExampleProgram {
+            name: "examples/baremetal/countdown",
+            words: countdown_program(1000).expect("assemble"),
+            target: raw32(0),
+        },
+    ]
+}

@@ -4,7 +4,8 @@
 //! Run with: `cargo run -p hulkv-examples --bin quickstart`
 
 use hulkv::{HulkV, SocConfig};
-use hulkv_rv::{Asm, Reg, Xlen};
+use hulkv_examples::{hart_square_kernel, host_sum_program};
+use hulkv_rv::Reg;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build the flagship SoC: CVA6 host @900 MHz, 8-core PMCA @400 MHz,
@@ -21,17 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Run a scalar program on the host: sum the integers 1..=1000.
-    let mut host_prog = Asm::new(Xlen::Rv64);
-    host_prog.li(Reg::A0, 0);
-    host_prog.li(Reg::T0, 1000);
-    let top = host_prog.label();
-    host_prog.bind(top);
-    host_prog.add(Reg::A0, Reg::A0, Reg::T0);
-    host_prog.addi(Reg::T0, Reg::T0, -1);
-    host_prog.bnez(Reg::T0, top);
-    host_prog.ebreak();
-
-    let cycles = soc.run_host_program(&host_prog.assemble()?, |_| {}, 1_000_000)?;
+    let cycles = soc.run_host_program(&host_sum_program()?, |_| {}, 1_000_000)?;
     println!(
         "host: sum(1..=1000) = {} in {} CVA6 cycles",
         soc.host().core().reg(Reg::A0),
@@ -41,15 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Offload to the PMCA: each of the 8 cores squares its hart id and
     //    stores the result into a shared buffer allocated with hulk_malloc.
     let buf = soc.hulk_malloc(8 * 4)?;
-    let mut kernel = Asm::new(Xlen::Rv32);
-    kernel.csrr(Reg::T0, hulkv_rv::csr::addr::MHARTID);
-    kernel.mul(Reg::T1, Reg::T0, Reg::T0);
-    kernel.slli(Reg::T0, Reg::T0, 2);
-    kernel.add(Reg::T0, Reg::T0, Reg::A0);
-    kernel.sw(Reg::T1, Reg::T0, 0);
-    kernel.ebreak();
-
-    let k = soc.register_kernel(&kernel.assemble()?)?;
+    let k = soc.register_kernel(&hart_square_kernel()?)?;
     let result = soc.offload(k, &[(Reg::A0, buf)], 8, 1_000_000)?;
     println!(
         "cluster: offload took {} SoC cycles ({} of overhead{})",

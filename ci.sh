@@ -28,11 +28,29 @@ echo "== differential fuzz (fixed seed) =="
 # minimized repro in fuzz/repros/.
 cargo run --release -p hulkv-fuzz --bin fuzz_iss -- --ci-budget --seed 20260807
 
-echo "== simulator throughput smoke =="
+echo "== simulator throughput smoke + telemetry =="
 # Quick decode-cache on/off run: proves cycle-count neutrality and fails
 # if simulated MIPS regressed >30% against the committed baseline (the
 # baseline is deliberately conservative to absorb machine variance).
+# --timeline-out also samples the mixed workload: the bench itself
+# verifies the timeline (non-empty, windows contiguous and monotone in
+# cycles, integrated energy == avg power x time within 1%) and aborts on
+# any violation; the shell re-checks the exported file's shape so a
+# silently-empty export also fails.
+timeline="$(mktemp --suffix=.csv)"
+trap 'rm -f "$timeline"' EXIT
 cargo run --release -p hulkv-bench --bin sim_throughput -- \
-  --quick --baseline BENCH_sim_throughput.baseline.json
+  --quick --baseline BENCH_sim_throughput.baseline.json \
+  --timeline-out "$timeline"
+awk -F, '
+  NR == 1 { next }                        # header
+  $2 + 0 <= $1 + 0 { print "ci.sh: timeline window " NR " not monotone"; bad = 1 }
+  NR > 2 && $1 + 0 != prev_end { print "ci.sh: timeline gap at row " NR; bad = 1 }
+  { prev_end = $2 + 0; rows++ }
+  END {
+    if (rows < 1) { print "ci.sh: timeline is empty"; bad = 1 }
+    exit bad
+  }
+' "$timeline"
 
 echo "CI OK"

@@ -9,10 +9,16 @@
 //! justification each.
 //!
 //! Usage: `hulkv-lint [--ci] [--json] [--write-baseline] [--confirm]
-//!                    [--baseline PATH] [--repro-dir DIR]`
+//!                    [--baseline PATH] [--repro-dir DIR]
+//!                    [--metrics-out PATH] [--trace-out PATH]`
+//!
+//! `--metrics-out` writes a schema-v2 `MetricsSnapshot` summarizing the
+//! lint campaign (programs, findings, confirmation outcomes).
+//! `--trace-out` (with `--confirm`) accumulates every confirmation run
+//! onto one tracer and writes the combined Chrome trace.
 
 use hulkv_analyze::{analyze, dynamic, AnalyzeConfig, Baseline, GuestProgram, Report, Side};
-use hulkv_sim::Json;
+use hulkv_sim::{category, Json, MetricsSnapshot, Stats, Tracer};
 use std::process::ExitCode;
 
 struct Cli {
@@ -22,6 +28,8 @@ struct Cli {
     confirm: bool,
     baseline: String,
     repro_dir: String,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -32,6 +40,8 @@ fn parse_cli() -> Result<Cli, String> {
         confirm: false,
         baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/lint_baseline.json").to_string(),
         repro_dir: concat!(env!("CARGO_MANIFEST_DIR"), "/../../fuzz/repros").to_string(),
+        metrics_out: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -42,10 +52,17 @@ fn parse_cli() -> Result<Cli, String> {
             "--confirm" => cli.confirm = true,
             "--baseline" => cli.baseline = args.next().ok_or("--baseline needs a value")?,
             "--repro-dir" => cli.repro_dir = args.next().ok_or("--repro-dir needs a value")?,
+            "--metrics-out" => {
+                cli.metrics_out = Some(args.next().ok_or("--metrics-out needs a value")?);
+            }
+            "--trace-out" => {
+                cli.trace_out = Some(args.next().ok_or("--trace-out needs a value")?);
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other}\nusage: hulkv-lint [--ci] [--json] \
-                     [--write-baseline] [--confirm] [--baseline PATH] [--repro-dir DIR]"
+                     [--write-baseline] [--confirm] [--baseline PATH] [--repro-dir DIR] \
+                     [--metrics-out PATH] [--trace-out PATH]"
                 ))
             }
         }
@@ -173,9 +190,17 @@ fn main() -> ExitCode {
         }
     };
 
+    let campaign_tracer = cli.trace_out.as_ref().map(|_| {
+        let t = Tracer::shared(1 << 18);
+        // PROTECT is what confirmation matches against; the rest makes
+        // the exported trace useful on its own.
+        t.borrow_mut().enable(category::ALL);
+        t
+    });
     let inputs = catalog(&cli.repro_dir);
     let mut reports: Vec<Report> = Vec::new();
     let mut confirm_lines: Vec<String> = Vec::new();
+    let mut confirm_counts = (0u64, 0u64, 0u64); // confirmed, unconfirmed, unchecked
     for (prog, cfg) in &inputs {
         let report = analyze(prog, cfg);
         if cli.confirm
@@ -184,7 +209,13 @@ fn main() -> ExitCode {
                 .iter()
                 .any(|f| f.kind.trace_category().is_some())
         {
-            let outcome = dynamic::confirm(prog, &report, 10_000_000);
+            let outcome = match &campaign_tracer {
+                Some(t) => dynamic::confirm_with_tracer(prog, &report, 10_000_000, t),
+                None => dynamic::confirm(prog, &report, 10_000_000),
+            };
+            confirm_counts.0 += outcome.confirmed.len() as u64;
+            confirm_counts.1 += outcome.unconfirmed.len() as u64;
+            confirm_counts.2 += outcome.unchecked.len() as u64;
             confirm_lines.push(format!(
                 "{}: confirmed {:?}, unconfirmed {:?}{}",
                 prog.name,
@@ -235,6 +266,40 @@ fn main() -> ExitCode {
     }
     for line in &confirm_lines {
         println!("confirm: {line}");
+    }
+
+    if let Some(path) = &cli.metrics_out {
+        let mut snap = MetricsSnapshot::new();
+        let mut s = Stats::new("lint");
+        s.add("programs", reports.len() as u64);
+        s.add("findings", total as u64);
+        if cli.confirm {
+            s.add("confirmed", confirm_counts.0);
+            s.add("unconfirmed", confirm_counts.1);
+            s.add("unchecked", confirm_counts.2);
+        }
+        snap.push_block(s);
+        if let Err(e) = std::fs::write(path, format!("{}\n", snap.to_json())) {
+            eprintln!("hulkv-lint: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("hulkv-lint: metrics written to {path}");
+    }
+    if let (Some(path), Some(t)) = (&cli.trace_out, &campaign_tracer) {
+        let t = t.borrow();
+        if let Err(e) = std::fs::write(path, format!("{}\n", t.chrome_trace())) {
+            eprintln!("hulkv-lint: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "hulkv-lint: trace written to {path} ({} events{})",
+            t.len(),
+            if t.dropped() > 0 {
+                format!(", {} dropped", t.dropped())
+            } else {
+                String::new()
+            }
+        );
     }
 
     if cli.ci {

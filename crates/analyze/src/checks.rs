@@ -646,6 +646,9 @@ fn check_hw_loops(ctx: &mut Ctx<'_>) {
 
 /// The CSRs the cores implement (see `hulkv_rv::csr`); anything else
 /// reads zero / ignores writes in the model but traps on real hardware.
+/// The HPM group (`mcounteren`/`mcountinhibit`, `mhpmevent3..10`,
+/// `mhpmcounter3..10` and the user `hpmcounter3..10` shadows) is matched
+/// by [`addr::is_hpm_managed`] rather than listed here.
 const KNOWN_CSRS: &[u16] = &[
     addr::MSTATUS,
     addr::MISA,
@@ -693,7 +696,7 @@ fn check_csrs(ctx: &mut Ctx<'_>) {
             (_, CsrSrc::Reg(r)) => r != Reg::Zero,
             (_, CsrSrc::Imm(i)) => i != 0,
         };
-        if !KNOWN_CSRS.contains(&csr) {
+        if !KNOWN_CSRS.contains(&csr) && !addr::is_hpm_managed(csr) {
             ctx.emit(
                 CheckKind::CsrUnknown,
                 pc,
@@ -821,6 +824,36 @@ mod tests {
         let ks = kinds(&p, &AnalyzeConfig::default());
         assert!(ks.contains(&CheckKind::CsrReadOnly));
         assert!(ks.contains(&CheckKind::CsrUnknown));
+    }
+
+    #[test]
+    fn hpm_csrs_are_known_and_user_shadows_are_read_only() {
+        // The full HPM group is implemented: selecting events, zeroing
+        // machine counters and reading the user shadows must not trip
+        // `CsrUnknown`.
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, 7);
+        a.csrw(addr::MHPMEVENT3, Reg::T0);
+        a.csrw(addr::MHPMCOUNTER3 + addr::HPM_COUNTERS - 1, Reg::Zero);
+        a.csrw(addr::MCOUNTINHIBIT, Reg::Zero);
+        a.csrw(addr::MCOUNTEREN, Reg::T0);
+        a.csrr(Reg::T1, addr::MHPMCOUNTER3);
+        a.csrr(Reg::T2, addr::HPMCOUNTER3);
+        a.ebreak();
+        let p = GuestProgram::from_words("hpm-ok", &a.assemble().unwrap(), 0, Side::Host);
+        let ks = kinds(&p, &AnalyzeConfig::default());
+        assert!(!ks.contains(&CheckKind::CsrUnknown), "got {ks:?}");
+        assert!(!ks.contains(&CheckKind::CsrReadOnly), "got {ks:?}");
+
+        // The user shadows sit in the architecturally read-only quadrant:
+        // writing one is still flagged.
+        let mut a = Asm::new(Xlen::Rv64);
+        a.csrw(addr::HPMCOUNTER3, Reg::T0);
+        a.ebreak();
+        let p = GuestProgram::from_words("hpm-ro", &a.assemble().unwrap(), 0, Side::Host);
+        let ks = kinds(&p, &AnalyzeConfig::default());
+        assert!(ks.contains(&CheckKind::CsrReadOnly));
+        assert!(!ks.contains(&CheckKind::CsrUnknown));
     }
 
     #[test]

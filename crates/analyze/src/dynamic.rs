@@ -97,6 +97,23 @@ fn run_cluster(prog: &GuestProgram, tracer: &SharedTracer, max_cycles: u64) -> R
 /// Executes `prog` with protection tracing enabled and matches the
 /// recorded events against `report`'s findings.
 pub fn confirm(prog: &GuestProgram, report: &Report, max_cycles: u64) -> DynamicOutcome {
+    let tracer = Tracer::shared(1 << 16);
+    tracer.borrow_mut().enable(category::PROTECT);
+    confirm_with_tracer(prog, report, max_cycles, &tracer)
+}
+
+/// Like [`confirm`], but records onto a caller-provided tracer, so a lint
+/// campaign can accumulate every confirmation run into one exported
+/// Chrome trace. Only events recorded *by this run* are matched against
+/// the report — evidence from earlier programs on the same tracer never
+/// cross-confirms. The caller must keep [`category::PROTECT`] enabled for
+/// confirmation to see anything.
+pub fn confirm_with_tracer(
+    prog: &GuestProgram,
+    report: &Report,
+    max_cycles: u64,
+    tracer: &SharedTracer,
+) -> DynamicOutcome {
     let kinds: BTreeSet<CheckKind> = report.findings.iter().map(|f| f.kind).collect();
     let mut out = DynamicOutcome {
         unchecked: kinds
@@ -114,11 +131,10 @@ pub fn confirm(prog: &GuestProgram, report: &Report, max_cycles: u64) -> Dynamic
         return out;
     }
 
-    let tracer = Tracer::shared(1 << 16);
-    tracer.borrow_mut().enable(category::PROTECT);
+    let skip = tracer.borrow().events().count();
     out.run_error = match prog.side {
-        Side::Host => run_host(prog, &tracer, max_cycles),
-        Side::Cluster => run_cluster(prog, &tracer, max_cycles),
+        Side::Host => run_host(prog, tracer, max_cycles),
+        Side::Cluster => run_cluster(prog, tracer, max_cycles),
     }
     .err();
 
@@ -126,7 +142,7 @@ pub fn confirm(prog: &GuestProgram, report: &Report, max_cycles: u64) -> Dynamic
     let mut iopmp_denied = false;
     {
         let t = tracer.borrow();
-        for rec in t.events() {
+        for rec in t.events().skip(skip) {
             match rec.event {
                 TraceEvent::Misaligned { pc, .. } => {
                     misaligned_pcs.insert(pc);

@@ -24,14 +24,19 @@
 //! * `--quick` — smaller iteration counts (CI smoke run);
 //! * `--out <path>` — output path (default `BENCH_sim_throughput.json`);
 //! * `--baseline <path>` — compare against a committed baseline and exit
-//!   non-zero if host-side MIPS regressed by more than 30%.
+//!   non-zero if host-side MIPS regressed by more than 30%;
+//! * `--timeline-out <path>` — sample the mixed-workload SoC every 1000
+//!   interconnect cycles and write the power/energy-enriched time series
+//!   (CSV when the path ends in `.csv`, JSONL otherwise).
 
 use std::time::Instant;
 
 use hulkv::{HulkV, SocConfig};
+use hulkv_bench::obs::verify_timeline;
 use hulkv_host::{Host, HostConfig};
 use hulkv_kernels::suite::{Kernel, KernelParams};
 use hulkv_mem::{shared, Bus, Sram};
+use hulkv_power::{enrich_timeline, PowerModel};
 use hulkv_rv::csr::addr as csr_addr;
 use hulkv_rv::{Asm, Core, FlatBus, PrivMode, Reg, Xlen};
 use hulkv_sim::{Cycles, Json};
@@ -43,6 +48,7 @@ struct Args {
     quick: bool,
     out: String,
     baseline: Option<String>,
+    timeline_out: Option<String>,
 }
 
 impl Args {
@@ -51,6 +57,7 @@ impl Args {
             quick: false,
             out: "BENCH_sim_throughput.json".into(),
             baseline: None,
+            timeline_out: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -70,6 +77,9 @@ impl Args {
             let mut base = out.baseline.take().unwrap_or_default();
             bind(&mut base, "--baseline");
             out.baseline = (!base.is_empty()).then_some(base);
+            let mut tl = out.timeline_out.take().unwrap_or_default();
+            bind(&mut tl, "--timeline-out");
+            out.timeline_out = (!tl.is_empty()).then_some(tl);
         }
         out
     }
@@ -207,8 +217,11 @@ struct MixedRun {
     wall_s: f64,
 }
 
-fn run_mixed(params: &KernelParams) -> MixedRun {
+fn run_mixed(params: &KernelParams, timeline_out: Option<&str>) -> MixedRun {
     let mut soc = HulkV::new(SocConfig::default()).expect("default SoC");
+    if timeline_out.is_some() {
+        soc.enable_timeline(1000);
+    }
     let t0 = Instant::now();
     Kernel::MatMulI8
         .run_on_host(&mut soc, params)
@@ -217,6 +230,27 @@ fn run_mixed(params: &KernelParams) -> MixedRun {
         .run_on_cluster(&mut soc, params, 8)
         .expect("cluster matmul offload");
     let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    if let Some(path) = timeline_out {
+        let mut tl = soc.take_timeline().expect("timeline was enabled");
+        let power = PowerModel::gf22fdx_tt();
+        let soc_mhz = soc.config().host.soc_freq.as_mhz_f64();
+        let cores = soc.config().cluster.cores as u64;
+        let summary = enrich_timeline(&mut tl, &power, soc_mhz, cores);
+        verify_timeline(&tl, &summary, soc_mhz);
+        let body = if path.ends_with(".csv") {
+            tl.to_csv()
+        } else {
+            tl.to_jsonl()
+        };
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "timeline written to {path} ({} windows, {:.3} mJ, avg {:.1} mW, peak {:.1} mW)",
+            tl.len(),
+            summary.total_mj,
+            summary.avg_power_mw,
+            summary.peak_power_mw
+        );
+    }
     let instret = soc.host().core().instret() + soc.cluster().stats().get("instret");
     MixedRun {
         mips: instret as f64 / wall_s / 1e6,
@@ -264,7 +298,7 @@ fn main() {
     } else {
         KernelParams::small()
     };
-    let mixed = run_mixed(&params);
+    let mixed = run_mixed(&params, args.timeline_out.as_deref());
 
     println!(
         "decode-bound microbench ({} instructions simulated):",

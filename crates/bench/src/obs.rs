@@ -7,7 +7,14 @@
 //!   power envelope of the GF22FDX model;
 //! * `--trace-out <path>` — writes a Chrome `trace_event` JSON file
 //!   (loadable in Perfetto / `chrome://tracing`) with one track per host
-//!   hart, cluster core, DMA engine, L1/LLC cache and the DRAM controller.
+//!   hart, cluster core, DMA engine, L1/LLC cache and the DRAM controller;
+//! * `--timeline-out <path>` — samples every block's counters at a fixed
+//!   period (`--timeline-period <cycles>`, default 1000 SoC cycles),
+//!   enriches each window with Table II power and integrated energy, and
+//!   writes the time series as CSV (when the path ends in `.csv`) or
+//!   JSONL. With `--trace-out` the same windows also appear as Chrome
+//!   counter tracks in the trace; with `--metrics-out` the integrated
+//!   energy totals land in the snapshot's `energy` section.
 //!
 //! Both flags run the same instrumented reference workload — an int8
 //! matrix multiplication executed first on the CVA6 host and then
@@ -17,9 +24,9 @@
 
 use hulkv::{HulkV, SocConfig};
 use hulkv_kernels::suite::{Kernel, KernelParams};
-use hulkv_power::PowerModel;
+use hulkv_power::{EnergySummary, PowerModel};
 use hulkv_rv::{hotspot_report, Xlen};
-use hulkv_sim::{category, Tracer};
+use hulkv_sim::{category, Timeline, Tracer};
 
 /// Parsed observability flags.
 #[derive(Debug, Default, Clone)]
@@ -28,6 +35,11 @@ pub struct ObsArgs {
     pub metrics_out: Option<String>,
     /// Destination for the Chrome-trace JSON file, if requested.
     pub trace_out: Option<String>,
+    /// Destination for the telemetry timeline (CSV or JSONL), if
+    /// requested.
+    pub timeline_out: Option<String>,
+    /// Sampling period in SoC-interconnect cycles (default 1000).
+    pub timeline_period: Option<u64>,
 }
 
 impl ObsArgs {
@@ -47,13 +59,19 @@ impl ObsArgs {
             };
             bind(&mut out.metrics_out, "--metrics-out");
             bind(&mut out.trace_out, "--trace-out");
+            bind(&mut out.timeline_out, "--timeline-out");
+            let mut period = None;
+            bind(&mut period, "--timeline-period");
+            if let Some(p) = period {
+                out.timeline_period = p.parse().ok();
+            }
         }
         out
     }
 
     /// Whether any output was requested.
     pub fn active(&self) -> bool {
-        self.metrics_out.is_some() || self.trace_out.is_some()
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.timeline_out.is_some()
     }
 }
 
@@ -75,6 +93,9 @@ pub fn emit(args: &ObsArgs, figures: &[(&str, f64)]) {
     tracer.borrow_mut().enable(category::ALL);
     soc.attach_tracer(tracer.clone());
     soc.host_mut().core_mut().enable_profile();
+    if args.timeline_out.is_some() {
+        soc.enable_timeline(args.timeline_period.unwrap_or(1000));
+    }
 
     let params = KernelParams::tiny();
     Kernel::MatMulI8
@@ -84,11 +105,23 @@ pub fn emit(args: &ObsArgs, figures: &[(&str, f64)]) {
         .run_on_cluster(&mut soc, &params, 8)
         .expect("cluster matmul offload");
 
+    let power = PowerModel::gf22fdx_tt();
+    let soc_mhz = soc.config().host.soc_freq.as_mhz_f64();
+    let mut timeline = soc.take_timeline();
+    let summary = timeline.as_mut().map(|tl| {
+        let cores = soc.config().cluster.cores as u64;
+        let s = hulkv_power::enrich_timeline(tl, &power, soc_mhz, cores);
+        verify_timeline(tl, &s, soc_mhz);
+        s
+    });
+
     if let Some(path) = &args.metrics_out {
         let mut snap = soc.metrics_snapshot();
-        let power = PowerModel::gf22fdx_tt();
         for block in power.blocks() {
             snap.set_power_mw(block.name, block.max_power_mw());
+        }
+        if let Some(s) = &summary {
+            s.apply_to(&mut snap);
         }
         for &(name, value) in figures {
             snap.set_figure(name, value);
@@ -98,9 +131,31 @@ pub fn emit(args: &ObsArgs, figures: &[(&str, f64)]) {
         println!("metrics written to {path}");
     }
 
+    if let Some(path) = &args.timeline_out {
+        let tl = timeline.as_ref().expect("timeline was enabled");
+        let body = if path.ends_with(".csv") {
+            tl.to_csv()
+        } else {
+            tl.to_jsonl()
+        };
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        let s = summary.as_ref().expect("summary computed with timeline");
+        println!(
+            "timeline written to {path} ({} windows, {:.3} mJ over {} soc cycles, peak {:.1} mW)",
+            tl.len(),
+            s.total_mj,
+            s.duration_cycles,
+            s.peak_power_mw
+        );
+    }
+
     if let Some(path) = &args.trace_out {
         let t = tracer.borrow();
-        std::fs::write(path, format!("{}\n", t.chrome_trace()))
+        let counters = timeline
+            .as_ref()
+            .map(Timeline::chrome_counter_events)
+            .unwrap_or_default();
+        std::fs::write(path, format!("{}\n", t.chrome_trace_with(&counters)))
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!(
             "trace written to {path} ({} events{}) — load it in Perfetto",
@@ -125,6 +180,34 @@ pub fn finish(figures: &[(&str, f64)]) {
     emit(&ObsArgs::from_env(), figures);
 }
 
+/// Sanity-checks an enriched timeline before it is exported: windows must
+/// exist, be contiguous and monotone in cycles, and the integrated energy
+/// must equal the time-weighted average power times the covered time to
+/// within 1 % — the CI gate for the telemetry path.
+///
+/// # Panics
+///
+/// Panics when any invariant is violated.
+pub fn verify_timeline(tl: &Timeline, summary: &EnergySummary, soc_mhz: f64) {
+    assert!(!tl.is_empty(), "timeline must hold at least one window");
+    let mut last_end = 0;
+    for w in tl.windows() {
+        assert_eq!(w.start_cycle, last_end, "windows must be contiguous");
+        assert!(w.end_cycle > w.start_cycle, "windows must be monotone");
+        last_end = w.end_cycle;
+    }
+    let duration_s = summary.duration_cycles as f64 / (soc_mhz * 1e6);
+    let recomputed_mj = summary.avg_power_mw * duration_s;
+    let err = (recomputed_mj - summary.total_mj).abs() / summary.total_mj.max(f64::MIN_POSITIVE);
+    assert!(
+        err < 0.01,
+        "integrated energy {:.6} mJ deviates from avg-power × time {:.6} mJ by {:.4}%",
+        summary.total_mj,
+        recomputed_mj,
+        err * 100.0
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +227,7 @@ mod tests {
         let args = ObsArgs {
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             trace_out: Some(trace.to_string_lossy().into_owned()),
+            ..ObsArgs::default()
         };
         emit(&args, &[("answer", 42.0)]);
 
@@ -165,6 +249,44 @@ mod tests {
         for required in ["host/cva6", "cluster/core0", "dma/udma", "mem/llc"] {
             assert!(named.contains(required), "missing {required} in {named:?}");
         }
+        let _ = std::fs::remove_file(metrics);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn emit_writes_timeline_with_integrated_energy() {
+        let dir = std::env::temp_dir();
+        let timeline = dir.join("hulkv_obs_test_timeline.csv");
+        let metrics = dir.join("hulkv_obs_test_metrics_v2.json");
+        let trace = dir.join("hulkv_obs_test_trace_tl.json");
+        let args = ObsArgs {
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+            timeline_out: Some(timeline.to_string_lossy().into_owned()),
+            timeline_period: Some(500),
+        };
+        // emit() runs verify_timeline internally: contiguity, monotonicity
+        // and the 1 % energy identity are all asserted on this path.
+        emit(&args, &[]);
+
+        let csv = std::fs::read_to_string(&timeline).unwrap();
+        let mut lines = csv.lines();
+        assert!(lines
+            .next()
+            .unwrap()
+            .starts_with("start_cycle,end_cycle,energy_mj"));
+        assert!(lines.next().is_some(), "timeline must be non-empty");
+
+        let snap =
+            hulkv_sim::MetricsSnapshot::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(snap.energy["total_mj"] > 0.0);
+        assert!(snap.energy["peak_power_mw"] >= snap.energy["avg_power_mw"]);
+
+        // The Chrome trace gained the telemetry counter track.
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("soc/telemetry"));
+        assert!(t.contains("\"ph\":\"C\""));
+        let _ = std::fs::remove_file(timeline);
         let _ = std::fs::remove_file(metrics);
         let _ = std::fs::remove_file(trace);
     }

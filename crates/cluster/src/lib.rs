@@ -53,4 +53,4 @@
 
 mod pmca;
 
-pub use pmca::{Cluster, ClusterConfig, TeamResult, TCDM_BASE};
+pub use pmca::{Cluster, ClusterConfig, CorePerf, TeamResult, PERF_BASE, TCDM_BASE};

@@ -12,6 +12,26 @@ use std::rc::Rc;
 /// Cluster-local base address of the L1 scratchpad (TCDM).
 pub const TCDM_BASE: u64 = 0x1000_0000;
 
+/// Cluster-local base address of the per-core performance-counter unit,
+/// a PULP-style peripheral window each core sees privately (the same
+/// address reads *its own* counters, like `mhartid`-relative CSRs).
+///
+/// Word registers, read-only (stores to the window are ignored, as on the
+/// real peripheral where the counters are bus-owned):
+///
+/// | offset | counter |
+/// |--------|---------|
+/// | 0x00   | TCDM data accesses issued by this core |
+/// | 0x04   | TCDM bank-conflict stall cycles |
+/// | 0x08   | private-I$ hits |
+/// | 0x0C   | private-I$ misses |
+/// | 0x10   | external (AXI) data accesses |
+/// | 0x14   | external-access stall cycles (cluster domain) |
+pub const PERF_BASE: u64 = 0x1020_0000;
+
+/// Size of the perf-counter register window: six word registers.
+pub const PERF_WINDOW_BYTES: u64 = 24;
+
 /// Static configuration of the PMCA.
 ///
 /// # Example
@@ -72,6 +92,33 @@ impl ClusterConfig {
     }
 }
 
+/// End-of-run snapshot of one core's performance-counter unit plus its
+/// timing-stable core-side events — the simulator-side truth the guest's
+/// own [`PERF_BASE`] window and HPM CSR reads are cross-checked against.
+///
+/// Only timing-stable events live here (identical whether the simulator's
+/// decoded-instruction fast path is on or off), so whole-[`TeamResult`]
+/// equality stays meaningful for differential harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CorePerf {
+    /// TCDM data accesses the core issued.
+    pub tcdm_accesses: u64,
+    /// TCDM bank-conflict stall cycles charged to the core.
+    pub tcdm_conflict_stalls: u64,
+    /// Private instruction-cache hits.
+    pub icache_hits: u64,
+    /// Private instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data accesses that left the cluster through the AXI master port.
+    pub ext_accesses: u64,
+    /// Stall cycles those external accesses cost, in cluster cycles.
+    pub ext_stall_cycles: u64,
+    /// Xpulp hardware-loop back-edges taken.
+    pub hwloop_iters: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+}
+
 /// Result of one fork/join team execution on the cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TeamResult {
@@ -88,6 +135,8 @@ pub struct TeamResult {
     pub per_core_state: Vec<u64>,
     /// Sum of GOps-weighted arithmetic operations across the team.
     pub arith_ops: u64,
+    /// Each core's final performance-counter snapshot.
+    pub per_core_perf: Vec<CorePerf>,
 }
 
 /// The Programmable Multi-Core Accelerator.
@@ -323,6 +372,7 @@ impl Cluster {
         let mut per_core = Vec::with_capacity(num_cores);
         let mut per_core_instret = Vec::with_capacity(num_cores);
         let mut per_core_state = Vec::with_capacity(num_cores);
+        let mut per_core_perf = Vec::with_capacity(num_cores);
         let mut arith_ops = 0u64;
         let tcdm_bytes = self.cfg.tcdm_bytes() as u64;
         let tcdm_top = TCDM_BASE + tcdm_bytes;
@@ -368,19 +418,32 @@ impl Cluster {
             )
             .expect("private I-cache geometry");
 
-            let mut bus = ClusterCoreBus {
-                tcdm: &self.tcdm,
-                ext: &self.ext,
-                icache: &mut private_icache,
-                tcdm_bytes,
-                cluster_freq: self.cfg.freq,
-                soc_freq: self.cfg.soc_freq,
-                conflict_q16,
-                conflict_acc: 0,
-                conflicts: 0,
+            // Scoped so the bus releases the I$ borrow for the stats
+            // reads below.
+            let (b_tcdm, b_conflicts, b_ext, b_ext_stalls) = {
+                let mut bus = ClusterCoreBus {
+                    tcdm: &self.tcdm,
+                    ext: &self.ext,
+                    icache: &mut private_icache,
+                    tcdm_bytes,
+                    cluster_freq: self.cfg.freq,
+                    soc_freq: self.cfg.soc_freq,
+                    conflict_q16,
+                    conflict_acc: 0,
+                    conflicts: 0,
+                    tcdm_accesses: 0,
+                    ext_accesses: 0,
+                    ext_stall_cycles: 0,
+                };
+                core.run(&mut bus, max_cycles)?;
+                (
+                    bus.tcdm_accesses,
+                    bus.conflicts,
+                    bus.ext_accesses,
+                    bus.ext_stall_cycles,
+                )
             };
-            core.run(&mut bus, max_cycles)?;
-            self.stats.add("tcdm_conflicts", bus.conflicts);
+            self.stats.add("tcdm_conflicts", b_conflicts);
             per_core.push(core.cycles());
             per_core_instret.push(core.instret());
             per_core_state.push(core.state_digest());
@@ -390,6 +453,23 @@ impl Cluster {
             for key in ["decode_hits", "decode_misses", "decode_invalidations"] {
                 self.stats.add(key, cs.get(key));
             }
+            let perf = CorePerf {
+                tcdm_accesses: b_tcdm,
+                tcdm_conflict_stalls: b_conflicts,
+                icache_hits: private_icache.stats().get("hits"),
+                icache_misses: private_icache.stats().get("misses"),
+                ext_accesses: b_ext,
+                ext_stall_cycles: b_ext_stalls,
+                hwloop_iters: cs.get("hwloop_iters"),
+                taken_branches: cs.get("taken_branches"),
+            };
+            self.stats.add("tcdm_accesses", perf.tcdm_accesses);
+            self.stats.add("icache_p_hits", perf.icache_hits);
+            self.stats.add("icache_p_misses", perf.icache_misses);
+            self.stats.add("ext_accesses", perf.ext_accesses);
+            self.stats.add("ext_stall_cycles", perf.ext_stall_cycles);
+            self.stats.add("hwloop_iters", perf.hwloop_iters);
+            per_core_perf.push(perf);
         }
 
         let max = per_core.iter().copied().fold(Cycles::ZERO, Cycles::max);
@@ -403,6 +483,7 @@ impl Cluster {
             per_core_instret,
             per_core_state,
             arith_ops,
+            per_core_perf,
         })
     }
 }
@@ -418,6 +499,9 @@ struct ClusterCoreBus<'a> {
     conflict_q16: u64,
     conflict_acc: u64,
     conflicts: u64,
+    tcdm_accesses: u64,
+    ext_accesses: u64,
+    ext_stall_cycles: u64,
 }
 
 impl ClusterCoreBus<'_> {
@@ -427,6 +511,32 @@ impl ClusterCoreBus<'_> {
         } else {
             None
         }
+    }
+
+    fn perf_offset(&self, addr: u64, len: usize) -> Option<u64> {
+        if addr >= PERF_BASE && addr + len as u64 <= PERF_BASE + PERF_WINDOW_BYTES {
+            Some(addr - PERF_BASE)
+        } else {
+            None
+        }
+    }
+
+    /// Byte image of the perf-counter window ([`PERF_BASE`] register map).
+    /// Reads of the window itself are not counted as data accesses.
+    fn perf_image(&self) -> [u8; PERF_WINDOW_BYTES as usize] {
+        let regs = [
+            self.tcdm_accesses,
+            self.conflicts,
+            self.icache.stats().get("hits"),
+            self.icache.stats().get("misses"),
+            self.ext_accesses,
+            self.ext_stall_cycles,
+        ];
+        let mut img = [0u8; PERF_WINDOW_BYTES as usize];
+        for (i, r) in regs.iter().enumerate() {
+            img[i * 4..][..4].copy_from_slice(&(*r as u32).to_le_bytes());
+        }
+        img
     }
 
     /// Expected bank-conflict stall for one TCDM access: a Q16 fractional
@@ -469,23 +579,46 @@ impl CoreBus for ClusterCoreBus<'_> {
     #[inline]
     fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {
         if let Some(off) = self.tcdm_offset(addr, buf.len()) {
+            self.tcdm_accesses += 1;
             self.tcdm.borrow_mut().read(off, buf)?;
             Ok(self.conflict_stall())
+        } else if let Some(off) = self.perf_offset(addr, buf.len()) {
+            let img = self.perf_image();
+            buf.copy_from_slice(&img[off as usize..off as usize + buf.len()]);
+            Ok(Cycles::ZERO)
         } else {
             let lat = self.ext.borrow_mut().read(addr, buf)?;
-            Ok(self.ext_stall(lat))
+            let stall = self.ext_stall(lat);
+            self.ext_accesses += 1;
+            self.ext_stall_cycles += stall.get();
+            Ok(stall)
         }
     }
 
     #[inline]
     fn store(&mut self, addr: u64, data: &[u8]) -> Result<Cycles, SimError> {
         if let Some(off) = self.tcdm_offset(addr, data.len()) {
+            self.tcdm_accesses += 1;
             self.tcdm.borrow_mut().write(off, data)?;
             Ok(self.conflict_stall())
+        } else if self.perf_offset(addr, data.len()).is_some() {
+            // The counters are bus-owned: stores are accepted and dropped.
+            Ok(Cycles::ZERO)
         } else {
             let lat = self.ext.borrow_mut().write(addr, data)?;
-            Ok(self.ext_stall(lat))
+            let stall = self.ext_stall(lat);
+            self.ext_accesses += 1;
+            self.ext_stall_cycles += stall.get();
+            Ok(stall)
         }
+    }
+
+    fn hpm_icache_misses(&self) -> u64 {
+        self.icache.stats().get("misses")
+    }
+
+    fn hpm_conflict_stalls(&self) -> u64 {
+        self.conflicts
     }
 }
 
@@ -700,6 +833,118 @@ mod tests {
         cluster.tcdm_read(0, &mut buf).unwrap();
         assert_eq!(&buf[0..4], &[1; 4]);
         assert_eq!(&buf[12..16], &[4; 4]);
+    }
+
+    #[test]
+    fn perf_unit_matches_simulator_stats_exactly() {
+        // The guest reads its perf-counter window and stores the values to
+        // the TCDM; the test compares them to the simulator-side CorePerf.
+        // Registers are read before the result stores, so the guest values
+        // trail the final counters by a statically known tail: six TCDM
+        // stores (and zero external accesses / conflicts on a solo core).
+        let mut a = Asm::new(Xlen::Rv32);
+        // Workload: 8 TCDM loads + 4 TCDM stores + 2 external loads.
+        a.li(Reg::T0, TCDM_BASE as i64);
+        for i in 0..8 {
+            a.lw(Reg::T1, Reg::T0, 0x100 + 4 * i);
+        }
+        for i in 0..4 {
+            a.sw(Reg::T1, Reg::T0, 0x200 + 4 * i);
+        }
+        a.li(Reg::T2, 0x8008_0000u32 as i64);
+        a.lw(Reg::T3, Reg::T2, 0);
+        a.lw(Reg::T3, Reg::T2, 4);
+        // Read the six perf registers, then store them to TCDM 0x00..0x18.
+        a.li(Reg::T2, PERF_BASE as i64);
+        for i in 0..6 {
+            a.lw(Reg::T3, Reg::T2, 4 * i);
+            a.sw(Reg::T3, Reg::T0, 4 * i);
+        }
+        a.ebreak();
+        let ext = soc_with_program(&a.assemble().unwrap());
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext);
+        let r = cluster.run_team(0x8000_0000, &[], 1, 100_000).unwrap();
+        let perf = r.per_core_perf[0];
+        let mut guest = |i: u64| cluster.tcdm_read_u32(i * 4).unwrap() as u64;
+
+        // Stores interleave with the register reads: the read of register i
+        // happens after i result stores.
+        for (i, (name, fin)) in [
+            ("tcdm_accesses", perf.tcdm_accesses),
+            ("tcdm_conflict_stalls", perf.tcdm_conflict_stalls),
+            ("icache_hits", perf.icache_hits),
+            ("icache_misses", perf.icache_misses),
+            ("ext_accesses", perf.ext_accesses),
+            ("ext_stall_cycles", perf.ext_stall_cycles),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let tail = match i {
+                // Register 0 is read before all six result stores land.
+                0 => 6,
+                // Solo core: no conflicts ever.
+                1 => 0,
+                // The I$ counters move with tail *fetches*, checked below.
+                2 | 3 => continue,
+                // The external phase is over before the reads: tail-dead.
+                _ => 0,
+            };
+            assert_eq!(guest(i as u64) + tail, *fin, "{name}");
+        }
+        assert_eq!(perf.tcdm_accesses, 8 + 4 + 6, "workload + result stores");
+        assert_eq!(perf.ext_accesses, 2);
+        assert!(perf.ext_stall_cycles > 0, "AXI accesses are not free");
+        // I$ counters: the guest snapshot can only trail the final value
+        // (the tail keeps fetching but never invalidates).
+        assert!(guest(2) <= perf.icache_hits);
+        assert!(guest(3) <= perf.icache_misses);
+        assert!(perf.icache_hits > 0 && perf.icache_misses > 0);
+    }
+
+    #[test]
+    fn hpm_csrs_work_on_cluster_cores() {
+        // Cluster cores self-measure through the same HPM CSRs as the host:
+        // count hardware-loop iterations and cross-check against CorePerf.
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, 12); // HpmEvent::HwLoopIter
+        a.csrw(hulkv_rv::csr::addr::MHPMEVENT3, Reg::T0);
+        a.li(Reg::A0, 0);
+        a.lp_counti(0, 10);
+        let (s, e) = (a.label(), a.label());
+        a.lp_starti(0, s);
+        a.lp_endi(0, e);
+        a.bind(s);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.bind(e);
+        a.csrr(Reg::A1, hulkv_rv::csr::addr::MHPMCOUNTER3);
+        store_result_per_hart(&mut a, Reg::A1);
+        a.ebreak();
+        let ext = soc_with_program(&a.assemble().unwrap());
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext);
+        let r = cluster.run_team(0x8000_0000, &[], 2, 100_000).unwrap();
+        for hart in 0..2 {
+            assert_eq!(cluster.tcdm_read_u32(hart * 4).unwrap(), 9);
+            assert_eq!(r.per_core_perf[hart as usize].hwloop_iters, 9);
+        }
+        assert_eq!(cluster.stats().get("hwloop_iters"), 18);
+    }
+
+    #[test]
+    fn perf_window_stores_are_dropped() {
+        let mut a = Asm::new(Xlen::Rv32);
+        a.li(Reg::T0, PERF_BASE as i64);
+        a.li(Reg::T1, 0xDEAD);
+        a.sw(Reg::T1, Reg::T0, 0); // ignored: counters are bus-owned
+        a.lw(Reg::A0, Reg::T0, 4); // conflict stalls: solo core -> 0
+        store_result_per_hart(&mut a, Reg::A0);
+        a.ebreak();
+        let ext = soc_with_program(&a.assemble().unwrap());
+        let mut cluster = Cluster::new(ClusterConfig::default(), ext);
+        let r = cluster.run_team(0x8000_0000, &[], 1, 100_000).unwrap();
+        assert_eq!(cluster.tcdm_read_u32(0).unwrap(), 0);
+        // The dropped store is not a TCDM access either.
+        assert_eq!(r.per_core_perf[0].tcdm_accesses, 1);
     }
 
     #[test]

@@ -8,7 +8,8 @@ use hulkv_host::{Clint, Host, Plic};
 use hulkv_mem::{shared, Bus, Ddr, DmaEngine, HyperRam, Llc, SharedMem, Sram, Transfer1d};
 use hulkv_rv::{Core, Reg, RvError};
 use hulkv_sim::{
-    convert_freq, Cycles, MetricsSnapshot, SharedTracer, SimError, Stats, TraceEvent, Track,
+    convert_freq, Cycles, MetricsSnapshot, SharedTracer, SimError, Stats, Timeline, TraceEvent,
+    Track,
 };
 use std::cell::RefCell;
 use std::error::Error;
@@ -161,6 +162,9 @@ pub struct HulkV {
     shared_next: u64,
     stats: Stats,
     tracer: Option<SharedTracer>,
+    timeline: Option<Timeline>,
+    /// Telemetry cycle cursor in the SoC-interconnect clock domain.
+    timeline_now: u64,
 }
 
 impl HulkV {
@@ -217,6 +221,8 @@ impl HulkV {
             shared_next: map::SHARED_BASE,
             stats: Stats::new("soc"),
             tracer: None,
+            timeline: None,
+            timeline_now: 0,
             cfg,
         })
     }
@@ -239,6 +245,46 @@ impl HulkV {
     fn trace(&self, event: TraceEvent) {
         if let Some(t) = &self.tracer {
             t.borrow_mut().record(Track::Soc, event);
+        }
+    }
+
+    /// Enables windowed telemetry: every `period_cycles` SoC-interconnect
+    /// cycles the SoC snapshots all block counters into a [`Timeline`]
+    /// window. Sampling is read-only — an identical run with the sampler
+    /// off is cycle-bit-identical (see the neutrality test).
+    pub fn enable_timeline(&mut self, period_cycles: u64) {
+        self.timeline = Some(Timeline::new(period_cycles));
+        self.timeline_now = 0;
+    }
+
+    /// The telemetry timeline, when enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Detaches the telemetry timeline (for enrichment and export after a
+    /// run); sampling stops until [`HulkV::enable_timeline`] is called
+    /// again.
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take()
+    }
+
+    /// The telemetry cycle cursor (SoC-interconnect domain).
+    pub fn timeline_cycle(&self) -> u64 {
+        self.timeline_now
+    }
+
+    /// Closes the current telemetry window at the cursor, recording every
+    /// block's counter deltas. No-op when the timeline is off or the
+    /// cursor has not advanced past the open window's start.
+    pub fn timeline_sample(&mut self) {
+        if self.timeline.is_none() {
+            return;
+        }
+        let blocks = self.metrics_snapshot().blocks;
+        let now = self.timeline_now;
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.sample(now, &blocks);
         }
     }
 
@@ -536,6 +582,10 @@ impl HulkV {
                 overhead.get(),
             );
         }
+        if self.timeline.is_some() {
+            self.timeline_now += (overhead + team_soc).get();
+            self.timeline_sample();
+        }
         Ok(OffloadResult {
             total_soc_cycles: overhead + team_soc,
             overhead_cycles: overhead,
@@ -585,7 +635,55 @@ impl HulkV {
         core.set_reg(Reg::Sp, map::L2SPM_BASE + self.cfg.l2spm_bytes as u64);
         setup(core);
         core.resume();
-        Ok(self.host.run(max_cycles)?)
+        if self.timeline.is_none() {
+            return Ok(self.host.run(max_cycles)?);
+        }
+        self.run_host_sampled(max_cycles)
+    }
+
+    /// Window-by-window host run used when the timeline is enabled. The
+    /// step sequence is exactly the one [`Host::run`] would execute — the
+    /// run is only paused at sampling boundaries — so sampled and
+    /// unsampled runs stay cycle-bit-identical.
+    fn run_host_sampled(&mut self, max_cycles: u64) -> Result<Cycles, SocError> {
+        let host_freq = self.cfg.host.freq;
+        let soc_freq = self.cfg.host.soc_freq;
+        let start = self.host.core().cycles().get();
+        let limit = start.saturating_add(max_cycles);
+        loop {
+            // Convert the next due SoC-domain boundary to a host-core
+            // cycle target, capped at the run budget (+1 so the overrun
+            // that [`Host::run`] reports as Timeout is observable).
+            let next_due = self.timeline.as_ref().map_or(u64::MAX, Timeline::next_due);
+            let delta_soc = next_due.saturating_sub(self.timeline_now).max(1);
+            let delta_host = convert_freq(Cycles::new(delta_soc), soc_freq, host_freq)
+                .get()
+                .max(1);
+            let anchor = self.host.core().cycles().get();
+            let target = anchor
+                .saturating_add(delta_host)
+                .min(limit.saturating_add(1));
+            let halted = self.host.run_until_cycle(target)?;
+            let now = self.host.core().cycles().get();
+            self.timeline_now += convert_freq(Cycles::new(now - anchor), host_freq, soc_freq).get();
+            if halted {
+                self.timeline_sample();
+                return Ok(Cycles::new(now - start));
+            }
+            if now > limit {
+                return Err(RvError::Timeout {
+                    cycles: now - start,
+                }
+                .into());
+            }
+            if self
+                .timeline
+                .as_ref()
+                .is_some_and(|tl| tl.due(self.timeline_now))
+            {
+                self.timeline_sample();
+            }
+        }
     }
 }
 
@@ -633,6 +731,97 @@ mod tests {
         soc.run_host_program(&a.assemble().unwrap(), |_| {}, 1_000_000)
             .unwrap();
         assert_eq!(soc.host().core().reg(Reg::A0), 42);
+    }
+
+    fn counting_loop(iters: i64) -> Vec<u32> {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::A0, iters);
+        a.li(Reg::A1, 0);
+        let top = a.label();
+        a.bind(top);
+        a.addi(Reg::A1, Reg::A1, 1);
+        a.addi(Reg::A0, Reg::A0, -1);
+        a.bnez(Reg::A0, top);
+        a.ebreak();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn timeline_samples_host_runs_window_by_window() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        soc.enable_timeline(200);
+        soc.run_host_program(&counting_loop(2000), |_| {}, 10_000_000)
+            .unwrap();
+        let tl = soc.timeline().unwrap();
+        assert!(tl.len() >= 3, "expected several windows, got {}", tl.len());
+        let mut last_end = 0;
+        let mut instret = 0;
+        for w in tl.windows() {
+            assert_eq!(w.start_cycle, last_end);
+            assert!(w.end_cycle > w.start_cycle);
+            last_end = w.end_cycle;
+            instret += w.deltas.get("core.instret").copied().unwrap_or(0);
+        }
+        // The windows' deltas add up to the whole run.
+        assert_eq!(instret, soc.host().core().instret());
+        assert_eq!(last_end, soc.timeline_cycle());
+    }
+
+    #[test]
+    fn timeline_sampling_is_cycle_neutral() {
+        let run = |sampled: bool| {
+            let mut soc = HulkV::new(SocConfig::default()).unwrap();
+            if sampled {
+                // An aggressive period maximizes chunking.
+                soc.enable_timeline(64);
+            }
+            let cycles = soc
+                .run_host_program(&counting_loop(3000), |_| {}, 10_000_000)
+                .unwrap();
+            let buf = soc.hulk_malloc(32).unwrap();
+            let kernel = soc.register_kernel(&trivial_kernel()).unwrap();
+            let off = soc
+                .offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000)
+                .unwrap();
+            (
+                cycles,
+                off.total_soc_cycles,
+                soc.host().core().instret(),
+                soc.metrics_snapshot().to_json().to_string(),
+            )
+        };
+        let (c_on, o_on, i_on, snap_on) = run(true);
+        let (c_off, o_off, i_off, snap_off) = run(false);
+        assert_eq!(c_on, c_off, "sampling changed host cycles");
+        assert_eq!(o_on, o_off, "sampling changed offload cycles");
+        assert_eq!(i_on, i_off);
+        assert_eq!(snap_on, snap_off, "sampling perturbed a block counter");
+    }
+
+    #[test]
+    fn timeline_offload_closes_a_window() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        soc.enable_timeline(1_000_000);
+        let buf = soc.hulk_malloc(32).unwrap();
+        let kernel = soc.register_kernel(&trivial_kernel()).unwrap();
+        let r = soc
+            .offload(kernel, &[(Reg::A0, buf)], 8, 1_000_000)
+            .unwrap();
+        let tl = soc.take_timeline().unwrap();
+        assert_eq!(tl.len(), 1);
+        let w = &tl.windows()[0];
+        assert_eq!(w.cycles(), r.total_soc_cycles.get());
+        assert!(w.deltas.contains_key("cluster.instret"));
+        // Detached: further runs don't sample.
+        assert!(soc.timeline().is_none());
+    }
+
+    #[test]
+    fn sampled_runs_still_time_out() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        soc.enable_timeline(100);
+        let err = soc.run_host_program(&counting_loop(100_000), |_| {}, 1_000);
+        assert!(matches!(err, Err(SocError::Exec(RvError::Timeout { .. }))));
     }
 
     fn trivial_kernel() -> Vec<u32> {

@@ -8,12 +8,18 @@
 //! ```text
 //! fuzz_iss [--seed N] [--programs N] [--ci-budget]
 //!          [--inject-divergence] [--repro-dir DIR] [--json]
+//!          [--metrics-out PATH] [--trace-out PATH]
 //! ```
+//!
+//! `--metrics-out` writes a schema-v2 [`MetricsSnapshot`] with the
+//! campaign's per-side program/retire counters; `--trace-out` attaches a
+//! structured tracer to every fast-side core and writes the campaign's
+//! Chrome trace.
 
 use hulkv_analyze::{analyze, AnalyzeConfig, GuestProgram, Side};
 use hulkv_fuzz::{generate, run_differential, shrink, Isa, LockstepOptions, Program};
 use hulkv_rv::disassemble_word;
-use hulkv_sim::{Json, SplitMix64};
+use hulkv_sim::{category, Json, MetricsSnapshot, SplitMix64, Stats, Tracer};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -30,6 +36,8 @@ struct Cli {
     inject_divergence: bool,
     repro_dir: String,
     json: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -39,6 +47,8 @@ fn parse_cli() -> Result<Cli, String> {
         inject_divergence: false,
         repro_dir: "fuzz/repros".to_string(),
         json: false,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,9 +67,16 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.repro_dir = args.next().ok_or("--repro-dir needs a value")?;
             }
             "--json" => cli.json = true,
+            "--metrics-out" => {
+                cli.metrics_out = Some(args.next().ok_or("--metrics-out needs a value")?);
+            }
+            "--trace-out" => {
+                cli.trace_out = Some(args.next().ok_or("--trace-out needs a value")?);
+            }
             "--help" | "-h" => {
                 return Err("usage: fuzz_iss [--seed N] [--programs N] [--ci-budget] \
-                     [--inject-divergence] [--repro-dir DIR] [--json]"
+                     [--inject-divergence] [--repro-dir DIR] [--json] \
+                     [--metrics-out PATH] [--trace-out PATH]"
                     .into())
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -108,8 +125,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let tracer = cli.trace_out.as_ref().map(|_| {
+        let t = Tracer::shared(1 << 18);
+        t.borrow_mut().enable(category::ALL);
+        t
+    });
     let opts = LockstepOptions {
         inject_divergence: cli.inject_divergence,
+        tracer: tracer.clone(),
         ..LockstepOptions::default()
     };
     println!(
@@ -118,6 +141,7 @@ fn main() -> ExitCode {
     );
 
     let mut side_reports = Vec::new();
+    let mut side_stats: Vec<Stats> = Vec::new();
     let mut total_programs = 0u64;
     let mut total_retired = 0u64;
     let mut static_findings = 0u64;
@@ -174,6 +198,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         total_retired += retired;
+        let mut s = Stats::new(format!("fuzz_{isa:?}").to_lowercase());
+        s.add("programs", cli.programs);
+        s.add("retired", retired);
+        side_stats.push(s);
         side_reports.push(Json::obj([
             ("isa", Json::Str(format!("{isa:?}"))),
             ("programs", Json::from(cli.programs)),
@@ -182,6 +210,37 @@ fn main() -> ExitCode {
         println!(
             "  {isa:?}: {} programs, {retired} instructions retired, 0 divergences",
             cli.programs
+        );
+    }
+
+    if let Some(path) = &cli.metrics_out {
+        let mut snap = MetricsSnapshot::new();
+        let mut campaign = Stats::new("campaign");
+        campaign.add("programs", total_programs);
+        campaign.add("retired", total_retired);
+        campaign.add("static_findings", static_findings);
+        campaign.add("divergences", 0);
+        snap.push_block(campaign);
+        for s in side_stats {
+            snap.push_block(s);
+        }
+        snap.set_figure("seed", cli.seed as f64);
+        if let Err(e) = std::fs::write(path, format!("{}\n", snap.to_json())) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    }
+    if let (Some(path), Some(t)) = (&cli.trace_out, &tracer) {
+        let t = t.borrow();
+        if let Err(e) = std::fs::write(path, format!("{}\n", t.chrome_trace())) {
+            eprintln!("failed to write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace written to {path} ({} events, {} dropped)",
+            t.len(),
+            t.dropped()
         );
     }
 

@@ -17,7 +17,7 @@
 use hulkv_rv::compressed::compress;
 use hulkv_rv::csr::addr;
 use hulkv_rv::inst::{AluOp, FReg, Inst};
-use hulkv_rv::{Asm, Reg, Xlen};
+use hulkv_rv::{Asm, HpmEvent, Reg, Xlen};
 use hulkv_sim::SplitMix64;
 
 /// Which harness a program targets. The four sides differ in XLEN, the
@@ -189,7 +189,9 @@ pub enum GenItem {
     },
     /// CSR probe: reading `cycle`/`instret` folds the timing model into
     /// architectural state, so a cycle divergence between the fast and
-    /// reference runs becomes a register divergence too.
+    /// reference runs becomes a register divergence too. Also exercises
+    /// the HPM group (`mhpmcounter`/`hpmcounter` reads, counter writes,
+    /// arming of microarchitecture-independent event selectors).
     CsrProbe { op: u8, rd: u8, rs1: u8 },
     /// `csrw satp, s{2+table}` — switch between bare mode and the three
     /// prebuilt page tables (benign / hostile A-D / 2 MiB superpage).
@@ -440,7 +442,14 @@ fn emit_fp(a: &mut Asm, op: u8, rd: u8, rs1: u8, rs2: u8, rs3: u8, xlen: Xlen) {
 
 fn emit_csr_probe(a: &mut Asm, op: u8, rd: u8, rs1: u8) {
     let (rd, rs) = (wr(rd), rd_any(rs1));
-    match op % 7 {
+    // HPM probes pick their counter off the operand byte. Only
+    // microarchitecture-independent selectors are armed (taken branches,
+    // loads, stores): decode-cache and TLB event counts legitimately
+    // differ between the lockstep fast and reference sides, so arming
+    // them would turn an expected timing difference into a register
+    // divergence.
+    let hpm = rs1 as u16 % addr::HPM_COUNTERS;
+    match op % 11 {
         0 => a.csrr(rd, addr::CYCLE),
         1 => a.csrr(rd, addr::INSTRET),
         2 => a.csrw(addr::MSCRATCH, rs),
@@ -448,6 +457,14 @@ fn emit_csr_probe(a: &mut Asm, op: u8, rd: u8, rs1: u8) {
         4 => a.csrw(addr::FFLAGS, rs),
         5 => a.csrr(rd, addr::FFLAGS),
         6 => a.csrrw(rd, addr::MSCRATCH, rs),
+        7 => a.csrr(rd, addr::MHPMCOUNTER3 + hpm),
+        8 => a.csrr(rd, addr::HPMCOUNTER3 + hpm),
+        9 => {
+            const STABLE: [HpmEvent; 3] = [HpmEvent::TakenBranch, HpmEvent::Load, HpmEvent::Store];
+            a.li(Reg::T0, STABLE[rs1 as usize % STABLE.len()] as i64);
+            a.csrw(addr::MHPMEVENT3 + hpm, Reg::T0);
+        }
+        10 => a.csrw(addr::MHPMCOUNTER3 + hpm, rs),
         _ => unreachable!(),
     }
 }

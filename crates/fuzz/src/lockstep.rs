@@ -24,7 +24,7 @@ use hulkv_mem::{Bus, MemoryDevice, Sram};
 use hulkv_rv::csr::addr;
 use hulkv_rv::inst::FReg;
 use hulkv_rv::{Asm, Core, FlatBus, PrivMode, Reg, Xlen};
-use hulkv_sim::{Cycles, Fnv64, SplitMix64};
+use hulkv_sim::{Cycles, Fnv64, SharedTracer, SplitMix64};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -60,6 +60,11 @@ pub struct LockstepOptions {
     /// third retire, forcing a divergence so the report/shrink/repro
     /// pipeline can be validated end to end.
     pub inject_divergence: bool,
+    /// Optional structured tracer attached to the *fast* side's core, so
+    /// a fuzzing campaign can export what the fast paths actually did as
+    /// a Chrome trace. Never attached to the reference side — tracing
+    /// must not be able to mask a divergence by perturbing both runs.
+    pub tracer: Option<SharedTracer>,
 }
 
 impl Default for LockstepOptions {
@@ -68,6 +73,7 @@ impl Default for LockstepOptions {
             max_steps: 20_000,
             digest_every: 16,
             inject_divergence: false,
+            tracer: None,
         }
     }
 }
@@ -304,6 +310,9 @@ fn compare_cheap(step: u64, fast: &Core, refc: &Core) -> Result<(), Divergence> 
 pub fn run_lockstep(prog: &Program, opts: &LockstepOptions) -> Result<LockstepStats, Divergence> {
     let (mut fast, mut fbus) = build_env(prog, true);
     let (mut refc, mut rbus) = build_env(prog, false);
+    if let Some(t) = &opts.tracer {
+        fast.set_tracer(t.clone());
+    }
     let mut step = 0u64;
     let mut injected = false;
     loop {
@@ -411,6 +420,9 @@ pub fn run_host_lockstep(
     assert_eq!(prog.isa, Isa::Rv64Host);
     let (mut fast, fdram) = build_host(prog, true);
     let (mut refc, rdram) = build_host(prog, false);
+    if let Some(t) = &opts.tracer {
+        fast.core_mut().set_tracer(t.clone());
+    }
     let mut step = 0u64;
     loop {
         if step >= opts.max_steps {

@@ -236,6 +236,30 @@ impl Host {
         Ok(spent)
     }
 
+    /// Runs the core until `ebreak` or until its *total* cycle count
+    /// reaches `target`, whichever comes first; returns whether it halted.
+    /// The timeline sampler drives a run window by window through this —
+    /// the step sequence is the one [`Host::run`] would execute, so
+    /// sampled and unsampled runs are cycle-bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors (never a timeout).
+    pub fn run_until_cycle(&mut self, target: u64) -> Result<bool, RvError> {
+        let before = self.core.cycles();
+        let mut view = HostBus {
+            l1i: &mut self.l1i,
+            l1d: &mut self.l1d,
+            bridge: &self.bridge,
+            caches_enabled: self.cfg.caches_enabled,
+            cacheable_start: self.cfg.cacheable_start,
+        };
+        let halted = self.core.run_until_cycle(&mut view, target)?;
+        self.stats
+            .add("run_cycles", (self.core.cycles() - before).get());
+        Ok(halted)
+    }
+
     /// Executes a single instruction (for fine-grain co-simulation with the
     /// cluster in the SoC crate).
     ///
@@ -310,6 +334,14 @@ impl CoreBus for HostBus<'_> {
             self.bridge.borrow_mut().write(addr, data)?
         };
         Ok(lat.saturating_sub(Cycles::new(1)))
+    }
+
+    fn hpm_icache_misses(&self) -> u64 {
+        self.l1i.stats().get("misses")
+    }
+
+    fn hpm_dcache_misses(&self) -> u64 {
+        self.l1d.stats().get("misses")
     }
 }
 

@@ -1,0 +1,195 @@
+//! Self-instrumented host workloads reading their own HPM counters.
+//!
+//! The guest-visible side of the telemetry stack: these programs write
+//! `mhpmevent3..6` selectors themselves, run a load/store/branch workload,
+//! then read `mhpmcounter3..6` back — exactly how perf-counter
+//! bring-up code exercises CVA6's HPM block on silicon. The tests
+//! cross-check every guest-read value against the simulator's own `Stats`
+//! counters: by the virtual-counter construction the two must agree
+//! *exactly*, not approximately.
+//!
+//! Counter reads are placed *before* the result stores, so each event's
+//! tail contribution is statically known: the four `sd` instructions after
+//! the reads retire 4 stores (and whatever D$ misses they cause) but no
+//! loads and no taken branches.
+
+use hulkv::{map, HulkV, SocError};
+use hulkv_rv::csr::addr;
+use hulkv_rv::{Asm, HpmEvent, Reg, Xlen};
+
+/// The events the instrumented program selects on counters 3..6, in
+/// counter order.
+pub const PROBE_EVENTS: [HpmEvent; 4] = [
+    HpmEvent::TakenBranch,
+    HpmEvent::Load,
+    HpmEvent::Store,
+    HpmEvent::DcacheMiss,
+];
+
+/// Number of trailing `sd` instructions executed after the counter reads
+/// (the store-count tail the cross-check must account for).
+pub const RESULT_STORE_TAIL: u64 = 4;
+
+/// What the guest program measured about itself, read back from memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HpmReadout {
+    /// Taken branches up to the counter-read point.
+    pub taken_branches: u64,
+    /// Loads retired up to the counter-read point.
+    pub loads: u64,
+    /// Stores retired up to the counter-read point.
+    pub stores: u64,
+    /// L1D misses observed up to the counter-read point.
+    pub dcache_misses: u64,
+}
+
+/// Builds the self-instrumented RV64 program.
+///
+/// Register protocol: `a0` = 32-byte result buffer, `a1` = scratch word
+/// the loop loads/stores through, `a2` = iteration count. The program
+/// programs its own event selectors, runs `a2` loop iterations (each with
+/// one load, one store and one taken back-edge), reads the four counters,
+/// and stores them to `a0[0..4]`.
+pub fn instrumented_program() -> Vec<u32> {
+    let mut a = Asm::new(Xlen::Rv64);
+    // Select the events under measurement (writes are M-mode legal).
+    for (i, ev) in PROBE_EVENTS.iter().enumerate() {
+        a.li(Reg::T0, *ev as i64);
+        a.csrw(addr::MHPMEVENT3 + i as u16, Reg::T0);
+    }
+    // Zero the counters so the readout is this workload's alone.
+    a.li(Reg::T0, 0);
+    for i in 0..PROBE_EVENTS.len() {
+        a.csrw(addr::MHPMCOUNTER3 + i as u16, Reg::T0);
+    }
+    let top = a.label();
+    a.bind(top);
+    a.ld(Reg::T1, Reg::A1, 0);
+    a.addi(Reg::T1, Reg::T1, 1);
+    a.sd(Reg::T1, Reg::A1, 0);
+    a.addi(Reg::A2, Reg::A2, -1);
+    a.bnez(Reg::A2, top);
+    // Read all four counters before any result store, so the tails are
+    // statically known.
+    a.csrr(Reg::T0, addr::MHPMCOUNTER3);
+    a.csrr(Reg::T1, addr::MHPMCOUNTER3 + 1);
+    a.csrr(Reg::T2, addr::MHPMCOUNTER3 + 2);
+    a.csrr(Reg::T3, addr::MHPMCOUNTER3 + 3);
+    a.sd(Reg::T0, Reg::A0, 0);
+    a.sd(Reg::T1, Reg::A0, 8);
+    a.sd(Reg::T2, Reg::A0, 16);
+    a.sd(Reg::T3, Reg::A0, 24);
+    a.ebreak();
+    a.assemble().expect("assemble instrumented program")
+}
+
+/// Runs the instrumented program on `soc` and returns the guest's own
+/// counter readings.
+///
+/// # Errors
+///
+/// Propagates SoC and execution errors.
+pub fn run_instrumented(soc: &mut HulkV, iters: u64) -> Result<HpmReadout, SocError> {
+    let result = map::SHARED_BASE;
+    let scratch = result + 64;
+    soc.write_mem(result, &[0u8; 72])?;
+    soc.run_host_program(
+        &instrumented_program(),
+        |core| {
+            core.set_reg(Reg::A0, result);
+            core.set_reg(Reg::A1, scratch);
+            core.set_reg(Reg::A2, iters);
+        },
+        1_000_000_000,
+    )?;
+    let mut buf = [0u8; 32];
+    soc.read_mem(result, &mut buf)?;
+    let word = |i: usize| u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
+    Ok(HpmReadout {
+        taken_branches: word(0),
+        loads: word(1),
+        stores: word(2),
+        dcache_misses: word(3),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{Kernel, KernelParams};
+    use hulkv::SocConfig;
+
+    #[test]
+    fn guest_hpm_readout_matches_simulator_stats_exactly() {
+        let mut soc = HulkV::new(SocConfig::default()).unwrap();
+        let guest = run_instrumented(&mut soc, 500).unwrap();
+        let stats = soc.host().core().stats();
+        // No branch and no load executes after the counter reads: exact.
+        assert_eq!(guest.taken_branches, stats.get("taken_branches"));
+        assert_eq!(guest.loads, stats.get("loads"));
+        // Exactly the four result stores retire after the read.
+        assert_eq!(guest.stores + RESULT_STORE_TAIL, stats.get("stores"));
+        // The result stores may add D$ misses after the read: bounded.
+        let final_misses = soc.host().l1d_stats().get("misses");
+        assert!(guest.dcache_misses <= final_misses);
+        assert!(guest.loads >= 500, "each iteration loads once");
+        assert!(
+            guest.taken_branches >= 499,
+            "each iteration but the last branches back"
+        );
+    }
+
+    #[test]
+    fn arming_hpm_selectors_is_cycle_neutral_on_figure6_workloads() {
+        // The virtual-counter scheme costs zero pipeline cycles: a
+        // Figure-6 kernel runs cycle-bit-identical whether every HPM
+        // selector is armed (via CSR state, no extra instructions) or all
+        // are left at their reset value of 0.
+        let run = |armed: bool| {
+            let mut soc = HulkV::new(SocConfig::default()).unwrap();
+            if armed {
+                let csrs = soc.host_mut().core_mut().csrs_mut();
+                for (i, ev) in PROBE_EVENTS.iter().enumerate() {
+                    csrs.write(addr::MHPMEVENT3 + i as u16, *ev as u64);
+                }
+            }
+            let p = KernelParams::tiny();
+            let host = Kernel::MatMulI8.run_on_host(&mut soc, &p).unwrap();
+            let off = Kernel::MatMulI8.run_on_cluster(&mut soc, &p, 8).unwrap();
+            assert!(host.verified && off.verified);
+            (
+                host.cycles,
+                off.offload.total_soc_cycles,
+                soc.host().core().instret(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn timeline_sampler_is_cycle_neutral_on_figure6_workloads() {
+        // Same guarantee for the SoC-wide sampler: a sampled Figure-6 run
+        // (host + offload) retires in exactly the cycles of an unsampled
+        // one — the sampler only reads counters, never steps the model.
+        let run = |sampled: bool| {
+            let mut soc = HulkV::new(SocConfig::default()).unwrap();
+            if sampled {
+                soc.enable_timeline(256);
+            }
+            let p = KernelParams::tiny();
+            let host = Kernel::Conv2dI8.run_on_host(&mut soc, &p).unwrap();
+            let off = Kernel::Conv2dI8.run_on_cluster(&mut soc, &p, 8).unwrap();
+            assert!(host.verified && off.verified);
+            if sampled {
+                assert!(!soc.timeline().unwrap().is_empty());
+            }
+            (
+                host.cycles,
+                off.offload.total_soc_cycles,
+                off.kernel_cycles,
+                soc.host().core().instret(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+}

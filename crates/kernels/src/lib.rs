@@ -41,6 +41,7 @@ pub mod data;
 pub mod dnn;
 pub mod dnn_exec;
 pub mod golden;
+pub mod hpm;
 pub mod iot;
 pub mod suite;
 pub mod synthetic;

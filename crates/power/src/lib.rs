@@ -33,7 +33,9 @@
 mod blocks;
 mod ccr;
 mod dram;
+pub mod energy;
 
 pub use blocks::{BlockPower, PowerModel};
 pub use ccr::{CcrPoint, ComputeBlock, MemoryKind};
 pub use dram::DramInterfacePower;
+pub use energy::{enrich_timeline, EnergySummary};

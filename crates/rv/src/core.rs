@@ -66,6 +66,25 @@ pub trait CoreBus {
     fn timing_stateless(&self) -> bool {
         false
     }
+
+    /// Running total of instruction-cache misses this bus has served —
+    /// the `IcacheMiss` HPM event source. Buses without an instruction
+    /// cache report zero, so the matching counter simply reads zero.
+    fn hpm_icache_misses(&self) -> u64 {
+        0
+    }
+
+    /// Running total of data-cache misses — the `DcacheMiss` HPM event
+    /// source. Zero on buses without a data cache.
+    fn hpm_dcache_misses(&self) -> u64 {
+        0
+    }
+
+    /// Running total of interconnect conflict stall cycles (TCDM banking
+    /// conflicts on the cluster) — the `ConflictStall` HPM event source.
+    fn hpm_conflict_stalls(&self) -> u64 {
+        0
+    }
 }
 
 /// A flat zero-wait-state memory for tests, examples and kernel golden runs.
@@ -272,11 +291,87 @@ struct CoreCounters {
     simd_insts: u64,
     fp_insts: u64,
     interrupts: u64,
+    traps: u64,
+    hwloop_iters: u64,
     decode_hits: u64,
     decode_misses: u64,
     decode_invalidations: u64,
     itlb_hits: u64,
     itlb_misses: u64,
+}
+
+/// The HPM event matrix: what a `mhpmevent*` selector can count. The
+/// numeric values are the architectural selector encoding guest code
+/// writes (mirroring how CVA6 numbers its HPM events); unknown selectors
+/// count nothing, like the RTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum HpmEvent {
+    /// Selector 0: counter disabled (reads as written value only).
+    None = 0,
+    /// Instruction-cache misses (bus-observed).
+    IcacheMiss = 1,
+    /// Data-cache misses (bus-observed).
+    DcacheMiss = 2,
+    /// Fetch µTLB / iTLB misses.
+    ItlbMiss = 3,
+    /// Decoded-instruction-cache hits (simulator fast path).
+    DecodeHit = 4,
+    /// Decoded-instruction-cache misses.
+    DecodeMiss = 5,
+    /// Load/store stall cycles (memory time beyond the pipelined cycle).
+    MemStall = 6,
+    /// Taken branches.
+    TakenBranch = 7,
+    /// Synchronous traps taken (exceptions, not interrupts).
+    Trap = 8,
+    /// Loads retired.
+    Load = 9,
+    /// Stores retired.
+    Store = 10,
+    /// Interrupts taken.
+    Interrupt = 11,
+    /// Xpulp hardware-loop back-edges taken.
+    HwLoopIter = 12,
+    /// TCDM banking-conflict stall cycles (cluster cores).
+    ConflictStall = 13,
+}
+
+impl HpmEvent {
+    /// Decodes an event-selector value (unknown selectors count nothing).
+    pub fn from_selector(sel: u64) -> HpmEvent {
+        match sel {
+            1 => HpmEvent::IcacheMiss,
+            2 => HpmEvent::DcacheMiss,
+            3 => HpmEvent::ItlbMiss,
+            4 => HpmEvent::DecodeHit,
+            5 => HpmEvent::DecodeMiss,
+            6 => HpmEvent::MemStall,
+            7 => HpmEvent::TakenBranch,
+            8 => HpmEvent::Trap,
+            9 => HpmEvent::Load,
+            10 => HpmEvent::Store,
+            11 => HpmEvent::Interrupt,
+            12 => HpmEvent::HwLoopIter,
+            13 => HpmEvent::ConflictStall,
+            _ => HpmEvent::None,
+        }
+    }
+}
+
+/// Per-counter HPM bookkeeping. Counters are *virtual*: a read returns
+/// `running_event_total - offset`, so counting adds zero work to the
+/// interpreter hot loop — the existing activity counters and bus
+/// statistics are the running totals, and programming or writing a
+/// counter only re-anchors its offset. `mcountinhibit` latches the live
+/// value into `frozen`; clearing the inhibit bit re-anchors the offset so
+/// the counter resumes from the latched value.
+#[derive(Debug, Clone, Copy, Default)]
+struct HpmCounter {
+    /// Subtracted from the selected event's running total on reads.
+    offset: u64,
+    /// Value latched while the counter is inhibited.
+    frozen: u64,
 }
 
 /// 1-entry fetch micro-TLB: while fetches stay on one virtual page and the
@@ -346,6 +441,7 @@ pub struct Core {
     halted: bool,
     stats_name: String,
     counters: CoreCounters,
+    hpm: [HpmCounter; addr::HPM_COUNTERS as usize],
     decode_cache: Option<Box<[DecodedEntry]>>,
     decode_enabled: bool,
     decode_gen: u64,
@@ -395,6 +491,7 @@ impl Core {
             halted: false,
             stats_name: "core".into(),
             counters: CoreCounters::default(),
+            hpm: [HpmCounter::default(); addr::HPM_COUNTERS as usize],
             decode_cache: None,
             decode_enabled: true,
             decode_gen: 1,
@@ -551,6 +648,8 @@ impl Core {
             ("simd_insts", c.simd_insts),
             ("fp_insts", c.fp_insts),
             ("interrupts", c.interrupts),
+            ("traps", c.traps),
+            ("hwloop_iters", c.hwloop_iters),
             ("itlb_hits", c.itlb_hits),
             ("itlb_misses", c.itlb_misses),
         ] {
@@ -754,6 +853,7 @@ impl Core {
             let prev = self.priv_mode;
             self.pc = self.csrs.enter_trap_m(cause, self.pc, tval, prev);
             self.priv_mode = PrivMode::Machine;
+            self.counters.traps += 1;
             return Ok(());
         }
         Err(match cause {
@@ -1076,6 +1176,156 @@ impl Core {
             addr::INSTRET | addr::MINSTRET => self.instret,
             _ => self.csrs.read(csr),
         }
+    }
+
+    /// Running total of the event behind `sel` — the core's own activity
+    /// counters, or the bus statistics for memory-system events. These are
+    /// exactly the values [`Core::stats`] and the block `Stats` registries
+    /// report, which is what makes guest HPM reads equal the simulator's
+    /// own numbers.
+    fn hpm_event_total<B: CoreBus + ?Sized>(&self, bus: &B, sel: u64) -> u64 {
+        let c = &self.counters;
+        match HpmEvent::from_selector(sel) {
+            HpmEvent::None => 0,
+            HpmEvent::IcacheMiss => bus.hpm_icache_misses(),
+            HpmEvent::DcacheMiss => bus.hpm_dcache_misses(),
+            HpmEvent::ItlbMiss => c.itlb_misses,
+            HpmEvent::DecodeHit => c.decode_hits,
+            HpmEvent::DecodeMiss => c.decode_misses,
+            HpmEvent::MemStall => c.mem_stall_cycles,
+            HpmEvent::TakenBranch => c.taken_branches,
+            HpmEvent::Trap => c.traps,
+            HpmEvent::Load => c.loads,
+            HpmEvent::Store => c.stores,
+            HpmEvent::Interrupt => c.interrupts,
+            HpmEvent::HwLoopIter => c.hwloop_iters,
+            HpmEvent::ConflictStall => bus.hpm_conflict_stalls(),
+        }
+    }
+
+    fn hpm_inhibited(&self, i: u16) -> bool {
+        self.csrs.read(addr::MCOUNTINHIBIT) >> (3 + i) & 1 == 1
+    }
+
+    /// Live value of HPM counter `i` (index 0 is `mhpmcounter3`).
+    fn hpm_counter_read<B: CoreBus + ?Sized>(&self, bus: &B, i: u16) -> u64 {
+        let slot = self.hpm[i as usize];
+        if self.hpm_inhibited(i) {
+            return slot.frozen;
+        }
+        let sel = self.csrs.read(addr::MHPMEVENT3 + i);
+        self.hpm_event_total(bus, sel).wrapping_sub(slot.offset)
+    }
+
+    /// Writes HPM counter `i` by re-anchoring its offset (or updating the
+    /// latched value while inhibited), so the counter continues from `v`.
+    fn hpm_counter_write<B: CoreBus + ?Sized>(&mut self, bus: &B, i: u16, v: u64) {
+        if self.hpm_inhibited(i) {
+            self.hpm[i as usize].frozen = v;
+            return;
+        }
+        let sel = self.csrs.read(addr::MHPMEVENT3 + i);
+        self.hpm[i as usize].offset = self.hpm_event_total(bus, sel).wrapping_sub(v);
+    }
+
+    /// The bus-aware slow path for the HPM CSR group: real privilege
+    /// checks (machine counters and selectors are M-mode-only, user
+    /// shadows are read-only and gated by `mcounteren`), virtual-counter
+    /// reads/writes, and freeze/unfreeze bookkeeping on `mcountinhibit`
+    /// transitions. Called from the `Inst::Csr` arm only for addresses
+    /// [`addr::is_hpm_managed`] matches, so every pre-existing CSR keeps
+    /// its exact previous behavior.
+    fn exec_csr_hpm<B: CoreBus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        op: CsrOp,
+        rd: Reg,
+        csr: u16,
+        src: CsrSrc,
+        word: u32,
+    ) -> Result<(), RvError> {
+        let illegal = |core: &mut Self| -> Result<(), RvError> {
+            core.raise(TrapCause::IllegalInstruction, word as u64)?;
+            Err(RvError::TrapTaken)
+        };
+        // User shadows: read-only, and only visible below M-mode when the
+        // matching mcounteren bit is set.
+        if let Some(i) = addr::hpmcounter_index(csr) {
+            let writes = match src {
+                CsrSrc::Reg(r) => op == CsrOp::Rw || r != Reg::Zero,
+                CsrSrc::Imm(v) => op == CsrOp::Rw || v != 0,
+            };
+            if writes {
+                return illegal(self);
+            }
+            if self.priv_mode != PrivMode::Machine
+                && self.csrs.read(addr::MCOUNTEREN) >> (3 + i) & 1 == 0
+            {
+                return illegal(self);
+            }
+            let old = self.hpm_counter_read(bus, i);
+            self.set_reg(rd, old);
+            return Ok(());
+        }
+        // Everything else in the group is a machine-mode register.
+        if self.priv_mode != PrivMode::Machine {
+            return illegal(self);
+        }
+        let old = if let Some(i) = addr::mhpmcounter_index(csr) {
+            self.hpm_counter_read(bus, i)
+        } else {
+            self.csrs.read(csr)
+        };
+        let arg = match src {
+            CsrSrc::Reg(r) => self.reg(r),
+            CsrSrc::Imm(v) => v as u64,
+        };
+        let skip_write = match src {
+            CsrSrc::Reg(r) => op != CsrOp::Rw && r == Reg::Zero,
+            CsrSrc::Imm(v) => op != CsrOp::Rw && v == 0,
+        };
+        if !skip_write {
+            let new = match op {
+                CsrOp::Rw => arg,
+                CsrOp::Rs => old | arg,
+                CsrOp::Rc => old & !arg,
+            };
+            if let Some(i) = addr::mhpmcounter_index(csr) {
+                self.hpm_counter_write(bus, i, new);
+            } else if let Some(i) = addr::mhpmevent_index(csr) {
+                // Re-anchor so the architectural value is preserved across
+                // a selector change, exactly like writing the counter.
+                let value = self.hpm_counter_read(bus, i);
+                self.csrs.write(csr, new);
+                self.hpm_counter_write(bus, i, value);
+            } else if csr == addr::MCOUNTINHIBIT {
+                // Freeze counters whose bit rises, thaw those whose bit
+                // falls; both preserve the architectural counter value.
+                let prev = self.csrs.read(addr::MCOUNTINHIBIT);
+                let masked = new & 0x7F8; // only hpm bits 3..=10 exist
+                for i in 0..addr::HPM_COUNTERS {
+                    let was = prev >> (3 + i) & 1 == 1;
+                    let now = masked >> (3 + i) & 1 == 1;
+                    if !was && now {
+                        self.hpm[i as usize].frozen = self.hpm_counter_read(bus, i);
+                    }
+                }
+                self.csrs.write(csr, masked);
+                for i in 0..addr::HPM_COUNTERS {
+                    let was = prev >> (3 + i) & 1 == 1;
+                    let now = masked >> (3 + i) & 1 == 1;
+                    if was && !now {
+                        let frozen = self.hpm[i as usize].frozen;
+                        self.hpm_counter_write(bus, i, frozen);
+                    }
+                }
+            } else {
+                // mcounteren: plain 32-bit storage, consulted on shadow reads.
+                self.csrs.write(csr, new & 0xFFFF_FFFF);
+            }
+        }
+        self.set_reg(rd, old);
+        Ok(())
     }
 
     fn simd_lanes(&self, fmt: SimdFmt, v: u32, scalar: bool) -> [i32; 4] {
@@ -1726,6 +1976,9 @@ impl Core {
                     control_transfer = true;
                 }
                 Inst::Wfi => {}
+                Inst::Csr { op, rd, csr, src } if addr::is_hpm_managed(csr) => {
+                    self.exec_csr_hpm(bus, op, rd, csr, src, word)?;
+                }
                 Inst::Csr { op, rd, csr, src } => {
                     let old = self.csr_read(csr);
                     let arg = match src {
@@ -2081,6 +2334,7 @@ impl Core {
                     if l.count > 1 {
                         l.count -= 1;
                         next_pc = l.start;
+                        self.counters.hwloop_iters += 1;
                     } else {
                         l.count = 0;
                     }
@@ -2142,6 +2396,29 @@ impl Core {
             }
         }
         Ok(self.cycles - start)
+    }
+
+    /// Runs until `ebreak` or until the core's *total* cycle count reaches
+    /// `target`, whichever comes first, and reports whether the core
+    /// halted. Unlike [`Core::run`] reaching the target is not an error:
+    /// the timeline sampler uses this to chunk a run into sampling windows
+    /// — the step sequence is identical to one uninterrupted [`Core::run`],
+    /// so chunked and unchunked runs are cycle-bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Core::step`] errors.
+    pub fn run_until_cycle<B: CoreBus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        target: u64,
+    ) -> Result<bool, RvError> {
+        while !self.halted && self.cycles.get() < target {
+            if self.step(bus)?.halted {
+                break;
+            }
+        }
+        Ok(self.halted)
     }
 }
 
@@ -3159,5 +3436,173 @@ mod tests {
         );
         assert_eq!(core.csrs().read(addr::MTVAL), 0x5000);
         assert_eq!(bus.read_u32(0x6FFC), 0, "no partial commit");
+    }
+
+    #[test]
+    fn hpm_counts_taken_branches_exactly() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 7); // HpmEvent::TakenBranch
+            a.csrw(addr::MHPMEVENT3, Reg::T0);
+            a.li(Reg::T0, 5);
+            let top = a.label();
+            a.bind(top);
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, top);
+            a.csrr(Reg::A0, addr::MHPMCOUNTER3);
+        });
+        // 5 loop iterations: bnez taken 4 times, falls through on the last.
+        assert_eq!(c.reg(Reg::A0), 4);
+        // No taken branches after the read, so the guest-visible value must
+        // equal the simulator-side counter — the cross-check invariant.
+        assert_eq!(c.stats().get("taken_branches"), 4);
+    }
+
+    #[test]
+    fn hpm_counter_write_reanchors() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 9); // HpmEvent::Load
+            a.csrw(addr::MHPMEVENT3 + 1, Reg::T0); // mhpmevent4
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.li(Reg::T0, 100);
+            a.csrw(addr::MHPMCOUNTER3 + 1, Reg::T0); // mhpmcounter4
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.csrr(Reg::A0, addr::MHPMCOUNTER3 + 1);
+        });
+        assert_eq!(c.reg(Reg::A0), 101, "write sets base; one load after");
+    }
+
+    #[test]
+    fn hpm_mcountinhibit_freezes_and_resumes() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 9); // HpmEvent::Load
+            a.csrw(addr::MHPMEVENT3, Reg::T0);
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.li(Reg::T0, 1 << 3);
+            a.csrw(addr::MCOUNTINHIBIT, Reg::T0); // freeze hpmcounter3
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.csrr(Reg::A0, addr::MHPMCOUNTER3); // frozen at 1
+            a.csrw(addr::MCOUNTINHIBIT, Reg::Zero); // thaw
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.csrr(Reg::A1, addr::MHPMCOUNTER3); // resumes from 1
+        });
+        assert_eq!(c.reg(Reg::A0), 1, "inhibited counter must not advance");
+        assert_eq!(c.reg(Reg::A1), 2, "thawed counter resumes from frozen");
+    }
+
+    #[test]
+    fn hpm_selector_change_preserves_value() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 9); // HpmEvent::Load
+            a.csrw(addr::MHPMEVENT3, Reg::T0);
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.li(Reg::T0, 10); // switch to HpmEvent::Store
+            a.csrw(addr::MHPMEVENT3, Reg::T0);
+            a.sd(Reg::T1, Reg::Sp, 8);
+            a.csrr(Reg::A0, addr::MHPMCOUNTER3);
+        });
+        // 3 loads carried over, then 1 store under the new selector.
+        assert_eq!(c.reg(Reg::A0), 4);
+    }
+
+    #[test]
+    fn hpm_counts_traps_and_selector_zero_reads_zero() {
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, 0x100);
+        a.csrw(addr::MTVEC, Reg::T0);
+        a.li(Reg::T0, 8); // HpmEvent::Trap
+        a.csrw(addr::MHPMEVENT3 + 2, Reg::T0); // mhpmevent5
+        a.ecall();
+        a.ecall();
+        a.csrr(Reg::A1, addr::MHPMCOUNTER3 + 2); // mhpmcounter5
+        a.csrr(Reg::A2, addr::MHPMCOUNTER3 + 3); // mhpmevent6 = 0 -> always 0
+        a.ebreak();
+        let words = a.assemble().unwrap();
+        let mut h = Asm::new(Xlen::Rv64);
+        h.csrr(Reg::T1, addr::MEPC);
+        h.addi(Reg::T1, Reg::T1, 4);
+        h.csrw(addr::MEPC, Reg::T1);
+        h.mret();
+        let handler = h.assemble().unwrap();
+        let mut bus = FlatBus::new(1 << 16);
+        bus.load_words(0, &words);
+        bus.load_words(0x100, &handler);
+        let mut core = Core::cva6();
+        core.run(&mut bus, 100_000).unwrap();
+        assert!(core.is_halted());
+        assert_eq!(core.reg(Reg::A1), 2, "two ecalls, two synchronous traps");
+        assert_eq!(core.reg(Reg::A2), 0, "event 0 is the no-event selector");
+        assert_eq!(core.stats().get("traps"), 2);
+    }
+
+    #[test]
+    fn hpm_user_shadow_write_is_illegal() {
+        // Writing the read-only hpmcounter3 shadow must raise illegal
+        // instruction even from M-mode; the trap lands in mtvec's handler,
+        // which records mcause and skips the instruction.
+        let mut a = Asm::new(Xlen::Rv64);
+        a.li(Reg::T0, 0x100);
+        a.csrw(addr::MTVEC, Reg::T0);
+        a.li(Reg::T1, 5);
+        a.csrw(addr::HPMCOUNTER3, Reg::T1); // illegal: read-only shadow
+        a.ebreak();
+        let words = a.assemble().unwrap();
+        let mut h = Asm::new(Xlen::Rv64);
+        h.csrr(Reg::A0, addr::MCAUSE);
+        h.csrr(Reg::T1, addr::MEPC);
+        h.addi(Reg::T1, Reg::T1, 4);
+        h.csrw(addr::MEPC, Reg::T1);
+        h.mret();
+        let handler = h.assemble().unwrap();
+        let mut bus = FlatBus::new(1 << 16);
+        bus.load_words(0, &words);
+        bus.load_words(0x100, &handler);
+        let mut core = Core::cva6();
+        core.run(&mut bus, 100_000).unwrap();
+        assert!(core.is_halted());
+        assert_eq!(
+            core.reg(Reg::A0),
+            TrapCause::IllegalInstruction.code(),
+            "CSR write to a read-only counter shadow must trap"
+        );
+    }
+
+    #[test]
+    fn hpm_user_shadow_reads_match_machine_counter() {
+        let (c, _) = run_rv64(|a| {
+            a.li(Reg::T0, 9); // HpmEvent::Load
+            a.csrw(addr::MHPMEVENT3, Reg::T0);
+            a.ld(Reg::T1, Reg::Sp, 0);
+            a.csrr(Reg::A0, addr::MHPMCOUNTER3);
+            a.csrr(Reg::A1, addr::HPMCOUNTER3);
+        });
+        // mcounteren resets to all-ones, so the unprivileged shadow mirrors
+        // the machine counter (and M-mode may always read it).
+        assert_eq!(c.reg(Reg::A0), 1);
+        assert_eq!(c.reg(Reg::A1), 1);
+    }
+
+    #[test]
+    fn hpm_counts_hw_loop_iterations() {
+        let (c, _) = run_rv32(|a| {
+            a.li(Reg::T0, 12); // HpmEvent::HwLoopIter
+            a.csrw(addr::MHPMEVENT3, Reg::T0);
+            a.li(Reg::A0, 0);
+            a.lp_counti(0, 6);
+            let (s, e) = (a.label(), a.label());
+            a.lp_starti(0, s);
+            a.lp_endi(0, e);
+            a.bind(s);
+            a.addi(Reg::A0, Reg::A0, 1);
+            a.bind(e);
+            a.csrr(Reg::A1, addr::MHPMCOUNTER3);
+        });
+        assert_eq!(c.reg(Reg::A0), 6);
+        // 5 back-edges for 6 iterations.
+        assert_eq!(c.reg(Reg::A1), 5);
+        assert_eq!(c.stats().get("hwloop_iters"), 5);
     }
 }

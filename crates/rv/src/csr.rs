@@ -60,6 +60,48 @@ pub mod addr {
     pub const FFLAGS: u16 = 0x001;
     pub const FRM: u16 = 0x002;
     pub const FCSR: u16 = 0x003;
+    pub const MCOUNTEREN: u16 = 0x306;
+    pub const MCOUNTINHIBIT: u16 = 0x320;
+    /// First machine event selector; `MHPMEVENT3 + i` selects counter `3+i`.
+    pub const MHPMEVENT3: u16 = 0x323;
+    /// First machine HPM counter; the model implements counters 3..=10.
+    pub const MHPMCOUNTER3: u16 = 0xB03;
+    /// First user-mode read-only HPM counter shadow.
+    pub const HPMCOUNTER3: u16 = 0xC03;
+
+    /// Number of implemented hardware performance counters (3..=10).
+    pub const HPM_COUNTERS: u16 = 8;
+
+    /// Machine HPM counter index (`0..HPM_COUNTERS`) for `csr`, if any.
+    pub fn mhpmcounter_index(csr: u16) -> Option<u16> {
+        (MHPMCOUNTER3..MHPMCOUNTER3 + HPM_COUNTERS)
+            .contains(&csr)
+            .then(|| csr - MHPMCOUNTER3)
+    }
+
+    /// User HPM counter-shadow index for `csr`, if any.
+    pub fn hpmcounter_index(csr: u16) -> Option<u16> {
+        (HPMCOUNTER3..HPMCOUNTER3 + HPM_COUNTERS)
+            .contains(&csr)
+            .then(|| csr - HPMCOUNTER3)
+    }
+
+    /// Event-selector index for `csr`, if any.
+    pub fn mhpmevent_index(csr: u16) -> Option<u16> {
+        (MHPMEVENT3..MHPMEVENT3 + HPM_COUNTERS)
+            .contains(&csr)
+            .then(|| csr - MHPMEVENT3)
+    }
+
+    /// Whether `csr` belongs to the HPM register group the interpreter
+    /// routes through its bus-aware slow path (counters, selectors,
+    /// `mcounteren`/`mcountinhibit`, and the gated user counter shadows).
+    pub fn is_hpm_managed(csr: u16) -> bool {
+        matches!(csr, MCOUNTEREN | MCOUNTINHIBIT)
+            || mhpmcounter_index(csr).is_some()
+            || hpmcounter_index(csr).is_some()
+            || mhpmevent_index(csr).is_some()
+    }
 }
 
 /// Trap causes (the subset the model can raise).
@@ -140,6 +182,10 @@ impl CsrFile {
             | (1 << 18) // S
             | (1 << 20); // U
         regs.insert(addr::MISA, misa);
+        // Bare-metal firmware init state: all counters visible to S/U mode
+        // (Linux' early boot does the same before filtering). Gating logic
+        // is real — clearing a bit makes the matching user shadow trap.
+        regs.insert(addr::MCOUNTEREN, 0xFFFF_FFFF);
         CsrFile { regs, version: 1 }
     }
 

@@ -63,7 +63,7 @@ pub mod mmu;
 pub mod parse;
 pub mod timing;
 
-pub use crate::core::{Core, CoreBus, FlatBus, StepOutcome, TraceEntry};
+pub use crate::core::{Core, CoreBus, FlatBus, HpmEvent, StepOutcome, TraceEntry};
 pub use asm::{Asm, Label};
 pub use csr::{CsrFile, PrivMode};
 pub use decode::{decode, fetch_parcel, Parcel};

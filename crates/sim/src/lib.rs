@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod profile;
 mod rng;
 mod stats;
+pub mod timeline;
 pub mod trace;
 
 pub use clock::{convert_freq, ClockDomain};
@@ -51,4 +52,5 @@ pub use metrics::{MetricsSnapshot, METRICS_SCHEMA_VERSION};
 pub use profile::{PcProfile, PcSample};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Stats, StatsHandle};
+pub use timeline::{Timeline, TimelineWindow};
 pub use trace::{category, SharedTracer, TraceEvent, TraceRecord, Tracer, Track};

@@ -12,16 +12,24 @@ use crate::stats::Stats;
 use std::collections::BTreeMap;
 
 /// Version of the metrics JSON schema produced by [`MetricsSnapshot::to_json`].
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `energy` section (integrated energy totals and
+/// peak-window figures from the timeline sampler).
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
-/// Everything a run reports: per-block counters, per-block power, and
-/// free-form scalar figures (wall-clock, speedups…).
+/// Everything a run reports: per-block counters, per-block power,
+/// time-integrated energy figures, and free-form scalar figures
+/// (wall-clock, speedups…).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsSnapshot {
     /// Per-block counter registries (block name → counters).
     pub blocks: Vec<Stats>,
     /// Per-block power in milliwatts.
     pub power_mw: BTreeMap<String, f64>,
+    /// Energy figures integrated over the run's timeline: `total_mj`,
+    /// `avg_power_mw`, `peak_power_mw`, `peak_window_start_cycle`,
+    /// `duration_cycles` (empty when no timeline was sampled).
+    pub energy: BTreeMap<String, f64>,
     /// Named scalar figures of merit.
     pub figures: BTreeMap<String, f64>,
 }
@@ -45,6 +53,11 @@ impl MetricsSnapshot {
     /// Records a named scalar figure (e.g. `"speedup_x1000"`).
     pub fn set_figure(&mut self, name: impl Into<String>, value: f64) {
         self.figures.insert(name.into(), value);
+    }
+
+    /// Records one energy figure (e.g. `"total_mj"`).
+    pub fn set_energy(&mut self, name: impl Into<String>, value: f64) {
+        self.energy.insert(name.into(), value);
     }
 
     /// Total power across all blocks, in milliwatts.
@@ -85,6 +98,15 @@ impl MetricsSnapshot {
             ),
             ("total_power_mw", Json::from(self.total_power_mw())),
             (
+                "energy",
+                Json::Obj(
+                    self.energy
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
                 "figures",
                 Json::Obj(
                     self.figures
@@ -108,6 +130,13 @@ impl MetricsSnapshot {
             .get("schema_version")
             .and_then(Json::as_f64)
             .ok_or("missing schema_version")? as u32;
+        if version == 1 {
+            return Err(
+                "schema_version 1 documents are no longer supported: v2 added the \
+                 `energy` section — regenerate the snapshot with a current bench run"
+                    .into(),
+            );
+        }
         if version != METRICS_SCHEMA_VERSION {
             return Err(format!(
                 "schema_version {version} != supported {METRICS_SCHEMA_VERSION}"
@@ -139,6 +168,11 @@ impl MetricsSnapshot {
                 snap.set_power_mw(k.clone(), v.as_f64().ok_or("non-numeric power")?);
             }
         }
+        if let Some(Json::Obj(m)) = doc.get("energy") {
+            for (k, v) in m {
+                snap.set_energy(k.clone(), v.as_f64().ok_or("non-numeric energy")?);
+            }
+        }
         if let Some(Json::Obj(m)) = doc.get("figures") {
             for (k, v) in m {
                 snap.set_figure(k.clone(), v.as_f64().ok_or("non-numeric figure")?);
@@ -163,6 +197,8 @@ mod tests {
         snap.push_block(core);
         snap.set_power_mw("cva6", 45.5);
         snap.set_power_mw("pmca", 88.0);
+        snap.set_energy("total_mj", 1.25);
+        snap.set_energy("peak_power_mw", 140.5);
         snap.set_figure("wall_seconds", 0.25);
         snap
     }
@@ -186,6 +222,44 @@ mod tests {
         let err = MetricsSnapshot::parse(&drifted).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         assert!(MetricsSnapshot::parse("{}").is_err());
+    }
+
+    #[test]
+    fn v1_documents_are_rejected_with_a_clear_error() {
+        // A faithful v1 document (no energy section, version 1).
+        let v1 = r#"{"schema_version":1,"blocks":[{"name":"llc","counters":{"hits":12}}],"power_mw":{"cva6":45.5},"total_power_mw":45.5,"figures":{}}"#;
+        let err = MetricsSnapshot::parse(v1).unwrap_err();
+        assert!(err.contains("no longer supported"), "{err}");
+        assert!(err.contains("energy"), "error must say what changed: {err}");
+    }
+
+    #[test]
+    fn random_snapshots_round_trip() {
+        // Property test over the whole schema: any snapshot the exporter
+        // can produce parses back identical.
+        let mut rng = crate::SplitMix64::new(0x5EED_2026_0807);
+        for _ in 0..50 {
+            let mut snap = MetricsSnapshot::new();
+            for b in 0..(rng.next_u64() % 5) {
+                let mut s = Stats::new(format!("block{b}"));
+                for c in 0..(rng.next_u64() % 6) {
+                    s.set(&format!("c{c}"), rng.next_u64() >> 12);
+                }
+                snap.push_block(s);
+            }
+            for p in 0..(rng.next_u64() % 4) {
+                snap.set_power_mw(format!("p{p}"), (rng.next_u64() % 100_000) as f64 / 100.0);
+            }
+            for e in 0..(rng.next_u64() % 4) {
+                snap.set_energy(format!("e{e}"), (rng.next_u64() % 100_000) as f64 / 1000.0);
+            }
+            for f in 0..(rng.next_u64() % 4) {
+                snap.set_figure(format!("f{f}"), (rng.next_u64() % 1_000_000) as f64 / 7.0);
+            }
+            let text = snap.to_json().to_string();
+            let back = MetricsSnapshot::parse(&text).unwrap();
+            assert_eq!(back, snap, "round-trip drift for {text}");
+        }
     }
 
     #[test]

@@ -81,6 +81,8 @@ pub enum Track {
     ClusterDma,
     /// SoC-level control events (offload runtime, mailbox, interrupts).
     Soc,
+    /// Timeline counter samples (power, IPC, utilization per window).
+    Telemetry,
 }
 
 impl Track {
@@ -96,6 +98,7 @@ impl Track {
             Track::Dma => 40,
             Track::ClusterDma => 41,
             Track::Soc => 50,
+            Track::Telemetry => 60,
         }
     }
 
@@ -111,6 +114,7 @@ impl Track {
             Track::Dma => "dma/udma".into(),
             Track::ClusterDma => "dma/cluster".into(),
             Track::Soc => "soc/control".into(),
+            Track::Telemetry => "soc/telemetry".into(),
         }
     }
 }
@@ -497,7 +501,14 @@ impl Tracer {
     /// (Perfetto / `chrome://tracing` compatible). One cycle is emitted
     /// as one microsecond.
     pub fn chrome_trace(&self) -> Json {
-        let mut events = Vec::with_capacity(self.ring.len() + 16);
+        self.chrome_trace_with(&[])
+    }
+
+    /// [`Tracer::chrome_trace`] with extra pre-rendered events appended —
+    /// the merge point for [`crate::Timeline::chrome_counter_events`]
+    /// counter tracks.
+    pub fn chrome_trace_with(&self, extra: &[Json]) -> Json {
+        let mut events = Vec::with_capacity(self.ring.len() + extra.len() + 16);
         events.push(Json::obj([
             ("ph", Json::from("M")),
             ("pid", Json::from(0u64)),
@@ -537,6 +548,7 @@ impl Tracer {
             }
             events.push(Json::obj(pairs));
         }
+        events.extend(extra.iter().cloned());
         Json::obj([
             ("traceEvents", Json::Arr(events)),
             ("displayTimeUnit", Json::from("ms")),

@@ -4,6 +4,28 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== preflight: committed baselines =="
+# Fail fast, before any long cargo step, if a gate's committed baseline
+# is missing or unparseable — a truncated checkout or a bad merge would
+# otherwise surface minutes later as a confusing in-gate error.
+check_baseline() {
+  local file="$1" regen="$2"
+  if [ ! -f "$file" ]; then
+    echo "ci.sh: missing baseline $file" >&2
+    echo "ci.sh: regenerate it with: $regen" >&2
+    exit 1
+  fi
+  if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$file" 2>/dev/null; then
+    echo "ci.sh: baseline $file is not valid JSON" >&2
+    echo "ci.sh: restore it from git or regenerate with: $regen" >&2
+    exit 1
+  fi
+}
+check_baseline BENCH_sim_throughput.baseline.json \
+  "cargo run --release -p hulkv-bench --bin sim_throughput -- --out BENCH_sim_throughput.baseline.json"
+check_baseline crates/analyze/lint_baseline.json \
+  "cargo run --release -p hulkv-analyze --bin hulkv-lint -- --write-baseline"
+
 echo "== build (release) =="
 cargo build --release
 
@@ -52,5 +74,42 @@ awk -F, '
     exit bad
   }
 ' "$timeline"
+
+echo "== snapshot / record-replay gate (hulkv-replay) =="
+# Records a Figure-6 workload with a checkpoint every 10k host cycles,
+# then `verify` restores EVERY checkpoint in the ring (including the
+# middle mid-program ones) and replays each to completion, asserting the
+# final state digest, cycle count and Stats all equal the straight-line
+# run. Printed snapshot size and save/restore latency come from the same
+# pass. Run twice: decode cache on and off must both replay bit-exactly.
+replay_dir="$(mktemp -d)"
+trap 'rm -f "$timeline"; rm -rf "$replay_dir"' EXIT
+cargo build --release -q -p hulkv-replay
+replay=target/release/hulkv-replay
+"$replay" record --out "$replay_dir/fig6.hrec" --kernel relu-int8 --period 10000
+"$replay" verify "$replay_dir/fig6.hrec" | tee "$replay_dir/verify.log"
+grep -q "VERIFY OK" "$replay_dir/verify.log"
+"$replay" record --out "$replay_dir/fig6_nodc.hrec" --kernel relu-int8 \
+  --period 10000 --no-decode-cache
+"$replay" verify "$replay_dir/fig6_nodc.hrec" | tee "$replay_dir/verify_nodc.log"
+grep -q "VERIFY OK" "$replay_dir/verify_nodc.log"
+
+# Scripted time-travel session: goto, single-step back, state diff and a
+# memory watchpoint must all work end-to-end on the recording.
+cat > "$replay_dir/session.txt" <<'EOF'
+info
+goto 20000
+regs
+step 5
+back 3
+diff 20000 30000
+watch pc 0x80100004
+continue 100000
+quit
+EOF
+"$replay" debug "$replay_dir/fig6.hrec" --script "$replay_dir/session.txt" \
+  | tee "$replay_dir/debug.log"
+grep -q "fields differ" "$replay_dir/debug.log"
+grep -q "watch 0 hit" "$replay_dir/debug.log"
 
 echo "CI OK"

@@ -1,7 +1,7 @@
 //! The cluster model: cores, TCDM, two-level I-cache, DMA, event unit.
 
 use hulkv_mem::{
-    shared, Cache, CacheConfig, DmaEngine, MemoryDevice, SharedMem, Sram, Transfer1d, Transfer2d,
+    Cache, CacheConfig, DmaEngine, MemoryDevice, SharedMem, Sram, Transfer1d, Transfer2d,
     WritePolicy,
 };
 use hulkv_rv::{Core, CoreBus, Reg, RvError};
@@ -149,6 +149,9 @@ pub struct TeamResult {
 pub struct Cluster {
     cfg: ClusterConfig,
     tcdm: SharedMem,
+    // Typed alias of `tcdm` so snapshots can reach the SRAM backdoor
+    // without going through `MemoryDevice::read` (which would bump stats).
+    tcdm_typed: Rc<RefCell<Sram>>,
     ext: SharedMem,
     // Kept as the concrete type (not `SharedMem`) so [`Cluster::flush_icache`]
     // can reach `Cache::flush`; clones coerce to `SharedMem` where needed.
@@ -168,7 +171,12 @@ impl Cluster {
     /// Panics if the configuration is degenerate (zero cores or banks).
     pub fn new(cfg: ClusterConfig, ext: SharedMem) -> Self {
         assert!(cfg.cores > 0 && cfg.banks > 0, "degenerate cluster config");
-        let tcdm = shared(Sram::new("tcdm", cfg.tcdm_bytes(), Cycles::new(1)));
+        let tcdm_typed = Rc::new(RefCell::new(Sram::new(
+            "tcdm",
+            cfg.tcdm_bytes(),
+            Cycles::new(1),
+        )));
+        let tcdm: SharedMem = tcdm_typed.clone();
         let shared_icache = Rc::new(RefCell::new(
             Cache::new(
                 CacheConfig {
@@ -190,6 +198,7 @@ impl Cluster {
         Cluster {
             cfg,
             tcdm,
+            tcdm_typed,
             ext,
             shared_icache,
             dma: DmaEngine::new("cluster_dma", Cycles::new(16), 64),
@@ -230,6 +239,58 @@ impl Cluster {
         self.busy_cycles = Cycles::ZERO;
     }
 
+    /// FNV-1a digest of the cluster-resident state: TCDM contents, the
+    /// shared L1.5 I-cache, and the busy-cycle accumulator. Cores are
+    /// transient (created per [`Cluster::run_team`]) so none exist to
+    /// digest between team runs.
+    pub fn state_digest(&self) -> u64 {
+        hulkv_sim::Fnv64::new()
+            .write_u64(self.tcdm_typed.borrow().content_digest())
+            .write_u64(self.shared_icache.borrow().state_digest())
+            .write_u64(self.busy_cycles.get())
+            .finish()
+    }
+
+    /// Serializes the cluster into `snap`: TCDM contents + stats, the
+    /// shared I-cache, DMA-engine stats, activity counters and the
+    /// busy-cycle accumulator. Valid only between team runs (cores are
+    /// transient per [`Cluster::run_team`]).
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        use hulkv_sim::snap::{hex, stats_to_json};
+        let tcdm = self.tcdm_typed.borrow().snapshot_into(snap);
+        let icache = self.shared_icache.borrow().snapshot_into(snap);
+        hulkv_sim::Json::obj([
+            ("tcdm", tcdm),
+            ("shared_icache", icache),
+            ("dma", self.dma.snapshot_json()),
+            ("stats", stats_to_json(&self.stats)),
+            ("busy_cycles", hex(self.busy_cycles.get())),
+        ])
+    }
+
+    /// Restores state written by [`Cluster::snapshot_into`].
+    ///
+    /// # Errors
+    ///
+    /// On a malformed or geometry-mismatched section.
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, get_u64, restore_stats};
+        self.tcdm_typed
+            .borrow_mut()
+            .restore_from(snap, get(j, "tcdm")?)?;
+        self.shared_icache
+            .borrow_mut()
+            .restore_from(snap, get(j, "shared_icache")?)?;
+        self.dma.restore_json(get(j, "dma")?)?;
+        restore_stats(&mut self.stats, get(j, "stats")?)?;
+        self.busy_cycles = Cycles::new(get_u64(j, "busy_cycles")?);
+        Ok(())
+    }
+
     /// Backdoor TCDM write (test setup and host-side tile pushes go through
     /// [`Cluster::dma_to_tcdm`] instead).
     ///
@@ -247,6 +308,17 @@ impl Cluster {
     /// Propagates TCDM range errors.
     pub fn tcdm_read(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
         self.tcdm.borrow_mut().read(offset, buf).map(|_| ())
+    }
+
+    /// Side-effect-free TCDM read (no latency, no access counters) — the
+    /// debugger's inspection path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors.
+    pub fn tcdm_peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        use hulkv_mem::MemoryDevice;
+        self.tcdm_typed.borrow().peek(offset, buf)
     }
 
     /// Flushes the shared L1.5 instruction cache — the PULP runtime's
@@ -625,7 +697,7 @@ impl CoreBus for ClusterCoreBus<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hulkv_mem::Bus;
+    use hulkv_mem::{shared, Bus};
     use hulkv_rv::{Asm, Xlen};
 
     fn soc_with_program(words: &[u32]) -> SharedMem {

@@ -71,6 +71,58 @@ impl IoPmp {
             .any(|&(base, size)| addr >= base && span_end <= base as u128 + size as u128)
     }
 
+    /// FNV-1a digest of the protection state: the allow windows in
+    /// configuration order. Stats are excluded: they count traffic, not
+    /// state.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hulkv_sim::Fnv64::new();
+        h.write_u64(self.windows.len() as u64);
+        for &(base, size) in &self.windows {
+            h.write_u64(base).write_u64(size);
+        }
+        h.finish()
+    }
+
+    /// Serializes the allow windows and stats.
+    pub fn snapshot_json(&self) -> hulkv_sim::Json {
+        use hulkv_sim::snap::{hex, stats_to_json};
+        use hulkv_sim::Json;
+        Json::obj([
+            (
+                "windows",
+                Json::Arr(
+                    self.windows
+                        .iter()
+                        .map(|&(base, size)| Json::Arr(vec![hex(base), hex(size)]))
+                        .collect(),
+                ),
+            ),
+            ("stats", stats_to_json(&self.stats)),
+        ])
+    }
+
+    /// Restores state written by [`IoPmp::snapshot_json`].
+    ///
+    /// # Errors
+    ///
+    /// On a malformed section.
+    pub fn restore_json(&mut self, j: &hulkv_sim::Json) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, get_arr, restore_stats, unhex, SnapError};
+        use hulkv_sim::Json;
+        let mut windows = Vec::new();
+        for w in get_arr(j, "windows")? {
+            let Json::Arr(pair) = w else {
+                return Err(SnapError::msg("iopmp window is not a [base, size] pair"));
+            };
+            if pair.len() != 2 {
+                return Err(SnapError::msg("iopmp window is not a [base, size] pair"));
+            }
+            windows.push((unhex(&pair[0])?, unhex(&pair[1])?));
+        }
+        self.windows = windows;
+        restore_stats(&mut self.stats, get(j, "stats")?)
+    }
+
     fn check(&mut self, addr: u64, len: usize) -> Result<(), SimError> {
         if self.permits(addr, len) {
             Ok(())
@@ -96,6 +148,17 @@ impl IoPmp {
 impl MemoryDevice for IoPmp {
     fn size_bytes(&self) -> u64 {
         self.inner.borrow().size_bytes()
+    }
+
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        // Debugger backdoor: enforce the windows (so a peek sees what the
+        // cluster could see) but without the denial counter or trace event.
+        if !self.permits(offset, buf.len()) {
+            return Err(SimError::Model(format!(
+                "iopmp denies cluster access to {offset:#x}"
+            )));
+        }
+        self.inner.borrow().peek(offset, buf)
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {

@@ -50,9 +50,14 @@
 mod config;
 mod iopmp;
 mod mailbox;
+mod record;
 mod soc;
 
 pub use config::{MainMemory, MemorySetup, SocConfig};
 pub use iopmp::IoPmp;
 pub use mailbox::Mailbox;
+pub use record::{
+    apply_command, Checkpoint, Command, RecordError, Recorder, Recording, RECORDING_FORMAT,
+    RECORDING_MAGIC,
+};
 pub use soc::{default_iopmp_windows, host_regions, map, HulkV, KernelId, OffloadResult, SocError};

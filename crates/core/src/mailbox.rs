@@ -99,6 +99,59 @@ impl Mailbox {
     pub fn stats(&self) -> &Stats {
         &self.stats
     }
+
+    /// FNV-1a digest of the FIFO state: depth and the queued messages in
+    /// order, both directions. Stats are excluded: they count traffic, not
+    /// state.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hulkv_sim::Fnv64::new();
+        h.write_u64(self.depth as u64);
+        h.write_u64(self.to_cluster.len() as u64);
+        for m in &self.to_cluster {
+            h.write_u64(*m);
+        }
+        h.write_u64(self.to_host.len() as u64);
+        for m in &self.to_host {
+            h.write_u64(*m);
+        }
+        h.finish()
+    }
+
+    /// Serializes the FIFOs and stats.
+    pub fn snapshot_json(&self) -> hulkv_sim::Json {
+        use hulkv_sim::snap::{hex, stats_to_json};
+        use hulkv_sim::Json;
+        let fifo = |q: &VecDeque<u64>| Json::Arr(q.iter().map(|&m| hex(m)).collect());
+        Json::obj([
+            ("depth", hex(self.depth as u64)),
+            ("to_cluster", fifo(&self.to_cluster)),
+            ("to_host", fifo(&self.to_host)),
+            ("stats", stats_to_json(&self.stats)),
+        ])
+    }
+
+    /// Restores state written by [`Mailbox::snapshot_json`]. The mailbox
+    /// must have been constructed with the same depth.
+    ///
+    /// # Errors
+    ///
+    /// On depth mismatch or a malformed section.
+    pub fn restore_json(&mut self, j: &hulkv_sim::Json) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, get_arr, get_u64, restore_stats, unhex, SnapError};
+        let depth = get_u64(j, "depth")? as usize;
+        if depth != self.depth {
+            return Err(SnapError::msg(format!(
+                "mailbox depth mismatch: snapshot {depth}, target {}",
+                self.depth
+            )));
+        }
+        let fifo = |v: &[hulkv_sim::Json]| -> hulkv_sim::SnapResult<VecDeque<u64>> {
+            v.iter().map(unhex).collect()
+        };
+        self.to_cluster = fifo(get_arr(j, "to_cluster")?)?;
+        self.to_host = fifo(get_arr(j, "to_host")?)?;
+        restore_stats(&mut self.stats, get(j, "stats")?)
+    }
 }
 
 #[cfg(test)]

@@ -5,11 +5,11 @@ use crate::iopmp::IoPmp;
 use crate::mailbox::Mailbox;
 use hulkv_cluster::{Cluster, TeamResult};
 use hulkv_host::{Clint, Host, Plic};
-use hulkv_mem::{shared, Bus, Ddr, DmaEngine, HyperRam, Llc, SharedMem, Sram, Transfer1d};
+use hulkv_mem::{Bus, Ddr, DmaEngine, HyperRam, Llc, SharedMem, Sram, Transfer1d};
 use hulkv_rv::{Core, Reg, RvError};
 use hulkv_sim::{
-    convert_freq, Cycles, MetricsSnapshot, SharedTracer, SimError, Stats, Timeline, TraceEvent,
-    Track,
+    convert_freq, Cycles, Json, MetricsSnapshot, SharedTracer, SimError, SnapResult, Snapshot,
+    Stats, Timeline, TraceEvent, Track,
 };
 use std::cell::RefCell;
 use std::error::Error;
@@ -117,6 +117,13 @@ impl From<RvError> for SocError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelId(usize);
 
+impl KernelId {
+    /// The kernel's registration index (ids are handed out sequentially).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 #[derive(Debug)]
 struct KernelState {
     dram_addr: u64,
@@ -138,6 +145,23 @@ pub struct OffloadResult {
     pub code_loaded: bool,
 }
 
+/// Typed handle onto the main-memory device, so snapshots can reach the
+/// concrete type's backdoors without `MemoryDevice::read` side effects.
+#[derive(Debug)]
+enum DramDevice {
+    Hyper(Rc<RefCell<HyperRam>>),
+    Ddr(Rc<RefCell<Ddr>>),
+}
+
+impl DramDevice {
+    fn content_digest(&self) -> u64 {
+        match self {
+            DramDevice::Hyper(h) => h.borrow().content_digest(),
+            DramDevice::Ddr(d) => d.borrow().content_digest(),
+        }
+    }
+}
+
 /// A complete HULK-V SoC instance.
 ///
 /// See the [crate docs](crate) for the offload example; host-only
@@ -152,6 +176,12 @@ pub struct HulkV {
     clint: Rc<RefCell<Clint>>,
     plic: Rc<RefCell<Plic>>,
     l2spm: SharedMem,
+    // Typed aliases of the erased handles above/below, so snapshot and
+    // digest paths read device internals directly (no stats perturbation).
+    l2spm_typed: Rc<RefCell<Sram>>,
+    dram_typed: DramDevice,
+    llc_typed: Option<Rc<RefCell<Llc>>>,
+    iopmp: Rc<RefCell<IoPmp>>,
     dram_raw: SharedMem,
     dram_front: SharedMem,
     udma: DmaEngine,
@@ -174,16 +204,30 @@ impl HulkV {
     ///
     /// Returns [`SocError::Mem`] for inconsistent memory geometry.
     pub fn new(cfg: SocConfig) -> Result<Self, SocError> {
-        let dram_raw: SharedMem = match &cfg.main_memory {
-            MainMemory::HyperRam(h) => shared(HyperRam::try_new(h.clone())?),
-            MainMemory::Ddr(d) => shared(Ddr::new(*d)),
+        let (dram_typed, dram_raw): (DramDevice, SharedMem) = match &cfg.main_memory {
+            MainMemory::HyperRam(h) => {
+                let t = Rc::new(RefCell::new(HyperRam::try_new(h.clone())?));
+                (DramDevice::Hyper(t.clone()), t)
+            }
+            MainMemory::Ddr(d) => {
+                let t = Rc::new(RefCell::new(Ddr::new(*d)));
+                (DramDevice::Ddr(t.clone()), t)
+            }
         };
-        let dram_front: SharedMem = match &cfg.llc {
-            Some(llc_cfg) => shared(Llc::new(llc_cfg.clone(), dram_raw.clone())?),
-            None => dram_raw.clone(),
+        let (llc_typed, dram_front): (Option<Rc<RefCell<Llc>>>, SharedMem) = match &cfg.llc {
+            Some(llc_cfg) => {
+                let t = Rc::new(RefCell::new(Llc::new(llc_cfg.clone(), dram_raw.clone())?));
+                (Some(t.clone()), t)
+            }
+            None => (None, dram_raw.clone()),
         };
 
-        let l2spm: SharedMem = shared(Sram::new("l2spm", cfg.l2spm_bytes, Cycles::new(1)));
+        let l2spm_typed = Rc::new(RefCell::new(Sram::new(
+            "l2spm",
+            cfg.l2spm_bytes,
+            Cycles::new(1),
+        )));
+        let l2spm: SharedMem = l2spm_typed.clone();
         let clint = Rc::new(RefCell::new(Clint::new()));
         let plic = Rc::new(RefCell::new(Plic::new()));
         let mut bus = Bus::new("axi", Cycles::new(2));
@@ -201,7 +245,8 @@ impl HulkV {
         let mut pmp = IoPmp::new(bus.clone());
         pmp.allow(map::L2SPM_BASE, cfg.l2spm_bytes as u64);
         pmp.allow(map::DRAM_BASE, cfg.main_memory_bytes());
-        let cluster = Cluster::new(cfg.cluster.clone(), shared(pmp));
+        let iopmp = Rc::new(RefCell::new(pmp));
+        let cluster = Cluster::new(cfg.cluster.clone(), iopmp.clone());
 
         Ok(HulkV {
             host,
@@ -211,6 +256,10 @@ impl HulkV {
             clint,
             plic,
             l2spm,
+            l2spm_typed,
+            dram_typed,
+            llc_typed,
+            iopmp,
             dram_raw,
             dram_front,
             udma: DmaEngine::new("udma", Cycles::new(12), 64),
@@ -419,6 +468,272 @@ impl HulkV {
         snap
     }
 
+    /// FNV-1a digest of the complete SoC state: host (core + L1s), CLINT,
+    /// PLIC, mailbox, IOPMP, L2SPM, main memory, LLC, cluster, and the
+    /// runtime bookkeeping (kernel table and allocator cursors). Two
+    /// identically-driven SoCs agree on this digest; a snapshot restore
+    /// reproduces it exactly.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hulkv_sim::Fnv64::new();
+        h.write_u64(self.host.state_digest())
+            .write_u64(self.clint.borrow().state_digest())
+            .write_u64(self.plic.borrow().state_digest())
+            .write_u64(self.mailbox.state_digest())
+            .write_u64(self.iopmp.borrow().state_digest())
+            .write_u64(self.l2spm_typed.borrow().content_digest())
+            .write_u64(self.dram_typed.content_digest())
+            .write_u64(
+                self.llc_typed
+                    .as_ref()
+                    .map_or(0, |llc| llc.borrow().state_digest()),
+            )
+            .write_u64(self.cluster.state_digest());
+        h.write_u64(self.kernels.len() as u64);
+        for k in &self.kernels {
+            h.write_u64(k.dram_addr)
+                .write_u64(k.bytes as u64)
+                .write_u64(k.loaded_at.map_or(u64::MAX, |o| o));
+        }
+        h.write_u64(self.kernel_store_next)
+            .write_u64(self.l2_code_next)
+            .write_u64(self.shared_next)
+            .finish()
+    }
+
+    /// Serializes the complete SoC into a versioned, schema-checked
+    /// [`Snapshot`]: every core register/CSR/decode-cache entry, device
+    /// registers, cache contents, memory images (page-compact) and runtime
+    /// bookkeeping. Taking a snapshot reads nothing through the timed
+    /// memory paths, so it perturbs no counters — snapshot-then-continue is
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// Observability attachments (tracer, timeline windows) are not
+    /// captured; re-attach them after restore if needed.
+    pub fn snapshot(&self) -> Snapshot {
+        use hulkv_sim::snap::{hex, stats_to_json};
+        let mut snap = Snapshot::new();
+        snap.set_section("config", self.cfg.to_json());
+        let host = self.host.snapshot_into(&mut snap);
+        snap.set_section("host", host);
+        snap.set_section("clint", self.clint.borrow().snapshot_json());
+        snap.set_section("plic", self.plic.borrow().snapshot_json());
+        snap.set_section("mailbox", self.mailbox.snapshot_json());
+        snap.set_section("iopmp", self.iopmp.borrow().snapshot_json());
+        let l2 = self.l2spm_typed.borrow().snapshot_into(&mut snap);
+        snap.set_section("l2spm", l2);
+        let dram = match &self.dram_typed {
+            DramDevice::Hyper(h) => {
+                let dev = h.borrow().snapshot_into(&mut snap);
+                Json::obj([("kind", Json::Str("hyperram".into())), ("dev", dev)])
+            }
+            DramDevice::Ddr(d) => {
+                let dev = d.borrow().snapshot_into(&mut snap);
+                Json::obj([("kind", Json::Str("ddr".into())), ("dev", dev)])
+            }
+        };
+        snap.set_section("dram", dram);
+        if let Some(llc) = &self.llc_typed {
+            let l = llc.borrow().snapshot_into(&mut snap);
+            snap.set_section("llc", l);
+        }
+        let cluster = self.cluster.snapshot_into(&mut snap);
+        snap.set_section("cluster", cluster);
+        let kernels = Json::Arr(
+            self.kernels
+                .iter()
+                .map(|k| {
+                    Json::obj([
+                        ("dram_addr", hex(k.dram_addr)),
+                        ("bytes", hex(k.bytes as u64)),
+                        ("loaded_at", k.loaded_at.map_or(Json::Null, hex)),
+                    ])
+                })
+                .collect(),
+        );
+        snap.set_section(
+            "soc",
+            Json::obj([
+                ("kernels", kernels),
+                ("kernel_store_next", hex(self.kernel_store_next)),
+                ("l2_code_next", hex(self.l2_code_next)),
+                ("shared_next", hex(self.shared_next)),
+                ("timeline_now", hex(self.timeline_now)),
+                ("stats", stats_to_json(&self.stats)),
+                ("udma", self.udma.snapshot_json()),
+                ("bus", self.bus_typed.borrow().snapshot_json()),
+            ]),
+        );
+        snap
+    }
+
+    /// Restores state written by [`HulkV::snapshot`] into a SoC built with
+    /// the identical configuration (checked). Continuing after a restore is
+    /// bit-identical — same cycles, same stats, same digests — to the run
+    /// the snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// On configuration mismatch or a malformed snapshot.
+    pub fn restore(&mut self, snap: &Snapshot) -> SnapResult<()> {
+        use hulkv_sim::snap::{get, get_arr, get_u64, restore_stats, unhex, SnapError};
+        if snap.section("config")?.to_string() != self.cfg.to_json().to_string() {
+            return Err(SnapError::msg(
+                "snapshot configuration differs from this SoC's — use HulkV::from_snapshot",
+            ));
+        }
+        self.host.restore_from(snap, snap.section("host")?)?;
+        self.clint
+            .borrow_mut()
+            .restore_json(snap.section("clint")?)?;
+        self.plic.borrow_mut().restore_json(snap.section("plic")?)?;
+        self.mailbox.restore_json(snap.section("mailbox")?)?;
+        self.iopmp
+            .borrow_mut()
+            .restore_json(snap.section("iopmp")?)?;
+        self.l2spm_typed
+            .borrow_mut()
+            .restore_from(snap, snap.section("l2spm")?)?;
+        let dram = snap.section("dram")?;
+        match (&self.dram_typed, get(dram, "kind")?.as_str()) {
+            (DramDevice::Hyper(h), Some("hyperram")) => {
+                h.borrow_mut().restore_from(snap, get(dram, "dev")?)?;
+            }
+            (DramDevice::Ddr(d), Some("ddr")) => {
+                d.borrow_mut().restore_from(snap, get(dram, "dev")?)?;
+            }
+            _ => return Err(SnapError::msg("main-memory kind mismatch")),
+        }
+        match (&self.llc_typed, snap.has_section("llc")) {
+            (Some(llc), true) => llc.borrow_mut().restore_from(snap, snap.section("llc")?)?,
+            (None, false) => {}
+            _ => return Err(SnapError::msg("LLC presence mismatch")),
+        }
+        self.cluster.restore_from(snap, snap.section("cluster")?)?;
+        let s = snap.section("soc")?;
+        let mut kernels = Vec::new();
+        for k in get_arr(s, "kernels")? {
+            kernels.push(KernelState {
+                dram_addr: get_u64(k, "dram_addr")?,
+                bytes: get_u64(k, "bytes")? as usize,
+                loaded_at: match get(k, "loaded_at")? {
+                    Json::Null => None,
+                    v => Some(unhex(v)?),
+                },
+            });
+        }
+        self.kernels = kernels;
+        self.kernel_store_next = get_u64(s, "kernel_store_next")?;
+        self.l2_code_next = get_u64(s, "l2_code_next")?;
+        self.shared_next = get_u64(s, "shared_next")?;
+        self.timeline_now = get_u64(s, "timeline_now")?;
+        restore_stats(&mut self.stats, get(s, "stats")?)?;
+        self.udma.restore_json(get(s, "udma")?)?;
+        self.bus_typed.borrow_mut().restore_json(get(s, "bus")?)?;
+        // The host core's pending-interrupt bits (MIP) were restored with
+        // its CSR file; deriving them again from CLINT/PLIC here would bump
+        // the CSR version and perturb the decode-cache stamps.
+        Ok(())
+    }
+
+    /// Builds a SoC from a snapshot alone: reconstructs the configuration
+    /// embedded in the `config` section, then restores the full state.
+    ///
+    /// # Errors
+    ///
+    /// On a malformed snapshot or an unbuildable configuration.
+    pub fn from_snapshot(snap: &Snapshot) -> SnapResult<HulkV> {
+        use hulkv_sim::snap::SnapError;
+        let cfg = SocConfig::from_json(snap.section("config")?)?;
+        let mut soc = HulkV::new(cfg)
+            .map_err(|e| SnapError::msg(format!("snapshot config does not build: {e}")))?;
+        soc.restore(snap)?;
+        Ok(soc)
+    }
+
+    /// Side-effect-free memory read through the interconnect: no latency,
+    /// no counters, no cache-LRU or claim-register perturbation; resident
+    /// cache lines overlay their backing stores. The debugger's inspection
+    /// path — interleaving peeks into a run leaves it bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing/range errors.
+    pub fn peek_mem(&self, addr: u64, buf: &mut [u8]) -> Result<(), SocError> {
+        use hulkv_mem::MemoryDevice;
+        self.bus_typed.borrow().peek(addr, buf)?;
+        Ok(())
+    }
+
+    /// Loads a host program at [`map::HOST_CODE`] and prepares the core
+    /// (PC, stack pointer, then `regs`), leaving it resumed but not yet
+    /// run: the flight recorder and the replay debugger drive execution in
+    /// explicit [`HulkV::run_host_until`] windows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loading errors.
+    pub fn start_host_program(
+        &mut self,
+        words: &[u32],
+        regs: &[(Reg, u64)],
+    ) -> Result<(), SocError> {
+        self.host.load_program(map::HOST_CODE, words)?;
+        let core = self.host.core_mut();
+        core.set_pc(map::HOST_CODE);
+        core.set_reg(Reg::Sp, map::L2SPM_BASE + self.cfg.l2spm_bytes as u64);
+        for &(r, v) in regs {
+            core.set_reg(r, v);
+        }
+        core.resume();
+        Ok(())
+    }
+
+    /// Advances an in-flight host program (started with
+    /// [`HulkV::start_host_program`] or left mid-run by a restored
+    /// snapshot) until the host core's *total* cycle count reaches `target`
+    /// or the program halts; returns whether it halted. Timeline sampling
+    /// boundaries are honored inside the window, and the underlying step
+    /// sequence is the one an unchunked run would execute, so any chunking
+    /// of the same program is cycle-bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors (never a timeout — budget enforcement is
+    /// the caller's).
+    pub fn run_host_until(&mut self, target: u64) -> Result<bool, SocError> {
+        if self.timeline.is_none() {
+            return Ok(self.host.run_until_cycle(target)?);
+        }
+        let host_freq = self.cfg.host.freq;
+        let soc_freq = self.cfg.host.soc_freq;
+        loop {
+            let next_due = self.timeline.as_ref().map_or(u64::MAX, Timeline::next_due);
+            let delta_soc = next_due.saturating_sub(self.timeline_now).max(1);
+            let delta_host = convert_freq(Cycles::new(delta_soc), soc_freq, host_freq)
+                .get()
+                .max(1);
+            let anchor = self.host.core().cycles().get();
+            let chunk = anchor.saturating_add(delta_host).min(target);
+            let halted = self.host.run_until_cycle(chunk)?;
+            let now = self.host.core().cycles().get();
+            self.timeline_now += convert_freq(Cycles::new(now - anchor), host_freq, soc_freq).get();
+            if halted {
+                self.timeline_sample();
+                return Ok(true);
+            }
+            if self
+                .timeline
+                .as_ref()
+                .is_some_and(|tl| tl.due(self.timeline_now))
+            {
+                self.timeline_sample();
+            }
+            if now >= target {
+                return Ok(false);
+            }
+        }
+    }
+
     /// Backdoor memory write through the interconnect (no cycles charged).
     ///
     /// # Errors
@@ -490,6 +805,12 @@ impl HulkV {
     /// the code load again (used by the Figure-6 "×1" experiments).
     pub fn evict_kernel(&mut self, kernel: KernelId) {
         self.kernels[kernel.0].loaded_at = None;
+    }
+
+    /// The handle for the `index`-th registered kernel, if it exists.
+    /// Replay streams store kernels by registration index.
+    pub fn kernel_id(&self, index: usize) -> Option<KernelId> {
+        (index < self.kernels.len()).then_some(KernelId(index))
     }
 
     /// Offloads `kernel` to the PMCA: lazy code load, descriptor + mailbox

@@ -187,6 +187,14 @@ fn seed_regs(core: &mut Core, prog: &Program) {
     core.set_reg(Reg::T5, 0);
 }
 
+/// Builds one side of a bare-core run exactly as the lockstep driver
+/// does: flat memory image (handler, code, data prefill, page tables)
+/// plus a seeded core. Public so snapshot/replay tests can reconstruct
+/// the precise environment of a fuzz repro and checkpoint mid-program.
+pub fn repro_env(prog: &Program, fast: bool) -> (Core, FlatBus) {
+    build_env(prog, fast)
+}
+
 /// Builds one side of a bare-core run: flat memory image (handler, code,
 /// data prefill, page tables) plus a core with everything but the decode
 /// cache identical.

@@ -1,0 +1,76 @@
+//! Wires a fuzz repro through the snapshot layer: a generated program is
+//! run partway on the exact bare-core environment the lockstep driver
+//! builds, checkpointed mid-flight, and the restored twin must finish the
+//! run in perfect lockstep with the original. This is the repro workflow
+//! for divergences the fuzzer finds — checkpoint just before the
+//! interesting retire, then replay the window at will.
+
+use hulkv_fuzz::gen::{self, Isa};
+use hulkv_fuzz::lockstep::repro_env;
+use hulkv_sim::{Snapshot, SplitMix64};
+
+fn checkpoint_and_replay(isa: Isa, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let prog = gen::generate(&mut rng, isa);
+
+    // Run the original partway into the program on the fast side.
+    let (mut core, mut bus) = repro_env(&prog, true);
+    let mut pre_steps = 0;
+    for _ in 0..200 {
+        if core.step(&mut bus).unwrap().halted {
+            break;
+        }
+        pre_steps += 1;
+    }
+
+    // Checkpoint through the serialized form, not a clone: the bytes are
+    // what a repro file would carry.
+    let mut snap = Snapshot::new();
+    let cj = core.snapshot_into(&mut snap);
+    let bj = bus.snapshot_into(&mut snap);
+    snap.set_section("core", cj);
+    snap.set_section("bus", bj);
+    let bytes = snap.to_bytes();
+
+    let parsed = Snapshot::from_bytes(&bytes).unwrap();
+    let (mut core2, mut bus2) = repro_env(&prog, true);
+    core2
+        .restore_from(&parsed, parsed.section("core").unwrap())
+        .unwrap();
+    bus2.restore_from(&parsed, parsed.section("bus").unwrap())
+        .unwrap();
+    assert_eq!(
+        core2.state_digest(),
+        core.state_digest(),
+        "restore diverged immediately (isa {isa:?}, {pre_steps} steps in)"
+    );
+    assert_eq!(bus2.content_digest(), bus.content_digest());
+
+    // Replay the rest of the program in lockstep.
+    for i in 0..2_000 {
+        let halted = core.is_halted();
+        assert_eq!(halted, core2.is_halted(), "halt divergence at step {i}");
+        if halted {
+            break;
+        }
+        let a = core.step(&mut bus).unwrap();
+        let b = core2.step(&mut bus2).unwrap();
+        assert_eq!(a.halted, b.halted, "halt divergence at step {i}");
+        assert_eq!(
+            core2.state_digest(),
+            core.state_digest(),
+            "state divergence at step {i} (isa {isa:?})"
+        );
+    }
+    assert_eq!(bus2.content_digest(), bus.content_digest());
+}
+
+#[test]
+fn rv32_pulp_repro_restores_and_replays() {
+    checkpoint_and_replay(Isa::Rv32Pulp, 0x2026_0807);
+}
+
+#[test]
+fn rv64_sv39_repro_restores_and_replays() {
+    checkpoint_and_replay(Isa::Rv64Sv39, 0x2026_0809);
+}

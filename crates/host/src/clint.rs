@@ -64,11 +64,63 @@ impl Clint {
     pub fn software_pending(&self) -> bool {
         self.msip & 1 != 0
     }
+
+    /// FNV-1a digest of the register state (`msip`, `mtimecmp`, `mtime`).
+    /// Stats are excluded: they count accesses, not state.
+    pub fn state_digest(&self) -> u64 {
+        hulkv_sim::Fnv64::new()
+            .write_u64(u64::from(self.msip))
+            .write_u64(self.mtimecmp)
+            .write_u64(self.mtime)
+            .finish()
+    }
+
+    /// Serializes registers and stats.
+    pub fn snapshot_json(&self) -> hulkv_sim::Json {
+        use hulkv_sim::snap::{hex, stats_to_json};
+        hulkv_sim::Json::obj([
+            ("msip", hex(u64::from(self.msip))),
+            ("mtimecmp", hex(self.mtimecmp)),
+            ("mtime", hex(self.mtime)),
+            ("stats", stats_to_json(&self.stats)),
+        ])
+    }
+
+    /// Restores state written by [`Clint::snapshot_json`].
+    ///
+    /// # Errors
+    ///
+    /// On a malformed section.
+    pub fn restore_json(&mut self, j: &hulkv_sim::Json) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, get_u64, restore_stats};
+        self.msip = get_u64(j, "msip")? as u32;
+        self.mtimecmp = get_u64(j, "mtimecmp")?;
+        self.mtime = get_u64(j, "mtime")?;
+        restore_stats(&mut self.stats, get(j, "stats")?)
+    }
 }
 
 impl MemoryDevice for Clint {
     fn size_bytes(&self) -> u64 {
         SIZE
+    }
+
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        if buf.len() > 8 {
+            return Err(SimError::OutOfRange {
+                what: "clint access width",
+                value: buf.len() as u64,
+                limit: 8,
+            });
+        }
+        let value: u64 = match offset {
+            MSIP => self.msip as u64,
+            MTIMECMP => self.mtimecmp,
+            MTIME => self.mtime,
+            _ => 0,
+        };
+        buf.copy_from_slice(&value.to_le_bytes()[..buf.len()]);
+        Ok(())
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {

@@ -33,6 +33,10 @@ pub struct HostConfig {
     /// (CLINT, PLIC, peripherals) accessed uncached, as CVA6's physical
     /// memory attributes mandate.
     pub cacheable_start: u64,
+    /// Whether the decoded-instruction cache fast path is enabled.
+    /// Config-carried (not just a runtime toggle) so a machine rebuilt
+    /// from a snapshot's embedded configuration replays identically.
+    pub decode_cache: bool,
 }
 
 impl Default for HostConfig {
@@ -45,6 +49,7 @@ impl Default for HostConfig {
             line_bytes: 64,
             caches_enabled: true,
             cacheable_start: 0x1C00_0000,
+            decode_cache: true,
         }
     }
 }
@@ -101,9 +106,11 @@ impl Host {
             bridge.clone(),
         )
         .expect("L1D geometry");
+        let mut core = Core::cva6();
+        core.set_decode_cache(cfg.decode_cache);
         Host {
             cfg,
-            core: Core::cva6(),
+            core,
             l1i,
             l1d,
             bus,
@@ -258,6 +265,50 @@ impl Host {
         self.stats
             .add("run_cycles", (self.core.cycles() - before).get());
         Ok(halted)
+    }
+
+    /// FNV-1a digest of the host's mutable state: core architecture plus
+    /// both L1 caches' microarchitectural state.
+    pub fn state_digest(&self) -> u64 {
+        hulkv_sim::Fnv64::new()
+            .write_u64(self.core.state_digest())
+            .write_u64(self.l1i.state_digest())
+            .write_u64(self.l1d.state_digest())
+            .finish()
+    }
+
+    /// Serializes core, both L1 caches and the host stats into `snap`. The
+    /// interconnect and its devices belong to the SoC and are snapshotted
+    /// there.
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        use hulkv_sim::snap::stats_to_json;
+        let core = self.core.snapshot_into(snap);
+        let l1i = self.l1i.snapshot_into(snap);
+        let l1d = self.l1d.snapshot_into(snap);
+        hulkv_sim::Json::obj([
+            ("core", core),
+            ("l1i", l1i),
+            ("l1d", l1d),
+            ("stats", stats_to_json(&self.stats)),
+        ])
+    }
+
+    /// Restores state written by [`Host::snapshot_into`] into a host built
+    /// with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// On geometry mismatch or a malformed section.
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, restore_stats};
+        self.core.restore_from(snap, get(j, "core")?)?;
+        self.l1i.restore_from(snap, get(j, "l1i")?)?;
+        self.l1d.restore_from(snap, get(j, "l1d")?)?;
+        restore_stats(&mut self.stats, get(j, "stats")?)
     }
 
     /// Executes a single instruction (for fine-grain co-simulation with the

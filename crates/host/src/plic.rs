@@ -106,11 +106,92 @@ impl Plic {
             self.stats.inc("completes");
         }
     }
+
+    /// FNV-1a digest of the register state: priorities, pending, enable,
+    /// threshold and the in-service source. Stats are excluded: they count
+    /// accesses, not state.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hulkv_sim::Fnv64::new();
+        for p in &self.priority {
+            h.write_u64(u64::from(*p));
+        }
+        h.write_u64(self.pending)
+            .write_u64(self.enable)
+            .write_u64(u64::from(self.threshold))
+            .write_u64(self.in_service.map_or(u64::MAX, u64::from))
+            .finish()
+    }
+
+    /// Serializes registers and stats.
+    pub fn snapshot_json(&self) -> hulkv_sim::Json {
+        use hulkv_sim::snap::{hex, stats_to_json};
+        use hulkv_sim::Json;
+        Json::obj([
+            (
+                "priority",
+                Json::Arr(self.priority.iter().map(|&p| hex(u64::from(p))).collect()),
+            ),
+            ("pending", hex(self.pending)),
+            ("enable", hex(self.enable)),
+            ("threshold", hex(u64::from(self.threshold))),
+            (
+                "in_service",
+                self.in_service.map_or(Json::Null, |id| hex(u64::from(id))),
+            ),
+            ("stats", stats_to_json(&self.stats)),
+        ])
+    }
+
+    /// Restores state written by [`Plic::snapshot_json`].
+    ///
+    /// # Errors
+    ///
+    /// On a malformed section.
+    pub fn restore_json(&mut self, j: &hulkv_sim::Json) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, get_arr, get_u64, restore_stats, unhex, SnapError};
+        use hulkv_sim::Json;
+        let prio = get_arr(j, "priority")?;
+        if prio.len() != self.priority.len() {
+            return Err(SnapError::msg("PLIC priority array length mismatch"));
+        }
+        for (slot, p) in self.priority.iter_mut().zip(prio) {
+            *slot = unhex(p)? as u32;
+        }
+        self.pending = get_u64(j, "pending")?;
+        self.enable = get_u64(j, "enable")?;
+        self.threshold = get_u64(j, "threshold")? as u32;
+        self.in_service = match get(j, "in_service")? {
+            Json::Null => None,
+            v => Some(unhex(v)? as u32),
+        };
+        restore_stats(&mut self.stats, get(j, "stats")?)
+    }
 }
 
 impl MemoryDevice for Plic {
     fn size_bytes(&self) -> u64 {
         SIZE
+    }
+
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        if buf.len() > 8 {
+            return Err(SimError::OutOfRange {
+                what: "plic access width",
+                value: buf.len() as u64,
+                limit: 8,
+            });
+        }
+        // CLAIM peeks report the would-be claim without performing it.
+        let value: u64 = match offset {
+            PENDING => self.pending,
+            ENABLE => self.enable,
+            THRESHOLD => self.threshold as u64,
+            CLAIM => self.best_candidate().unwrap_or(0) as u64,
+            o if o < PRIORITY_BASE + 64 * 4 && o % 4 == 0 => self.priority[(o / 4) as usize] as u64,
+            _ => 0,
+        };
+        buf.copy_from_slice(&value.to_le_bytes()[..buf.len()]);
+        Ok(())
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {

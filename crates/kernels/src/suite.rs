@@ -267,6 +267,67 @@ pub fn lint_catalog() -> Vec<LintProgram> {
 const HOST_RUN_BUDGET: u64 = 2_000_000_000;
 const CLUSTER_RUN_BUDGET: u64 = 500_000_000;
 
+/// Drives one Figure-6 kernel through the flight recorder: the host run
+/// with its working set in the L2SPM (as [`Kernel::run_on_host`] stages
+/// it), then two offloads — the first pays the lazy code load, the second
+/// rides the cached L2SPM copy — with the working set in the TCDM (as
+/// [`Kernel::run_on_cluster`] stages it). Every command lands in the
+/// journal, so any checkpoint of the run replays deterministically.
+///
+/// # Errors
+///
+/// Propagates SoC and execution errors.
+pub fn record_fig6_kernel(
+    rec: &mut hulkv::Recorder,
+    kernel: Kernel,
+    p: &KernelParams,
+    cores: usize,
+) -> Result<(), SocError> {
+    let base = host_data_base(rec.soc());
+    let (program, a_bytes, b_bytes, out_init, n_arg, m_arg) = kernel.host_setup(p);
+    let a_addr = base;
+    let b_addr = a_addr + a_bytes.len() as u64;
+    let c_addr = (b_addr + b_bytes.len() as u64 + 63) & !63;
+    rec.write_mem(a_addr, &a_bytes)?;
+    if !b_bytes.is_empty() {
+        rec.write_mem(b_addr, &b_bytes)?;
+    }
+    rec.write_mem(c_addr, &out_init)?;
+    rec.run_host_program(
+        &program,
+        &[
+            (Reg::A0, a_addr),
+            (Reg::A1, b_addr),
+            (Reg::A2, c_addr),
+            (Reg::A3, n_arg),
+            (Reg::A4, m_arg),
+        ],
+        HOST_RUN_BUDGET,
+    )?;
+
+    let (cprogram, ca_bytes, cb_bytes, cout_init, cn_arg, cm_arg) = kernel.cluster_setup(p, cores);
+    let a_off = 0u64;
+    let b_off = a_off + ca_bytes.len() as u64;
+    let c_off = (b_off + cb_bytes.len() as u64 + 63) & !63;
+    rec.tcdm_write(a_off, &ca_bytes)?;
+    if !cb_bytes.is_empty() {
+        rec.tcdm_write(b_off, &cb_bytes)?;
+    }
+    rec.tcdm_write(c_off, &cout_init)?;
+    let id = rec.register_kernel(&cprogram)?;
+    let args = [
+        (Reg::A0, TCDM_BASE + a_off),
+        (Reg::A1, TCDM_BASE + b_off),
+        (Reg::A2, TCDM_BASE + c_off),
+        (Reg::A3, cn_arg),
+        (Reg::A4, cm_arg),
+        (Reg::A7, cores as u64),
+    ];
+    rec.offload(id, &args, cores, CLUSTER_RUN_BUDGET)?;
+    rec.offload(id, &args, cores, CLUSTER_RUN_BUDGET)?;
+    Ok(())
+}
+
 fn host_data_base(soc: &HulkV) -> u64 {
     map::L2SPM_BASE + soc.config().l2spm_bytes as u64 / 2
 }

@@ -123,11 +123,31 @@ impl Bus {
             .find(|r| r.name == name)
             .map(|r| r.device.clone())
     }
+
+    /// Serializes the crossbar's only mutable state — its traffic counters.
+    /// Mapped devices are snapshotted by their owners, not through the bus.
+    pub fn snapshot_json(&self) -> hulkv_sim::Json {
+        hulkv_sim::snap::stats_to_json(&self.stats)
+    }
+
+    /// Restores counters written by [`Bus::snapshot_json`].
+    ///
+    /// # Errors
+    ///
+    /// On a malformed section.
+    pub fn restore_json(&mut self, j: &hulkv_sim::Json) -> hulkv_sim::SnapResult<()> {
+        hulkv_sim::snap::restore_stats(&mut self.stats, j)
+    }
 }
 
 impl MemoryDevice for Bus {
     fn size_bytes(&self) -> u64 {
         self.regions.last().map(|r| r.base + r.size).unwrap_or(0)
+    }
+
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        let (region, local) = self.route(offset, buf.len())?;
+        region.device.borrow().peek(local, buf)
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {

@@ -271,6 +271,120 @@ impl Cache {
         Ok(total)
     }
 
+    /// FNV-1a digest of the microarchitectural state: every line's
+    /// valid/dirty/tag/LRU/data plus the LRU tick and content epoch. Two
+    /// identically-driven caches agree on this digest; it is the cache-side
+    /// complement of `Core::state_digest`.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hulkv_sim::Fnv64::new();
+        for l in &self.lines {
+            h.write_u64(u64::from(l.valid) | u64::from(l.dirty) << 1)
+                .write_u64(l.tag)
+                .write_u64(l.lru)
+                .write(&l.data);
+        }
+        h.write_u64(self.tick).write_u64(self.epoch);
+        h.finish()
+    }
+
+    /// Serializes lines (packed binary), LRU tick, epoch and stats into
+    /// `snap`. Contents are recorded rather than flushed: flushing would
+    /// bump the epoch and change miss timing, making snapshotting visible
+    /// to the simulated run.
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        use hulkv_sim::snap::{hex, stats_to_json};
+        let mut packed = Vec::with_capacity(self.lines.len() * (17 + self.cfg.line_bytes));
+        for l in &self.lines {
+            packed.push(u8::from(l.valid) | u8::from(l.dirty) << 1);
+            packed.extend_from_slice(&l.tag.to_le_bytes());
+            packed.extend_from_slice(&l.lru.to_le_bytes());
+            packed.extend_from_slice(&l.data);
+        }
+        let lines = snap.push_blob(&packed);
+        hulkv_sim::Json::obj([
+            ("ways", hex(self.cfg.ways as u64)),
+            ("sets", hex(self.cfg.sets as u64)),
+            ("line_bytes", hex(self.cfg.line_bytes as u64)),
+            ("tick", hex(self.tick)),
+            ("epoch", hex(self.epoch)),
+            ("lines", lines),
+            ("stats", stats_to_json(&self.stats)),
+        ])
+    }
+
+    /// Restores state written by [`Cache::snapshot_into`] into a cache of
+    /// identical geometry (pre-registered [`StatsHandle`]s stay valid).
+    ///
+    /// # Errors
+    ///
+    /// On geometry mismatch or a malformed section.
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, get_u64, restore_stats, SnapError};
+        let (ways, sets, lb) = (
+            get_u64(j, "ways")? as usize,
+            get_u64(j, "sets")? as usize,
+            get_u64(j, "line_bytes")? as usize,
+        );
+        if (ways, sets, lb) != (self.cfg.ways, self.cfg.sets, self.cfg.line_bytes) {
+            return Err(SnapError::msg(format!(
+                "cache {}: geometry mismatch (snapshot {ways}x{sets}x{lb}, \
+                 target {}x{}x{})",
+                self.cfg.name, self.cfg.ways, self.cfg.sets, self.cfg.line_bytes
+            )));
+        }
+        let packed = snap.blob(get(j, "lines")?)?;
+        let rec = 17 + lb;
+        if packed.len() != self.lines.len() * rec {
+            return Err(SnapError::msg(format!(
+                "cache {}: line blob is {} bytes, expected {}",
+                self.cfg.name,
+                packed.len(),
+                self.lines.len() * rec
+            )));
+        }
+        for (l, r) in self.lines.iter_mut().zip(packed.chunks_exact(rec)) {
+            l.valid = r[0] & 1 != 0;
+            l.dirty = r[0] & 2 != 0;
+            l.tag = u64::from_le_bytes(r[1..9].try_into().expect("8 bytes"));
+            l.lru = u64::from_le_bytes(r[9..17].try_into().expect("8 bytes"));
+            l.data.copy_from_slice(&r[17..]);
+        }
+        self.tick = get_u64(j, "tick")?;
+        self.epoch = get_u64(j, "epoch")?;
+        restore_stats(&mut self.stats, get(j, "stats")?)
+    }
+
+    /// Side-effect-free read: resident lines overlay the backing store, so
+    /// the bytes match what [`MemoryDevice::read`] would return — including
+    /// dirty write-back data not yet propagated — without touching LRU
+    /// state, counters or the backing device's counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing peek errors.
+    pub fn peek(&self, addr: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let in_line = (a & (self.cfg.line_bytes as u64 - 1)) as usize;
+            let n = (self.cfg.line_bytes - in_line).min(buf.len() - pos);
+            let set = self.set_of(a);
+            let tag = self.tag_of(a);
+            match self.lookup(set, tag) {
+                Some(idx) => {
+                    buf[pos..pos + n].copy_from_slice(&self.lines[idx].data[in_line..in_line + n])
+                }
+                None => self.backing.borrow().peek(a, &mut buf[pos..pos + n])?,
+            }
+            pos += n;
+        }
+        Ok(())
+    }
+
     #[inline]
     fn set_of(&self, addr: u64) -> usize {
         ((addr >> self.line_shift) as usize) & (self.cfg.sets - 1)
@@ -365,6 +479,11 @@ impl Cache {
 impl MemoryDevice for Cache {
     fn size_bytes(&self) -> u64 {
         self.backing.borrow().size_bytes()
+    }
+
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        check_range(offset, buf.len(), self.size_bytes())?;
+        Cache::peek(self, offset, buf)
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {

@@ -110,6 +110,34 @@ impl Ddr {
         &self.cfg
     }
 
+    /// FNV-1a digest of the stored content (see
+    /// [`SparseStorage::content_digest`]).
+    pub fn content_digest(&self) -> u64 {
+        self.storage.content_digest()
+    }
+
+    /// Serializes resident pages and stats into `snap`.
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        use hulkv_sim::snap::stats_to_json;
+        let storage = self.storage.snapshot_into(snap);
+        hulkv_sim::Json::obj([("storage", storage), ("stats", stats_to_json(&self.stats))])
+    }
+
+    /// Restores state written by [`Ddr::snapshot_into`].
+    ///
+    /// # Errors
+    ///
+    /// On size mismatch or a malformed section.
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, restore_stats};
+        self.storage.restore_from(snap, get(j, "storage")?)?;
+        restore_stats(&mut self.stats, get(j, "stats")?)
+    }
+
     fn latency(&self, len: usize) -> Cycles {
         Cycles::new(self.cfg.latency_cycles + (len as u64).div_ceil(self.cfg.bytes_per_cycle))
     }
@@ -118,6 +146,12 @@ impl Ddr {
 impl MemoryDevice for Ddr {
     fn size_bytes(&self) -> u64 {
         self.cfg.size_bytes
+    }
+
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        check_range(offset, buf.len(), self.size_bytes())?;
+        self.storage.read(offset, buf);
+        Ok(())
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {

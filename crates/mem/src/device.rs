@@ -111,6 +111,22 @@ pub trait MemoryDevice: std::fmt::Debug {
     fn write_u64(&mut self, offset: u64, value: u64) -> Result<Cycles, SimError> {
         self.write(offset, &value.to_le_bytes())
     }
+
+    /// Side-effect-free read for debugger and observability backdoors: no
+    /// latency is charged, no counter bumps, no LRU/claim/FIFO mutation.
+    /// Caches overlay their resident lines over the backing store so the
+    /// bytes match what [`MemoryDevice::read`] would return.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Model`] on devices without a peekable image (default),
+    /// or range/routing errors as for reads.
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        let _ = (offset, buf);
+        Err(SimError::Model(
+            "device has no side-effect-free peek".into(),
+        ))
+    }
 }
 
 /// Validates that `offset + len` stays within `size`, returning a

@@ -160,6 +160,20 @@ impl DmaEngine {
         self.stats.reset();
     }
 
+    /// Serializes the engine's only mutable state — its activity counters.
+    pub fn snapshot_json(&self) -> hulkv_sim::Json {
+        hulkv_sim::snap::stats_to_json(&self.stats)
+    }
+
+    /// Restores counters written by [`DmaEngine::snapshot_json`].
+    ///
+    /// # Errors
+    ///
+    /// On a malformed section.
+    pub fn restore_json(&mut self, j: &hulkv_sim::Json) -> hulkv_sim::SnapResult<()> {
+        hulkv_sim::snap::restore_stats(&mut self.stats, j)
+    }
+
     /// Moves one contiguous span, beat by beat, and returns the overlapped
     /// latency of the transfer (excluding setup, which the caller adds once).
     fn move_span(

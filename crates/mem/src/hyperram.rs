@@ -186,6 +186,28 @@ impl HyperRam {
         self.storage.content_digest()
     }
 
+    /// Serializes resident pages and stats into `snap`.
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        use hulkv_sim::snap::stats_to_json;
+        let storage = self.storage.snapshot_into(snap);
+        hulkv_sim::Json::obj([("storage", storage), ("stats", stats_to_json(&self.stats))])
+    }
+
+    /// Restores state written by [`HyperRam::snapshot_into`].
+    ///
+    /// # Errors
+    ///
+    /// On size mismatch or a malformed section.
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, restore_stats};
+        self.storage.restore_from(snap, get(j, "storage")?)?;
+        restore_stats(&mut self.stats, get(j, "stats")?)
+    }
+
     /// Initial latency of one burst, in bus cycles.
     fn initial_latency(&self) -> u64 {
         let acc = if self.cfg.fixed_2x_latency {
@@ -233,6 +255,12 @@ impl HyperRam {
 impl MemoryDevice for HyperRam {
     fn size_bytes(&self) -> u64 {
         self.cfg.total_bytes()
+    }
+
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        check_range(offset, buf.len(), self.size_bytes())?;
+        self.storage.read(offset, buf);
+        Ok(())
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {

@@ -148,6 +148,33 @@ impl Llc {
         self.cache.flush()
     }
 
+    /// FNV-1a digest of the internal cache's microarchitectural state.
+    pub fn state_digest(&self) -> u64 {
+        self.cache.state_digest()
+    }
+
+    /// Serializes the internal cache and the front-end stats into `snap`.
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        use hulkv_sim::snap::stats_to_json;
+        let cache = self.cache.snapshot_into(snap);
+        hulkv_sim::Json::obj([("cache", cache), ("stats", stats_to_json(&self.stats))])
+    }
+
+    /// Restores state written by [`Llc::snapshot_into`].
+    ///
+    /// # Errors
+    ///
+    /// On geometry mismatch or a malformed section.
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, restore_stats};
+        self.cache.restore_from(snap, get(j, "cache")?)?;
+        restore_stats(&mut self.stats, get(j, "stats")?)
+    }
+
     fn cacheable(&self, offset: u64, len: usize) -> bool {
         offset >= self.cfg.cacheable_start && offset + len as u64 <= self.cfg.cacheable_end
     }
@@ -156,6 +183,14 @@ impl Llc {
 impl MemoryDevice for Llc {
     fn size_bytes(&self) -> u64 {
         self.bypass.borrow().size_bytes()
+    }
+
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        if self.cacheable(offset, buf.len()) {
+            self.cache.peek(offset, buf)
+        } else {
+            self.bypass.borrow().peek(offset, buf)
+        }
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {

@@ -91,6 +91,62 @@ impl SparseStorage {
         h.finish()
     }
 
+    /// Serializes the non-zero resident pages into `snap`'s blob arena.
+    ///
+    /// Zero pages are dropped exactly as [`SparseStorage::content_digest`]
+    /// skips them: a restored storage may hold fewer resident pages than the
+    /// original, but every read and the digest are unchanged.
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        use hulkv_sim::snap::hex;
+        let mut keys: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.iter().any(|&b| b != 0))
+            .map(|(&k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        let mut data = Vec::with_capacity(keys.len() * (8 + PAGE_SIZE));
+        for k in &keys {
+            data.extend_from_slice(&k.to_le_bytes());
+            data.extend_from_slice(&self.pages[k][..]);
+        }
+        let desc = snap.push_blob(&data);
+        hulkv_sim::Json::obj([
+            ("size", hex(self.size)),
+            ("count", hex(keys.len() as u64)),
+            ("data", desc),
+        ])
+    }
+
+    /// Restores state written by [`SparseStorage::snapshot_into`], replacing
+    /// all resident pages.
+    ///
+    /// # Errors
+    ///
+    /// On size mismatch or malformed page records.
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get_u64, SnapError};
+        let size = get_u64(j, "size")?;
+        if size != self.size {
+            return Err(SnapError::msg(format!(
+                "sparse storage size mismatch: snapshot {size:#x}, target {:#x}",
+                self.size
+            )));
+        }
+        let pages = &mut self.pages;
+        pages.clear();
+        snap.visit_pages(j, |idx, bytes| {
+            let mut p = Box::new([0u8; PAGE_SIZE]);
+            p.copy_from_slice(bytes);
+            pages.insert(idx, p);
+            Ok(())
+        })
+    }
+
     /// Writes `data`, materializing pages as needed.
     pub fn write(&mut self, offset: u64, data: &[u8]) {
         debug_assert!(offset + data.len() as u64 <= self.size);

@@ -59,11 +59,46 @@ impl Sram {
     pub fn content_digest(&self) -> u64 {
         hulkv_sim::Fnv64::new().write(&self.data).finish()
     }
+
+    /// Serializes contents (page-compact) and stats into `snap`. Reads
+    /// nothing through [`MemoryDevice`], so taking a snapshot perturbs no
+    /// counters.
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        use hulkv_sim::snap::stats_to_json;
+        let contents = snap.push_pages(&self.data);
+        hulkv_sim::Json::obj([
+            ("contents", contents),
+            ("stats", stats_to_json(&self.stats)),
+        ])
+    }
+
+    /// Restores state written by [`Sram::snapshot_into`]. The SRAM must have
+    /// been constructed with the same size.
+    ///
+    /// # Errors
+    ///
+    /// On size mismatch or a malformed section.
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, restore_stats};
+        snap.restore_pages(get(j, "contents")?, &mut self.data)?;
+        restore_stats(&mut self.stats, get(j, "stats")?)
+    }
 }
 
 impl MemoryDevice for Sram {
     fn size_bytes(&self) -> u64 {
         self.data.len() as u64
+    }
+
+    fn peek(&self, offset: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        check_range(offset, buf.len(), self.size_bytes())?;
+        let o = offset as usize;
+        buf.copy_from_slice(&self.data[o..o + buf.len()]);
+        Ok(())
     }
 
     fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<Cycles, SimError> {

@@ -1,0 +1,417 @@
+//! `hulkv-replay` — record, verify and time-travel-debug HULK-V runs.
+//!
+//! ```text
+//! hulkv-replay record --out FILE [--kernel NAME] [--cores N]
+//!                     [--period N] [--capacity N] [--no-decode-cache]
+//! hulkv-replay verify FILE            exhaustive checkpoint/replay audit
+//! hulkv-replay info FILE              recording summary
+//! hulkv-replay debug FILE [--script FILE]   scripted or stdin session
+//! ```
+
+use hulkv::{Recorder, Recording, SocConfig};
+use hulkv_kernels::suite::{record_fig6_kernel, Kernel, KernelParams};
+use hulkv_replay::{Debugger, StepEvent, Watch};
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("debug") => cmd_debug(&args[1..]),
+        _ => {
+            eprintln!("usage: hulkv-replay <record|verify|info|debug> ...");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn parse_num(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("hulkv-replay: {msg}");
+    1
+}
+
+// ---------------------------------------------------------------- record
+
+fn cmd_record(args: &[String]) -> i32 {
+    let mut out = None;
+    let mut kernel = Kernel::MatMulI8;
+    let mut cores = 8usize;
+    let mut period = 10_000u64;
+    let mut capacity = 64usize;
+    let mut decode_cache = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().cloned(),
+            "--kernel" => {
+                let Some(name) = it.next() else {
+                    return fail("--kernel needs a name");
+                };
+                match Kernel::ALL.iter().find(|k| k.name() == name) {
+                    Some(k) => kernel = *k,
+                    None => {
+                        let names: Vec<&str> = Kernel::ALL.iter().map(|k| k.name()).collect();
+                        return fail(&format!(
+                            "unknown kernel {name:?}; one of: {}",
+                            names.join(", ")
+                        ));
+                    }
+                }
+            }
+            "--cores" => cores = it.next().and_then(|s| parse_num(s)).unwrap_or(8) as usize,
+            "--period" => period = it.next().and_then(|s| parse_num(s)).unwrap_or(10_000),
+            "--capacity" => capacity = it.next().and_then(|s| parse_num(s)).unwrap_or(64) as usize,
+            "--no-decode-cache" => decode_cache = false,
+            other => return fail(&format!("unknown record flag {other:?}")),
+        }
+    }
+    let Some(out) = out else {
+        return fail("record needs --out FILE");
+    };
+
+    let mut cfg = SocConfig::default();
+    cfg.host.decode_cache = decode_cache;
+    cfg.cluster.decode_cache = decode_cache;
+    let mut rec = match Recorder::new(cfg, period, capacity) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("SoC bring-up failed: {e}")),
+    };
+    if let Err(e) = record_fig6_kernel(&mut rec, kernel, &KernelParams::small(), cores) {
+        return fail(&format!("workload failed under recording: {e}"));
+    }
+    let (soc, recording) = rec.finish();
+    let bytes = recording.to_bytes();
+    if let Err(e) = std::fs::write(&out, &bytes) {
+        return fail(&format!("writing {out}: {e}"));
+    }
+    println!(
+        "recorded {} ({} cycles, {} commands, {} checkpoints, {} bytes) digest={:#018x}",
+        kernel.name(),
+        soc.host().core().cycles().get(),
+        recording.commands.len(),
+        recording.checkpoints.len(),
+        bytes.len(),
+        soc.state_digest()
+    );
+    0
+}
+
+// ---------------------------------------------------------------- verify
+
+fn load(path: &str) -> Result<Recording, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Recording::from_bytes(&bytes).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_verify(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        return fail("verify needs a recording file");
+    };
+    let recording = match load(path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+
+    // Reference run: straight-line replay of the whole journal.
+    let reference = match recording.replay_to_end() {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("straight-line replay failed: {e}")),
+    };
+    let ref_digest = reference.state_digest();
+    let ref_cycles = reference.host().core().cycles().get();
+    let ref_stats = reference.metrics_snapshot().to_json().to_string();
+    println!("straight-line: {ref_cycles} cycles, digest {ref_digest:#018x}");
+
+    // Snapshot save latency and size on the final state.
+    let t0 = Instant::now();
+    let snap = reference.snapshot();
+    let snap_bytes = snap.to_bytes();
+    let save_us = t0.elapsed().as_micros();
+    println!("snapshot: {} bytes, save {} us", snap_bytes.len(), save_us);
+
+    // Every checkpoint must resume to the identical final state.
+    let mut restore_us_total = 0u128;
+    for (i, cp) in recording.checkpoints.iter().enumerate() {
+        let t0 = Instant::now();
+        let resumed = match recording.resume_from(i) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("resume from checkpoint {i}: {e}")),
+        };
+        restore_us_total += t0.elapsed().as_micros();
+        let digest = resumed.state_digest();
+        let cycles = resumed.host().core().cycles().get();
+        let stats = resumed.metrics_snapshot().to_json().to_string();
+        if digest != ref_digest || cycles != ref_cycles || stats != ref_stats {
+            eprintln!(
+                "checkpoint {i} (cycle {}): digest {digest:#018x} vs {ref_digest:#018x}, \
+                 cycles {cycles} vs {ref_cycles}, stats match: {}",
+                cp.host_cycle,
+                stats == ref_stats
+            );
+            return fail("resume-from-checkpoint diverged from straight-line replay");
+        }
+        println!(
+            "checkpoint {i}: cycle {} ({} bytes) -> replay converged",
+            cp.host_cycle,
+            cp.bytes.len()
+        );
+    }
+    let n = recording.checkpoints.len().max(1) as u128;
+    println!(
+        "verified {} checkpoints, restore+replay avg {} us",
+        recording.checkpoints.len(),
+        restore_us_total / n
+    );
+    println!("VERIFY OK digest={ref_digest:#018x}");
+    0
+}
+
+// ------------------------------------------------------------------ info
+
+fn cmd_info(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        return fail("info needs a recording file");
+    };
+    let recording = match load(path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    println!(
+        "{} commands, {} checkpoints",
+        recording.commands.len(),
+        recording.checkpoints.len()
+    );
+    for (i, cp) in recording.checkpoints.iter().enumerate() {
+        println!(
+            "  checkpoint {i}: cycle {} instret {} cmd_index {}{} ({} bytes)",
+            cp.host_cycle,
+            cp.instret,
+            cp.cmd_index,
+            if cp.in_progress { " (mid-program)" } else { "" },
+            cp.bytes.len()
+        );
+    }
+    0
+}
+
+// ----------------------------------------------------------------- debug
+
+fn cmd_debug(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        return fail("debug needs a recording file");
+    };
+    let mut script = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--script" => script = it.next().cloned(),
+            other => return fail(&format!("unknown debug flag {other:?}")),
+        }
+    }
+    let recording = match load(path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let mut dbg = match Debugger::new(recording) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("opening debugger: {e}")),
+    };
+
+    let lines: Box<dyn Iterator<Item = String>> = match script {
+        Some(f) => match std::fs::read_to_string(&f) {
+            Ok(text) => Box::new(
+                text.lines()
+                    .map(String::from)
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            ),
+            Err(e) => return fail(&format!("reading script {f}: {e}")),
+        },
+        None => {
+            let stdin = std::io::stdin();
+            Box::new(stdin.lock().lines().map_while(Result::ok))
+        }
+    };
+
+    let mut watches: Vec<Watch> = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        println!("(replay) {line}");
+        std::io::stdout().flush().ok();
+        let words: Vec<&str> = line.split_whitespace().collect();
+        if let Err(e) = run_debug_line(&mut dbg, &mut watches, &words) {
+            eprintln!("hulkv-replay: {e}");
+            return 1;
+        }
+        if words[0] == "quit" {
+            break;
+        }
+    }
+    0
+}
+
+fn run_debug_line(
+    dbg: &mut Debugger,
+    watches: &mut Vec<Watch>,
+    words: &[&str],
+) -> Result<(), String> {
+    let num = |i: usize| -> Result<u64, String> {
+        words
+            .get(i)
+            .and_then(|s| parse_num(s))
+            .ok_or_else(|| format!("{}: bad or missing numeric argument", words[0]))
+    };
+    match words[0] {
+        "goto" => {
+            dbg.goto_cycle(num(1)?).map_err(|e| e.to_string())?;
+            println!(
+                "at cycle {} pc {:#x} instret {}",
+                dbg.cycles(),
+                dbg.pc(),
+                dbg.instret()
+            );
+        }
+        "step" => {
+            let n = num(1).unwrap_or(1);
+            for _ in 0..n {
+                if matches!(
+                    dbg.step().map_err(|e| e.to_string())?,
+                    StepEvent::EndOfRecording
+                ) {
+                    println!("end of recording");
+                    break;
+                }
+            }
+            println!(
+                "at cycle {} pc {:#x} instret {}",
+                dbg.cycles(),
+                dbg.pc(),
+                dbg.instret()
+            );
+        }
+        "back" => {
+            let n = num(1).unwrap_or(1);
+            for _ in 0..n {
+                if !dbg.step_back().map_err(|e| e.to_string())? {
+                    println!("at start of recording");
+                    break;
+                }
+            }
+            println!(
+                "at cycle {} pc {:#x} instret {}",
+                dbg.cycles(),
+                dbg.pc(),
+                dbg.instret()
+            );
+        }
+        "regs" => print!("{}", dbg.regs()),
+        "csr" => {
+            let addr = num(1)? as u16;
+            println!(
+                "csr {:#x} = {:#018x}",
+                addr,
+                dbg.soc().host().core().csrs().read(addr)
+            );
+        }
+        "mem" => {
+            let addr = num(1)?;
+            let len = num(2)? as usize;
+            let mut buf = vec![0u8; len];
+            dbg.soc()
+                .peek_mem(addr, &mut buf)
+                .map_err(|e| e.to_string())?;
+            for (i, chunk) in buf.chunks(16).enumerate() {
+                let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+                println!("{:#010x}: {}", addr + i as u64 * 16, hex.join(" "));
+            }
+        }
+        "disasm" => {
+            let addr = num(1)?;
+            let n = num(2).unwrap_or(8) as usize;
+            for (a, w, text) in dbg.disasm(addr, n) {
+                println!("{a:#010x}: {w:08x}  {text}");
+            }
+        }
+        "watch" => match (words.get(1).copied(), words.get(2), words.get(3)) {
+            (Some("pc"), Some(_), _) => {
+                let addr = num(2)?;
+                watches.push(Watch::Pc(addr));
+                println!("watch {} set: pc {addr:#x}", watches.len() - 1);
+            }
+            (Some("mem"), Some(_), Some(_)) => {
+                let (addr, len) = (num(2)?, num(3)? as usize);
+                watches.push(Watch::Mem { addr, len });
+                println!("watch {} set: mem {addr:#x}+{len:#x}", watches.len() - 1);
+            }
+            _ => return Err("usage: watch pc ADDR | watch mem ADDR LEN".into()),
+        },
+        "continue" => {
+            let max = num(1).unwrap_or(10_000_000);
+            match dbg
+                .run_until_watch(watches, max)
+                .map_err(|e| e.to_string())?
+            {
+                Some(hit) => println!(
+                    "watch {} hit at cycle {} pc {:#x}: {}",
+                    hit.index, hit.cycle, hit.pc, hit.desc
+                ),
+                None => println!("no watch hit (cycle {} pc {:#x})", dbg.cycles(), dbg.pc()),
+            }
+        }
+        "diff" => {
+            let (a, b) = (num(1)?, num(2)?);
+            let lines = dbg.diff(a, b).map_err(|e| e.to_string())?;
+            println!("diff cycle {a} -> {b}: {} fields differ", lines.len());
+            for l in &lines {
+                println!("  {l}");
+            }
+        }
+        "trace" => {
+            let (a, b) = (num(1)?, num(2)?);
+            let events = dbg.trace_window(a, b, 65_536).map_err(|e| e.to_string())?;
+            println!("trace cycle {a} -> {b}: {} events", events.len());
+            for e in events.iter().take(200) {
+                println!("  {e}");
+            }
+            if events.len() > 200 {
+                println!("  ... +{} more", events.len() - 200);
+            }
+        }
+        "timeline" => {
+            let (a, b, p) = (num(1)?, num(2)?, num(3)?);
+            print!(
+                "{}",
+                dbg.timeline_window(a, b, p).map_err(|e| e.to_string())?
+            );
+        }
+        "info" => {
+            println!(
+                "cycle {} instret {} pc {:#x}, {} commands, {} checkpoints, at_end {}",
+                dbg.cycles(),
+                dbg.instret(),
+                dbg.pc(),
+                dbg.recording().commands.len(),
+                dbg.recording().checkpoints.len(),
+                dbg.at_end()
+            );
+        }
+        "quit" => {}
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,569 @@
+//! # hulkv-replay: time-travel debugging over flight recordings
+//!
+//! A [`hulkv::Recording`] pins down a run completely: the SoC
+//! configuration, the command journal (the nondeterminism frontier — in a
+//! single-threaded simulator everything else is a deterministic function
+//! of it), and a ring of periodic full-machine snapshots. The
+//! [`Debugger`] turns that into a navigable timeline:
+//!
+//! * [`Debugger::goto_cycle`] — jump anywhere; backward jumps restore the
+//!   nearest checkpoint at or before the target and re-execute forward;
+//! * [`Debugger::step`] / [`Debugger::step_back`] — single host
+//!   instructions in either direction (backward = restore + replay to
+//!   `instret − 1`, so it is exact, not approximate);
+//! * watchpoints on the PC and on memory ranges, checked at instruction
+//!   granularity;
+//! * [`Debugger::diff`] — a field-level state delta between two cycles,
+//!   walking the schema-checked snapshot sections (and resolving blob and
+//!   page payloads, which JSON equality alone would miss);
+//! * [`Debugger::trace_window`] / [`Debugger::timeline_window`] — re-run
+//!   any window with a `hulkv-trace` tracer or a Timeline attached, for
+//!   cross-referencing recorded state against event streams.
+//!
+//! Every navigation uses the same execution machinery as the recording
+//! run ([`hulkv::HulkV::run_host_until`]), so the debugger's cursor state
+//! is bit-identical to the original run at every instruction boundary —
+//! inspection is via side-effect-free peeks and never perturbs it.
+
+use hulkv::{apply_command, Command, HulkV, RecordError, Recording};
+use hulkv_rv::{disassemble_word, Reg, Xlen};
+use hulkv_sim::{category, Json, Snapshot, Tracer};
+use std::collections::BTreeSet;
+
+/// What a single [`Debugger::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Advanced one host instruction, or applied one whole non-program
+    /// command (those are atomic at the journal level).
+    Stepped,
+    /// The journal is exhausted; the cursor did not move.
+    EndOfRecording,
+}
+
+/// A watchpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Watch {
+    /// Break when the host PC reaches this address.
+    Pc(u64),
+    /// Break when any byte of `[addr, addr + len)` changes.
+    Mem {
+        /// Watched base address.
+        addr: u64,
+        /// Watched length in bytes.
+        len: usize,
+    },
+}
+
+/// A triggered watchpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchHit {
+    /// Index into the watch list.
+    pub index: usize,
+    /// Host cycle at the hit.
+    pub cycle: u64,
+    /// Host PC at the hit.
+    pub pc: u64,
+    /// Human-readable description.
+    pub desc: String,
+}
+
+/// The time-travel debugger: a cursor over a [`Recording`].
+#[derive(Debug)]
+pub struct Debugger {
+    recording: Recording,
+    soc: HulkV,
+    next_cmd: usize,
+    /// `Some(limit)` while the cursor sits inside a host program;
+    /// `limit` is its absolute host-cycle budget.
+    in_cmd: Option<u64>,
+}
+
+impl Debugger {
+    /// Opens a recording with the cursor at cycle zero.
+    ///
+    /// # Errors
+    ///
+    /// On an unbuildable embedded configuration.
+    pub fn new(recording: Recording) -> Result<Self, RecordError> {
+        let soc = recording.fresh_soc()?;
+        Ok(Debugger {
+            recording,
+            soc,
+            next_cmd: 0,
+            in_cmd: None,
+        })
+    }
+
+    /// The recording under the cursor.
+    pub fn recording(&self) -> &Recording {
+        &self.recording
+    }
+
+    /// The machine at the cursor (inspect via peeks; do not drive it
+    /// directly or the cursor bookkeeping goes stale).
+    pub fn soc(&self) -> &HulkV {
+        &self.soc
+    }
+
+    /// Host-core cycle count at the cursor.
+    pub fn cycles(&self) -> u64 {
+        self.soc.host().core().cycles().get()
+    }
+
+    /// Host-core retired-instruction count at the cursor.
+    pub fn instret(&self) -> u64 {
+        self.soc.host().core().instret()
+    }
+
+    /// Host PC at the cursor.
+    pub fn pc(&self) -> u64 {
+        self.soc.host().core().pc()
+    }
+
+    /// Whether the cursor is past the last journal entry.
+    pub fn at_end(&self) -> bool {
+        self.in_cmd.is_none() && self.next_cmd >= self.recording.commands.len()
+    }
+
+    /// Rewinds to cycle zero (a fresh machine — no checkpoint needed).
+    ///
+    /// # Errors
+    ///
+    /// On an unbuildable embedded configuration.
+    pub fn reset_to_start(&mut self) -> Result<(), RecordError> {
+        self.soc = self.recording.fresh_soc()?;
+        self.next_cmd = 0;
+        self.in_cmd = None;
+        Ok(())
+    }
+
+    /// Restores checkpoint `idx` and aligns the journal cursor with it.
+    ///
+    /// # Errors
+    ///
+    /// On a missing checkpoint or a malformed snapshot.
+    pub fn reset_to_checkpoint(&mut self, idx: usize) -> Result<(), RecordError> {
+        let cp = self
+            .recording
+            .checkpoints
+            .get(idx)
+            .ok_or_else(|| RecordError::Diverged(format!("no checkpoint {idx}")))?;
+        self.soc = self.recording.restore_checkpoint(cp)?;
+        if cp.in_progress {
+            self.next_cmd = cp.cmd_index + 1;
+            self.in_cmd = Some(cp.limit);
+        } else {
+            self.next_cmd = cp.cmd_index;
+            self.in_cmd = None;
+        }
+        Ok(())
+    }
+
+    /// Starts the next journal command if the cursor is between commands.
+    /// Returns `false` at the end of the journal. Host programs are
+    /// *entered* (loaded, registers applied) without retiring anything;
+    /// other commands apply atomically.
+    fn advance_command(&mut self) -> Result<bool, RecordError> {
+        if self.next_cmd >= self.recording.commands.len() {
+            return Ok(false);
+        }
+        let cmd = &self.recording.commands[self.next_cmd];
+        self.next_cmd += 1;
+        if let Command::RunHostProgram {
+            words,
+            regs,
+            max_cycles,
+        } = cmd
+        {
+            self.soc.start_host_program(words, regs)?;
+            let limit = self
+                .soc
+                .host()
+                .core()
+                .cycles()
+                .get()
+                .saturating_add(*max_cycles);
+            self.in_cmd = Some(limit);
+        } else {
+            apply_command(&mut self.soc, cmd)?;
+        }
+        Ok(true)
+    }
+
+    /// Advances one host instruction (or applies one whole non-program
+    /// command when the cursor is between programs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn step(&mut self) -> Result<StepEvent, RecordError> {
+        loop {
+            if self.in_cmd.is_some() {
+                if self.soc.host().core().is_halted() {
+                    self.in_cmd = None;
+                    continue;
+                }
+                let target = self.cycles() + 1;
+                let halted = self.soc.run_host_until(target)?;
+                if halted {
+                    self.in_cmd = None;
+                }
+                return Ok(StepEvent::Stepped);
+            }
+            let was_program = matches!(
+                self.recording.commands.get(self.next_cmd),
+                Some(Command::RunHostProgram { .. })
+            );
+            if !self.advance_command()? {
+                return Ok(StepEvent::EndOfRecording);
+            }
+            if !was_program {
+                return Ok(StepEvent::Stepped);
+            }
+            // A program was entered; loop to retire its first instruction.
+        }
+    }
+
+    /// Moves the cursor to the first instruction boundary at or after
+    /// `cycle` (host-core cycles). Backward moves restore the nearest
+    /// checkpoint at or before the target — or a fresh machine if the
+    /// ring evicted it — and re-execute forward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates restore and execution errors.
+    pub fn goto_cycle(&mut self, cycle: u64) -> Result<(), RecordError> {
+        if self.cycles() > cycle {
+            match self.recording.checkpoint_at_or_before(cycle) {
+                Some(i) => self.reset_to_checkpoint(i)?,
+                None => self.reset_to_start()?,
+            }
+        }
+        while self.cycles() < cycle {
+            if self.in_cmd.is_some() {
+                if self.soc.host().core().is_halted() {
+                    self.in_cmd = None;
+                    continue;
+                }
+                let halted = self.soc.run_host_until(cycle)?;
+                if halted {
+                    self.in_cmd = None;
+                }
+            } else if !self.advance_command()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves the cursor to exactly `instret` retired host instructions
+    /// (stopping early only if the journal ends first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates restore and execution errors.
+    pub fn goto_instret(&mut self, instret: u64) -> Result<(), RecordError> {
+        if self.instret() > instret {
+            match self.recording.checkpoint_at_or_before_instret(instret) {
+                Some(i) => self.reset_to_checkpoint(i)?,
+                None => self.reset_to_start()?,
+            }
+        }
+        while self.instret() < instret {
+            if matches!(self.step()?, StepEvent::EndOfRecording) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps one host instruction backward (exact: restores a checkpoint
+    /// and replays to `instret − 1`). Returns `false` at cycle zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates restore and execution errors.
+    pub fn step_back(&mut self) -> Result<bool, RecordError> {
+        let Some(target) = self.instret().checked_sub(1) else {
+            return Ok(false);
+        };
+        self.goto_instret(target)?;
+        Ok(true)
+    }
+
+    /// Runs forward until a watchpoint triggers, the journal ends, or
+    /// `max_steps` instructions retire. Memory watches fire on any change
+    /// relative to the bytes at call time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn run_until_watch(
+        &mut self,
+        watches: &[Watch],
+        max_steps: u64,
+    ) -> Result<Option<WatchHit>, RecordError> {
+        let mut baselines: Vec<Option<Vec<u8>>> = watches
+            .iter()
+            .map(|w| match w {
+                Watch::Mem { addr, len } => {
+                    let mut b = vec![0u8; *len];
+                    self.soc.peek_mem(*addr, &mut b).ok().map(|()| b)
+                }
+                Watch::Pc(_) => None,
+            })
+            .collect();
+        for _ in 0..max_steps {
+            if matches!(self.step()?, StepEvent::EndOfRecording) {
+                return Ok(None);
+            }
+            let (pc, cycle) = (self.pc(), self.cycles());
+            for (i, w) in watches.iter().enumerate() {
+                match w {
+                    Watch::Pc(a) => {
+                        if pc == *a {
+                            return Ok(Some(WatchHit {
+                                index: i,
+                                cycle,
+                                pc,
+                                desc: format!("pc reached {a:#x}"),
+                            }));
+                        }
+                    }
+                    Watch::Mem { addr, len } => {
+                        let mut b = vec![0u8; *len];
+                        if self.soc.peek_mem(*addr, &mut b).is_ok()
+                            && baselines[i].as_deref() != Some(&b[..])
+                        {
+                            let desc = format!("mem {addr:#x}+{len:#x} changed");
+                            baselines[i] = Some(b);
+                            return Ok(Some(WatchHit {
+                                index: i,
+                                cycle,
+                                pc,
+                                desc,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Disassembles `count` words starting at `addr` via the
+    /// side-effect-free peek path. Returns `(addr, word, text)` rows.
+    pub fn disasm(&self, addr: u64, count: usize) -> Vec<(u64, u32, String)> {
+        let mut rows = Vec::with_capacity(count);
+        for i in 0..count {
+            let a = addr + i as u64 * 4;
+            let mut b = [0u8; 4];
+            if self.soc.peek_mem(a, &mut b).is_err() {
+                break;
+            }
+            let w = u32::from_le_bytes(b);
+            rows.push((a, w, disassemble_word(w, Xlen::Rv64, false)));
+        }
+        rows
+    }
+
+    /// A one-line register dump of the host core.
+    pub fn regs(&self) -> String {
+        let core = self.soc.host().core();
+        let mut s = format!(
+            "pc={:#018x} cycle={} instret={} priv={:?} halted={}\n",
+            core.pc(),
+            core.cycles().get(),
+            core.instret(),
+            core.priv_mode(),
+            core.is_halted()
+        );
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            s.push_str(&format!("{r:>5}={:#018x}", core.reg(*r)));
+            s.push(if i % 4 == 3 { '\n' } else { ' ' });
+        }
+        s
+    }
+
+    /// Field-level state delta between two cycles. Leaves the cursor at
+    /// `cycle_b`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates navigation errors.
+    pub fn diff(&mut self, cycle_a: u64, cycle_b: u64) -> Result<Vec<String>, RecordError> {
+        self.goto_cycle(cycle_a)?;
+        let a = self.soc.snapshot();
+        self.goto_cycle(cycle_b)?;
+        let b = self.soc.snapshot();
+        Ok(diff_snapshots(&a, &b))
+    }
+
+    /// Re-runs `[from, to)` with a structured tracer attached and returns
+    /// the formatted event stream — recorded state cross-referenced with
+    /// `hulkv-trace` events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates navigation errors.
+    pub fn trace_window(
+        &mut self,
+        from: u64,
+        to: u64,
+        capacity: usize,
+    ) -> Result<Vec<String>, RecordError> {
+        self.goto_cycle(from)?;
+        let tracer = Tracer::shared(capacity);
+        tracer.borrow_mut().enable(category::ALL);
+        self.soc.attach_tracer(tracer.clone());
+        self.goto_cycle(to)?;
+        let t = tracer.borrow();
+        Ok(t.events()
+            .map(|r| format!("{:>12} +{:<6} {:?} {:?}", r.ts, r.dur, r.track, r.event))
+            .collect())
+    }
+
+    /// Re-runs `[from, to)` with a Timeline sampling every `period` SoC
+    /// cycles and returns its CSV — recorded state cross-referenced with
+    /// telemetry windows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates navigation errors.
+    pub fn timeline_window(
+        &mut self,
+        from: u64,
+        to: u64,
+        period: u64,
+    ) -> Result<String, RecordError> {
+        self.goto_cycle(from)?;
+        self.soc.enable_timeline(period);
+        self.goto_cycle(to)?;
+        let tl = self
+            .soc
+            .take_timeline()
+            .ok_or_else(|| RecordError::Diverged("timeline vanished mid-window".into()))?;
+        Ok(tl.to_csv())
+    }
+}
+
+/// Walks two snapshots section by section and returns the list of
+/// differing fields as `path: left != right` lines. Blob and paged-image
+/// descriptors are resolved and their *contents* compared — two images
+/// with identical layout but different bytes do differ.
+pub fn diff_snapshots(a: &Snapshot, b: &Snapshot) -> Vec<String> {
+    let mut out = Vec::new();
+    let names: BTreeSet<&str> = a.section_names().chain(b.section_names()).collect();
+    for name in names {
+        match (a.section(name), b.section(name)) {
+            (Ok(va), Ok(vb)) => diff_json(name, va, vb, a, b, &mut out),
+            (Ok(_), Err(_)) => out.push(format!("{name}: section only in left snapshot")),
+            (Err(_), Ok(_)) => out.push(format!("{name}: section only in right snapshot")),
+            (Err(_), Err(_)) => {}
+        }
+    }
+    out
+}
+
+fn is_blob_desc(j: &Json) -> bool {
+    matches!(j, Json::Obj(m) if m.len() == 2 && m.contains_key("off") && m.contains_key("len"))
+}
+
+fn is_paged_desc(j: &Json) -> bool {
+    matches!(j, Json::Obj(m) if m.len() == 3
+        && m.contains_key("size") && m.contains_key("count") && m.contains_key("data"))
+}
+
+fn diff_json(
+    path: &str,
+    va: &Json,
+    vb: &Json,
+    sa: &Snapshot,
+    sb: &Snapshot,
+    out: &mut Vec<String>,
+) {
+    if is_blob_desc(va) && is_blob_desc(vb) {
+        match (sa.blob(va), sb.blob(vb)) {
+            (Ok(ba), Ok(bb)) => {
+                if ba != bb {
+                    let at = ba
+                        .iter()
+                        .zip(bb.iter())
+                        .position(|(x, y)| x != y)
+                        .unwrap_or(ba.len().min(bb.len()));
+                    out.push(format!(
+                        "{path}: blob differs ({} vs {} bytes, first at +{at:#x})",
+                        ba.len(),
+                        bb.len()
+                    ));
+                }
+            }
+            _ => out.push(format!("{path}: unresolvable blob descriptor")),
+        }
+        return;
+    }
+    if is_paged_desc(va) && is_paged_desc(vb) {
+        let (mut pa, mut pb) = (
+            std::collections::BTreeMap::new(),
+            std::collections::BTreeMap::new(),
+        );
+        let digest = |page: &[u8]| hulkv_sim::Fnv64::new().write(page).finish();
+        let _ = sa.visit_pages(va, |idx, page| {
+            pa.insert(idx, digest(page));
+            Ok(())
+        });
+        let _ = sb.visit_pages(vb, |idx, page| {
+            pb.insert(idx, digest(page));
+            Ok(())
+        });
+        let pages: BTreeSet<u64> = pa.keys().chain(pb.keys()).copied().collect();
+        let mut diffs: Vec<u64> = pages
+            .into_iter()
+            .filter(|i| pa.get(i) != pb.get(i))
+            .collect();
+        if !diffs.is_empty() {
+            let extra = diffs.len().saturating_sub(8);
+            diffs.truncate(8);
+            let list = diffs
+                .iter()
+                .map(|i| format!("{i:#x}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let more = if extra > 0 {
+                format!(" (+{extra} more)")
+            } else {
+                String::new()
+            };
+            out.push(format!("{path}: pages differ at {list}{more}"));
+        }
+        return;
+    }
+    match (va, vb) {
+        (Json::Obj(ma), Json::Obj(mb)) => {
+            let keys: BTreeSet<&str> = ma.keys().chain(mb.keys()).map(String::as_str).collect();
+            for k in keys {
+                let sub = format!("{path}.{k}");
+                match (ma.get(k), mb.get(k)) {
+                    (Some(x), Some(y)) => diff_json(&sub, x, y, sa, sb, out),
+                    (Some(_), None) => out.push(format!("{sub}: only in left")),
+                    (None, Some(_)) => out.push(format!("{sub}: only in right")),
+                    (None, None) => {}
+                }
+            }
+        }
+        (Json::Arr(aa), Json::Arr(ab)) => {
+            if aa.len() != ab.len() {
+                out.push(format!("{path}: array length {} vs {}", aa.len(), ab.len()));
+                return;
+            }
+            for (i, (x, y)) in aa.iter().zip(ab.iter()).enumerate() {
+                diff_json(&format!("{path}[{i}]"), x, y, sa, sb, out);
+            }
+        }
+        _ => {
+            if va != vb {
+                out.push(format!("{path}: {va} != {vb}"));
+            }
+        }
+    }
+}

@@ -147,6 +147,30 @@ impl FlatBus {
         hulkv_sim::Fnv64::new().write(&self.mem).finish()
     }
 
+    /// The memory size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Serializes the memory image (page-compact, zero pages skipped).
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        hulkv_sim::Json::obj([("mem", snap.push_pages(&self.mem))])
+    }
+
+    /// Restores an image written by [`FlatBus::snapshot_into`] into a bus
+    /// of the same size.
+    ///
+    /// # Errors
+    ///
+    /// On size mismatch or a malformed section.
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        snap.restore_pages(hulkv_sim::snap::get(j, "mem")?, &mut self.mem)
+    }
+
     fn check(&self, addr: u64, len: usize) -> Result<usize, SimError> {
         let end = addr as usize + len;
         if end > self.mem.len() {
@@ -690,6 +714,292 @@ impl Core {
         }
         h.write_u64(self.csrs.digest());
         h.finish()
+    }
+
+    /// Serializes the complete core state: architectural (PC, register
+    /// files, CSRs, privilege, hardware loops, LR/SC reservation, halt
+    /// flag), timing (cycles, instret), activity counters, the HPM offset
+    /// group, and the microarchitectural fast-path state — live
+    /// decoded-instruction-cache entries, the fetch µTLB and the
+    /// MMU/interrupt revalidation caches.
+    ///
+    /// The microarchitectural state is serialized *exactly* rather than
+    /// invalidated on restore: the `decode_hits`/`decode_misses`/`itlb_*`
+    /// counters are part of the core's [`Stats`], so a restore that cleared
+    /// the decode cache would make a resumed run's statistics diverge from
+    /// the straight-line run it is replaying. Observability attachments
+    /// (trace ring, tracer, profiler) are deliberately excluded — they are
+    /// host-side instrumentation, not machine state.
+    pub fn snapshot_into(&self, snap: &mut hulkv_sim::Snapshot) -> hulkv_sim::Json {
+        use hulkv_sim::snap::hex;
+        use hulkv_sim::Json;
+        let mut regs = Vec::with_capacity(64 * 8);
+        for v in self.x.iter().chain(self.f.iter()) {
+            regs.extend_from_slice(&v.to_le_bytes());
+        }
+        let regs = snap.push_blob(&regs);
+        let c = &self.counters;
+        let counters = Json::obj([
+            ("arith_ops", hex(c.arith_ops)),
+            ("loads", hex(c.loads)),
+            ("stores", hex(c.stores)),
+            ("taken_branches", hex(c.taken_branches)),
+            ("mem_stall_cycles", hex(c.mem_stall_cycles)),
+            ("simd_insts", hex(c.simd_insts)),
+            ("fp_insts", hex(c.fp_insts)),
+            ("interrupts", hex(c.interrupts)),
+            ("traps", hex(c.traps)),
+            ("hwloop_iters", hex(c.hwloop_iters)),
+            ("decode_hits", hex(c.decode_hits)),
+            ("decode_misses", hex(c.decode_misses)),
+            ("decode_invalidations", hex(c.decode_invalidations)),
+            ("itlb_hits", hex(c.itlb_hits)),
+            ("itlb_misses", hex(c.itlb_misses)),
+        ]);
+        let hpm = Json::Arr(
+            self.hpm
+                .iter()
+                .map(|h| Json::obj([("offset", hex(h.offset)), ("frozen", hex(h.frozen))]))
+                .collect(),
+        );
+        let hwloops = Json::Arr(
+            self.hwloops
+                .iter()
+                .map(|l| {
+                    Json::obj([
+                        ("start", hex(l.start)),
+                        ("end", hex(l.end)),
+                        ("count", hex(l.count)),
+                    ])
+                })
+                .collect(),
+        );
+        // Live decoded entries, packed binary. `inst` is not serialized:
+        // it is a pure function of `word` and the core's ISA surface, so
+        // restore re-derives it — the snapshot stays ISA-agnostic bytes.
+        let mut packed = Vec::new();
+        let mut live = 0u64;
+        if let Some(cache) = &self.decode_cache {
+            for (slot, e) in cache.iter().enumerate() {
+                if e.gen != self.decode_gen {
+                    continue;
+                }
+                packed.extend_from_slice(&(slot as u32).to_le_bytes());
+                packed.extend_from_slice(&e.va.to_le_bytes());
+                packed.extend_from_slice(&e.pa.to_le_bytes());
+                packed.extend_from_slice(&e.version.to_le_bytes());
+                packed.extend_from_slice(&e.epoch.to_le_bytes());
+                packed.extend_from_slice(&e.word.to_le_bytes());
+                packed.extend_from_slice(&[e.ilen, e.cost, e.mode.bits() as u8, u8::from(e.paged)]);
+                live += 1;
+            }
+        }
+        let decode_entries = snap.push_blob(&packed);
+        Json::obj([
+            ("pc", hex(self.pc)),
+            ("regs", regs),
+            ("csrs", self.csrs.snapshot_json()),
+            ("priv", hex(self.priv_mode.bits())),
+            ("hwloops", hwloops),
+            ("reservation", self.reservation.map_or(Json::Null, hex)),
+            ("cycles", hex(self.cycles.get())),
+            ("instret", hex(self.instret)),
+            ("halted", Json::Bool(self.halted)),
+            ("counters", counters),
+            ("hpm", hpm),
+            ("decode_enabled", Json::Bool(self.decode_enabled)),
+            ("decode_gen", hex(self.decode_gen)),
+            ("code_lo", hex(self.code_lo)),
+            ("code_hi", hex(self.code_hi)),
+            ("decode_count", hex(live)),
+            ("decode_entries", decode_entries),
+            (
+                "itlb",
+                Json::obj([
+                    ("valid", Json::Bool(self.itlb.valid)),
+                    ("page", hex(self.itlb.page)),
+                    ("base", hex(self.itlb.base)),
+                    ("version", hex(self.itlb.version)),
+                    ("mode", hex(self.itlb.mode.bits())),
+                ]),
+            ),
+            (
+                "mmu",
+                Json::obj([
+                    ("version", hex(self.mmu_cache.version)),
+                    ("mode", hex(self.mmu_cache.mode.bits())),
+                    ("satp", hex(self.mmu_cache.satp)),
+                    ("active", Json::Bool(self.mmu_cache.active)),
+                ]),
+            ),
+            (
+                "irq",
+                Json::obj([
+                    ("version", hex(self.irq_cache.version)),
+                    ("mode", hex(self.irq_cache.mode.bits())),
+                    ("takeable", self.irq_cache.takeable.map_or(Json::Null, hex)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Restores state written by [`Core::snapshot_into`] into a core built
+    /// by the same constructor (ISA surface and cost model are not
+    /// serialized). After restore, [`Core::state_digest`], timing and every
+    /// counter match the snapshotted core exactly.
+    ///
+    /// # Errors
+    ///
+    /// On a malformed section, or when a decoded entry's instruction word
+    /// no longer decodes under this core's ISA surface (a constructor
+    /// mismatch).
+    pub fn restore_from(
+        &mut self,
+        snap: &hulkv_sim::Snapshot,
+        j: &hulkv_sim::Json,
+    ) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, get_arr, get_bool, get_u64, unhex, SnapError};
+        use hulkv_sim::Json;
+        let regs = snap.blob(get(j, "regs")?)?;
+        if regs.len() != 64 * 8 {
+            return Err(SnapError::msg(format!(
+                "core register blob is {} bytes, expected {}",
+                regs.len(),
+                64 * 8
+            )));
+        }
+        for (i, r) in regs.chunks_exact(8).enumerate() {
+            let v = u64::from_le_bytes(r.try_into().expect("8 bytes"));
+            if i < 32 {
+                self.x[i] = v;
+            } else {
+                self.f[i - 32] = v;
+            }
+        }
+        self.pc = get_u64(j, "pc")?;
+        self.csrs.restore_json(get(j, "csrs")?)?;
+        self.priv_mode = PrivMode::from_bits(get_u64(j, "priv")?);
+        let hwloops = get_arr(j, "hwloops")?;
+        if hwloops.len() != self.hwloops.len() {
+            return Err(SnapError::msg("hwloop count mismatch"));
+        }
+        for (l, h) in self.hwloops.iter_mut().zip(hwloops) {
+            l.start = get_u64(h, "start")?;
+            l.end = get_u64(h, "end")?;
+            l.count = get_u64(h, "count")?;
+        }
+        self.reservation = match get(j, "reservation")? {
+            Json::Null => None,
+            v => Some(unhex(v)?),
+        };
+        self.cycles = Cycles::new(get_u64(j, "cycles")?);
+        self.instret = get_u64(j, "instret")?;
+        self.halted = get_bool(j, "halted")?;
+        let c = get(j, "counters")?;
+        self.counters = CoreCounters {
+            arith_ops: get_u64(c, "arith_ops")?,
+            loads: get_u64(c, "loads")?,
+            stores: get_u64(c, "stores")?,
+            taken_branches: get_u64(c, "taken_branches")?,
+            mem_stall_cycles: get_u64(c, "mem_stall_cycles")?,
+            simd_insts: get_u64(c, "simd_insts")?,
+            fp_insts: get_u64(c, "fp_insts")?,
+            interrupts: get_u64(c, "interrupts")?,
+            traps: get_u64(c, "traps")?,
+            hwloop_iters: get_u64(c, "hwloop_iters")?,
+            decode_hits: get_u64(c, "decode_hits")?,
+            decode_misses: get_u64(c, "decode_misses")?,
+            decode_invalidations: get_u64(c, "decode_invalidations")?,
+            itlb_hits: get_u64(c, "itlb_hits")?,
+            itlb_misses: get_u64(c, "itlb_misses")?,
+        };
+        let hpm = get_arr(j, "hpm")?;
+        if hpm.len() != self.hpm.len() {
+            return Err(SnapError::msg("HPM counter count mismatch"));
+        }
+        for (slot, h) in self.hpm.iter_mut().zip(hpm) {
+            slot.offset = get_u64(h, "offset")?;
+            slot.frozen = get_u64(h, "frozen")?;
+        }
+        self.decode_enabled = get_bool(j, "decode_enabled")?;
+        self.decode_gen = get_u64(j, "decode_gen")?;
+        self.code_lo = get_u64(j, "code_lo")?;
+        self.code_hi = get_u64(j, "code_hi")?;
+        let live = get_u64(j, "decode_count")?;
+        let packed = snap.blob(get(j, "decode_entries")?)?;
+        const REC: usize = 4 + 8 + 8 + 8 + 8 + 4 + 4;
+        if packed.len() != live as usize * REC {
+            return Err(SnapError::msg(format!(
+                "decode-cache blob is {} bytes, expected {}",
+                packed.len(),
+                live as usize * REC
+            )));
+        }
+        self.decode_cache = if live == 0 {
+            None
+        } else {
+            let mut cache = vec![DecodedEntry::DEAD; DECODE_CACHE_ENTRIES].into_boxed_slice();
+            for r in packed.chunks_exact(REC) {
+                let u32_at = |o: usize| u32::from_le_bytes(r[o..o + 4].try_into().expect("4"));
+                let u64_at = |o: usize| u64::from_le_bytes(r[o..o + 8].try_into().expect("8"));
+                let slot = u32_at(0) as usize;
+                if slot >= DECODE_CACHE_ENTRIES {
+                    return Err(SnapError::msg(format!("decode slot {slot} out of range")));
+                }
+                let word = u32_at(36);
+                let (ilen, cost, mode, paged) = (r[40], r[41], r[42], r[43]);
+                let inst = if word & 3 != 3 {
+                    crate::compressed::expand(word as u16, self.xlen)
+                } else {
+                    decode(word, self.xlen, self.xpulp)
+                };
+                let Some(inst) = inst else {
+                    return Err(SnapError::msg(format!(
+                        "decoded entry word {word:#010x} does not decode — \
+                         snapshot from a different ISA surface?"
+                    )));
+                };
+                cache[slot] = DecodedEntry {
+                    va: u64_at(4),
+                    pa: u64_at(12),
+                    gen: self.decode_gen,
+                    version: u64_at(20),
+                    epoch: u64_at(28),
+                    word,
+                    ilen,
+                    cost,
+                    mode: PrivMode::from_bits(u64::from(mode)),
+                    paged: paged != 0,
+                    inst,
+                };
+            }
+            Some(cache)
+        };
+        let itlb = get(j, "itlb")?;
+        self.itlb = FetchTlb {
+            valid: get_bool(itlb, "valid")?,
+            page: get_u64(itlb, "page")?,
+            base: get_u64(itlb, "base")?,
+            version: get_u64(itlb, "version")?,
+            mode: PrivMode::from_bits(get_u64(itlb, "mode")?),
+        };
+        let mmu = get(j, "mmu")?;
+        self.mmu_cache = MmuCache {
+            version: get_u64(mmu, "version")?,
+            mode: PrivMode::from_bits(get_u64(mmu, "mode")?),
+            satp: get_u64(mmu, "satp")?,
+            active: get_bool(mmu, "active")?,
+        };
+        let irq = get(j, "irq")?;
+        self.irq_cache = IrqCache {
+            version: get_u64(irq, "version")?,
+            mode: PrivMode::from_bits(get_u64(irq, "mode")?),
+            takeable: match get(irq, "takeable")? {
+                Json::Null => None,
+                v => Some(unhex(v)?),
+            },
+        };
+        Ok(())
     }
 
     /// Enables or disables the decoded-instruction cache and fetch µTLB

@@ -245,6 +245,52 @@ impl CsrFile {
         h.finish()
     }
 
+    /// Serializes the register map and the exact mutation counter.
+    ///
+    /// The counter matters: decoded-instruction-cache entries are stamped
+    /// against it, so restoring a snapshot with a rounded-off version would
+    /// spuriously invalidate (or worse, revalidate) decode-cache state and
+    /// change the `decode_hits`/`decode_misses` counters versus the run the
+    /// snapshot was taken from.
+    pub fn snapshot_json(&self) -> hulkv_sim::Json {
+        use hulkv_sim::snap::hex;
+        hulkv_sim::Json::obj([
+            ("version", hex(self.version)),
+            (
+                "regs",
+                hulkv_sim::Json::obj(
+                    self.regs
+                        .iter()
+                        .map(|(&a, &v)| (format!("{a:#x}"), hex(v)))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restores state written by [`CsrFile::snapshot_json`], replacing all
+    /// registers and the mutation counter.
+    ///
+    /// # Errors
+    ///
+    /// On a malformed section.
+    pub fn restore_json(&mut self, j: &hulkv_sim::Json) -> hulkv_sim::SnapResult<()> {
+        use hulkv_sim::snap::{get, get_u64, unhex, SnapError};
+        let hulkv_sim::Json::Obj(regs) = get(j, "regs")? else {
+            return Err(SnapError::msg("csr regs section is not an object"));
+        };
+        let mut map = BTreeMap::new();
+        for (k, v) in regs {
+            let a = k.strip_prefix("0x").unwrap_or(k);
+            let a = u16::from_str_radix(a, 16)
+                .map_err(|e| SnapError::msg(format!("bad CSR address {k:?}: {e}")))?;
+            map.insert(a, unhex(v)?);
+        }
+        self.regs = map;
+        self.version = get_u64(j, "version")?;
+        Ok(())
+    }
+
     /// Performs machine-trap entry bookkeeping and returns the trap vector.
     pub fn enter_trap_m(&mut self, cause: TrapCause, pc: u64, tval: u64, prev: PrivMode) -> u64 {
         self.enter_trap_m_raw(cause.code(), pc, tval, prev)

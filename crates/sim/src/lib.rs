@@ -39,6 +39,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 mod rng;
+pub mod snap;
 mod stats;
 pub mod timeline;
 pub mod trace;
@@ -51,6 +52,7 @@ pub use json::Json;
 pub use metrics::{MetricsSnapshot, METRICS_SCHEMA_VERSION};
 pub use profile::{PcProfile, PcSample};
 pub use rng::SplitMix64;
+pub use snap::{SnapError, SnapResult, Snapshot, SNAPSHOT_FORMAT};
 pub use stats::{Counter, Stats, StatsHandle};
 pub use timeline::{Timeline, TimelineWindow};
 pub use trace::{category, SharedTracer, TraceEvent, TraceRecord, Tracer, Track};
